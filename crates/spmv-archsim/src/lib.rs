@@ -1,0 +1,35 @@
+//! # spmv-archsim
+//!
+//! Machine models of the multicore platforms evaluated by Williams et al. (SC 2007):
+//! the dual-socket dual-core AMD Opteron X2, the dual-socket quad-core Intel
+//! Clovertown, the single-socket eight-core Sun Niagara T1, and the STI Cell in both
+//! its PS3 (6 SPE) and QS20 blade (2×8 SPE) configurations.
+//!
+//! The paper's evaluation ran on the physical machines; this reproduction cannot, so
+//! the crate provides two complementary layers:
+//!
+//! * **Component simulators** — set-associative caches ([`cache`]), TLBs ([`tlb`]),
+//!   DRAM channels and NUMA topology ([`dram`]), and the Cell SPE local store with
+//!   its double-buffered DMA engine ([`localstore`]). These are execution-driven by
+//!   the memory reference streams produced by [`trace`] and validate the *mechanisms*
+//!   (why cache blocking cuts misses, why DMA hides latency).
+//! * **An analytic performance model** ([`perfmodel`]) in the spirit of the paper's
+//!   own Section 5.1/6.1 analysis: SpMV throughput is the minimum of a bandwidth
+//!   bound (sustained bandwidth × flop:byte of the tuned data structure) and an
+//!   in-core bound (loop overhead, branch mispredictions, exposed memory latency,
+//!   SIMD/pipelining). This layer regenerates Table 4, Figure 1 and Figure 2.
+//!
+//! Platform parameters come from the paper's Table 1 and are collected in
+//! [`platforms`]; power numbers for Figure 2(b) live in [`power`].
+
+pub mod cache;
+pub mod dram;
+pub mod localstore;
+pub mod perfmodel;
+pub mod platforms;
+pub mod power;
+pub mod tlb;
+pub mod trace;
+
+pub use perfmodel::{OptimizationLevel, ParallelScope, PerformanceModel, Prediction};
+pub use platforms::{CoreKind, Platform, PlatformId};

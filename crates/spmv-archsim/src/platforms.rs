@@ -1,0 +1,446 @@
+//! Platform descriptions — the machine-readable form of the paper's Table 1.
+//!
+//! Raw architectural parameters (clock, cores, caches, DRAM channels, power) are taken
+//! directly from Table 1. The handful of micro-architectural latency/concurrency
+//! parameters the analytic model needs (memory latency, outstanding misses per core,
+//! line sizes) come from the paper's Section 6.1 discussion (e.g. Niagara's 16-byte L1
+//! lines, ~22-cycle L2, inability to cover more than one outstanding miss per thread)
+//! and from the vendors' published figures for these 2007 parts.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the five evaluated systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformId {
+    /// Dual-socket, dual-core AMD Opteron 2214 (SunFire X2200 M2).
+    AmdX2,
+    /// Dual-socket, quad-core Intel Xeon E5345 Clovertown (Dell PowerEdge 1950).
+    Clovertown,
+    /// Single-socket, eight-core, 32-thread Sun UltraSparc T1 Niagara (T1000).
+    Niagara,
+    /// Single-socket STI Cell with 6 usable SPEs (PlayStation 3).
+    CellPs3,
+    /// Dual-socket STI Cell QS20 blade with 8 SPEs per socket.
+    CellBlade,
+}
+
+impl PlatformId {
+    /// All platforms, in the order the paper's tables list them.
+    pub fn all() -> [PlatformId; 5] {
+        [
+            PlatformId::AmdX2,
+            PlatformId::Clovertown,
+            PlatformId::Niagara,
+            PlatformId::CellPs3,
+            PlatformId::CellBlade,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlatformId::AmdX2 => "AMD X2",
+            PlatformId::Clovertown => "Clovertown",
+            PlatformId::Niagara => "Niagara",
+            PlatformId::CellPs3 => "Cell (PS3)",
+            PlatformId::CellBlade => "Cell Blade",
+        }
+    }
+
+    /// The full platform description.
+    pub fn platform(&self) -> Platform {
+        Platform::new(*self)
+    }
+}
+
+/// The kind of core, which determines which optimizations matter (Table 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// Out-of-order superscalar x86 (Opteron, Clovertown): hardware prefetch, deep
+    /// reorder window, branch misprediction costs visible on short rows.
+    OutOfOrderX86,
+    /// In-order, fine-grained multithreaded (Niagara): latency is hidden only by
+    /// running many threads.
+    InOrderMultithreaded,
+    /// In-order SIMD core with software-managed local store and DMA (Cell SPE).
+    SpeLocalStore,
+}
+
+/// Cache hierarchy description (absent for the Cell SPEs, which use a local store).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// L1 data cache capacity per core, bytes.
+    pub l1_bytes: usize,
+    /// L1 line size in bytes (16 on Niagara, 64 elsewhere).
+    pub l1_line_bytes: usize,
+    /// Outer-level (L2/victim) capacity in bytes, per sharing domain.
+    pub l2_bytes: usize,
+    /// Number of cores sharing one L2 domain.
+    pub l2_shared_by: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 line size in bytes.
+    pub l2_line_bytes: usize,
+}
+
+/// Memory-system description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Peak DRAM bandwidth per socket, GB/s (Table 1's DRAM row / sockets).
+    pub peak_gbs_per_socket: f64,
+    /// Number of sockets (NUMA nodes for Opteron and Cell blade).
+    pub sockets: usize,
+    /// Whether sockets have separate memory controllers (NUMA) or share a
+    /// front-side-bus/chipset path (Clovertown).
+    pub numa: bool,
+    /// Fraction of a remote socket's bandwidth available over the inter-socket link
+    /// (HyperTransport / Cell coherent interface) when NUMA placement is ignored.
+    pub remote_fraction: f64,
+    /// Round-trip main-memory latency seen by a core, nanoseconds.
+    pub latency_ns: f64,
+    /// Fraction of the per-socket peak actually sustainable by streaming reads
+    /// (controller/FSB efficiency; the Clovertown FSB tops out well below the
+    /// chipset's aggregate DRAM bandwidth).
+    pub stream_efficiency: f64,
+}
+
+/// Per-core concurrency parameters for the latency–bandwidth (Little's law) model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrencyConfig {
+    /// Maximum useful outstanding cache-line (or DMA) requests a single
+    /// core/thread sustains with only hardware mechanisms (no software prefetch).
+    pub baseline_outstanding: f64,
+    /// Outstanding requests with software prefetch (x86) or double-buffered DMA
+    /// (Cell) — the paper's PF/DMA optimizations raise exactly this number.
+    pub prefetch_outstanding: f64,
+    /// Request granularity in bytes (cache line, or DMA transfer for the SPEs).
+    pub request_bytes: f64,
+    /// Hardware threads per core that can each hold their own misses.
+    pub threads_per_core: usize,
+}
+
+/// A complete platform description (one row of Table 1 plus model parameters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Which system this is.
+    pub id: PlatformId,
+    /// Core microarchitecture family.
+    pub core_kind: CoreKind,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Cores per socket (SPEs for Cell).
+    pub cores_per_socket: usize,
+    /// Peak double-precision Gflop/s per core (Table 1; Niagara's figure is the
+    /// 64-bit integer proxy the paper uses).
+    pub peak_gflops_per_core: f64,
+    /// Cache hierarchy, if the platform has one.
+    pub cache: Option<CacheConfig>,
+    /// Cell local store bytes per SPE, if applicable.
+    pub local_store_bytes: Option<usize>,
+    /// Memory system.
+    pub memory: MemoryConfig,
+    /// Concurrency (latency tolerance) parameters.
+    pub concurrency: ConcurrencyConfig,
+    /// Power drawn by the sockets alone, watts (Table 1).
+    pub socket_power_w: f64,
+    /// Power drawn by the full system, watts (Table 1).
+    pub system_power_w: f64,
+}
+
+impl Platform {
+    /// Build the description for `id` from the paper's Table 1.
+    pub fn new(id: PlatformId) -> Platform {
+        match id {
+            PlatformId::AmdX2 => Platform {
+                id,
+                core_kind: CoreKind::OutOfOrderX86,
+                clock_ghz: 2.2,
+                cores_per_socket: 2,
+                peak_gflops_per_core: 4.4,
+                cache: Some(CacheConfig {
+                    l1_bytes: 64 * 1024,
+                    l1_line_bytes: 64,
+                    l2_bytes: 1024 * 1024,
+                    l2_shared_by: 1,
+                    l2_ways: 4,
+                    l2_line_bytes: 64,
+                }),
+                local_store_bytes: None,
+                memory: MemoryConfig {
+                    peak_gbs_per_socket: 10.66,
+                    sockets: 2,
+                    numa: true,
+                    remote_fraction: 0.55,
+                    latency_ns: 75.0,
+                    stream_efficiency: 0.62,
+                },
+                concurrency: ConcurrencyConfig {
+                    // Hardware prefetchers into L2 keep ~6 lines in flight; software
+                    // prefetch into L1 raises effective concurrency further.
+                    baseline_outstanding: 5.0,
+                    prefetch_outstanding: 6.5,
+                    request_bytes: 64.0,
+                    threads_per_core: 1,
+                },
+                socket_power_w: 190.0,
+                system_power_w: 275.0,
+            },
+            PlatformId::Clovertown => Platform {
+                id,
+                core_kind: CoreKind::OutOfOrderX86,
+                clock_ghz: 2.33,
+                cores_per_socket: 4,
+                peak_gflops_per_core: 9.33,
+                cache: Some(CacheConfig {
+                    l1_bytes: 32 * 1024,
+                    l1_line_bytes: 64,
+                    l2_bytes: 4 * 1024 * 1024,
+                    l2_shared_by: 2,
+                    l2_ways: 16,
+                    l2_line_bytes: 64,
+                }),
+                local_store_bytes: None,
+                memory: MemoryConfig {
+                    // Each socket's FSB delivers 10.66 GB/s to the Blackford chipset;
+                    // the chipset's four FB-DIMM channels total 21.3 GB/s but a
+                    // socket never sees more than its FSB.
+                    peak_gbs_per_socket: 10.66,
+                    sockets: 2,
+                    numa: false,
+                    remote_fraction: 1.0,
+                    latency_ns: 85.0,
+                    stream_efficiency: 0.62,
+                },
+                concurrency: ConcurrencyConfig {
+                    baseline_outstanding: 4.3,
+                    prefetch_outstanding: 4.6,
+                    request_bytes: 64.0,
+                    threads_per_core: 1,
+                },
+                socket_power_w: 160.0,
+                system_power_w: 333.0,
+            },
+            PlatformId::Niagara => Platform {
+                id,
+                core_kind: CoreKind::InOrderMultithreaded,
+                clock_ghz: 1.0,
+                cores_per_socket: 8,
+                peak_gflops_per_core: 1.0,
+                cache: Some(CacheConfig {
+                    l1_bytes: 8 * 1024,
+                    l1_line_bytes: 16,
+                    l2_bytes: 3 * 1024 * 1024,
+                    l2_shared_by: 8,
+                    l2_ways: 12,
+                    l2_line_bytes: 64,
+                }),
+                local_store_bytes: None,
+                memory: MemoryConfig {
+                    peak_gbs_per_socket: 25.6,
+                    sockets: 1,
+                    numa: false,
+                    remote_fraction: 1.0,
+                    // Effective average latency of the L2/DRAM mix seen by a single
+                    // in-order thread (Section 6.1 estimates 23–48 cycles of memory
+                    // latency per nonzero at 1 GHz).
+                    latency_ns: 70.0,
+                    stream_efficiency: 0.80,
+                },
+                concurrency: ConcurrencyConfig {
+                    // A single in-order thread holds one 16-byte L1 miss at a time;
+                    // prefetch only reaches the L2, so it barely helps (Section 6.1).
+                    baseline_outstanding: 1.0,
+                    prefetch_outstanding: 1.15,
+                    request_bytes: 16.0,
+                    threads_per_core: 4,
+                },
+                socket_power_w: 72.0,
+                system_power_w: 267.0,
+            },
+            PlatformId::CellPs3 => Platform {
+                id,
+                core_kind: CoreKind::SpeLocalStore,
+                clock_ghz: 3.2,
+                cores_per_socket: 6,
+                peak_gflops_per_core: 1.83,
+                cache: None,
+                local_store_bytes: Some(256 * 1024),
+                memory: MemoryConfig {
+                    peak_gbs_per_socket: 25.6,
+                    sockets: 1,
+                    numa: false,
+                    remote_fraction: 1.0,
+                    latency_ns: 90.0,
+                    stream_efficiency: 0.92,
+                },
+                concurrency: ConcurrencyConfig {
+                    // Effective time-averaged DMA concurrency of one SPE's MFC when
+                    // the SpMV kernel issues 2KB-class transfers: roughly 3 GB/s
+                    // without double buffering and ~7 GB/s with it, consistent with
+                    // the per-SPE rates reported for the Cell SpMV of reference [13].
+                    baseline_outstanding: 0.13,
+                    prefetch_outstanding: 0.30,
+                    request_bytes: 2048.0,
+                    threads_per_core: 1,
+                },
+                socket_power_w: 100.0,
+                system_power_w: 200.0,
+            },
+            PlatformId::CellBlade => Platform {
+                id,
+                core_kind: CoreKind::SpeLocalStore,
+                clock_ghz: 3.2,
+                cores_per_socket: 8,
+                peak_gflops_per_core: 1.83,
+                cache: None,
+                local_store_bytes: Some(256 * 1024),
+                memory: MemoryConfig {
+                    peak_gbs_per_socket: 25.6,
+                    sockets: 2,
+                    numa: true,
+                    remote_fraction: 0.55,
+                    latency_ns: 90.0,
+                    stream_efficiency: 0.92,
+                },
+                concurrency: ConcurrencyConfig {
+                    baseline_outstanding: 0.13,
+                    prefetch_outstanding: 0.30,
+                    request_bytes: 2048.0,
+                    threads_per_core: 1,
+                },
+                socket_power_w: 200.0,
+                system_power_w: 315.0,
+            },
+        }
+    }
+
+    /// Total cores in the system.
+    pub fn total_cores(&self) -> usize {
+        self.cores_per_socket * self.memory.sockets
+    }
+
+    /// Total hardware threads in the system.
+    pub fn total_threads(&self) -> usize {
+        self.total_cores() * self.concurrency.threads_per_core
+    }
+
+    /// Peak double-precision Gflop/s for the whole system (Table 1's "DP Gflop/s" row).
+    pub fn peak_gflops_system(&self) -> f64 {
+        self.peak_gflops_per_core * self.total_cores() as f64
+    }
+
+    /// Peak DRAM bandwidth of the whole system in GB/s (Table 1's "System DRAM" row).
+    pub fn peak_gbs_system(&self) -> f64 {
+        self.memory.peak_gbs_per_socket * self.memory.sockets as f64
+    }
+
+    /// The system flop:byte ratio of Table 1 (peak flops over peak bandwidth).
+    pub fn system_flop_byte_ratio(&self) -> f64 {
+        self.peak_gflops_system() / self.peak_gbs_system()
+    }
+
+    /// Aggregate outer-cache (L2 / local store) capacity in bytes for the whole
+    /// system — the quantity that decides whether a matrix's vectors fit on chip
+    /// (the Economics superlinearity discussion in Section 6.3).
+    pub fn total_onchip_bytes(&self) -> usize {
+        match (&self.cache, self.local_store_bytes) {
+            (Some(c), _) => {
+                let domains = self.total_cores() / c.l2_shared_by.max(1);
+                c.l2_bytes * domains.max(1)
+            }
+            (None, Some(ls)) => ls * self.total_cores(),
+            (None, None) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_peak_flops() {
+        // Paper Table 1 "DP Gflop/s" system row: 17.6, 74.7, 8, 11, 29.
+        assert!((PlatformId::AmdX2.platform().peak_gflops_system() - 17.6).abs() < 0.1);
+        assert!((PlatformId::Clovertown.platform().peak_gflops_system() - 74.7).abs() < 0.4);
+        assert!((PlatformId::Niagara.platform().peak_gflops_system() - 8.0).abs() < 0.1);
+        assert!((PlatformId::CellPs3.platform().peak_gflops_system() - 11.0).abs() < 0.1);
+        assert!((PlatformId::CellBlade.platform().peak_gflops_system() - 29.3).abs() < 0.4);
+    }
+
+    #[test]
+    fn table1_peak_bandwidth() {
+        // Paper Table 1 "System DRAM (GB/s)": 21.2, 21.2, 25.6, 25.6, 51.2.
+        assert!((PlatformId::AmdX2.platform().peak_gbs_system() - 21.3).abs() < 0.2);
+        assert!((PlatformId::Clovertown.platform().peak_gbs_system() - 21.3).abs() < 0.2);
+        assert!((PlatformId::Niagara.platform().peak_gbs_system() - 25.6).abs() < 0.1);
+        assert!((PlatformId::CellPs3.platform().peak_gbs_system() - 25.6).abs() < 0.1);
+        assert!((PlatformId::CellBlade.platform().peak_gbs_system() - 51.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn table1_flop_byte_ratios() {
+        // Paper Table 1 "System Flop:Byte ratio": 0.83, 3.52, 0.31, 0.43, 0.57.
+        assert!((PlatformId::AmdX2.platform().system_flop_byte_ratio() - 0.83).abs() < 0.03);
+        assert!((PlatformId::Clovertown.platform().system_flop_byte_ratio() - 3.52).abs() < 0.1);
+        assert!((PlatformId::Niagara.platform().system_flop_byte_ratio() - 0.31).abs() < 0.02);
+        assert!((PlatformId::CellPs3.platform().system_flop_byte_ratio() - 0.43).abs() < 0.02);
+        assert!((PlatformId::CellBlade.platform().system_flop_byte_ratio() - 0.57).abs() < 0.02);
+    }
+
+    #[test]
+    fn core_and_thread_counts() {
+        assert_eq!(PlatformId::AmdX2.platform().total_cores(), 4);
+        assert_eq!(PlatformId::Clovertown.platform().total_cores(), 8);
+        assert_eq!(PlatformId::Niagara.platform().total_cores(), 8);
+        assert_eq!(PlatformId::Niagara.platform().total_threads(), 32);
+        assert_eq!(PlatformId::CellPs3.platform().total_cores(), 6);
+        assert_eq!(PlatformId::CellBlade.platform().total_cores(), 16);
+    }
+
+    #[test]
+    fn onchip_capacity() {
+        // Clovertown: 16MB aggregate L2 (4 domains of 4MB).
+        assert_eq!(PlatformId::Clovertown.platform().total_onchip_bytes(), 16 * 1024 * 1024);
+        // AMD X2: 4 x 1MB victim caches.
+        assert_eq!(PlatformId::AmdX2.platform().total_onchip_bytes(), 4 * 1024 * 1024);
+        // Niagara: one shared 3MB L2.
+        assert_eq!(PlatformId::Niagara.platform().total_onchip_bytes(), 3 * 1024 * 1024);
+        // Cell blade: 16 SPEs x 256KB local store.
+        assert_eq!(PlatformId::CellBlade.platform().total_onchip_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn cell_has_local_store_not_cache() {
+        let cell = PlatformId::CellPs3.platform();
+        assert!(cell.cache.is_none());
+        assert_eq!(cell.local_store_bytes, Some(256 * 1024));
+        let amd = PlatformId::AmdX2.platform();
+        assert!(amd.cache.is_some());
+        assert!(amd.local_store_bytes.is_none());
+    }
+
+    #[test]
+    fn niagara_l1_lines_are_16_bytes() {
+        let cache = PlatformId::Niagara.platform().cache.unwrap();
+        assert_eq!(cache.l1_line_bytes, 16);
+        assert_eq!(cache.l1_bytes, 8 * 1024);
+    }
+
+    #[test]
+    fn power_matches_table1() {
+        assert_eq!(PlatformId::AmdX2.platform().system_power_w, 275.0);
+        assert_eq!(PlatformId::Clovertown.platform().system_power_w, 333.0);
+        assert_eq!(PlatformId::Niagara.platform().system_power_w, 267.0);
+        assert_eq!(PlatformId::CellPs3.platform().system_power_w, 200.0);
+        assert_eq!(PlatformId::CellBlade.platform().system_power_w, 315.0);
+    }
+
+    #[test]
+    fn names_and_ordering() {
+        let all = PlatformId::all();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].name(), "AMD X2");
+        assert_eq!(all[4].name(), "Cell Blade");
+    }
+}

@@ -1,0 +1,20 @@
+//! # spmv-baseline
+//!
+//! The two baselines the paper compares its multicore SpMV against (Section 2.1):
+//!
+//! * [`oski`] — a serial, OSKI-style autotuned SpMV: register-blocked CSR chosen by
+//!   combining a fill-ratio scan with an offline dense-matrix performance profile
+//!   (the SPARSITY heuristic), with none of the paper's explicit low-level code
+//!   optimizations or multicore awareness.
+//! * [`petsc`] — an "OSKI-PETSc" style parallel baseline: PETSc's default block-row
+//!   (equal rows per process) distribution, each process running the serial OSKI
+//!   kernel, with inter-process communication performed by explicit memory copies in
+//!   the style of MPICH's shared-memory device. The two effects the paper measures —
+//!   copy-based communication overhead (30–56% of runtime) and equal-rows load
+//!   imbalance — are modelled and measurable.
+
+pub mod oski;
+pub mod petsc;
+
+pub use oski::OskiMatrix;
+pub use petsc::{OskiPetsc, PetscCommStats};

@@ -1,0 +1,306 @@
+//! OSKI-PETSc style parallel baseline.
+//!
+//! The paper's "off-the-shelf" parallel comparison runs PETSc's distributed-memory
+//! SpMV — a 1-D block-row decomposition with *equal rows per process* — with OSKI
+//! tuning the per-process serial kernel, over MPICH's shared-memory device where
+//! message passing is realized as memory copies. Its two weaknesses, which the paper
+//! measures (Section 6.2), are reproduced faithfully:
+//!
+//! * **Communication by copying** — each process must gather the remote source-vector
+//!   entries its off-diagonal blocks touch; in ch_shmem that is an explicit copy
+//!   through a shared buffer, and it averaged 30% (up to 56% for LP) of SpMV time.
+//! * **Load imbalance** — equal rows is not equal nonzeros; for FEM-Accel one process
+//!   ends up with 40% of the nonzeros in a 4-process run.
+
+use crate::oski::OskiMatrix;
+use spmv_core::formats::{CooMatrix, CsrMatrix};
+use spmv_core::partition::row::{partition_rows_equal, RowPartition};
+use spmv_core::tuning::search::DenseProfile;
+use spmv_core::MatrixShape;
+use std::ops::Range;
+
+/// Communication statistics for one SpMV of the PETSc-style baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PetscCommStats {
+    /// Total ghost (remote source-vector) entries gathered per SpMV, summed over
+    /// processes.
+    pub ghost_entries: usize,
+    /// Bytes copied through the shared-memory "network" per SpMV.
+    pub bytes_copied: usize,
+    /// Bytes of matrix data streamed per SpMV (for computing the communication
+    /// fraction).
+    pub matrix_bytes: usize,
+    /// Load imbalance of the equal-rows decomposition (max nonzeros / mean nonzeros).
+    pub load_imbalance: f64,
+}
+
+impl PetscCommStats {
+    /// Estimated fraction of SpMV time spent communicating, assuming copies move at
+    /// the same sustained bandwidth as the matrix stream (both are memory-bound memcpy
+    /// -like traffic on the shared-memory device). Copies are charged twice — once
+    /// written by the owner, once read by the consumer — which is what ch_shmem does.
+    pub fn communication_fraction(&self) -> f64 {
+        let comm = (2 * self.bytes_copied) as f64;
+        let total = comm + self.matrix_bytes as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            comm / total
+        }
+    }
+}
+
+/// One MPI-rank-worth of the decomposition.
+#[derive(Debug, Clone)]
+struct PetscRank {
+    /// Global rows owned by this rank.
+    rows: Range<usize>,
+    /// Global columns owned by this rank (the square-matrix convention: same as rows
+    /// clipped to the column space).
+    cols: Range<usize>,
+    /// OSKI-tuned diagonal block (columns within `cols`), indexed by local column.
+    diag: OskiMatrix,
+    /// OSKI-tuned off-diagonal block, indexed by ghost slot.
+    offdiag: OskiMatrix,
+    /// Global column index of each ghost slot, sorted ascending.
+    ghost_cols: Vec<usize>,
+}
+
+/// The OSKI-PETSc baseline: equal-rows block-row decomposition, per-rank OSKI tuning,
+/// and copy-based halo exchange.
+#[derive(Debug, Clone)]
+pub struct OskiPetsc {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    partition: RowPartition,
+    ranks: Vec<PetscRank>,
+}
+
+impl OskiPetsc {
+    /// Decompose `csr` over `nprocs` processes, PETSc-style.
+    pub fn new(csr: &CsrMatrix, nprocs: usize, profile: &DenseProfile) -> Self {
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let partition = partition_rows_equal(nrows, nprocs);
+        // Columns are distributed with the same boundaries (clipped to ncols), the
+        // PETSc convention for square matrices; rectangular matrices put the excess
+        // columns on the last rank.
+        let col_bounds: Vec<Range<usize>> = partition
+            .ranges
+            .iter()
+            .enumerate()
+            .map(|(p, r)| {
+                if p + 1 == nprocs {
+                    r.start.min(ncols)..ncols
+                } else {
+                    r.start.min(ncols)..r.end.min(ncols)
+                }
+            })
+            .collect();
+
+        let mut ranks = Vec::with_capacity(nprocs);
+        for (p, rows) in partition.ranges.iter().enumerate() {
+            let cols = col_bounds[p].clone();
+            // Split this rank's rows into diagonal and off-diagonal blocks.
+            let local_rows = rows.end - rows.start;
+            let mut diag = CooMatrix::new(local_rows, cols.end - cols.start);
+            let mut ghost_cols: Vec<usize> = Vec::new();
+            let mut offdiag_entries: Vec<(usize, usize, f64)> = Vec::new();
+            for row in rows.clone() {
+                for k in csr.row_ptr()[row]..csr.row_ptr()[row + 1] {
+                    let col = csr.col_idx()[k] as usize;
+                    let val = csr.values()[k];
+                    if cols.contains(&col) {
+                        diag.push(row - rows.start, col - cols.start, val);
+                    } else {
+                        ghost_cols.push(col);
+                        offdiag_entries.push((row - rows.start, col, val));
+                    }
+                }
+            }
+            ghost_cols.sort_unstable();
+            ghost_cols.dedup();
+            let mut offdiag = CooMatrix::new(local_rows, ghost_cols.len().max(1));
+            for (r, gc, v) in offdiag_entries {
+                let slot = ghost_cols.binary_search(&gc).expect("ghost present");
+                offdiag.push(r, slot, v);
+            }
+            ranks.push(PetscRank {
+                rows: rows.clone(),
+                cols,
+                diag: OskiMatrix::tune_with_profile(&CsrMatrix::from_coo(&diag), profile),
+                offdiag: OskiMatrix::tune_with_profile(&CsrMatrix::from_coo(&offdiag), profile),
+                ghost_cols,
+            });
+        }
+        OskiPetsc { nrows, ncols, nnz: csr.nnz(), partition, ranks }
+    }
+
+    /// Number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Communication and balance statistics for one SpMV.
+    pub fn comm_stats(&self) -> PetscCommStats {
+        let ghost_entries: usize = self.ranks.iter().map(|r| r.ghost_cols.len()).sum();
+        let matrix_bytes: usize = self
+            .ranks
+            .iter()
+            .map(|r| r.diag.footprint_bytes() + r.offdiag.footprint_bytes())
+            .sum();
+        let loads: Vec<usize> =
+            self.ranks.iter().map(|r| r.diag.nnz() + r.offdiag.nnz()).collect();
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        let mean = if loads.is_empty() {
+            0.0
+        } else {
+            loads.iter().sum::<usize>() as f64 / loads.len() as f64
+        };
+        PetscCommStats {
+            ghost_entries,
+            bytes_copied: ghost_entries * 8,
+            matrix_bytes,
+            load_imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+        }
+    }
+
+    /// Execute `y ← y + A·x`, performing the halo exchange by explicit copies exactly
+    /// as the shared-memory MPI device would.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+        for rank in &self.ranks {
+            // "Message passing": gather the ghost entries through an intermediate
+            // buffer (the shared-memory segment), then the local compute.
+            let shared_segment: Vec<f64> = rank.ghost_cols.iter().map(|&c| x[c]).collect();
+            let ghost_values: Vec<f64> = shared_segment.to_vec();
+
+            let y_local = &mut y[rank.rows.start..rank.rows.end];
+            let x_local = &x[rank.cols.start.min(x.len())..rank.cols.end.min(x.len())];
+            rank.diag.spmv(x_local, y_local);
+            if !rank.ghost_cols.is_empty() {
+                rank.offdiag.spmv(&ghost_values, y_local);
+            }
+        }
+    }
+
+    /// Allocate-and-multiply convenience wrapper.
+    pub fn spmv_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.spmv(x, &mut y);
+        y
+    }
+
+    /// The equal-rows partition (exposed so the performance model can charge its
+    /// imbalance).
+    pub fn partition(&self) -> &RowPartition {
+        &self.partition
+    }
+
+    /// Logical nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::dense::max_abs_diff;
+    use spmv_core::formats::SpMv;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    fn skewed_csr(nrows: usize) -> CsrMatrix {
+        // The first tenth of the rows holds the bulk of the nonzeros (FEM-Accel-like
+        // imbalance for an equal-rows split).
+        let mut coo = CooMatrix::new(nrows, nrows);
+        for i in 0..nrows / 10 {
+            for j in 0..40 {
+                coo.push(i, (i * 7 + j * 13) % nrows, 1.0);
+            }
+        }
+        for i in nrows / 10..nrows {
+            coo.push(i, i, 1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn petsc_spmv_matches_reference() {
+        let csr = random_csr(400, 400, 6000, 1);
+        let x: Vec<f64> = (0..400).map(|i| (i as f64 * 0.05).cos()).collect();
+        let reference = csr.spmv_alloc(&x);
+        for procs in [1, 2, 4, 8] {
+            let petsc = OskiPetsc::new(&csr, procs, &DenseProfile::synthetic());
+            let y = petsc.spmv_alloc(&x);
+            assert!(max_abs_diff(&reference, &y) < 1e-9, "procs={procs}");
+            assert_eq!(petsc.nprocs(), procs);
+        }
+    }
+
+    #[test]
+    fn rectangular_matrix_supported() {
+        let csr = random_csr(60, 500, 2000, 2);
+        let x: Vec<f64> = (0..500).map(|i| i as f64 * 0.01).collect();
+        let reference = csr.spmv_alloc(&x);
+        let petsc = OskiPetsc::new(&csr, 4, &DenseProfile::synthetic());
+        assert!(max_abs_diff(&reference, &petsc.spmv_alloc(&x)) < 1e-9);
+    }
+
+    #[test]
+    fn communication_grows_with_process_count() {
+        let csr = random_csr(600, 600, 12_000, 3);
+        let two = OskiPetsc::new(&csr, 2, &DenseProfile::synthetic()).comm_stats();
+        let eight = OskiPetsc::new(&csr, 8, &DenseProfile::synthetic()).comm_stats();
+        assert!(eight.ghost_entries > two.ghost_entries);
+        assert!(eight.communication_fraction() > two.communication_fraction());
+        assert!(two.communication_fraction() > 0.0);
+    }
+
+    #[test]
+    fn single_process_has_no_communication() {
+        let csr = random_csr(200, 200, 3000, 4);
+        let one = OskiPetsc::new(&csr, 1, &DenseProfile::synthetic());
+        let stats = one.comm_stats();
+        assert_eq!(stats.ghost_entries, 0);
+        assert_eq!(stats.communication_fraction(), 0.0);
+        assert!((stats.load_imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_rows_split_is_imbalanced_on_skewed_matrices() {
+        let csr = skewed_csr(1000);
+        let petsc = OskiPetsc::new(&csr, 4, &DenseProfile::synthetic());
+        let stats = petsc.comm_stats();
+        // One process ends up with the lion's share of the nonzeros, like the paper's
+        // FEM-Accel observation (40% of nonzeros on one of four processes).
+        assert!(stats.load_imbalance > 2.0, "imbalance {}", stats.load_imbalance);
+        // The nonzero-balanced partition of the paper's own implementation fixes it.
+        let balanced = spmv_core::partition::row::partition_rows_balanced(&csr, 4);
+        assert!(balanced.imbalance(&csr) < 1.3);
+    }
+
+    #[test]
+    fn comm_fraction_is_within_unit_interval() {
+        let csr = random_csr(300, 300, 2000, 5);
+        let petsc = OskiPetsc::new(&csr, 6, &DenseProfile::synthetic());
+        let f = petsc.comm_stats().communication_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+}

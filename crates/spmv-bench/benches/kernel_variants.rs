@@ -1,0 +1,49 @@
+//! Native Criterion benchmark of the CSR code-optimization variants (paper §4.1)
+//! on the host CPU: naive vs single-loop vs branchless vs pipelined vs unrolled vs
+//! prefetch, on a long-row (FEM) and a short-row (circuit) matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::formats::CsrMatrix;
+use spmv_core::kernels::KernelVariant;
+use spmv_core::MatrixShape;
+use spmv_matrices::suite::{Scale, SuiteMatrix};
+use std::hint::black_box;
+
+fn bench_kernel_variants(c: &mut Criterion) {
+    for matrix in [SuiteMatrix::FemCantilever, SuiteMatrix::Circuit] {
+        let csr = CsrMatrix::from_coo(&matrix.generate(Scale::Small));
+        let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+        let mut group = c.benchmark_group(format!("kernel_variants/{}", matrix.id()));
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        for variant in [
+            KernelVariant::Naive,
+            KernelVariant::SingleLoop,
+            KernelVariant::Branchless,
+            KernelVariant::Pipelined,
+            KernelVariant::Unrolled4,
+            KernelVariant::Unrolled8,
+            KernelVariant::Prefetch(64),
+            KernelVariant::PrefetchNta(64),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(variant.name()),
+                &variant,
+                |b, variant| {
+                    let mut y = vec![0.0; csr.nrows()];
+                    b.iter(|| {
+                        variant.execute(black_box(&csr), black_box(&x), &mut y);
+                        black_box(&y);
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_kernel_variants
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Regenerate paper Figure 1: per-matrix SpMV performance on each platform with
+//! increasing degrees of optimization and parallelism, plus the OSKI and OSKI-PETSc
+//! baselines on the x86 platforms.
+//!
+//! Output is one table per platform panel (rows = matrices, columns = optimization
+//! rungs), followed by the median row the paper's Figure 2 summarizes, and the
+//! headline speedup ratios quoted in Sections 6.2–6.5.
+
+use spmv_archsim::platforms::PlatformId;
+use spmv_bench::experiments::{ladder_for, median, run_ladder};
+use spmv_bench::format::{parse_scale_arg, render_table};
+use spmv_core::formats::CsrMatrix;
+use spmv_matrices::suite::{Scale, SuiteMatrix};
+
+fn main() {
+    let scale = parse_scale_arg(Scale::Quarter);
+    eprintln!("generating the 14-matrix suite at scale {scale:?}...");
+    let suite: Vec<(SuiteMatrix, CsrMatrix)> = SuiteMatrix::all()
+        .iter()
+        .map(|m| {
+            eprintln!("  {}", m.id());
+            (*m, CsrMatrix::from_coo(&m.generate(scale)))
+        })
+        .collect();
+
+    for platform in PlatformId::all() {
+        let ladder = ladder_for(platform);
+        let header: Vec<&str> = std::iter::once("Matrix")
+            .chain(ladder.iter().map(|r| r.label))
+            .collect();
+        let mut rows = Vec::new();
+        let mut per_rung: Vec<Vec<f64>> = vec![Vec::new(); ladder.len()];
+        for (matrix, csr) in &suite {
+            eprintln!("  {} / {}", platform.name(), matrix.id());
+            let results = run_ladder(platform, *matrix, csr);
+            let mut row = vec![matrix.spec().name.to_string()];
+            for (i, r) in results.iter().enumerate() {
+                row.push(format!("{:.2}", r.gflops));
+                per_rung[i].push(r.gflops);
+            }
+            rows.push(row);
+        }
+        // Median row, as in the paper's figures.
+        let mut median_row = vec!["Median".to_string()];
+        let medians: Vec<f64> = per_rung.iter().map(|v| median(&mut v.clone())).collect();
+        for m in &medians {
+            median_row.push(format!("{m:.2}"));
+        }
+        rows.push(median_row);
+        println!(
+            "{}",
+            render_table(
+                &format!("Figure 1 ({}): effective SpMV Gflop/s", platform.name()),
+                &header,
+                &rows
+            )
+        );
+
+        // Headline ratios (Sections 6.2-6.5).
+        let label_idx =
+            |label: &str| ladder.iter().position(|r| r.label == label);
+        match platform {
+            PlatformId::AmdX2 | PlatformId::Clovertown => {
+                let naive = medians[label_idx("1 Core - Naive").unwrap()];
+                let best_serial = medians[label_idx("1 Core [PF,RB,CB]").unwrap()];
+                let socket = medians[label_idx("1 Socket [*]").unwrap()];
+                let system = medians[label_idx("Full System [*]").unwrap()];
+                let oski = medians[label_idx("OSKI").unwrap()];
+                let petsc = medians[label_idx("OSKI-PETSc").unwrap()];
+                println!("  median serial speedup over naive:      {:.2}x", best_serial / naive);
+                println!("  median serial speedup over OSKI:       {:.2}x", best_serial / oski);
+                println!("  median socket speedup over serial:     {:.2}x", socket / best_serial);
+                println!("  median full-system speedup over serial:{:.2}x", system / best_serial);
+                println!("  median full-system speedup over PETSc: {:.2}x", system / petsc);
+            }
+            PlatformId::Niagara => {
+                let serial = medians[label_idx("1 Core [PF,RB,CB]").unwrap()];
+                let t8 = medians[label_idx("8 Cores x 1 Thread [*]").unwrap()];
+                let t16 = medians[label_idx("8 Cores x 2 Threads [*]").unwrap()];
+                let t32 = medians[label_idx("8 Cores x 4 Threads [*]").unwrap()];
+                println!("  speedup of  8 threads over 1 thread: {:.1}x", t8 / serial);
+                println!("  speedup of 16 threads over 1 thread: {:.1}x", t16 / serial);
+                println!("  speedup of 32 threads over 1 thread: {:.1}x", t32 / serial);
+            }
+            PlatformId::CellPs3 | PlatformId::CellBlade => {
+                let one = medians[0];
+                let last = medians[medians.len() - 1];
+                println!("  speedup of full configuration over 1 SPE: {:.1}x", last / one);
+            }
+        }
+        println!();
+    }
+    println!("Paper reference (median, Sections 6.2-6.5): AMD X2 1.4x serial over naive, 1.2x over OSKI,");
+    println!("3.3x full system over serial, 3.2x over OSKI-PETSc; Clovertown 1.1x serial over naive,");
+    println!("2.3x full system over serial; Niagara 7.6x/13.8x/21.2x for 8/16/32 threads;");
+    println!("Cell blade 9.9x for 16 SPEs over one.");
+}

@@ -1,0 +1,92 @@
+//! Regenerate paper Figure 2: (a) median-matrix performance per platform at one core,
+//! one socket, and full system; (b) full-system power efficiency in Mflop/s per watt.
+
+use spmv_archsim::platforms::PlatformId;
+use spmv_archsim::power::power_efficiency;
+use spmv_bench::experiments::{median, run_rung, Rung, RungKind};
+use spmv_bench::format::{parse_scale_arg, render_table};
+use spmv_core::formats::CsrMatrix;
+use spmv_matrices::suite::{Scale, SuiteMatrix};
+
+fn scopes_for(platform: PlatformId) -> [Rung; 3] {
+    match platform {
+        PlatformId::AmdX2 | PlatformId::Clovertown => [
+            Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "1 core" },
+            Rung { kind: RungKind::FullSocket, label: "1 socket" },
+            Rung { kind: RungKind::FullSystem, label: "full system" },
+        ],
+        PlatformId::Niagara => [
+            Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "1 core" },
+            Rung { kind: RungKind::NiagaraThreads(1), label: "1 socket" },
+            Rung { kind: RungKind::NiagaraThreads(4), label: "full system" },
+        ],
+        PlatformId::CellPs3 => [
+            Rung { kind: RungKind::CellSpes(1, 1), label: "1 core" },
+            Rung { kind: RungKind::CellSpes(6, 1), label: "1 socket" },
+            Rung { kind: RungKind::CellSpes(6, 1), label: "full system" },
+        ],
+        PlatformId::CellBlade => [
+            Rung { kind: RungKind::CellSpes(1, 1), label: "1 core" },
+            Rung { kind: RungKind::CellSpes(8, 1), label: "1 socket" },
+            Rung { kind: RungKind::CellSpes(16, 2), label: "full system" },
+        ],
+    }
+}
+
+fn main() {
+    let scale = parse_scale_arg(Scale::Quarter);
+    eprintln!("generating the 14-matrix suite at scale {scale:?}...");
+    let suite: Vec<(SuiteMatrix, CsrMatrix)> = SuiteMatrix::all()
+        .iter()
+        .map(|m| (*m, CsrMatrix::from_coo(&m.generate(scale))))
+        .collect();
+
+    let mut perf_rows = Vec::new();
+    let mut power_rows = Vec::new();
+    for platform in PlatformId::all() {
+        eprintln!("  {}", platform.name());
+        let rungs = scopes_for(platform);
+        let mut row = vec![platform.name().to_string()];
+        let mut full_system_median = 0.0;
+        for (i, rung) in rungs.iter().enumerate() {
+            let mut values: Vec<f64> = suite
+                .iter()
+                .map(|(matrix, csr)| run_rung(platform, *matrix, csr, rung).gflops)
+                .collect();
+            let m = median(&mut values);
+            row.push(format!("{m:.2}"));
+            if i == 2 {
+                full_system_median = m;
+            }
+        }
+        perf_rows.push(row);
+
+        let eff = power_efficiency(&platform.platform(), full_system_median);
+        power_rows.push(vec![
+            platform.name().to_string(),
+            format!("{full_system_median:.2}"),
+            format!("{:.0}", platform.platform().system_power_w),
+            format!("{:.1}", eff.mflops_per_system_watt),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Figure 2(a): median-matrix SpMV performance (Gflop/s)",
+            &["Platform", "1 core", "1 socket", "full system"],
+            &perf_rows
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            "Figure 2(b): power efficiency (full-system Mflop/s per full-system Watt)",
+            &["Platform", "Median Gflop/s", "System Watts", "Mflop/s per Watt"],
+            &power_rows
+        )
+    );
+    println!("Paper reference: the Cell blade leads both charts — roughly 3.4x/3.6x/12.8x the");
+    println!("single-socket performance of Clovertown/AMD X2/Niagara, and 2.1x/3.5x/5.2x their");
+    println!("power efficiency (with the PS3 close behind the blade).");
+}

@@ -1,0 +1,52 @@
+//! Regenerate paper Table 3: the sparse matrix suite, comparing the paper's reported
+//! structure with the synthetic reproduction's measured structure at the chosen scale.
+
+use spmv_bench::format::{parse_scale_arg, render_table};
+use spmv_core::formats::CsrMatrix;
+use spmv_core::stats::MatrixStats;
+use spmv_core::MatrixShape;
+use spmv_matrices::suite::{Scale, SuiteMatrix};
+
+fn main() {
+    let scale = parse_scale_arg(Scale::Small);
+    let mut rows = Vec::new();
+    for m in SuiteMatrix::all() {
+        let spec = m.spec();
+        let coo = m.generate(scale);
+        let csr = CsrMatrix::from_coo(&coo);
+        let stats = MatrixStats::compute(&csr);
+        rows.push(vec![
+            spec.name.to_string(),
+            spec.filename.to_string(),
+            format!("{}K", spec.rows / 1000),
+            format!("{}K", spec.cols / 1000),
+            format!("{:.1}M", spec.nnz as f64 / 1e6),
+            format!("{:.1}", spec.nnz_per_row),
+            format!("{}x{}", csr.nrows(), csr.ncols()),
+            format!("{:.1}", stats.nnz_per_row_mean),
+            format!("{:.2}", stats.fill_2x2),
+            format!("{:.2}", stats.diagonal_fraction),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!("Table 3: matrix suite (synthetic reproduction at scale {scale:?})"),
+            &[
+                "Matrix",
+                "Original file",
+                "Rows (paper)",
+                "Cols (paper)",
+                "NNZ (paper)",
+                "NNZ/row (paper)",
+                "Synthetic dims",
+                "NNZ/row (ours)",
+                "2x2 fill (ours)",
+                "Diag frac (ours)",
+            ],
+            &rows
+        )
+    );
+    println!("The synthetic generators match the structural profile (nonzeros per row, block");
+    println!("substructure, aspect ratio, diagonal concentration), not the numerical values.");
+}

@@ -1,0 +1,93 @@
+//! Regenerate paper Table 4: sustained memory bandwidth and computational rate for
+//! the dense matrix stored in sparse format, on one core, one full socket, and the
+//! full system of every platform.
+
+use spmv_archsim::platforms::PlatformId;
+use spmv_bench::experiments::{run_rung, Rung, RungKind};
+use spmv_bench::format::{gbs_with_pct, gflops_with_pct, parse_scale_arg, render_table};
+use spmv_core::formats::CsrMatrix;
+use spmv_matrices::suite::{Scale, SuiteMatrix};
+
+fn main() {
+    let scale = parse_scale_arg(Scale::Full);
+    eprintln!("generating dense matrix at scale {scale:?}...");
+    let csr = CsrMatrix::from_coo(&SuiteMatrix::Dense.generate(scale));
+
+    // The three columns of Table 4 map onto these rungs per platform.
+    let scopes: Vec<(PlatformId, [Rung; 3])> = vec![
+        (
+            PlatformId::AmdX2,
+            [
+                Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "one core" },
+                Rung { kind: RungKind::FullSocket, label: "1 full socket" },
+                Rung { kind: RungKind::FullSystem, label: "full system" },
+            ],
+        ),
+        (
+            PlatformId::Clovertown,
+            [
+                Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "one core" },
+                Rung { kind: RungKind::FullSocket, label: "1 full socket" },
+                Rung { kind: RungKind::FullSystem, label: "full system" },
+            ],
+        ),
+        (
+            PlatformId::Niagara,
+            [
+                Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "one core" },
+                Rung { kind: RungKind::NiagaraThreads(1), label: "1 full socket" },
+                Rung { kind: RungKind::NiagaraThreads(4), label: "full system" },
+            ],
+        ),
+        (
+            PlatformId::CellPs3,
+            [
+                Rung { kind: RungKind::CellSpes(1, 1), label: "one core" },
+                Rung { kind: RungKind::CellSpes(6, 1), label: "1 full socket" },
+                Rung { kind: RungKind::CellSpes(6, 1), label: "full system" },
+            ],
+        ),
+        (
+            PlatformId::CellBlade,
+            [
+                Rung { kind: RungKind::CellSpes(1, 1), label: "one core" },
+                Rung { kind: RungKind::CellSpes(8, 1), label: "1 full socket" },
+                Rung { kind: RungKind::CellSpes(16, 2), label: "full system" },
+            ],
+        ),
+    ];
+
+    let mut bw_rows = Vec::new();
+    let mut flop_rows = Vec::new();
+    for (platform, rungs) in &scopes {
+        let p = platform.platform();
+        let mut bw_row = vec![platform.name().to_string()];
+        let mut flop_row = vec![platform.name().to_string()];
+        for rung in rungs {
+            let r = run_rung(*platform, SuiteMatrix::Dense, &csr, rung);
+            bw_row.push(gbs_with_pct(r.consumed_gbs, p.peak_gbs_system()));
+            flop_row.push(gflops_with_pct(r.gflops, p.peak_gflops_system()));
+        }
+        bw_rows.push(bw_row);
+        flop_rows.push(flop_row);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Table 4a: Sustained memory bandwidth, dense matrix in sparse format — GB/s (% of system peak)",
+            &["Machine", "one core", "1 full socket", "full system"],
+            &bw_rows
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            "Table 4b: Sustained computational rate, dense matrix in sparse format — Gflop/s (% of system peak)",
+            &["Machine", "one core", "1 full socket", "full system"],
+            &flop_rows
+        )
+    );
+    println!("Paper reference (Gflop/s): Niagara 0.065/0.51/1.24, Clovertown 0.89/1.62/2.18,");
+    println!("AMD X2 1.33/1.63/3.09, Cell PS3 0.65/3.67/3.67, Cell Blade 0.65/4.64/6.30.");
+}

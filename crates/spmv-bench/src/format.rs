@@ -1,0 +1,98 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Render a table with a header row and aligned columns, in the style of the paper's
+/// tables (fixed-width plain text suitable for a terminal or a lab notebook).
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+    out.push_str(&"=".repeat(total.max(title.len())));
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(total.max(title.len())));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a Gflop/s value the way the paper's tables do (two decimals).
+pub fn gflops(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a GB/s value with its percentage of a peak.
+pub fn gbs_with_pct(v: f64, peak: f64) -> String {
+    format!("{:.2} ({:.0}%)", v, 100.0 * v / peak)
+}
+
+/// Format a Gflop/s value with its percentage of a peak.
+pub fn gflops_with_pct(v: f64, peak: f64) -> String {
+    format!("{:.2} ({:.1}%)", v, 100.0 * v / peak)
+}
+
+/// Parse the scale argument accepted by every binary (`full`, `quarter`, `small`,
+/// `tiny`); unknown values fall back to the given default with a warning on stderr.
+pub fn parse_scale_arg(default: spmv_matrices::suite::Scale) -> spmv_matrices::suite::Scale {
+    use spmv_matrices::suite::Scale;
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some("full") => Scale::Full,
+        Some("quarter") => Scale::Quarter,
+        Some("small") => Scale::Small,
+        Some("tiny") => Scale::Tiny,
+        Some(other) => {
+            eprintln!("unknown scale '{other}', using default");
+            default
+        }
+        None => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let s = render_table(
+            "Demo",
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1.00".to_string()],
+                vec!["longer-name".to_string(), "2.50".to_string()],
+            ],
+        );
+        assert!(s.contains("Demo"));
+        assert!(s.contains("longer-name | 2.50"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn numeric_formatting() {
+        assert_eq!(gflops(1.234), "1.23");
+        assert_eq!(gbs_with_pct(5.4, 10.8), "5.40 (50%)");
+        assert_eq!(gflops_with_pct(1.0, 4.0), "1.00 (25.0%)");
+    }
+}

@@ -1,0 +1,257 @@
+//! The cache-blocked matrix container.
+//!
+//! After the cache/TLB blocking passes split the matrix into a grid of blocks, the
+//! register-blocking heuristic is applied *independently to each cache block*
+//! (Section 4.2: "it is possible for some cache blocks to be stored in 1x4 BCOO with
+//! 32-bit indices, and others in 4x1 BCSR with 16-bit indices"). This module holds
+//! that per-block choice and executes the blocked SpMV.
+
+use crate::formats::bcoo::BcooMatrix;
+use crate::formats::bcsr::BcsrMatrix;
+use crate::formats::csr::CsrMatrix;
+use crate::formats::gcsr::GcsrMatrix;
+use crate::formats::traits::{check_dims, MatrixShape, SpMv};
+use std::ops::Range;
+
+/// The storage format selected for one cache block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockFormat {
+    /// Plain CSR (used when blocking is disabled or the block is tiny).
+    Csr(CsrMatrix),
+    /// Register-blocked CSR.
+    Bcsr(BcsrMatrix),
+    /// Block-coordinate storage (wins when most rows of the block are empty).
+    Bcoo(BcooMatrix),
+    /// Generalized CSR storing only occupied rows.
+    Gcsr(GcsrMatrix),
+}
+
+impl BlockFormat {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BlockFormat::Csr(_) => "CSR",
+            BlockFormat::Bcsr(_) => "BCSR",
+            BlockFormat::Bcoo(_) => "BCOO",
+            BlockFormat::Gcsr(_) => "GCSR",
+        }
+    }
+
+    /// Bytes of matrix data in this block.
+    pub fn footprint_bytes(&self) -> usize {
+        match self {
+            BlockFormat::Csr(m) => m.footprint_bytes(),
+            BlockFormat::Bcsr(m) => m.footprint_bytes(),
+            BlockFormat::Bcoo(m) => m.footprint_bytes(),
+            BlockFormat::Gcsr(m) => m.footprint_bytes(),
+        }
+    }
+
+    /// Logical nonzeros in this block.
+    pub fn nnz(&self) -> usize {
+        match self {
+            BlockFormat::Csr(m) => m.nnz(),
+            BlockFormat::Bcsr(m) => m.nnz(),
+            BlockFormat::Bcoo(m) => m.nnz(),
+            BlockFormat::Gcsr(m) => m.nnz(),
+        }
+    }
+
+    /// Stored entries (including register-blocking fill).
+    pub fn stored_entries(&self) -> usize {
+        match self {
+            BlockFormat::Csr(m) => m.stored_entries(),
+            BlockFormat::Bcsr(m) => m.stored_entries(),
+            BlockFormat::Bcoo(m) => m.stored_entries(),
+            BlockFormat::Gcsr(m) => m.stored_entries(),
+        }
+    }
+
+    /// Execute `y_local ← y_local + block · x_local` on block-local vectors.
+    pub fn spmv_local(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            BlockFormat::Csr(m) => m.spmv(x, y),
+            BlockFormat::Bcsr(m) => m.spmv(x, y),
+            BlockFormat::Bcoo(m) => m.spmv(x, y),
+            BlockFormat::Gcsr(m) => m.spmv(x, y),
+        }
+    }
+}
+
+/// One cache block: a sub-matrix with its own storage format and its placement in the
+/// global index space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheBlock {
+    /// Global row range this block covers.
+    pub rows: Range<usize>,
+    /// Global column range this block covers.
+    pub cols: Range<usize>,
+    /// Per-block storage.
+    pub format: BlockFormat,
+}
+
+impl CacheBlock {
+    /// Execute this block against the *global* source/destination vectors.
+    pub fn spmv_global(&self, x: &[f64], y: &mut [f64]) {
+        let x_local = &x[self.cols.start..self.cols.end];
+        let y_local = &mut y[self.rows.start..self.rows.end];
+        self.format.spmv_local(x_local, y_local);
+    }
+}
+
+/// A full matrix stored as a grid of independently-formatted cache blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheBlockedMatrix {
+    nrows: usize,
+    ncols: usize,
+    logical_nnz: usize,
+    blocks: Vec<CacheBlock>,
+}
+
+impl CacheBlockedMatrix {
+    /// Assemble from blocks. The caller (the tuner) is responsible for the blocks
+    /// tiling the matrix; overlapping blocks would double-count contributions.
+    pub fn new(nrows: usize, ncols: usize, blocks: Vec<CacheBlock>) -> Self {
+        let logical_nnz = blocks.iter().map(|b| b.format.nnz()).sum();
+        CacheBlockedMatrix { nrows, ncols, logical_nnz, blocks }
+    }
+
+    /// The cache blocks in execution order (row-panel major).
+    pub fn blocks(&self) -> &[CacheBlock] {
+        &self.blocks
+    }
+
+    /// Number of cache blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// A histogram of block format names, for the tuning report.
+    pub fn format_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for b in &self.blocks {
+            let name = b.format.name();
+            match counts.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((name, 1)),
+            }
+        }
+        counts
+    }
+}
+
+impl MatrixShape for CacheBlockedMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn stored_entries(&self) -> usize {
+        self.blocks.iter().map(|b| b.format.stored_entries()).sum()
+    }
+    fn nnz(&self) -> usize {
+        self.logical_nnz
+    }
+    fn footprint_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.format.footprint_bytes()).sum()
+    }
+}
+
+impl SpMv for CacheBlockedMatrix {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        check_dims(self.nrows, self.ncols, x, y);
+        for block in &self.blocks {
+            block.spmv_global(x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::max_abs_diff;
+    use crate::formats::index::IndexWidth;
+    use crate::formats::CooMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_coo(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CooMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        coo
+    }
+
+    /// Build a 2x2 grid of cache blocks with mixed formats by hand.
+    fn hand_blocked(coo: &CooMatrix) -> CacheBlockedMatrix {
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        let rmid = nrows / 2;
+        let cmid = ncols / 2;
+        let mut blocks = Vec::new();
+        let specs = [
+            (0..rmid, 0..cmid),
+            (0..rmid, cmid..ncols),
+            (rmid..nrows, 0..cmid),
+            (rmid..nrows, cmid..ncols),
+        ];
+        for (i, (rows, cols)) in specs.into_iter().enumerate() {
+            let sub = coo.sub_block(rows.clone(), cols.clone());
+            let csr = CsrMatrix::from_coo(&sub);
+            let format = match i {
+                0 => BlockFormat::Csr(csr),
+                1 => BlockFormat::Bcsr(BcsrMatrix::from_csr(&csr, 2, 2, IndexWidth::U16).unwrap()),
+                2 => BlockFormat::Bcoo(BcooMatrix::from_csr(&csr, 1, 2, IndexWidth::U16).unwrap()),
+                _ => BlockFormat::Gcsr(GcsrMatrix::from_csr(&csr, IndexWidth::U16).unwrap()),
+            };
+            blocks.push(CacheBlock { rows, cols, format });
+        }
+        CacheBlockedMatrix::new(nrows, ncols, blocks)
+    }
+
+    #[test]
+    fn mixed_format_blocks_match_reference() {
+        let coo = random_coo(60, 80, 700, 12);
+        let reference = CsrMatrix::from_coo(&coo);
+        let blocked = hand_blocked(&coo);
+        let x: Vec<f64> = (0..80).map(|i| (i as f64 * 0.13).sin()).collect();
+        assert!(max_abs_diff(&reference.spmv_alloc(&x), &blocked.spmv_alloc(&x)) < 1e-10);
+        assert_eq!(blocked.nnz(), reference.nnz());
+        assert_eq!(blocked.num_blocks(), 4);
+    }
+
+    #[test]
+    fn format_histogram_reports_each_kind() {
+        let coo = random_coo(40, 40, 300, 13);
+        let blocked = hand_blocked(&coo);
+        let hist = blocked.format_histogram();
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 4);
+        assert!(hist.iter().any(|(n, _)| *n == "BCSR"));
+        assert!(hist.iter().any(|(n, _)| *n == "BCOO"));
+    }
+
+    #[test]
+    fn footprint_sums_blocks() {
+        let coo = random_coo(30, 30, 100, 14);
+        let blocked = hand_blocked(&coo);
+        let sum: usize = blocked.blocks().iter().map(|b| b.format.footprint_bytes()).sum();
+        assert_eq!(blocked.footprint_bytes(), sum);
+        assert!(blocked.stored_entries() >= blocked.nnz());
+    }
+
+    #[test]
+    fn empty_blocked_matrix() {
+        let m = CacheBlockedMatrix::new(10, 10, vec![]);
+        assert_eq!(m.spmv_alloc(&[1.0; 10]), vec![0.0; 10]);
+        assert_eq!(m.footprint_bytes(), 0);
+        assert_eq!(m.num_blocks(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type shared by the SpMV crates.
+
+use std::fmt;
+
+/// Errors produced while constructing or operating on sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An entry's row or column index lies outside the declared matrix dimensions.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        nrows: usize,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// The dense vector passed to an SpMV call does not match the matrix dimension.
+    DimensionMismatch {
+        /// What was expected (e.g. "source vector of length ncols").
+        expected: usize,
+        /// What was provided.
+        found: usize,
+        /// Human-readable description of which operand mismatched.
+        what: &'static str,
+    },
+    /// A register block dimension was requested that the kernel set does not support.
+    UnsupportedBlockSize {
+        /// Rows per register block.
+        r: usize,
+        /// Columns per register block.
+        c: usize,
+    },
+    /// 16-bit indices were requested but a dimension exceeds `u16::MAX + 1`.
+    IndexWidthOverflow {
+        /// The dimension that does not fit.
+        dimension: usize,
+    },
+    /// The input (e.g. a MatrixMarket stream) could not be parsed.
+    Parse(String),
+    /// An invariant internal to a format was violated (corrupt structure).
+    InvalidStructure(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
+            ),
+            Error::DimensionMismatch { expected, found, what } => write!(
+                f,
+                "dimension mismatch for {what}: expected {expected}, found {found}"
+            ),
+            Error::UnsupportedBlockSize { r, c } => {
+                write!(f, "unsupported register block size {r}x{c}")
+            }
+            Error::IndexWidthOverflow { dimension } => write!(
+                f,
+                "dimension {dimension} does not fit in 16-bit indices"
+            ),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::InvalidStructure(msg) => write!(f, "invalid matrix structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = Error::IndexOutOfBounds { row: 5, col: 7, nrows: 4, ncols: 4 };
+        assert_eq!(e.to_string(), "entry (5, 7) is outside the 4x4 matrix");
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = Error::DimensionMismatch { expected: 10, found: 8, what: "source vector" };
+        assert!(e.to_string().contains("source vector"));
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("8"));
+    }
+
+    #[test]
+    fn display_unsupported_block() {
+        let e = Error::UnsupportedBlockSize { r: 3, c: 5 };
+        assert_eq!(e.to_string(), "unsupported register block size 3x5");
+    }
+
+    #[test]
+    fn display_index_width_overflow() {
+        let e = Error::IndexWidthOverflow { dimension: 100_000 };
+        assert!(e.to_string().contains("100000"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_std_error<E: std::error::Error>(_e: &E) {}
+        assert_std_error(&Error::Parse("bad header".into()));
+    }
+}

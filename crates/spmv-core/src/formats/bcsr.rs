@@ -1,0 +1,358 @@
+//! Register-blocked CSR (BCSR).
+//!
+//! Register blocking (Section 4.2) groups adjacent nonzeros into small `r × c` tiles,
+//! storing one column index per tile rather than one per nonzero, at the cost of
+//! explicitly stored zero fill. The paper limits block dimensions to powers of two up
+//! to 4×4 to enable SIMDization and bound register pressure; this module enforces the
+//! same restriction. Tile column indices may be compressed to 16 bits when the block
+//! column span fits (`ncols / c ≤ 65536`).
+
+use crate::error::{Error, Result};
+use crate::formats::coo::CooMatrix;
+use crate::formats::csr::CsrMatrix;
+use crate::formats::index::{IndexArray, IndexWidth};
+use crate::formats::traits::{check_dims, MatrixShape, SpMv};
+use crate::{INDEX32_BYTES, VALUE_BYTES};
+
+/// Register block dimensions allowed by the paper: powers of two, at most 4.
+pub const ALLOWED_BLOCK_DIMS: [usize; 3] = [1, 2, 4];
+
+/// Return true if `r × c` is a register block shape the kernels support.
+pub fn block_shape_supported(r: usize, c: usize) -> bool {
+    ALLOWED_BLOCK_DIMS.contains(&r) && ALLOWED_BLOCK_DIMS.contains(&c)
+}
+
+/// Register-blocked CSR matrix.
+///
+/// Rows are grouped into block rows of `r` consecutive rows; within each block row,
+/// every column interval of width `c` containing at least one nonzero is stored as a
+/// dense `r × c` tile (row-major within the tile), with zero fill for absent entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    r: usize,
+    c: usize,
+    /// Logical (unfilled) nonzero count, preserved for flop accounting.
+    logical_nnz: usize,
+    /// Block-row pointer: `nblock_rows + 1` entries into `block_col_idx`.
+    block_row_ptr: Vec<usize>,
+    /// Block column index (in units of `c` columns), possibly 16-bit compressed.
+    block_col_idx: IndexArray,
+    /// Tile values, `r * c` per tile, row-major within the tile.
+    values: Vec<f64>,
+}
+
+impl BcsrMatrix {
+    /// Build from CSR with the requested register block shape and index width.
+    pub fn from_csr(
+        csr: &CsrMatrix,
+        r: usize,
+        c: usize,
+        width: IndexWidth,
+    ) -> Result<Self> {
+        if !block_shape_supported(r, c) {
+            return Err(Error::UnsupportedBlockSize { r, c });
+        }
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let nblock_cols = ncols.div_ceil(c);
+        if !width.fits(nblock_cols) {
+            return Err(Error::IndexWidthOverflow { dimension: nblock_cols });
+        }
+        let nblock_rows = nrows.div_ceil(r);
+
+        let mut block_row_ptr = Vec::with_capacity(nblock_rows + 1);
+        block_row_ptr.push(0usize);
+        let mut block_cols_usize: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+
+        // Scratch map from block column -> tile slot for the current block row.
+        // Block rows are processed independently; a sorted merge of the r CSR rows
+        // discovers the set of occupied block columns.
+        for brow in 0..nblock_rows {
+            let row_lo = brow * r;
+            let row_hi = (row_lo + r).min(nrows);
+
+            // Collect occupied block columns in this block row.
+            let mut occupied: Vec<usize> = Vec::new();
+            for row in row_lo..row_hi {
+                for k in csr.row_ptr()[row]..csr.row_ptr()[row + 1] {
+                    occupied.push(csr.col_idx()[k] as usize / c);
+                }
+            }
+            occupied.sort_unstable();
+            occupied.dedup();
+
+            let tile_base = values.len();
+            values.resize(tile_base + occupied.len() * r * c, 0.0);
+
+            // Fill tiles.
+            for row in row_lo..row_hi {
+                let local_r = row - row_lo;
+                for k in csr.row_ptr()[row]..csr.row_ptr()[row + 1] {
+                    let col = csr.col_idx()[k] as usize;
+                    let bcol = col / c;
+                    let local_c = col % c;
+                    let tile_pos = occupied.binary_search(&bcol).expect("occupied block");
+                    let slot = tile_base + tile_pos * r * c + local_r * c + local_c;
+                    values[slot] += csr.values()[k];
+                }
+            }
+
+            block_cols_usize.extend_from_slice(&occupied);
+            block_row_ptr.push(block_cols_usize.len());
+        }
+
+        Ok(BcsrMatrix {
+            nrows,
+            ncols,
+            r,
+            c,
+            logical_nnz: csr.nnz(),
+            block_row_ptr,
+            block_col_idx: IndexArray::from_usize(&block_cols_usize, width),
+            values,
+        })
+    }
+
+    /// Build from coordinate format.
+    pub fn from_coo(coo: &CooMatrix, r: usize, c: usize, width: IndexWidth) -> Result<Self> {
+        Self::from_csr(&CsrMatrix::from_coo(coo), r, c, width)
+    }
+
+    /// Rows per register block.
+    pub fn block_rows(&self) -> usize {
+        self.r
+    }
+
+    /// Columns per register block.
+    pub fn block_cols(&self) -> usize {
+        self.c
+    }
+
+    /// Number of stored tiles.
+    pub fn num_blocks(&self) -> usize {
+        self.block_col_idx.len()
+    }
+
+    /// The index width used for block column indices.
+    pub fn index_width(&self) -> IndexWidth {
+        self.block_col_idx.width()
+    }
+
+    /// Fill ratio: stored entries (including explicit zeros) divided by logical nnz.
+    /// A fill ratio near 1.0 means the matrix has natural dense block substructure.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.logical_nnz == 0 {
+            return 1.0;
+        }
+        self.values.len() as f64 / self.logical_nnz as f64
+    }
+
+    /// Block-row pointer array.
+    pub fn block_row_ptr(&self) -> &[usize] {
+        &self.block_row_ptr
+    }
+
+    /// Block column indices.
+    pub fn block_col_idx(&self) -> &IndexArray {
+        &self.block_col_idx
+    }
+
+    /// Tile value storage (`r*c` doubles per tile).
+    pub fn tile_values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl MatrixShape for BcsrMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn stored_entries(&self) -> usize {
+        self.values.len()
+    }
+    fn nnz(&self) -> usize {
+        self.logical_nnz
+    }
+    fn footprint_bytes(&self) -> usize {
+        self.values.len() * VALUE_BYTES
+            + self.block_col_idx.bytes()
+            + self.block_row_ptr.len() * INDEX32_BYTES
+    }
+}
+
+impl SpMv for BcsrMatrix {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        check_dims(self.nrows, self.ncols, x, y);
+        let r = self.r;
+        let c = self.c;
+        let nblock_rows = self.block_row_ptr.len() - 1;
+        for brow in 0..nblock_rows {
+            let row_lo = brow * r;
+            let rows_here = r.min(self.nrows - row_lo);
+            // Accumulate the block row into a small register-resident buffer.
+            let mut acc = [0.0f64; 4];
+            for t in self.block_row_ptr[brow]..self.block_row_ptr[brow + 1] {
+                let bcol = self.block_col_idx.get(t);
+                let col_lo = bcol * c;
+                let cols_here = c.min(self.ncols - col_lo);
+                let tile = &self.values[t * r * c..(t + 1) * r * c];
+                for i in 0..rows_here {
+                    let mut sum = 0.0;
+                    for j in 0..cols_here {
+                        sum += tile[i * c + j] * x[col_lo + j];
+                    }
+                    acc[i] += sum;
+                }
+            }
+            for (i, a) in acc.iter().enumerate().take(rows_here) {
+                y[row_lo + i] += a;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::max_abs_diff;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_coo(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CooMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        coo
+    }
+
+    #[test]
+    fn rejects_unsupported_block_shapes() {
+        let coo = random_coo(8, 8, 10, 1);
+        assert!(BcsrMatrix::from_coo(&coo, 3, 1, IndexWidth::U32).is_err());
+        assert!(BcsrMatrix::from_coo(&coo, 1, 5, IndexWidth::U32).is_err());
+        assert!(BcsrMatrix::from_coo(&coo, 8, 8, IndexWidth::U32).is_err());
+    }
+
+    #[test]
+    fn rejects_u16_when_span_too_large() {
+        let coo = random_coo(4, 200_000, 10, 2);
+        assert!(matches!(
+            BcsrMatrix::from_coo(&coo, 1, 1, IndexWidth::U16),
+            Err(Error::IndexWidthOverflow { .. })
+        ));
+        // With c = 4 the block-column span is 50_000, which fits in 16 bits.
+        assert!(BcsrMatrix::from_coo(&coo, 1, 4, IndexWidth::U16).is_ok());
+    }
+
+    #[test]
+    fn one_by_one_blocks_match_csr_exactly() {
+        let coo = random_coo(50, 60, 300, 3);
+        let csr = CsrMatrix::from_coo(&coo);
+        let bcsr = BcsrMatrix::from_csr(&csr, 1, 1, IndexWidth::U32).unwrap();
+        assert_eq!(bcsr.nnz(), csr.nnz());
+        assert_eq!(bcsr.stored_entries(), csr.nnz());
+        assert!((bcsr.fill_ratio() - 1.0).abs() < 1e-12);
+        let x: Vec<f64> = (0..60).map(|i| (i as f64).sin()).collect();
+        assert!(max_abs_diff(&csr.spmv_alloc(&x), &bcsr.spmv_alloc(&x)) < 1e-12);
+    }
+
+    #[test]
+    fn all_supported_shapes_produce_correct_results() {
+        let coo = random_coo(37, 41, 400, 4);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..41).map(|i| (i as f64 * 0.3).cos()).collect();
+        let reference = csr.spmv_alloc(&x);
+        for &r in &ALLOWED_BLOCK_DIMS {
+            for &c in &ALLOWED_BLOCK_DIMS {
+                let bcsr = BcsrMatrix::from_csr(&csr, r, c, IndexWidth::U16).unwrap();
+                let y = bcsr.spmv_alloc(&x);
+                assert!(
+                    max_abs_diff(&reference, &y) < 1e-10,
+                    "mismatch for {r}x{c} blocks"
+                );
+                assert!(bcsr.fill_ratio() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_block_matrix_has_unit_fill() {
+        // A matrix made of perfectly aligned 2x2 dense blocks has fill ratio 1.0 at 2x2.
+        let mut coo = CooMatrix::new(8, 8);
+        for b in 0..4 {
+            for i in 0..2 {
+                for j in 0..2 {
+                    coo.push(b * 2 + i, b * 2 + j, 1.0);
+                }
+            }
+        }
+        let bcsr = BcsrMatrix::from_coo(&coo, 2, 2, IndexWidth::U16).unwrap();
+        assert_eq!(bcsr.num_blocks(), 4);
+        assert!((bcsr.fill_ratio() - 1.0).abs() < 1e-12);
+        // A scattered-diagonal matrix at 2x2 pays 4x fill.
+        let mut diag = CooMatrix::new(8, 8);
+        for i in 0..8 {
+            diag.push(i, i, 1.0);
+        }
+        let bd = BcsrMatrix::from_coo(&diag, 2, 2, IndexWidth::U16).unwrap();
+        assert!((bd.fill_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprint_shrinks_with_blocking_on_blocked_matrix() {
+        // Dense 4x4 block structure: 4x4 BCSR stores 1 index per 16 values.
+        let mut coo = CooMatrix::new(64, 64, );
+        for b in 0..16 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    coo.push(b * 4 + i, b * 4 + j, (i + j) as f64);
+                }
+            }
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let b44 = BcsrMatrix::from_csr(&csr, 4, 4, IndexWidth::U16).unwrap();
+        assert!(b44.footprint_bytes() < csr.footprint_bytes());
+    }
+
+    #[test]
+    fn ragged_edges_are_handled() {
+        // Dimensions not divisible by the block shape.
+        let coo = random_coo(10, 11, 60, 7);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let reference = csr.spmv_alloc(&x);
+        let bcsr = BcsrMatrix::from_csr(&csr, 4, 4, IndexWidth::U32).unwrap();
+        assert!(max_abs_diff(&reference, &bcsr.spmv_alloc(&x)) < 1e-10);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = CooMatrix::new(5, 5);
+        let bcsr = BcsrMatrix::from_coo(&coo, 2, 2, IndexWidth::U16).unwrap();
+        assert_eq!(bcsr.num_blocks(), 0);
+        assert_eq!(bcsr.spmv_alloc(&[1.0; 5]), vec![0.0; 5]);
+        assert_eq!(bcsr.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn index_width_reported() {
+        let coo = random_coo(16, 16, 30, 9);
+        let b = BcsrMatrix::from_coo(&coo, 2, 2, IndexWidth::U16).unwrap();
+        assert_eq!(b.index_width(), IndexWidth::U16);
+        let b32 = BcsrMatrix::from_coo(&coo, 2, 2, IndexWidth::U32).unwrap();
+        assert_eq!(b32.index_width(), IndexWidth::U32);
+        assert!(b.footprint_bytes() <= b32.footprint_bytes());
+    }
+}

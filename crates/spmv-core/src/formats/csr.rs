@@ -1,0 +1,305 @@
+//! Compressed Sparse Row (CSR) — the conventional format and the paper's baseline.
+
+use crate::error::{Error, Result};
+use crate::formats::coo::CooMatrix;
+use crate::formats::traits::{check_dims, MatrixShape, SpMv};
+use crate::{INDEX32_BYTES, VALUE_BYTES};
+
+/// Compressed Sparse Row storage with 32-bit column indices.
+///
+/// `row_ptr` has `nrows + 1` entries; the nonzeros of row `i` occupy
+/// `values[row_ptr[i]..row_ptr[i+1]]` with matching `col_idx` positions, sorted by
+/// column. This is the structure the naive and single-loop kernels of Section 4.1
+/// traverse, and the input to every data-structure transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from raw arrays, validating the structure.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != nrows + 1 {
+            return Err(Error::InvalidStructure(format!(
+                "row_ptr length {} != nrows + 1 = {}",
+                row_ptr.len(),
+                nrows + 1
+            )));
+        }
+        if col_idx.len() != values.len() {
+            return Err(Error::InvalidStructure(format!(
+                "col_idx length {} != values length {}",
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != values.len() {
+            return Err(Error::InvalidStructure(
+                "row_ptr must start at 0 and end at nnz".to_string(),
+            ));
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(Error::InvalidStructure("row_ptr must be non-decreasing".to_string()));
+        }
+        if col_idx.iter().any(|&c| c as usize >= ncols) {
+            return Err(Error::InvalidStructure("column index out of range".to_string()));
+        }
+        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, values })
+    }
+
+    /// Convert from coordinate format, summing duplicate entries.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let mut sorted = coo.clone();
+        sorted.sum_duplicates();
+        let nrows = sorted.nrows();
+        let ncols = sorted.ncols();
+        let nnz = sorted.nnz();
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for t in sorted.entries() {
+            row_ptr[t.row + 1] += 1;
+        }
+        for i in 0..nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
+        // Entries are already sorted by (row, col), so a single forward pass fills
+        // each row segment in column order.
+        let mut cursor = row_ptr.clone();
+        for t in sorted.entries() {
+            let slot = cursor[t.row];
+            col_idx[slot] = t.col as u32;
+            values[slot] = t.val;
+            cursor[t.row] += 1;
+        }
+        CsrMatrix { nrows, ncols, row_ptr, col_idx, values }
+    }
+
+    /// Convert back to coordinate format.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.values.len());
+        for row in 0..self.nrows {
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                coo.push(row, self.col_idx[k] as usize, self.values[k]);
+            }
+        }
+        coo
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of stored entries in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Average number of nonzeros per row.
+    pub fn avg_row_nnz(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.values.len() as f64 / self.nrows as f64
+        }
+    }
+
+    /// Number of rows with no stored entries. Matrices with many empty rows favour
+    /// BCOO/GCSR storage (Section 4.2).
+    pub fn empty_rows(&self) -> usize {
+        (0..self.nrows).filter(|&i| self.row_nnz(i) == 0).count()
+    }
+
+    /// Iterate over `(row, col, value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |row| {
+            (self.row_ptr[row]..self.row_ptr[row + 1])
+                .map(move |k| (row, self.col_idx[k] as usize, self.values[k]))
+        })
+    }
+
+    /// Extract rows `[start, end)` as a new CSR matrix over the same column space.
+    /// Used by the row-partitioners to hand each thread an independent sub-matrix.
+    pub fn row_slice(&self, start: usize, end: usize) -> CsrMatrix {
+        assert!(start <= end && end <= self.nrows, "invalid row slice {start}..{end}");
+        let base = self.row_ptr[start];
+        let stop = self.row_ptr[end];
+        let row_ptr: Vec<usize> =
+            self.row_ptr[start..=end].iter().map(|&p| p - base).collect();
+        CsrMatrix {
+            nrows: end - start,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx: self.col_idx[base..stop].to_vec(),
+            values: self.values[base..stop].to_vec(),
+        }
+    }
+
+    /// Transpose (also the CSR→CSC conversion workhorse).
+    pub fn transpose(&self) -> CsrMatrix {
+        CsrMatrix::from_coo(&self.to_coo().transpose())
+    }
+}
+
+impl MatrixShape for CsrMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn stored_entries(&self) -> usize {
+        self.values.len()
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn footprint_bytes(&self) -> usize {
+        self.values.len() * (VALUE_BYTES + INDEX32_BYTES) + self.row_ptr.len() * INDEX32_BYTES
+    }
+}
+
+impl SpMv for CsrMatrix {
+    /// Reference CSR SpMV: the "naive" nested loop of Section 4.1.
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        check_dims(self.nrows, self.ncols, x, y);
+        for row in 0..self.nrows {
+            let mut sum = 0.0;
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                sum += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[row] += sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coo() -> CooMatrix {
+        // [ 1 0 2 0 ]
+        // [ 0 0 0 0 ]
+        // [ 3 4 0 5 ]
+        // [ 0 0 6 0 ]
+        CooMatrix::from_triplets(
+            4,
+            4,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0), (2, 3, 5.0), (3, 2, 6.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_coo_builds_correct_structure() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        assert_eq!(csr.row_ptr(), &[0, 2, 2, 5, 6]);
+        assert_eq!(csr.col_idx(), &[0, 2, 0, 1, 3, 2]);
+        assert_eq!(csr.values(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn spmv_reference_result() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = csr.spmv_alloc(&x);
+        assert_eq!(y, vec![7.0, 0.0, 31.0, 18.0]);
+    }
+
+    #[test]
+    fn round_trip_through_coo() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        let back = CsrMatrix::from_coo(&csr.to_coo());
+        assert_eq!(csr, back);
+    }
+
+    #[test]
+    fn row_nnz_and_empty_rows() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        assert_eq!(csr.row_nnz(0), 2);
+        assert_eq!(csr.row_nnz(1), 0);
+        assert_eq!(csr.row_nnz(2), 3);
+        assert_eq!(csr.empty_rows(), 1);
+        assert!((csr.avg_row_nnz() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_slice_extracts_submatrix() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        let slice = csr.row_slice(2, 4);
+        assert_eq!(slice.nrows(), 2);
+        assert_eq!(slice.ncols(), 4);
+        assert_eq!(slice.nnz(), 4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(slice.spmv_alloc(&x), vec![31.0, 18.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        let tt = csr.transpose().transpose();
+        assert_eq!(csr, tt);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err()); // bad len
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 1], vec![0, 1], vec![1.0]).is_err()); // bad end
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()); // decreasing
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 7], vec![1.0, 1.0]).is_err()); // col range
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn iter_yields_row_major_triplets() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        let triplets: Vec<_> = csr.iter().collect();
+        assert_eq!(triplets[0], (0, 0, 1.0));
+        assert_eq!(triplets.last().copied(), Some((3, 2, 6.0)));
+        assert_eq!(triplets.len(), 6);
+    }
+
+    #[test]
+    fn footprint_counts_values_indices_pointers() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        // 6 values * 8 + 6 col idx * 4 + 5 row ptr * 4 = 48 + 24 + 20
+        assert_eq!(csr.footprint_bytes(), 92);
+    }
+
+    #[test]
+    fn duplicates_are_summed_on_conversion() {
+        let coo =
+            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 4.0)]).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.values(), &[5.0]);
+    }
+
+    #[test]
+    fn empty_matrix_spmv() {
+        let coo = CooMatrix::new(3, 3);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.spmv_alloc(&[1.0, 1.0, 1.0]), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Generalized CSR (GCSR): CSR that stores only non-empty rows.
+//!
+//! The paper (Section 4.2) names this as OSKI's alternative to BCOO for matrices with
+//! empty rows: keep CSR's streaming structure but associate an explicit row index with
+//! each stored (non-empty) row, so empty rows cost neither pointer storage nor
+//! zero-length inner loops.
+
+use crate::formats::coo::CooMatrix;
+use crate::formats::csr::CsrMatrix;
+use crate::formats::index::{IndexArray, IndexWidth};
+use crate::formats::traits::{check_dims, MatrixShape, SpMv};
+use crate::error::{Error, Result};
+use crate::{INDEX32_BYTES, VALUE_BYTES};
+
+/// Generalized CSR storing only occupied rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Row index of each stored (non-empty) row.
+    row_ids: IndexArray,
+    /// Pointer into `col_idx`/`values` per stored row (`row_ids.len() + 1` entries).
+    row_ptr: Vec<usize>,
+    /// Column indices, possibly 16-bit compressed.
+    col_idx: IndexArray,
+    values: Vec<f64>,
+}
+
+impl GcsrMatrix {
+    /// Build from CSR, dropping empty rows.
+    pub fn from_csr(csr: &CsrMatrix, width: IndexWidth) -> Result<Self> {
+        if !width.fits(csr.nrows()) || !width.fits(csr.ncols()) {
+            return Err(Error::IndexWidthOverflow {
+                dimension: csr.nrows().max(csr.ncols()),
+            });
+        }
+        let mut row_ids: Vec<usize> = Vec::new();
+        let mut row_ptr: Vec<usize> = vec![0];
+        let mut cols: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        for row in 0..csr.nrows() {
+            let lo = csr.row_ptr()[row];
+            let hi = csr.row_ptr()[row + 1];
+            if lo == hi {
+                continue;
+            }
+            row_ids.push(row);
+            for k in lo..hi {
+                cols.push(csr.col_idx()[k] as usize);
+                values.push(csr.values()[k]);
+            }
+            row_ptr.push(values.len());
+        }
+        Ok(GcsrMatrix {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            row_ids: IndexArray::from_usize(&row_ids, width),
+            row_ptr,
+            col_idx: IndexArray::from_usize(&cols, width),
+            values,
+        })
+    }
+
+    /// Build from coordinate format.
+    pub fn from_coo(coo: &CooMatrix, width: IndexWidth) -> Result<Self> {
+        Self::from_csr(&CsrMatrix::from_coo(coo), width)
+    }
+
+    /// Number of stored (non-empty) rows.
+    pub fn stored_rows(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// Index width used for row ids and column indices.
+    pub fn index_width(&self) -> IndexWidth {
+        self.col_idx.width()
+    }
+}
+
+impl MatrixShape for GcsrMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn stored_entries(&self) -> usize {
+        self.values.len()
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn footprint_bytes(&self) -> usize {
+        self.values.len() * VALUE_BYTES
+            + self.col_idx.bytes()
+            + self.row_ids.bytes()
+            + self.row_ptr.len() * INDEX32_BYTES
+    }
+}
+
+impl SpMv for GcsrMatrix {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        check_dims(self.nrows, self.ncols, x, y);
+        for s in 0..self.stored_rows() {
+            let row = self.row_ids.get(s);
+            let mut sum = 0.0;
+            for k in self.row_ptr[s]..self.row_ptr[s + 1] {
+                sum += self.values[k] * x[self.col_idx.get(k)];
+            }
+            y[row] += sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::max_abs_diff;
+
+    fn sparse_rows_matrix() -> CooMatrix {
+        // 100 rows but only 3 occupied.
+        CooMatrix::from_triplets(
+            100,
+            50,
+            vec![(5, 0, 1.0), (5, 49, 2.0), (40, 10, 3.0), (99, 20, 4.0), (99, 21, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn drops_empty_rows() {
+        let g = GcsrMatrix::from_coo(&sparse_rows_matrix(), IndexWidth::U16).unwrap();
+        assert_eq!(g.stored_rows(), 3);
+        assert_eq!(g.nnz(), 5);
+    }
+
+    #[test]
+    fn matches_csr_result() {
+        let coo = sparse_rows_matrix();
+        let csr = CsrMatrix::from_coo(&coo);
+        let g = GcsrMatrix::from_coo(&coo, IndexWidth::U16).unwrap();
+        let x: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        assert!(max_abs_diff(&csr.spmv_alloc(&x), &g.spmv_alloc(&x)) < 1e-12);
+    }
+
+    #[test]
+    fn footprint_smaller_than_csr_for_mostly_empty() {
+        let coo = sparse_rows_matrix();
+        let csr = CsrMatrix::from_coo(&coo);
+        let g = GcsrMatrix::from_coo(&coo, IndexWidth::U16).unwrap();
+        assert!(g.footprint_bytes() < csr.footprint_bytes());
+    }
+
+    #[test]
+    fn footprint_not_better_when_all_rows_occupied() {
+        // Fully occupied rows: GCSR pays the extra row_ids array for nothing.
+        let mut coo = CooMatrix::new(10, 10);
+        for i in 0..10 {
+            coo.push(i, i, 1.0);
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let g32 = GcsrMatrix::from_coo(&coo, IndexWidth::U32).unwrap();
+        assert!(g32.footprint_bytes() >= csr.footprint_bytes());
+    }
+
+    #[test]
+    fn width_overflow_rejected() {
+        let coo = CooMatrix::from_triplets(100_000, 10, vec![(0, 0, 1.0)]).unwrap();
+        assert!(GcsrMatrix::from_coo(&coo, IndexWidth::U16).is_err());
+        assert!(GcsrMatrix::from_coo(&coo, IndexWidth::U32).is_ok());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let g = GcsrMatrix::from_coo(&CooMatrix::new(5, 5), IndexWidth::U16).unwrap();
+        assert_eq!(g.stored_rows(), 0);
+        assert_eq!(g.spmv_alloc(&[1.0; 5]), vec![0.0; 5]);
+    }
+}

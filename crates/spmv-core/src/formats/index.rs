@@ -1,0 +1,194 @@
+//! Index compression: 16-bit vs 32-bit column/row indices.
+//!
+//! The paper (Section 4.2) halves index storage by using 2-byte indices whenever a
+//! cache block spans fewer than 64K rows/columns. [`IndexArray`] abstracts over the
+//! two widths so kernels and footprint accounting are written once.
+
+use serde::{Deserialize, Serialize};
+
+/// The width of the stored indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexWidth {
+    /// 2-byte indices; usable when the indexed span is at most `u16::MAX + 1`.
+    U16,
+    /// 4-byte indices; always usable for the matrices in the evaluation suite.
+    U32,
+}
+
+impl IndexWidth {
+    /// Bytes per stored index.
+    pub fn bytes(self) -> usize {
+        match self {
+            IndexWidth::U16 => 2,
+            IndexWidth::U32 => 4,
+        }
+    }
+
+    /// The narrowest width able to index `span` distinct positions.
+    pub fn narrowest_for(span: usize) -> IndexWidth {
+        if span <= (u16::MAX as usize) + 1 {
+            IndexWidth::U16
+        } else {
+            IndexWidth::U32
+        }
+    }
+
+    /// Whether `span` positions can be indexed at this width.
+    pub fn fits(self, span: usize) -> bool {
+        match self {
+            IndexWidth::U16 => span <= (u16::MAX as usize) + 1,
+            IndexWidth::U32 => span <= (u32::MAX as usize) + 1,
+        }
+    }
+}
+
+/// A homogeneous array of indices stored at either 16-bit or 32-bit width.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexArray {
+    /// Compressed 16-bit storage.
+    U16(Vec<u16>),
+    /// Full 32-bit storage.
+    U32(Vec<u32>),
+}
+
+impl IndexArray {
+    /// Build an index array at the requested width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value does not fit the requested width; callers are expected to
+    /// have validated the span with [`IndexWidth::fits`].
+    pub fn from_usize(values: &[usize], width: IndexWidth) -> Self {
+        match width {
+            IndexWidth::U16 => IndexArray::U16(
+                values
+                    .iter()
+                    .map(|&v| u16::try_from(v).expect("index exceeds 16-bit width"))
+                    .collect(),
+            ),
+            IndexWidth::U32 => IndexArray::U32(
+                values
+                    .iter()
+                    .map(|&v| u32::try_from(v).expect("index exceeds 32-bit width"))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Build an index array using the narrowest width that fits `span`.
+    pub fn compressed(values: &[usize], span: usize) -> Self {
+        Self::from_usize(values, IndexWidth::narrowest_for(span))
+    }
+
+    /// The width of this array.
+    pub fn width(&self) -> IndexWidth {
+        match self {
+            IndexArray::U16(_) => IndexWidth::U16,
+            IndexArray::U32(_) => IndexWidth::U32,
+        }
+    }
+
+    /// Number of stored indices.
+    pub fn len(&self) -> usize {
+        match self {
+            IndexArray::U16(v) => v.len(),
+            IndexArray::U32(v) => v.len(),
+        }
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch the index at position `i` widened to `usize`.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> usize {
+        match self {
+            IndexArray::U16(v) => v[i] as usize,
+            IndexArray::U32(v) => v[i] as usize,
+        }
+    }
+
+    /// Total bytes of index storage.
+    pub fn bytes(&self) -> usize {
+        self.len() * self.width().bytes()
+    }
+
+    /// Iterate over the indices widened to `usize`.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match self {
+            IndexArray::U16(v) => Box::new(v.iter().map(|&x| x as usize)),
+            IndexArray::U32(v) => Box::new(v.iter().map(|&x| x as usize)),
+        }
+    }
+
+    /// Collect the indices into a `Vec<usize>` (test/debug helper).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrowest_width_selection() {
+        assert_eq!(IndexWidth::narrowest_for(10), IndexWidth::U16);
+        assert_eq!(IndexWidth::narrowest_for(65_536), IndexWidth::U16);
+        assert_eq!(IndexWidth::narrowest_for(65_537), IndexWidth::U32);
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(IndexWidth::U16.bytes(), 2);
+        assert_eq!(IndexWidth::U32.bytes(), 4);
+    }
+
+    #[test]
+    fn fits_checks_span() {
+        assert!(IndexWidth::U16.fits(65_536));
+        assert!(!IndexWidth::U16.fits(65_537));
+        assert!(IndexWidth::U32.fits(1 << 30));
+    }
+
+    #[test]
+    fn compressed_picks_u16_for_small_span() {
+        let a = IndexArray::compressed(&[0, 5, 100], 1000);
+        assert_eq!(a.width(), IndexWidth::U16);
+        assert_eq!(a.to_vec(), vec![0, 5, 100]);
+        assert_eq!(a.bytes(), 6);
+    }
+
+    #[test]
+    fn compressed_picks_u32_for_large_span() {
+        let a = IndexArray::compressed(&[0, 70_000], 100_000);
+        assert_eq!(a.width(), IndexWidth::U32);
+        assert_eq!(a.get(1), 70_000);
+        assert_eq!(a.bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 16-bit")]
+    fn from_usize_panics_on_overflow() {
+        IndexArray::from_usize(&[70_000], IndexWidth::U16);
+    }
+
+    #[test]
+    fn iteration_matches_get() {
+        let a = IndexArray::from_usize(&[3, 1, 4, 1, 5], IndexWidth::U32);
+        let collected: Vec<usize> = a.iter().collect();
+        assert_eq!(collected, vec![3, 1, 4, 1, 5]);
+        assert_eq!(a.get(2), 4);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_array() {
+        let a = IndexArray::from_usize(&[], IndexWidth::U16);
+        assert!(a.is_empty());
+        assert_eq!(a.bytes(), 0);
+    }
+}

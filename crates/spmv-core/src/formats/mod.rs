@@ -1,0 +1,26 @@
+//! Sparse matrix storage formats.
+//!
+//! The paper's data-structure optimizations are all about choosing, per cache block,
+//! the smallest representation of the nonzeros (Section 4.2): register-blocked CSR
+//! (BCSR), block coordinate (BCOO) when rows are sparse or empty, generalized CSR
+//! (GCSR) that skips empty rows, and 16-bit index compression when a block's span
+//! fits in 64K. The plain [`CooMatrix`]/[`CsrMatrix`]/[`CscMatrix`] formats serve as
+//! construction intermediates and as the naive baseline.
+
+pub mod bcoo;
+pub mod bcsr;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod gcsr;
+pub mod index;
+pub mod traits;
+
+pub use bcoo::BcooMatrix;
+pub use bcsr::BcsrMatrix;
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use gcsr::GcsrMatrix;
+pub use index::{IndexArray, IndexWidth};
+pub use traits::{MatrixShape, SpMv};

@@ -1,0 +1,119 @@
+//! Core traits implemented by every sparse matrix format.
+
+/// Basic shape and size information shared by all formats.
+pub trait MatrixShape {
+    /// Number of rows of the logical matrix.
+    fn nrows(&self) -> usize;
+
+    /// Number of columns of the logical matrix.
+    fn ncols(&self) -> usize;
+
+    /// Number of stored values. For blocked formats this counts the *stored* entries
+    /// including explicit zero fill, because fill is what the memory system streams.
+    fn stored_entries(&self) -> usize;
+
+    /// Number of logically nonzero entries of the original matrix (excludes fill).
+    fn nnz(&self) -> usize;
+
+    /// Bytes occupied by the matrix data structure: values, indices and pointers.
+    ///
+    /// This is the quantity the paper's footprint-minimizing heuristic optimizes
+    /// (Section 4.2) and the quantity the bandwidth-bound performance model streams.
+    fn footprint_bytes(&self) -> usize;
+
+    /// Flop:byte ratio of a single SpMV with this storage, counting only compulsory
+    /// matrix traffic (2 flops per logical nonzero over `footprint_bytes`).
+    fn flop_byte_ratio(&self) -> f64 {
+        if self.footprint_bytes() == 0 {
+            return 0.0;
+        }
+        (2 * self.nnz()) as f64 / self.footprint_bytes() as f64
+    }
+}
+
+/// Sparse matrix–vector multiplication: `y ← y + A·x`.
+///
+/// Implementations must *accumulate* into `y` (they never overwrite), matching the
+/// kernel definition in the paper and making cache-blocked execution (where several
+/// blocks contribute to the same destination rows) correct by construction.
+pub trait SpMv: MatrixShape {
+    /// Accumulate `A·x` into `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()` or `y.len() != self.nrows()`.
+    fn spmv(&self, x: &[f64], y: &mut [f64]);
+
+    /// Convenience wrapper allocating a fresh destination vector (`y = A·x`).
+    fn spmv_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows()];
+        self.spmv(x, &mut y);
+        y
+    }
+}
+
+/// Validate operand dimensions, panicking with a uniform message on mismatch.
+#[inline]
+pub(crate) fn check_dims(nrows: usize, ncols: usize, x: &[f64], y: &[f64]) {
+    assert_eq!(
+        x.len(),
+        ncols,
+        "source vector length {} does not match matrix column count {}",
+        x.len(),
+        ncols
+    );
+    assert_eq!(
+        y.len(),
+        nrows,
+        "destination vector length {} does not match matrix row count {}",
+        y.len(),
+        nrows
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+    impl MatrixShape for Fake {
+        fn nrows(&self) -> usize {
+            4
+        }
+        fn ncols(&self) -> usize {
+            4
+        }
+        fn stored_entries(&self) -> usize {
+            10
+        }
+        fn nnz(&self) -> usize {
+            8
+        }
+        fn footprint_bytes(&self) -> usize {
+            128
+        }
+    }
+
+    #[test]
+    fn flop_byte_ratio_uses_logical_nnz() {
+        let f = Fake;
+        assert_eq!(f.flop_byte_ratio(), 16.0 / 128.0);
+    }
+
+    #[test]
+    fn check_dims_accepts_matching() {
+        check_dims(2, 3, &[0.0; 3], &[0.0; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source vector")]
+    fn check_dims_rejects_bad_x() {
+        check_dims(2, 3, &[0.0; 2], &[0.0; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination vector")]
+    fn check_dims_rejects_bad_y() {
+        check_dims(2, 3, &[0.0; 3], &[0.0; 3]);
+    }
+}

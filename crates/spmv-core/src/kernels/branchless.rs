@@ -1,0 +1,182 @@
+//! Branchless (segmented-scan) CSR SpMV.
+//!
+//! The paper's branchless variant is "in effect a segmented scan of vector-length
+//! equal to one" (Section 4.1, citing Blelloch et al.): instead of a data-dependent
+//! inner-loop branch per row, every nonzero performs the same instruction sequence
+//! and a row-boundary *flag*, turned into an arithmetic select, decides whether the
+//! running sum is flushed to `y`. On hardware this removes branch mispredictions for
+//! matrices with very short rows (Economics, Circuit, webbase in the suite).
+
+use crate::formats::csr::CsrMatrix;
+use crate::formats::traits::MatrixShape;
+
+/// `y ← y + A·x` with a branch-free inner loop over the nonzero stream.
+///
+/// The row boundaries are pre-expanded into a per-nonzero "segment end" description
+/// (the row each nonzero belongs to), so the main loop contains no conditional
+/// control flow that depends on the matrix structure — only predicated arithmetic.
+pub fn spmv_branchless(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols(), "source vector length mismatch");
+    assert_eq!(y.len(), a.nrows(), "destination vector length mismatch");
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    let nnz = values.len();
+    if nnz == 0 {
+        return;
+    }
+
+    // Expand row boundaries: row_of[k] is the row owning nonzero k. This is the
+    // segment descriptor of a segmented scan with segment length 1 per row.
+    // (The expansion is part of the data-structure setup cost in the paper's
+    // generator; here it is recomputed per call to keep the kernel self-contained —
+    // tuned pipelines cache it via `SegmentedCsr` below.)
+    let row_of = expand_row_ids(row_ptr, nnz);
+
+    let mut sum = 0.0;
+    let mut current_row = row_of[0] as usize;
+    for k in 0..nnz {
+        let row = row_of[k] as usize;
+        // Arithmetic select: when the row changes, flush and reset without a
+        // data-dependent branch on the inner nonzero structure. The comparison
+        // compiles to a setcc/cmov-style sequence rather than a loop branch.
+        let new_segment = (row != current_row) as usize as f64;
+        y[current_row] += sum * new_segment;
+        sum *= 1.0 - new_segment;
+        current_row = row;
+        sum += values[k] * x[col_idx[k] as usize];
+    }
+    y[current_row] += sum;
+}
+
+/// Expand a CSR row pointer into a per-nonzero row id array.
+pub fn expand_row_ids(row_ptr: &[usize], nnz: usize) -> Vec<u32> {
+    let mut row_of = vec![0u32; nnz];
+    for row in 0..row_ptr.len() - 1 {
+        for slot in row_of.iter_mut().take(row_ptr[row + 1]).skip(row_ptr[row]) {
+            *slot = row as u32;
+        }
+    }
+    row_of
+}
+
+/// A CSR matrix with the segment descriptor precomputed, for repeated branchless calls.
+#[derive(Debug, Clone)]
+pub struct SegmentedCsr {
+    csr: CsrMatrix,
+    row_of: Vec<u32>,
+}
+
+impl SegmentedCsr {
+    /// Precompute the per-nonzero row ids for `csr`.
+    pub fn new(csr: CsrMatrix) -> Self {
+        let row_of = expand_row_ids(csr.row_ptr(), csr.nnz());
+        SegmentedCsr { csr, row_of }
+    }
+
+    /// The wrapped CSR matrix.
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.csr
+    }
+
+    /// Branchless SpMV using the cached segment descriptor.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.csr.ncols(), "source vector length mismatch");
+        assert_eq!(y.len(), self.csr.nrows(), "destination vector length mismatch");
+        let col_idx = self.csr.col_idx();
+        let values = self.csr.values();
+        let nnz = values.len();
+        if nnz == 0 {
+            return;
+        }
+        let mut sum = 0.0;
+        let mut current_row = self.row_of[0] as usize;
+        for k in 0..nnz {
+            let row = self.row_of[k] as usize;
+            let new_segment = (row != current_row) as usize as f64;
+            y[current_row] += sum * new_segment;
+            sum *= 1.0 - new_segment;
+            current_row = row;
+            sum += values[k] * x[col_idx[k] as usize];
+        }
+        y[current_row] += sum;
+    }
+
+    /// Extra bytes the segment descriptor adds to the matrix footprint.
+    pub fn descriptor_bytes(&self) -> usize {
+        self.row_of.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::max_abs_diff;
+    use crate::formats::traits::SpMv;
+    use crate::formats::{CooMatrix, CsrMatrix};
+    use crate::kernels::testing::{random_coo, test_x};
+
+    #[test]
+    fn matches_reference_on_random_matrix() {
+        let csr = CsrMatrix::from_coo(&random_coo(90, 70, 800, 42));
+        let x = test_x(70);
+        let reference = csr.spmv_alloc(&x);
+        let mut y = vec![0.0; 90];
+        spmv_branchless(&csr, &x, &mut y);
+        assert!(max_abs_diff(&reference, &y) < 1e-10);
+    }
+
+    #[test]
+    fn short_row_matrix_is_exact() {
+        // Many rows of length 0 or 1 — the case branchlessness targets.
+        let coo = CooMatrix::from_triplets(
+            8,
+            8,
+            vec![(0, 3, 1.0), (2, 2, 2.0), (3, 0, 3.0), (7, 7, 4.0)],
+        )
+        .unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let reference = csr.spmv_alloc(&x);
+        let mut y = vec![0.0; 8];
+        spmv_branchless(&csr, &x, &mut y);
+        assert!(max_abs_diff(&reference, &y) < 1e-12);
+    }
+
+    #[test]
+    fn expand_row_ids_covers_every_nonzero() {
+        let row_ptr = vec![0, 2, 2, 5];
+        let ids = expand_row_ids(&row_ptr, 5);
+        assert_eq!(ids, vec![0, 0, 2, 2, 2]);
+    }
+
+    #[test]
+    fn segmented_wrapper_matches_and_reports_descriptor() {
+        let csr = CsrMatrix::from_coo(&random_coo(40, 40, 200, 7));
+        let x = test_x(40);
+        let reference = csr.spmv_alloc(&x);
+        let seg = SegmentedCsr::new(csr);
+        let mut y = vec![0.0; 40];
+        seg.spmv(&x, &mut y);
+        assert!(max_abs_diff(&reference, &y) < 1e-10);
+        assert_eq!(seg.descriptor_bytes(), seg.csr().nnz() * 4);
+    }
+
+    #[test]
+    fn empty_matrix_is_noop() {
+        let csr = CsrMatrix::from_coo(&CooMatrix::new(4, 4));
+        let mut y = vec![1.0; 4];
+        spmv_branchless(&csr, &[0.0; 4], &mut y);
+        assert_eq!(y, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn accumulates_on_top_of_existing_y() {
+        let csr = CsrMatrix::from_coo(
+            &CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)]).unwrap(),
+        );
+        let mut y = vec![10.0, 20.0];
+        spmv_branchless(&csr, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![11.0, 22.0]);
+    }
+}

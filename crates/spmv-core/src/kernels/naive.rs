@@ -1,0 +1,72 @@
+//! Naive nested-loop CSR SpMV: the unoptimized baseline every speedup is measured from.
+
+use crate::formats::csr::CsrMatrix;
+use crate::formats::traits::MatrixShape;
+
+/// `y ← y + A·x` with the textbook nested loop: the outer loop walks rows, the inner
+/// loop walks `row_ptr[i]..row_ptr[i+1]`.
+///
+/// # Panics
+///
+/// Panics if `x`/`y` do not match the matrix dimensions.
+pub fn spmv_naive(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols(), "source vector length mismatch");
+    assert_eq!(y.len(), a.nrows(), "destination vector length mismatch");
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    for row in 0..a.nrows() {
+        let mut sum = 0.0;
+        for k in row_ptr[row]..row_ptr[row + 1] {
+            sum += values[k] * x[col_idx[k] as usize];
+        }
+        y[row] += sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::max_abs_diff;
+    use crate::formats::{CooMatrix, CsrMatrix};
+    use crate::formats::traits::SpMv;
+    use crate::kernels::testing::{random_coo, test_x};
+
+    #[test]
+    fn matches_trait_reference() {
+        let csr = CsrMatrix::from_coo(&random_coo(64, 48, 500, 21));
+        let x = test_x(48);
+        let reference = csr.spmv_alloc(&x);
+        let mut y = vec![0.0; 64];
+        spmv_naive(&csr, &x, &mut y);
+        assert!(max_abs_diff(&reference, &y) < 1e-12);
+    }
+
+    #[test]
+    fn accumulates_into_destination() {
+        let csr = CsrMatrix::from_coo(
+            &CooMatrix::from_triplets(2, 2, vec![(0, 0, 2.0), (1, 1, 3.0)]).unwrap(),
+        );
+        let mut y = vec![1.0, 1.0];
+        spmv_naive(&csr, &[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source vector")]
+    fn rejects_wrong_x() {
+        let csr = CsrMatrix::from_coo(&CooMatrix::new(2, 3));
+        let mut y = vec![0.0; 2];
+        spmv_naive(&csr, &[0.0; 2], &mut y);
+    }
+
+    #[test]
+    fn handles_empty_rows() {
+        let csr = CsrMatrix::from_coo(
+            &CooMatrix::from_triplets(4, 4, vec![(0, 0, 1.0), (3, 3, 2.0)]).unwrap(),
+        );
+        let mut y = vec![0.0; 4];
+        spmv_naive(&csr, &[1.0; 4], &mut y);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 2.0]);
+    }
+}

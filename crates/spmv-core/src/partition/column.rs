@@ -1,0 +1,190 @@
+//! Column partitioning.
+//!
+//! Splitting by columns gives each thread a slice of the *source* vector instead of
+//! the destination; partial results must then be reduced. The paper lists this as a
+//! strategy requiring explicit blocking (Section 4.3) and leaves it to future work in
+//! the evaluation; it is implemented here both for completeness and because the Cell
+//! model uses column spans to bound the local-store working set.
+
+use crate::formats::csc::CscMatrix;
+use crate::formats::csr::CsrMatrix;
+use crate::formats::traits::{MatrixShape, SpMv};
+use std::ops::Range;
+
+/// A decomposition of the column space into one contiguous range per thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnPartition {
+    /// Per-thread column ranges, in thread order.
+    pub ranges: Vec<Range<usize>>,
+}
+
+impl ColumnPartition {
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the ranges tile `0..ncols` in order.
+    pub fn covers(&self, ncols: usize) -> bool {
+        let mut cursor = 0usize;
+        for r in &self.ranges {
+            if r.start != cursor {
+                return false;
+            }
+            cursor = r.end;
+        }
+        cursor == ncols
+    }
+
+    /// Nonzeros owned by each part (requires the CSC column counts).
+    pub fn nnz_per_part(&self, csc: &CscMatrix) -> Vec<usize> {
+        self.ranges
+            .iter()
+            .map(|r| csc.col_ptr()[r.end] - csc.col_ptr()[r.start])
+            .collect()
+    }
+
+    /// Load imbalance factor (max over mean nonzeros per part).
+    pub fn imbalance(&self, csc: &CscMatrix) -> f64 {
+        let loads = self.nnz_per_part(csc);
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        let total: usize = loads.iter().sum();
+        if total == 0 || loads.is_empty() {
+            return 1.0;
+        }
+        max / (total as f64 / loads.len() as f64)
+    }
+}
+
+/// Nonzero-balanced column partition computed from the CSC column pointer.
+pub fn partition_columns_balanced(csc: &CscMatrix, parts: usize) -> ColumnPartition {
+    assert!(parts > 0, "partition requires at least one part");
+    let ncols = csc.ncols();
+    let total = csc.nnz();
+    let col_ptr = csc.col_ptr();
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start_col = 0usize;
+    for p in 0..parts {
+        if start_col >= ncols {
+            ranges.push(ncols..ncols);
+            continue;
+        }
+        if p == parts - 1 {
+            ranges.push(start_col..ncols);
+            start_col = ncols;
+            continue;
+        }
+        let target = (total as u128 * (p as u128 + 1) / parts as u128) as usize;
+        let mut end_col = col_ptr.partition_point(|&cum| cum < target);
+        end_col = end_col.clamp(start_col + 1, ncols);
+        ranges.push(start_col..end_col);
+        start_col = end_col;
+    }
+    ColumnPartition { ranges }
+}
+
+/// Execute a column-partitioned SpMV sequentially: each part produces a private
+/// partial destination vector which is then reduced. This mirrors exactly what the
+/// threaded executor does and exists so correctness can be tested in isolation.
+pub fn column_partitioned_spmv(
+    csr_for_reference_dims: &CsrMatrix,
+    csc: &CscMatrix,
+    partition: &ColumnPartition,
+    x: &[f64],
+) -> Vec<f64> {
+    let nrows = csr_for_reference_dims.nrows();
+    let mut partials: Vec<Vec<f64>> = Vec::with_capacity(partition.num_parts());
+    for range in &partition.ranges {
+        let slice = csc.col_slice(range.start, range.end);
+        let mut y = vec![0.0; nrows];
+        slice.spmv(&x[range.start..range.end], &mut y);
+        partials.push(y);
+    }
+    // Reduction.
+    let mut y = vec![0.0; nrows];
+    for part in partials {
+        for (acc, v) in y.iter_mut().zip(part.iter()) {
+            *acc += v;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::max_abs_diff;
+    use crate::formats::traits::SpMv;
+    use crate::formats::CooMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_coo(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CooMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        coo
+    }
+
+    #[test]
+    fn partition_covers_columns() {
+        let coo = random_coo(50, 300, 1000, 1);
+        let csc = CscMatrix::from_coo(&coo);
+        for parts in 1..=6 {
+            let p = partition_columns_balanced(&csc, parts);
+            assert!(p.covers(300));
+            assert_eq!(p.num_parts(), parts);
+        }
+    }
+
+    #[test]
+    fn partitioned_spmv_matches_reference() {
+        let coo = random_coo(80, 120, 900, 2);
+        let csr = CsrMatrix::from_coo(&coo);
+        let csc = CscMatrix::from_coo(&coo);
+        let p = partition_columns_balanced(&csc, 5);
+        let x: Vec<f64> = (0..120).map(|i| (i as f64 * 0.21).sin()).collect();
+        let y = column_partitioned_spmv(&csr, &csc, &p, &x);
+        assert!(max_abs_diff(&csr.spmv_alloc(&x), &y) < 1e-10);
+    }
+
+    #[test]
+    fn balance_is_reasonable_on_uniform_matrix() {
+        let coo = random_coo(100, 400, 4000, 3);
+        let csc = CscMatrix::from_coo(&coo);
+        let p = partition_columns_balanced(&csc, 8);
+        assert!(p.imbalance(&csc) < 1.25);
+    }
+
+    #[test]
+    fn skewed_columns_still_covered() {
+        // LP-like: a few extremely heavy columns.
+        let mut coo = CooMatrix::new(50, 1000);
+        for i in 0..50 {
+            for j in 0..20 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        coo.push(0, 999, 1.0);
+        let csc = CscMatrix::from_coo(&coo);
+        let p = partition_columns_balanced(&csc, 4);
+        assert!(p.covers(1000));
+        let total: usize = p.nnz_per_part(&csc).iter().sum();
+        assert_eq!(total, csc.nnz());
+    }
+
+    #[test]
+    fn more_parts_than_columns() {
+        let coo = random_coo(10, 3, 9, 4);
+        let csc = CscMatrix::from_coo(&coo);
+        let p = partition_columns_balanced(&csc, 8);
+        assert!(p.covers(3));
+        assert_eq!(p.num_parts(), 8);
+    }
+}

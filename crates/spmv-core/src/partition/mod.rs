@@ -1,0 +1,15 @@
+//! Thread-level decomposition of SpMV (paper Section 4.3).
+//!
+//! The paper considers three strategies: row partitioning (the one actually used in
+//! the evaluation), column partitioning, and a thread-level segmented scan that
+//! balances exactly by nonzeros. All three are implemented here as *descriptors* —
+//! pure data describing who owns what — which the `spmv-parallel` crate executes on
+//! real threads and the `spmv-archsim` crate feeds to its machine model.
+
+pub mod column;
+pub mod row;
+pub mod segmented;
+
+pub use column::{partition_columns_balanced, ColumnPartition};
+pub use row::{partition_rows_balanced, partition_rows_equal, RowPartition};
+pub use segmented::{partition_nonzeros, NonzeroChunk, SegmentedPartition};

@@ -1,0 +1,181 @@
+//! Matrix structure statistics.
+//!
+//! Section 5.1 of the paper predicts performance from a handful of structural
+//! properties: nonzeros per row (loop length), aspect ratio, how concentrated the
+//! nonzeros are near the diagonal, empty rows, natural dense-block substructure, and
+//! the resulting flop:byte ratio. This module computes those properties; the
+//! `spmv-matrices` crate uses them to verify its synthetic suite matches Table 3 and
+//! the architecture simulator uses them to drive its analytic model.
+
+use crate::blocking::register::estimate_fill;
+use crate::formats::csr::CsrMatrix;
+use crate::formats::traits::MatrixShape;
+use serde::{Deserialize, Serialize};
+
+/// Structural summary of a sparse matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// Mean nonzeros per row.
+    pub nnz_per_row_mean: f64,
+    /// Minimum nonzeros in any row.
+    pub nnz_per_row_min: usize,
+    /// Maximum nonzeros in any row.
+    pub nnz_per_row_max: usize,
+    /// Number of rows with no nonzeros.
+    pub empty_rows: usize,
+    /// Columns divided by rows (LP's dramatic aspect ratio is ~262).
+    pub aspect_ratio: f64,
+    /// Fraction of nonzeros within a band of ±(dimension/64) of the diagonal —
+    /// a measure of diagonal concentration (Epidemiology ≈ 1.0, webbase ≈ low).
+    pub diagonal_fraction: f64,
+    /// Fill ratio a 2×2 register blocking would pay; near 1.0 indicates natural
+    /// dense-block substructure (the FEM matrices), near 4.0 indicates scatter.
+    pub fill_2x2: f64,
+    /// Fill ratio a 4×4 register blocking would pay.
+    pub fill_4x4: f64,
+    /// CSR flop:byte ratio (upper bound 0.25 when vectors are ignored).
+    pub flop_byte_csr: f64,
+}
+
+impl MatrixStats {
+    /// Compute statistics for `csr`.
+    pub fn compute(csr: &CsrMatrix) -> Self {
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let nnz = csr.nnz();
+        let mut min_r = usize::MAX;
+        let mut max_r = 0usize;
+        let mut empty = 0usize;
+        for i in 0..nrows {
+            let n = csr.row_nnz(i);
+            min_r = min_r.min(n);
+            max_r = max_r.max(n);
+            if n == 0 {
+                empty += 1;
+            }
+        }
+        if nrows == 0 {
+            min_r = 0;
+        }
+
+        // Diagonal concentration: count nonzeros with |col - row*ncols/nrows| small.
+        let band = (nrows.max(ncols) / 64).max(1);
+        let mut near_diag = 0usize;
+        if nrows > 0 {
+            for (row, col, _) in csr.iter() {
+                // Scale the row index onto the column space for rectangular matrices.
+                let diag_col = if nrows == ncols {
+                    row
+                } else {
+                    row * ncols.max(1) / nrows
+                };
+                if col.abs_diff(diag_col) <= band {
+                    near_diag += 1;
+                }
+            }
+        }
+        let diagonal_fraction = if nnz == 0 { 0.0 } else { near_diag as f64 / nnz as f64 };
+
+        let fill_2x2 = estimate_fill(csr, 2, 2).fill_ratio;
+        let fill_4x4 = estimate_fill(csr, 4, 4).fill_ratio;
+
+        MatrixStats {
+            nrows,
+            ncols,
+            nnz,
+            nnz_per_row_mean: if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 },
+            nnz_per_row_min: min_r,
+            nnz_per_row_max: max_r,
+            empty_rows: empty,
+            aspect_ratio: if nrows == 0 { 0.0 } else { ncols as f64 / nrows as f64 },
+            diagonal_fraction,
+            fill_2x2,
+            fill_4x4,
+            flop_byte_csr: csr.flop_byte_ratio(),
+        }
+    }
+
+    /// Whether the matrix has the natural dense-block substructure that makes
+    /// register blocking profitable (FEM matrices in the suite).
+    pub fn has_block_structure(&self) -> bool {
+        self.fill_2x2 < 1.4
+    }
+
+    /// Whether rows are too short to amortize CSR loop startup (the webbase /
+    /// Epidemiology / Circuit / Economics failure mode of Section 5.1).
+    pub fn has_short_rows(&self) -> bool {
+        self.nnz_per_row_mean < 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::CooMatrix;
+
+    #[test]
+    fn dense_matrix_stats() {
+        let n = 64;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let stats = MatrixStats::compute(&CsrMatrix::from_coo(&coo));
+        assert_eq!(stats.nnz, n * n);
+        assert_eq!(stats.nnz_per_row_mean, n as f64);
+        assert_eq!(stats.empty_rows, 0);
+        assert!((stats.fill_4x4 - 1.0).abs() < 1e-12);
+        assert!(stats.has_block_structure());
+        assert!(!stats.has_short_rows());
+        // Dense-in-sparse CSR flop:byte approaches 2/12 = 0.167 (8B value + 4B index).
+        assert!((stats.flop_byte_csr - 0.166).abs() < 0.01);
+    }
+
+    #[test]
+    fn diagonal_matrix_stats() {
+        let n = 512;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0);
+        }
+        let stats = MatrixStats::compute(&CsrMatrix::from_coo(&coo));
+        assert!((stats.diagonal_fraction - 1.0).abs() < 1e-12);
+        assert!(stats.has_short_rows());
+        assert!((stats.fill_2x2 - 2.0).abs() < 1e-12);
+        assert!(!stats.has_block_structure());
+    }
+
+    #[test]
+    fn rectangular_aspect_ratio() {
+        let coo = CooMatrix::from_triplets(4, 1000, vec![(0, 999, 1.0), (3, 0, 1.0)]).unwrap();
+        let stats = MatrixStats::compute(&CsrMatrix::from_coo(&coo));
+        assert_eq!(stats.aspect_ratio, 250.0);
+        assert_eq!(stats.empty_rows, 2);
+        assert_eq!(stats.nnz_per_row_max, 1);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let stats = MatrixStats::compute(&CsrMatrix::from_coo(&CooMatrix::new(0, 0)));
+        assert_eq!(stats.nnz, 0);
+        assert_eq!(stats.nnz_per_row_min, 0);
+        assert_eq!(stats.diagonal_fraction, 0.0);
+    }
+
+    #[test]
+    fn stats_clone_and_compare() {
+        let coo = CooMatrix::from_triplets(10, 10, vec![(0, 0, 1.0), (5, 5, 2.0)]).unwrap();
+        let stats = MatrixStats::compute(&CsrMatrix::from_coo(&coo));
+        let copy = stats.clone();
+        assert_eq!(stats, copy);
+        assert_eq!(copy.nnz, 2);
+    }
+}

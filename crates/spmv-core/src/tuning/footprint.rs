@@ -1,0 +1,262 @@
+//! Footprint models for candidate storage formats.
+//!
+//! Given the fill estimates produced by [`crate::blocking::register::estimate_fill`],
+//! these routines compute the exact byte cost of every (format, block shape, index
+//! width) combination so the heuristic can pick the minimum without materializing
+//! anything.
+
+use crate::blocking::register::{estimate_all_shapes, FillEstimate};
+use crate::formats::csr::CsrMatrix;
+use crate::formats::index::IndexWidth;
+use crate::formats::traits::MatrixShape;
+use crate::{INDEX32_BYTES, VALUE_BYTES};
+
+/// Which storage family a choice refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatKind {
+    /// Plain CSR (1×1, 32-bit indices, full row pointer).
+    Csr,
+    /// Register-blocked CSR.
+    Bcsr,
+    /// Block coordinate.
+    Bcoo,
+    /// Generalized CSR (occupied rows only, no register blocking).
+    Gcsr,
+}
+
+/// A fully-specified storage decision for one matrix or cache block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormatChoice {
+    /// Storage family.
+    pub kind: FormatKind,
+    /// Register block rows (1 for CSR/GCSR).
+    pub r: usize,
+    /// Register block columns (1 for CSR/GCSR).
+    pub c: usize,
+    /// Index width.
+    pub width: IndexWidth,
+    /// Predicted storage bytes.
+    pub bytes: usize,
+    /// Predicted fill ratio (stored / logical nonzeros).
+    pub fill_ratio: f64,
+}
+
+/// Exact CSR byte cost (the naive reference format).
+pub fn csr_bytes(csr: &CsrMatrix) -> usize {
+    csr.nnz() * (VALUE_BYTES + INDEX32_BYTES) + (csr.nrows() + 1) * INDEX32_BYTES
+}
+
+/// Exact GCSR byte cost at a given index width.
+pub fn gcsr_bytes(csr: &CsrMatrix, width: IndexWidth) -> usize {
+    let occupied = csr.nrows() - csr.empty_rows();
+    csr.nnz() * VALUE_BYTES
+        + csr.nnz() * width.bytes()
+        + occupied * width.bytes()
+        + (occupied + 1) * INDEX32_BYTES
+}
+
+/// Options controlling which candidates [`enumerate_choices`] considers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateOptions {
+    /// Consider register block shapes other than 1×1.
+    pub register_blocking: bool,
+    /// Consider 16-bit indices when the span fits.
+    pub allow_u16: bool,
+    /// Consider BCOO storage.
+    pub allow_bcoo: bool,
+    /// Consider GCSR storage.
+    pub allow_gcsr: bool,
+}
+
+impl Default for CandidateOptions {
+    fn default() -> Self {
+        CandidateOptions { register_blocking: true, allow_u16: true, allow_bcoo: true, allow_gcsr: true }
+    }
+}
+
+/// Enumerate every admissible `FormatChoice` for `csr` under `opts`.
+pub fn enumerate_choices(csr: &CsrMatrix, opts: &CandidateOptions) -> Vec<FormatChoice> {
+    let mut out = Vec::new();
+    let nrows = csr.nrows();
+    let ncols = csr.ncols();
+
+    // Plain CSR is always admissible (the fallback the paper's heuristic starts from).
+    out.push(FormatChoice {
+        kind: FormatKind::Csr,
+        r: 1,
+        c: 1,
+        width: IndexWidth::U32,
+        bytes: csr_bytes(csr),
+        fill_ratio: 1.0,
+    });
+
+    let widths = |span_r: usize, span_c: usize| -> Vec<IndexWidth> {
+        let mut w = vec![IndexWidth::U32];
+        if opts.allow_u16 && IndexWidth::U16.fits(span_r) && IndexWidth::U16.fits(span_c) {
+            w.push(IndexWidth::U16);
+        }
+        w
+    };
+
+    if opts.allow_gcsr {
+        for width in widths(nrows, ncols) {
+            out.push(FormatChoice {
+                kind: FormatKind::Gcsr,
+                r: 1,
+                c: 1,
+                width,
+                bytes: gcsr_bytes(csr, width),
+                fill_ratio: 1.0,
+            });
+        }
+    }
+
+    let estimates: Vec<FillEstimate> = if opts.register_blocking {
+        estimate_all_shapes(csr)
+    } else {
+        vec![crate::blocking::register::estimate_fill(csr, 1, 1)]
+    };
+
+    for est in &estimates {
+        let nblock_rows = nrows.div_ceil(est.r);
+        let nblock_cols = ncols.div_ceil(est.c);
+        for width in widths(nblock_rows, nblock_cols) {
+            out.push(FormatChoice {
+                kind: FormatKind::Bcsr,
+                r: est.r,
+                c: est.c,
+                width,
+                bytes: est.bcsr_bytes(nrows, width),
+                fill_ratio: est.fill_ratio,
+            });
+            if opts.allow_bcoo {
+                out.push(FormatChoice {
+                    kind: FormatKind::Bcoo,
+                    r: est.r,
+                    c: est.c,
+                    width,
+                    bytes: est.bcoo_bytes(width),
+                    fill_ratio: est.fill_ratio,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Pick the smallest-footprint choice (ties broken toward simpler formats because
+/// `enumerate_choices` lists them first).
+pub fn best_choice(csr: &CsrMatrix, opts: &CandidateOptions) -> FormatChoice {
+    enumerate_choices(csr, opts)
+        .into_iter()
+        .min_by(|a, b| a.bytes.cmp(&b.bytes))
+        .expect("at least the CSR candidate exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::CooMatrix;
+
+    fn diag(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    fn block44(nblocks: usize) -> CsrMatrix {
+        let n = nblocks * 4;
+        let mut coo = CooMatrix::new(n, n);
+        for b in 0..nblocks {
+            for i in 0..4 {
+                for j in 0..4 {
+                    coo.push(b * 4 + i, b * 4 + j, 1.0);
+                }
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn block_structured_matrix_prefers_4x4_blocks() {
+        let csr = block44(64);
+        let choice = best_choice(&csr, &CandidateOptions::default());
+        // With exactly one tile per block row, BCOO (two 2-byte coordinates per tile)
+        // edges out BCSR (one coordinate plus a 4-byte pointer per block row); either
+        // way the winner must use 4x4 tiles with compressed indices and no fill.
+        assert!(matches!(choice.kind, FormatKind::Bcsr | FormatKind::Bcoo));
+        assert_eq!((choice.r, choice.c), (4, 4));
+        assert_eq!(choice.width, IndexWidth::U16);
+        assert!((choice.fill_ratio - 1.0).abs() < 1e-12);
+        assert!(choice.bytes < csr_bytes(&csr));
+    }
+
+    #[test]
+    fn diagonal_matrix_does_not_pay_fill() {
+        let csr = diag(1000);
+        let choice = best_choice(&csr, &CandidateOptions::default());
+        // Best encoding of a diagonal keeps 1x1 tiles (no fill) — either BCSR or
+        // BCOO with 16-bit indices.
+        assert_eq!((choice.r, choice.c), (1, 1));
+        assert!((choice.fill_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(choice.width, IndexWidth::U16);
+    }
+
+    #[test]
+    fn mostly_empty_rows_prefer_bcoo_or_gcsr() {
+        let coo = CooMatrix::from_triplets(
+            50_000,
+            50_000,
+            vec![(0, 0, 1.0), (10, 20, 2.0), (49_999, 3, 3.0)],
+        )
+        .unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let choice = best_choice(&csr, &CandidateOptions::default());
+        assert!(matches!(choice.kind, FormatKind::Bcoo | FormatKind::Gcsr));
+        assert!(choice.bytes < csr_bytes(&csr) / 100);
+    }
+
+    #[test]
+    fn disabling_register_blocking_restricts_shapes() {
+        let csr = block44(16);
+        let opts = CandidateOptions { register_blocking: false, ..Default::default() };
+        for ch in enumerate_choices(&csr, &opts) {
+            assert_eq!((ch.r, ch.c), (1, 1));
+        }
+    }
+
+    #[test]
+    fn disabling_u16_restricts_widths() {
+        let csr = diag(100);
+        let opts = CandidateOptions { allow_u16: false, ..Default::default() };
+        for ch in enumerate_choices(&csr, &opts) {
+            assert_eq!(ch.width, IndexWidth::U32);
+        }
+    }
+
+    #[test]
+    fn csr_candidate_always_present() {
+        let csr = diag(10);
+        let opts = CandidateOptions {
+            register_blocking: false,
+            allow_u16: false,
+            allow_bcoo: false,
+            allow_gcsr: false,
+        };
+        let choices = enumerate_choices(&csr, &opts);
+        assert!(choices.iter().any(|c| c.kind == FormatKind::Csr));
+        // Only CSR and the single 1x1 BCSR candidate remain.
+        assert_eq!(choices.len(), 2);
+    }
+
+    #[test]
+    fn gcsr_bytes_accounts_for_occupied_rows_only() {
+        let coo = CooMatrix::from_triplets(1000, 100, vec![(5, 5, 1.0), (6, 6, 1.0)]).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let g16 = gcsr_bytes(&csr, IndexWidth::U16);
+        // 2 values(16) + 2 col idx(4) + 2 row ids(4) + 3 row ptr entries(12)
+        assert_eq!(g16, 16 + 4 + 4 + 12);
+    }
+}

@@ -1,0 +1,422 @@
+//! The one-pass footprint-minimizing tuner.
+//!
+//! This is the paper's replacement for OSKI's search: "our implementation performs
+//! one pass over the nonzeros to determine the combination of register blocking,
+//! index size, first/last row, and format that minimizes the matrix footprint"
+//! (Section 4.2), applied independently to every cache block produced by the cache
+//! and TLB blocking passes.
+
+use crate::blocking::blocked::{BlockFormat, CacheBlock, CacheBlockedMatrix};
+use crate::blocking::cache::{cache_block, CacheBlockingConfig};
+use crate::blocking::tlb::{tlb_block, TlbConfig};
+use crate::formats::bcoo::BcooMatrix;
+use crate::formats::bcsr::BcsrMatrix;
+use crate::formats::coo::CooMatrix;
+use crate::formats::csr::CsrMatrix;
+use crate::formats::gcsr::GcsrMatrix;
+use crate::formats::traits::{MatrixShape, SpMv};
+use crate::tuning::footprint::{best_choice, CandidateOptions, FormatChoice, FormatKind};
+use std::ops::Range;
+
+/// Configuration of the full tuning pipeline — the knobs of paper Table 2's
+/// "Data Structure Optimization" column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningConfig {
+    /// Cache blocking budget; `None` disables cache blocking entirely.
+    pub cache_blocking: Option<CacheBlockingConfig>,
+    /// TLB blocking budget; `None` disables the TLB pass.
+    pub tlb_blocking: Option<TlbConfig>,
+    /// Consider register block shapes other than 1×1.
+    pub register_blocking: bool,
+    /// Consider 16-bit index compression.
+    pub allow_u16_indices: bool,
+    /// Consider BCOO storage for blocks with many empty rows.
+    pub allow_bcoo: bool,
+    /// Consider GCSR storage.
+    pub allow_gcsr: bool,
+}
+
+impl TuningConfig {
+    /// Everything enabled with default budgets — the "all optimizations" (`*`) bars
+    /// of Figure 1.
+    pub fn full() -> Self {
+        TuningConfig {
+            cache_blocking: Some(CacheBlockingConfig::default()),
+            tlb_blocking: Some(TlbConfig::default()),
+            register_blocking: true,
+            allow_u16_indices: true,
+            allow_bcoo: true,
+            allow_gcsr: true,
+        }
+    }
+
+    /// No data-structure optimization at all: plain CSR (the naive bar).
+    pub fn naive() -> Self {
+        TuningConfig {
+            cache_blocking: None,
+            tlb_blocking: None,
+            register_blocking: false,
+            allow_u16_indices: false,
+            allow_bcoo: false,
+            allow_gcsr: false,
+        }
+    }
+
+    /// Register blocking only (the `+RB` rung of Figure 1's optimization ladder).
+    pub fn register_only() -> Self {
+        TuningConfig { register_blocking: true, allow_u16_indices: true, ..Self::naive() }
+    }
+
+    /// Register + cache blocking (the `+RB,CB` rung of Figure 1).
+    pub fn register_and_cache() -> Self {
+        TuningConfig {
+            cache_blocking: Some(CacheBlockingConfig::default()),
+            ..Self::register_only()
+        }
+    }
+
+    fn candidate_options(&self) -> CandidateOptions {
+        CandidateOptions {
+            register_blocking: self.register_blocking,
+            allow_u16: self.allow_u16_indices,
+            allow_bcoo: self.allow_bcoo,
+            allow_gcsr: self.allow_gcsr,
+        }
+    }
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        TuningConfig::full()
+    }
+}
+
+/// Record of what the tuner decided for one cache block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockDecision {
+    /// Global row range of the block.
+    pub rows: Range<usize>,
+    /// Global column range of the block.
+    pub cols: Range<usize>,
+    /// The winning format choice.
+    pub choice: FormatChoice,
+    /// Nonzeros in the block.
+    pub nnz: usize,
+}
+
+/// Summary of a tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningReport {
+    /// Per-block decisions.
+    pub decisions: Vec<BlockDecision>,
+    /// Footprint of the naive CSR encoding, for the compression-ratio headline.
+    pub csr_bytes: usize,
+    /// Footprint of the tuned encoding.
+    pub tuned_bytes: usize,
+}
+
+impl TuningReport {
+    /// Tuned bytes divided by CSR bytes (≤ 1.0 means the tuner helped).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.csr_bytes == 0 {
+            return 1.0;
+        }
+        self.tuned_bytes as f64 / self.csr_bytes as f64
+    }
+}
+
+/// The tuned matrix: a cache-blocked container plus the report describing it.
+#[derive(Debug, Clone)]
+pub struct TunedMatrix {
+    matrix: CacheBlockedMatrix,
+    report: TuningReport,
+    config: TuningConfig,
+}
+
+impl TunedMatrix {
+    /// The underlying cache-blocked matrix.
+    pub fn matrix(&self) -> &CacheBlockedMatrix {
+        &self.matrix
+    }
+
+    /// The tuning report.
+    pub fn report(&self) -> &TuningReport {
+        &self.report
+    }
+
+    /// The configuration that produced this matrix.
+    pub fn config(&self) -> &TuningConfig {
+        &self.config
+    }
+}
+
+impl MatrixShape for TunedMatrix {
+    fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+    fn stored_entries(&self) -> usize {
+        self.matrix.stored_entries()
+    }
+    fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+    fn footprint_bytes(&self) -> usize {
+        self.matrix.footprint_bytes()
+    }
+}
+
+impl SpMv for TunedMatrix {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.matrix.spmv(x, y)
+    }
+}
+
+/// Materialize `choice` for the block-local CSR matrix.
+fn materialize(csr_block: &CsrMatrix, choice: &FormatChoice) -> BlockFormat {
+    match choice.kind {
+        FormatKind::Csr => BlockFormat::Csr(csr_block.clone()),
+        FormatKind::Gcsr => BlockFormat::Gcsr(
+            GcsrMatrix::from_csr(csr_block, choice.width).expect("validated width"),
+        ),
+        FormatKind::Bcsr => BlockFormat::Bcsr(
+            BcsrMatrix::from_csr(csr_block, choice.r, choice.c, choice.width)
+                .expect("validated shape/width"),
+        ),
+        FormatKind::Bcoo => BlockFormat::Bcoo(
+            BcooMatrix::from_csr(csr_block, choice.r, choice.c, choice.width)
+                .expect("validated shape/width"),
+        ),
+    }
+}
+
+/// Tune a matrix given as triplets. See [`tune_csr`].
+pub fn tune(coo: &CooMatrix, config: &TuningConfig) -> TunedMatrix {
+    tune_csr(&CsrMatrix::from_coo(coo), config)
+}
+
+/// Run the full tuning pipeline on a CSR matrix.
+pub fn tune_csr(csr: &CsrMatrix, config: &TuningConfig) -> TunedMatrix {
+    let nrows = csr.nrows();
+    let ncols = csr.ncols();
+    let opts = config.candidate_options();
+
+    // Phase 1: cache blocking (row panels × column ranges).
+    let grid: Vec<(Range<usize>, Range<usize>)> = match &config.cache_blocking {
+        None => {
+            if nrows == 0 {
+                vec![]
+            } else {
+                vec![(0..nrows, 0..ncols)]
+            }
+        }
+        Some(cfg) => {
+            let blocking = cache_block(csr, cfg);
+            let mut cells = Vec::new();
+            for (p, rows) in blocking.row_panels.iter().enumerate() {
+                // Phase 2: optional TLB refinement of each row panel. The paper
+                // performs this "between cache blocking rows and cache blocking
+                // columns"; we intersect the TLB ranges with the cache ranges,
+                // which yields the same bound on pages touched per block.
+                let col_ranges: Vec<Range<usize>> = match &config.tlb_blocking {
+                    None => blocking.col_ranges[p].clone(),
+                    Some(tlb_cfg) => {
+                        let tlb = tlb_block(csr, rows, tlb_cfg);
+                        intersect_ranges(&blocking.col_ranges[p], &tlb.col_ranges)
+                    }
+                };
+                for cols in col_ranges {
+                    cells.push((rows.clone(), cols));
+                }
+            }
+            cells
+        }
+    };
+
+    // Phase 3: per-block format selection and materialization.
+    let coo_full = csr.to_coo();
+    let mut blocks = Vec::with_capacity(grid.len());
+    let mut decisions = Vec::with_capacity(grid.len());
+    for (rows, cols) in grid {
+        let sub_coo = coo_full.sub_block(rows.clone(), cols.clone());
+        let sub_csr = CsrMatrix::from_coo(&sub_coo);
+        if sub_csr.nnz() == 0 {
+            // Empty blocks are dropped entirely: no storage, no work.
+            continue;
+        }
+        let choice = best_choice(&sub_csr, &opts);
+        decisions.push(BlockDecision {
+            rows: rows.clone(),
+            cols: cols.clone(),
+            choice,
+            nnz: sub_csr.nnz(),
+        });
+        blocks.push(CacheBlock { rows, cols, format: materialize(&sub_csr, &choice) });
+    }
+
+    let matrix = CacheBlockedMatrix::new(nrows, ncols, blocks);
+    let report = TuningReport {
+        decisions,
+        csr_bytes: crate::tuning::footprint::csr_bytes(csr),
+        tuned_bytes: matrix.footprint_bytes(),
+    };
+    TunedMatrix { matrix, report, config: *config }
+}
+
+/// Intersect two coverings of `0..ncols` into their common refinement.
+fn intersect_ranges(a: &[Range<usize>], b: &[Range<usize>]) -> Vec<Range<usize>> {
+    let mut cuts: Vec<usize> = Vec::new();
+    for r in a.iter().chain(b.iter()) {
+        cuts.push(r.start);
+        cuts.push(r.end);
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.windows(2).map(|w| w[0]..w[1]).filter(|r| r.start < r.end).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::max_abs_diff;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_coo(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CooMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        coo
+    }
+
+    fn fem_like(nblocks: usize) -> CooMatrix {
+        // Banded matrix of 4x4 dense blocks, FEM-style.
+        let n = nblocks * 4;
+        let mut coo = CooMatrix::new(n, n);
+        for b in 0..nblocks {
+            for nb in [b.wrapping_sub(1), b, b + 1] {
+                if nb >= nblocks {
+                    continue;
+                }
+                for i in 0..4 {
+                    for j in 0..4 {
+                        coo.push(b * 4 + i, nb * 4 + j, 1.0 + (i * j) as f64);
+                    }
+                }
+            }
+        }
+        coo
+    }
+
+    #[test]
+    fn every_config_produces_correct_results() {
+        let coo = random_coo(300, 250, 3000, 77);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..250).map(|i| (i as f64 * 0.11).cos()).collect();
+        let reference = csr.spmv_alloc(&x);
+        for config in [
+            TuningConfig::naive(),
+            TuningConfig::register_only(),
+            TuningConfig::register_and_cache(),
+            TuningConfig::full(),
+        ] {
+            let tuned = tune(&coo, &config);
+            let y = tuned.spmv_alloc(&x);
+            assert!(
+                max_abs_diff(&reference, &y) < 1e-9,
+                "config {config:?} produced wrong result"
+            );
+            assert_eq!(tuned.nnz(), csr.nnz());
+        }
+    }
+
+    #[test]
+    fn fem_matrix_footprint_shrinks_with_register_blocking() {
+        let coo = fem_like(200);
+        let naive = tune(&coo, &TuningConfig::naive());
+        let rb = tune(&coo, &TuningConfig::register_only());
+        assert!(rb.footprint_bytes() < naive.footprint_bytes());
+        assert!(rb.report().compression_ratio() < 0.85);
+        // At least one block should have picked a non-1x1 shape.
+        assert!(rb.report().decisions.iter().any(|d| d.choice.r > 1 || d.choice.c > 1));
+    }
+
+    #[test]
+    fn tuned_never_larger_than_csr() {
+        for seed in 0..5 {
+            let coo = random_coo(200, 200, 1500, seed);
+            let tuned = tune(&coo, &TuningConfig::full());
+            // The heuristic always has CSR as a candidate per block, and dropping
+            // empty blocks can only help, so the tuned footprint is bounded by CSR's
+            // plus per-block pointer overhead; allow a small slack for the extra
+            // row-pointer arrays introduced by row-panel splitting.
+            let slack = 1.10;
+            assert!(
+                (tuned.footprint_bytes() as f64)
+                    <= tuned.report().csr_bytes as f64 * slack,
+                "seed {seed}: tuned {} vs csr {}",
+                tuned.footprint_bytes(),
+                tuned.report().csr_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn cache_blocking_splits_large_matrices() {
+        let coo = random_coo(3000, 20_000, 30_000, 5);
+        let cfg = TuningConfig {
+            cache_blocking: Some(crate::blocking::cache::CacheBlockingConfig {
+                total_lines: 64,
+                source_fraction: 0.5,
+                dense_spans: false,
+            }),
+            ..TuningConfig::full()
+        };
+        let tuned = tune(&coo, &cfg);
+        assert!(tuned.matrix().num_blocks() > 1);
+        let x: Vec<f64> = (0..20_000).map(|i| (i % 17) as f64).collect();
+        let reference = CsrMatrix::from_coo(&coo).spmv_alloc(&x);
+        assert!(max_abs_diff(&reference, &tuned.spmv_alloc(&x)) < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_tunes_to_nothing() {
+        let coo = CooMatrix::new(100, 100);
+        let tuned = tune(&coo, &TuningConfig::full());
+        assert_eq!(tuned.matrix().num_blocks(), 0);
+        assert_eq!(tuned.spmv_alloc(&vec![1.0; 100]), vec![0.0; 100]);
+    }
+
+    #[test]
+    fn intersect_ranges_is_common_refinement() {
+        let a = vec![0..10, 10..20];
+        let b = vec![0..5, 5..20];
+        let r = intersect_ranges(&a, &b);
+        assert_eq!(r, vec![0..5, 5..10, 10..20]);
+    }
+
+    #[test]
+    fn report_compression_ratio_sane() {
+        let coo = fem_like(100);
+        let tuned = tune(&coo, &TuningConfig::full());
+        let ratio = tuned.report().compression_ratio();
+        assert!(ratio > 0.3 && ratio <= 1.05, "ratio {ratio}");
+        assert_eq!(tuned.report().tuned_bytes, tuned.footprint_bytes());
+    }
+
+    #[test]
+    fn decisions_cover_all_nonzeros() {
+        let coo = random_coo(500, 500, 4000, 9);
+        let tuned = tune(&coo, &TuningConfig::full());
+        let total: usize = tuned.report().decisions.iter().map(|d| d.nnz).sum();
+        assert_eq!(total, CsrMatrix::from_coo(&coo).nnz());
+    }
+}

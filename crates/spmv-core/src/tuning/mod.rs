@@ -1,0 +1,27 @@
+//! Matrix-structure autotuning (paper Section 4.2).
+//!
+//! The paper's key departure from OSKI is that the data structure is chosen by a
+//! **one-pass heuristic that minimizes the matrix footprint** rather than by a
+//! benchmark-driven search: for memory-bound multicore SpMV, the smallest structure
+//! is (almost always) the fastest. The pipeline is:
+//!
+//! 1. Split the matrix into cache blocks ([`crate::blocking::cache`]), optionally
+//!    refined by TLB blocking ([`crate::blocking::tlb`]).
+//! 2. For each cache block, estimate the fill of every register block shape
+//!    ([`crate::blocking::register`]), combine with the index-width and
+//!    BCSR/BCOO/GCSR choice, and pick the smallest encoding
+//!    ([`heuristic`]).
+//! 3. Materialize the winning choice per block into a [`crate::blocking::CacheBlockedMatrix`].
+//!
+//! [`search`] provides the OSKI-style exhaustive search used by the ablation study
+//! and the baseline crate. [`optimizations`] is the machine-readable form of the
+//! paper's Table 2.
+
+pub mod footprint;
+pub mod heuristic;
+pub mod optimizations;
+pub mod search;
+
+pub use footprint::{FormatChoice, FormatKind};
+pub use heuristic::{tune, tune_csr, TunedMatrix, TuningConfig, TuningReport};
+pub use search::{search_register_blocking, SearchOutcome};

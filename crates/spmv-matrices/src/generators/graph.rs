@@ -1,0 +1,125 @@
+//! Graph-like and unstructured-scatter matrices.
+//!
+//! Covers three profiles from Table 3:
+//!
+//! * **webbase** — a web-crawl connectivity matrix: power-law degree distribution,
+//!   ~3 nonzeros per row, many near-empty rows, no useful block structure.
+//! * **Circuit / Economics** — unstructured matrices with ~5–6 nonzeros per row,
+//!   a strong diagonal plus random off-diagonal couplings.
+//! * **FEM/Accelerator-like scatter** — moderate nonzeros per row but spread widely
+//!   across the columns, which defeats cache blocking (≈3 nonzeros per row per cache
+//!   block, Section 5.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spmv_core::formats::CooMatrix;
+
+/// Parameters for the graph-style generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphParams {
+    /// Number of vertices (matrix dimension).
+    pub n: usize,
+    /// Target average degree (nonzeros per row).
+    pub avg_degree: f64,
+    /// Include a unit diagonal (circuit/economics matrices have one, web graphs not).
+    pub diagonal: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate a power-law ("webbase"-like) adjacency matrix.
+///
+/// Out-degrees follow a heavy-tailed distribution (a few hub rows with thousands of
+/// links, most rows with 0–3), and targets are skewed toward low-numbered "popular"
+/// vertices, mimicking preferential attachment.
+pub fn power_law_graph(params: &GraphParams) -> CooMatrix {
+    let n = params.n;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let target_nnz = (n as f64 * params.avg_degree) as usize;
+    let mut coo = CooMatrix::with_capacity(n, n, target_nnz + n);
+    let mut emitted = 0usize;
+    for i in 0..n {
+        if params.diagonal {
+            coo.push(i, i, 1.0);
+        }
+        // Pareto-ish degree: most rows small, occasional hubs.
+        let u: f64 = rng.random_range(0.0f64..1.0).max(1e-9);
+        let degree = (params.avg_degree * 0.5 / u.powf(0.7)).min(n as f64 * 0.05) as usize;
+        for _ in 0..degree {
+            if emitted >= target_nnz {
+                break;
+            }
+            // Preferential attachment: square a uniform sample to skew toward 0.
+            let t: f64 = rng.random_range(0.0f64..1.0);
+            let j = ((t * t) * n as f64) as usize % n;
+            coo.push(i, j, rng.random_range(0.1..1.0));
+            emitted += 1;
+        }
+    }
+    coo
+}
+
+/// Generate an unstructured scatter matrix with a guaranteed diagonal — the Circuit /
+/// Economics / FEM-Accelerator profile. `avg_degree` counts the off-diagonal entries.
+pub fn random_scatter(params: &GraphParams) -> CooMatrix {
+    let n = params.n;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let off_diag = (n as f64 * params.avg_degree) as usize;
+    let mut coo = CooMatrix::with_capacity(n, n, off_diag + n);
+    if params.diagonal {
+        for i in 0..n {
+            coo.push(i, i, 4.0 + params.avg_degree);
+        }
+    }
+    for _ in 0..off_diag {
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        coo.push(i, j, rng.random_range(-1.0..1.0));
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::formats::CsrMatrix;
+    use spmv_core::stats::MatrixStats;
+    use spmv_core::MatrixShape;
+
+    #[test]
+    fn webbase_profile_short_rows_and_skew() {
+        let m = power_law_graph(&GraphParams { n: 20_000, avg_degree: 3.1, diagonal: false, seed: 3 });
+        let csr = CsrMatrix::from_coo(&m);
+        let stats = MatrixStats::compute(&csr);
+        assert!(stats.nnz_per_row_mean < 6.0);
+        assert!(stats.has_short_rows());
+        // Power-law: the max row is far heavier than the mean.
+        assert!(stats.nnz_per_row_max as f64 > stats.nnz_per_row_mean * 10.0);
+        // No dense block structure.
+        assert!(!stats.has_block_structure());
+    }
+
+    #[test]
+    fn scatter_profile_diagonal_plus_noise() {
+        let m = random_scatter(&GraphParams { n: 10_000, avg_degree: 5.0, diagonal: true, seed: 4 });
+        let csr = CsrMatrix::from_coo(&m);
+        let stats = MatrixStats::compute(&csr);
+        assert_eq!(stats.empty_rows, 0);
+        assert!(stats.nnz_per_row_mean > 4.0 && stats.nnz_per_row_mean < 8.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = GraphParams { n: 1000, avg_degree: 3.0, diagonal: false, seed: 9 };
+        assert_eq!(power_law_graph(&p), power_law_graph(&p));
+        assert_eq!(random_scatter(&p), random_scatter(&p));
+    }
+
+    #[test]
+    fn avg_degree_respected_roughly() {
+        let p = GraphParams { n: 5000, avg_degree: 4.0, diagonal: false, seed: 11 };
+        let m = power_law_graph(&p);
+        let ratio = m.nnz() as f64 / (p.n as f64 * p.avg_degree);
+        assert!(ratio > 0.3 && ratio <= 1.1, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Linear-programming constraint matrices — the LP (rail4284) profile.
+//!
+//! Table 3's LP matrix is extreme: 4K rows by 1.1M columns (aspect ratio ≈ 262),
+//! ~2825 nonzeros per row, and a highly irregular column pattern, so each row's
+//! working set of the source vector is several megabytes — far larger than any cache
+//! in the study. Cache blocking helps a lot here (Section 5.1); this generator
+//! reproduces exactly that shape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spmv_core::formats::CooMatrix;
+
+/// Parameters of the LP-style generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LpParams {
+    /// Number of constraint rows (small).
+    pub rows: usize,
+    /// Number of variable columns (huge).
+    pub cols: usize,
+    /// Average nonzeros per row (thousands).
+    pub nnz_per_row: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate the set-cover-style constraint matrix: every entry is 1.0 (set membership)
+/// and column positions are drawn from a mixture of clustered runs and uniform
+/// scatter, giving the irregular structure the paper describes.
+pub fn lp_constraint_matrix(params: &LpParams) -> CooMatrix {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut coo =
+        CooMatrix::with_capacity(params.rows, params.cols, params.rows * params.nnz_per_row);
+    for i in 0..params.rows {
+        let mut remaining = params.nnz_per_row;
+        while remaining > 0 {
+            // Alternate between a clustered run (a contiguous set of variables that
+            // belong to the same railway segment) and isolated memberships.
+            if rng.random_bool(0.5) {
+                let run = rng.random_range(4..40).min(remaining);
+                let start = rng.random_range(0..params.cols.saturating_sub(run).max(1));
+                for k in 0..run {
+                    coo.push(i, start + k, 1.0);
+                }
+                remaining -= run;
+            } else {
+                let j = rng.random_range(0..params.cols);
+                coo.push(i, j, 1.0);
+                remaining -= 1;
+            }
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::formats::CsrMatrix;
+    use spmv_core::stats::MatrixStats;
+    use spmv_core::MatrixShape;
+
+    fn params() -> LpParams {
+        LpParams { rows: 64, cols: 20_000, nnz_per_row: 400, seed: 5 }
+    }
+
+    #[test]
+    fn dramatic_aspect_ratio() {
+        let m = lp_constraint_matrix(&params());
+        let stats = MatrixStats::compute(&CsrMatrix::from_coo(&m));
+        assert!(stats.aspect_ratio > 100.0);
+        assert!(stats.nnz_per_row_mean > 300.0);
+        assert_eq!(stats.empty_rows, 0);
+    }
+
+    #[test]
+    fn entries_are_unit_membership_values() {
+        let m = lp_constraint_matrix(&params());
+        assert!(m.entries().iter().all(|t| t.val == 1.0));
+    }
+
+    #[test]
+    fn working_set_spans_many_columns() {
+        let m = lp_constraint_matrix(&params());
+        let csr = CsrMatrix::from_coo(&m);
+        // The columns touched by a single row must span a large fraction of the
+        // column space (this is what blows out the per-row source working set).
+        let row0: Vec<usize> =
+            (csr.row_ptr()[0]..csr.row_ptr()[1]).map(|k| csr.col_idx()[k] as usize).collect();
+        let span = row0.iter().max().unwrap() - row0.iter().min().unwrap();
+        assert!(span > params().cols / 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(lp_constraint_matrix(&params()), lp_constraint_matrix(&params()));
+    }
+}

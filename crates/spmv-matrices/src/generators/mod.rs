@@ -1,0 +1,16 @@
+//! Synthetic sparse-matrix generators.
+//!
+//! Each generator targets the structural profile of one class of matrices in the
+//! paper's Table 3. All generators are deterministic given a seed.
+
+pub mod dense;
+pub mod fem;
+pub mod graph;
+pub mod lp;
+pub mod stencil;
+
+pub use dense::dense_matrix;
+pub use fem::{fem_block_matrix, FemParams};
+pub use graph::{power_law_graph, random_scatter, GraphParams};
+pub use lp::{lp_constraint_matrix, LpParams};
+pub use stencil::{banded_stencil, StencilParams};

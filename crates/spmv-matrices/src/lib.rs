@@ -1,0 +1,27 @@
+//! # spmv-matrices
+//!
+//! Synthetic reproductions of the 14-matrix evaluation suite of Williams et al.
+//! (SC 2007), Table 3, plus MatrixMarket I/O and structure verification.
+//!
+//! The original study drew its matrices from applications (protein data bank, FEM
+//! meshes, a web crawl, a railway set-cover LP, ...). Those exact files are not
+//! redistributable here, and the paper's performance analysis (Section 5.1) depends
+//! only on structural properties — dimension, nonzeros per row, dense block
+//! substructure, diagonal concentration, aspect ratio, empty rows. Each generator in
+//! [`generators`] synthesizes a matrix matching the corresponding row of Table 3 in
+//! those properties; [`suite`] ties them together and exposes the whole suite at full
+//! or reduced scale.
+//!
+//! ```
+//! use spmv_matrices::suite::{SuiteMatrix, Scale};
+//! use spmv_core::MatrixShape;
+//!
+//! let m = SuiteMatrix::FemCantilever.generate(Scale::Tiny);
+//! assert!(m.nnz() > 0);
+//! ```
+
+pub mod generators;
+pub mod mmio;
+pub mod suite;
+
+pub use suite::{Scale, SuiteMatrix};

@@ -1,0 +1,189 @@
+//! Minimal MatrixMarket (`.mtx`) coordinate-format I/O.
+//!
+//! The original suite ships as Harwell-Boeing/MatrixMarket files; providing the same
+//! interchange format lets users of this reproduction run the real matrices when they
+//! have them. Only the `matrix coordinate real {general|symmetric}` flavour — what
+//! SpMV needs — is supported.
+
+use spmv_core::error::{Error, Result};
+use spmv_core::formats::CooMatrix;
+use spmv_core::MatrixShape;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Symmetry declared in the MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symmetry {
+    /// Every nonzero is listed explicitly.
+    General,
+    /// Only the lower triangle is listed; the transpose entries are implied.
+    Symmetric,
+}
+
+/// Read a MatrixMarket coordinate-format matrix.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
+    let mut lines = BufReader::new(reader).lines();
+
+    // Header line.
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Parse("empty MatrixMarket stream".to_string()))?
+        .map_err(|e| Error::Parse(e.to_string()))?;
+    let lower = header.to_lowercase();
+    if !lower.starts_with("%%matrixmarket") {
+        return Err(Error::Parse("missing %%MatrixMarket header".to_string()));
+    }
+    if !lower.contains("coordinate") {
+        return Err(Error::Parse("only coordinate format is supported".to_string()));
+    }
+    if lower.contains("complex") || lower.contains("pattern") {
+        return Err(Error::Parse("only real-valued matrices are supported".to_string()));
+    }
+    let symmetry = if lower.contains("symmetric") {
+        Symmetry::Symmetric
+    } else {
+        Symmetry::General
+    };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| Error::Parse(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(trimmed.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| Error::Parse("missing size line".to_string()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| Error::Parse(e.to_string())))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(Error::Parse(format!("size line must have 3 fields, got {}", dims.len())));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| Error::Parse(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| Error::Parse("missing row index".to_string()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| Error::Parse(e.to_string()))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| Error::Parse("missing column index".to_string()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| Error::Parse(e.to_string()))?;
+        let v: f64 = it
+            .next()
+            .ok_or_else(|| Error::Parse("missing value".to_string()))?
+            .parse()
+            .map_err(|e: std::num::ParseFloatError| Error::Parse(e.to_string()))?;
+        if i == 0 || j == 0 {
+            return Err(Error::Parse("MatrixMarket indices are 1-based".to_string()));
+        }
+        coo.try_push(i - 1, j - 1, v)?;
+        if symmetry == Symmetry::Symmetric && i != j {
+            coo.try_push(j - 1, i - 1, v)?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(Error::Parse(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo)
+}
+
+/// Write a matrix in MatrixMarket general coordinate format.
+pub fn write_matrix_market<W: Write>(coo: &CooMatrix, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by spmv-matrices")?;
+    writeln!(writer, "{} {} {}", coo.nrows(), coo.ncols(), coo.nnz())?;
+    for t in coo.entries() {
+        writeln!(writer, "{} {} {:.17e}", t.row + 1, t.col + 1, t.val)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_general() {
+        let coo = CooMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.5), (1, 2, -2.25), (2, 3, 1e-10)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&coo, &mut buf).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back.nrows(), 3);
+        assert_eq!(back.ncols(), 4);
+        assert_eq!(back.nnz(), 3);
+        assert_eq!(back.to_dense(), coo.to_dense());
+    }
+
+    #[test]
+    fn symmetric_matrices_are_expanded() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2.0\n2 1 -1.0\n3 3 4.0\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.nnz(), 4); // off-diagonal entry mirrored
+        let d = coo.to_dense();
+        assert_eq!(d[0][1], -1.0);
+        assert_eq!(d[1][0], -1.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% another\n2 2 7.0\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.nnz(), 1);
+        assert_eq!(coo.to_dense()[1][1], 7.0);
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(read_matrix_market("not a matrix".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_count_mismatch_and_zero_based() {
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+}

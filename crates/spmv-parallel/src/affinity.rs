@@ -1,0 +1,133 @@
+//! Process and memory affinity policies.
+//!
+//! The paper binds threads to cores (process affinity) and matrix blocks to the DRAM
+//! of the socket nearest those cores (memory affinity), using `libnuma`, Linux or
+//! Solaris scheduling, or `numactl` on Cell. A portable user-space library cannot
+//! guarantee placement, so these policies are represented as *data* that the
+//! executors carry and the architecture simulator interprets; the real-thread
+//! executors still use the same decomposition, so the code paths exercised are
+//! identical.
+
+use serde::{Deserialize, Serialize};
+
+/// How threads are bound to cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessAffinity {
+    /// The OS scheduler places threads wherever it likes.
+    None,
+    /// Thread `i` is bound to core `i` in socket-major order (fill one socket first).
+    Packed,
+    /// Threads are spread round-robin across sockets (maximizes aggregate bandwidth
+    /// for low thread counts on NUMA systems).
+    Scattered,
+}
+
+/// How matrix blocks are bound to memory nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryAffinity {
+    /// First-touch / default allocation (usually lands on node 0).
+    Default,
+    /// Each thread's block is allocated on that thread's node (`numactl --cpubindnode`
+    /// + libnuma in the paper).
+    Local,
+    /// Pages are interleaved across nodes (`numactl --interleave`), the paper's
+    /// fallback for the 16-SPE Cell blade runs.
+    Interleaved,
+}
+
+/// A full affinity policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AffinityPolicy {
+    /// Thread-to-core binding.
+    pub process: ProcessAffinity,
+    /// Block-to-memory binding.
+    pub memory: MemoryAffinity,
+}
+
+impl AffinityPolicy {
+    /// The fully NUMA-aware policy the paper's optimized implementation uses.
+    pub fn numa_aware() -> Self {
+        AffinityPolicy { process: ProcessAffinity::Packed, memory: MemoryAffinity::Local }
+    }
+
+    /// No affinity control at all (the naive parallel baseline).
+    pub fn none() -> Self {
+        AffinityPolicy { process: ProcessAffinity::None, memory: MemoryAffinity::Default }
+    }
+
+    /// The interleaved fallback used for the 16-SPE Cell blade experiments.
+    pub fn interleaved() -> Self {
+        AffinityPolicy { process: ProcessAffinity::Packed, memory: MemoryAffinity::Interleaved }
+    }
+
+    /// Whether this policy gives every thread local memory for its block.
+    pub fn is_fully_local(&self) -> bool {
+        self.process != ProcessAffinity::None && self.memory == MemoryAffinity::Local
+    }
+}
+
+/// Map thread index `tid` of `nthreads` onto a (socket, core-within-socket) pair for
+/// a machine with `sockets` sockets of `cores_per_socket` cores.
+pub fn map_thread_to_core(
+    tid: usize,
+    nthreads: usize,
+    sockets: usize,
+    cores_per_socket: usize,
+    policy: ProcessAffinity,
+) -> (usize, usize) {
+    assert!(sockets > 0 && cores_per_socket > 0, "machine must have cores");
+    let total = sockets * cores_per_socket;
+    let slot = match policy {
+        // Unbound threads are modelled as landing wherever round-robin puts them.
+        ProcessAffinity::None | ProcessAffinity::Packed => tid % total,
+        ProcessAffinity::Scattered => {
+            // Round-robin over sockets first.
+            let socket = tid % sockets;
+            let core = (tid / sockets) % cores_per_socket;
+            socket * cores_per_socket + core
+        }
+    };
+    let _ = nthreads;
+    (slot / cores_per_socket, slot % cores_per_socket)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_fills_socket_zero_first() {
+        let placements: Vec<(usize, usize)> =
+            (0..4).map(|t| map_thread_to_core(t, 4, 2, 2, ProcessAffinity::Packed)).collect();
+        assert_eq!(placements, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn scattered_alternates_sockets() {
+        let placements: Vec<(usize, usize)> =
+            (0..4).map(|t| map_thread_to_core(t, 4, 2, 2, ProcessAffinity::Scattered)).collect();
+        assert_eq!(placements[0].0, 0);
+        assert_eq!(placements[1].0, 1);
+        assert_eq!(placements[2].0, 0);
+        assert_eq!(placements[3].0, 1);
+    }
+
+    #[test]
+    fn more_threads_than_cores_wraps() {
+        let (s, c) = map_thread_to_core(5, 8, 2, 2, ProcessAffinity::Packed);
+        assert!(s < 2 && c < 2);
+    }
+
+    #[test]
+    fn policy_constructors() {
+        assert!(AffinityPolicy::numa_aware().is_fully_local());
+        assert!(!AffinityPolicy::none().is_fully_local());
+        assert_eq!(AffinityPolicy::interleaved().memory, MemoryAffinity::Interleaved);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have cores")]
+    fn zero_sockets_rejected() {
+        map_thread_to_core(0, 1, 0, 2, ProcessAffinity::Packed);
+    }
+}

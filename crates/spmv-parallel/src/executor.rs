@@ -1,0 +1,304 @@
+//! Row-partitioned parallel SpMV executors.
+//!
+//! Each thread owns a contiguous block of rows chosen by the nonzero-balanced
+//! partitioner (paper Section 4.3), holds its own copy of that block's data
+//! structure (so it can be placed in local memory on a NUMA system), and writes a
+//! disjoint slice of the destination vector — no locks or atomics are needed in the
+//! steady state, exactly like the paper's Pthreads implementation.
+
+use crate::pool::ThreadPool;
+use rayon::prelude::*;
+use spmv_core::formats::{CsrMatrix, SpMv};
+use spmv_core::partition::row::{partition_rows_balanced, RowPartition};
+use spmv_core::tuning::{tune_csr, TunedMatrix, TuningConfig};
+use spmv_core::MatrixShape;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Split `y` into mutable chunks matching a row partition (empty ranges allowed).
+fn split_by_partition<'a>(
+    mut y: &'a mut [f64],
+    ranges: &[Range<usize>],
+) -> Vec<&'a mut [f64]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut offset = 0usize;
+    for r in ranges {
+        debug_assert_eq!(r.start, offset, "partition must be contiguous");
+        let len = r.end - r.start;
+        let (head, tail) = y.split_at_mut(len);
+        out.push(head);
+        y = tail;
+        offset = r.end;
+    }
+    out
+}
+
+/// A row-partitioned CSR matrix ready for parallel execution.
+#[derive(Debug, Clone)]
+pub struct ParallelCsr {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    partition: RowPartition,
+    /// One CSR sub-matrix per thread, rows re-based to the block origin.
+    blocks: Vec<Arc<CsrMatrix>>,
+}
+
+impl ParallelCsr {
+    /// Partition `csr` across `nthreads` threads, balancing nonzeros.
+    pub fn new(csr: &CsrMatrix, nthreads: usize) -> Self {
+        let partition = partition_rows_balanced(csr, nthreads);
+        let blocks = partition
+            .ranges
+            .iter()
+            .map(|r| Arc::new(csr.row_slice(r.start, r.end)))
+            .collect();
+        ParallelCsr {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            nnz: csr.nnz(),
+            partition,
+            blocks,
+        }
+    }
+
+    /// The row partition in use.
+    pub fn partition(&self) -> &RowPartition {
+        &self.partition
+    }
+
+    /// Number of worker blocks.
+    pub fn num_threads(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Logical nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Execute `y ← y + A·x` with rayon (work-stealing over the thread blocks).
+    pub fn spmv_rayon(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+        let chunks = split_by_partition(y, &self.partition.ranges);
+        chunks
+            .into_par_iter()
+            .zip(self.blocks.par_iter())
+            .for_each(|(y_chunk, block)| {
+                block.spmv(x, y_chunk);
+            });
+    }
+
+    /// Execute `y ← y + A·x` on an explicit thread pool (one block per worker),
+    /// mirroring the paper's persistent-Pthreads execution.
+    pub fn spmv_pool(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+        assert_eq!(
+            pool.num_threads(),
+            self.blocks.len(),
+            "pool size must match the partition"
+        );
+        // Scoped execution: hand each worker a raw pointer to its disjoint y slice.
+        // Safety relies on the partition being disjoint and covering, which
+        // `partition_rows_balanced` guarantees (and tests verify).
+        let chunks = split_by_partition(y, &self.partition.ranges);
+        // Convert to raw parts so the closures can be 'static for the pool API.
+        let raw: Vec<(usize, usize)> =
+            chunks.iter().map(|c| (c.as_ptr() as usize, c.len())).collect();
+        let x_arc: Arc<Vec<f64>> = Arc::new(x.to_vec());
+        pool.run(|tid| {
+            let block = Arc::clone(&self.blocks[tid]);
+            let (ptr_addr, len) = raw[tid];
+            let x_arc = Arc::clone(&x_arc);
+            Box::new(move |_| {
+                // SAFETY: each worker receives a pointer to a distinct, non-overlapping
+                // sub-slice of `y` that outlives the pool.run() barrier.
+                let y_chunk =
+                    unsafe { std::slice::from_raw_parts_mut(ptr_addr as *mut f64, len) };
+                block.spmv(&x_arc, y_chunk);
+            })
+        });
+    }
+
+    /// Execute sequentially over the same blocks (for validation and as the
+    /// single-core reference with identical summation order).
+    pub fn spmv_serial(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+        let chunks = split_by_partition(y, &self.partition.ranges);
+        for (y_chunk, block) in chunks.into_iter().zip(self.blocks.iter()) {
+            block.spmv(x, y_chunk);
+        }
+    }
+}
+
+/// A row-partitioned matrix where every thread block is independently tuned
+/// (register/cache/TLB blocked) — the paper's fully-optimized configuration.
+#[derive(Debug, Clone)]
+pub struct ParallelTuned {
+    nrows: usize,
+    ncols: usize,
+    partition: RowPartition,
+    blocks: Vec<Arc<TunedMatrix>>,
+}
+
+impl ParallelTuned {
+    /// Partition and tune `csr` for `nthreads` threads using `config` per block.
+    pub fn new(csr: &CsrMatrix, nthreads: usize, config: &TuningConfig) -> Self {
+        let partition = partition_rows_balanced(csr, nthreads);
+        let blocks = partition
+            .ranges
+            .iter()
+            .map(|r| Arc::new(tune_csr(&csr.row_slice(r.start, r.end), config)))
+            .collect();
+        ParallelTuned { nrows: csr.nrows(), ncols: csr.ncols(), partition, blocks }
+    }
+
+    /// The row partition in use.
+    pub fn partition(&self) -> &RowPartition {
+        &self.partition
+    }
+
+    /// Total bytes of the tuned per-thread data structures.
+    pub fn footprint_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.footprint_bytes()).sum()
+    }
+
+    /// The per-thread tuned blocks.
+    pub fn blocks(&self) -> &[Arc<TunedMatrix>] {
+        &self.blocks
+    }
+
+    /// Execute `y ← y + A·x` with rayon.
+    pub fn spmv_rayon(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+        let chunks = split_by_partition(y, &self.partition.ranges);
+        chunks
+            .into_par_iter()
+            .zip(self.blocks.par_iter())
+            .for_each(|(y_chunk, block)| {
+                block.spmv(x, y_chunk);
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::dense::max_abs_diff;
+    use spmv_core::formats::CooMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn rayon_matches_serial_reference() {
+        let csr = random_csr(500, 400, 6000, 1);
+        let x: Vec<f64> = (0..400).map(|i| (i as f64 * 0.01).sin()).collect();
+        let reference = csr.spmv_alloc(&x);
+        for threads in [1, 2, 3, 4, 8] {
+            let par = ParallelCsr::new(&csr, threads);
+            let mut y = vec![0.0; 500];
+            par.spmv_rayon(&x, &mut y);
+            assert!(max_abs_diff(&reference, &y) < 1e-12, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_matches_serial_reference() {
+        let csr = random_csr(300, 300, 4000, 2);
+        let x: Vec<f64> = (0..300).map(|i| (i % 7) as f64 - 3.0).collect();
+        let reference = csr.spmv_alloc(&x);
+        for threads in [1, 2, 4] {
+            let par = ParallelCsr::new(&csr, threads);
+            let pool = ThreadPool::new(threads);
+            let mut y = vec![0.0; 300];
+            par.spmv_pool(&pool, &x, &mut y);
+            assert!(max_abs_diff(&reference, &y) < 1e-12, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn serial_block_execution_matches() {
+        let csr = random_csr(200, 250, 2500, 3);
+        let x: Vec<f64> = (0..250).map(|i| i as f64 * 0.5).collect();
+        let reference = csr.spmv_alloc(&x);
+        let par = ParallelCsr::new(&csr, 5);
+        let mut y = vec![0.0; 200];
+        par.spmv_serial(&x, &mut y);
+        assert!(max_abs_diff(&reference, &y) < 1e-12);
+    }
+
+    #[test]
+    fn tuned_parallel_matches_reference() {
+        let csr = random_csr(600, 500, 9000, 4);
+        let x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.03).cos()).collect();
+        let reference = csr.spmv_alloc(&x);
+        for threads in [1, 2, 4] {
+            let par = ParallelTuned::new(&csr, threads, &TuningConfig::full());
+            let mut y = vec![0.0; 600];
+            par.spmv_rayon(&x, &mut y);
+            assert!(max_abs_diff(&reference, &y) < 1e-9, "threads={threads}");
+            assert_eq!(par.blocks().len(), threads);
+            assert!(par.footprint_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn partition_balances_nonzeros() {
+        let csr = random_csr(1000, 100, 20_000, 5);
+        let par = ParallelCsr::new(&csr, 8);
+        let imbalance = par.partition().imbalance(&csr);
+        assert!(imbalance < 1.1, "imbalance {imbalance}");
+        assert_eq!(par.num_threads(), 8);
+        assert_eq!(par.nnz(), csr.nnz());
+    }
+
+    #[test]
+    fn accumulates_into_existing_destination() {
+        let csr = random_csr(50, 50, 300, 6);
+        let x = vec![1.0; 50];
+        let mut expected = vec![2.0; 50];
+        csr.spmv(&x, &mut expected);
+        let par = ParallelCsr::new(&csr, 4);
+        let mut y = vec![2.0; 50];
+        par.spmv_rayon(&x, &mut y);
+        assert!(max_abs_diff(&expected, &y) < 1e-12);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_safe() {
+        let csr = random_csr(3, 3, 6, 7);
+        let x = vec![1.0, 2.0, 3.0];
+        let reference = csr.spmv_alloc(&x);
+        let par = ParallelCsr::new(&csr, 8);
+        let mut y = vec![0.0; 3];
+        par.spmv_rayon(&x, &mut y);
+        assert!(max_abs_diff(&reference, &y) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool size")]
+    fn pool_size_mismatch_rejected() {
+        let csr = random_csr(10, 10, 20, 8);
+        let par = ParallelCsr::new(&csr, 2);
+        let pool = ThreadPool::new(3);
+        let mut y = vec![0.0; 10];
+        par.spmv_pool(&pool, &[0.0; 10], &mut y);
+    }
+}

@@ -1,0 +1,29 @@
+//! # spmv-parallel
+//!
+//! Thread-level parallel SpMV execution (paper Section 4.3).
+//!
+//! The paper parallelizes SpMV with explicitly managed Pthreads: the matrix is row
+//! partitioned with nonzeros balanced across threads, each thread's block is further
+//! cache/TLB/register blocked, and on NUMA systems both the thread (process affinity)
+//! and its matrix block (memory affinity) are pinned to the socket that owns the
+//! data. This crate reproduces that execution model on top of `std`/crossbeam scoped
+//! threads and rayon:
+//!
+//! * [`pool`] — a persistent worker pool with per-thread work descriptors, the
+//!   Pthreads analogue.
+//! * [`executor`] — row-partitioned and nonzero-partitioned parallel SpMV drivers,
+//!   validated against the serial kernels.
+//! * [`numa`] — NUMA-aware thread blocks: per-thread tuned sub-matrices with explicit
+//!   node placement metadata (the placement itself is advisory on a host OS, but the
+//!   data decomposition and the bookkeeping match the paper's implementation).
+//! * [`affinity`] — process/memory affinity policies as data, mirroring the paper's
+//!   use of `numactl`, Linux and Solaris scheduling controls.
+
+pub mod affinity;
+pub mod executor;
+pub mod numa;
+pub mod pool;
+
+pub use executor::{ParallelCsr, ParallelTuned};
+pub use numa::{NumaAwareMatrix, NumaTopology};
+pub use pool::ThreadPool;

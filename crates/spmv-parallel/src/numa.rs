@@ -1,0 +1,276 @@
+//! NUMA-aware decomposition.
+//!
+//! On the AMD X2 and the Cell blade, ignoring which socket's memory controller holds
+//! a thread's matrix block roughly halves the sustained bandwidth (paper Sections 3.1,
+//! 4.3, 6.1). The paper therefore assigns each matrix block to a specific core *and*
+//! node. This module performs the same two-level decomposition — first across NUMA
+//! nodes, then across the cores of each node — and records the placement so the
+//! architecture simulator can charge remote traffic when affinity is ignored, while
+//! the real-thread executor uses the identical block layout.
+
+use crate::affinity::AffinityPolicy;
+use rayon::prelude::*;
+use spmv_core::formats::{CsrMatrix, SpMv};
+use spmv_core::partition::row::{partition_rows_balanced, RowPartition};
+use spmv_core::tuning::{tune_csr, TunedMatrix, TuningConfig};
+use spmv_core::MatrixShape;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A NUMA machine shape: how many nodes, how many cores on each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumaTopology {
+    /// Number of NUMA nodes (sockets with their own memory controller).
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+}
+
+impl NumaTopology {
+    /// Total cores.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// The dual-socket dual-core AMD X2 of the study.
+    pub fn amd_x2() -> Self {
+        NumaTopology { nodes: 2, cores_per_node: 2 }
+    }
+
+    /// The dual-socket Cell QS20 blade (8 SPEs per socket).
+    pub fn cell_blade() -> Self {
+        NumaTopology { nodes: 2, cores_per_node: 8 }
+    }
+}
+
+/// One thread's share of the matrix, with its NUMA placement.
+#[derive(Debug, Clone)]
+pub struct ThreadBlock {
+    /// NUMA node this block (and its thread) is assigned to.
+    pub node: usize,
+    /// Core within the node.
+    pub core: usize,
+    /// Global row range owned.
+    pub rows: Range<usize>,
+    /// The tuned data structure for those rows.
+    pub matrix: Arc<TunedMatrix>,
+}
+
+/// A matrix decomposed for NUMA-aware parallel execution.
+#[derive(Debug, Clone)]
+pub struct NumaAwareMatrix {
+    nrows: usize,
+    ncols: usize,
+    topology: NumaTopology,
+    policy: AffinityPolicy,
+    node_partition: RowPartition,
+    blocks: Vec<ThreadBlock>,
+}
+
+impl NumaAwareMatrix {
+    /// Decompose `csr` over `topology` with the given affinity policy and per-block
+    /// tuning configuration.
+    ///
+    /// The decomposition is hierarchical, exactly as the paper describes: the matrix
+    /// is first split across nodes (balancing nonzeros), then each node's share is
+    /// split across its cores, and each core's share is cache/TLB/register blocked.
+    pub fn new(
+        csr: &CsrMatrix,
+        topology: NumaTopology,
+        policy: AffinityPolicy,
+        config: &TuningConfig,
+    ) -> Self {
+        let node_partition = partition_rows_balanced(csr, topology.nodes);
+        let mut blocks = Vec::with_capacity(topology.total_cores());
+        for (node, node_rows) in node_partition.ranges.iter().enumerate() {
+            let node_csr = csr.row_slice(node_rows.start, node_rows.end);
+            let core_partition = partition_rows_balanced(&node_csr, topology.cores_per_node);
+            for (core, core_rows) in core_partition.ranges.iter().enumerate() {
+                let local = node_csr.row_slice(core_rows.start, core_rows.end);
+                let tuned = tune_csr(&local, config);
+                blocks.push(ThreadBlock {
+                    node,
+                    core,
+                    rows: node_rows.start + core_rows.start..node_rows.start + core_rows.end,
+                    matrix: Arc::new(tuned),
+                });
+            }
+        }
+        NumaAwareMatrix {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            topology,
+            policy,
+            node_partition,
+            blocks,
+        }
+    }
+
+    /// The machine topology used for the decomposition.
+    pub fn topology(&self) -> NumaTopology {
+        self.topology
+    }
+
+    /// The affinity policy recorded for this decomposition.
+    pub fn policy(&self) -> AffinityPolicy {
+        self.policy
+    }
+
+    /// Per-thread blocks.
+    pub fn blocks(&self) -> &[ThreadBlock] {
+        &self.blocks
+    }
+
+    /// The node-level row partition.
+    pub fn node_partition(&self) -> &RowPartition {
+        &self.node_partition
+    }
+
+    /// Fraction of the matrix's nonzeros whose block lives on the node of the thread
+    /// that processes it. 1.0 when memory affinity is local; with `Default` placement
+    /// everything is charged to node 0 so only node-0 threads are local.
+    pub fn local_access_fraction(&self) -> f64 {
+        use crate::affinity::MemoryAffinity;
+        let total: usize = self.blocks.iter().map(|b| b.matrix.nnz()).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let local: usize = self
+            .blocks
+            .iter()
+            .filter(|b| match self.policy.memory {
+                MemoryAffinity::Local => true,
+                MemoryAffinity::Default => b.node == 0,
+                MemoryAffinity::Interleaved => false,
+            })
+            .map(|b| b.matrix.nnz())
+            .sum();
+        match self.policy.memory {
+            // Interleaving spreads pages evenly: half of the accesses are local on a
+            // two-node system, 1/nodes in general.
+            MemoryAffinity::Interleaved => 1.0 / self.topology.nodes as f64,
+            _ => local as f64 / total as f64,
+        }
+    }
+
+    /// Execute `y ← y + A·x` in parallel over the thread blocks.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+        // Split y according to the (contiguous, ordered) block row ranges.
+        let mut chunks: Vec<&mut [f64]> = Vec::with_capacity(self.blocks.len());
+        let mut rest = y;
+        let mut offset = 0usize;
+        for b in &self.blocks {
+            debug_assert_eq!(b.rows.start, offset);
+            let len = b.rows.end - b.rows.start;
+            let (head, tail) = rest.split_at_mut(len);
+            chunks.push(head);
+            rest = tail;
+            offset = b.rows.end;
+        }
+        chunks
+            .into_par_iter()
+            .zip(self.blocks.par_iter())
+            .for_each(|(y_chunk, block)| {
+                block.matrix.spmv(x, y_chunk);
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::dense::max_abs_diff;
+    use spmv_core::formats::CooMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn decomposition_covers_matrix_and_matches_reference() {
+        let csr = random_csr(800, 700, 10_000, 1);
+        let x: Vec<f64> = (0..700).map(|i| (i as f64 * 0.02).sin()).collect();
+        let reference = csr.spmv_alloc(&x);
+        let numa = NumaAwareMatrix::new(
+            &csr,
+            NumaTopology::amd_x2(),
+            AffinityPolicy::numa_aware(),
+            &TuningConfig::full(),
+        );
+        assert_eq!(numa.blocks().len(), 4);
+        let mut y = vec![0.0; 800];
+        numa.spmv(&x, &mut y);
+        assert!(max_abs_diff(&reference, &y) < 1e-9);
+    }
+
+    #[test]
+    fn blocks_are_assigned_to_both_nodes() {
+        let csr = random_csr(400, 400, 5000, 2);
+        let numa = NumaAwareMatrix::new(
+            &csr,
+            NumaTopology::cell_blade(),
+            AffinityPolicy::numa_aware(),
+            &TuningConfig::register_only(),
+        );
+        assert_eq!(numa.blocks().len(), 16);
+        let nodes: Vec<usize> = numa.blocks().iter().map(|b| b.node).collect();
+        assert!(nodes.contains(&0) && nodes.contains(&1));
+        assert_eq!(numa.topology().total_cores(), 16);
+    }
+
+    #[test]
+    fn local_fraction_reflects_policy() {
+        let csr = random_csr(600, 600, 8000, 3);
+        let make = |policy| {
+            NumaAwareMatrix::new(&csr, NumaTopology::amd_x2(), policy, &TuningConfig::naive())
+        };
+        let local = make(AffinityPolicy::numa_aware());
+        let default = make(AffinityPolicy::none());
+        let interleaved = make(AffinityPolicy::interleaved());
+        assert_eq!(local.local_access_fraction(), 1.0);
+        assert!((default.local_access_fraction() - 0.5).abs() < 0.15);
+        assert!((interleaved.local_access_fraction() - 0.5).abs() < 1e-12);
+        assert!(local.local_access_fraction() > default.local_access_fraction());
+    }
+
+    #[test]
+    fn node_partition_balances_nonzeros() {
+        let csr = random_csr(1000, 200, 30_000, 4);
+        let numa = NumaAwareMatrix::new(
+            &csr,
+            NumaTopology::amd_x2(),
+            AffinityPolicy::numa_aware(),
+            &TuningConfig::naive(),
+        );
+        assert!(numa.node_partition().imbalance(&csr) < 1.05);
+        assert_eq!(numa.policy(), AffinityPolicy::numa_aware());
+    }
+
+    #[test]
+    fn empty_matrix_decomposes() {
+        let csr = CsrMatrix::from_coo(&CooMatrix::new(16, 16));
+        let numa = NumaAwareMatrix::new(
+            &csr,
+            NumaTopology::amd_x2(),
+            AffinityPolicy::numa_aware(),
+            &TuningConfig::full(),
+        );
+        let mut y = vec![0.0; 16];
+        numa.spmv(&vec![1.0; 16], &mut y);
+        assert_eq!(y, vec![0.0; 16]);
+        assert_eq!(numa.local_access_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! A persistent worker pool — the Pthreads analogue of the paper's implementation.
+//!
+//! The paper spawns one Pthread per core, hands each a fixed thread block of the
+//! matrix, and reuses the same threads across SpMV invocations (an iterative solver
+//! calls SpMV thousands of times, so thread startup cost must be paid once). This
+//! pool reproduces that structure: workers are created once, jobs are broadcast as
+//! closures, and a barrier-style `run` call returns when every worker has finished.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+
+enum Message {
+    Run(Job),
+    Shutdown,
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct ThreadPool {
+    workers: Vec<JoinHandle<()>>,
+    senders: Vec<Sender<Message>>,
+    done_rx: Receiver<usize>,
+    jobs_in_flight: Arc<AtomicUsize>,
+}
+
+impl ThreadPool {
+    /// Spawn `nthreads` persistent workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads == 0`.
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads > 0, "thread pool requires at least one worker");
+        let (done_tx, done_rx) = unbounded::<usize>();
+        let jobs_in_flight = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::with_capacity(nthreads);
+        let mut senders = Vec::with_capacity(nthreads);
+        for tid in 0..nthreads {
+            let (tx, rx) = unbounded::<Message>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("spmv-worker-{tid}"))
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Message::Run(job) => {
+                                job(tid);
+                                let _ = done.send(tid);
+                            }
+                            Message::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn worker thread");
+            workers.push(handle);
+            senders.push(tx);
+        }
+        ThreadPool { workers, senders, done_rx, jobs_in_flight }
+    }
+
+    /// Number of workers.
+    pub fn num_threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Run `make_job(tid)`-produced closures on every worker and wait for all of them
+    /// to complete (a parallel region with an implicit barrier, like the paper's
+    /// per-SpMV pthread joins).
+    pub fn run<F>(&self, mut make_job: F)
+    where
+        F: FnMut(usize) -> Job,
+    {
+        let n = self.senders.len();
+        self.jobs_in_flight.store(n, Ordering::SeqCst);
+        for (tid, tx) in self.senders.iter().enumerate() {
+            tx.send(Message::Run(make_job(tid))).expect("worker alive");
+        }
+        for _ in 0..n {
+            self.done_rx.recv().expect("worker completion");
+            self.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Message::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn every_worker_runs_its_job() {
+        let pool = ThreadPool::new(4);
+        let hits = Arc::new(Mutex::new(vec![0usize; 4]));
+        pool.run(|tid| {
+            let hits = Arc::clone(&hits);
+            Box::new(move |worker_tid| {
+                assert_eq!(tid, worker_tid);
+                hits.lock().unwrap()[worker_tid] += 1;
+            })
+        });
+        assert_eq!(*hits.lock().unwrap(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_invocations() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            pool.run(|_tid| {
+                let counter = Arc::clone(&counter);
+                Box::new(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 30);
+    }
+
+    #[test]
+    fn run_acts_as_barrier() {
+        // After run() returns, all side effects must be visible.
+        let pool = ThreadPool::new(8);
+        let data = Arc::new(Mutex::new(vec![0.0f64; 8]));
+        pool.run(|tid| {
+            let data = Arc::clone(&data);
+            Box::new(move |_| {
+                data.lock().unwrap()[tid] = tid as f64 + 1.0;
+            })
+        });
+        let total: f64 = data.lock().unwrap().iter().sum();
+        assert_eq!(total, 36.0);
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.num_threads(), 1);
+        let flag = Arc::new(AtomicUsize::new(0));
+        pool.run(|_| {
+            let flag = Arc::clone(&flag);
+            Box::new(move |_| {
+                flag.store(7, Ordering::SeqCst);
+            })
+        });
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        ThreadPool::new(0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Platform sweep: run the architecture model for one matrix across all five
+//! platforms of the study and print the full optimization ladder for each — a
+//! single-matrix slice through Figure 1 that runs in seconds.
+//!
+//! Run with (matrix id optional, defaults to `fem_cantilever`):
+//! ```text
+//! cargo run --release --example platform_sweep -- protein
+//! ```
+
+use spmv_multicore::prelude::*;
+use spmv_multicore::spmv_archsim::platforms::PlatformId;
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "fem_cantilever".to_string());
+    let matrix = SuiteMatrix::all()
+        .into_iter()
+        .find(|m| m.id() == wanted)
+        .unwrap_or_else(|| {
+            eprintln!("unknown matrix '{wanted}', using fem_cantilever");
+            SuiteMatrix::FemCantilever
+        });
+
+    println!("platform sweep for {} ({})", matrix.spec().name, matrix.spec().notes);
+    let csr = CsrMatrix::from_coo(&matrix.generate(Scale::Small));
+    println!(
+        "synthetic instance: {} x {}, {} nonzeros\n",
+        csr.nrows(),
+        csr.ncols(),
+        csr.nnz()
+    );
+
+    for platform in PlatformId::all() {
+        println!("== {} ==", platform.name());
+        for rung in spmv_bench_ladder(platform) {
+            let result = spmv_bench::experiments::run_rung(platform, matrix, &csr, &rung);
+            println!(
+                "  {:<28} {:>6.2} Gflop/s   {:>6.2} GB/s   {}",
+                result.rung,
+                result.gflops,
+                result.consumed_gbs,
+                if result.bandwidth_bound { "memory-bound" } else { "compute-bound" }
+            );
+        }
+        println!();
+    }
+}
+
+/// Thin wrapper so the example reads naturally.
+fn spmv_bench_ladder(platform: PlatformId) -> Vec<spmv_bench::experiments::Rung> {
+    spmv_bench::experiments::ladder_for(platform)
+}

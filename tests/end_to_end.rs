@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the full pipeline from matrix generation through
+//! tuning, parallel execution, baselines, and the architecture model.
+
+use spmv_multicore::prelude::*;
+use spmv_multicore::spmv_archsim::platforms::PlatformId;
+use spmv_multicore::spmv_core::dense::max_abs_diff;
+use spmv_multicore::spmv_core::tuning::search::DenseProfile;
+use spmv_multicore::spmv_parallel::numa::{NumaAwareMatrix, NumaTopology};
+use spmv_multicore::spmv_parallel::affinity::AffinityPolicy;
+
+fn reference_and_x(matrix: SuiteMatrix) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+    let csr = CsrMatrix::from_coo(&matrix.generate(Scale::Tiny));
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| ((i * 13 + 5) % 37) as f64 * 0.1 - 1.5).collect();
+    let y = csr.spmv_alloc(&x);
+    (csr, x, y)
+}
+
+#[test]
+fn every_suite_matrix_survives_the_full_tuning_pipeline() {
+    for matrix in SuiteMatrix::all() {
+        let (csr, x, reference) = reference_and_x(matrix);
+        let tuned = tune_csr(&csr, &TuningConfig::full());
+        let y = tuned.spmv_alloc(&x);
+        assert!(
+            max_abs_diff(&reference, &y) < 1e-9,
+            "{}: tuned SpMV diverged from reference",
+            matrix.id()
+        );
+        assert_eq!(tuned.nnz(), csr.nnz(), "{}: nonzeros lost in tuning", matrix.id());
+        assert!(
+            tuned.footprint_bytes() <= (tuned.report().csr_bytes as f64 * 1.10) as usize,
+            "{}: tuned structure should not be much larger than CSR",
+            matrix.id()
+        );
+    }
+}
+
+#[test]
+fn parallel_execution_matches_serial_for_every_suite_matrix() {
+    for matrix in SuiteMatrix::all() {
+        let (csr, x, reference) = reference_and_x(matrix);
+        let parallel = ParallelTuned::new(&csr, 4, &TuningConfig::full());
+        let mut y = vec![0.0; csr.nrows()];
+        parallel.spmv_rayon(&x, &mut y);
+        assert!(
+            max_abs_diff(&reference, &y) < 1e-9,
+            "{}: parallel SpMV diverged",
+            matrix.id()
+        );
+    }
+}
+
+#[test]
+fn baselines_agree_with_reference_results() {
+    for matrix in [SuiteMatrix::Protein, SuiteMatrix::Circuit, SuiteMatrix::Lp] {
+        let (csr, x, reference) = reference_and_x(matrix);
+        let oski = OskiMatrix::tune_with_profile(&csr, &DenseProfile::synthetic());
+        assert!(
+            max_abs_diff(&reference, &oski.spmv_alloc(&x)) < 1e-9,
+            "{}: OSKI baseline diverged",
+            matrix.id()
+        );
+        let petsc = OskiPetsc::new(&csr, 4, &DenseProfile::synthetic());
+        assert!(
+            max_abs_diff(&reference, &petsc.spmv_alloc(&x)) < 1e-9,
+            "{}: OSKI-PETSc baseline diverged",
+            matrix.id()
+        );
+    }
+}
+
+#[test]
+fn numa_decomposition_matches_reference() {
+    let (csr, x, reference) = reference_and_x(SuiteMatrix::FemHarbor);
+    for (topology, policy) in [
+        (NumaTopology::amd_x2(), AffinityPolicy::numa_aware()),
+        (NumaTopology::cell_blade(), AffinityPolicy::interleaved()),
+    ] {
+        let numa = NumaAwareMatrix::new(&csr, topology, policy, &TuningConfig::full());
+        let mut y = vec![0.0; csr.nrows()];
+        numa.spmv(&x, &mut y);
+        assert!(max_abs_diff(&reference, &y) < 1e-9);
+    }
+}
+
+#[test]
+fn model_reproduces_the_paper_headline_ordering() {
+    // The paper's headline claims, checked end-to-end through generation, tuning and
+    // the architecture model on a mid-sized FEM matrix:
+    //   (1) the Cell blade is the fastest full system,
+    //   (2) every platform's full system beats its own single core,
+    //   (3) the tuned full system beats the OSKI-PETSc baseline on the x86 machines.
+    use spmv_bench::experiments::run_ladder;
+    let csr = CsrMatrix::from_coo(&SuiteMatrix::FemCantilever.generate(Scale::Tiny));
+
+    let mut full_system = std::collections::HashMap::new();
+    let mut memory_bound = std::collections::HashMap::new();
+    for platform in PlatformId::all() {
+        let results = run_ladder(platform, SuiteMatrix::FemCantilever, &csr);
+        let first = results.first().unwrap().gflops;
+        let best_parallel = results
+            .iter()
+            .filter(|r| !r.rung.contains("OSKI"))
+            .map(|r| r.gflops)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best_parallel >= first,
+            "{}: parallel should not be slower than the first rung",
+            platform.name()
+        );
+        let last = results.iter().filter(|r| !r.rung.contains("OSKI")).next_back().unwrap();
+        full_system.insert(platform, best_parallel);
+        memory_bound.insert(platform, last.bandwidth_bound);
+        if matches!(platform, PlatformId::AmdX2 | PlatformId::Clovertown) {
+            let petsc = results.iter().find(|r| r.rung == "OSKI-PETSc").unwrap().gflops;
+            let tuned = results.iter().find(|r| r.rung == "Full System [*]").unwrap().gflops;
+            assert!(tuned > petsc, "{}: tuned should beat OSKI-PETSc", platform.name());
+        }
+    }
+    // The paper's "Cell wins" headline holds in the memory-bound regime (its matrices
+    // are far larger than any cache). At the tiny test scale a matrix can become
+    // cache resident on a 4-16MB x86, which legitimately removes the bandwidth wall,
+    // so only compare against platforms that the model still reports as memory bound.
+    let blade = full_system[&PlatformId::CellBlade];
+    for other in [PlatformId::AmdX2, PlatformId::Clovertown, PlatformId::Niagara] {
+        if memory_bound[&other] {
+            assert!(
+                blade >= full_system[&other],
+                "Cell blade should beat the memory-bound {}",
+                other.name()
+            );
+        }
+    }
+    assert!(blade >= full_system[&PlatformId::Niagara]);
+}
+
+#[test]
+fn matrix_market_round_trip_preserves_spmv_results() {
+    use spmv_multicore::spmv_matrices::mmio::{read_matrix_market, write_matrix_market};
+    let coo = SuiteMatrix::Qcd.generate(Scale::Tiny);
+    let mut buffer = Vec::new();
+    write_matrix_market(&coo, &mut buffer).expect("write");
+    let read_back = read_matrix_market(&buffer[..]).expect("read");
+    let a = CsrMatrix::from_coo(&coo);
+    let b = CsrMatrix::from_coo(&read_back);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| i as f64 * 0.01).collect();
+    assert!(max_abs_diff(&a.spmv_alloc(&x), &b.spmv_alloc(&x)) < 1e-9);
+}

@@ -1,0 +1,132 @@
+//! Property-based tests (proptest) over the core data-structure invariants:
+//! every storage format and every kernel variant must compute the same product as a
+//! dense reference, for arbitrary matrices, and the tuner must never lose nonzeros
+//! or blow up the footprint.
+
+use proptest::prelude::*;
+use spmv_multicore::prelude::*;
+use spmv_multicore::spmv_core::dense::max_abs_diff;
+use spmv_multicore::spmv_core::formats::index::IndexWidth;
+use spmv_multicore::spmv_core::formats::{BcooMatrix, BcsrMatrix, CscMatrix, GcsrMatrix};
+use spmv_multicore::spmv_core::kernels::KernelVariant;
+use spmv_multicore::spmv_core::partition::row::partition_rows_balanced;
+use spmv_multicore::spmv_core::partition::segmented::{partition_nonzeros, segmented_spmv};
+
+/// Strategy: a small random sparse matrix as (nrows, ncols, entries).
+fn arb_matrix() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..40, 1usize..40).prop_flat_map(|(nrows, ncols)| {
+        let entry = (0..nrows, 0..ncols, -10.0f64..10.0);
+        proptest::collection::vec(entry, 0..200)
+            .prop_map(move |entries| (nrows, ncols, entries))
+    })
+}
+
+/// Dense reference product computed straight from the triplets.
+fn dense_reference(
+    nrows: usize,
+    entries: &[(usize, usize, f64)],
+    x: &[f64],
+) -> Vec<f64> {
+    let mut y = vec![0.0; nrows];
+    for &(r, c, v) in entries {
+        y[r] += v * x[c];
+    }
+    y
+}
+
+fn build(nrows: usize, ncols: usize, entries: &[(usize, usize, f64)]) -> (CooMatrix, CsrMatrix) {
+    let coo = CooMatrix::from_triplets(nrows, ncols, entries.iter().copied()).unwrap();
+    let csr = CsrMatrix::from_coo(&coo);
+    (coo, csr)
+}
+
+fn test_x(ncols: usize) -> Vec<f64> {
+    (0..ncols).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_format_matches_dense_reference((nrows, ncols, entries) in arb_matrix()) {
+        let (coo, csr) = build(nrows, ncols, &entries);
+        let x = test_x(ncols);
+        let expected = dense_reference(nrows, &entries, &x);
+
+        prop_assert!(max_abs_diff(&coo.spmv_alloc(&x), &expected) < 1e-9);
+        prop_assert!(max_abs_diff(&csr.spmv_alloc(&x), &expected) < 1e-9);
+        prop_assert!(max_abs_diff(&CscMatrix::from_coo(&coo).spmv_alloc(&x), &expected) < 1e-9);
+        prop_assert!(
+            max_abs_diff(&GcsrMatrix::from_csr(&csr, IndexWidth::U32).unwrap().spmv_alloc(&x), &expected) < 1e-9
+        );
+        for &(r, c) in &[(1usize, 2usize), (2, 2), (4, 1), (4, 4)] {
+            let bcsr = BcsrMatrix::from_csr(&csr, r, c, IndexWidth::U16).unwrap();
+            prop_assert!(max_abs_diff(&bcsr.spmv_alloc(&x), &expected) < 1e-9);
+            let bcoo = BcooMatrix::from_csr(&csr, r, c, IndexWidth::U16).unwrap();
+            prop_assert!(max_abs_diff(&bcoo.spmv_alloc(&x), &expected) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn every_kernel_variant_matches_dense_reference((nrows, ncols, entries) in arb_matrix()) {
+        let (_, csr) = build(nrows, ncols, &entries);
+        let x = test_x(ncols);
+        let expected = dense_reference(nrows, &entries, &x);
+        for variant in KernelVariant::all() {
+            let mut y = vec![0.0; nrows];
+            variant.execute(&csr, &x, &mut y);
+            prop_assert!(
+                max_abs_diff(&y, &expected) < 1e-9,
+                "variant {} diverged", variant.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tuner_preserves_nonzeros_and_results((nrows, ncols, entries) in arb_matrix()) {
+        let (coo, csr) = build(nrows, ncols, &entries);
+        let x = test_x(ncols);
+        let expected = dense_reference(nrows, &entries, &x);
+        for config in [TuningConfig::naive(), TuningConfig::register_only(), TuningConfig::full()] {
+            let tuned = tune(&coo, &config);
+            prop_assert_eq!(tuned.nnz(), csr.nnz());
+            prop_assert!(max_abs_diff(&tuned.spmv_alloc(&x), &expected) < 1e-9);
+            // Stored entries can only grow (zero fill), never shrink.
+            prop_assert!(tuned.stored_entries() >= tuned.nnz());
+        }
+    }
+
+    #[test]
+    fn partitions_cover_and_preserve_results((nrows, ncols, entries) in arb_matrix(), parts in 1usize..9) {
+        let (_, csr) = build(nrows, ncols, &entries);
+        let x = test_x(ncols);
+        let expected = dense_reference(nrows, &entries, &x);
+
+        let rows = partition_rows_balanced(&csr, parts);
+        prop_assert!(rows.covers(nrows));
+        prop_assert_eq!(rows.nnz_per_part(&csr).iter().sum::<usize>(), csr.nnz());
+
+        let seg = partition_nonzeros(&csr, parts);
+        prop_assert!(seg.covers(csr.nnz()));
+        prop_assert!(max_abs_diff(&segmented_spmv(&csr, &seg, &x), &expected) < 1e-9);
+
+        let parallel = ParallelCsr::new(&csr, parts);
+        let mut y = vec![0.0; nrows];
+        parallel.spmv_rayon(&x, &mut y);
+        prop_assert!(max_abs_diff(&y, &expected) < 1e-9);
+    }
+
+    #[test]
+    fn footprint_reported_matches_accounting((nrows, ncols, entries) in arb_matrix()) {
+        let (coo, csr) = build(nrows, ncols, &entries);
+        // CSR footprint formula: nnz*(8+4) + (nrows+1)*4.
+        prop_assert_eq!(
+            csr.footprint_bytes(),
+            csr.nnz() * 12 + (nrows + 1) * 4
+        );
+        // COO footprint formula: 16 bytes per stored entry.
+        prop_assert_eq!(coo.footprint_bytes(), coo.nnz() * 16);
+        // Flop:byte of CSR never exceeds the 0.25 bound from the paper.
+        prop_assert!(csr.flop_byte_ratio() <= 0.25 + 1e-12);
+    }
+}
