@@ -69,7 +69,10 @@ impl CacheSim {
     /// Panics if the geometry is inconsistent (capacity not divisible by line size ×
     /// ways, or any parameter is zero).
     pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
-        assert!(capacity_bytes > 0 && line_bytes > 0 && ways > 0, "cache geometry must be non-zero");
+        assert!(
+            capacity_bytes > 0 && line_bytes > 0 && ways > 0,
+            "cache geometry must be non-zero"
+        );
         let lines = capacity_bytes / line_bytes;
         assert!(lines >= ways, "capacity must hold at least one set");
         let num_sets = lines / ways;
@@ -115,12 +118,10 @@ impl CacheSim {
         let (set_idx, tag) = self.locate(addr);
         let set = &mut self.sets[set_idx];
         // Hit?
-        for slot in set.iter_mut() {
-            if let Some((t, last)) = slot {
-                if *t == tag {
-                    *last = self.clock;
-                    return true;
-                }
+        for (t, last) in set.iter_mut().flatten() {
+            if *t == tag {
+                *last = self.clock;
+                return true;
             }
         }
         // Miss: fill into an invalid way or evict the LRU way.

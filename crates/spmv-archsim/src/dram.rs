@@ -42,7 +42,9 @@ pub struct MemoryModel {
 impl MemoryModel {
     /// Build the model for a platform.
     pub fn new(platform: &Platform) -> Self {
-        MemoryModel { platform: platform.clone() }
+        MemoryModel {
+            platform: platform.clone(),
+        }
     }
 
     /// Per-core sustainable bandwidth from the latency–concurrency bound
@@ -103,8 +105,7 @@ impl MemoryModel {
                 } else {
                     // All sockets contend for node 0's controller; the remote socket
                     // adds only what the coherent link carries.
-                    socket_limit * (1.0 + self.platform.memory.remote_fraction)
-                        / sockets as f64
+                    socket_limit * (1.0 + self.platform.memory.remote_fraction) / sockets as f64
                 }
             }
         };
@@ -155,7 +156,11 @@ mod tests {
         let m = model(PlatformId::AmdX2);
         let one = m.sustained_gbs(1, 1, 1, true, Placement::NumaAware);
         // Paper Table 4: 5.40 GB/s on one core.
-        assert!(one.sustained_gbs > 4.0 && one.sustained_gbs < 7.0, "{}", one.sustained_gbs);
+        assert!(
+            one.sustained_gbs > 4.0 && one.sustained_gbs < 7.0,
+            "{}",
+            one.sustained_gbs
+        );
         let socket = m.sustained_gbs(2, 1, 1, true, Placement::NumaAware);
         // Paper: 6.61 GB/s for the full socket — saturation, not 2x.
         assert!(socket.sustained_gbs > 5.5 && socket.sustained_gbs < 7.5);
@@ -170,7 +175,11 @@ mod tests {
         let m = model(PlatformId::Clovertown);
         let one = m.sustained_gbs(1, 1, 1, true, Placement::NumaAware);
         // Paper: 3.62 GB/s single core.
-        assert!(one.sustained_gbs > 2.5 && one.sustained_gbs < 4.5, "{}", one.sustained_gbs);
+        assert!(
+            one.sustained_gbs > 2.5 && one.sustained_gbs < 4.5,
+            "{}",
+            one.sustained_gbs
+        );
         let socket = m.sustained_gbs(4, 1, 1, true, Placement::NumaAware);
         // Paper: 6.56 GB/s per socket.
         assert!(socket.sustained_gbs > 5.5 && socket.sustained_gbs < 7.5);
@@ -185,11 +194,19 @@ mod tests {
         let m = model(PlatformId::Niagara);
         let one_thread = m.sustained_gbs(1, 1, 1, false, Placement::NumaAware);
         // Paper: 0.26 GB/s (1% of peak) for a single thread.
-        assert!(one_thread.sustained_gbs < 0.5, "{}", one_thread.sustained_gbs);
+        assert!(
+            one_thread.sustained_gbs < 0.5,
+            "{}",
+            one_thread.sustained_gbs
+        );
         assert!(one_thread.latency_bound);
         let full = m.sustained_gbs(8, 1, 4, false, Placement::NumaAware);
         // Paper: 5.02 GB/s (20% of peak) with 32 threads.
-        assert!(full.sustained_gbs > 3.0 && full.sustained_gbs < 8.0, "{}", full.sustained_gbs);
+        assert!(
+            full.sustained_gbs > 3.0 && full.sustained_gbs < 8.0,
+            "{}",
+            full.sustained_gbs
+        );
         assert!(full.sustained_gbs > 15.0 * one_thread.sustained_gbs);
     }
 
@@ -199,7 +216,11 @@ mod tests {
         let one = m.sustained_gbs(1, 1, 1, true, Placement::NumaAware);
         // One SPE's double-buffered DMA sustains a handful of GB/s (the paper's
         // measured 3.25 GB/s per SPE is compute-limited, not DMA-limited).
-        assert!(one.sustained_gbs > 4.0 && one.sustained_gbs < 10.0, "{}", one.sustained_gbs);
+        assert!(
+            one.sustained_gbs > 4.0 && one.sustained_gbs < 10.0,
+            "{}",
+            one.sustained_gbs
+        );
         let socket = m.sustained_gbs(8, 1, 1, true, Placement::NumaAware);
         // Paper: 23.2 GB/s — 91% of the socket's 25.6 GB/s.
         assert!(socket.sustained_gbs > 20.0 && socket.sustained_gbs < 25.6);

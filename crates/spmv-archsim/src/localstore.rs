@@ -21,7 +21,11 @@ pub struct LocalStoreBudget {
 
 impl Default for LocalStoreBudget {
     fn default() -> Self {
-        LocalStoreBudget { total_bytes: 256 * 1024, reserved_bytes: 32 * 1024, stream_fraction: 0.5 }
+        LocalStoreBudget {
+            total_bytes: 256 * 1024,
+            reserved_bytes: 32 * 1024,
+            stream_fraction: 0.5,
+        }
     }
 }
 
@@ -72,7 +76,12 @@ pub fn simulate_double_buffered(
     compute_s_per_chunk: f64,
 ) -> DmaTimeline {
     if chunks == 0 || dma_gbs <= 0.0 {
-        return DmaTimeline { total_s: 0.0, compute_s: 0.0, stall_s: 0.0, dma_utilization: 0.0 };
+        return DmaTimeline {
+            total_s: 0.0,
+            compute_s: 0.0,
+            stall_s: 0.0,
+            dma_utilization: 0.0,
+        };
     }
     let transfer_s = chunk_bytes / (dma_gbs * 1e9);
     let period = transfer_s.max(compute_s_per_chunk);
@@ -97,7 +106,12 @@ pub fn simulate_single_buffered(
     compute_s_per_chunk: f64,
 ) -> DmaTimeline {
     if chunks == 0 || dma_gbs <= 0.0 {
-        return DmaTimeline { total_s: 0.0, compute_s: 0.0, stall_s: 0.0, dma_utilization: 0.0 };
+        return DmaTimeline {
+            total_s: 0.0,
+            compute_s: 0.0,
+            stall_s: 0.0,
+            dma_utilization: 0.0,
+        };
     }
     let transfer_s = chunk_bytes / (dma_gbs * 1e9);
     let total = (transfer_s + compute_s_per_chunk) * chunks as f64;

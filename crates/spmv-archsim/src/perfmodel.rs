@@ -53,17 +53,26 @@ impl OptimizationLevel {
 
     /// Figure 1's `+PF` rung.
     pub fn prefetch() -> Self {
-        OptimizationLevel { software_prefetch: true, ..Self::naive() }
+        OptimizationLevel {
+            software_prefetch: true,
+            ..Self::naive()
+        }
     }
 
     /// Figure 1's `+PF,RB` rung.
     pub fn prefetch_register() -> Self {
-        OptimizationLevel { register_blocking: true, ..Self::prefetch() }
+        OptimizationLevel {
+            register_blocking: true,
+            ..Self::prefetch()
+        }
     }
 
     /// Figure 1's `+PF,RB,CB` rung.
     pub fn prefetch_register_cache() -> Self {
-        OptimizationLevel { cache_blocking: true, ..Self::prefetch_register() }
+        OptimizationLevel {
+            cache_blocking: true,
+            ..Self::prefetch_register()
+        }
     }
 
     /// Everything on (the `*` bars of Figure 1).
@@ -96,7 +105,12 @@ pub struct ParallelScope {
 impl ParallelScope {
     /// One core, one thread.
     pub fn single_core() -> Self {
-        ParallelScope { cores: 1, sockets: 1, threads_per_core: 1, load_imbalance: 1.0 }
+        ParallelScope {
+            cores: 1,
+            sockets: 1,
+            threads_per_core: 1,
+            load_imbalance: 1.0,
+        }
     }
 
     /// Every core of one socket.
@@ -225,7 +239,10 @@ pub struct PerformanceModel {
 impl PerformanceModel {
     /// Build the model for a platform.
     pub fn new(platform: &Platform) -> Self {
-        PerformanceModel { platform: platform.clone(), memory: MemoryModel::new(platform) }
+        PerformanceModel {
+            platform: platform.clone(),
+            memory: MemoryModel::new(platform),
+        }
     }
 
     /// The platform being modelled.
@@ -362,9 +379,7 @@ impl PerformanceModel {
         if problem_bytes <= onchip as f64 {
             return f64::INFINITY;
         }
-        let placement = if !self.platform.memory.numa {
-            Placement::NumaAware
-        } else if opt.numa_aware {
+        let placement = if !self.platform.memory.numa || opt.numa_aware {
             Placement::NumaAware
         } else if scope.sockets > 1 {
             Placement::Interleaved
@@ -391,7 +406,11 @@ impl PerformanceModel {
         let compute = self.compute_limit_gflops(workload, opt, scope);
         let bandwidth = self.bandwidth_limit_gflops(workload, opt, scope);
         let gflops = compute.min(bandwidth);
-        let time_s = if gflops > 0.0 { workload.flops() / (gflops * 1e9) } else { f64::INFINITY };
+        let time_s = if gflops > 0.0 {
+            workload.flops() / (gflops * 1e9)
+        } else {
+            f64::INFINITY
+        };
         let consumed_gbs = if time_s.is_finite() && time_s > 0.0 {
             workload.total_bytes() / time_s / 1e9
         } else {
@@ -434,7 +453,10 @@ mod tests {
     /// (value + 16-bit indices, dense cache blocks).
     fn dense_workload_cell() -> WorkloadProfile {
         let w = dense_workload_x86();
-        WorkloadProfile { matrix_bytes: w.nnz * 10, ..w }
+        WorkloadProfile {
+            matrix_bytes: w.nnz * 10,
+            ..w
+        }
     }
 
     fn model(id: PlatformId) -> PerformanceModel {
@@ -452,8 +474,16 @@ mod tests {
         let system = m.predict(&w, &opt, &ParallelScope::full_system(&p));
         // Paper Table 4: 1.33 / 1.63 / 3.09 Gflop/s.
         assert!((one.gflops - 1.33).abs() < 0.35, "one core {}", one.gflops);
-        assert!((socket.gflops - 1.63).abs() < 0.45, "socket {}", socket.gflops);
-        assert!((system.gflops - 3.09).abs() < 0.8, "system {}", system.gflops);
+        assert!(
+            (socket.gflops - 1.63).abs() < 0.45,
+            "socket {}",
+            socket.gflops
+        );
+        assert!(
+            (system.gflops - 3.09).abs() < 0.8,
+            "system {}",
+            system.gflops
+        );
         assert!(one.bandwidth_bound);
         assert!(system.gflops > socket.gflops && socket.gflops > one.gflops);
     }
@@ -469,8 +499,16 @@ mod tests {
         let system = m.predict(&w, &opt, &ParallelScope::full_system(&p));
         // Paper Table 4: 0.89 / 1.62 / 2.18 Gflop/s.
         assert!((one.gflops - 0.89).abs() < 0.3, "one core {}", one.gflops);
-        assert!((socket.gflops - 1.62).abs() < 0.45, "socket {}", socket.gflops);
-        assert!((system.gflops - 2.18).abs() < 0.6, "system {}", system.gflops);
+        assert!(
+            (socket.gflops - 1.62).abs() < 0.45,
+            "socket {}",
+            socket.gflops
+        );
+        assert!(
+            (system.gflops - 2.18).abs() < 0.6,
+            "system {}",
+            system.gflops
+        );
         // The full Clovertown system gains little over one socket (FSB-bound).
         assert!(system.gflops < 1.6 * socket.gflops);
     }
@@ -486,8 +524,16 @@ mod tests {
         let system = m.predict(&w, &opt, &ParallelScope::full_system(&p));
         // Paper Table 4: 0.065 / 0.51 / 1.24 Gflop/s.
         assert!(one.gflops < 0.12, "one thread {}", one.gflops);
-        assert!((socket.gflops - 0.51).abs() < 0.2, "socket {}", socket.gflops);
-        assert!((system.gflops - 1.24).abs() < 0.45, "system {}", system.gflops);
+        assert!(
+            (socket.gflops - 0.51).abs() < 0.2,
+            "socket {}",
+            socket.gflops
+        );
+        assert!(
+            (system.gflops - 1.24).abs() < 0.45,
+            "system {}",
+            system.gflops
+        );
         // Thread scaling is the whole story on Niagara.
         assert!(system.gflops > 10.0 * one.gflops);
     }
@@ -499,19 +545,31 @@ mod tests {
         let w = dense_workload_cell();
         // The paper's Cell implementation is "partially optimized": DMA and dense
         // cache blocks, but no NUMA awareness (the blade interleaves pages).
-        let opt = OptimizationLevel { numa_aware: false, ..OptimizationLevel::full() };
+        let opt = OptimizationLevel {
+            numa_aware: false,
+            ..OptimizationLevel::full()
+        };
         let one = ps3.predict(&w, &opt, &ParallelScope::single_core());
-        let ps3_socket =
-            ps3.predict(&w, &opt, &ParallelScope::single_socket(ps3.platform()));
-        let blade_socket =
-            blade.predict(&w, &opt, &ParallelScope::single_socket(blade.platform()));
-        let blade_system =
-            blade.predict(&w, &opt, &ParallelScope::full_system(blade.platform()));
+        let ps3_socket = ps3.predict(&w, &opt, &ParallelScope::single_socket(ps3.platform()));
+        let blade_socket = blade.predict(&w, &opt, &ParallelScope::single_socket(blade.platform()));
+        let blade_system = blade.predict(&w, &opt, &ParallelScope::full_system(blade.platform()));
         // Paper Table 4: 0.65 / 3.67 (PS3) / 4.64 (blade socket) / 6.30 (blade).
         assert!((one.gflops - 0.65).abs() < 0.2, "one SPE {}", one.gflops);
-        assert!((ps3_socket.gflops - 3.67).abs() < 0.9, "PS3 {}", ps3_socket.gflops);
-        assert!((blade_socket.gflops - 4.64).abs() < 1.0, "blade socket {}", blade_socket.gflops);
-        assert!((blade_system.gflops - 6.30).abs() < 1.6, "blade {}", blade_system.gflops);
+        assert!(
+            (ps3_socket.gflops - 3.67).abs() < 0.9,
+            "PS3 {}",
+            ps3_socket.gflops
+        );
+        assert!(
+            (blade_socket.gflops - 4.64).abs() < 1.0,
+            "blade socket {}",
+            blade_socket.gflops
+        );
+        assert!(
+            (blade_system.gflops - 6.30).abs() < 1.6,
+            "blade {}",
+            blade_system.gflops
+        );
         // One SPE is compute bound; a full blade socket is memory bound (91% of peak).
         assert!(!one.bandwidth_bound);
         assert!(blade_socket.bandwidth_bound);
@@ -528,8 +586,7 @@ mod tests {
         let amd_sys = amd.predict(&w_x86, &opt, &ParallelScope::full_system(amd.platform()));
         let clover_sys =
             clover.predict(&w_x86, &opt, &ParallelScope::full_system(clover.platform()));
-        let blade_sys =
-            blade.predict(&w_cell, &opt, &ParallelScope::full_system(blade.platform()));
+        let blade_sys = blade.predict(&w_cell, &opt, &ParallelScope::full_system(blade.platform()));
         assert!(blade_sys.gflops > amd_sys.gflops);
         assert!(blade_sys.gflops > clover_sys.gflops);
     }
@@ -572,10 +629,16 @@ mod tests {
         let amd = model(PlatformId::AmdX2);
         let clover = model(PlatformId::Clovertown);
         let scope = ParallelScope::single_core();
-        let amd_gain = amd.predict(&w, &OptimizationLevel::prefetch(), &scope).gflops
+        let amd_gain = amd
+            .predict(&w, &OptimizationLevel::prefetch(), &scope)
+            .gflops
             / amd.predict(&w, &OptimizationLevel::naive(), &scope).gflops;
-        let clover_gain = clover.predict(&w, &OptimizationLevel::prefetch(), &scope).gflops
-            / clover.predict(&w, &OptimizationLevel::naive(), &scope).gflops;
+        let clover_gain = clover
+            .predict(&w, &OptimizationLevel::prefetch(), &scope)
+            .gflops
+            / clover
+                .predict(&w, &OptimizationLevel::naive(), &scope)
+                .gflops;
         assert!(amd_gain >= clover_gain);
         assert!(amd_gain > 1.05);
     }
@@ -588,7 +651,10 @@ mod tests {
         let with = amd.predict(&w, &OptimizationLevel::full(), &scope);
         let without = amd.predict(
             &w,
-            &OptimizationLevel { numa_aware: false, ..OptimizationLevel::full() },
+            &OptimizationLevel {
+                numa_aware: false,
+                ..OptimizationLevel::full()
+            },
             &scope,
         );
         assert!(with.gflops > without.gflops);
@@ -599,7 +665,10 @@ mod tests {
         let w = dense_workload_x86();
         let amd = model(PlatformId::AmdX2);
         let balanced = ParallelScope::full_system(amd.platform());
-        let imbalanced = ParallelScope { load_imbalance: 2.0, ..balanced };
+        let imbalanced = ParallelScope {
+            load_imbalance: 2.0,
+            ..balanced
+        };
         let a = amd.predict(&w, &OptimizationLevel::full(), &balanced);
         let b = amd.predict(&w, &OptimizationLevel::full(), &imbalanced);
         assert!((b.gflops - a.gflops / 2.0).abs() < 0.3 * a.gflops);
@@ -620,8 +689,11 @@ mod tests {
             fill_ratio: 1.0,
         };
         let clover = model(PlatformId::Clovertown);
-        let p = clover
-            .predict(&w, &OptimizationLevel::full(), &ParallelScope::full_system(clover.platform()));
+        let p = clover.predict(
+            &w,
+            &OptimizationLevel::full(),
+            &ParallelScope::full_system(clover.platform()),
+        );
         assert!(!p.bandwidth_bound);
         assert!(p.bandwidth_limit_gflops.is_infinite());
         assert!(p.gflops > 4.0);
@@ -640,7 +712,11 @@ mod tests {
     fn prediction_time_and_bandwidth_consistency() {
         let w = dense_workload_x86();
         let amd = model(PlatformId::AmdX2);
-        let p = amd.predict(&w, &OptimizationLevel::full(), &ParallelScope::single_core());
+        let p = amd.predict(
+            &w,
+            &OptimizationLevel::full(),
+            &ParallelScope::single_core(),
+        );
         let expected_time = w.flops() / (p.gflops * 1e9);
         assert!((p.time_s - expected_time).abs() < 1e-9);
         assert!((p.consumed_gbs - w.total_bytes() / p.time_s / 1e9).abs() < 1e-6);

@@ -7,10 +7,8 @@
 //! lines, ~22-cycle L2, inability to cover more than one outstanding miss per thread)
 //! and from the vendors' published figures for these 2007 parts.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one of the five evaluated systems.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformId {
     /// Dual-socket, dual-core AMD Opteron 2214 (SunFire X2200 M2).
     AmdX2,
@@ -54,7 +52,7 @@ impl PlatformId {
 }
 
 /// The kind of core, which determines which optimizations matter (Table 2 columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreKind {
     /// Out-of-order superscalar x86 (Opteron, Clovertown): hardware prefetch, deep
     /// reorder window, branch misprediction costs visible on short rows.
@@ -67,7 +65,7 @@ pub enum CoreKind {
 }
 
 /// Cache hierarchy description (absent for the Cell SPEs, which use a local store).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfig {
     /// L1 data cache capacity per core, bytes.
     pub l1_bytes: usize,
@@ -84,7 +82,7 @@ pub struct CacheConfig {
 }
 
 /// Memory-system description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryConfig {
     /// Peak DRAM bandwidth per socket, GB/s (Table 1's DRAM row / sockets).
     pub peak_gbs_per_socket: f64,
@@ -105,7 +103,7 @@ pub struct MemoryConfig {
 }
 
 /// Per-core concurrency parameters for the latency–bandwidth (Little's law) model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConcurrencyConfig {
     /// Maximum useful outstanding cache-line (or DMA) requests a single
     /// core/thread sustains with only hardware mechanisms (no software prefetch).
@@ -120,7 +118,7 @@ pub struct ConcurrencyConfig {
 }
 
 /// A complete platform description (one row of Table 1 plus model parameters).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Which system this is.
     pub id: PlatformId,
@@ -401,13 +399,25 @@ mod tests {
     #[test]
     fn onchip_capacity() {
         // Clovertown: 16MB aggregate L2 (4 domains of 4MB).
-        assert_eq!(PlatformId::Clovertown.platform().total_onchip_bytes(), 16 * 1024 * 1024);
+        assert_eq!(
+            PlatformId::Clovertown.platform().total_onchip_bytes(),
+            16 * 1024 * 1024
+        );
         // AMD X2: 4 x 1MB victim caches.
-        assert_eq!(PlatformId::AmdX2.platform().total_onchip_bytes(), 4 * 1024 * 1024);
+        assert_eq!(
+            PlatformId::AmdX2.platform().total_onchip_bytes(),
+            4 * 1024 * 1024
+        );
         // Niagara: one shared 3MB L2.
-        assert_eq!(PlatformId::Niagara.platform().total_onchip_bytes(), 3 * 1024 * 1024);
+        assert_eq!(
+            PlatformId::Niagara.platform().total_onchip_bytes(),
+            3 * 1024 * 1024
+        );
         // Cell blade: 16 SPEs x 256KB local store.
-        assert_eq!(PlatformId::CellBlade.platform().total_onchip_bytes(), 4 * 1024 * 1024);
+        assert_eq!(
+            PlatformId::CellBlade.platform().total_onchip_bytes(),
+            4 * 1024 * 1024
+        );
     }
 
     #[test]

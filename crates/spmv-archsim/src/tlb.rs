@@ -41,8 +41,17 @@ impl TlbSim {
     /// The Opteron's L1 DTLB — the structure the paper blocks for — has 32 entries of
     /// 4 KiB pages.
     pub fn new(entries: usize, page_bytes: usize) -> Self {
-        assert!(entries > 0 && page_bytes > 0, "TLB geometry must be non-zero");
-        TlbSim { page_bytes, entries, slots: Vec::with_capacity(entries), clock: 0, stats: TlbStats::default() }
+        assert!(
+            entries > 0 && page_bytes > 0,
+            "TLB geometry must be non-zero"
+        );
+        TlbSim {
+            page_bytes,
+            entries,
+            slots: Vec::with_capacity(entries),
+            clock: 0,
+            stats: TlbStats::default(),
+        }
     }
 
     /// The Opteron L1 DTLB configuration (32 × 4 KiB).

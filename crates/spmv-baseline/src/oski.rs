@@ -18,7 +18,7 @@ use spmv_core::MatrixShape;
 pub struct OskiMatrix {
     /// The chosen register block shape.
     pub block_shape: (usize, usize),
-    matrix: spmv_core::formats::BcsrMatrix,
+    matrix: spmv_core::formats::BcsrAuto,
     csr_bytes: usize,
 }
 
@@ -75,10 +75,10 @@ impl OskiMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spmv_core::dense::max_abs_diff;
-    use spmv_core::formats::CooMatrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use spmv_core::dense::max_abs_diff;
+    use spmv_core::formats::CooMatrix;
 
     fn fem_like(nblocks: usize, bs: usize) -> CsrMatrix {
         let n = nblocks * bs;
@@ -99,7 +99,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut coo = CooMatrix::new(n, n);
         for _ in 0..nnz {
-            coo.push(rng.random_range(0..n), rng.random_range(0..n), rng.random_range(-1.0..1.0));
+            coo.push(
+                rng.random_range(0..n),
+                rng.random_range(0..n),
+                rng.random_range(-1.0..1.0),
+            );
         }
         CsrMatrix::from_coo(&coo)
     }
@@ -135,7 +139,10 @@ mod tests {
         // available) should never produce a larger structure than OSKI's
         // 32-bit-index BCSR choice.
         use spmv_core::tuning::{tune_csr, TuningConfig};
-        for (csr, label) in [(fem_like(80, 4), "fem"), (random_csr(400, 3000, 2), "random")] {
+        for (csr, label) in [
+            (fem_like(80, 4), "fem"),
+            (random_csr(400, 3000, 2), "random"),
+        ] {
             let oski = OskiMatrix::tune_with_profile(&csr, &DenseProfile::synthetic());
             let ours = tune_csr(&csr, &TuningConfig::full());
             assert!(

@@ -134,7 +134,13 @@ impl OskiPetsc {
                 ghost_cols,
             });
         }
-        OskiPetsc { nrows, ncols, nnz: csr.nnz(), partition, ranks }
+        OskiPetsc {
+            nrows,
+            ncols,
+            nnz: csr.nnz(),
+            partition,
+            ranks,
+        }
     }
 
     /// Number of processes.
@@ -150,8 +156,11 @@ impl OskiPetsc {
             .iter()
             .map(|r| r.diag.footprint_bytes() + r.offdiag.footprint_bytes())
             .sum();
-        let loads: Vec<usize> =
-            self.ranks.iter().map(|r| r.diag.nnz() + r.offdiag.nnz()).collect();
+        let loads: Vec<usize> = self
+            .ranks
+            .iter()
+            .map(|r| r.diag.nnz() + r.offdiag.nnz())
+            .collect();
         let max = loads.iter().copied().max().unwrap_or(0) as f64;
         let mean = if loads.is_empty() {
             0.0
@@ -208,10 +217,10 @@ impl OskiPetsc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spmv_core::dense::max_abs_diff;
-    use spmv_core::formats::SpMv;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use spmv_core::dense::max_abs_diff;
+    use spmv_core::formats::SpMv;
 
     fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -290,7 +299,11 @@ mod tests {
         let stats = petsc.comm_stats();
         // One process ends up with the lion's share of the nonzeros, like the paper's
         // FEM-Accel observation (40% of nonzeros on one of four processes).
-        assert!(stats.load_imbalance > 2.0, "imbalance {}", stats.load_imbalance);
+        assert!(
+            stats.load_imbalance > 2.0,
+            "imbalance {}",
+            stats.load_imbalance
+        );
         // The nonzero-balanced partition of the paper's own implementation fixes it.
         let balanced = spmv_core::partition::row::partition_rows_balanced(&csr, 4);
         assert!(balanced.imbalance(&csr) < 1.3);

@@ -16,6 +16,7 @@ use spmv_core::tuning::{tune_csr, TuningConfig};
 use spmv_core::MatrixShape;
 use spmv_matrices::suite::{Scale, SuiteMatrix};
 use spmv_parallel::executor::ParallelCsr;
+use spmv_parallel::ThreadPool;
 use std::hint::black_box;
 
 fn heuristic_vs_search(c: &mut Criterion) {
@@ -78,8 +79,8 @@ fn sparse_vs_dense_cache_blocking(c: &mut Criterion) {
 fn index_width(c: &mut Criterion) {
     let csr = CsrMatrix::from_coo(&SuiteMatrix::Protein.generate(Scale::Small));
     let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 19) as f64).collect();
-    let b16 = BcsrMatrix::from_csr(&csr, 2, 2, IndexWidth::U16).unwrap();
-    let b32 = BcsrMatrix::from_csr(&csr, 2, 2, IndexWidth::U32).unwrap();
+    let b16 = BcsrMatrix::<u16>::from_csr(&csr, 2, 2).unwrap();
+    let b32 = BcsrMatrix::<u32>::from_csr(&csr, 2, 2).unwrap();
     let mut group = c.benchmark_group("ablation/index_width");
     group.throughput(Throughput::Elements(csr.nnz() as u64));
     group.bench_with_input(BenchmarkId::from_parameter("u16"), &b16, |b, m| {
@@ -103,15 +104,19 @@ fn partitioning(c: &mut Criterion) {
     // Webbase's power-law rows make equal-rows partitioning imbalanced.
     let csr = CsrMatrix::from_coo(&SuiteMatrix::Webbase.generate(Scale::Small));
     let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 5) as f64).collect();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
     let balanced = ParallelCsr::new(&csr, threads);
+    let pool = ThreadPool::new(threads);
     let petsc_like = OskiPetsc_equal_rows(&csr, threads);
     let mut group = c.benchmark_group("ablation/partitioning");
     group.throughput(Throughput::Elements(csr.nnz() as u64));
     group.bench_function("nonzero_balanced", |b| {
         let mut y = vec![0.0; csr.nrows()];
         b.iter(|| {
-            balanced.spmv_rayon(black_box(&x), &mut y);
+            balanced.spmv_pool(&pool, black_box(&x), &mut y);
             black_box(&y);
         });
     });

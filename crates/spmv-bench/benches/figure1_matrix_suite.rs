@@ -11,10 +11,13 @@ use spmv_core::tuning::{tune_csr, TuningConfig};
 use spmv_core::MatrixShape;
 use spmv_matrices::suite::{Scale, SuiteMatrix};
 use spmv_parallel::executor::ParallelTuned;
+use spmv_parallel::ThreadPool;
 use std::hint::black_box;
 
 fn bench_suite(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     for matrix in SuiteMatrix::all() {
         let csr = CsrMatrix::from_coo(&matrix.generate(Scale::Small));
         let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 29) as f64 * 0.1).collect();
@@ -22,6 +25,7 @@ fn bench_suite(c: &mut Criterion) {
         let full = tune_csr(&csr, &TuningConfig::full());
         let oski = OskiMatrix::tune_with_profile(&csr, &DenseProfile::synthetic());
         let parallel = ParallelTuned::new(&csr, threads, &TuningConfig::full());
+        let pool = ThreadPool::new(threads);
 
         let mut group = c.benchmark_group(format!("figure1/{}", matrix.id()));
         group.throughput(Throughput::Elements(csr.nnz() as u64));
@@ -58,7 +62,7 @@ fn bench_suite(c: &mut Criterion) {
             |b| {
                 let mut y = vec![0.0; csr.nrows()];
                 b.iter(|| {
-                    parallel.spmv_rayon(black_box(&x), &mut y);
+                    parallel.spmv_pool(&pool, black_box(&x), &mut y);
                     black_box(&y);
                 });
             },

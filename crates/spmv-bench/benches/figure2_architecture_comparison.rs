@@ -13,6 +13,7 @@ use spmv_core::tuning::{tune_csr, TuningConfig};
 use spmv_core::MatrixShape;
 use spmv_matrices::suite::{Scale, SuiteMatrix};
 use spmv_parallel::executor::ParallelTuned;
+use spmv_parallel::ThreadPool;
 use std::hint::black_box;
 
 /// The paper summarizes per-architecture behaviour with the median matrix; FEM/Ship
@@ -22,12 +23,17 @@ const MEDIAN_MATRIX: SuiteMatrix = SuiteMatrix::FemShip;
 
 fn bench_architecture_comparison(c: &mut Criterion) {
     let csr = CsrMatrix::from_coo(&MEDIAN_MATRIX.generate(Scale::Small));
-    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 23) as f64 * 0.5 - 5.0).collect();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let x: Vec<f64> = (0..csr.ncols())
+        .map(|i| (i % 23) as f64 * 0.5 - 5.0)
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let oski = OskiMatrix::tune_with_profile(&csr, &DenseProfile::synthetic());
     let tuned = tune_csr(&csr, &TuningConfig::full());
     let parallel = ParallelTuned::new(&csr, threads, &TuningConfig::full());
+    let pool = ThreadPool::new(threads);
     let petsc = OskiPetsc::new(&csr, threads, &DenseProfile::synthetic());
 
     let mut group = c.benchmark_group("figure2/median_matrix");
@@ -58,7 +64,7 @@ fn bench_architecture_comparison(c: &mut Criterion) {
         |b| {
             let mut y = vec![0.0; csr.nrows()];
             b.iter(|| {
-                parallel.spmv_rayon(black_box(&x), &mut y);
+                parallel.spmv_pool(&pool, black_box(&x), &mut y);
                 black_box(&y);
             });
         },

@@ -1,0 +1,73 @@
+//! Criterion benchmark for the index-monomorphization tentpole: the compile-time
+//! specialized `CsrMatrix<u16>` / `CsrMatrix<u32>` kernels versus the seed's
+//! per-access enum-dispatch CSR (`EnumDispatchCsr`), on a ≥100k-nnz suite matrix.
+//!
+//! Expected shape of the result: the monomorphized u16 kernel beats the u16
+//! enum-dispatch path (same bytes streamed, no per-element tag branch) and the
+//! u16 width beats u32 at equal code (fewer index bytes on a memory-bound kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::formats::{CsrMatrix, EnumDispatchCsr, IndexWidth, SpMv};
+use spmv_core::MatrixShape;
+use spmv_matrices::suite::{Scale, SuiteMatrix};
+use std::hint::black_box;
+
+fn bench_index_monomorphization(c: &mut Criterion) {
+    for matrix in [SuiteMatrix::FemCantilever, SuiteMatrix::Epidemiology] {
+        let csr = CsrMatrix::from_coo(&matrix.generate(Scale::Small));
+        assert!(
+            csr.nnz() >= 100_000,
+            "{} at small scale must exceed 100k nnz (got {})",
+            matrix.id(),
+            csr.nnz()
+        );
+        assert!(
+            IndexWidth::U16.fits(csr.ncols()),
+            "suite matrix must be 16-bit addressable for the comparison"
+        );
+        let narrow: CsrMatrix<u16> = csr.reindex().unwrap();
+        let enum16 = EnumDispatchCsr::from_csr(&csr, IndexWidth::U16).unwrap();
+        let enum32 = EnumDispatchCsr::from_csr(&csr, IndexWidth::U32).unwrap();
+        let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+
+        let mut group = c.benchmark_group(format!("index_monomorphization/{}", matrix.id()));
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+
+        group.bench_function(BenchmarkId::from_parameter("mono-u16"), |b| {
+            let mut y = vec![0.0; csr.nrows()];
+            b.iter(|| {
+                narrow.spmv(black_box(&x), &mut y);
+                black_box(&y);
+            });
+        });
+        group.bench_function(BenchmarkId::from_parameter("mono-u32"), |b| {
+            let mut y = vec![0.0; csr.nrows()];
+            b.iter(|| {
+                csr.spmv(black_box(&x), &mut y);
+                black_box(&y);
+            });
+        });
+        group.bench_function(BenchmarkId::from_parameter("enum-dispatch-u16"), |b| {
+            let mut y = vec![0.0; csr.nrows()];
+            b.iter(|| {
+                enum16.spmv(black_box(&x), &mut y);
+                black_box(&y);
+            });
+        });
+        group.bench_function(BenchmarkId::from_parameter("enum-dispatch-u32"), |b| {
+            let mut y = vec![0.0; csr.nrows()];
+            b.iter(|| {
+                enum32.spmv(black_box(&x), &mut y);
+                black_box(&y);
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_millis(4000)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_index_monomorphization
+}
+criterion_main!(benches);

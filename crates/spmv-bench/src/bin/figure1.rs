@@ -57,8 +57,7 @@ fn main() {
         );
 
         // Headline ratios (Sections 6.2-6.5).
-        let label_idx =
-            |label: &str| ladder.iter().position(|r| r.label == label);
+        let label_idx = |label: &str| ladder.iter().position(|r| r.label == label);
         match platform {
             PlatformId::AmdX2 | PlatformId::Clovertown => {
                 let naive = medians[label_idx("1 Core - Naive").unwrap()];
@@ -67,11 +66,26 @@ fn main() {
                 let system = medians[label_idx("Full System [*]").unwrap()];
                 let oski = medians[label_idx("OSKI").unwrap()];
                 let petsc = medians[label_idx("OSKI-PETSc").unwrap()];
-                println!("  median serial speedup over naive:      {:.2}x", best_serial / naive);
-                println!("  median serial speedup over OSKI:       {:.2}x", best_serial / oski);
-                println!("  median socket speedup over serial:     {:.2}x", socket / best_serial);
-                println!("  median full-system speedup over serial:{:.2}x", system / best_serial);
-                println!("  median full-system speedup over PETSc: {:.2}x", system / petsc);
+                println!(
+                    "  median serial speedup over naive:      {:.2}x",
+                    best_serial / naive
+                );
+                println!(
+                    "  median serial speedup over OSKI:       {:.2}x",
+                    best_serial / oski
+                );
+                println!(
+                    "  median socket speedup over serial:     {:.2}x",
+                    socket / best_serial
+                );
+                println!(
+                    "  median full-system speedup over serial:{:.2}x",
+                    system / best_serial
+                );
+                println!(
+                    "  median full-system speedup over PETSc: {:.2}x",
+                    system / petsc
+                );
             }
             PlatformId::Niagara => {
                 let serial = medians[label_idx("1 Core [PF,RB,CB]").unwrap()];
@@ -79,19 +93,30 @@ fn main() {
                 let t16 = medians[label_idx("8 Cores x 2 Threads [*]").unwrap()];
                 let t32 = medians[label_idx("8 Cores x 4 Threads [*]").unwrap()];
                 println!("  speedup of  8 threads over 1 thread: {:.1}x", t8 / serial);
-                println!("  speedup of 16 threads over 1 thread: {:.1}x", t16 / serial);
-                println!("  speedup of 32 threads over 1 thread: {:.1}x", t32 / serial);
+                println!(
+                    "  speedup of 16 threads over 1 thread: {:.1}x",
+                    t16 / serial
+                );
+                println!(
+                    "  speedup of 32 threads over 1 thread: {:.1}x",
+                    t32 / serial
+                );
             }
             PlatformId::CellPs3 | PlatformId::CellBlade => {
                 let one = medians[0];
                 let last = medians[medians.len() - 1];
-                println!("  speedup of full configuration over 1 SPE: {:.1}x", last / one);
+                println!(
+                    "  speedup of full configuration over 1 SPE: {:.1}x",
+                    last / one
+                );
             }
         }
         println!();
     }
     println!("Paper reference (median, Sections 6.2-6.5): AMD X2 1.4x serial over naive, 1.2x over OSKI,");
-    println!("3.3x full system over serial, 3.2x over OSKI-PETSc; Clovertown 1.1x serial over naive,");
+    println!(
+        "3.3x full system over serial, 3.2x over OSKI-PETSc; Clovertown 1.1x serial over naive,"
+    );
     println!("2.3x full system over serial; Niagara 7.6x/13.8x/21.2x for 8/16/32 threads;");
     println!("Cell blade 9.9x for 16 SPEs over one.");
 }

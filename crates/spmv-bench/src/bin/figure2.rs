@@ -11,24 +11,60 @@ use spmv_matrices::suite::{Scale, SuiteMatrix};
 fn scopes_for(platform: PlatformId) -> [Rung; 3] {
     match platform {
         PlatformId::AmdX2 | PlatformId::Clovertown => [
-            Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "1 core" },
-            Rung { kind: RungKind::FullSocket, label: "1 socket" },
-            Rung { kind: RungKind::FullSystem, label: "full system" },
+            Rung {
+                kind: RungKind::PrefetchRegisterCache1Core,
+                label: "1 core",
+            },
+            Rung {
+                kind: RungKind::FullSocket,
+                label: "1 socket",
+            },
+            Rung {
+                kind: RungKind::FullSystem,
+                label: "full system",
+            },
         ],
         PlatformId::Niagara => [
-            Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "1 core" },
-            Rung { kind: RungKind::NiagaraThreads(1), label: "1 socket" },
-            Rung { kind: RungKind::NiagaraThreads(4), label: "full system" },
+            Rung {
+                kind: RungKind::PrefetchRegisterCache1Core,
+                label: "1 core",
+            },
+            Rung {
+                kind: RungKind::NiagaraThreads(1),
+                label: "1 socket",
+            },
+            Rung {
+                kind: RungKind::NiagaraThreads(4),
+                label: "full system",
+            },
         ],
         PlatformId::CellPs3 => [
-            Rung { kind: RungKind::CellSpes(1, 1), label: "1 core" },
-            Rung { kind: RungKind::CellSpes(6, 1), label: "1 socket" },
-            Rung { kind: RungKind::CellSpes(6, 1), label: "full system" },
+            Rung {
+                kind: RungKind::CellSpes(1, 1),
+                label: "1 core",
+            },
+            Rung {
+                kind: RungKind::CellSpes(6, 1),
+                label: "1 socket",
+            },
+            Rung {
+                kind: RungKind::CellSpes(6, 1),
+                label: "full system",
+            },
         ],
         PlatformId::CellBlade => [
-            Rung { kind: RungKind::CellSpes(1, 1), label: "1 core" },
-            Rung { kind: RungKind::CellSpes(8, 1), label: "1 socket" },
-            Rung { kind: RungKind::CellSpes(16, 2), label: "full system" },
+            Rung {
+                kind: RungKind::CellSpes(1, 1),
+                label: "1 core",
+            },
+            Rung {
+                kind: RungKind::CellSpes(8, 1),
+                label: "1 socket",
+            },
+            Rung {
+                kind: RungKind::CellSpes(16, 2),
+                label: "full system",
+            },
         ],
     }
 }
@@ -82,7 +118,12 @@ fn main() {
         "{}",
         render_table(
             "Figure 2(b): power efficiency (full-system Mflop/s per full-system Watt)",
-            &["Platform", "Median Gflop/s", "System Watts", "Mflop/s per Watt"],
+            &[
+                "Platform",
+                "Median Gflop/s",
+                "System Watts",
+                "Mflop/s per Watt"
+            ],
             &power_rows
         )
     );

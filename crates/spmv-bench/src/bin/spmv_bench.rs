@@ -1,0 +1,69 @@
+//! `spmv_bench` — the repo's native perf harness.
+//!
+//! Runs the Table-3 synthetic suite across kernel variants and thread counts and
+//! writes `BENCH_spmv.json` (GFLOP/s and bytes/nnz per configuration) so every PR
+//! has a comparable performance baseline.
+//!
+//! ```text
+//! cargo run --release -p spmv-bench --bin spmv_bench [scale] [output.json]
+//! # scale: full | quarter | small (default) | tiny
+//! ```
+//!
+//! Thread count defaults to the host parallelism; override with `SPMV_BENCH_THREADS`.
+
+use spmv_bench::perf::{harness_json, run_harness};
+use spmv_matrices::suite::Scale;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("full") => Scale::Full,
+        Some("quarter") => Scale::Quarter,
+        Some("tiny") => Scale::Tiny,
+        Some("small") | None => Scale::Small,
+        Some(other) => {
+            eprintln!("unknown scale '{other}', using small");
+            Scale::Small
+        }
+    };
+    let output = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_spmv.json".to_string());
+    let max_threads = std::env::var("SPMV_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            // Sweep at least {1, 2} so the artifact always records the parallel
+            // executor, even on single-core CI hosts (where 2 threads simply
+            // document the dispatch overhead).
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(2)
+        });
+    // Time budget per configuration; tiny runs are for CI smoke tests.
+    let budget_ms = if scale == Scale::Tiny { 10 } else { 200 };
+
+    eprintln!("[spmv_bench] scale {scale:?}, up to {max_threads} threads -> {output}");
+    let results = run_harness(scale, max_threads, budget_ms);
+    let doc = harness_json(scale, max_threads, &results);
+    std::fs::write(&output, doc.pretty()).expect("write benchmark artifact");
+
+    // Human-readable recap: the best configuration per matrix.
+    let mut best: Vec<(&str, &spmv_bench::perf::PerfResult)> = Vec::new();
+    for r in &results {
+        match best.iter_mut().find(|(m, _)| *m == r.matrix.as_str()) {
+            Some((_, cur)) if cur.gflops >= r.gflops => {}
+            Some((_, cur)) => *cur = r,
+            None => best.push((r.matrix.as_str(), r)),
+        }
+    }
+    println!("best configuration per matrix:");
+    for (matrix, r) in best {
+        println!(
+            "  {matrix:<16} {:>8.3} GFLOP/s  ({} @ {} threads, {:.1} B/nnz)",
+            r.gflops, r.variant, r.threads, r.bytes_per_nnz
+        );
+    }
+    println!("wrote {output}");
+}

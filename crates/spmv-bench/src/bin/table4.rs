@@ -18,41 +18,86 @@ fn main() {
         (
             PlatformId::AmdX2,
             [
-                Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "one core" },
-                Rung { kind: RungKind::FullSocket, label: "1 full socket" },
-                Rung { kind: RungKind::FullSystem, label: "full system" },
+                Rung {
+                    kind: RungKind::PrefetchRegisterCache1Core,
+                    label: "one core",
+                },
+                Rung {
+                    kind: RungKind::FullSocket,
+                    label: "1 full socket",
+                },
+                Rung {
+                    kind: RungKind::FullSystem,
+                    label: "full system",
+                },
             ],
         ),
         (
             PlatformId::Clovertown,
             [
-                Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "one core" },
-                Rung { kind: RungKind::FullSocket, label: "1 full socket" },
-                Rung { kind: RungKind::FullSystem, label: "full system" },
+                Rung {
+                    kind: RungKind::PrefetchRegisterCache1Core,
+                    label: "one core",
+                },
+                Rung {
+                    kind: RungKind::FullSocket,
+                    label: "1 full socket",
+                },
+                Rung {
+                    kind: RungKind::FullSystem,
+                    label: "full system",
+                },
             ],
         ),
         (
             PlatformId::Niagara,
             [
-                Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "one core" },
-                Rung { kind: RungKind::NiagaraThreads(1), label: "1 full socket" },
-                Rung { kind: RungKind::NiagaraThreads(4), label: "full system" },
+                Rung {
+                    kind: RungKind::PrefetchRegisterCache1Core,
+                    label: "one core",
+                },
+                Rung {
+                    kind: RungKind::NiagaraThreads(1),
+                    label: "1 full socket",
+                },
+                Rung {
+                    kind: RungKind::NiagaraThreads(4),
+                    label: "full system",
+                },
             ],
         ),
         (
             PlatformId::CellPs3,
             [
-                Rung { kind: RungKind::CellSpes(1, 1), label: "one core" },
-                Rung { kind: RungKind::CellSpes(6, 1), label: "1 full socket" },
-                Rung { kind: RungKind::CellSpes(6, 1), label: "full system" },
+                Rung {
+                    kind: RungKind::CellSpes(1, 1),
+                    label: "one core",
+                },
+                Rung {
+                    kind: RungKind::CellSpes(6, 1),
+                    label: "1 full socket",
+                },
+                Rung {
+                    kind: RungKind::CellSpes(6, 1),
+                    label: "full system",
+                },
             ],
         ),
         (
             PlatformId::CellBlade,
             [
-                Rung { kind: RungKind::CellSpes(1, 1), label: "one core" },
-                Rung { kind: RungKind::CellSpes(8, 1), label: "1 full socket" },
-                Rung { kind: RungKind::CellSpes(16, 2), label: "full system" },
+                Rung {
+                    kind: RungKind::CellSpes(1, 1),
+                    label: "one core",
+                },
+                Rung {
+                    kind: RungKind::CellSpes(8, 1),
+                    label: "1 full socket",
+                },
+                Rung {
+                    kind: RungKind::CellSpes(16, 2),
+                    label: "full system",
+                },
             ],
         ),
     ];

@@ -84,32 +84,92 @@ pub struct ExperimentResult {
 pub fn ladder_for(platform: PlatformId) -> Vec<Rung> {
     match platform {
         PlatformId::AmdX2 | PlatformId::Clovertown => vec![
-            Rung { kind: RungKind::Naive1Core, label: "1 Core - Naive" },
-            Rung { kind: RungKind::Prefetch1Core, label: "1 Core [PF]" },
-            Rung { kind: RungKind::PrefetchRegister1Core, label: "1 Core [PF,RB]" },
-            Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "1 Core [PF,RB,CB]" },
-            Rung { kind: RungKind::FullSocket, label: "1 Socket [*]" },
-            Rung { kind: RungKind::FullSystem, label: "Full System [*]" },
-            Rung { kind: RungKind::Oski, label: "OSKI" },
-            Rung { kind: RungKind::OskiPetsc, label: "OSKI-PETSc" },
+            Rung {
+                kind: RungKind::Naive1Core,
+                label: "1 Core - Naive",
+            },
+            Rung {
+                kind: RungKind::Prefetch1Core,
+                label: "1 Core [PF]",
+            },
+            Rung {
+                kind: RungKind::PrefetchRegister1Core,
+                label: "1 Core [PF,RB]",
+            },
+            Rung {
+                kind: RungKind::PrefetchRegisterCache1Core,
+                label: "1 Core [PF,RB,CB]",
+            },
+            Rung {
+                kind: RungKind::FullSocket,
+                label: "1 Socket [*]",
+            },
+            Rung {
+                kind: RungKind::FullSystem,
+                label: "Full System [*]",
+            },
+            Rung {
+                kind: RungKind::Oski,
+                label: "OSKI",
+            },
+            Rung {
+                kind: RungKind::OskiPetsc,
+                label: "OSKI-PETSc",
+            },
         ],
         PlatformId::Niagara => vec![
-            Rung { kind: RungKind::Naive1Core, label: "1 Core - Naive" },
-            Rung { kind: RungKind::Prefetch1Core, label: "1 Core [PF]" },
-            Rung { kind: RungKind::PrefetchRegister1Core, label: "1 Core [PF,RB]" },
-            Rung { kind: RungKind::PrefetchRegisterCache1Core, label: "1 Core [PF,RB,CB]" },
-            Rung { kind: RungKind::NiagaraThreads(1), label: "8 Cores x 1 Thread [*]" },
-            Rung { kind: RungKind::NiagaraThreads(2), label: "8 Cores x 2 Threads [*]" },
-            Rung { kind: RungKind::NiagaraThreads(4), label: "8 Cores x 4 Threads [*]" },
+            Rung {
+                kind: RungKind::Naive1Core,
+                label: "1 Core - Naive",
+            },
+            Rung {
+                kind: RungKind::Prefetch1Core,
+                label: "1 Core [PF]",
+            },
+            Rung {
+                kind: RungKind::PrefetchRegister1Core,
+                label: "1 Core [PF,RB]",
+            },
+            Rung {
+                kind: RungKind::PrefetchRegisterCache1Core,
+                label: "1 Core [PF,RB,CB]",
+            },
+            Rung {
+                kind: RungKind::NiagaraThreads(1),
+                label: "8 Cores x 1 Thread [*]",
+            },
+            Rung {
+                kind: RungKind::NiagaraThreads(2),
+                label: "8 Cores x 2 Threads [*]",
+            },
+            Rung {
+                kind: RungKind::NiagaraThreads(4),
+                label: "8 Cores x 4 Threads [*]",
+            },
         ],
         PlatformId::CellPs3 => vec![
-            Rung { kind: RungKind::CellSpes(1, 1), label: "1 SPE (PS3)" },
-            Rung { kind: RungKind::CellSpes(6, 1), label: "6 SPEs (PS3)" },
+            Rung {
+                kind: RungKind::CellSpes(1, 1),
+                label: "1 SPE (PS3)",
+            },
+            Rung {
+                kind: RungKind::CellSpes(6, 1),
+                label: "6 SPEs (PS3)",
+            },
         ],
         PlatformId::CellBlade => vec![
-            Rung { kind: RungKind::CellSpes(1, 1), label: "1 SPE" },
-            Rung { kind: RungKind::CellSpes(8, 1), label: "8 SPEs" },
-            Rung { kind: RungKind::CellSpes(16, 2), label: "Dual Socket x 8 SPEs" },
+            Rung {
+                kind: RungKind::CellSpes(1, 1),
+                label: "1 SPE",
+            },
+            Rung {
+                kind: RungKind::CellSpes(8, 1),
+                label: "8 SPEs",
+            },
+            Rung {
+                kind: RungKind::CellSpes(16, 2),
+                label: "Dual Socket x 8 SPEs",
+            },
         ],
     }
 }
@@ -164,10 +224,10 @@ fn onchip_bytes(platform: &Platform, scope: &ParallelScope) -> usize {
     match &platform.cache {
         Some(c) => {
             // Each active core brings its share of an L2 domain.
-            let domains_active =
-                (scope.cores).div_ceil(c.l2_shared_by.max(1)).max(1).min(
-                    platform.total_cores() / c.l2_shared_by.max(1),
-                );
+            let domains_active = (scope.cores)
+                .div_ceil(c.l2_shared_by.max(1))
+                .max(1)
+                .min(platform.total_cores() / c.l2_shared_by.max(1));
             c.l2_bytes * domains_active.max(1)
         }
         None => platform.local_store_bytes.unwrap_or(0) * scope.cores.max(1),
@@ -194,8 +254,12 @@ fn cache_platform_workload(
     let footprint = ex.bytes(tuned.footprint_bytes());
     let decisions = tuned.report().decisions.len().max(1);
     let row_panels = {
-        let mut starts: Vec<usize> =
-            tuned.report().decisions.iter().map(|d| d.rows.start).collect();
+        let mut starts: Vec<usize> = tuned
+            .report()
+            .decisions
+            .iter()
+            .map(|d| d.rows.start)
+            .collect();
         starts.sort_unstable();
         starts.dedup();
         starts.len().max(1)
@@ -203,7 +267,11 @@ fn cache_platform_workload(
     let fill = tuned.stored_entries() as f64 / csr.nnz().max(1) as f64;
     let cache_blocked = config.cache_blocking.is_some();
     let onchip = onchip_bytes(platform, scope);
-    let (nnz, nrows, ncols) = (ex.nnz(csr.nnz()), ex.rows(csr.nrows()), ex.cols(csr.ncols()));
+    let (nnz, nrows, ncols) = (
+        ex.nnz(csr.nnz()),
+        ex.rows(csr.nrows()),
+        ex.cols(csr.ncols()),
+    );
     let traffic = analytic_traffic(nnz, nrows, ncols, footprint, onchip, cache_blocked);
     let inner = avg_row_nnz_per_block(csr, decisions, row_panels);
     (
@@ -253,18 +321,25 @@ pub fn run_rung(
     let (workload, footprint, opt, scope) = match rung.kind {
         RungKind::Naive1Core => {
             let scope = ParallelScope::single_core();
-            let (w, f) = cache_platform_workload(csr, &platform, &TuningConfig::naive(), &scope, &ex);
+            let (w, f) =
+                cache_platform_workload(csr, &platform, &TuningConfig::naive(), &scope, &ex);
             (w, f, OptimizationLevel::naive(), scope)
         }
         RungKind::Prefetch1Core => {
             let scope = ParallelScope::single_core();
-            let (w, f) = cache_platform_workload(csr, &platform, &TuningConfig::naive(), &scope, &ex);
+            let (w, f) =
+                cache_platform_workload(csr, &platform, &TuningConfig::naive(), &scope, &ex);
             (w, f, OptimizationLevel::prefetch(), scope)
         }
         RungKind::PrefetchRegister1Core => {
             let scope = ParallelScope::single_core();
-            let (w, f) =
-                cache_platform_workload(csr, &platform, &TuningConfig::register_only(), &scope, &ex);
+            let (w, f) = cache_platform_workload(
+                csr,
+                &platform,
+                &TuningConfig::register_only(),
+                &scope,
+                &ex,
+            );
             (w, f, OptimizationLevel::prefetch_register(), scope)
         }
         RungKind::PrefetchRegisterCache1Core => {
@@ -280,12 +355,14 @@ pub fn run_rung(
         }
         RungKind::FullSocket => {
             let scope = ParallelScope::single_socket(&platform);
-            let (w, f) = cache_platform_workload(csr, &platform, &TuningConfig::full(), &scope, &ex);
+            let (w, f) =
+                cache_platform_workload(csr, &platform, &TuningConfig::full(), &scope, &ex);
             (w, f, OptimizationLevel::full(), scope)
         }
         RungKind::FullSystem => {
             let scope = ParallelScope::full_system(&platform);
-            let (w, f) = cache_platform_workload(csr, &platform, &TuningConfig::full(), &scope, &ex);
+            let (w, f) =
+                cache_platform_workload(csr, &platform, &TuningConfig::full(), &scope, &ex);
             (w, f, OptimizationLevel::full(), scope)
         }
         RungKind::NiagaraThreads(threads) => {
@@ -295,7 +372,8 @@ pub fn run_rung(
                 threads_per_core: threads,
                 load_imbalance: 1.0,
             };
-            let (w, f) = cache_platform_workload(csr, &platform, &TuningConfig::full(), &scope, &ex);
+            let (w, f) =
+                cache_platform_workload(csr, &platform, &TuningConfig::full(), &scope, &ex);
             (w, f, OptimizationLevel::full(), scope)
         }
         RungKind::CellSpes(spes, sockets) => {
@@ -322,8 +400,11 @@ pub fn run_rung(
             let oski = OskiMatrix::tune_with_profile(csr, &DenseProfile::synthetic());
             let footprint = ex.bytes(oski.footprint_bytes());
             let onchip = onchip_bytes(&platform, &scope);
-            let (nnz, nrows, ncols) =
-                (ex.nnz(csr.nnz()), ex.rows(csr.nrows()), ex.cols(csr.ncols()));
+            let (nnz, nrows, ncols) = (
+                ex.nnz(csr.nnz()),
+                ex.rows(csr.nrows()),
+                ex.cols(csr.ncols()),
+            );
             let traffic = analytic_traffic(nnz, nrows, ncols, footprint, onchip, false);
             let inner = csr.nnz() as f64 / (csr.nrows() - csr.empty_rows()).max(1) as f64;
             let w = WorkloadProfile::from_traffic(
@@ -356,8 +437,11 @@ pub fn run_rung(
                 load_imbalance: stats.load_imbalance,
             };
             let onchip = onchip_bytes(&platform, &scope);
-            let (nnz, nrows, ncols) =
-                (ex.nnz(csr.nnz()), ex.rows(csr.nrows()), ex.cols(csr.ncols()));
+            let (nnz, nrows, ncols) = (
+                ex.nnz(csr.nnz()),
+                ex.rows(csr.nrows()),
+                ex.cols(csr.ncols()),
+            );
             let matrix_bytes = ex.bytes(stats.matrix_bytes);
             let mut traffic = analytic_traffic(nnz, nrows, ncols, matrix_bytes, onchip, false);
             // The halo exchange is realized as explicit copies through shared memory:
@@ -439,7 +523,11 @@ mod tests {
         let csr = csr_for(SuiteMatrix::FemCantilever);
         let results = run_ladder(PlatformId::AmdX2, SuiteMatrix::FemCantilever, &csr);
         let by_label = |label: &str| {
-            results.iter().find(|r| r.rung == label).map(|r| r.gflops).expect("rung present")
+            results
+                .iter()
+                .find(|r| r.rung == label)
+                .map(|r| r.gflops)
+                .expect("rung present")
         };
         let naive = by_label("1 Core - Naive");
         let pf = by_label("1 Core [PF]");
@@ -449,7 +537,12 @@ mod tests {
         assert!(full_socket >= pf * 0.95);
         assert!(full_system >= full_socket);
         for r in &results {
-            assert!(r.gflops.is_finite() && r.gflops > 0.0, "{}: {}", r.rung, r.gflops);
+            assert!(
+                r.gflops.is_finite() && r.gflops > 0.0,
+                "{}: {}",
+                r.rung,
+                r.gflops
+            );
         }
     }
 
@@ -457,7 +550,10 @@ mod tests {
     fn tuned_full_system_beats_oski_petsc() {
         let csr = csr_for(SuiteMatrix::Protein);
         let results = run_ladder(PlatformId::AmdX2, SuiteMatrix::Protein, &csr);
-        let full = results.iter().find(|r| r.rung == "Full System [*]").unwrap();
+        let full = results
+            .iter()
+            .find(|r| r.rung == "Full System [*]")
+            .unwrap();
         let petsc = results.iter().find(|r| r.rung == "OSKI-PETSc").unwrap();
         let oski = results.iter().find(|r| r.rung == "OSKI").unwrap();
         assert!(full.gflops > petsc.gflops);
@@ -469,8 +565,14 @@ mod tests {
         let csr = csr_for(SuiteMatrix::FemHarbor);
         let results = run_ladder(PlatformId::Niagara, SuiteMatrix::FemHarbor, &csr);
         let one = results.iter().find(|r| r.rung == "1 Core - Naive").unwrap();
-        let t32 = results.iter().find(|r| r.rung == "8 Cores x 4 Threads [*]").unwrap();
-        let t8 = results.iter().find(|r| r.rung == "8 Cores x 1 Thread [*]").unwrap();
+        let t32 = results
+            .iter()
+            .find(|r| r.rung == "8 Cores x 4 Threads [*]")
+            .unwrap();
+        let t8 = results
+            .iter()
+            .find(|r| r.rung == "8 Cores x 1 Thread [*]")
+            .unwrap();
         assert!(t8.gflops > 4.0 * one.gflops);
         assert!(t32.gflops > t8.gflops);
     }

@@ -16,11 +16,14 @@
 //!   today?" — the native analogue of Figure 1's per-matrix ladders.
 //!
 //! Shared logic lives in [`experiments`] (optimization ladders, workload-profile
-//! construction) and [`format`] (plain-text table rendering).
+//! construction), [`format`] (plain-text table rendering), [`perf`] (the native
+//! perf harness behind the `spmv_bench` binary and `BENCH_spmv.json`) and
+//! [`json`] (the dependency-free JSON writer for benchmark artifacts).
 
 pub mod experiments;
 pub mod format;
+pub mod json;
+pub mod perf;
 
-pub use experiments::{
-    ladder_for, run_ladder, run_rung, ExperimentResult, Rung, RungKind,
-};
+pub use experiments::{ladder_for, run_ladder, run_rung, ExperimentResult, Rung, RungKind};
+pub use perf::{run_harness, PerfResult};

@@ -1,0 +1,313 @@
+//! The native performance harness behind the `spmv_bench` binary.
+//!
+//! Runs the Table-3 synthetic suite across kernel variants and thread counts on the
+//! host CPU and reports GFLOP/s (2 flops per logical nonzero, the paper's metric)
+//! plus streamed bytes per nonzero. The output lands in `BENCH_spmv.json`, the
+//! repo's perf trajectory: every future optimization PR reruns the harness and
+//! compares against the committed baseline.
+
+use crate::json::Json;
+use spmv_core::formats::{CompressedCsr, CsrMatrix, EnumDispatchCsr, IndexWidth};
+use spmv_core::kernels::KernelVariant;
+use spmv_core::tuning::footprint::csr_bytes_at;
+use spmv_core::{MatrixShape, FLOPS_PER_NNZ};
+use spmv_matrices::suite::{Scale, SuiteMatrix};
+use spmv_parallel::SpmvEngine;
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct PerfResult {
+    /// Suite matrix id.
+    pub matrix: String,
+    /// Logical nonzeros of the instance.
+    pub nnz: usize,
+    /// Variant label (kernel name, `enum-dispatch-*`, or `csr-u16`).
+    pub variant: String,
+    /// Thread count (1 = serial execution of the same kernel).
+    pub threads: usize,
+    /// Sustained GFLOP/s over the timed iterations.
+    pub gflops: f64,
+    /// Nanoseconds per SpMV iteration.
+    pub ns_per_iter: f64,
+    /// Matrix bytes streamed per logical nonzero (footprint / nnz).
+    pub bytes_per_nnz: f64,
+}
+
+impl PerfResult {
+    /// JSON form for the benchmark artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("matrix", Json::str(self.matrix.clone())),
+            ("nnz", Json::int(self.nnz)),
+            ("variant", Json::str(self.variant.clone())),
+            ("threads", Json::int(self.threads)),
+            ("gflops", Json::Num(round3(self.gflops))),
+            ("ns_per_iter", Json::Num(self.ns_per_iter.round())),
+            ("bytes_per_nnz", Json::Num(round3(self.bytes_per_nnz))),
+        ])
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Time `f` adaptively: calibrate the iteration count so the timed region lasts at
+/// least `budget_ms`, then return (seconds, iterations).
+pub fn time_adaptive(budget_ms: u64, mut f: impl FnMut()) -> (f64, usize) {
+    // Calibration: run once, then scale.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((budget_ms as f64 / 1e3) / once).ceil().max(1.0) as usize;
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (t1.elapsed().as_secs_f64().max(1e-12), iters)
+}
+
+fn gflops(nnz: usize, secs: f64, iters: usize) -> f64 {
+    (FLOPS_PER_NNZ * nnz * iters) as f64 / secs / 1e9
+}
+
+/// Measure a prepared (monomorphized) kernel serially.
+pub fn measure_prepared(
+    matrix_id: &str,
+    csr: &CsrMatrix,
+    variant: KernelVariant,
+    budget_ms: u64,
+) -> PerfResult {
+    let prepared = variant.prepare(csr).expect("suite shapes are supported");
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![0.0; csr.nrows()];
+    let (secs, iters) = time_adaptive(budget_ms, || prepared.execute(&x, &mut y));
+    PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz: csr.nnz(),
+        variant: variant.name(),
+        threads: 1,
+        gflops: gflops(csr.nnz(), secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: prepared.footprint_bytes() as f64 / csr.nnz().max(1) as f64,
+    }
+}
+
+/// Measure the monomorphized width-compressed CSR (the tentpole path) serially.
+pub fn measure_compressed_csr(matrix_id: &str, csr: &CsrMatrix, budget_ms: u64) -> PerfResult {
+    let compressed = CompressedCsr::from_csr(csr);
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![0.0; csr.nrows()];
+    let (secs, iters) = time_adaptive(budget_ms, || {
+        compressed.execute(KernelVariant::SingleLoop, &x, &mut y)
+    });
+    PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz: csr.nnz(),
+        variant: format!(
+            "csr-{}",
+            match compressed.width() {
+                IndexWidth::U16 => "u16",
+                IndexWidth::U32 => "u32",
+            }
+        ),
+        threads: 1,
+        gflops: gflops(csr.nnz(), secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: compressed.footprint_bytes() as f64 / csr.nnz().max(1) as f64,
+    }
+}
+
+/// Measure the seed's per-access enum-dispatch CSR (the baseline the
+/// monomorphization replaces) serially.
+pub fn measure_enum_dispatch(matrix_id: &str, csr: &CsrMatrix, budget_ms: u64) -> PerfResult {
+    let width = IndexWidth::narrowest_for(csr.ncols());
+    let enum_csr = EnumDispatchCsr::from_csr(csr, width).expect("narrowest width fits");
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![0.0; csr.nrows()];
+    let (secs, iters) = time_adaptive(budget_ms, || enum_csr.spmv(&x, &mut y));
+    PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz: csr.nnz(),
+        variant: format!(
+            "enum-dispatch-{}",
+            match width {
+                IndexWidth::U16 => "u16",
+                IndexWidth::U32 => "u32",
+            }
+        ),
+        threads: 1,
+        gflops: gflops(csr.nnz(), secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: csr_bytes_at(csr, width) as f64 / csr.nnz().max(1) as f64,
+    }
+}
+
+/// Measure a CSR code variant on the persistent parallel engine at `threads`.
+pub fn measure_engine(
+    matrix_id: &str,
+    csr: &CsrMatrix,
+    variant: KernelVariant,
+    threads: usize,
+    budget_ms: u64,
+) -> PerfResult {
+    let mut engine = SpmvEngine::with_variant(csr, threads, variant);
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![0.0; csr.nrows()];
+    let (secs, iters) = time_adaptive(budget_ms, || engine.spmv(&x, &mut y));
+    // Worker blocks are `CompressedCsr` over the full column span, so every block
+    // stores its indices at the narrowest width that span admits.
+    let width = IndexWidth::narrowest_for(csr.ncols());
+    PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz: csr.nnz(),
+        variant: variant.name(),
+        threads,
+        gflops: gflops(csr.nnz(), secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: csr_bytes_at(csr, width) as f64 / csr.nnz().max(1) as f64,
+    }
+}
+
+/// The matrices the JSON harness sweeps: a structurally diverse slice of Table 3
+/// (dense blocks, FEM substructure, short rows, power-law rows, extreme aspect).
+pub fn harness_matrices() -> Vec<SuiteMatrix> {
+    vec![
+        SuiteMatrix::Dense,
+        SuiteMatrix::FemCantilever,
+        SuiteMatrix::Epidemiology,
+        SuiteMatrix::Circuit,
+        SuiteMatrix::Lp,
+    ]
+}
+
+/// The CSR code variants swept at every thread count.
+pub fn harness_variants() -> Vec<KernelVariant> {
+    vec![
+        KernelVariant::Naive,
+        KernelVariant::SingleLoop,
+        KernelVariant::Branchless,
+        KernelVariant::Unrolled4,
+        KernelVariant::Unrolled8,
+    ]
+}
+
+/// Run the full harness: every matrix × (serial baselines + variants × {1, N}).
+pub fn run_harness(scale: Scale, max_threads: usize, budget_ms: u64) -> Vec<PerfResult> {
+    let mut results = Vec::new();
+    for matrix in harness_matrices() {
+        let id = matrix.id();
+        let csr = CsrMatrix::from_coo(&matrix.generate(scale));
+        eprintln!(
+            "[spmv_bench] {} ({} x {}, {} nnz)",
+            id,
+            csr.nrows(),
+            csr.ncols(),
+            csr.nnz()
+        );
+
+        // Serial baselines: the enum-dispatch path the tentpole replaced, the
+        // monomorphized compressed CSR, and the best register-blocked shapes.
+        results.push(measure_enum_dispatch(id, &csr, budget_ms));
+        results.push(measure_compressed_csr(id, &csr, budget_ms));
+        for variant in [
+            KernelVariant::Blocked { r: 2, c: 2 },
+            KernelVariant::Blocked { r: 4, c: 4 },
+        ] {
+            results.push(measure_prepared(id, &csr, variant, budget_ms));
+        }
+
+        // Kernel-variant sweep at 1 and N threads on the persistent engine.
+        let thread_counts: Vec<usize> = if max_threads > 1 {
+            vec![1, max_threads]
+        } else {
+            vec![1]
+        };
+        for variant in harness_variants() {
+            for &threads in &thread_counts {
+                results.push(measure_engine(id, &csr, variant, threads, budget_ms));
+            }
+        }
+    }
+    results
+}
+
+/// Render the harness output as the `BENCH_spmv.json` document.
+pub fn harness_json(scale: Scale, max_threads: usize, results: &[PerfResult]) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str("spmv-bench/v1")),
+        (
+            "description",
+            Json::str(
+                "Native SpMV performance: Table-3 synthetic suite x kernel variants x threads",
+            ),
+        ),
+        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
+        ("flops_per_nnz", Json::int(FLOPS_PER_NNZ)),
+        ("max_threads", Json::int(max_threads)),
+        ("arch", Json::str(std::env::consts::ARCH)),
+        (
+            "results",
+            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_csr() -> CsrMatrix {
+        CsrMatrix::from_coo(&SuiteMatrix::Circuit.generate(Scale::Tiny))
+    }
+
+    #[test]
+    fn serial_measurements_produce_sane_numbers() {
+        let csr = tiny_csr();
+        for r in [
+            measure_enum_dispatch("circuit", &csr, 5),
+            measure_compressed_csr("circuit", &csr, 5),
+            measure_prepared("circuit", &csr, KernelVariant::Unrolled4, 5),
+            measure_prepared("circuit", &csr, KernelVariant::Blocked { r: 2, c: 2 }, 5),
+        ] {
+            assert!(r.gflops > 0.0, "{}: gflops {}", r.variant, r.gflops);
+            assert!(r.ns_per_iter > 0.0);
+            assert!(
+                r.bytes_per_nnz > 8.0,
+                "{}: at least the value bytes",
+                r.variant
+            );
+            assert_eq!(r.nnz, csr.nnz());
+        }
+    }
+
+    #[test]
+    fn engine_measurement_runs_multithreaded() {
+        let csr = tiny_csr();
+        let r = measure_engine("circuit", &csr, KernelVariant::SingleLoop, 2, 5);
+        assert_eq!(r.threads, 2);
+        assert!(r.gflops > 0.0);
+    }
+
+    #[test]
+    fn compressed_csr_streams_fewer_bytes_than_enum_u32() {
+        // On a u16-compressible matrix the monomorphized compressed CSR must
+        // report a strictly smaller footprint than 32-bit CSR.
+        let csr = tiny_csr();
+        let compressed = measure_compressed_csr("circuit", &csr, 2);
+        assert_eq!(compressed.variant, "csr-u16");
+        assert!(compressed.bytes_per_nnz < csr.footprint_bytes() as f64 / csr.nnz() as f64);
+    }
+
+    #[test]
+    fn harness_json_shape() {
+        let results = vec![measure_compressed_csr("circuit", &tiny_csr(), 2)];
+        let doc = harness_json(Scale::Tiny, 4, &results);
+        let text = doc.pretty();
+        assert!(text.contains("\"schema\": \"spmv-bench/v1\""));
+        assert!(text.contains("\"scale\": \"tiny\""));
+        assert!(text.contains("\"results\""));
+        assert!(text.contains("\"csr-u16\""));
+    }
+}

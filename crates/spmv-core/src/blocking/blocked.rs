@@ -7,8 +7,8 @@
 //! that per-block choice and executes the blocked SpMV.
 
 use crate::formats::bcoo::BcooMatrix;
-use crate::formats::bcsr::BcsrMatrix;
-use crate::formats::csr::CsrMatrix;
+use crate::formats::bcsr::BcsrAuto;
+use crate::formats::csr::CompressedCsr;
 use crate::formats::gcsr::GcsrMatrix;
 use crate::formats::traits::{check_dims, MatrixShape, SpMv};
 use std::ops::Range;
@@ -16,10 +16,11 @@ use std::ops::Range;
 /// The storage format selected for one cache block.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BlockFormat {
-    /// Plain CSR (used when blocking is disabled or the block is tiny).
-    Csr(CsrMatrix),
-    /// Register-blocked CSR.
-    Bcsr(BcsrMatrix),
+    /// Plain CSR with a once-selected index width (used when blocking is disabled
+    /// or the block is tiny).
+    Csr(CompressedCsr),
+    /// Register-blocked CSR with a once-selected index width.
+    Bcsr(BcsrAuto),
     /// Block-coordinate storage (wins when most rows of the block are empty).
     Bcoo(BcooMatrix),
     /// Generalized CSR storing only occupied rows.
@@ -113,7 +114,12 @@ impl CacheBlockedMatrix {
     /// tiling the matrix; overlapping blocks would double-count contributions.
     pub fn new(nrows: usize, ncols: usize, blocks: Vec<CacheBlock>) -> Self {
         let logical_nnz = blocks.iter().map(|b| b.format.nnz()).sum();
-        CacheBlockedMatrix { nrows, ncols, logical_nnz, blocks }
+        CacheBlockedMatrix {
+            nrows,
+            ncols,
+            logical_nnz,
+            blocks,
+        }
     }
 
     /// The cache blocks in execution order (row-panel major).
@@ -171,6 +177,7 @@ impl SpMv for CacheBlockedMatrix {
 mod tests {
     use super::*;
     use crate::dense::max_abs_diff;
+    use crate::formats::csr::CsrMatrix;
     use crate::formats::index::IndexWidth;
     use crate::formats::CooMatrix;
     use rand::rngs::StdRng;
@@ -206,8 +213,8 @@ mod tests {
             let sub = coo.sub_block(rows.clone(), cols.clone());
             let csr = CsrMatrix::from_coo(&sub);
             let format = match i {
-                0 => BlockFormat::Csr(csr),
-                1 => BlockFormat::Bcsr(BcsrMatrix::from_csr(&csr, 2, 2, IndexWidth::U16).unwrap()),
+                0 => BlockFormat::Csr(CompressedCsr::from_csr(&csr)),
+                1 => BlockFormat::Bcsr(BcsrAuto::from_csr(&csr, 2, 2, IndexWidth::U16).unwrap()),
                 2 => BlockFormat::Bcoo(BcooMatrix::from_csr(&csr, 1, 2, IndexWidth::U16).unwrap()),
                 _ => BlockFormat::Gcsr(GcsrMatrix::from_csr(&csr, IndexWidth::U16).unwrap()),
             };
@@ -242,7 +249,11 @@ mod tests {
     fn footprint_sums_blocks() {
         let coo = random_coo(30, 30, 100, 14);
         let blocked = hand_blocked(&coo);
-        let sum: usize = blocked.blocks().iter().map(|b| b.format.footprint_bytes()).sum();
+        let sum: usize = blocked
+            .blocks()
+            .iter()
+            .map(|b| b.format.footprint_bytes())
+            .sum();
         assert_eq!(blocked.footprint_bytes(), sum);
         assert!(blocked.stored_entries() >= blocked.nnz());
     }

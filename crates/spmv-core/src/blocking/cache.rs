@@ -32,7 +32,11 @@ impl CacheBlockingConfig {
     /// for vector working set (the rest streams matrix data).
     pub fn from_cache_bytes(cache_bytes: usize, vector_share: f64) -> Self {
         let lines = ((cache_bytes as f64 * vector_share) as usize / 64).max(8);
-        CacheBlockingConfig { total_lines: lines, source_fraction: 0.5, dense_spans: false }
+        CacheBlockingConfig {
+            total_lines: lines,
+            source_fraction: 0.5,
+            dense_spans: false,
+        }
     }
 
     /// Cache lines budgeted for the source vector.
@@ -71,9 +75,14 @@ impl CacheBlocking {
 
     /// Iterate over `(row_range, col_range)` pairs.
     pub fn blocks(&self) -> impl Iterator<Item = (Range<usize>, Range<usize>)> + '_ {
-        self.row_panels.iter().enumerate().flat_map(move |(p, rows)| {
-            self.col_ranges[p].iter().map(move |cols| (rows.clone(), cols.clone()))
-        })
+        self.row_panels
+            .iter()
+            .enumerate()
+            .flat_map(move |(p, rows)| {
+                self.col_ranges[p]
+                    .iter()
+                    .map(move |cols| (rows.clone(), cols.clone()))
+            })
     }
 
     /// Whether the blocking covers the whole matrix exactly once (sanity invariant).
@@ -107,7 +116,10 @@ pub fn cache_block(csr: &CsrMatrix, config: &CacheBlockingConfig) -> CacheBlocki
     let nrows = csr.nrows();
     let ncols = csr.ncols();
     if nrows == 0 {
-        return CacheBlocking { row_panels: vec![], col_ranges: vec![] };
+        return CacheBlocking {
+            row_panels: vec![],
+            col_ranges: vec![],
+        };
     }
 
     // Row panels: enough rows that the destination vector slice fills the dest budget.
@@ -182,16 +194,15 @@ pub fn cache_block(csr: &CsrMatrix, config: &CacheBlockingConfig) -> CacheBlocki
         col_ranges.push(ranges);
     }
 
-    CacheBlocking { row_panels, col_ranges }
+    CacheBlocking {
+        row_panels,
+        col_ranges,
+    }
 }
 
 /// Count the source-vector cache lines a given (row range, col range) block touches.
 /// Exposed for tests and for the architecture simulator's traffic accounting.
-pub fn touched_source_lines(
-    csr: &CsrMatrix,
-    rows: &Range<usize>,
-    cols: &Range<usize>,
-) -> usize {
+pub fn touched_source_lines(csr: &CsrMatrix, rows: &Range<usize>, cols: &Range<usize>) -> usize {
     let mut lines: Vec<usize> = Vec::new();
     for row in rows.clone() {
         for k in csr.row_ptr()[row]..csr.row_ptr()[row + 1] {
@@ -225,7 +236,11 @@ mod tests {
     #[test]
     fn blocking_covers_matrix() {
         let csr = random_csr(500, 800, 5000, 1);
-        let cfg = CacheBlockingConfig { total_lines: 32, source_fraction: 0.5, dense_spans: false };
+        let cfg = CacheBlockingConfig {
+            total_lines: 32,
+            source_fraction: 0.5,
+            dense_spans: false,
+        };
         let blocking = cache_block(&csr, &cfg);
         assert!(blocking.covers(500, 800));
         assert!(blocking.num_blocks() >= 1);
@@ -234,7 +249,11 @@ mod tests {
     #[test]
     fn dense_blocking_covers_matrix() {
         let csr = random_csr(300, 1000, 3000, 2);
-        let cfg = CacheBlockingConfig { total_lines: 32, source_fraction: 0.5, dense_spans: true };
+        let cfg = CacheBlockingConfig {
+            total_lines: 32,
+            source_fraction: 0.5,
+            dense_spans: true,
+        };
         let blocking = cache_block(&csr, &cfg);
         assert!(blocking.covers(300, 1000));
     }
@@ -242,7 +261,11 @@ mod tests {
     #[test]
     fn sparse_blocks_respect_source_budget() {
         let csr = random_csr(64, 4096, 4000, 3);
-        let cfg = CacheBlockingConfig { total_lines: 16, source_fraction: 0.5, dense_spans: false };
+        let cfg = CacheBlockingConfig {
+            total_lines: 16,
+            source_fraction: 0.5,
+            dense_spans: false,
+        };
         let blocking = cache_block(&csr, &cfg);
         for (rows, cols) in blocking.blocks() {
             let touched = touched_source_lines(&csr, &rows, &cols);
@@ -266,10 +289,16 @@ mod tests {
         }
         coo.push(0, 2000, 1.0);
         let csr = CsrMatrix::from_coo(&coo);
-        let cfg = CacheBlockingConfig { total_lines: 16, source_fraction: 0.5, dense_spans: false };
+        let cfg = CacheBlockingConfig {
+            total_lines: 16,
+            source_fraction: 0.5,
+            dense_spans: false,
+        };
         let blocking = cache_block(&csr, &cfg);
-        let spans: Vec<usize> =
-            blocking.col_ranges[0].iter().map(|r| r.end - r.start).collect();
+        let spans: Vec<usize> = blocking.col_ranges[0]
+            .iter()
+            .map(|r| r.end - r.start)
+            .collect();
         assert!(spans.len() >= 2);
         // The widest block (covering the sparse tail) must be wider than the first
         // (fully dense) block: spans adapt to occupancy rather than being uniform.
@@ -298,14 +327,22 @@ mod tests {
         // Rows with no nonzeros still need a covering column range.
         let coo = CooMatrix::from_triplets(2000, 100, vec![(0, 0, 1.0)]).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
-        let cfg = CacheBlockingConfig { total_lines: 8, source_fraction: 0.5, dense_spans: false };
+        let cfg = CacheBlockingConfig {
+            total_lines: 8,
+            source_fraction: 0.5,
+            dense_spans: false,
+        };
         let blocking = cache_block(&csr, &cfg);
         assert!(blocking.covers(2000, 100));
     }
 
     #[test]
     fn config_budget_split() {
-        let cfg = CacheBlockingConfig { total_lines: 100, source_fraction: 0.75, dense_spans: false };
+        let cfg = CacheBlockingConfig {
+            total_lines: 100,
+            source_fraction: 0.75,
+            dense_spans: false,
+        };
         assert_eq!(cfg.source_lines(), 75);
         assert_eq!(cfg.dest_lines(), 25);
         let from_bytes = CacheBlockingConfig::from_cache_bytes(1 << 20, 0.5);

@@ -83,8 +83,18 @@ pub fn estimate_fill(csr: &CsrMatrix, r: usize, c: usize) -> FillEstimate {
         occupied_block_rows += 1;
     }
     let stored = tiles * r * c;
-    let fill_ratio = if csr.nnz() == 0 { 1.0 } else { stored as f64 / csr.nnz() as f64 };
-    FillEstimate { r, c, tiles, occupied_block_rows, fill_ratio }
+    let fill_ratio = if csr.nnz() == 0 {
+        1.0
+    } else {
+        stored as f64 / csr.nnz() as f64
+    };
+    FillEstimate {
+        r,
+        c,
+        tiles,
+        occupied_block_rows,
+        fill_ratio,
+    }
 }
 
 /// Estimate every candidate shape for `csr`.
@@ -119,10 +129,13 @@ mod tests {
         let csr = block_structured();
         for (r, c) in register_block_candidates() {
             let est = estimate_fill(&csr, r, c);
-            let bcsr = BcsrMatrix::from_csr(&csr, r, c, IndexWidth::U32).unwrap();
+            let bcsr = BcsrMatrix::<u32>::from_csr(&csr, r, c).unwrap();
             assert_eq!(est.tiles, bcsr.num_blocks(), "tile count for {r}x{c}");
             assert!((est.fill_ratio - bcsr.fill_ratio()).abs() < 1e-12);
-            assert_eq!(est.bcsr_bytes(csr.nrows(), IndexWidth::U32), bcsr.footprint_bytes());
+            assert_eq!(
+                est.bcsr_bytes(csr.nrows(), IndexWidth::U32),
+                bcsr.footprint_bytes()
+            );
         }
     }
 
@@ -158,10 +171,11 @@ mod tests {
     #[test]
     fn candidate_list_is_the_paper_sweep() {
         let cands = register_block_candidates();
-        assert_eq!(cands.len(), 9);
+        assert_eq!(cands.len(), 16);
         assert!(cands.contains(&(1, 1)));
         assert!(cands.contains(&(4, 4)));
         assert!(cands.contains(&(2, 4)));
+        assert!(cands.contains(&(3, 3)));
         assert!(!cands.contains(&(8, 8)));
     }
 
@@ -169,7 +183,7 @@ mod tests {
     fn estimate_all_shapes_covers_candidates() {
         let csr = block_structured();
         let all = estimate_all_shapes(&csr);
-        assert_eq!(all.len(), 9);
+        assert_eq!(all.len(), 16);
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub struct TlbConfig {
 
 impl Default for TlbConfig {
     fn default() -> Self {
-        TlbConfig { max_source_pages: 24 }
+        TlbConfig {
+            max_source_pages: 24,
+        }
     }
 }
 
@@ -69,7 +71,9 @@ pub fn tlb_block(csr: &CsrMatrix, rows: &Range<usize>, config: &TlbConfig) -> Tl
     pages.dedup();
 
     if pages.is_empty() {
-        return TlbBlocking { col_ranges: vec![0..ncols] };
+        return TlbBlocking {
+            col_ranges: std::iter::once(0..ncols).collect(),
+        };
     }
 
     let budget = config.max_source_pages.max(1);
@@ -126,7 +130,9 @@ mod tests {
     #[test]
     fn ranges_cover_and_respect_budget() {
         let csr = scattered_csr(16, 1 << 16, 2000, 5);
-        let cfg = TlbConfig { max_source_pages: 8 };
+        let cfg = TlbConfig {
+            max_source_pages: 8,
+        };
         let blocking = tlb_block(&csr, &(0..16), &cfg);
         assert!(blocking.covers(1 << 16));
         for r in &blocking.col_ranges {
@@ -156,11 +162,21 @@ mod tests {
         let coo = CooMatrix::from_triplets(
             1,
             DOUBLES_PER_PAGE * 4,
-            vec![(0, 0, 1.0), (0, DOUBLES_PER_PAGE, 1.0), (0, 3 * DOUBLES_PER_PAGE, 1.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, DOUBLES_PER_PAGE, 1.0),
+                (0, 3 * DOUBLES_PER_PAGE, 1.0),
+            ],
         )
         .unwrap();
         let csr = CsrMatrix::from_coo(&coo);
-        let blocking = tlb_block(&csr, &(0..1), &TlbConfig { max_source_pages: 1 });
+        let blocking = tlb_block(
+            &csr,
+            &(0..1),
+            &TlbConfig {
+                max_source_pages: 1,
+            },
+        );
         assert_eq!(blocking.col_ranges.len(), 3);
         assert!(blocking.covers(DOUBLES_PER_PAGE * 4));
     }

@@ -37,7 +37,10 @@ impl AlignedVec {
     /// Allocate a zero-initialised aligned vector of `len` doubles.
     pub fn zeroed(len: usize) -> Self {
         if len == 0 {
-            return AlignedVec { ptr: NonNull::dangling(), len: 0 };
+            return AlignedVec {
+                ptr: NonNull::dangling(),
+                len: 0,
+            };
         }
         let layout = Self::layout(len);
         // SAFETY: layout has non-zero size because len > 0.
@@ -125,7 +128,9 @@ impl Clone for AlignedVec {
 
 impl std::fmt::Debug for AlignedVec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AlignedVec").field("len", &self.len).finish()
+        f.debug_struct("AlignedVec")
+            .field("len", &self.len)
+            .finish()
     }
 }
 

@@ -46,21 +46,29 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            Error::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
             ),
-            Error::DimensionMismatch { expected, found, what } => write!(
+            Error::DimensionMismatch {
+                expected,
+                found,
+                what,
+            } => write!(
                 f,
                 "dimension mismatch for {what}: expected {expected}, found {found}"
             ),
             Error::UnsupportedBlockSize { r, c } => {
                 write!(f, "unsupported register block size {r}x{c}")
             }
-            Error::IndexWidthOverflow { dimension } => write!(
-                f,
-                "dimension {dimension} does not fit in 16-bit indices"
-            ),
+            Error::IndexWidthOverflow { dimension } => {
+                write!(f, "dimension {dimension} does not fit in 16-bit indices")
+            }
             Error::Parse(msg) => write!(f, "parse error: {msg}"),
             Error::InvalidStructure(msg) => write!(f, "invalid matrix structure: {msg}"),
         }
@@ -78,13 +86,22 @@ mod tests {
 
     #[test]
     fn display_index_out_of_bounds() {
-        let e = Error::IndexOutOfBounds { row: 5, col: 7, nrows: 4, ncols: 4 };
+        let e = Error::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            nrows: 4,
+            ncols: 4,
+        };
         assert_eq!(e.to_string(), "entry (5, 7) is outside the 4x4 matrix");
     }
 
     #[test]
     fn display_dimension_mismatch() {
-        let e = Error::DimensionMismatch { expected: 10, found: 8, what: "source vector" };
+        let e = Error::DimensionMismatch {
+            expected: 10,
+            found: 8,
+            what: "source vector",
+        };
         assert!(e.to_string().contains("source vector"));
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("8"));

@@ -72,8 +72,8 @@ impl BcooMatrix {
             r,
             c,
             logical_nnz: csr.nnz(),
-            block_rows: IndexArray::from_usize(&rows_usize, width),
-            block_cols: IndexArray::from_usize(&cols_usize, width),
+            block_rows: IndexArray::from_usize(&rows_usize, width)?,
+            block_cols: IndexArray::from_usize(&cols_usize, width)?,
             values,
         })
     }
@@ -194,8 +194,7 @@ mod tests {
     fn no_row_pointer_cost_for_empty_rows() {
         // A 1000-row matrix with only 2 occupied rows: BCOO footprint should be far
         // smaller than CSR's (which pays 4 bytes per row for the pointer array).
-        let coo =
-            CooMatrix::from_triplets(1000, 1000, vec![(0, 0, 1.0), (999, 999, 2.0)]).unwrap();
+        let coo = CooMatrix::from_triplets(1000, 1000, vec![(0, 0, 1.0), (999, 999, 2.0)]).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         let bcoo = BcooMatrix::from_csr(&csr, 1, 1, IndexWidth::U16).unwrap();
         assert!(bcoo.footprint_bytes() < csr.footprint_bytes() / 10);
@@ -204,7 +203,7 @@ mod tests {
     #[test]
     fn rejects_bad_shapes_and_overflow() {
         let coo = random_coo(10, 10, 5, 1);
-        assert!(BcooMatrix::from_coo(&coo, 3, 2, IndexWidth::U32).is_err());
+        assert!(BcooMatrix::from_coo(&coo, 5, 2, IndexWidth::U32).is_err());
         let wide = random_coo(4, 200_000, 10, 2);
         assert!(BcooMatrix::from_coo(&wide, 1, 1, IndexWidth::U16).is_err());
         assert!(BcooMatrix::from_coo(&wide, 1, 4, IndexWidth::U16).is_ok());
@@ -248,7 +247,7 @@ mod tests {
         use crate::formats::bcsr::BcsrMatrix;
         let dense_rows = random_coo(64, 64, 2000, 6);
         let csr = CsrMatrix::from_coo(&dense_rows);
-        let bcsr = BcsrMatrix::from_csr(&csr, 1, 1, IndexWidth::U16).unwrap();
+        let bcsr = BcsrMatrix::<u16>::from_csr(&csr, 1, 1).unwrap();
         let bcoo = BcooMatrix::from_csr(&csr, 1, 1, IndexWidth::U16).unwrap();
         assert!(bcsr.footprint_bytes() <= bcoo.footprint_bytes());
     }

@@ -2,33 +2,35 @@
 //!
 //! Register blocking (Section 4.2) groups adjacent nonzeros into small `r × c` tiles,
 //! storing one column index per tile rather than one per nonzero, at the cost of
-//! explicitly stored zero fill. The paper limits block dimensions to powers of two up
-//! to 4×4 to enable SIMDization and bound register pressure; this module enforces the
-//! same restriction. Tile column indices may be compressed to 16 bits when the block
-//! column span fits (`ncols / c ≤ 65536`).
+//! explicitly stored zero fill. The paper's register-blocking sweep covers every
+//! block shape up to 4×4; this module supports the same set, with each shape executed
+//! by a macro-generated, fully-unrolled microkernel
+//! ([`crate::kernels::blocked`]). Tile column indices are stored at a compile-time
+//! width `I` ([`IndexStorage`]), so the hot loop never consults a width tag; 16-bit
+//! storage is admissible when the block column span fits (`ncols / c ≤ 65536`).
 
 use crate::error::{Error, Result};
 use crate::formats::coo::CooMatrix;
 use crate::formats::csr::CsrMatrix;
-use crate::formats::index::{IndexArray, IndexWidth};
+use crate::formats::index::{IndexStorage, IndexWidth};
 use crate::formats::traits::{check_dims, MatrixShape, SpMv};
 use crate::{INDEX32_BYTES, VALUE_BYTES};
 
-/// Register block dimensions allowed by the paper: powers of two, at most 4.
-pub const ALLOWED_BLOCK_DIMS: [usize; 3] = [1, 2, 4];
+/// Register block dimensions allowed by the paper's sweep: every size up to 4.
+pub const ALLOWED_BLOCK_DIMS: [usize; 4] = [1, 2, 3, 4];
 
 /// Return true if `r × c` is a register block shape the kernels support.
 pub fn block_shape_supported(r: usize, c: usize) -> bool {
     ALLOWED_BLOCK_DIMS.contains(&r) && ALLOWED_BLOCK_DIMS.contains(&c)
 }
 
-/// Register-blocked CSR matrix.
+/// Register-blocked CSR matrix with compile-time index width.
 ///
 /// Rows are grouped into block rows of `r` consecutive rows; within each block row,
 /// every column interval of width `c` containing at least one nonzero is stored as a
 /// dense `r × c` tile (row-major within the tile), with zero fill for absent entries.
 #[derive(Debug, Clone, PartialEq)]
-pub struct BcsrMatrix {
+pub struct BcsrMatrix<I: IndexStorage = u32> {
     nrows: usize,
     ncols: usize,
     r: usize,
@@ -37,37 +39,34 @@ pub struct BcsrMatrix {
     logical_nnz: usize,
     /// Block-row pointer: `nblock_rows + 1` entries into `block_col_idx`.
     block_row_ptr: Vec<usize>,
-    /// Block column index (in units of `c` columns), possibly 16-bit compressed.
-    block_col_idx: IndexArray,
+    /// Block column index (in units of `c` columns) at width `I`.
+    block_col_idx: Vec<I>,
     /// Tile values, `r * c` per tile, row-major within the tile.
     values: Vec<f64>,
 }
 
-impl BcsrMatrix {
-    /// Build from CSR with the requested register block shape and index width.
-    pub fn from_csr(
-        csr: &CsrMatrix,
-        r: usize,
-        c: usize,
-        width: IndexWidth,
-    ) -> Result<Self> {
+impl<I: IndexStorage> BcsrMatrix<I> {
+    /// Build from CSR with the requested register block shape. The index width is
+    /// the type parameter `I`, checked once against the block column span.
+    pub fn from_csr(csr: &CsrMatrix, r: usize, c: usize) -> Result<Self> {
         if !block_shape_supported(r, c) {
             return Err(Error::UnsupportedBlockSize { r, c });
         }
         let nrows = csr.nrows();
         let ncols = csr.ncols();
         let nblock_cols = ncols.div_ceil(c);
-        if !width.fits(nblock_cols) {
-            return Err(Error::IndexWidthOverflow { dimension: nblock_cols });
+        if !I::fits(nblock_cols) {
+            return Err(Error::IndexWidthOverflow {
+                dimension: nblock_cols,
+            });
         }
         let nblock_rows = nrows.div_ceil(r);
 
         let mut block_row_ptr = Vec::with_capacity(nblock_rows + 1);
         block_row_ptr.push(0usize);
-        let mut block_cols_usize: Vec<usize> = Vec::new();
+        let mut block_col_idx: Vec<I> = Vec::new();
         let mut values: Vec<f64> = Vec::new();
 
-        // Scratch map from block column -> tile slot for the current block row.
         // Block rows are processed independently; a sorted merge of the r CSR rows
         // discovers the set of occupied block columns.
         for brow in 0..nblock_rows {
@@ -100,8 +99,10 @@ impl BcsrMatrix {
                 }
             }
 
-            block_cols_usize.extend_from_slice(&occupied);
-            block_row_ptr.push(block_cols_usize.len());
+            for &bc in &occupied {
+                block_col_idx.push(I::try_from_usize(bc).expect("span checked above"));
+            }
+            block_row_ptr.push(block_col_idx.len());
         }
 
         Ok(BcsrMatrix {
@@ -111,14 +112,14 @@ impl BcsrMatrix {
             c,
             logical_nnz: csr.nnz(),
             block_row_ptr,
-            block_col_idx: IndexArray::from_usize(&block_cols_usize, width),
+            block_col_idx,
             values,
         })
     }
 
     /// Build from coordinate format.
-    pub fn from_coo(coo: &CooMatrix, r: usize, c: usize, width: IndexWidth) -> Result<Self> {
-        Self::from_csr(&CsrMatrix::from_coo(coo), r, c, width)
+    pub fn from_coo(coo: &CooMatrix, r: usize, c: usize) -> Result<Self> {
+        Self::from_csr(&CsrMatrix::from_coo(coo), r, c)
     }
 
     /// Rows per register block.
@@ -137,8 +138,12 @@ impl BcsrMatrix {
     }
 
     /// The index width used for block column indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `usize`-indexed matrices, which have no compressed width tag.
     pub fn index_width(&self) -> IndexWidth {
-        self.block_col_idx.width()
+        I::WIDTH.expect("usize-indexed BCSR has no IndexWidth tag")
     }
 
     /// Fill ratio: stored entries (including explicit zeros) divided by logical nnz.
@@ -155,8 +160,8 @@ impl BcsrMatrix {
         &self.block_row_ptr
     }
 
-    /// Block column indices.
-    pub fn block_col_idx(&self) -> &IndexArray {
+    /// Block column indices at the storage width.
+    pub fn block_col_idx(&self) -> &[I] {
         &self.block_col_idx
     }
 
@@ -166,7 +171,86 @@ impl BcsrMatrix {
     }
 }
 
-impl MatrixShape for BcsrMatrix {
+/// Runtime-width BCSR constructor compatibility: pick the generic instantiation
+/// matching a runtime [`IndexWidth`] decision, wrapped in [`BcsrAuto`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BcsrAuto {
+    /// 16-bit block column indices.
+    U16(BcsrMatrix<u16>),
+    /// 32-bit block column indices.
+    U32(BcsrMatrix<u32>),
+}
+
+impl BcsrAuto {
+    /// Build from CSR at a runtime-selected width (the tuner's decision), storing
+    /// the monomorphized matrix so later calls dispatch once.
+    pub fn from_csr(csr: &CsrMatrix, r: usize, c: usize, width: IndexWidth) -> Result<Self> {
+        match width {
+            IndexWidth::U16 => BcsrMatrix::<u16>::from_csr(csr, r, c).map(BcsrAuto::U16),
+            IndexWidth::U32 => BcsrMatrix::<u32>::from_csr(csr, r, c).map(BcsrAuto::U32),
+        }
+    }
+
+    /// The width selected at construction.
+    pub fn width(&self) -> IndexWidth {
+        match self {
+            BcsrAuto::U16(_) => IndexWidth::U16,
+            BcsrAuto::U32(_) => IndexWidth::U32,
+        }
+    }
+
+    /// Fill ratio of the wrapped matrix.
+    pub fn fill_ratio(&self) -> f64 {
+        match self {
+            BcsrAuto::U16(m) => m.fill_ratio(),
+            BcsrAuto::U32(m) => m.fill_ratio(),
+        }
+    }
+}
+
+impl MatrixShape for BcsrAuto {
+    fn nrows(&self) -> usize {
+        match self {
+            BcsrAuto::U16(m) => m.nrows(),
+            BcsrAuto::U32(m) => m.nrows(),
+        }
+    }
+    fn ncols(&self) -> usize {
+        match self {
+            BcsrAuto::U16(m) => m.ncols(),
+            BcsrAuto::U32(m) => m.ncols(),
+        }
+    }
+    fn stored_entries(&self) -> usize {
+        match self {
+            BcsrAuto::U16(m) => m.stored_entries(),
+            BcsrAuto::U32(m) => m.stored_entries(),
+        }
+    }
+    fn nnz(&self) -> usize {
+        match self {
+            BcsrAuto::U16(m) => m.nnz(),
+            BcsrAuto::U32(m) => m.nnz(),
+        }
+    }
+    fn footprint_bytes(&self) -> usize {
+        match self {
+            BcsrAuto::U16(m) => m.footprint_bytes(),
+            BcsrAuto::U32(m) => m.footprint_bytes(),
+        }
+    }
+}
+
+impl SpMv for BcsrAuto {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            BcsrAuto::U16(m) => m.spmv(x, y),
+            BcsrAuto::U32(m) => m.spmv(x, y),
+        }
+    }
+}
+
+impl<I: IndexStorage> MatrixShape for BcsrMatrix<I> {
     fn nrows(&self) -> usize {
         self.nrows
     }
@@ -181,39 +265,17 @@ impl MatrixShape for BcsrMatrix {
     }
     fn footprint_bytes(&self) -> usize {
         self.values.len() * VALUE_BYTES
-            + self.block_col_idx.bytes()
+            + self.block_col_idx.len() * I::BYTES
             + self.block_row_ptr.len() * INDEX32_BYTES
     }
 }
 
-impl SpMv for BcsrMatrix {
+impl<I: IndexStorage> SpMv for BcsrMatrix<I> {
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
         check_dims(self.nrows, self.ncols, x, y);
-        let r = self.r;
-        let c = self.c;
-        let nblock_rows = self.block_row_ptr.len() - 1;
-        for brow in 0..nblock_rows {
-            let row_lo = brow * r;
-            let rows_here = r.min(self.nrows - row_lo);
-            // Accumulate the block row into a small register-resident buffer.
-            let mut acc = [0.0f64; 4];
-            for t in self.block_row_ptr[brow]..self.block_row_ptr[brow + 1] {
-                let bcol = self.block_col_idx.get(t);
-                let col_lo = bcol * c;
-                let cols_here = c.min(self.ncols - col_lo);
-                let tile = &self.values[t * r * c..(t + 1) * r * c];
-                for i in 0..rows_here {
-                    let mut sum = 0.0;
-                    for j in 0..cols_here {
-                        sum += tile[i * c + j] * x[col_lo + j];
-                    }
-                    acc[i] += sum;
-                }
-            }
-            for (i, a) in acc.iter().enumerate().take(rows_here) {
-                y[row_lo + i] += a;
-            }
-        }
+        // Dispatch once on the block shape into the macro-generated, fully-unrolled
+        // microkernel monomorphized for (r, c, I).
+        crate::kernels::blocked::spmv_bcsr(self, x, y);
     }
 }
 
@@ -240,27 +302,29 @@ mod tests {
     #[test]
     fn rejects_unsupported_block_shapes() {
         let coo = random_coo(8, 8, 10, 1);
-        assert!(BcsrMatrix::from_coo(&coo, 3, 1, IndexWidth::U32).is_err());
-        assert!(BcsrMatrix::from_coo(&coo, 1, 5, IndexWidth::U32).is_err());
-        assert!(BcsrMatrix::from_coo(&coo, 8, 8, IndexWidth::U32).is_err());
+        assert!(BcsrMatrix::<u32>::from_coo(&coo, 5, 1).is_err());
+        assert!(BcsrMatrix::<u32>::from_coo(&coo, 1, 6).is_err());
+        assert!(BcsrMatrix::<u32>::from_coo(&coo, 8, 8).is_err());
+        // 3 is part of the paper's sweep and therefore supported.
+        assert!(BcsrMatrix::<u32>::from_coo(&coo, 3, 3).is_ok());
     }
 
     #[test]
     fn rejects_u16_when_span_too_large() {
         let coo = random_coo(4, 200_000, 10, 2);
         assert!(matches!(
-            BcsrMatrix::from_coo(&coo, 1, 1, IndexWidth::U16),
+            BcsrMatrix::<u16>::from_coo(&coo, 1, 1),
             Err(Error::IndexWidthOverflow { .. })
         ));
         // With c = 4 the block-column span is 50_000, which fits in 16 bits.
-        assert!(BcsrMatrix::from_coo(&coo, 1, 4, IndexWidth::U16).is_ok());
+        assert!(BcsrMatrix::<u16>::from_coo(&coo, 1, 4).is_ok());
     }
 
     #[test]
     fn one_by_one_blocks_match_csr_exactly() {
         let coo = random_coo(50, 60, 300, 3);
         let csr = CsrMatrix::from_coo(&coo);
-        let bcsr = BcsrMatrix::from_csr(&csr, 1, 1, IndexWidth::U32).unwrap();
+        let bcsr = BcsrMatrix::<u32>::from_csr(&csr, 1, 1).unwrap();
         assert_eq!(bcsr.nnz(), csr.nnz());
         assert_eq!(bcsr.stored_entries(), csr.nnz());
         assert!((bcsr.fill_ratio() - 1.0).abs() < 1e-12);
@@ -276,7 +340,7 @@ mod tests {
         let reference = csr.spmv_alloc(&x);
         for &r in &ALLOWED_BLOCK_DIMS {
             for &c in &ALLOWED_BLOCK_DIMS {
-                let bcsr = BcsrMatrix::from_csr(&csr, r, c, IndexWidth::U16).unwrap();
+                let bcsr = BcsrMatrix::<u16>::from_csr(&csr, r, c).unwrap();
                 let y = bcsr.spmv_alloc(&x);
                 assert!(
                     max_abs_diff(&reference, &y) < 1e-10,
@@ -298,7 +362,7 @@ mod tests {
                 }
             }
         }
-        let bcsr = BcsrMatrix::from_coo(&coo, 2, 2, IndexWidth::U16).unwrap();
+        let bcsr = BcsrMatrix::<u16>::from_coo(&coo, 2, 2).unwrap();
         assert_eq!(bcsr.num_blocks(), 4);
         assert!((bcsr.fill_ratio() - 1.0).abs() < 1e-12);
         // A scattered-diagonal matrix at 2x2 pays 4x fill.
@@ -306,14 +370,14 @@ mod tests {
         for i in 0..8 {
             diag.push(i, i, 1.0);
         }
-        let bd = BcsrMatrix::from_coo(&diag, 2, 2, IndexWidth::U16).unwrap();
+        let bd = BcsrMatrix::<u16>::from_coo(&diag, 2, 2).unwrap();
         assert!((bd.fill_ratio() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn footprint_shrinks_with_blocking_on_blocked_matrix() {
         // Dense 4x4 block structure: 4x4 BCSR stores 1 index per 16 values.
-        let mut coo = CooMatrix::new(64, 64, );
+        let mut coo = CooMatrix::new(64, 64);
         for b in 0..16 {
             for i in 0..4 {
                 for j in 0..4 {
@@ -322,7 +386,7 @@ mod tests {
             }
         }
         let csr = CsrMatrix::from_coo(&coo);
-        let b44 = BcsrMatrix::from_csr(&csr, 4, 4, IndexWidth::U16).unwrap();
+        let b44 = BcsrMatrix::<u16>::from_csr(&csr, 4, 4).unwrap();
         assert!(b44.footprint_bytes() < csr.footprint_bytes());
     }
 
@@ -333,14 +397,19 @@ mod tests {
         let csr = CsrMatrix::from_coo(&coo);
         let x: Vec<f64> = (0..11).map(|i| i as f64).collect();
         let reference = csr.spmv_alloc(&x);
-        let bcsr = BcsrMatrix::from_csr(&csr, 4, 4, IndexWidth::U32).unwrap();
-        assert!(max_abs_diff(&reference, &bcsr.spmv_alloc(&x)) < 1e-10);
+        for &(r, c) in &[(4usize, 4usize), (3, 4), (4, 3), (3, 3), (2, 3)] {
+            let bcsr = BcsrMatrix::<u32>::from_csr(&csr, r, c).unwrap();
+            assert!(
+                max_abs_diff(&reference, &bcsr.spmv_alloc(&x)) < 1e-10,
+                "ragged {r}x{c}"
+            );
+        }
     }
 
     #[test]
     fn empty_matrix() {
         let coo = CooMatrix::new(5, 5);
-        let bcsr = BcsrMatrix::from_coo(&coo, 2, 2, IndexWidth::U16).unwrap();
+        let bcsr = BcsrMatrix::<u16>::from_coo(&coo, 2, 2).unwrap();
         assert_eq!(bcsr.num_blocks(), 0);
         assert_eq!(bcsr.spmv_alloc(&[1.0; 5]), vec![0.0; 5]);
         assert_eq!(bcsr.fill_ratio(), 1.0);
@@ -349,10 +418,25 @@ mod tests {
     #[test]
     fn index_width_reported() {
         let coo = random_coo(16, 16, 30, 9);
-        let b = BcsrMatrix::from_coo(&coo, 2, 2, IndexWidth::U16).unwrap();
+        let b = BcsrMatrix::<u16>::from_coo(&coo, 2, 2).unwrap();
         assert_eq!(b.index_width(), IndexWidth::U16);
-        let b32 = BcsrMatrix::from_coo(&coo, 2, 2, IndexWidth::U32).unwrap();
+        let b32 = BcsrMatrix::<u32>::from_coo(&coo, 2, 2).unwrap();
         assert_eq!(b32.index_width(), IndexWidth::U32);
         assert!(b.footprint_bytes() <= b32.footprint_bytes());
+    }
+
+    #[test]
+    fn auto_wrapper_selects_and_matches() {
+        let coo = random_coo(30, 30, 120, 10);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..30).map(|i| i as f64 * 0.5 - 7.0).collect();
+        let reference = csr.spmv_alloc(&x);
+        for width in [IndexWidth::U16, IndexWidth::U32] {
+            let auto = BcsrAuto::from_csr(&csr, 2, 2, width).unwrap();
+            assert_eq!(auto.width(), width);
+            assert!(max_abs_diff(&reference, &auto.spmv_alloc(&x)) < 1e-10);
+            assert_eq!(auto.nnz(), csr.nnz());
+            assert!(auto.fill_ratio() >= 1.0);
+        }
     }
 }

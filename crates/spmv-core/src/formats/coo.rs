@@ -30,12 +30,20 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Create an empty matrix of the given dimensions.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooMatrix { nrows, ncols, entries: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// Create an empty matrix with reserved capacity for `cap` entries.
     pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
-        CooMatrix { nrows, ncols, entries: Vec::with_capacity(cap) }
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Append an entry. Panics if the coordinates are out of bounds.
@@ -182,7 +190,13 @@ mod tests {
         CooMatrix::from_triplets(
             3,
             3,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
     }

@@ -61,11 +61,16 @@ impl CscMatrix {
 
     /// Extract columns `[start, end)` as a new CSC matrix over the same row space.
     pub fn col_slice(&self, start: usize, end: usize) -> CscMatrix {
-        assert!(start <= end && end <= self.ncols, "invalid column slice {start}..{end}");
+        assert!(
+            start <= end && end <= self.ncols,
+            "invalid column slice {start}..{end}"
+        );
         let base = self.col_ptr[start];
         let stop = self.col_ptr[end];
-        let col_ptr: Vec<usize> =
-            self.col_ptr[start..=end].iter().map(|&p| p - base).collect();
+        let col_ptr: Vec<usize> = self.col_ptr[start..=end]
+            .iter()
+            .map(|&p| p - base)
+            .collect();
         CscMatrix {
             nrows: self.nrows,
             ncols: end - start,
@@ -97,8 +102,7 @@ impl MatrixShape for CscMatrix {
 impl SpMv for CscMatrix {
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
         check_dims(self.nrows, self.ncols, x, y);
-        for col in 0..self.ncols {
-            let xj = x[col];
+        for (col, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 // Still correct to skip: contribution would be zero.
                 // (Matches the vectorized CSC formulation; avoids useless scatters.)
@@ -120,7 +124,13 @@ mod tests {
         CooMatrix::from_triplets(
             3,
             4,
-            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
     }

@@ -1,26 +1,37 @@
 //! Compressed Sparse Row (CSR) — the conventional format and the paper's baseline.
+//!
+//! [`CsrMatrix`] is generic over the column-index storage width
+//! ([`IndexStorage`]): `CsrMatrix<u32>` (the default) is the conventional format,
+//! `CsrMatrix<u16>` is the paper's 16-bit index-compressed variant. The width is a
+//! *compile-time* parameter, so every kernel instantiation reads its indices with a
+//! single zero-extending load — the enum-tag branch of the seed implementation
+//! ([`crate::formats::index::EnumDispatchCsr`]) is gone from the hot path.
+//!
+//! [`CompressedCsr`] packages the runtime decision: it inspects the column span
+//! **once** at construction and stores the narrowest monomorphized matrix.
 
 use crate::error::{Error, Result};
 use crate::formats::coo::CooMatrix;
+use crate::formats::index::{IndexStorage, IndexWidth};
 use crate::formats::traits::{check_dims, MatrixShape, SpMv};
 use crate::{INDEX32_BYTES, VALUE_BYTES};
 
-/// Compressed Sparse Row storage with 32-bit column indices.
+/// Compressed Sparse Row storage, generic over the column-index width.
 ///
 /// `row_ptr` has `nrows + 1` entries; the nonzeros of row `i` occupy
 /// `values[row_ptr[i]..row_ptr[i+1]]` with matching `col_idx` positions, sorted by
 /// column. This is the structure the naive and single-loop kernels of Section 4.1
 /// traverse, and the input to every data-structure transformation.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CsrMatrix {
+pub struct CsrMatrix<I: IndexStorage = u32> {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<usize>,
-    col_idx: Vec<u32>,
+    col_idx: Vec<I>,
     values: Vec<f64>,
 }
 
-impl CsrMatrix {
+impl CsrMatrix<u32> {
     /// Build from raw arrays, validating the structure.
     pub fn from_raw(
         nrows: usize,
@@ -49,12 +60,22 @@ impl CsrMatrix {
             ));
         }
         if row_ptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(Error::InvalidStructure("row_ptr must be non-decreasing".to_string()));
+            return Err(Error::InvalidStructure(
+                "row_ptr must be non-decreasing".to_string(),
+            ));
         }
         if col_idx.iter().any(|&c| c as usize >= ncols) {
-            return Err(Error::InvalidStructure("column index out of range".to_string()));
+            return Err(Error::InvalidStructure(
+                "column index out of range".to_string(),
+            ));
         }
-        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Convert from coordinate format, summing duplicate entries.
@@ -82,7 +103,46 @@ impl CsrMatrix {
             values[slot] = t.val;
             cursor[t.row] += 1;
         }
-        CsrMatrix { nrows, ncols, row_ptr, col_idx, values }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Transpose (also the CSR→CSC conversion workhorse).
+    ///
+    /// Defined for the 32-bit default only: transposing swaps the row and column
+    /// spans, so a narrow index type valid for the input may not be valid for the
+    /// result. Narrow matrices can `reindex::<u32>()` first and narrow again after.
+    pub fn transpose(&self) -> CsrMatrix<u32> {
+        CsrMatrix::from_coo(&self.to_coo().transpose())
+    }
+}
+
+impl<I: IndexStorage> CsrMatrix<I> {
+    /// Re-encode the column indices at width `J`, chosen once — the returned matrix
+    /// drives monomorphized kernels with no per-access width dispatch.
+    pub fn reindex<J: IndexStorage>(&self) -> Result<CsrMatrix<J>> {
+        if !J::fits(self.ncols) {
+            return Err(Error::IndexWidthOverflow {
+                dimension: self.ncols,
+            });
+        }
+        let col_idx = self
+            .col_idx
+            .iter()
+            .map(|&c| J::try_from_usize(c.to_usize()))
+            .collect::<Result<Vec<J>>>()?;
+        Ok(CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx,
+            values: self.values.clone(),
+        })
     }
 
     /// Convert back to coordinate format.
@@ -90,7 +150,7 @@ impl CsrMatrix {
         let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.values.len());
         for row in 0..self.nrows {
             for k in self.row_ptr[row]..self.row_ptr[row + 1] {
-                coo.push(row, self.col_idx[k] as usize, self.values[k]);
+                coo.push(row, self.col_idx[k].to_usize(), self.values[k]);
             }
         }
         coo
@@ -101,8 +161,8 @@ impl CsrMatrix {
         &self.row_ptr
     }
 
-    /// Column index array.
-    pub fn col_idx(&self) -> &[u32] {
+    /// Column index array at the storage width.
+    pub fn col_idx(&self) -> &[I] {
         &self.col_idx
     }
 
@@ -135,18 +195,23 @@ impl CsrMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.nrows).flat_map(move |row| {
             (self.row_ptr[row]..self.row_ptr[row + 1])
-                .map(move |k| (row, self.col_idx[k] as usize, self.values[k]))
+                .map(move |k| (row, self.col_idx[k].to_usize(), self.values[k]))
         })
     }
 
     /// Extract rows `[start, end)` as a new CSR matrix over the same column space.
     /// Used by the row-partitioners to hand each thread an independent sub-matrix.
-    pub fn row_slice(&self, start: usize, end: usize) -> CsrMatrix {
-        assert!(start <= end && end <= self.nrows, "invalid row slice {start}..{end}");
+    pub fn row_slice(&self, start: usize, end: usize) -> CsrMatrix<I> {
+        assert!(
+            start <= end && end <= self.nrows,
+            "invalid row slice {start}..{end}"
+        );
         let base = self.row_ptr[start];
         let stop = self.row_ptr[end];
-        let row_ptr: Vec<usize> =
-            self.row_ptr[start..=end].iter().map(|&p| p - base).collect();
+        let row_ptr: Vec<usize> = self.row_ptr[start..=end]
+            .iter()
+            .map(|&p| p - base)
+            .collect();
         CsrMatrix {
             nrows: end - start,
             ncols: self.ncols,
@@ -155,14 +220,9 @@ impl CsrMatrix {
             values: self.values[base..stop].to_vec(),
         }
     }
-
-    /// Transpose (also the CSR→CSC conversion workhorse).
-    pub fn transpose(&self) -> CsrMatrix {
-        CsrMatrix::from_coo(&self.to_coo().transpose())
-    }
 }
 
-impl MatrixShape for CsrMatrix {
+impl<I: IndexStorage> MatrixShape for CsrMatrix<I> {
     fn nrows(&self) -> usize {
         self.nrows
     }
@@ -176,20 +236,103 @@ impl MatrixShape for CsrMatrix {
         self.values.len()
     }
     fn footprint_bytes(&self) -> usize {
-        self.values.len() * (VALUE_BYTES + INDEX32_BYTES) + self.row_ptr.len() * INDEX32_BYTES
+        self.values.len() * (VALUE_BYTES + I::BYTES) + self.row_ptr.len() * INDEX32_BYTES
     }
 }
 
-impl SpMv for CsrMatrix {
-    /// Reference CSR SpMV: the "naive" nested loop of Section 4.1.
+impl<I: IndexStorage> SpMv for CsrMatrix<I> {
+    /// Reference CSR SpMV: the "naive" nested loop of Section 4.1, monomorphized
+    /// per index width.
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
         check_dims(self.nrows, self.ncols, x, y);
-        for row in 0..self.nrows {
+        for (row, yv) in y.iter_mut().enumerate() {
             let mut sum = 0.0;
             for k in self.row_ptr[row]..self.row_ptr[row + 1] {
-                sum += self.values[k] * x[self.col_idx[k] as usize];
+                sum += self.values[k] * x[self.col_idx[k].to_usize()];
             }
-            y[row] += sum;
+            *yv += sum;
+        }
+    }
+}
+
+/// A CSR matrix whose index width was selected once, at construction.
+///
+/// This is the paper's index-compression decision made concrete: inspect the column
+/// span, pick the narrowest monomorphized `CsrMatrix<I>`, and from then on every
+/// SpMV call dispatches **once** (a single match at the call boundary) into fully
+/// specialized machine code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressedCsr {
+    /// 16-bit column indices (`ncols ≤ 65536`).
+    U16(CsrMatrix<u16>),
+    /// 32-bit column indices.
+    U32(CsrMatrix<u32>),
+}
+
+impl CompressedCsr {
+    /// Compress `csr` to the narrowest width its column span allows.
+    pub fn from_csr(csr: &CsrMatrix) -> CompressedCsr {
+        match csr.reindex::<u16>() {
+            Ok(m) => CompressedCsr::U16(m),
+            Err(_) => CompressedCsr::U32(csr.clone()),
+        }
+    }
+
+    /// The width selected at construction.
+    pub fn width(&self) -> IndexWidth {
+        match self {
+            CompressedCsr::U16(_) => IndexWidth::U16,
+            CompressedCsr::U32(_) => IndexWidth::U32,
+        }
+    }
+
+    /// Run a kernel variant on the monomorphized matrix (dispatching once).
+    pub fn execute(&self, variant: crate::kernels::KernelVariant, x: &[f64], y: &mut [f64]) {
+        match self {
+            CompressedCsr::U16(m) => variant.execute(m, x, y),
+            CompressedCsr::U32(m) => variant.execute(m, x, y),
+        }
+    }
+}
+
+impl MatrixShape for CompressedCsr {
+    fn nrows(&self) -> usize {
+        match self {
+            CompressedCsr::U16(m) => m.nrows(),
+            CompressedCsr::U32(m) => m.nrows(),
+        }
+    }
+    fn ncols(&self) -> usize {
+        match self {
+            CompressedCsr::U16(m) => m.ncols(),
+            CompressedCsr::U32(m) => m.ncols(),
+        }
+    }
+    fn stored_entries(&self) -> usize {
+        match self {
+            CompressedCsr::U16(m) => m.stored_entries(),
+            CompressedCsr::U32(m) => m.stored_entries(),
+        }
+    }
+    fn nnz(&self) -> usize {
+        match self {
+            CompressedCsr::U16(m) => m.nnz(),
+            CompressedCsr::U32(m) => m.nnz(),
+        }
+    }
+    fn footprint_bytes(&self) -> usize {
+        match self {
+            CompressedCsr::U16(m) => m.footprint_bytes(),
+            CompressedCsr::U32(m) => m.footprint_bytes(),
+        }
+    }
+}
+
+impl SpMv for CompressedCsr {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            CompressedCsr::U16(m) => m.spmv(x, y),
+            CompressedCsr::U32(m) => m.spmv(x, y),
         }
     }
 }
@@ -206,7 +349,14 @@ mod tests {
         CooMatrix::from_triplets(
             4,
             4,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0), (2, 3, 5.0), (3, 2, 6.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (2, 0, 3.0),
+                (2, 1, 4.0),
+                (2, 3, 5.0),
+                (3, 2, 6.0),
+            ],
         )
         .unwrap()
     }
@@ -225,6 +375,42 @@ mod tests {
         let x = vec![1.0, 2.0, 3.0, 4.0];
         let y = csr.spmv_alloc(&x);
         assert_eq!(y, vec![7.0, 0.0, 31.0, 18.0]);
+    }
+
+    #[test]
+    fn reindexed_u16_matches_u32() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        let narrow: CsrMatrix<u16> = csr.reindex().unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(narrow.spmv_alloc(&x), csr.spmv_alloc(&x));
+        assert_eq!(narrow.col_idx(), &[0u16, 2, 0, 1, 3, 2]);
+        // Index storage shrinks by 2 bytes per nonzero.
+        assert_eq!(
+            csr.footprint_bytes() - narrow.footprint_bytes(),
+            2 * csr.nnz()
+        );
+    }
+
+    #[test]
+    fn reindex_rejects_narrow_width_on_wide_matrix() {
+        let coo = CooMatrix::from_triplets(2, 100_000, vec![(0, 99_999, 1.0)]).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        assert!(csr.reindex::<u16>().is_err());
+        assert!(csr.reindex::<u32>().is_ok());
+        assert!(csr.reindex::<usize>().is_ok());
+    }
+
+    #[test]
+    fn compressed_csr_selects_width_once() {
+        let narrow = CompressedCsr::from_csr(&CsrMatrix::from_coo(&sample_coo()));
+        assert_eq!(narrow.width(), IndexWidth::U16);
+        let wide_coo =
+            CooMatrix::from_triplets(2, 70_000, vec![(0, 69_999, 2.0), (1, 0, 3.0)]).unwrap();
+        let wide = CompressedCsr::from_csr(&CsrMatrix::from_coo(&wide_coo));
+        assert_eq!(wide.width(), IndexWidth::U32);
+        let x = vec![1.0; 70_000];
+        assert_eq!(wide.spmv_alloc(&x), vec![2.0, 3.0]);
+        assert_eq!(wide.nnz(), 2);
     }
 
     #[test]
@@ -253,6 +439,14 @@ mod tests {
         assert_eq!(slice.nnz(), 4);
         let x = vec![1.0, 2.0, 3.0, 4.0];
         assert_eq!(slice.spmv_alloc(&x), vec![31.0, 18.0]);
+    }
+
+    #[test]
+    fn row_slice_preserves_index_width() {
+        let csr: CsrMatrix<u16> = CsrMatrix::from_coo(&sample_coo()).reindex().unwrap();
+        let slice = csr.row_slice(0, 2);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(slice.spmv_alloc(&x), vec![7.0, 0.0]);
     }
 
     #[test]
@@ -289,8 +483,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed_on_conversion() {
-        let coo =
-            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 4.0)]).unwrap();
+        let coo = CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 4.0)]).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         assert_eq!(csr.nnz(), 1);
         assert_eq!(csr.values(), &[5.0]);

@@ -5,11 +5,11 @@
 //! each stored (non-empty) row, so empty rows cost neither pointer storage nor
 //! zero-length inner loops.
 
+use crate::error::{Error, Result};
 use crate::formats::coo::CooMatrix;
 use crate::formats::csr::CsrMatrix;
 use crate::formats::index::{IndexArray, IndexWidth};
 use crate::formats::traits::{check_dims, MatrixShape, SpMv};
-use crate::error::{Error, Result};
 use crate::{INDEX32_BYTES, VALUE_BYTES};
 
 /// Generalized CSR storing only occupied rows.
@@ -54,9 +54,9 @@ impl GcsrMatrix {
         Ok(GcsrMatrix {
             nrows: csr.nrows(),
             ncols: csr.ncols(),
-            row_ids: IndexArray::from_usize(&row_ids, width),
+            row_ids: IndexArray::from_usize(&row_ids, width)?,
             row_ptr,
-            col_idx: IndexArray::from_usize(&cols, width),
+            col_idx: IndexArray::from_usize(&cols, width)?,
             values,
         })
     }
@@ -122,7 +122,13 @@ mod tests {
         CooMatrix::from_triplets(
             100,
             50,
-            vec![(5, 0, 1.0), (5, 49, 2.0), (40, 10, 3.0), (99, 20, 4.0), (99, 21, 5.0)],
+            vec![
+                (5, 0, 1.0),
+                (5, 49, 2.0),
+                (40, 10, 3.0),
+                (99, 20, 4.0),
+                (99, 21, 5.0),
+            ],
         )
         .unwrap()
     }

@@ -1,13 +1,24 @@
 //! Index compression: 16-bit vs 32-bit column/row indices.
 //!
 //! The paper (Section 4.2) halves index storage by using 2-byte indices whenever a
-//! cache block spans fewer than 64K rows/columns. [`IndexArray`] abstracts over the
-//! two widths so kernels and footprint accounting are written once.
+//! cache block spans fewer than 64K rows/columns. Two mechanisms expose this:
+//!
+//! * [`IndexStorage`] — a compile-time index-width trait (`u16` / `u32` / `usize`).
+//!   Formats and kernels generic over it are **monomorphized**: the compiler emits a
+//!   separate, branch-free instantiation per width, and the width is chosen *once*
+//!   (at tuning/construction time), never per element. This is the hot path.
+//! * [`IndexArray`] — a runtime-width enum used by the cold formats (BCOO, GCSR)
+//!   and by footprint accounting, where per-access dispatch cost is irrelevant.
+//!
+//! [`EnumDispatchCsr`] preserves the old per-access enum-dispatch CSR exactly as the
+//! seed implemented it, as a benchmark baseline demonstrating what monomorphization
+//! buys (see `spmv-bench/benches/index_monomorphization.rs`).
 
-use serde::{Deserialize, Serialize};
+use crate::error::{Error, Result};
+use crate::formats::traits::MatrixShape;
 
 /// The width of the stored indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IndexWidth {
     /// 2-byte indices; usable when the indexed span is at most `u16::MAX + 1`.
     U16,
@@ -42,8 +53,95 @@ impl IndexWidth {
     }
 }
 
+/// A compile-time index width.
+///
+/// Formats generic over `IndexStorage` (e.g. [`crate::formats::CsrMatrix`],
+/// [`crate::formats::BcsrMatrix`]) store their index arrays as `Vec<I>` and widen
+/// with [`IndexStorage::to_usize`], which compiles to a single zero-extending move —
+/// no branch, no enum tag. The kernel ladder in [`crate::kernels`] is generic over
+/// this trait, so every (kernel, width) pair gets its own machine code.
+pub trait IndexStorage:
+    Copy + Clone + Send + Sync + Eq + Ord + std::hash::Hash + std::fmt::Debug + 'static
+{
+    /// Bytes per stored index.
+    const BYTES: usize;
+
+    /// Largest number of distinct positions this width can index.
+    const MAX_SPAN: usize;
+
+    /// The runtime [`IndexWidth`] tag, when one exists (`usize` has none: it is the
+    /// uncompressed native width used for row pointers and scratch indices).
+    const WIDTH: Option<IndexWidth>;
+
+    /// Short name used in benchmark/report labels.
+    const NAME: &'static str;
+
+    /// Widen to `usize`. Must compile to a zero-extension; marked `inline(always)`
+    /// in every implementation because it sits in the innermost SpMV loop.
+    fn to_usize(self) -> usize;
+
+    /// Narrow from `usize`, failing when the value does not fit.
+    fn try_from_usize(v: usize) -> Result<Self>;
+
+    /// Whether `span` distinct positions can be indexed at this width.
+    fn fits(span: usize) -> bool {
+        span <= Self::MAX_SPAN
+    }
+}
+
+impl IndexStorage for u16 {
+    const BYTES: usize = 2;
+    const MAX_SPAN: usize = (u16::MAX as usize) + 1;
+    const WIDTH: Option<IndexWidth> = Some(IndexWidth::U16);
+    const NAME: &'static str = "u16";
+
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+
+    fn try_from_usize(v: usize) -> Result<Self> {
+        u16::try_from(v).map_err(|_| Error::IndexWidthOverflow { dimension: v + 1 })
+    }
+}
+
+impl IndexStorage for u32 {
+    const BYTES: usize = 4;
+    const MAX_SPAN: usize = (u32::MAX as usize) + 1;
+    const WIDTH: Option<IndexWidth> = Some(IndexWidth::U32);
+    const NAME: &'static str = "u32";
+
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+
+    fn try_from_usize(v: usize) -> Result<Self> {
+        u32::try_from(v).map_err(|_| Error::IndexWidthOverflow { dimension: v + 1 })
+    }
+}
+
+impl IndexStorage for usize {
+    const BYTES: usize = std::mem::size_of::<usize>();
+    const MAX_SPAN: usize = usize::MAX;
+    const WIDTH: Option<IndexWidth> = None;
+    const NAME: &'static str = "usize";
+
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self
+    }
+
+    fn try_from_usize(v: usize) -> Result<Self> {
+        Ok(v)
+    }
+}
+
 /// A homogeneous array of indices stored at either 16-bit or 32-bit width.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Runtime-width storage for the cold formats (BCOO, GCSR); the hot CSR/BCSR paths
+/// use `Vec<I>` with [`IndexStorage`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexArray {
     /// Compressed 16-bit storage.
     U16(Vec<u16>),
@@ -52,32 +150,31 @@ pub enum IndexArray {
 }
 
 impl IndexArray {
-    /// Build an index array at the requested width.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a value does not fit the requested width; callers are expected to
-    /// have validated the span with [`IndexWidth::fits`].
-    pub fn from_usize(values: &[usize], width: IndexWidth) -> Self {
+    /// Build an index array at the requested width, failing with
+    /// [`Error::IndexWidthOverflow`] when a value does not fit.
+    pub fn from_usize(values: &[usize], width: IndexWidth) -> Result<Self> {
         match width {
-            IndexWidth::U16 => IndexArray::U16(
-                values
-                    .iter()
-                    .map(|&v| u16::try_from(v).expect("index exceeds 16-bit width"))
-                    .collect(),
-            ),
-            IndexWidth::U32 => IndexArray::U32(
-                values
-                    .iter()
-                    .map(|&v| u32::try_from(v).expect("index exceeds 32-bit width"))
-                    .collect(),
-            ),
+            IndexWidth::U16 => values
+                .iter()
+                .map(|&v| u16::try_from_usize(v))
+                .collect::<Result<Vec<u16>>>()
+                .map(IndexArray::U16),
+            IndexWidth::U32 => values
+                .iter()
+                .map(|&v| u32::try_from_usize(v))
+                .collect::<Result<Vec<u32>>>()
+                .map(IndexArray::U32),
         }
     }
 
     /// Build an index array using the narrowest width that fits `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value in `values` is `>= span` (caller contract violation).
     pub fn compressed(values: &[usize], span: usize) -> Self {
         Self::from_usize(values, IndexWidth::narrowest_for(span))
+            .expect("all values fit the narrowest width for their span")
     }
 
     /// The width of this array.
@@ -129,9 +226,72 @@ impl IndexArray {
     }
 }
 
+/// The seed's per-access enum-dispatch CSR, preserved as a benchmark baseline.
+///
+/// Every column-index fetch matches on the [`IndexArray`] tag — the exact code the
+/// monomorphized [`crate::formats::CsrMatrix`] replaces. Kept so the
+/// `index_monomorphization` bench can quantify the win; not used by any tuned path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDispatchCsr {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: IndexArray,
+    values: Vec<f64>,
+}
+
+impl EnumDispatchCsr {
+    /// Build from a CSR matrix at the requested runtime width.
+    pub fn from_csr(csr: &crate::formats::csr::CsrMatrix, width: IndexWidth) -> Result<Self> {
+        if !width.fits(csr.ncols()) {
+            return Err(Error::IndexWidthOverflow {
+                dimension: csr.ncols(),
+            });
+        }
+        let cols: Vec<usize> = csr.col_idx().iter().map(|&c| c.to_usize()).collect();
+        Ok(EnumDispatchCsr {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            row_ptr: csr.row_ptr().to_vec(),
+            col_idx: IndexArray::from_usize(&cols, width)?,
+            values: csr.values().to_vec(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y ← y + A·x` with the enum tag consulted on every index fetch.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+        for (row, yv) in y.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                sum += self.values[k] * x[self.col_idx.get(k)];
+            }
+            *yv += sum;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::formats::csr::CsrMatrix;
+    use crate::formats::CooMatrix;
 
     #[test]
     fn narrowest_width_selection() {
@@ -154,6 +314,33 @@ mod tests {
     }
 
     #[test]
+    fn storage_trait_constants_agree_with_width_enum() {
+        assert_eq!(u16::BYTES, IndexWidth::U16.bytes());
+        assert_eq!(u32::BYTES, IndexWidth::U32.bytes());
+        assert_eq!(u16::WIDTH, Some(IndexWidth::U16));
+        assert_eq!(u32::WIDTH, Some(IndexWidth::U32));
+        assert_eq!(<usize as IndexStorage>::WIDTH, None);
+        assert!(<u16 as IndexStorage>::fits(65_536));
+        assert!(!<u16 as IndexStorage>::fits(65_537));
+        assert!(<usize as IndexStorage>::fits(usize::MAX));
+    }
+
+    #[test]
+    fn storage_round_trips() {
+        assert_eq!(u16::try_from_usize(65_535).unwrap().to_usize(), 65_535);
+        assert_eq!(u32::try_from_usize(1 << 20).unwrap().to_usize(), 1 << 20);
+        assert_eq!(usize::try_from_usize(usize::MAX).unwrap(), usize::MAX);
+        assert!(matches!(
+            u16::try_from_usize(65_536),
+            Err(Error::IndexWidthOverflow { .. })
+        ));
+        assert!(matches!(
+            u32::try_from_usize(1 << 40),
+            Err(Error::IndexWidthOverflow { .. })
+        ));
+    }
+
+    #[test]
     fn compressed_picks_u16_for_small_span() {
         let a = IndexArray::compressed(&[0, 5, 100], 1000);
         assert_eq!(a.width(), IndexWidth::U16);
@@ -170,14 +357,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds 16-bit")]
-    fn from_usize_panics_on_overflow() {
-        IndexArray::from_usize(&[70_000], IndexWidth::U16);
+    fn from_usize_errors_on_overflow() {
+        assert!(matches!(
+            IndexArray::from_usize(&[70_000], IndexWidth::U16),
+            Err(Error::IndexWidthOverflow { .. })
+        ));
     }
 
     #[test]
     fn iteration_matches_get() {
-        let a = IndexArray::from_usize(&[3, 1, 4, 1, 5], IndexWidth::U32);
+        let a = IndexArray::from_usize(&[3, 1, 4, 1, 5], IndexWidth::U32).unwrap();
         let collected: Vec<usize> = a.iter().collect();
         assert_eq!(collected, vec![3, 1, 4, 1, 5]);
         assert_eq!(a.get(2), 4);
@@ -187,8 +376,32 @@ mod tests {
 
     #[test]
     fn empty_array() {
-        let a = IndexArray::from_usize(&[], IndexWidth::U16);
+        let a = IndexArray::from_usize(&[], IndexWidth::U16).unwrap();
         assert!(a.is_empty());
         assert_eq!(a.bytes(), 0);
+    }
+
+    #[test]
+    fn enum_dispatch_csr_matches_reference() {
+        let coo =
+            CooMatrix::from_triplets(3, 4, vec![(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0)]).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        for width in [IndexWidth::U16, IndexWidth::U32] {
+            let enum_csr = EnumDispatchCsr::from_csr(&csr, width).unwrap();
+            let mut y = vec![0.0; 3];
+            enum_csr.spmv(&x, &mut y);
+            assert_eq!(y, vec![9.0, 0.0, 6.0]);
+            assert_eq!(enum_csr.nnz(), 3);
+            assert_eq!((enum_csr.nrows(), enum_csr.ncols()), (3, 4));
+        }
+    }
+
+    #[test]
+    fn enum_dispatch_csr_rejects_narrow_width() {
+        let coo = CooMatrix::from_triplets(2, 100_000, vec![(0, 99_999, 1.0)]).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        assert!(EnumDispatchCsr::from_csr(&csr, IndexWidth::U16).is_err());
+        assert!(EnumDispatchCsr::from_csr(&csr, IndexWidth::U32).is_ok());
     }
 }

@@ -17,10 +17,10 @@ pub mod index;
 pub mod traits;
 
 pub use bcoo::BcooMatrix;
-pub use bcsr::BcsrMatrix;
+pub use bcsr::{BcsrAuto, BcsrMatrix};
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{CompressedCsr, CsrMatrix};
 pub use gcsr::GcsrMatrix;
-pub use index::{IndexArray, IndexWidth};
+pub use index::{EnumDispatchCsr, IndexArray, IndexStorage, IndexWidth};
 pub use traits::{MatrixShape, SpMv};

@@ -8,6 +8,7 @@
 //! matrices with very short rows (Economics, Circuit, webbase in the suite).
 
 use crate::formats::csr::CsrMatrix;
+use crate::formats::index::IndexStorage;
 use crate::formats::traits::MatrixShape;
 
 /// `y ← y + A·x` with a branch-free inner loop over the nonzero stream.
@@ -15,7 +16,7 @@ use crate::formats::traits::MatrixShape;
 /// The row boundaries are pre-expanded into a per-nonzero "segment end" description
 /// (the row each nonzero belongs to), so the main loop contains no conditional
 /// control flow that depends on the matrix structure — only predicated arithmetic.
-pub fn spmv_branchless(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+pub fn spmv_branchless<I: IndexStorage>(a: &CsrMatrix<I>, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols(), "source vector length mismatch");
     assert_eq!(y.len(), a.nrows(), "destination vector length mismatch");
     let row_ptr = a.row_ptr();
@@ -44,7 +45,7 @@ pub fn spmv_branchless(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
         y[current_row] += sum * new_segment;
         sum *= 1.0 - new_segment;
         current_row = row;
-        sum += values[k] * x[col_idx[k] as usize];
+        sum += values[k] * x[col_idx[k].to_usize()];
     }
     y[current_row] += sum;
 }
@@ -62,27 +63,31 @@ pub fn expand_row_ids(row_ptr: &[usize], nnz: usize) -> Vec<u32> {
 
 /// A CSR matrix with the segment descriptor precomputed, for repeated branchless calls.
 #[derive(Debug, Clone)]
-pub struct SegmentedCsr {
-    csr: CsrMatrix,
+pub struct SegmentedCsr<I: IndexStorage = u32> {
+    csr: CsrMatrix<I>,
     row_of: Vec<u32>,
 }
 
-impl SegmentedCsr {
+impl<I: IndexStorage> SegmentedCsr<I> {
     /// Precompute the per-nonzero row ids for `csr`.
-    pub fn new(csr: CsrMatrix) -> Self {
+    pub fn new(csr: CsrMatrix<I>) -> Self {
         let row_of = expand_row_ids(csr.row_ptr(), csr.nnz());
         SegmentedCsr { csr, row_of }
     }
 
     /// The wrapped CSR matrix.
-    pub fn csr(&self) -> &CsrMatrix {
+    pub fn csr(&self) -> &CsrMatrix<I> {
         &self.csr
     }
 
     /// Branchless SpMV using the cached segment descriptor.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.csr.ncols(), "source vector length mismatch");
-        assert_eq!(y.len(), self.csr.nrows(), "destination vector length mismatch");
+        assert_eq!(
+            y.len(),
+            self.csr.nrows(),
+            "destination vector length mismatch"
+        );
         let col_idx = self.csr.col_idx();
         let values = self.csr.values();
         let nnz = values.len();
@@ -97,7 +102,7 @@ impl SegmentedCsr {
             y[current_row] += sum * new_segment;
             sum *= 1.0 - new_segment;
             current_row = row;
-            sum += values[k] * x[col_idx[k] as usize];
+            sum += values[k] * x[col_idx[k].to_usize()];
         }
         y[current_row] += sum;
     }

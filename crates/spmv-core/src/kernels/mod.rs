@@ -17,6 +17,7 @@
 //! [`variant::KernelVariant`] provides uniform dispatch so the tuner and benchmarks
 //! can sweep the whole set.
 
+pub mod blocked;
 pub mod branchless;
 pub mod naive;
 pub mod pipelined;
@@ -25,7 +26,7 @@ pub mod single_loop;
 pub mod unrolled;
 pub mod variant;
 
-pub use variant::KernelVariant;
+pub use variant::{KernelVariant, PreparedKernel};
 
 #[cfg(test)]
 pub(crate) mod testing {
@@ -49,6 +50,8 @@ pub(crate) mod testing {
 
     /// A source vector with deterministic, non-trivial contents.
     pub fn test_x(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 37 + 11) % 101) as f64 * 0.25 - 10.0).collect()
+        (0..n)
+            .map(|i| ((i * 37 + 11) % 101) as f64 * 0.25 - 10.0)
+            .collect()
     }
 }

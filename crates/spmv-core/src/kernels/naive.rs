@@ -1,6 +1,7 @@
 //! Naive nested-loop CSR SpMV: the unoptimized baseline every speedup is measured from.
 
 use crate::formats::csr::CsrMatrix;
+use crate::formats::index::IndexStorage;
 use crate::formats::traits::MatrixShape;
 
 /// `y ← y + A·x` with the textbook nested loop: the outer loop walks rows, the inner
@@ -9,7 +10,7 @@ use crate::formats::traits::MatrixShape;
 /// # Panics
 ///
 /// Panics if `x`/`y` do not match the matrix dimensions.
-pub fn spmv_naive(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+pub fn spmv_naive<I: IndexStorage>(a: &CsrMatrix<I>, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols(), "source vector length mismatch");
     assert_eq!(y.len(), a.nrows(), "destination vector length mismatch");
     let row_ptr = a.row_ptr();
@@ -18,7 +19,7 @@ pub fn spmv_naive(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
     for row in 0..a.nrows() {
         let mut sum = 0.0;
         for k in row_ptr[row]..row_ptr[row + 1] {
-            sum += values[k] * x[col_idx[k] as usize];
+            sum += values[k] * x[col_idx[k].to_usize()];
         }
         y[row] += sum;
     }
@@ -28,8 +29,8 @@ pub fn spmv_naive(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
 mod tests {
     use super::*;
     use crate::dense::max_abs_diff;
-    use crate::formats::{CooMatrix, CsrMatrix};
     use crate::formats::traits::SpMv;
+    use crate::formats::{CooMatrix, CsrMatrix};
     use crate::kernels::testing::{random_coo, test_x};
 
     #[test]

@@ -8,10 +8,11 @@
 //! retires, using two rotating operand registers.
 
 use crate::formats::csr::CsrMatrix;
+use crate::formats::index::IndexStorage;
 use crate::formats::traits::MatrixShape;
 
 /// `y ← y + A·x` with a two-stage software pipeline over the nonzero stream.
-pub fn spmv_pipelined(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+pub fn spmv_pipelined<I: IndexStorage>(a: &CsrMatrix<I>, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols(), "source vector length mismatch");
     assert_eq!(y.len(), a.nrows(), "destination vector length mismatch");
     let row_ptr = a.row_ptr();
@@ -26,12 +27,12 @@ pub fn spmv_pipelined(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
         }
         // Prologue: stage the first iteration's operands.
         let mut staged_val = values[lo];
-        let mut staged_x = x[col_idx[lo] as usize];
+        let mut staged_x = x[col_idx[lo].to_usize()];
         let mut sum = 0.0;
         // Steady state: issue next loads before consuming the staged pair.
         for k in lo + 1..hi {
             let next_val = values[k];
-            let next_x = x[col_idx[k] as usize];
+            let next_x = x[col_idx[k].to_usize()];
             sum += staged_val * staged_x;
             staged_val = next_val;
             staged_x = next_x;

@@ -9,6 +9,7 @@
 //! (Niagara prefetches only into L2).
 
 use crate::formats::csr::CsrMatrix;
+use crate::formats::index::IndexStorage;
 use crate::formats::traits::MatrixShape;
 
 /// Prefetch temporal-locality hint, mirroring the x86 `prefetcht0` / `prefetchnta`
@@ -53,8 +54,8 @@ pub fn prefetch_read<T>(slice: &[T], index: usize, hint: PrefetchHint) {
 /// fixed `distance` (in nonzeros) ahead of the compute cursor.
 ///
 /// `distance = 0` disables prefetching entirely.
-pub fn spmv_prefetch(
-    a: &CsrMatrix,
+pub fn spmv_prefetch<I: IndexStorage>(
+    a: &CsrMatrix<I>,
     x: &[f64],
     y: &mut [f64],
     distance: usize,
@@ -75,7 +76,7 @@ pub fn spmv_prefetch(
                 prefetch_read(values, k + distance, hint);
                 prefetch_read(col_idx, k + distance, hint);
             }
-            sum += values[k] * x[col_idx[k] as usize];
+            sum += values[k] * x[col_idx[k].to_usize()];
             k += 1;
         }
         y[row] += sum;

@@ -7,10 +7,11 @@
 //! loop variables and better induction-variable behaviour than the naive form.
 
 use crate::formats::csr::CsrMatrix;
+use crate::formats::index::IndexStorage;
 use crate::formats::traits::MatrixShape;
 
 /// `y ← y + A·x` using one running cursor over the nonzero stream.
-pub fn spmv_single_loop(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+pub fn spmv_single_loop<I: IndexStorage>(a: &CsrMatrix<I>, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols(), "source vector length mismatch");
     assert_eq!(y.len(), a.nrows(), "destination vector length mismatch");
     let row_ptr = a.row_ptr();
@@ -23,7 +24,7 @@ pub fn spmv_single_loop(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
         // `k` continues from where the previous row stopped: a single loop variable
         // drives both the row scan and the nonzero stream.
         while k < end {
-            sum += values[k] * x[col_idx[k] as usize];
+            sum += values[k] * x[col_idx[k].to_usize()];
             k += 1;
         }
         y[row] += sum;

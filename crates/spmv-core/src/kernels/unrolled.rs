@@ -7,6 +7,7 @@
 //! code buys on the out-of-order x86 cores.
 
 use crate::formats::csr::CsrMatrix;
+use crate::formats::index::IndexStorage;
 use crate::formats::traits::MatrixShape;
 
 /// `y ← y + A·x` with a 4-way unrolled inner loop and independent partial sums.
@@ -14,7 +15,7 @@ use crate::formats::traits::MatrixShape;
 /// Note: floating-point addition is not associative, so results may differ from the
 /// naive kernel by rounding error (bounded by a few ULPs per row); tests compare with
 /// a tolerance, exactly as the paper's implementations do implicitly.
-pub fn spmv_unrolled4(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+pub fn spmv_unrolled4<I: IndexStorage>(a: &CsrMatrix<I>, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols(), "source vector length mismatch");
     assert_eq!(y.len(), a.nrows(), "destination vector length mismatch");
     let row_ptr = a.row_ptr();
@@ -33,21 +34,21 @@ pub fn spmv_unrolled4(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
         let base = lo;
         for ch in 0..chunks {
             let k = base + ch * 4;
-            s0 += values[k] * x[col_idx[k] as usize];
-            s1 += values[k + 1] * x[col_idx[k + 1] as usize];
-            s2 += values[k + 2] * x[col_idx[k + 2] as usize];
-            s3 += values[k + 3] * x[col_idx[k + 3] as usize];
+            s0 += values[k] * x[col_idx[k].to_usize()];
+            s1 += values[k + 1] * x[col_idx[k + 1].to_usize()];
+            s2 += values[k + 2] * x[col_idx[k + 2].to_usize()];
+            s3 += values[k + 3] * x[col_idx[k + 3].to_usize()];
         }
         let mut tail = 0.0;
         for k in base + chunks * 4..hi {
-            tail += values[k] * x[col_idx[k] as usize];
+            tail += values[k] * x[col_idx[k].to_usize()];
         }
         y[row] += (s0 + s2) + (s1 + s3) + tail;
     }
 }
 
 /// `y ← y + A·x` with an 8-way unrolled inner loop, for long-row matrices (Dense, LP).
-pub fn spmv_unrolled8(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+pub fn spmv_unrolled8<I: IndexStorage>(a: &CsrMatrix<I>, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols(), "source vector length mismatch");
     assert_eq!(y.len(), a.nrows(), "destination vector length mismatch");
     let row_ptr = a.row_ptr();
@@ -63,15 +64,15 @@ pub fn spmv_unrolled8(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
         for ch in 0..chunks {
             let k = lo + ch * 8;
             for (lane, slot) in acc.iter_mut().enumerate() {
-                *slot += values[k + lane] * x[col_idx[k + lane] as usize];
+                *slot += values[k + lane] * x[col_idx[k + lane].to_usize()];
             }
         }
         let mut tail = 0.0;
         for k in lo + chunks * 8..hi {
-            tail += values[k] * x[col_idx[k] as usize];
+            tail += values[k] * x[col_idx[k].to_usize()];
         }
-        let pairwise = ((acc[0] + acc[4]) + (acc[1] + acc[5]))
-            + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+        let pairwise =
+            ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
         y[row] += pairwise + tail;
     }
 }
@@ -109,7 +110,14 @@ mod tests {
         let coo = CooMatrix::from_triplets(
             4,
             4,
-            vec![(0, 0, 1.0), (1, 0, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 1, 5.0), (2, 2, 6.0)],
+            vec![
+                (0, 0, 1.0),
+                (1, 0, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+                (2, 2, 6.0),
+            ],
         )
         .unwrap();
         let csr = CsrMatrix::from_coo(&coo);

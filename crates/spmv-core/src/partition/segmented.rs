@@ -78,9 +78,22 @@ pub fn partition_nonzeros(csr: &CsrMatrix, parts: usize) -> SegmentedPartition {
     for p in 0..parts {
         let start = nnz * p / parts;
         let end = nnz * (p + 1) / parts;
-        let first_row = if start < nnz { row_of_nnz(row_ptr, start) } else { csr.nrows() };
-        let last_row = if end > start { row_of_nnz(row_ptr, end - 1) } else { first_row };
-        chunks.push(NonzeroChunk { nnz_start: start, nnz_end: end, first_row, last_row });
+        let first_row = if start < nnz {
+            row_of_nnz(row_ptr, start)
+        } else {
+            csr.nrows()
+        };
+        let last_row = if end > start {
+            row_of_nnz(row_ptr, end - 1)
+        } else {
+            first_row
+        };
+        chunks.push(NonzeroChunk {
+            nnz_start: start,
+            nnz_end: end,
+            first_row,
+            last_row,
+        });
     }
     SegmentedPartition { chunks }
 }

@@ -10,10 +10,9 @@
 use crate::blocking::register::estimate_fill;
 use crate::formats::csr::CsrMatrix;
 use crate::formats::traits::MatrixShape;
-use serde::{Deserialize, Serialize};
 
 /// Structural summary of a sparse matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixStats {
     /// Number of rows.
     pub nrows: usize,
@@ -80,7 +79,11 @@ impl MatrixStats {
                 }
             }
         }
-        let diagonal_fraction = if nnz == 0 { 0.0 } else { near_diag as f64 / nnz as f64 };
+        let diagonal_fraction = if nnz == 0 {
+            0.0
+        } else {
+            near_diag as f64 / nnz as f64
+        };
 
         let fill_2x2 = estimate_fill(csr, 2, 2).fill_ratio;
         let fill_4x4 = estimate_fill(csr, 4, 4).fill_ratio;
@@ -89,11 +92,19 @@ impl MatrixStats {
             nrows,
             ncols,
             nnz,
-            nnz_per_row_mean: if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 },
+            nnz_per_row_mean: if nrows == 0 {
+                0.0
+            } else {
+                nnz as f64 / nrows as f64
+            },
             nnz_per_row_min: min_r,
             nnz_per_row_max: max_r,
             empty_rows: empty,
-            aspect_ratio: if nrows == 0 { 0.0 } else { ncols as f64 / nrows as f64 },
+            aspect_ratio: if nrows == 0 {
+                0.0
+            } else {
+                ncols as f64 / nrows as f64
+            },
             diagonal_fraction,
             fill_2x2,
             fill_4x4,

@@ -41,9 +41,15 @@ pub struct FormatChoice {
     pub fill_ratio: f64,
 }
 
-/// Exact CSR byte cost (the naive reference format).
+/// Exact CSR byte cost (the naive reference format, 32-bit column indices).
 pub fn csr_bytes(csr: &CsrMatrix) -> usize {
-    csr.nnz() * (VALUE_BYTES + INDEX32_BYTES) + (csr.nrows() + 1) * INDEX32_BYTES
+    csr_bytes_at(csr, IndexWidth::U32)
+}
+
+/// Exact CSR byte cost with column indices stored at `width` (the paper's index
+/// compression applied to plain CSR; the row pointer stays 32-bit).
+pub fn csr_bytes_at(csr: &CsrMatrix, width: IndexWidth) -> usize {
+    csr.nnz() * (VALUE_BYTES + width.bytes()) + (csr.nrows() + 1) * INDEX32_BYTES
 }
 
 /// Exact GCSR byte cost at a given index width.
@@ -70,7 +76,12 @@ pub struct CandidateOptions {
 
 impl Default for CandidateOptions {
     fn default() -> Self {
-        CandidateOptions { register_blocking: true, allow_u16: true, allow_bcoo: true, allow_gcsr: true }
+        CandidateOptions {
+            register_blocking: true,
+            allow_u16: true,
+            allow_bcoo: true,
+            allow_gcsr: true,
+        }
     }
 }
 
@@ -80,16 +91,6 @@ pub fn enumerate_choices(csr: &CsrMatrix, opts: &CandidateOptions) -> Vec<Format
     let nrows = csr.nrows();
     let ncols = csr.ncols();
 
-    // Plain CSR is always admissible (the fallback the paper's heuristic starts from).
-    out.push(FormatChoice {
-        kind: FormatKind::Csr,
-        r: 1,
-        c: 1,
-        width: IndexWidth::U32,
-        bytes: csr_bytes(csr),
-        fill_ratio: 1.0,
-    });
-
     let widths = |span_r: usize, span_c: usize| -> Vec<IndexWidth> {
         let mut w = vec![IndexWidth::U32];
         if opts.allow_u16 && IndexWidth::U16.fits(span_r) && IndexWidth::U16.fits(span_c) {
@@ -97,6 +98,19 @@ pub fn enumerate_choices(csr: &CsrMatrix, opts: &CandidateOptions) -> Vec<Format
         }
         w
     };
+
+    // Plain CSR is always admissible (the fallback the paper's heuristic starts
+    // from), optionally with 16-bit column-index compression.
+    for width in widths(1, ncols) {
+        out.push(FormatChoice {
+            kind: FormatKind::Csr,
+            r: 1,
+            c: 1,
+            width,
+            bytes: csr_bytes_at(csr, width),
+            fill_ratio: 1.0,
+        });
+    }
 
     if opts.allow_gcsr {
         for width in widths(nrows, ncols) {
@@ -221,7 +235,10 @@ mod tests {
     #[test]
     fn disabling_register_blocking_restricts_shapes() {
         let csr = block44(16);
-        let opts = CandidateOptions { register_blocking: false, ..Default::default() };
+        let opts = CandidateOptions {
+            register_blocking: false,
+            ..Default::default()
+        };
         for ch in enumerate_choices(&csr, &opts) {
             assert_eq!((ch.r, ch.c), (1, 1));
         }
@@ -230,7 +247,10 @@ mod tests {
     #[test]
     fn disabling_u16_restricts_widths() {
         let csr = diag(100);
-        let opts = CandidateOptions { allow_u16: false, ..Default::default() };
+        let opts = CandidateOptions {
+            allow_u16: false,
+            ..Default::default()
+        };
         for ch in enumerate_choices(&csr, &opts) {
             assert_eq!(ch.width, IndexWidth::U32);
         }

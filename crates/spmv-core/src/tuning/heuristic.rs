@@ -10,9 +10,9 @@ use crate::blocking::blocked::{BlockFormat, CacheBlock, CacheBlockedMatrix};
 use crate::blocking::cache::{cache_block, CacheBlockingConfig};
 use crate::blocking::tlb::{tlb_block, TlbConfig};
 use crate::formats::bcoo::BcooMatrix;
-use crate::formats::bcsr::BcsrMatrix;
+use crate::formats::bcsr::BcsrAuto;
 use crate::formats::coo::CooMatrix;
-use crate::formats::csr::CsrMatrix;
+use crate::formats::csr::{CompressedCsr, CsrMatrix};
 use crate::formats::gcsr::GcsrMatrix;
 use crate::formats::traits::{MatrixShape, SpMv};
 use crate::tuning::footprint::{best_choice, CandidateOptions, FormatChoice, FormatKind};
@@ -64,7 +64,11 @@ impl TuningConfig {
 
     /// Register blocking only (the `+RB` rung of Figure 1's optimization ladder).
     pub fn register_only() -> Self {
-        TuningConfig { register_blocking: true, allow_u16_indices: true, ..Self::naive() }
+        TuningConfig {
+            register_blocking: true,
+            allow_u16_indices: true,
+            ..Self::naive()
+        }
     }
 
     /// Register + cache blocking (the `+RB,CB` rung of Figure 1).
@@ -177,12 +181,17 @@ impl SpMv for TunedMatrix {
 /// Materialize `choice` for the block-local CSR matrix.
 fn materialize(csr_block: &CsrMatrix, choice: &FormatChoice) -> BlockFormat {
     match choice.kind {
-        FormatKind::Csr => BlockFormat::Csr(csr_block.clone()),
+        FormatKind::Csr => BlockFormat::Csr(match choice.width {
+            crate::formats::index::IndexWidth::U16 => {
+                CompressedCsr::U16(csr_block.reindex().expect("validated width"))
+            }
+            crate::formats::index::IndexWidth::U32 => CompressedCsr::U32(csr_block.clone()),
+        }),
         FormatKind::Gcsr => BlockFormat::Gcsr(
             GcsrMatrix::from_csr(csr_block, choice.width).expect("validated width"),
         ),
         FormatKind::Bcsr => BlockFormat::Bcsr(
-            BcsrMatrix::from_csr(csr_block, choice.r, choice.c, choice.width)
+            BcsrAuto::from_csr(csr_block, choice.r, choice.c, choice.width)
                 .expect("validated shape/width"),
         ),
         FormatKind::Bcoo => BlockFormat::Bcoo(
@@ -253,7 +262,11 @@ pub fn tune_csr(csr: &CsrMatrix, config: &TuningConfig) -> TunedMatrix {
             choice,
             nnz: sub_csr.nnz(),
         });
-        blocks.push(CacheBlock { rows, cols, format: materialize(&sub_csr, &choice) });
+        blocks.push(CacheBlock {
+            rows,
+            cols,
+            format: materialize(&sub_csr, &choice),
+        });
     }
 
     let matrix = CacheBlockedMatrix::new(nrows, ncols, blocks);
@@ -262,7 +275,11 @@ pub fn tune_csr(csr: &CsrMatrix, config: &TuningConfig) -> TunedMatrix {
         csr_bytes: crate::tuning::footprint::csr_bytes(csr),
         tuned_bytes: matrix.footprint_bytes(),
     };
-    TunedMatrix { matrix, report, config: *config }
+    TunedMatrix {
+        matrix,
+        report,
+        config: *config,
+    }
 }
 
 /// Intersect two coverings of `0..ncols` into their common refinement.
@@ -274,7 +291,10 @@ fn intersect_ranges(a: &[Range<usize>], b: &[Range<usize>]) -> Vec<Range<usize>>
     }
     cuts.sort_unstable();
     cuts.dedup();
-    cuts.windows(2).map(|w| w[0]..w[1]).filter(|r| r.start < r.end).collect()
+    cuts.windows(2)
+        .map(|w| w[0]..w[1])
+        .filter(|r| r.start < r.end)
+        .collect()
 }
 
 #[cfg(test)]
@@ -346,7 +366,11 @@ mod tests {
         assert!(rb.footprint_bytes() < naive.footprint_bytes());
         assert!(rb.report().compression_ratio() < 0.85);
         // At least one block should have picked a non-1x1 shape.
-        assert!(rb.report().decisions.iter().any(|d| d.choice.r > 1 || d.choice.c > 1));
+        assert!(rb
+            .report()
+            .decisions
+            .iter()
+            .any(|d| d.choice.r > 1 || d.choice.c > 1));
     }
 
     #[test]
@@ -360,8 +384,7 @@ mod tests {
             // row-pointer arrays introduced by row-panel splitting.
             let slack = 1.10;
             assert!(
-                (tuned.footprint_bytes() as f64)
-                    <= tuned.report().csr_bytes as f64 * slack,
+                (tuned.footprint_bytes() as f64) <= tuned.report().csr_bytes as f64 * slack,
                 "seed {seed}: tuned {} vs csr {}",
                 tuned.footprint_bytes(),
                 tuned.report().csr_bytes

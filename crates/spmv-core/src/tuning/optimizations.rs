@@ -1,10 +1,8 @@
 //! Machine-readable form of the paper's Table 2: which optimization applies to which
 //! architecture family, and with what caveat.
 
-use serde::{Deserialize, Serialize};
-
 /// The architecture families of Table 2's columns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArchFamily {
     /// AMD Opteron X2 and Intel Clovertown (out-of-order superscalar x86).
     X86,
@@ -31,7 +29,7 @@ impl ArchFamily {
 }
 
 /// The three optimization classes of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OptimizationClass {
     /// Low-level code optimizations (no data-structure change).
     Code,
@@ -53,7 +51,7 @@ impl OptimizationClass {
 }
 
 /// Whether an optimization was applied on an architecture, per Table 2's footnotes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Applicability {
     /// Applied and beneficial (a check mark in Table 2).
     Applied,
@@ -66,7 +64,7 @@ pub enum Applicability {
 }
 
 /// One row of Table 2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OptimizationEntry {
     /// Human-readable optimization name as printed in the paper.
     pub name: &'static str,
@@ -201,7 +199,10 @@ mod tests {
             OptimizationClass::DataStructure,
             OptimizationClass::Parallelization,
         ] {
-            assert!(t.iter().any(|e| e.class == class), "missing class {class:?}");
+            assert!(
+                t.iter().any(|e| e.class == class),
+                "missing class {class:?}"
+            );
         }
         assert!(t.len() >= 15);
     }
@@ -209,7 +210,11 @@ mod tests {
     #[test]
     fn every_entry_names_a_module() {
         for e in table2() {
-            assert!(e.module.contains("spmv_"), "entry {} lacks module pointer", e.name);
+            assert!(
+                e.module.contains("spmv_"),
+                "entry {} lacks module pointer",
+                e.name
+            );
         }
     }
 

@@ -6,7 +6,7 @@
 //! ablation benchmarks can compare search against the paper's one-pass heuristic.
 
 use crate::blocking::register::{estimate_fill, register_block_candidates};
-use crate::formats::bcsr::BcsrMatrix;
+use crate::formats::bcsr::{BcsrAuto, BcsrMatrix};
 use crate::formats::coo::CooMatrix;
 use crate::formats::csr::CsrMatrix;
 use crate::formats::index::IndexWidth;
@@ -20,8 +20,8 @@ pub struct SearchOutcome {
     pub r: usize,
     /// Chosen block columns.
     pub c: usize,
-    /// The materialized matrix at the chosen shape.
-    pub matrix: BcsrMatrix,
+    /// The materialized matrix at the chosen shape (width selected once).
+    pub matrix: BcsrAuto,
     /// Estimated (or measured) cost of every candidate, for reporting:
     /// `(r, c, cost)` where lower is better.
     pub candidates: Vec<(usize, usize, f64)>,
@@ -49,7 +49,7 @@ impl DenseProfile {
         let x: Vec<f64> = (0..dim).map(|i| i as f64 * 1e-2).collect();
         let mut entries = Vec::new();
         for (r, c) in register_block_candidates() {
-            let bcsr = BcsrMatrix::from_csr(&csr, r, c, IndexWidth::U16).expect("small dims");
+            let bcsr = BcsrMatrix::<u16>::from_csr(&csr, r, c).expect("small dims");
             let mut y = vec![0.0; dim];
             // Warm up once, then time a few iterations.
             bcsr.spmv(&x, &mut y);
@@ -112,8 +112,13 @@ pub fn search_register_blocking(csr: &CsrMatrix, profile: &DenseProfile) -> Sear
         }
     }
     let (r, c, _) = best.expect("candidate list non-empty");
-    let matrix = BcsrMatrix::from_csr(csr, r, c, width).expect("supported shape");
-    SearchOutcome { r, c, matrix, candidates }
+    let matrix = BcsrAuto::from_csr(csr, r, c, width).expect("supported shape");
+    SearchOutcome {
+        r,
+        c,
+        matrix,
+        candidates,
+    }
 }
 
 /// Time-based search: actually materialize and time every candidate shape, returning
@@ -125,10 +130,10 @@ pub fn search_by_timing(csr: &CsrMatrix, reps: usize) -> SearchOutcome {
         IndexWidth::U32
     };
     let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 13) as f64).collect();
-    let mut best: Option<(usize, usize, f64, BcsrMatrix)> = None;
+    let mut best: Option<(usize, usize, f64, BcsrAuto)> = None;
     let mut candidates = Vec::new();
     for (r, c) in register_block_candidates() {
-        let bcsr = BcsrMatrix::from_csr(csr, r, c, width).expect("supported shape");
+        let bcsr = BcsrAuto::from_csr(csr, r, c, width).expect("supported shape");
         let mut y = vec![0.0; csr.nrows()];
         bcsr.spmv(&x, &mut y);
         let start = Instant::now();
@@ -146,7 +151,12 @@ pub fn search_by_timing(csr: &CsrMatrix, reps: usize) -> SearchOutcome {
         }
     }
     let (r, c, _, matrix) = best.expect("candidate list non-empty");
-    SearchOutcome { r, c, matrix, candidates }
+    SearchOutcome {
+        r,
+        c,
+        matrix,
+        candidates,
+    }
 }
 
 #[cfg(test)]
@@ -172,7 +182,7 @@ mod tests {
         let csr = block_structured(64, 4);
         let outcome = search_register_blocking(&csr, &DenseProfile::synthetic());
         assert_eq!((outcome.r, outcome.c), (4, 4));
-        assert_eq!(outcome.candidates.len(), 9);
+        assert_eq!(outcome.candidates.len(), 16);
     }
 
     #[test]
@@ -207,7 +217,7 @@ mod tests {
         let outcome = search_by_timing(&csr, 2);
         let x: Vec<f64> = (0..csr.ncols()).map(|i| (i as f64).sqrt()).collect();
         assert!(max_abs_diff(&csr.spmv_alloc(&x), &outcome.matrix.spmv_alloc(&x)) < 1e-9);
-        assert_eq!(outcome.candidates.len(), 9);
+        assert_eq!(outcome.candidates.len(), 16);
     }
 
     #[test]

@@ -73,7 +73,13 @@ mod tests {
     use spmv_core::MatrixShape;
 
     fn params() -> FemParams {
-        FemParams { nodes: 500, dof: 4, neighbors: 6, bandwidth: 20, seed: 7 }
+        FemParams {
+            nodes: 500,
+            dof: 4,
+            neighbors: 6,
+            bandwidth: 20,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -106,13 +112,22 @@ mod tests {
         let a = fem_block_matrix(&params());
         let b = fem_block_matrix(&params());
         assert_eq!(a, b);
-        let c = fem_block_matrix(&FemParams { seed: 8, ..params() });
+        let c = fem_block_matrix(&FemParams {
+            seed: 8,
+            ..params()
+        });
         assert_ne!(a, c);
     }
 
     #[test]
     fn diagonal_blocks_are_dominant() {
-        let m = fem_block_matrix(&FemParams { nodes: 10, dof: 2, neighbors: 3, bandwidth: 2, seed: 1 });
+        let m = fem_block_matrix(&FemParams {
+            nodes: 10,
+            dof: 2,
+            neighbors: 3,
+            bandwidth: 2,
+            seed: 1,
+        });
         let dense = m.to_dense();
         for (i, row) in dense.iter().enumerate() {
             assert!(row[i] > 0.0, "diagonal entry {i} must be positive");

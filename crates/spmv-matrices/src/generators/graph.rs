@@ -88,7 +88,12 @@ mod tests {
 
     #[test]
     fn webbase_profile_short_rows_and_skew() {
-        let m = power_law_graph(&GraphParams { n: 20_000, avg_degree: 3.1, diagonal: false, seed: 3 });
+        let m = power_law_graph(&GraphParams {
+            n: 20_000,
+            avg_degree: 3.1,
+            diagonal: false,
+            seed: 3,
+        });
         let csr = CsrMatrix::from_coo(&m);
         let stats = MatrixStats::compute(&csr);
         assert!(stats.nnz_per_row_mean < 6.0);
@@ -101,7 +106,12 @@ mod tests {
 
     #[test]
     fn scatter_profile_diagonal_plus_noise() {
-        let m = random_scatter(&GraphParams { n: 10_000, avg_degree: 5.0, diagonal: true, seed: 4 });
+        let m = random_scatter(&GraphParams {
+            n: 10_000,
+            avg_degree: 5.0,
+            diagonal: true,
+            seed: 4,
+        });
         let csr = CsrMatrix::from_coo(&m);
         let stats = MatrixStats::compute(&csr);
         assert_eq!(stats.empty_rows, 0);
@@ -110,14 +120,24 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let p = GraphParams { n: 1000, avg_degree: 3.0, diagonal: false, seed: 9 };
+        let p = GraphParams {
+            n: 1000,
+            avg_degree: 3.0,
+            diagonal: false,
+            seed: 9,
+        };
         assert_eq!(power_law_graph(&p), power_law_graph(&p));
         assert_eq!(random_scatter(&p), random_scatter(&p));
     }
 
     #[test]
     fn avg_degree_respected_roughly() {
-        let p = GraphParams { n: 5000, avg_degree: 4.0, diagonal: false, seed: 11 };
+        let p = GraphParams {
+            n: 5000,
+            avg_degree: 4.0,
+            diagonal: false,
+            seed: 11,
+        };
         let m = power_law_graph(&p);
         let ratio = m.nnz() as f64 / (p.n as f64 * p.avg_degree);
         assert!(ratio > 0.3 && ratio <= 1.1, "ratio {ratio}");

@@ -36,7 +36,7 @@ pub fn lp_constraint_matrix(params: &LpParams) -> CooMatrix {
             // Alternate between a clustered run (a contiguous set of variables that
             // belong to the same railway segment) and isolated memberships.
             if rng.random_bool(0.5) {
-                let run = rng.random_range(4..40).min(remaining);
+                let run = rng.random_range(4..40usize).min(remaining);
                 let start = rng.random_range(0..params.cols.saturating_sub(run).max(1));
                 for k in 0..run {
                     coo.push(i, start + k, 1.0);
@@ -57,10 +57,14 @@ mod tests {
     use super::*;
     use spmv_core::formats::CsrMatrix;
     use spmv_core::stats::MatrixStats;
-    use spmv_core::MatrixShape;
 
     fn params() -> LpParams {
-        LpParams { rows: 64, cols: 20_000, nnz_per_row: 400, seed: 5 }
+        LpParams {
+            rows: 64,
+            cols: 20_000,
+            nnz_per_row: 400,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -84,14 +88,18 @@ mod tests {
         let csr = CsrMatrix::from_coo(&m);
         // The columns touched by a single row must span a large fraction of the
         // column space (this is what blows out the per-row source working set).
-        let row0: Vec<usize> =
-            (csr.row_ptr()[0]..csr.row_ptr()[1]).map(|k| csr.col_idx()[k] as usize).collect();
+        let row0: Vec<usize> = (csr.row_ptr()[0]..csr.row_ptr()[1])
+            .map(|k| csr.col_idx()[k] as usize)
+            .collect();
         let span = row0.iter().max().unwrap() - row0.iter().min().unwrap();
         assert!(span > params().cols / 2);
     }
 
     #[test]
     fn deterministic() {
-        assert_eq!(lp_constraint_matrix(&params()), lp_constraint_matrix(&params()));
+        assert_eq!(
+            lp_constraint_matrix(&params()),
+            lp_constraint_matrix(&params())
+        );
     }
 }

@@ -22,7 +22,10 @@ impl StencilParams {
     /// distance `grid` (the second dimension of the underlying 2-D Markov grid).
     pub fn epidemiology(n: usize) -> Self {
         let grid = (n as f64).sqrt().max(2.0) as i64;
-        StencilParams { n, offsets: [0, -1, 1, grid] }
+        StencilParams {
+            n,
+            offsets: [0, -1, 1, grid],
+        }
     }
 }
 
@@ -36,7 +39,11 @@ pub fn banded_stencil(params: &StencilParams) -> CooMatrix {
             if j < 0 || j >= n as i64 {
                 continue;
             }
-            let v = if off == 0 { 1.0 } else { -0.2 - (off.unsigned_abs() % 7) as f64 * 0.01 };
+            let v = if off == 0 {
+                1.0
+            } else {
+                -0.2 - (off.unsigned_abs() % 7) as f64 * 0.01
+            };
             coo.push(i, j as usize, v);
         }
     }
@@ -63,7 +70,10 @@ mod tests {
 
     #[test]
     fn boundary_rows_are_clipped_not_wrapped() {
-        let m = banded_stencil(&StencilParams { n: 10, offsets: [0, -1, 1, 5] });
+        let m = banded_stencil(&StencilParams {
+            n: 10,
+            offsets: [0, -1, 1, 5],
+        });
         let dense = m.to_dense();
         // Row 0 has no -1 neighbour.
         assert_eq!(dense[0][9], 0.0);

@@ -33,10 +33,14 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
         return Err(Error::Parse("missing %%MatrixMarket header".to_string()));
     }
     if !lower.contains("coordinate") {
-        return Err(Error::Parse("only coordinate format is supported".to_string()));
+        return Err(Error::Parse(
+            "only coordinate format is supported".to_string(),
+        ));
     }
     if lower.contains("complex") || lower.contains("pattern") {
-        return Err(Error::Parse("only real-valued matrices are supported".to_string()));
+        return Err(Error::Parse(
+            "only real-valued matrices are supported".to_string(),
+        ));
     }
     let symmetry = if lower.contains("symmetric") {
         Symmetry::Symmetric
@@ -61,7 +65,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
         .map(|t| t.parse::<usize>().map_err(|e| Error::Parse(e.to_string())))
         .collect::<Result<_>>()?;
     if dims.len() != 3 {
-        return Err(Error::Parse(format!("size line must have 3 fields, got {}", dims.len())));
+        return Err(Error::Parse(format!(
+            "size line must have 3 fields, got {}",
+            dims.len()
+        )));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
 
@@ -99,7 +106,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(Error::Parse(format!("expected {nnz} entries, found {seen}")));
+        return Err(Error::Parse(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
     }
     Ok(coo)
 }
@@ -121,12 +130,8 @@ mod tests {
 
     #[test]
     fn round_trip_general() {
-        let coo = CooMatrix::from_triplets(
-            3,
-            4,
-            vec![(0, 0, 1.5), (1, 2, -2.25), (2, 3, 1e-10)],
-        )
-        .unwrap();
+        let coo = CooMatrix::from_triplets(3, 4, vec![(0, 0, 1.5), (1, 2, -2.25), (2, 3, 1e-10)])
+            .unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&coo, &mut buf).unwrap();
         let back = read_matrix_market(&buf[..]).unwrap();
@@ -138,7 +143,8 @@ mod tests {
 
     #[test]
     fn symmetric_matrices_are_expanded() {
-        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2.0\n2 1 -1.0\n3 3 4.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2.0\n2 1 -1.0\n3 3 4.0\n";
         let coo = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(coo.nnz(), 4); // off-diagonal entry mirrored
         let d = coo.to_dense();

@@ -12,11 +12,10 @@ use crate::generators::fem::{fem_block_matrix, FemParams};
 use crate::generators::graph::{power_law_graph, random_scatter, GraphParams};
 use crate::generators::lp::{lp_constraint_matrix, LpParams};
 use crate::generators::stencil::{banded_stencil, StencilParams};
-use serde::{Deserialize, Serialize};
 use spmv_core::formats::CooMatrix;
 
 /// Static description of one Table 3 row.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatrixSpec {
     /// Display name used in the paper's figures.
     pub name: &'static str,
@@ -36,7 +35,7 @@ pub struct MatrixSpec {
 
 /// Generation scale. The paper runs at full scale; tests and quick demos use the
 /// reduced scales.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Full Table 3 dimensions.
     Full,
@@ -66,7 +65,7 @@ impl Scale {
 }
 
 /// The 14 matrices of the evaluation suite, in Table 3 order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SuiteMatrix {
     /// Dense matrix in sparse format.
     Dense,
@@ -409,7 +408,11 @@ mod tests {
 
     #[test]
     fn fem_family_has_block_structure_at_small_scale() {
-        for m in [SuiteMatrix::Protein, SuiteMatrix::FemCantilever, SuiteMatrix::FemShip] {
+        for m in [
+            SuiteMatrix::Protein,
+            SuiteMatrix::FemCantilever,
+            SuiteMatrix::FemShip,
+        ] {
             let coo = m.generate(Scale::Small);
             let stats = MatrixStats::compute(&CsrMatrix::from_coo(&coo));
             assert!(
@@ -423,7 +426,12 @@ mod tests {
 
     #[test]
     fn short_row_family_profile() {
-        for m in [SuiteMatrix::Economics, SuiteMatrix::Circuit, SuiteMatrix::Webbase, SuiteMatrix::Epidemiology] {
+        for m in [
+            SuiteMatrix::Economics,
+            SuiteMatrix::Circuit,
+            SuiteMatrix::Webbase,
+            SuiteMatrix::Epidemiology,
+        ] {
             let coo = m.generate(Scale::Small);
             let stats = MatrixStats::compute(&CsrMatrix::from_coo(&coo));
             assert!(
@@ -469,7 +477,11 @@ mod tests {
     fn nnz_per_row_tracks_spec_for_mid_density_matrices() {
         // The structural property the analysis needs is nonzeros per row; check the
         // synthetic versions land within a factor of ~2 of Table 3 at small scale.
-        for m in [SuiteMatrix::Protein, SuiteMatrix::Qcd, SuiteMatrix::FemHarbor] {
+        for m in [
+            SuiteMatrix::Protein,
+            SuiteMatrix::Qcd,
+            SuiteMatrix::FemHarbor,
+        ] {
             let spec = m.spec();
             let coo = m.generate(Scale::Small);
             let stats = MatrixStats::compute(&CsrMatrix::from_coo(&coo));

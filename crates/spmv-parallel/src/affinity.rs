@@ -8,10 +8,8 @@
 //! executors still use the same decomposition, so the code paths exercised are
 //! identical.
 
-use serde::{Deserialize, Serialize};
-
 /// How threads are bound to cores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcessAffinity {
     /// The OS scheduler places threads wherever it likes.
     None,
@@ -23,7 +21,7 @@ pub enum ProcessAffinity {
 }
 
 /// How matrix blocks are bound to memory nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemoryAffinity {
     /// First-touch / default allocation (usually lands on node 0).
     Default,
@@ -36,7 +34,7 @@ pub enum MemoryAffinity {
 }
 
 /// A full affinity policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AffinityPolicy {
     /// Thread-to-core binding.
     pub process: ProcessAffinity,
@@ -47,17 +45,26 @@ pub struct AffinityPolicy {
 impl AffinityPolicy {
     /// The fully NUMA-aware policy the paper's optimized implementation uses.
     pub fn numa_aware() -> Self {
-        AffinityPolicy { process: ProcessAffinity::Packed, memory: MemoryAffinity::Local }
+        AffinityPolicy {
+            process: ProcessAffinity::Packed,
+            memory: MemoryAffinity::Local,
+        }
     }
 
     /// No affinity control at all (the naive parallel baseline).
     pub fn none() -> Self {
-        AffinityPolicy { process: ProcessAffinity::None, memory: MemoryAffinity::Default }
+        AffinityPolicy {
+            process: ProcessAffinity::None,
+            memory: MemoryAffinity::Default,
+        }
     }
 
     /// The interleaved fallback used for the 16-SPE Cell blade experiments.
     pub fn interleaved() -> Self {
-        AffinityPolicy { process: ProcessAffinity::Packed, memory: MemoryAffinity::Interleaved }
+        AffinityPolicy {
+            process: ProcessAffinity::Packed,
+            memory: MemoryAffinity::Interleaved,
+        }
     }
 
     /// Whether this policy gives every thread local memory for its block.
@@ -75,7 +82,10 @@ pub fn map_thread_to_core(
     cores_per_socket: usize,
     policy: ProcessAffinity,
 ) -> (usize, usize) {
-    assert!(sockets > 0 && cores_per_socket > 0, "machine must have cores");
+    assert!(
+        sockets > 0 && cores_per_socket > 0,
+        "machine must have cores"
+    );
     let total = sockets * cores_per_socket;
     let slot = match policy {
         // Unbound threads are modelled as landing wherever round-robin puts them.
@@ -97,15 +107,17 @@ mod tests {
 
     #[test]
     fn packed_fills_socket_zero_first() {
-        let placements: Vec<(usize, usize)> =
-            (0..4).map(|t| map_thread_to_core(t, 4, 2, 2, ProcessAffinity::Packed)).collect();
+        let placements: Vec<(usize, usize)> = (0..4)
+            .map(|t| map_thread_to_core(t, 4, 2, 2, ProcessAffinity::Packed))
+            .collect();
         assert_eq!(placements, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
     }
 
     #[test]
     fn scattered_alternates_sockets() {
-        let placements: Vec<(usize, usize)> =
-            (0..4).map(|t| map_thread_to_core(t, 4, 2, 2, ProcessAffinity::Scattered)).collect();
+        let placements: Vec<(usize, usize)> = (0..4)
+            .map(|t| map_thread_to_core(t, 4, 2, 2, ProcessAffinity::Scattered))
+            .collect();
         assert_eq!(placements[0].0, 0);
         assert_eq!(placements[1].0, 1);
         assert_eq!(placements[2].0, 0);
@@ -122,7 +134,10 @@ mod tests {
     fn policy_constructors() {
         assert!(AffinityPolicy::numa_aware().is_fully_local());
         assert!(!AffinityPolicy::none().is_fully_local());
-        assert_eq!(AffinityPolicy::interleaved().memory, MemoryAffinity::Interleaved);
+        assert_eq!(
+            AffinityPolicy::interleaved().memory,
+            MemoryAffinity::Interleaved
+        );
     }
 
     #[test]

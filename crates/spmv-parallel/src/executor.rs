@@ -5,9 +5,17 @@
 //! structure (so it can be placed in local memory on a NUMA system), and writes a
 //! disjoint slice of the destination vector — no locks or atomics are needed in the
 //! steady state, exactly like the paper's Pthreads implementation.
+//!
+//! Three execution strategies, in increasing steady-state efficiency:
+//!
+//! 1. [`ParallelCsr::spmv_scoped`] — spawn scoped threads per call. Simple, but
+//!    pays thread startup every iteration (the overhead the paper eliminates).
+//! 2. [`ParallelCsr::spmv_pool`] — reuse a persistent [`ThreadPool`]; pays one
+//!    boxed-closure broadcast per call.
+//! 3. [`crate::engine::SpmvEngine`] — persistent workers, first-touch-placed
+//!    monomorphized blocks, precomputed `y` slices, nothing allocated per call.
 
 use crate::pool::ThreadPool;
-use rayon::prelude::*;
 use spmv_core::formats::{CsrMatrix, SpMv};
 use spmv_core::partition::row::{partition_rows_balanced, RowPartition};
 use spmv_core::tuning::{tune_csr, TunedMatrix, TuningConfig};
@@ -15,21 +23,38 @@ use spmv_core::MatrixShape;
 use std::ops::Range;
 use std::sync::Arc;
 
-/// Split `y` into mutable chunks matching a row partition (empty ranges allowed).
-fn split_by_partition<'a>(
+/// Split `y` into mutable chunks matching a row partition.
+///
+/// Validated in **all** build profiles: the ranges must be contiguous from 0,
+/// non-overlapping, and cover `y` exactly. Empty and degenerate ranges (including a
+/// partition of an empty vector) are allowed and produce empty chunks.
+pub(crate) fn split_by_partition<'a>(
     mut y: &'a mut [f64],
     ranges: &[Range<usize>],
 ) -> Vec<&'a mut [f64]> {
+    let total = y.len();
     let mut out = Vec::with_capacity(ranges.len());
     let mut offset = 0usize;
     for r in ranges {
-        debug_assert_eq!(r.start, offset, "partition must be contiguous");
+        assert!(
+            r.start == offset && r.end >= r.start,
+            "partition must be contiguous and ordered: expected start {offset}, got {:?}",
+            r
+        );
+        assert!(
+            r.end <= total,
+            "partition range {r:?} exceeds destination length {total}"
+        );
         let len = r.end - r.start;
         let (head, tail) = y.split_at_mut(len);
         out.push(head);
         y = tail;
         offset = r.end;
     }
+    assert_eq!(
+        offset, total,
+        "partition must cover the destination exactly ({offset} of {total} rows)"
+    );
     out
 }
 
@@ -77,21 +102,25 @@ impl ParallelCsr {
         self.nnz
     }
 
-    /// Execute `y ← y + A·x` with rayon (work-stealing over the thread blocks).
-    pub fn spmv_rayon(&self, x: &[f64], y: &mut [f64]) {
+    /// Execute `y ← y + A·x` on freshly spawned scoped threads (one per block).
+    ///
+    /// This is the naive parallel baseline: correct, but it pays thread creation
+    /// and join on every call — the dispatch overhead the persistent executors
+    /// exist to remove.
+    pub fn spmv_scoped(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "source vector length mismatch");
         assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
         let chunks = split_by_partition(y, &self.partition.ranges);
-        chunks
-            .into_par_iter()
-            .zip(self.blocks.par_iter())
-            .for_each(|(y_chunk, block)| {
-                block.spmv(x, y_chunk);
-            });
+        std::thread::scope(|scope| {
+            for (y_chunk, block) in chunks.into_iter().zip(self.blocks.iter()) {
+                scope.spawn(move || block.spmv(x, y_chunk));
+            }
+        });
     }
 
-    /// Execute `y ← y + A·x` on an explicit thread pool (one block per worker),
-    /// mirroring the paper's persistent-Pthreads execution.
+    /// Execute `y ← y + A·x` on a persistent thread pool (one block per worker),
+    /// mirroring the paper's persistent-Pthreads execution. Operands are borrowed,
+    /// not copied.
     pub fn spmv_pool(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "source vector length mismatch");
         assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
@@ -100,25 +129,23 @@ impl ParallelCsr {
             self.blocks.len(),
             "pool size must match the partition"
         );
-        // Scoped execution: hand each worker a raw pointer to its disjoint y slice.
-        // Safety relies on the partition being disjoint and covering, which
-        // `partition_rows_balanced` guarantees (and tests verify).
+        // Hand each worker a raw view of its disjoint y slice. Safety relies on the
+        // partition being disjoint and covering, which `split_by_partition`
+        // validates in every build profile.
         let chunks = split_by_partition(y, &self.partition.ranges);
-        // Convert to raw parts so the closures can be 'static for the pool API.
-        let raw: Vec<(usize, usize)> =
-            chunks.iter().map(|c| (c.as_ptr() as usize, c.len())).collect();
-        let x_arc: Arc<Vec<f64>> = Arc::new(x.to_vec());
-        pool.run(|tid| {
-            let block = Arc::clone(&self.blocks[tid]);
-            let (ptr_addr, len) = raw[tid];
-            let x_arc = Arc::clone(&x_arc);
-            Box::new(move |_| {
-                // SAFETY: each worker receives a pointer to a distinct, non-overlapping
-                // sub-slice of `y` that outlives the pool.run() barrier.
-                let y_chunk =
-                    unsafe { std::slice::from_raw_parts_mut(ptr_addr as *mut f64, len) };
-                block.spmv(&x_arc, y_chunk);
-            })
+        struct SendPtr(*mut f64, usize);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let raw: Vec<SendPtr> = chunks
+            .into_iter()
+            .map(|c| SendPtr(c.as_mut_ptr(), c.len()))
+            .collect();
+        pool.scoped_run(|tid| {
+            let SendPtr(ptr, len) = raw[tid];
+            // SAFETY: each worker receives a distinct, non-overlapping sub-slice of
+            // `y`; the scoped_run barrier ends before `y` is reclaimed.
+            let y_chunk = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+            self.blocks[tid].spmv(x, y_chunk);
         });
     }
 
@@ -153,7 +180,12 @@ impl ParallelTuned {
             .iter()
             .map(|r| Arc::new(tune_csr(&csr.row_slice(r.start, r.end), config)))
             .collect();
-        ParallelTuned { nrows: csr.nrows(), ncols: csr.ncols(), partition, blocks }
+        ParallelTuned {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            partition,
+            blocks,
+        }
     }
 
     /// The row partition in use.
@@ -171,27 +203,53 @@ impl ParallelTuned {
         &self.blocks
     }
 
-    /// Execute `y ← y + A·x` with rayon.
-    pub fn spmv_rayon(&self, x: &[f64], y: &mut [f64]) {
+    /// Execute `y ← y + A·x` on scoped threads (one per tuned block).
+    pub fn spmv_scoped(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "source vector length mismatch");
         assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
         let chunks = split_by_partition(y, &self.partition.ranges);
-        chunks
-            .into_par_iter()
-            .zip(self.blocks.par_iter())
-            .for_each(|(y_chunk, block)| {
-                block.spmv(x, y_chunk);
-            });
+        std::thread::scope(|scope| {
+            for (y_chunk, block) in chunks.into_iter().zip(self.blocks.iter()) {
+                scope.spawn(move || block.spmv(x, y_chunk));
+            }
+        });
+    }
+
+    /// Execute `y ← y + A·x` on a persistent thread pool (one tuned block per
+    /// worker) — the steady-state path iterative use and benchmarks should take.
+    pub fn spmv_pool(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+        assert_eq!(
+            pool.num_threads(),
+            self.blocks.len(),
+            "pool size must match the partition"
+        );
+        let chunks = split_by_partition(y, &self.partition.ranges);
+        struct SendPtr(*mut f64, usize);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let raw: Vec<SendPtr> = chunks
+            .into_iter()
+            .map(|c| SendPtr(c.as_mut_ptr(), c.len()))
+            .collect();
+        pool.scoped_run(|tid| {
+            let SendPtr(ptr, len) = raw[tid];
+            // SAFETY: each worker receives a distinct, non-overlapping sub-slice of
+            // `y`; the scoped_run barrier ends before `y` is reclaimed.
+            let y_chunk = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+            self.blocks[tid].spmv(x, y_chunk);
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spmv_core::dense::max_abs_diff;
-    use spmv_core::formats::CooMatrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use spmv_core::dense::max_abs_diff;
+    use spmv_core::formats::CooMatrix;
 
     fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -207,14 +265,14 @@ mod tests {
     }
 
     #[test]
-    fn rayon_matches_serial_reference() {
+    fn scoped_matches_serial_reference() {
         let csr = random_csr(500, 400, 6000, 1);
         let x: Vec<f64> = (0..400).map(|i| (i as f64 * 0.01).sin()).collect();
         let reference = csr.spmv_alloc(&x);
         for threads in [1, 2, 3, 4, 8] {
             let par = ParallelCsr::new(&csr, threads);
             let mut y = vec![0.0; 500];
-            par.spmv_rayon(&x, &mut y);
+            par.spmv_scoped(&x, &mut y);
             assert!(max_abs_diff(&reference, &y) < 1e-12, "threads={threads}");
         }
     }
@@ -231,6 +289,23 @@ mod tests {
             par.spmv_pool(&pool, &x, &mut y);
             assert!(max_abs_diff(&reference, &y) < 1e-12, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn pool_is_reusable_for_iteration() {
+        let csr = random_csr(200, 200, 3000, 9);
+        let x = vec![1.0; 200];
+        let par = ParallelCsr::new(&csr, 4);
+        let pool = ThreadPool::new(4);
+        let mut y = vec![0.0; 200];
+        for _ in 0..5 {
+            par.spmv_pool(&pool, &x, &mut y);
+        }
+        let mut expected = vec![0.0; 200];
+        for _ in 0..5 {
+            csr.spmv(&x, &mut expected);
+        }
+        assert!(max_abs_diff(&expected, &y) < 1e-12);
     }
 
     #[test]
@@ -252,7 +327,7 @@ mod tests {
         for threads in [1, 2, 4] {
             let par = ParallelTuned::new(&csr, threads, &TuningConfig::full());
             let mut y = vec![0.0; 600];
-            par.spmv_rayon(&x, &mut y);
+            par.spmv_scoped(&x, &mut y);
             assert!(max_abs_diff(&reference, &y) < 1e-9, "threads={threads}");
             assert_eq!(par.blocks().len(), threads);
             assert!(par.footprint_bytes() > 0);
@@ -277,7 +352,7 @@ mod tests {
         csr.spmv(&x, &mut expected);
         let par = ParallelCsr::new(&csr, 4);
         let mut y = vec![2.0; 50];
-        par.spmv_rayon(&x, &mut y);
+        par.spmv_scoped(&x, &mut y);
         assert!(max_abs_diff(&expected, &y) < 1e-12);
     }
 
@@ -288,7 +363,7 @@ mod tests {
         let reference = csr.spmv_alloc(&x);
         let par = ParallelCsr::new(&csr, 8);
         let mut y = vec![0.0; 3];
-        par.spmv_rayon(&x, &mut y);
+        par.spmv_scoped(&x, &mut y);
         assert!(max_abs_diff(&reference, &y) < 1e-12);
     }
 
@@ -300,5 +375,38 @@ mod tests {
         let pool = ThreadPool::new(3);
         let mut y = vec![0.0; 10];
         par.spmv_pool(&pool, &[0.0; 10], &mut y);
+    }
+
+    #[test]
+    fn split_accepts_empty_and_degenerate_ranges() {
+        let mut y = vec![0.0; 4];
+        let chunks = split_by_partition(&mut y, &[0..0, 0..2, 2..2, 2..4]);
+        let lens: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(lens, vec![0, 2, 0, 2]);
+        // Fully empty vector with empty ranges.
+        let mut e: Vec<f64> = vec![];
+        let chunks = split_by_partition(&mut e, &[0..0, 0..0]);
+        assert_eq!(chunks.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn split_rejects_gapped_partition() {
+        let mut y = vec![0.0; 4];
+        let _ = split_by_partition(&mut y, &[0..1, 2..4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn split_rejects_short_partition() {
+        let mut y = vec![0.0; 4];
+        let _ = split_by_partition(&mut y, std::slice::from_ref(&(0..2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds destination")]
+    fn split_rejects_overlong_partition() {
+        let mut y = vec![0.0; 4];
+        let _ = split_by_partition(&mut y, std::slice::from_ref(&(0..5)));
     }
 }

@@ -6,13 +6,17 @@
 //! partitioned with nonzeros balanced across threads, each thread's block is further
 //! cache/TLB/register blocked, and on NUMA systems both the thread (process affinity)
 //! and its matrix block (memory affinity) are pinned to the socket that owns the
-//! data. This crate reproduces that execution model on top of `std`/crossbeam scoped
-//! threads and rayon:
+//! data. This crate reproduces that execution model on `std` threads alone (no
+//! external runtime, no work stealing — deterministic block-to-thread assignment
+//! like the paper's Pthreads code):
 //!
 //! * [`pool`] — a persistent worker pool with per-thread work descriptors, the
 //!   Pthreads analogue.
-//! * [`executor`] — row-partitioned and nonzero-partitioned parallel SpMV drivers,
-//!   validated against the serial kernels.
+//! * [`engine`] — the zero-overhead steady-state executor: persistent workers,
+//!   first-touch-placed monomorphized blocks, precomputed disjoint `y` slices,
+//!   and no per-call allocation.
+//! * [`executor`] — row-partitioned parallel SpMV drivers (scoped-thread and
+//!   pooled), validated against the serial kernels.
 //! * [`numa`] — NUMA-aware thread blocks: per-thread tuned sub-matrices with explicit
 //!   node placement metadata (the placement itself is advisory on a host OS, but the
 //!   data decomposition and the bookkeeping match the paper's implementation).
@@ -20,10 +24,12 @@
 //!   use of `numactl`, Linux and Solaris scheduling controls.
 
 pub mod affinity;
+pub mod engine;
 pub mod executor;
 pub mod numa;
 pub mod pool;
 
+pub use engine::SpmvEngine;
 pub use executor::{ParallelCsr, ParallelTuned};
 pub use numa::{NumaAwareMatrix, NumaTopology};
 pub use pool::ThreadPool;

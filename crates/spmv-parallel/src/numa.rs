@@ -9,7 +9,7 @@
 //! the real-thread executor uses the identical block layout.
 
 use crate::affinity::AffinityPolicy;
-use rayon::prelude::*;
+use crate::executor::split_by_partition;
 use spmv_core::formats::{CsrMatrix, SpMv};
 use spmv_core::partition::row::{partition_rows_balanced, RowPartition};
 use spmv_core::tuning::{tune_csr, TunedMatrix, TuningConfig};
@@ -34,12 +34,18 @@ impl NumaTopology {
 
     /// The dual-socket dual-core AMD X2 of the study.
     pub fn amd_x2() -> Self {
-        NumaTopology { nodes: 2, cores_per_node: 2 }
+        NumaTopology {
+            nodes: 2,
+            cores_per_node: 2,
+        }
     }
 
     /// The dual-socket Cell QS20 blade (8 SPEs per socket).
     pub fn cell_blade() -> Self {
-        NumaTopology { nodes: 2, cores_per_node: 8 }
+        NumaTopology {
+            nodes: 2,
+            cores_per_node: 8,
+        }
     }
 }
 
@@ -153,38 +159,28 @@ impl NumaAwareMatrix {
         }
     }
 
-    /// Execute `y ← y + A·x` in parallel over the thread blocks.
+    /// Execute `y ← y + A·x` in parallel over the thread blocks (scoped threads,
+    /// one per block, writing disjoint validated slices of `y`).
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "source vector length mismatch");
         assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
-        // Split y according to the (contiguous, ordered) block row ranges.
-        let mut chunks: Vec<&mut [f64]> = Vec::with_capacity(self.blocks.len());
-        let mut rest = y;
-        let mut offset = 0usize;
-        for b in &self.blocks {
-            debug_assert_eq!(b.rows.start, offset);
-            let len = b.rows.end - b.rows.start;
-            let (head, tail) = rest.split_at_mut(len);
-            chunks.push(head);
-            rest = tail;
-            offset = b.rows.end;
-        }
-        chunks
-            .into_par_iter()
-            .zip(self.blocks.par_iter())
-            .for_each(|(y_chunk, block)| {
-                block.matrix.spmv(x, y_chunk);
-            });
+        let ranges: Vec<Range<usize>> = self.blocks.iter().map(|b| b.rows.clone()).collect();
+        let chunks = split_by_partition(y, &ranges);
+        std::thread::scope(|scope| {
+            for (y_chunk, block) in chunks.into_iter().zip(self.blocks.iter()) {
+                scope.spawn(move || block.matrix.spmv(x, y_chunk));
+            }
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spmv_core::dense::max_abs_diff;
-    use spmv_core::formats::CooMatrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use spmv_core::dense::max_abs_diff;
+    use spmv_core::formats::CooMatrix;
 
     fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -269,7 +265,7 @@ mod tests {
             &TuningConfig::full(),
         );
         let mut y = vec![0.0; 16];
-        numa.spmv(&vec![1.0; 16], &mut y);
+        numa.spmv(&[1.0; 16], &mut y);
         assert_eq!(y, vec![0.0; 16]);
         assert_eq!(numa.local_access_fraction(), 1.0);
     }

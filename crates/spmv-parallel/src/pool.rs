@@ -3,12 +3,17 @@
 //! The paper spawns one Pthread per core, hands each a fixed thread block of the
 //! matrix, and reuses the same threads across SpMV invocations (an iterative solver
 //! calls SpMV thousands of times, so thread startup cost must be paid once). This
-//! pool reproduces that structure: workers are created once, jobs are broadcast as
-//! closures, and a barrier-style `run` call returns when every worker has finished.
+//! pool reproduces that structure on `std` alone: workers are created once, jobs are
+//! broadcast as closures, and a barrier-style `run` call returns when every worker
+//! has finished.
+//!
+//! `run` boxes one closure per worker per call, which is fine for setup-time work
+//! (building thread blocks, first-touch initialization). The *steady-state* SpMV
+//! loop must not allocate at all — that path lives in
+//! [`crate::engine::SpmvEngine`], which keeps persistent per-worker state and
+//! signals through an epoch barrier instead of shipping closures.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce(usize) + Send + 'static>;
@@ -19,11 +24,15 @@ enum Message {
 }
 
 /// A fixed-size pool of persistent worker threads.
+///
+/// Panic-safe: a job that panics is caught on the worker, which stays alive and
+/// still checks into the completion barrier; the panic is then re-raised on the
+/// *calling* thread after the barrier, so borrowed data (see
+/// [`ThreadPool::scoped_run`]) is never freed while a worker can still touch it.
 pub struct ThreadPool {
     workers: Vec<JoinHandle<()>>,
     senders: Vec<Sender<Message>>,
-    done_rx: Receiver<usize>,
-    jobs_in_flight: Arc<AtomicUsize>,
+    done_rx: Receiver<bool>,
 }
 
 impl ThreadPool {
@@ -34,12 +43,11 @@ impl ThreadPool {
     /// Panics if `nthreads == 0`.
     pub fn new(nthreads: usize) -> Self {
         assert!(nthreads > 0, "thread pool requires at least one worker");
-        let (done_tx, done_rx) = unbounded::<usize>();
-        let jobs_in_flight = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = channel::<bool>();
         let mut workers = Vec::with_capacity(nthreads);
         let mut senders = Vec::with_capacity(nthreads);
         for tid in 0..nthreads {
-            let (tx, rx) = unbounded::<Message>();
+            let (tx, rx) = channel::<Message>();
             let done = done_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("spmv-worker-{tid}"))
@@ -47,8 +55,13 @@ impl ThreadPool {
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             Message::Run(job) => {
-                                job(tid);
-                                let _ = done.send(tid);
+                                // Catch panics so the worker survives and the
+                                // completion barrier always fills.
+                                let outcome =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        job(tid)
+                                    }));
+                                let _ = done.send(outcome.is_err());
                             }
                             Message::Shutdown => break,
                         }
@@ -58,7 +71,11 @@ impl ThreadPool {
             workers.push(handle);
             senders.push(tx);
         }
-        ThreadPool { workers, senders, done_rx, jobs_in_flight }
+        ThreadPool {
+            workers,
+            senders,
+            done_rx,
+        }
     }
 
     /// Number of workers.
@@ -74,14 +91,63 @@ impl ThreadPool {
         F: FnMut(usize) -> Job,
     {
         let n = self.senders.len();
-        self.jobs_in_flight.store(n, Ordering::SeqCst);
         for (tid, tx) in self.senders.iter().enumerate() {
             tx.send(Message::Run(make_job(tid))).expect("worker alive");
         }
+        self.wait_for(n);
+    }
+
+    /// Drain `n` completion signals, then re-raise any worker panic on this thread.
+    fn wait_for(&self, n: usize) {
+        let mut panicked = 0usize;
         for _ in 0..n {
-            self.done_rx.recv().expect("worker completion");
-            self.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
+            if self.done_rx.recv().expect("worker completion") {
+                panicked += 1;
+            }
         }
+        assert!(
+            panicked == 0,
+            "{panicked} worker job(s) panicked in the parallel region"
+        );
+    }
+
+    /// Run a shared closure on every worker by reference, blocking until all
+    /// complete. Unlike [`ThreadPool::run`] this borrows (no `'static` bound), so
+    /// callers can capture stack data — the barrier at the end guarantees the
+    /// borrow ends before `scoped_run` returns.
+    pub fn scoped_run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        // Erase the lifetime: the completion barrier below keeps `f` alive for the
+        // whole parallel region.
+        struct Ptr(*const (dyn Fn(usize) + Sync + 'static));
+        unsafe impl Send for Ptr {}
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the transmute only extends the trait object's lifetime so it can
+        // cross the channel; the `done_rx` barrier at the end of this function
+        // ensures every worker has finished calling it before `f` is dropped.
+        let raw = Ptr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f_ref)
+        });
+        let n = self.senders.len();
+        for (tid, tx) in self.senders.iter().enumerate() {
+            let ptr = Ptr(raw.0);
+            tx.send(Message::Run(Box::new(move |worker_tid| {
+                // Move the whole wrapper in (edition-2021 closures would otherwise
+                // capture only the non-Send pointer field).
+                let ptr = ptr;
+                debug_assert_eq!(tid, worker_tid);
+                // SAFETY: see above — the pointee outlives the barrier.
+                let f = unsafe { &*ptr.0 };
+                f(worker_tid);
+            })))
+            .expect("worker alive");
+        }
+        self.wait_for(n);
     }
 }
 
@@ -99,7 +165,8 @@ impl Drop for ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn every_worker_runs_its_job() {
@@ -146,6 +213,18 @@ mod tests {
     }
 
     #[test]
+    fn scoped_run_borrows_stack_data() {
+        let pool = ThreadPool::new(4);
+        let input = [1.0f64, 2.0, 3.0, 4.0];
+        let output: Vec<Mutex<f64>> = (0..4).map(|_| Mutex::new(0.0)).collect();
+        pool.scoped_run(|tid| {
+            *output[tid].lock().unwrap() = input[tid] * 10.0;
+        });
+        let collected: Vec<f64> = output.iter().map(|m| *m.lock().unwrap()).collect();
+        assert_eq!(collected, vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
     fn single_worker_pool() {
         let pool = ThreadPool::new(1);
         assert_eq!(pool.num_threads(), 1);
@@ -163,5 +242,27 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         ThreadPool::new(0);
+    }
+
+    #[test]
+    fn panicking_job_reraises_on_caller_and_pool_survives() {
+        let pool = ThreadPool::new(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scoped_run(|tid| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must surface on the caller");
+        // The barrier completed, workers are alive, and the pool is reusable.
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.run(|_| {
+            let counter = Arc::clone(&counter);
+            Box::new(move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
     }
 }

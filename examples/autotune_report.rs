@@ -52,7 +52,11 @@ fn main() {
             .map(|((r, c), n)| format!("{n}x {r}x{c}"))
             .collect();
         let formats = tuned.matrix().format_histogram();
-        println!("    register shapes: {} | block formats: {:?}", shapes.join(", "), formats);
+        println!(
+            "    register shapes: {} | block formats: {:?}",
+            shapes.join(", "),
+            formats
+        );
     }
     println!();
     println!("ratio = tuned bytes / CSR bytes (lower is better; the paper's heuristic");

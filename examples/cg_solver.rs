@@ -39,7 +39,9 @@ fn main() {
     let n = a.nrows();
     println!("CG on a {}x{} SPD system with {} nonzeros", n, n, a.nnz());
 
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
     let tuned = ParallelTuned::new(&a, threads, &TuningConfig::full());
 
     // Right-hand side chosen so the exact solution is all-ones.
@@ -60,7 +62,7 @@ fn main() {
     let mut converged_at = None;
     for iter in 0..max_iters {
         let mut ap = vec![0.0; n];
-        tuned.spmv_rayon(&p, &mut ap);
+        tuned.spmv_scoped(&p, &mut ap);
         spmv_calls += 1;
         let alpha = rs_old / dot(&p, &ap).max(1e-300);
         axpy(alpha, &p, &mut x);

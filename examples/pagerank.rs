@@ -74,7 +74,11 @@ fn main() {
         for (v, c) in next.iter_mut().zip(contribution.iter()) {
             *v += damping * c;
         }
-        let delta: f64 = next.iter().zip(rank.iter()).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f64 = next
+            .iter()
+            .zip(rank.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         rank = next;
         if delta < 1e-10 || iterations >= 100 {
             break;
@@ -86,7 +90,10 @@ fn main() {
     let mut indexed: Vec<(usize, f64)> = rank.iter().copied().enumerate().collect();
     indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("converged in {iterations} power iterations ({elapsed:.3} s)");
-    println!("total rank mass = {:.6} (should be ~1)", rank.iter().sum::<f64>());
+    println!(
+        "total rank mass = {:.6} (should be ~1)",
+        rank.iter().sum::<f64>()
+    );
     println!("top 5 pages by rank:");
     for (page, score) in indexed.iter().take(5) {
         println!("  page {page:>8}  rank {score:.3e}");

@@ -11,7 +11,9 @@ use spmv_multicore::prelude::*;
 use spmv_multicore::spmv_archsim::platforms::PlatformId;
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "fem_cantilever".to_string());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fem_cantilever".to_string());
     let matrix = SuiteMatrix::all()
         .into_iter()
         .find(|m| m.id() == wanted)
@@ -20,7 +22,11 @@ fn main() {
             SuiteMatrix::FemCantilever
         });
 
-    println!("platform sweep for {} ({})", matrix.spec().name, matrix.spec().notes);
+    println!(
+        "platform sweep for {} ({})",
+        matrix.spec().name,
+        matrix.spec().notes
+    );
     let csr = CsrMatrix::from_coo(&matrix.generate(Scale::Small));
     println!(
         "synthetic instance: {} x {}, {} nonzeros\n",
@@ -38,7 +44,11 @@ fn main() {
                 result.rung,
                 result.gflops,
                 result.consumed_gbs,
-                if result.bandwidth_bound { "memory-bound" } else { "compute-bound" }
+                if result.bandwidth_bound {
+                    "memory-bound"
+                } else {
+                    "compute-bound"
+                }
             );
         }
         println!();

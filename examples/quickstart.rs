@@ -56,7 +56,9 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("max |tuned - reference| = {max_err:.2e}");
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let parallel = ParallelTuned::new(&csr, threads, &TuningConfig::full());
 
     let reps = 20;
@@ -65,7 +67,7 @@ fn main() {
     let mut y = vec![0.0; csr.nrows()];
     let tuned_rate = time_gflops(csr.nnz(), reps, || tuned.spmv(&x, &mut y));
     let mut y = vec![0.0; csr.nrows()];
-    let parallel_rate = time_gflops(csr.nnz(), reps, || parallel.spmv_rayon(&x, &mut y));
+    let parallel_rate = time_gflops(csr.nnz(), reps, || parallel.spmv_scoped(&x, &mut y));
 
     println!("naive CSR:        {naive:.2} Gflop/s");
     println!("tuned (serial):   {tuned_rate:.2} Gflop/s");

@@ -1,0 +1,306 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the workspace benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Throughput`], [`BenchmarkId`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is run for a
+//! warm-up period and then sampled; the median time per iteration and derived
+//! element throughput are printed to stdout in a stable, grep-friendly format:
+//!
+//! ```text
+//! bench <group>/<id>  median <ns> ns/iter  mean <ns> ns/iter  thrpt <Melem/s>
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration (nonzeros, for SpMV).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, rendered as its display form.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything convertible into a benchmark identifier string.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, first warming up, then collecting `sample_size` samples of
+    /// an adaptively chosen iteration batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().div_f64(iters_done as f64);
+
+        // Pick a batch size so that all samples fit the measurement window.
+        let per_sample = self.measurement.div_f64(self.sample_size.max(1) as f64);
+        let batch = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u32;
+
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation used to derive rates from times.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut samples = Vec::with_capacity(self.criterion.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.criterion.sample_size,
+            warm_up: self.criterion.warm_up_time,
+            measurement: self.criterion.measurement_time,
+        };
+        f(&mut bencher);
+        report(&self.name, &id, &samples, self.throughput);
+        self
+    }
+
+    /// Run one benchmark that closes over an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.into_id(), |b| f(b, input))
+    }
+
+    /// Finish the group (formatting separator only).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("bench {group}/{id}  (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            let rate = n as f64 / median.as_secs_f64() / 1e6;
+            format!("  thrpt {rate:.1} Melem/s")
+        }
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            let rate = n as f64 / median.as_secs_f64() / 1e9;
+            format!("  thrpt {rate:.2} GB/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {group}/{id}  median {} ns/iter  mean {} ns/iter{thrpt}",
+        median.as_nanos(),
+        mean.as_nanos()
+    );
+}
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a benchmark group: `criterion_group!{name = n; config = c; targets = f1, f2}`
+/// or the positional `criterion_group!(name, f1, f2)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("shim-test");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn bench_with_input_passes_value() {
+        let mut c = quick();
+        let data = vec![1.0f64; 64];
+        c.benchmark_group("shim-test").bench_with_input(
+            BenchmarkId::from_parameter("sum"),
+            &data,
+            |b, d| b.iter(|| d.iter().sum::<f64>()),
+        );
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").into_id(), "p");
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the exact API subset this workspace uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], [`Rng::random_range`] over integer and float
+//! ranges, and [`Rng::random_bool`] — on top of SplitMix64. Deterministic by
+//! construction: the same seed always yields the same stream, which is all the
+//! matrix generators and tests require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling surface used by this workspace.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample uniformly from `range` (half-open or inclusive; integer or float).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        u64_to_unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniformly distributed value of `T` (only `f64` in `[0,1)` is supported).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+}
+
+/// Types samplable by [`Rng::random`].
+pub trait Standard {
+    /// Map 64 uniform bits to a value.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        u64_to_unit_f64(bits)
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+fn u64_to_unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can be sampled uniformly with one 64-bit draw.
+pub trait SampleRange<T> {
+    /// Sample a value of `T` from this range using the uniform `bits`.
+    fn sample(self, bits: u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, bits: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + ((bits as u128 % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, bits: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u128 + 1;
+                lo + ((bits as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, bits: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (bits as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i64 => u64, i32 => u32, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, bits: u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + u64_to_unit_f64(bits) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, bits: u64) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (u64_to_unit_f64(bits) as f32) * (self.end - self.start)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64 — a tiny, fast, well-scrambled 64-bit generator.
+    ///
+    /// Not the ChaCha-based generator of the real crate, but API-compatible for
+    /// the subset this workspace uses, and deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix so that small consecutive seeds yield unrelated streams.
+            let mut rng = StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.random_range(-2.5..4.0);
+            assert!((-2.5..4.0).contains(&f));
+            let i: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

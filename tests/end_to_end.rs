@@ -5,12 +5,14 @@ use spmv_multicore::prelude::*;
 use spmv_multicore::spmv_archsim::platforms::PlatformId;
 use spmv_multicore::spmv_core::dense::max_abs_diff;
 use spmv_multicore::spmv_core::tuning::search::DenseProfile;
-use spmv_multicore::spmv_parallel::numa::{NumaAwareMatrix, NumaTopology};
 use spmv_multicore::spmv_parallel::affinity::AffinityPolicy;
+use spmv_multicore::spmv_parallel::numa::{NumaAwareMatrix, NumaTopology};
 
 fn reference_and_x(matrix: SuiteMatrix) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
     let csr = CsrMatrix::from_coo(&matrix.generate(Scale::Tiny));
-    let x: Vec<f64> = (0..csr.ncols()).map(|i| ((i * 13 + 5) % 37) as f64 * 0.1 - 1.5).collect();
+    let x: Vec<f64> = (0..csr.ncols())
+        .map(|i| ((i * 13 + 5) % 37) as f64 * 0.1 - 1.5)
+        .collect();
     let y = csr.spmv_alloc(&x);
     (csr, x, y)
 }
@@ -26,7 +28,12 @@ fn every_suite_matrix_survives_the_full_tuning_pipeline() {
             "{}: tuned SpMV diverged from reference",
             matrix.id()
         );
-        assert_eq!(tuned.nnz(), csr.nnz(), "{}: nonzeros lost in tuning", matrix.id());
+        assert_eq!(
+            tuned.nnz(),
+            csr.nnz(),
+            "{}: nonzeros lost in tuning",
+            matrix.id()
+        );
         assert!(
             tuned.footprint_bytes() <= (tuned.report().csr_bytes as f64 * 1.10) as usize,
             "{}: tuned structure should not be much larger than CSR",
@@ -41,7 +48,7 @@ fn parallel_execution_matches_serial_for_every_suite_matrix() {
         let (csr, x, reference) = reference_and_x(matrix);
         let parallel = ParallelTuned::new(&csr, 4, &TuningConfig::full());
         let mut y = vec![0.0; csr.nrows()];
-        parallel.spmv_rayon(&x, &mut y);
+        parallel.spmv_scoped(&x, &mut y);
         assert!(
             max_abs_diff(&reference, &y) < 1e-9,
             "{}: parallel SpMV diverged",
@@ -108,13 +115,25 @@ fn model_reproduces_the_paper_headline_ordering() {
             "{}: parallel should not be slower than the first rung",
             platform.name()
         );
-        let last = results.iter().filter(|r| !r.rung.contains("OSKI")).next_back().unwrap();
+        let last = results.iter().rfind(|r| !r.rung.contains("OSKI")).unwrap();
         full_system.insert(platform, best_parallel);
         memory_bound.insert(platform, last.bandwidth_bound);
         if matches!(platform, PlatformId::AmdX2 | PlatformId::Clovertown) {
-            let petsc = results.iter().find(|r| r.rung == "OSKI-PETSc").unwrap().gflops;
-            let tuned = results.iter().find(|r| r.rung == "Full System [*]").unwrap().gflops;
-            assert!(tuned > petsc, "{}: tuned should beat OSKI-PETSc", platform.name());
+            let petsc = results
+                .iter()
+                .find(|r| r.rung == "OSKI-PETSc")
+                .unwrap()
+                .gflops;
+            let tuned = results
+                .iter()
+                .find(|r| r.rung == "Full System [*]")
+                .unwrap()
+                .gflops;
+            assert!(
+                tuned > petsc,
+                "{}: tuned should beat OSKI-PETSc",
+                platform.name()
+            );
         }
     }
     // The paper's "Cell wins" headline holds in the memory-bound regime (its matrices
@@ -122,7 +141,11 @@ fn model_reproduces_the_paper_headline_ordering() {
     // cache resident on a 4-16MB x86, which legitimately removes the bandwidth wall,
     // so only compare against platforms that the model still reports as memory bound.
     let blade = full_system[&PlatformId::CellBlade];
-    for other in [PlatformId::AmdX2, PlatformId::Clovertown, PlatformId::Niagara] {
+    for other in [
+        PlatformId::AmdX2,
+        PlatformId::Clovertown,
+        PlatformId::Niagara,
+    ] {
         if memory_bound[&other] {
             assert!(
                 blade >= full_system[&other],

@@ -1,132 +1,289 @@
-//! Property-based tests (proptest) over the core data-structure invariants:
-//! every storage format and every kernel variant must compute the same product as a
-//! dense reference, for arbitrary matrices, and the tuner must never lose nonzeros
-//! or blow up the footprint.
+//! Property-based tests over the core data-structure invariants, driven by a
+//! deterministic random-case generator (no external framework): every storage
+//! format, every kernel variant, every index width and every register block shape
+//! must compute the same product as a dense reference on arbitrary matrices —
+//! including rectangular shapes, empty rows/columns and fully empty matrices — and
+//! the tuner must never lose nonzeros or blow up the footprint.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use spmv_multicore::prelude::*;
 use spmv_multicore::spmv_core::dense::max_abs_diff;
+use spmv_multicore::spmv_core::formats::bcsr::ALLOWED_BLOCK_DIMS;
 use spmv_multicore::spmv_core::formats::index::IndexWidth;
-use spmv_multicore::spmv_core::formats::{BcooMatrix, BcsrMatrix, CscMatrix, GcsrMatrix};
+use spmv_multicore::spmv_core::formats::{
+    BcooMatrix, BcsrMatrix, CompressedCsr, CscMatrix, EnumDispatchCsr, GcsrMatrix,
+};
 use spmv_multicore::spmv_core::kernels::KernelVariant;
 use spmv_multicore::spmv_core::partition::row::partition_rows_balanced;
 use spmv_multicore::spmv_core::partition::segmented::{partition_nonzeros, segmented_spmv};
+use spmv_multicore::spmv_parallel::SpmvEngine;
 
-/// Strategy: a small random sparse matrix as (nrows, ncols, entries).
-fn arb_matrix() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
-    (1usize..40, 1usize..40).prop_flat_map(|(nrows, ncols)| {
-        let entry = (0..nrows, 0..ncols, -10.0f64..10.0);
-        proptest::collection::vec(entry, 0..200)
-            .prop_map(move |entries| (nrows, ncols, entries))
-    })
+/// One random test case: possibly rectangular, possibly with empty rows/columns.
+struct Case {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+/// Deterministic random cases, biased toward the shapes that break kernels:
+/// rectangular matrices, rows at the boundary of a register block, empty rows and
+/// the empty matrix itself.
+fn cases(count: usize, seed: u64) -> Vec<Case> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count + 2);
+    // Always include the pathological fixed cases.
+    out.push(Case {
+        nrows: 1,
+        ncols: 1,
+        entries: vec![],
+    });
+    out.push(Case {
+        nrows: 7,
+        ncols: 3,
+        entries: vec![(0, 0, 1.0), (6, 2, -2.0)], // first/last rows only
+    });
+    for _ in 0..count {
+        let nrows = rng.random_range(1..40usize);
+        let ncols = rng.random_range(1..40usize);
+        let nnz = rng.random_range(0..200usize);
+        let mut entries = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            entries.push((
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-10.0..10.0),
+            ));
+        }
+        out.push(Case {
+            nrows,
+            ncols,
+            entries,
+        });
+    }
+    out
 }
 
 /// Dense reference product computed straight from the triplets.
-fn dense_reference(
-    nrows: usize,
-    entries: &[(usize, usize, f64)],
-    x: &[f64],
-) -> Vec<f64> {
-    let mut y = vec![0.0; nrows];
-    for &(r, c, v) in entries {
+fn dense_reference(case: &Case, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; case.nrows];
+    for &(r, c, v) in &case.entries {
         y[r] += v * x[c];
     }
     y
 }
 
-fn build(nrows: usize, ncols: usize, entries: &[(usize, usize, f64)]) -> (CooMatrix, CsrMatrix) {
-    let coo = CooMatrix::from_triplets(nrows, ncols, entries.iter().copied()).unwrap();
+fn build(case: &Case) -> (CooMatrix, CsrMatrix) {
+    let coo =
+        CooMatrix::from_triplets(case.nrows, case.ncols, case.entries.iter().copied()).unwrap();
     let csr = CsrMatrix::from_coo(&coo);
     (coo, csr)
 }
 
 fn test_x(ncols: usize) -> Vec<f64> {
-    (0..ncols).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect()
+    (0..ncols)
+        .map(|i| ((i * 7 + 3) % 11) as f64 - 5.0)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn every_format_matches_dense_reference() {
+    for (i, case) in cases(48, 0xF0).iter().enumerate() {
+        let (coo, csr) = build(case);
+        let x = test_x(case.ncols);
+        let expected = dense_reference(case, &x);
 
-    #[test]
-    fn every_format_matches_dense_reference((nrows, ncols, entries) in arb_matrix()) {
-        let (coo, csr) = build(nrows, ncols, &entries);
-        let x = test_x(ncols);
-        let expected = dense_reference(nrows, &entries, &x);
-
-        prop_assert!(max_abs_diff(&coo.spmv_alloc(&x), &expected) < 1e-9);
-        prop_assert!(max_abs_diff(&csr.spmv_alloc(&x), &expected) < 1e-9);
-        prop_assert!(max_abs_diff(&CscMatrix::from_coo(&coo).spmv_alloc(&x), &expected) < 1e-9);
-        prop_assert!(
-            max_abs_diff(&GcsrMatrix::from_csr(&csr, IndexWidth::U32).unwrap().spmv_alloc(&x), &expected) < 1e-9
+        assert!(
+            max_abs_diff(&coo.spmv_alloc(&x), &expected) < 1e-9,
+            "coo case {i}"
         );
-        for &(r, c) in &[(1usize, 2usize), (2, 2), (4, 1), (4, 4)] {
-            let bcsr = BcsrMatrix::from_csr(&csr, r, c, IndexWidth::U16).unwrap();
-            prop_assert!(max_abs_diff(&bcsr.spmv_alloc(&x), &expected) < 1e-9);
-            let bcoo = BcooMatrix::from_csr(&csr, r, c, IndexWidth::U16).unwrap();
-            prop_assert!(max_abs_diff(&bcoo.spmv_alloc(&x), &expected) < 1e-9);
+        assert!(
+            max_abs_diff(&csr.spmv_alloc(&x), &expected) < 1e-9,
+            "csr case {i}"
+        );
+        assert!(
+            max_abs_diff(&CscMatrix::from_coo(&coo).spmv_alloc(&x), &expected) < 1e-9,
+            "csc case {i}"
+        );
+        for width in [IndexWidth::U16, IndexWidth::U32] {
+            assert!(
+                max_abs_diff(
+                    &GcsrMatrix::from_csr(&csr, width).unwrap().spmv_alloc(&x),
+                    &expected
+                ) < 1e-9,
+                "gcsr {width:?} case {i}"
+            );
+            assert!(
+                max_abs_diff(
+                    &spmv_alloc_enum(&EnumDispatchCsr::from_csr(&csr, width).unwrap(), &x),
+                    &expected
+                ) < 1e-9,
+                "enum-dispatch {width:?} case {i}"
+            );
+        }
+        assert!(
+            max_abs_diff(&CompressedCsr::from_csr(&csr).spmv_alloc(&x), &expected) < 1e-9,
+            "compressed case {i}"
+        );
+    }
+}
+
+/// Every register block shape of the ≤ 4×4 sweep × every index width must agree
+/// with the reference, for BCSR (unrolled microkernels) and BCOO alike.
+#[test]
+fn every_block_shape_and_width_matches_dense_reference() {
+    for (i, case) in cases(32, 0xB1).iter().enumerate() {
+        let (_, csr) = build(case);
+        let x = test_x(case.ncols);
+        let expected = dense_reference(case, &x);
+        for &r in &ALLOWED_BLOCK_DIMS {
+            for &c in &ALLOWED_BLOCK_DIMS {
+                let b16 = BcsrMatrix::<u16>::from_csr(&csr, r, c).unwrap();
+                assert!(
+                    max_abs_diff(&b16.spmv_alloc(&x), &expected) < 1e-9,
+                    "bcsr<u16> {r}x{c} case {i}"
+                );
+                let b32 = BcsrMatrix::<u32>::from_csr(&csr, r, c).unwrap();
+                assert!(
+                    max_abs_diff(&b32.spmv_alloc(&x), &expected) < 1e-9,
+                    "bcsr<u32> {r}x{c} case {i}"
+                );
+                for width in [IndexWidth::U16, IndexWidth::U32] {
+                    let bcoo = BcooMatrix::from_csr(&csr, r, c, width).unwrap();
+                    assert!(
+                        max_abs_diff(&bcoo.spmv_alloc(&x), &expected) < 1e-9,
+                        "bcoo {r}x{c} {width:?} case {i}"
+                    );
+                }
+            }
         }
     }
+}
 
-    #[test]
-    fn every_kernel_variant_matches_dense_reference((nrows, ncols, entries) in arb_matrix()) {
-        let (_, csr) = build(nrows, ncols, &entries);
-        let x = test_x(ncols);
-        let expected = dense_reference(nrows, &entries, &x);
+/// Every kernel variant (including the prepared/blocked path) × both CSR index
+/// widths must agree with the reference.
+#[test]
+fn every_kernel_variant_matches_dense_reference() {
+    for (i, case) in cases(24, 0xC2).iter().enumerate() {
+        let (_, csr) = build(case);
+        let narrow: spmv_multicore::spmv_core::formats::CsrMatrix<u16> = csr.reindex().unwrap();
+        let x = test_x(case.ncols);
+        let expected = dense_reference(case, &x);
         for variant in KernelVariant::all() {
-            let mut y = vec![0.0; nrows];
+            let mut y = vec![0.0; case.nrows];
             variant.execute(&csr, &x, &mut y);
-            prop_assert!(
+            assert!(
                 max_abs_diff(&y, &expected) < 1e-9,
-                "variant {} diverged", variant.name()
+                "variant {} (u32) case {i}",
+                variant.name()
+            );
+            let mut y16 = vec![0.0; case.nrows];
+            variant.execute(&narrow, &x, &mut y16);
+            assert!(
+                max_abs_diff(&y16, &expected) < 1e-9,
+                "variant {} (u16) case {i}",
+                variant.name()
+            );
+        }
+        for variant in KernelVariant::all_with_blocked() {
+            let prepared = variant.prepare(&csr).unwrap();
+            let mut y = vec![0.0; case.nrows];
+            prepared.execute(&x, &mut y);
+            assert!(
+                max_abs_diff(&y, &expected) < 1e-9,
+                "prepared variant {} case {i}",
+                variant.name()
             );
         }
     }
+}
 
-    #[test]
-    fn tuner_preserves_nonzeros_and_results((nrows, ncols, entries) in arb_matrix()) {
-        let (coo, csr) = build(nrows, ncols, &entries);
-        let x = test_x(ncols);
-        let expected = dense_reference(nrows, &entries, &x);
-        for config in [TuningConfig::naive(), TuningConfig::register_only(), TuningConfig::full()] {
+#[test]
+fn tuner_preserves_nonzeros_and_results() {
+    for (i, case) in cases(24, 0xD3).iter().enumerate() {
+        let (coo, csr) = build(case);
+        let x = test_x(case.ncols);
+        let expected = dense_reference(case, &x);
+        for config in [
+            TuningConfig::naive(),
+            TuningConfig::register_only(),
+            TuningConfig::full(),
+        ] {
             let tuned = tune(&coo, &config);
-            prop_assert_eq!(tuned.nnz(), csr.nnz());
-            prop_assert!(max_abs_diff(&tuned.spmv_alloc(&x), &expected) < 1e-9);
+            assert_eq!(tuned.nnz(), csr.nnz(), "case {i}");
+            assert!(
+                max_abs_diff(&tuned.spmv_alloc(&x), &expected) < 1e-9,
+                "case {i}"
+            );
             // Stored entries can only grow (zero fill), never shrink.
-            prop_assert!(tuned.stored_entries() >= tuned.nnz());
+            assert!(tuned.stored_entries() >= tuned.nnz(), "case {i}");
         }
     }
+}
 
-    #[test]
-    fn partitions_cover_and_preserve_results((nrows, ncols, entries) in arb_matrix(), parts in 1usize..9) {
-        let (_, csr) = build(nrows, ncols, &entries);
-        let x = test_x(ncols);
-        let expected = dense_reference(nrows, &entries, &x);
+#[test]
+fn partitions_cover_and_preserve_results() {
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    for (i, case) in cases(24, 0xE5).iter().enumerate() {
+        let (_, csr) = build(case);
+        let parts = rng.random_range(1..9usize);
+        let x = test_x(case.ncols);
+        let expected = dense_reference(case, &x);
 
         let rows = partition_rows_balanced(&csr, parts);
-        prop_assert!(rows.covers(nrows));
-        prop_assert_eq!(rows.nnz_per_part(&csr).iter().sum::<usize>(), csr.nnz());
+        assert!(rows.covers(case.nrows), "case {i}");
+        assert_eq!(
+            rows.nnz_per_part(&csr).iter().sum::<usize>(),
+            csr.nnz(),
+            "case {i}"
+        );
 
         let seg = partition_nonzeros(&csr, parts);
-        prop_assert!(seg.covers(csr.nnz()));
-        prop_assert!(max_abs_diff(&segmented_spmv(&csr, &seg, &x), &expected) < 1e-9);
+        assert!(seg.covers(csr.nnz()), "case {i}");
+        assert!(
+            max_abs_diff(&segmented_spmv(&csr, &seg, &x), &expected) < 1e-9,
+            "case {i}"
+        );
 
         let parallel = ParallelCsr::new(&csr, parts);
-        let mut y = vec![0.0; nrows];
-        parallel.spmv_rayon(&x, &mut y);
-        prop_assert!(max_abs_diff(&y, &expected) < 1e-9);
-    }
+        let mut y = vec![0.0; case.nrows];
+        parallel.spmv_scoped(&x, &mut y);
+        assert!(max_abs_diff(&y, &expected) < 1e-9, "case {i}");
 
-    #[test]
-    fn footprint_reported_matches_accounting((nrows, ncols, entries) in arb_matrix()) {
-        let (coo, csr) = build(nrows, ncols, &entries);
+        let mut engine = SpmvEngine::new(&csr, parts);
+        let mut y_engine = vec![0.0; case.nrows];
+        engine.spmv(&x, &mut y_engine);
+        assert!(max_abs_diff(&y_engine, &expected) < 1e-9, "engine case {i}");
+    }
+}
+
+#[test]
+fn footprint_reported_matches_accounting() {
+    for (i, case) in cases(24, 0xF6).iter().enumerate() {
+        let (coo, csr) = build(case);
         // CSR footprint formula: nnz*(8+4) + (nrows+1)*4.
-        prop_assert_eq!(
+        assert_eq!(
             csr.footprint_bytes(),
-            csr.nnz() * 12 + (nrows + 1) * 4
+            csr.nnz() * 12 + (case.nrows + 1) * 4,
+            "case {i}"
+        );
+        // A u16 reindex saves exactly 2 bytes per stored nonzero.
+        let narrow: spmv_multicore::spmv_core::formats::CsrMatrix<u16> = csr.reindex().unwrap();
+        assert_eq!(
+            csr.footprint_bytes() - narrow.footprint_bytes(),
+            2 * csr.nnz()
         );
         // COO footprint formula: 16 bytes per stored entry.
-        prop_assert_eq!(coo.footprint_bytes(), coo.nnz() * 16);
+        assert_eq!(coo.footprint_bytes(), coo.nnz() * 16, "case {i}");
         // Flop:byte of CSR never exceeds the 0.25 bound from the paper.
-        prop_assert!(csr.flop_byte_ratio() <= 0.25 + 1e-12);
+        assert!(csr.flop_byte_ratio() <= 0.25 + 1e-12, "case {i}");
     }
+}
+
+/// `EnumDispatchCsr` is a bench baseline without an `SpMv` impl; allocate-and-run
+/// helper for the comparisons above.
+fn spmv_alloc_enum(m: &EnumDispatchCsr, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; m.nrows()];
+    m.spmv(x, &mut y);
+    y
 }
