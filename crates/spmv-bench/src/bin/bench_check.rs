@@ -1,0 +1,83 @@
+//! `bench_check` — validate a `BENCH_spmv.json` artifact.
+//!
+//! CI runs this after the tiny-scale `spmv_bench` smoke run: it fails (exit 1)
+//! when the artifact is missing, fails to parse as JSON, or lacks the expected
+//! variant rows — in particular the `tuned-parallel` rows of the two-phase
+//! pipeline for every Table-3 suite matrix at every swept thread count.
+//!
+//! ```text
+//! cargo run --release -p spmv-bench --bin bench_check [BENCH_spmv.json]
+//! ```
+
+use spmv_bench::json::Json;
+use spmv_bench::perf::{
+    harness_matrices, swept_thread_counts, TUNED_PARALLEL_VARIANT, TUNED_SERIAL_VARIANT,
+};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[bench_check] FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_spmv.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("{path} is not valid JSON: {e}")),
+    };
+
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("spmv-bench/v1") => {}
+        other => fail(&format!("unexpected schema {other:?}")),
+    }
+    let max_threads = doc
+        .get("max_threads")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| fail("missing max_threads")) as usize;
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail("missing results array"));
+
+    let row_matches = |row: &Json, id: &str, variant: &str, threads: usize| {
+        row.get("matrix").and_then(Json::as_str) == Some(id)
+            && row.get("variant").and_then(Json::as_str) == Some(variant)
+            && row.get("threads").and_then(Json::as_f64) == Some(threads as f64)
+            && row.get("gflops").and_then(Json::as_f64).unwrap_or(0.0) > 0.0
+    };
+
+    let mut checked = 0usize;
+    let thread_counts = swept_thread_counts(max_threads);
+    for matrix in harness_matrices() {
+        let id = matrix.id();
+        if !results
+            .iter()
+            .any(|r| row_matches(r, id, TUNED_SERIAL_VARIANT, 1))
+        {
+            fail(&format!("{id}: missing {TUNED_SERIAL_VARIANT} row"));
+        }
+        checked += 1;
+        for &threads in &thread_counts {
+            if !results
+                .iter()
+                .any(|r| row_matches(r, id, TUNED_PARALLEL_VARIANT, threads))
+            {
+                fail(&format!(
+                    "{id}: missing {TUNED_PARALLEL_VARIANT} row at {threads} threads"
+                ));
+            }
+            checked += 1;
+        }
+    }
+
+    println!(
+        "[bench_check] OK: {path} has all {checked} expected tuned rows ({} results total)",
+        results.len()
+    );
+}

@@ -1,8 +1,10 @@
-//! Minimal JSON writer for benchmark artifacts (`BENCH_*.json`).
+//! Minimal JSON reader/writer for benchmark artifacts (`BENCH_*.json`).
 //!
 //! The workspace builds offline with no serde, and the benchmark schema is flat,
-//! so a small value tree with a deterministic writer is all that is needed. Keys
-//! keep insertion order so diffs between benchmark runs stay readable.
+//! so a small value tree with a deterministic writer — plus a strict recursive
+//! parser so CI can validate committed artifacts ([`Json::parse`]) — is all that
+//! is needed. Keys keep insertion order so diffs between benchmark runs stay
+//! readable.
 
 use std::fmt::Write as _;
 
@@ -38,6 +40,52 @@ impl Json {
     /// Integer constructor (exact for |v| < 2^53).
     pub fn int(v: usize) -> Json {
         Json::Num(v as f64)
+    }
+
+    /// Parse a JSON document. Strict: the whole input must be one value plus
+    /// trailing whitespace. Numbers parse as `f64` (the same representation the
+    /// writer emits), matching the benchmark schema.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items.as_slice()),
+            _ => None,
+        }
     }
 
     /// Serialize with 2-space indentation and a trailing newline.
@@ -106,6 +154,162 @@ impl Json {
     }
 }
 
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected '{lit}' at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect_literal(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect_literal(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect_literal(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                pairs.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let ch = if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: must be followed by \uDC00..\uDFFF,
+                            // together encoding one supplementary-plane scalar.
+                            if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err("unpaired high surrogate".to_string());
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("invalid low surrogate".to_string());
+                            }
+                            *pos += 6;
+                            let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(scalar).ok_or("invalid surrogate pair")?
+                        } else {
+                            char::from_u32(code).ok_or("invalid \\u escape")?
+                        };
+                        out.push(ch);
+                    }
+                    other => return Err(format!("unknown escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (bytes are valid UTF-8: input is &str).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+        .map_err(|e| e.to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse::<f64>()
+        .map_err(|e| format!("bad number at byte {start}: {e}"))
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
@@ -142,6 +346,60 @@ mod tests {
     fn strings_are_escaped() {
         assert_eq!(Json::str("a\"b\\c\nd").pretty(), "\"a\\\"b\\\\c\\nd\"\n");
         assert_eq!(Json::str("\u{1}").pretty(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let doc = Json::obj(vec![
+            ("schema", Json::str("spmv-bench/v1")),
+            ("count", Json::int(3)),
+            ("ratio", Json::Num(0.125)),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::obj(vec![("variant", Json::str("tuned-parallel"))]),
+                    Json::Arr(vec![]),
+                ]),
+            ),
+            ("escaped", Json::str("a\"b\\c\nd\u{1}")),
+        ]);
+        let parsed = Json::parse(&doc.pretty()).expect("writer output parses");
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("spmv-bench/v1")
+        );
+        assert_eq!(parsed.get("count").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            parsed.get("rows").and_then(Json::as_array).map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("123 456").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nulll").is_err());
+    }
+
+    #[test]
+    fn parse_handles_surrogate_pair_escapes() {
+        // A non-BMP character escaped the way ensure_ascii JSON writers emit it.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::str("\u{1F600}")
+        );
+        // Unpaired or malformed surrogates are invalid JSON strings.
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+        assert!(Json::parse("\"\\ud83d\\u0041\"").is_err());
+        assert!(Json::parse("\"\\udc00\"").is_err());
     }
 
     #[test]

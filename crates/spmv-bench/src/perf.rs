@@ -10,10 +10,21 @@ use crate::json::Json;
 use spmv_core::formats::{CompressedCsr, CsrMatrix, EnumDispatchCsr, IndexWidth};
 use spmv_core::kernels::KernelVariant;
 use spmv_core::tuning::footprint::csr_bytes_at;
-use spmv_core::{MatrixShape, FLOPS_PER_NNZ};
+use spmv_core::tuning::plan::TunePlan;
+use spmv_core::tuning::prepared::PreparedMatrix;
+use spmv_core::tuning::TuningConfig;
+use spmv_core::{MatrixShape, SpMv, FLOPS_PER_NNZ};
 use spmv_matrices::suite::{Scale, SuiteMatrix};
 use spmv_parallel::SpmvEngine;
 use std::time::Instant;
+
+/// Variant label of the fully tuned persistent engine rows (two-phase
+/// `TunePlan` → `PreparedBlock` pipeline, all optimizations on).
+pub const TUNED_PARALLEL_VARIANT: &str = "tuned-parallel";
+
+/// Variant label of the serial tuned reference rows (the same plan executed
+/// sequentially; bit-identical to the parallel rows' results).
+pub const TUNED_SERIAL_VARIANT: &str = "tuned-serial";
 
 /// One measured configuration.
 #[derive(Debug, Clone)]
@@ -170,6 +181,50 @@ pub fn measure_engine(
     }
 }
 
+/// Measure the fully tuned persistent engine at `threads`: each worker's block is
+/// register blocked, index compressed, cache/TLB blocked, and prefetch annotated
+/// exactly as the footprint heuristic planned.
+pub fn measure_tuned_engine(
+    matrix_id: &str,
+    csr: &CsrMatrix,
+    threads: usize,
+    budget_ms: u64,
+) -> PerfResult {
+    let plan = TunePlan::new(csr, threads, &TuningConfig::full());
+    let mut engine = SpmvEngine::from_plan(csr, &plan).expect("fresh plan matches its matrix");
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![0.0; csr.nrows()];
+    let (secs, iters) = time_adaptive(budget_ms, || engine.spmv(&x, &mut y));
+    PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz: csr.nnz(),
+        variant: TUNED_PARALLEL_VARIANT.to_string(),
+        threads,
+        gflops: gflops(csr.nnz(), secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: engine.footprint_bytes() as f64 / csr.nnz().max(1) as f64,
+    }
+}
+
+/// Measure the serial tuned reference: the single-thread plan materialized and
+/// executed on the calling thread (the path the tuned engine is bit-identical to).
+pub fn measure_tuned_serial(matrix_id: &str, csr: &CsrMatrix, budget_ms: u64) -> PerfResult {
+    let plan = TunePlan::new(csr, 1, &TuningConfig::full());
+    let prepared = PreparedMatrix::materialize(csr, &plan).expect("fresh plan matches its matrix");
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![0.0; csr.nrows()];
+    let (secs, iters) = time_adaptive(budget_ms, || prepared.spmv(&x, &mut y));
+    PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz: csr.nnz(),
+        variant: TUNED_SERIAL_VARIANT.to_string(),
+        threads: 1,
+        gflops: gflops(csr.nnz(), secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: prepared.footprint_bytes() as f64 / csr.nnz().max(1) as f64,
+    }
+}
+
 /// The matrices the JSON harness sweeps: a structurally diverse slice of Table 3
 /// (dense blocks, FEM substructure, short rows, power-law rows, extreme aspect).
 pub fn harness_matrices() -> Vec<SuiteMatrix> {
@@ -191,6 +246,17 @@ pub fn harness_variants() -> Vec<KernelVariant> {
         KernelVariant::Unrolled4,
         KernelVariant::Unrolled8,
     ]
+}
+
+/// The thread counts the harness sweeps for `max_threads` — shared with
+/// `bench_check` so the artifact validator can never drift from what the
+/// harness actually emits.
+pub fn swept_thread_counts(max_threads: usize) -> Vec<usize> {
+    if max_threads > 1 {
+        vec![1, max_threads]
+    } else {
+        vec![1]
+    }
 }
 
 /// Run the full harness: every matrix × (serial baselines + variants × {1, N}).
@@ -219,15 +285,18 @@ pub fn run_harness(scale: Scale, max_threads: usize, budget_ms: u64) -> Vec<Perf
         }
 
         // Kernel-variant sweep at 1 and N threads on the persistent engine.
-        let thread_counts: Vec<usize> = if max_threads > 1 {
-            vec![1, max_threads]
-        } else {
-            vec![1]
-        };
+        let thread_counts = swept_thread_counts(max_threads);
         for variant in harness_variants() {
             for &threads in &thread_counts {
                 results.push(measure_engine(id, &csr, variant, threads, budget_ms));
             }
+        }
+
+        // The two-phase tuned pipeline: serial reference plus the fully tuned
+        // persistent engine at every swept thread count.
+        results.push(measure_tuned_serial(id, &csr, budget_ms));
+        for &threads in &thread_counts {
+            results.push(measure_tuned_engine(id, &csr, threads, budget_ms));
         }
     }
     results
@@ -288,6 +357,45 @@ mod tests {
         let r = measure_engine("circuit", &csr, KernelVariant::SingleLoop, 2, 5);
         assert_eq!(r.threads, 2);
         assert!(r.gflops > 0.0);
+    }
+
+    #[test]
+    fn tuned_measurements_produce_rows() {
+        let csr = tiny_csr();
+        let serial = measure_tuned_serial("circuit", &csr, 5);
+        assert_eq!(serial.variant, TUNED_SERIAL_VARIANT);
+        assert_eq!(serial.threads, 1);
+        assert!(serial.gflops > 0.0);
+        for threads in [1, 2] {
+            let r = measure_tuned_engine("circuit", &csr, threads, 5);
+            assert_eq!(r.variant, TUNED_PARALLEL_VARIANT);
+            assert_eq!(r.threads, threads);
+            assert!(r.gflops > 0.0);
+            // The tuned footprint never streams more than naive 32-bit CSR.
+            assert!(r.bytes_per_nnz <= csr.footprint_bytes() as f64 / csr.nnz() as f64 * 1.10);
+        }
+    }
+
+    #[test]
+    fn harness_emits_tuned_rows_for_every_matrix() {
+        let results = run_harness(Scale::Tiny, 2, 1);
+        for matrix in harness_matrices() {
+            let id = matrix.id();
+            assert!(
+                results
+                    .iter()
+                    .any(|r| r.matrix == id && r.variant == TUNED_SERIAL_VARIANT),
+                "{id}: missing tuned-serial row"
+            );
+            for threads in [1, 2] {
+                assert!(
+                    results.iter().any(|r| r.matrix == id
+                        && r.variant == TUNED_PARALLEL_VARIANT
+                        && r.threads == threads),
+                    "{id}: missing tuned-parallel row at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use dense::AlignedVec;
 pub use error::{Error, Result};
 pub use formats::traits::{MatrixShape, SpMv};
 pub use formats::{BcooMatrix, BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, GcsrMatrix};
-pub use tuning::{TunedMatrix, TuningConfig};
+pub use tuning::{PreparedBlock, PreparedMatrix, TunePlan, TunedMatrix, TuningConfig};
 
 /// Size in bytes of a double-precision matrix value.
 pub const VALUE_BYTES: usize = 8;

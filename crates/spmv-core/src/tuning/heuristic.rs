@@ -9,6 +9,7 @@
 use crate::blocking::blocked::{BlockFormat, CacheBlock, CacheBlockedMatrix};
 use crate::blocking::cache::{cache_block, CacheBlockingConfig};
 use crate::blocking::tlb::{tlb_block, TlbConfig};
+use crate::error::{Error, Result};
 use crate::formats::bcoo::BcooMatrix;
 use crate::formats::bcsr::BcsrAuto;
 use crate::formats::coo::CooMatrix;
@@ -34,6 +35,9 @@ pub struct TuningConfig {
     pub allow_bcoo: bool,
     /// Consider GCSR storage.
     pub allow_gcsr: bool,
+    /// Annotate large streaming thread blocks with software prefetch
+    /// (consumed by the two-phase [`crate::tuning::plan::TunePlan`] pipeline).
+    pub software_prefetch: bool,
 }
 
 impl TuningConfig {
@@ -47,6 +51,7 @@ impl TuningConfig {
             allow_u16_indices: true,
             allow_bcoo: true,
             allow_gcsr: true,
+            software_prefetch: true,
         }
     }
 
@@ -59,6 +64,7 @@ impl TuningConfig {
             allow_u16_indices: false,
             allow_bcoo: false,
             allow_gcsr: false,
+            software_prefetch: false,
         }
     }
 
@@ -178,27 +184,28 @@ impl SpMv for TunedMatrix {
     }
 }
 
-/// Materialize `choice` for the block-local CSR matrix.
-fn materialize(csr_block: &CsrMatrix, choice: &FormatChoice) -> BlockFormat {
-    match choice.kind {
+/// Materialize `choice` for the block-local CSR matrix, validating the choice
+/// against the block (a plan loaded from disk may not match the matrix).
+pub fn try_materialize(csr_block: &CsrMatrix, choice: &FormatChoice) -> Result<BlockFormat> {
+    Ok(match choice.kind {
         FormatKind::Csr => BlockFormat::Csr(match choice.width {
-            crate::formats::index::IndexWidth::U16 => {
-                CompressedCsr::U16(csr_block.reindex().expect("validated width"))
-            }
+            crate::formats::index::IndexWidth::U16 => CompressedCsr::U16(csr_block.reindex()?),
             crate::formats::index::IndexWidth::U32 => CompressedCsr::U32(csr_block.clone()),
         }),
-        FormatKind::Gcsr => BlockFormat::Gcsr(
-            GcsrMatrix::from_csr(csr_block, choice.width).expect("validated width"),
-        ),
-        FormatKind::Bcsr => BlockFormat::Bcsr(
-            BcsrAuto::from_csr(csr_block, choice.r, choice.c, choice.width)
-                .expect("validated shape/width"),
-        ),
-        FormatKind::Bcoo => BlockFormat::Bcoo(
-            BcooMatrix::from_csr(csr_block, choice.r, choice.c, choice.width)
-                .expect("validated shape/width"),
-        ),
-    }
+        FormatKind::Gcsr => BlockFormat::Gcsr(GcsrMatrix::from_csr(csr_block, choice.width)?),
+        FormatKind::Bcsr => BlockFormat::Bcsr(BcsrAuto::from_csr(
+            csr_block,
+            choice.r,
+            choice.c,
+            choice.width,
+        )?),
+        FormatKind::Bcoo => BlockFormat::Bcoo(BcooMatrix::from_csr(
+            csr_block,
+            choice.r,
+            choice.c,
+            choice.width,
+        )?),
+    })
 }
 
 /// Tune a matrix given as triplets. See [`tune_csr`].
@@ -206,14 +213,12 @@ pub fn tune(coo: &CooMatrix, config: &TuningConfig) -> TunedMatrix {
     tune_csr(&CsrMatrix::from_coo(coo), config)
 }
 
-/// Run the full tuning pipeline on a CSR matrix.
-pub fn tune_csr(csr: &CsrMatrix, config: &TuningConfig) -> TunedMatrix {
+/// Phase 1 + 2 of the tuning pipeline: the cache-block grid (row panels × column
+/// ranges), with optional TLB refinement of each panel.
+fn blocking_grid(csr: &CsrMatrix, config: &TuningConfig) -> Vec<(Range<usize>, Range<usize>)> {
     let nrows = csr.nrows();
     let ncols = csr.ncols();
-    let opts = config.candidate_options();
-
-    // Phase 1: cache blocking (row panels × column ranges).
-    let grid: Vec<(Range<usize>, Range<usize>)> = match &config.cache_blocking {
+    match &config.cache_blocking {
         None => {
             if nrows == 0 {
                 vec![]
@@ -225,10 +230,9 @@ pub fn tune_csr(csr: &CsrMatrix, config: &TuningConfig) -> TunedMatrix {
             let blocking = cache_block(csr, cfg);
             let mut cells = Vec::new();
             for (p, rows) in blocking.row_panels.iter().enumerate() {
-                // Phase 2: optional TLB refinement of each row panel. The paper
-                // performs this "between cache blocking rows and cache blocking
-                // columns"; we intersect the TLB ranges with the cache ranges,
-                // which yields the same bound on pages touched per block.
+                // The paper performs TLB blocking "between cache blocking rows and
+                // cache blocking columns"; we intersect the TLB ranges with the
+                // cache ranges, which yields the same bound on pages per block.
                 let col_ranges: Vec<Range<usize>> = match &config.tlb_blocking {
                     None => blocking.col_ranges[p].clone(),
                     Some(tlb_cfg) => {
@@ -242,12 +246,93 @@ pub fn tune_csr(csr: &CsrMatrix, config: &TuningConfig) -> TunedMatrix {
             }
             cells
         }
-    };
+    }
+}
 
-    // Phase 3: per-block format selection and materialization.
+/// The planning half of the tuner: run the blocking passes and the footprint
+/// heuristic, returning the per-cache-block decisions **without materializing
+/// anything**. This is the tune-time product the two-phase pipeline serializes
+/// ([`crate::tuning::plan::TunePlan`]); [`materialize_decisions`] is the
+/// execution-side half.
+pub fn plan_block_decisions(csr: &CsrMatrix, config: &TuningConfig) -> Vec<BlockDecision> {
+    let opts = config.candidate_options();
+    let grid = blocking_grid(csr, config);
     let coo_full = csr.to_coo();
-    let mut blocks = Vec::with_capacity(grid.len());
     let mut decisions = Vec::with_capacity(grid.len());
+    for (rows, cols) in grid {
+        let sub_coo = coo_full.sub_block(rows.clone(), cols.clone());
+        let sub_csr = CsrMatrix::from_coo(&sub_coo);
+        if sub_csr.nnz() == 0 {
+            // Empty blocks are dropped entirely: no storage, no work.
+            continue;
+        }
+        let choice = best_choice(&sub_csr, &opts);
+        decisions.push(BlockDecision {
+            nnz: sub_csr.nnz(),
+            rows,
+            cols,
+            choice,
+        });
+    }
+    decisions
+}
+
+/// The materialization half of the tuner: build the storage each decision names.
+/// Fails (rather than panicking) when the decisions do not fit the matrix, which
+/// can happen with a stale plan loaded from disk.
+pub fn materialize_decisions(
+    csr: &CsrMatrix,
+    decisions: &[BlockDecision],
+) -> Result<CacheBlockedMatrix> {
+    let coo_full = csr.to_coo();
+    let mut blocks = Vec::with_capacity(decisions.len());
+    for d in decisions {
+        if d.rows.start > d.rows.end
+            || d.cols.start > d.cols.end
+            || d.rows.end > csr.nrows()
+            || d.cols.end > csr.ncols()
+        {
+            return Err(Error::InvalidStructure(format!(
+                "plan block {:?}x{:?} does not fit the {}x{} matrix",
+                d.rows,
+                d.cols,
+                csr.nrows(),
+                csr.ncols()
+            )));
+        }
+        let sub_coo = coo_full.sub_block(d.rows.clone(), d.cols.clone());
+        let sub_csr = CsrMatrix::from_coo(&sub_coo);
+        if sub_csr.nnz() != d.nnz {
+            return Err(Error::InvalidStructure(format!(
+                "plan block {:?}x{:?} expects {} nonzeros, matrix has {}",
+                d.rows,
+                d.cols,
+                d.nnz,
+                sub_csr.nnz()
+            )));
+        }
+        blocks.push(CacheBlock {
+            rows: d.rows.clone(),
+            cols: d.cols.clone(),
+            format: try_materialize(&sub_csr, &d.choice)?,
+        });
+    }
+    Ok(CacheBlockedMatrix::new(csr.nrows(), csr.ncols(), blocks))
+}
+
+/// Run the full tuning pipeline on a CSR matrix.
+///
+/// Semantically this is [`plan_block_decisions`] followed by
+/// [`materialize_decisions`], but fused into one pass so each sub-block CSR is
+/// extracted once and used for both the format choice and the materialization
+/// (the split halves exist for the two-phase pipeline, where planning and
+/// materialization happen at different times and on different threads).
+pub fn tune_csr(csr: &CsrMatrix, config: &TuningConfig) -> TunedMatrix {
+    let opts = config.candidate_options();
+    let grid = blocking_grid(csr, config);
+    let coo_full = csr.to_coo();
+    let mut decisions = Vec::with_capacity(grid.len());
+    let mut blocks = Vec::with_capacity(grid.len());
     for (rows, cols) in grid {
         let sub_coo = coo_full.sub_block(rows.clone(), cols.clone());
         let sub_csr = CsrMatrix::from_coo(&sub_coo);
@@ -265,11 +350,11 @@ pub fn tune_csr(csr: &CsrMatrix, config: &TuningConfig) -> TunedMatrix {
         blocks.push(CacheBlock {
             rows,
             cols,
-            format: materialize(&sub_csr, &choice),
+            format: try_materialize(&sub_csr, &choice)
+                .expect("freshly chosen formats always fit their block"),
         });
     }
-
-    let matrix = CacheBlockedMatrix::new(nrows, ncols, blocks);
+    let matrix = CacheBlockedMatrix::new(csr.nrows(), csr.ncols(), blocks);
     let report = TuningReport {
         decisions,
         csr_bytes: crate::tuning::footprint::csr_bytes(csr),

@@ -16,12 +16,26 @@
 //! [`search`] provides the OSKI-style exhaustive search used by the ablation study
 //! and the baseline crate. [`optimizations`] is the machine-readable form of the
 //! paper's Table 2.
+//!
+//! The pipeline is exposed in **two phases** so tuning cost can be paid once and
+//! amortized: [`plan`] produces a serializable [`TunePlan`] (row partition +
+//! per-thread per-cache-block decisions + prefetch annotation), and [`prepared`]
+//! materializes a plan into kernel-bound [`PreparedBlock`]s — on the executing
+//! thread, for first-touch NUMA placement. [`tune_csr`] composes both phases for
+//! the serial single-call case.
 
 pub mod footprint;
 pub mod heuristic;
 pub mod optimizations;
+pub mod plan;
+pub mod prepared;
 pub mod search;
 
 pub use footprint::{FormatChoice, FormatKind};
-pub use heuristic::{tune, tune_csr, TunedMatrix, TuningConfig, TuningReport};
+pub use heuristic::{
+    materialize_decisions, plan_block_decisions, tune, tune_csr, BlockDecision, TunedMatrix,
+    TuningConfig, TuningReport,
+};
+pub use plan::{ThreadPlan, TunePlan};
+pub use prepared::{PreparedBlock, PreparedMatrix};
 pub use search::{search_register_blocking, SearchOutcome};

@@ -1,0 +1,533 @@
+//! The serializable tune-time plan of the two-phase pipeline.
+//!
+//! Phase one (*tune*) runs the blocking passes and the footprint heuristic and
+//! records every decision — row partition, per-cache-block format kind, register
+//! block shape, index width, and the per-thread prefetch annotation — in a
+//! [`TunePlan`]. Phase two (*prepare*, [`crate::tuning::prepared`]) materializes a
+//! plan into kernel-bound storage, ideally on the thread that will execute it so
+//! first-touch places the pages locally.
+//!
+//! Separating the two phases buys what OSKI's save/restore buys without its search
+//! cost: the plan is a small plain-text profile (`TunePlan::to_text` /
+//! `TunePlan::from_text`), so the one-pass tuning cost can be amortized across
+//! program runs, while materialization stays where the data must live.
+
+use crate::error::{Error, Result};
+use crate::formats::csr::CsrMatrix;
+use crate::formats::index::IndexWidth;
+use crate::formats::traits::MatrixShape;
+use crate::kernels::KernelVariant;
+use crate::partition::row::{partition_rows_balanced, RowPartition};
+use crate::tuning::footprint::{FormatChoice, FormatKind};
+use crate::tuning::heuristic::{plan_block_decisions, BlockDecision, TuningConfig};
+use std::ops::Range;
+
+/// Thread blocks whose planned footprint exceeds this many bytes get a software
+/// prefetch annotation: their matrix streams cannot live in cache, so prefetching
+/// the value/index streams ahead of the compute cursor hides DRAM latency. Smaller
+/// blocks are reused out of cache, where prefetch only costs issue slots.
+pub const PREFETCH_FOOTPRINT_BYTES: usize = 1 << 19;
+
+/// The prefetch distance (in nonzeros) the planner annotates large blocks with —
+/// the middle of the paper's swept range, a robust default across its machines.
+pub const PLANNED_PREFETCH_DISTANCE: usize = 64;
+
+/// One thread's share of the plan: its global row range, the cache-block decisions
+/// for that range (in block-local row coordinates), and the prefetch annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadPlan {
+    /// Global row range this thread block owns.
+    pub rows: Range<usize>,
+    /// Software-prefetch distance in nonzeros for the block's streaming (CSR)
+    /// storage; 0 disables prefetch.
+    pub prefetch_distance: usize,
+    /// Use the non-temporal hint (`prefetchnta`) rather than all-levels.
+    pub nta_hint: bool,
+    /// Per-cache-block decisions, rows/cols local to the thread block.
+    pub decisions: Vec<BlockDecision>,
+}
+
+impl ThreadPlan {
+    /// The CSR code variant this plan binds for its streaming blocks, derived
+    /// once from the prefetch annotation.
+    pub fn stream_variant(&self) -> KernelVariant {
+        match (self.prefetch_distance, self.nta_hint) {
+            (0, _) => KernelVariant::SingleLoop,
+            (d, true) => KernelVariant::PrefetchNta(d),
+            (d, false) => KernelVariant::Prefetch(d),
+        }
+    }
+
+    /// Predicted bytes of the materialized block (sum of the chosen encodings).
+    pub fn planned_bytes(&self) -> usize {
+        self.decisions.iter().map(|d| d.choice.bytes).sum()
+    }
+
+    /// Logical nonzeros covered by the plan's decisions.
+    pub fn planned_nnz(&self) -> usize {
+        self.decisions.iter().map(|d| d.nnz).sum()
+    }
+}
+
+/// A complete tune-time plan: the row partition plus one [`ThreadPlan`] per thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunePlan {
+    /// Rows of the matrix the plan was produced for.
+    pub nrows: usize,
+    /// Columns of the matrix the plan was produced for.
+    pub ncols: usize,
+    /// Logical nonzeros of the matrix the plan was produced for.
+    pub nnz: usize,
+    /// Per-thread plans, in thread order; their row ranges tile `0..nrows`.
+    pub threads: Vec<ThreadPlan>,
+}
+
+impl TunePlan {
+    /// Plan `csr` for `nthreads` threads: partition rows balancing nonzeros, then
+    /// run the footprint heuristic independently on every thread block, exactly as
+    /// the paper tunes each thread's share in isolation.
+    pub fn new(csr: &CsrMatrix, nthreads: usize, config: &TuningConfig) -> TunePlan {
+        let partition = partition_rows_balanced(csr, nthreads);
+        TunePlan::from_partition(csr, &partition.ranges, config)
+    }
+
+    /// Plan `csr` over an explicit row partition (the NUMA decomposition passes
+    /// its hierarchical node × core partition through here).
+    pub fn from_partition(
+        csr: &CsrMatrix,
+        ranges: &[Range<usize>],
+        config: &TuningConfig,
+    ) -> TunePlan {
+        let threads = ranges
+            .iter()
+            .map(|range| {
+                let local = csr.row_slice(range.start, range.end);
+                let decisions = plan_block_decisions(&local, config);
+                let planned_bytes: usize = decisions.iter().map(|d| d.choice.bytes).sum();
+                let prefetch = config.software_prefetch && planned_bytes > PREFETCH_FOOTPRINT_BYTES;
+                ThreadPlan {
+                    rows: range.clone(),
+                    prefetch_distance: if prefetch {
+                        PLANNED_PREFETCH_DISTANCE
+                    } else {
+                        0
+                    },
+                    nta_hint: prefetch,
+                    decisions,
+                }
+            })
+            .collect();
+        TunePlan {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            nnz: csr.nnz(),
+            threads,
+        }
+    }
+
+    /// Number of thread blocks the plan describes.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The row partition the plan encodes.
+    pub fn row_partition(&self) -> RowPartition {
+        RowPartition {
+            ranges: self.threads.iter().map(|t| t.rows.clone()).collect(),
+        }
+    }
+
+    /// Predicted bytes of the fully materialized structure.
+    pub fn planned_bytes(&self) -> usize {
+        self.threads.iter().map(|t| t.planned_bytes()).sum()
+    }
+
+    /// Check the plan matches `csr`: same shape and nonzero count, and a row
+    /// partition that tiles the matrix. A plan loaded from disk must pass this
+    /// before materialization.
+    pub fn validate_for(&self, csr: &CsrMatrix) -> Result<()> {
+        if self.nrows != csr.nrows() || self.ncols != csr.ncols() {
+            return Err(Error::DimensionMismatch {
+                expected: self.nrows,
+                found: csr.nrows(),
+                what: "plan matrix shape",
+            });
+        }
+        if self.nnz != csr.nnz() {
+            return Err(Error::InvalidStructure(format!(
+                "plan expects {} nonzeros, matrix has {}",
+                self.nnz,
+                csr.nnz()
+            )));
+        }
+        // Well-formed ranges first: `RowPartition::covers` assumes ordered ranges,
+        // so a reversed range from a hand-edited profile must be caught here (it
+        // would otherwise panic deep inside `row_slice`/`sub_block`).
+        for t in &self.threads {
+            if t.rows.start > t.rows.end {
+                return Err(Error::InvalidStructure(format!(
+                    "plan thread range {:?} is reversed",
+                    t.rows
+                )));
+            }
+            for d in &t.decisions {
+                if d.rows.start > d.rows.end || d.cols.start > d.cols.end {
+                    return Err(Error::InvalidStructure(format!(
+                        "plan block range {:?}x{:?} is reversed",
+                        d.rows, d.cols
+                    )));
+                }
+            }
+        }
+        if !self.row_partition().covers(self.nrows) {
+            return Err(Error::InvalidStructure(
+                "plan row partition does not tile the matrix".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serialize as the plain-text profile format (see module docs). The format is
+    /// line-oriented and versioned; floats use Rust's shortest round-trip notation.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("spmv-tune-plan v1\n");
+        let _ = writeln!(out, "matrix {} {} {}", self.nrows, self.ncols, self.nnz);
+        let _ = writeln!(out, "threads {}", self.threads.len());
+        for t in &self.threads {
+            let _ = writeln!(
+                out,
+                "thread {} {} prefetch {} {}",
+                t.rows.start,
+                t.rows.end,
+                t.prefetch_distance,
+                if t.nta_hint { "nta" } else { "t0" }
+            );
+            for d in &t.decisions {
+                let _ = writeln!(
+                    out,
+                    "block {} {} {} {} {} {} {} {} {} {} {}",
+                    d.rows.start,
+                    d.rows.end,
+                    d.cols.start,
+                    d.cols.end,
+                    kind_name(d.choice.kind),
+                    d.choice.r,
+                    d.choice.c,
+                    width_name(d.choice.width),
+                    d.nnz,
+                    d.choice.bytes,
+                    d.choice.fill_ratio
+                );
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse the plain-text profile format written by [`TunePlan::to_text`].
+    pub fn from_text(text: &str) -> Result<TunePlan> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let header = lines.next().ok_or_else(|| parse_err("empty plan"))?;
+        if header != "spmv-tune-plan v1" {
+            return Err(parse_err(&format!("unknown plan header '{header}'")));
+        }
+        let matrix = fields(
+            lines
+                .next()
+                .ok_or_else(|| parse_err("missing matrix line"))?,
+        )?;
+        let [nrows, ncols, nnz] = expect_tag(&matrix, "matrix", 3)?[..] else {
+            unreachable!("expect_tag returned 3 fields")
+        };
+        let thread_count_line = fields(
+            lines
+                .next()
+                .ok_or_else(|| parse_err("missing threads line"))?,
+        )?;
+        let [nthreads] = expect_tag(&thread_count_line, "threads", 1)?[..] else {
+            unreachable!("expect_tag returned 1 field")
+        };
+
+        let mut threads: Vec<ThreadPlan> = Vec::with_capacity(nthreads);
+        let mut saw_end = false;
+        for line in lines {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks[0] {
+                "thread" => {
+                    if toks.len() != 6 || toks[3] != "prefetch" {
+                        return Err(parse_err(&format!("malformed thread line '{line}'")));
+                    }
+                    threads.push(ThreadPlan {
+                        rows: parse_usize(toks[1])?..parse_usize(toks[2])?,
+                        prefetch_distance: parse_usize(toks[4])?,
+                        nta_hint: match toks[5] {
+                            "nta" => true,
+                            "t0" => false,
+                            other => {
+                                return Err(parse_err(&format!("unknown prefetch hint '{other}'")))
+                            }
+                        },
+                        decisions: Vec::new(),
+                    });
+                }
+                "block" => {
+                    if toks.len() != 12 {
+                        return Err(parse_err(&format!("malformed block line '{line}'")));
+                    }
+                    let thread = threads
+                        .last_mut()
+                        .ok_or_else(|| parse_err("block line before any thread line"))?;
+                    thread.decisions.push(BlockDecision {
+                        rows: parse_usize(toks[1])?..parse_usize(toks[2])?,
+                        cols: parse_usize(toks[3])?..parse_usize(toks[4])?,
+                        choice: FormatChoice {
+                            kind: parse_kind(toks[5])?,
+                            r: parse_usize(toks[6])?,
+                            c: parse_usize(toks[7])?,
+                            width: parse_width(toks[8])?,
+                            bytes: parse_usize(toks[10])?,
+                            fill_ratio: toks[11]
+                                .parse::<f64>()
+                                .map_err(|e| parse_err(&e.to_string()))?,
+                        },
+                        nnz: parse_usize(toks[9])?,
+                    });
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                other => return Err(parse_err(&format!("unknown plan directive '{other}'"))),
+            }
+        }
+        if !saw_end {
+            return Err(parse_err("plan is truncated (missing 'end')"));
+        }
+        if threads.len() != nthreads {
+            return Err(parse_err(&format!(
+                "plan declares {} threads but lists {}",
+                nthreads,
+                threads.len()
+            )));
+        }
+        Ok(TunePlan {
+            nrows,
+            ncols,
+            nnz,
+            threads,
+        })
+    }
+
+    /// Write the plan profile to `path`.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Load a plan profile from `path`.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<TunePlan> {
+        let text = std::fs::read_to_string(path).map_err(|e| Error::Parse(e.to_string()))?;
+        TunePlan::from_text(&text)
+    }
+}
+
+fn kind_name(kind: FormatKind) -> &'static str {
+    match kind {
+        FormatKind::Csr => "csr",
+        FormatKind::Bcsr => "bcsr",
+        FormatKind::Bcoo => "bcoo",
+        FormatKind::Gcsr => "gcsr",
+    }
+}
+
+fn width_name(width: IndexWidth) -> &'static str {
+    match width {
+        IndexWidth::U16 => "u16",
+        IndexWidth::U32 => "u32",
+    }
+}
+
+fn parse_kind(tok: &str) -> Result<FormatKind> {
+    Ok(match tok {
+        "csr" => FormatKind::Csr,
+        "bcsr" => FormatKind::Bcsr,
+        "bcoo" => FormatKind::Bcoo,
+        "gcsr" => FormatKind::Gcsr,
+        other => return Err(parse_err(&format!("unknown format kind '{other}'"))),
+    })
+}
+
+fn parse_width(tok: &str) -> Result<IndexWidth> {
+    Ok(match tok {
+        "u16" => IndexWidth::U16,
+        "u32" => IndexWidth::U32,
+        other => return Err(parse_err(&format!("unknown index width '{other}'"))),
+    })
+}
+
+fn parse_err(msg: &str) -> Error {
+    Error::Parse(format!("tune plan: {msg}"))
+}
+
+fn parse_usize(tok: &str) -> Result<usize> {
+    tok.parse::<usize>().map_err(|e| parse_err(&e.to_string()))
+}
+
+fn fields(line: &str) -> Result<Vec<String>> {
+    Ok(line.split_whitespace().map(str::to_string).collect())
+}
+
+fn expect_tag(toks: &[String], tag: &str, args: usize) -> Result<Vec<usize>> {
+    if toks.len() != args + 1 || toks[0] != tag {
+        return Err(parse_err(&format!(
+            "expected '{tag}' line with {args} fields"
+        )));
+    }
+    toks[1..].iter().map(|t| parse_usize(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::CooMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn plan_partitions_and_covers() {
+        let csr = random_csr(400, 300, 5000, 1);
+        let plan = TunePlan::new(&csr, 4, &TuningConfig::full());
+        assert_eq!(plan.num_threads(), 4);
+        assert!(plan.row_partition().covers(400));
+        assert!(plan.validate_for(&csr).is_ok());
+        assert_eq!(
+            plan.threads.iter().map(|t| t.planned_nnz()).sum::<usize>(),
+            csr.nnz()
+        );
+        assert!(plan.planned_bytes() > 0);
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let csr = random_csr(250, 180, 3000, 2);
+        for config in [
+            TuningConfig::naive(),
+            TuningConfig::register_only(),
+            TuningConfig::full(),
+        ] {
+            let plan = TunePlan::new(&csr, 3, &config);
+            let back = TunePlan::from_text(&plan.to_text()).expect("round trip parses");
+            assert_eq!(plan, back, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let csr = random_csr(120, 90, 900, 3);
+        let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+        let path = std::env::temp_dir().join("spmv_tune_plan_test.profile");
+        plan.save(&path).expect("save plan");
+        let back = TunePlan::load(&path).expect("load plan");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_profiles() {
+        assert!(TunePlan::from_text("").is_err());
+        assert!(TunePlan::from_text("not-a-plan v1\n").is_err());
+        assert!(TunePlan::from_text("spmv-tune-plan v1\nmatrix 1 1 0\nthreads 1\n").is_err()); // truncated
+        assert!(TunePlan::from_text(
+            "spmv-tune-plan v1\nmatrix 1 1 0\nthreads 2\nthread 0 1 prefetch 0 t0\nend\n"
+        )
+        .is_err()); // thread count mismatch
+        assert!(TunePlan::from_text(
+            "spmv-tune-plan v1\nmatrix 1 1 0\nthreads 1\nblock 0 1 0 1 csr 1 1 u32 0 0 1.0\nend\n"
+        )
+        .is_err()); // block before thread
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_matrix() {
+        let csr = random_csr(100, 100, 800, 4);
+        let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+        let other = random_csr(100, 100, 700, 5);
+        assert!(plan.validate_for(&other).is_err());
+        let wrong_shape = random_csr(90, 100, 800, 6);
+        assert!(plan.validate_for(&wrong_shape).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_reversed_ranges() {
+        // A hand-edited profile with a reversed thread range must fail validation
+        // cleanly (not panic later inside row_slice/sub_block).
+        let csr = random_csr(10, 10, 40, 9);
+        let text = format!(
+            "spmv-tune-plan v1\nmatrix 10 10 {}\nthreads 3\n\
+             thread 0 5 prefetch 0 t0\nthread 5 2 prefetch 0 t0\nthread 2 10 prefetch 0 t0\nend\n",
+            csr.nnz()
+        );
+        let text = text.as_str();
+        let plan = TunePlan::from_text(text).expect("syntactically valid");
+        assert!(plan.validate_for(&csr).is_err());
+
+        // Reversed block-decision ranges are rejected too.
+        let mut plan = TunePlan::new(&csr, 1, &TuningConfig::naive());
+        for d in &mut plan.threads[0].decisions {
+            d.rows = d.rows.end..d.rows.start;
+        }
+        assert!(plan.validate_for(&csr).is_err());
+    }
+
+    #[test]
+    fn prefetch_annotation_tracks_footprint() {
+        // A large streaming matrix must be annotated; a tiny one must not.
+        let big = random_csr(4000, 60_000, 90_000, 7);
+        let plan = TunePlan::new(&big, 1, &TuningConfig::full());
+        assert!(plan.threads[0].prefetch_distance > 0);
+        assert!(matches!(
+            plan.threads[0].stream_variant(),
+            KernelVariant::PrefetchNta(_)
+        ));
+
+        let small = random_csr(50, 50, 300, 8);
+        let small_plan = TunePlan::new(&small, 1, &TuningConfig::full());
+        assert_eq!(small_plan.threads[0].prefetch_distance, 0);
+        assert_eq!(
+            small_plan.threads[0].stream_variant(),
+            KernelVariant::SingleLoop
+        );
+
+        // And the annotation is off when the config disables it.
+        let no_pf = TunePlan::new(&big, 1, &TuningConfig::naive());
+        assert_eq!(no_pf.threads[0].prefetch_distance, 0);
+    }
+
+    #[test]
+    fn empty_matrix_plans_empty_threads() {
+        let csr = CsrMatrix::from_coo(&CooMatrix::new(0, 10));
+        let plan = TunePlan::new(&csr, 3, &TuningConfig::full());
+        assert_eq!(plan.num_threads(), 3);
+        assert!(plan.threads.iter().all(|t| t.decisions.is_empty()));
+        assert!(plan.validate_for(&csr).is_ok());
+        let back = TunePlan::from_text(&plan.to_text()).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -1,0 +1,307 @@
+//! The execution half of the two-phase pipeline: materialized thread blocks.
+//!
+//! A [`PreparedBlock`] is one thread's [`crate::tuning::plan::ThreadPlan`] made
+//! concrete: every cache block stored in the format the heuristic chose (BCSR
+//! microkernel tiles, compressed-index CSR, BCOO, GCSR), with the streaming kernel
+//! variant (including the prefetch annotation) bound **once** at materialization.
+//! The steady-state [`PreparedBlock::execute`] does no per-call decision making —
+//! it walks the block list and calls each block's monomorphized kernel.
+//!
+//! Materialize a block *on the thread that will run it* and first-touch placement
+//! puts its pages on that thread's NUMA node; this is exactly what
+//! `spmv_parallel::SpmvEngine` does. [`PreparedMatrix`] materializes a whole plan
+//! on one thread — the serial reference whose output the parallel engine matches
+//! bit for bit, because both execute the identical per-block kernels over the
+//! identical disjoint row ranges.
+
+use crate::blocking::blocked::{BlockFormat, CacheBlock};
+use crate::error::{Error, Result};
+use crate::formats::csr::CsrMatrix;
+use crate::formats::traits::{check_dims, MatrixShape, SpMv};
+use crate::kernels::KernelVariant;
+use crate::tuning::plan::{ThreadPlan, TunePlan};
+use std::ops::Range;
+
+/// One thread's fully materialized, kernel-bound share of the matrix.
+#[derive(Debug, Clone)]
+pub struct PreparedBlock {
+    /// Global row range this block owns (its `y` slice).
+    rows: Range<usize>,
+    /// Column span of the full matrix (the `x` length the block expects).
+    ncols: usize,
+    /// Logical nonzeros stored in the block.
+    nnz: usize,
+    /// The CSR code variant bound for streaming-format cache blocks (carries the
+    /// plan's prefetch distance and hint).
+    stream_variant: KernelVariant,
+    /// Materialized cache blocks, rows/cols local to the thread block.
+    blocks: Vec<CacheBlock>,
+}
+
+impl PreparedBlock {
+    /// Materialize `plan` against `local`, the thread's row slice of the matrix
+    /// (`local.nrows()` must equal the plan's row count). Call this on the worker
+    /// thread so first-touch places the pages locally.
+    pub fn materialize(local: &CsrMatrix, plan: &ThreadPlan) -> Result<PreparedBlock> {
+        if local.nrows() != plan.rows.end - plan.rows.start {
+            return Err(Error::DimensionMismatch {
+                expected: plan.rows.end - plan.rows.start,
+                found: local.nrows(),
+                what: "thread block row count",
+            });
+        }
+        let matrix = crate::tuning::heuristic::materialize_decisions(local, &plan.decisions)?;
+        let nnz = matrix.nnz();
+        // CacheBlockedMatrix is only a validated container here; the prepared
+        // block owns the raw cache blocks so execute can bind kernels itself.
+        let blocks = matrix.blocks().to_vec();
+        Ok(PreparedBlock {
+            rows: plan.rows.clone(),
+            ncols: local.ncols(),
+            nnz,
+            stream_variant: plan.stream_variant(),
+            blocks,
+        })
+    }
+
+    /// Materialize a *plain* (untuned) block: the whole row slice as one
+    /// width-compressed CSR cache block executed with `variant`. This is the
+    /// engine's non-tuned path expressed in the same structure, so every worker
+    /// runs the same steady-state loop regardless of how it was built.
+    pub fn plain(local: &CsrMatrix, rows: Range<usize>, variant: KernelVariant) -> PreparedBlock {
+        use crate::formats::csr::CompressedCsr;
+        let nnz = local.nnz();
+        let blocks = if local.nrows() == 0 {
+            vec![]
+        } else {
+            vec![CacheBlock {
+                rows: 0..local.nrows(),
+                cols: 0..local.ncols(),
+                format: BlockFormat::Csr(CompressedCsr::from_csr(local)),
+            }]
+        };
+        PreparedBlock {
+            rows,
+            ncols: local.ncols(),
+            nnz,
+            stream_variant: variant,
+            blocks,
+        }
+    }
+
+    /// Global row range this block writes.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Logical nonzeros in the block.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Bytes of materialized matrix data.
+    pub fn footprint_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.format.footprint_bytes()).sum()
+    }
+
+    /// The kernel variant bound for streaming cache blocks.
+    pub fn stream_variant(&self) -> KernelVariant {
+        self.stream_variant
+    }
+
+    /// Number of materialized cache blocks.
+    pub fn num_cache_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Steady state: `y_block ← y_block + A_block · x`, where `y_block` is exactly
+    /// this block's row range of the destination. No allocation, no per-element
+    /// dispatch — one enum match per cache block, then monomorphized kernels.
+    pub fn execute(&self, x: &[f64], y_block: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        debug_assert_eq!(
+            y_block.len(),
+            self.rows.end - self.rows.start,
+            "destination block length mismatch"
+        );
+        for block in &self.blocks {
+            let x_local = &x[block.cols.start..block.cols.end];
+            let y_local = &mut y_block[block.rows.start..block.rows.end];
+            match &block.format {
+                // Streaming CSR blocks run the bound code variant (which is where
+                // the prefetch annotation lives).
+                BlockFormat::Csr(m) => m.execute(self.stream_variant, x_local, y_local),
+                other => other.spmv_local(x_local, y_local),
+            }
+        }
+    }
+}
+
+/// A whole [`TunePlan`] materialized on one thread: the serial tuned reference.
+///
+/// Executes the thread blocks sequentially in partition order. Because every block
+/// runs the identical kernels over identical disjoint row ranges, the result is
+/// **bit-identical** to the parallel engine executing the same plan.
+#[derive(Debug, Clone)]
+pub struct PreparedMatrix {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    blocks: Vec<PreparedBlock>,
+}
+
+impl PreparedMatrix {
+    /// Materialize every thread block of `plan` against `csr`.
+    pub fn materialize(csr: &CsrMatrix, plan: &TunePlan) -> Result<PreparedMatrix> {
+        plan.validate_for(csr)?;
+        let blocks = plan
+            .threads
+            .iter()
+            .map(|t| PreparedBlock::materialize(&csr.row_slice(t.rows.start, t.rows.end), t))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(PreparedMatrix {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            nnz: csr.nnz(),
+            blocks,
+        })
+    }
+
+    /// The materialized thread blocks in partition order.
+    pub fn blocks(&self) -> &[PreparedBlock] {
+        &self.blocks
+    }
+}
+
+impl MatrixShape for PreparedMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn stored_entries(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.blocks.iter())
+            .map(|c| c.format.stored_entries())
+            .sum()
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+    fn footprint_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.footprint_bytes()).sum()
+    }
+}
+
+impl SpMv for PreparedMatrix {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        check_dims(self.nrows, self.ncols, x, y);
+        for block in &self.blocks {
+            let rows = block.rows();
+            block.execute(x, &mut y[rows.start..rows.end]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::max_abs_diff;
+    use crate::formats::CooMatrix;
+    use crate::tuning::heuristic::TuningConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn prepared_matrix_matches_reference_for_every_config() {
+        let csr = random_csr(300, 260, 4000, 11);
+        let x: Vec<f64> = (0..260).map(|i| (i as f64 * 0.07).sin()).collect();
+        let reference = csr.spmv_alloc(&x);
+        for config in [
+            TuningConfig::naive(),
+            TuningConfig::register_only(),
+            TuningConfig::register_and_cache(),
+            TuningConfig::full(),
+        ] {
+            for threads in [1, 3] {
+                let plan = TunePlan::new(&csr, threads, &config);
+                let prepared = PreparedMatrix::materialize(&csr, &plan).unwrap();
+                let y = prepared.spmv_alloc(&x);
+                assert!(
+                    max_abs_diff(&reference, &y) < 1e-9,
+                    "config {config:?} at {threads} threads diverged"
+                );
+                assert_eq!(prepared.nnz(), csr.nnz());
+                assert!(prepared.footprint_bytes() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_loaded_from_text_materializes_identically() {
+        let csr = random_csr(200, 150, 2500, 12);
+        let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+        let reloaded = TunePlan::from_text(&plan.to_text()).unwrap();
+        let a = PreparedMatrix::materialize(&csr, &plan).unwrap();
+        let b = PreparedMatrix::materialize(&csr, &reloaded).unwrap();
+        let x: Vec<f64> = (0..150).map(|i| i as f64 * 0.3 - 20.0).collect();
+        // Same plan, same kernels: bit-identical output.
+        assert_eq!(a.spmv_alloc(&x), b.spmv_alloc(&x));
+        assert_eq!(a.footprint_bytes(), b.footprint_bytes());
+    }
+
+    #[test]
+    fn plain_block_matches_compressed_execution() {
+        let csr = random_csr(80, 70, 700, 13);
+        let block = PreparedBlock::plain(&csr, 0..80, KernelVariant::Unrolled4);
+        let x: Vec<f64> = (0..70).map(|i| (i % 9) as f64).collect();
+        let mut y = vec![0.0; 80];
+        block.execute(&x, &mut y);
+        assert!(max_abs_diff(&csr.spmv_alloc(&x), &y) < 1e-9);
+        assert_eq!(block.nnz(), csr.nnz());
+        assert_eq!(block.stream_variant(), KernelVariant::Unrolled4);
+        assert_eq!(block.num_cache_blocks(), 1);
+    }
+
+    #[test]
+    fn materialize_rejects_mismatched_plan() {
+        let csr = random_csr(100, 100, 1000, 14);
+        let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+        let other = random_csr(100, 100, 999, 15);
+        assert!(PreparedMatrix::materialize(&other, &plan).is_err());
+
+        // A corrupted decision (u16 width on a wide block) fails cleanly too.
+        let wide = random_csr(4, 70_000, 40, 16);
+        let mut bad = TunePlan::new(&wide, 1, &TuningConfig::naive());
+        for d in &mut bad.threads[0].decisions {
+            d.choice.width = crate::formats::index::IndexWidth::U16;
+        }
+        assert!(PreparedMatrix::materialize(&wide, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_prepares_and_executes() {
+        let csr = CsrMatrix::from_coo(&CooMatrix::new(12, 12));
+        let plan = TunePlan::new(&csr, 3, &TuningConfig::full());
+        let prepared = PreparedMatrix::materialize(&csr, &plan).unwrap();
+        let mut y = vec![5.0; 12];
+        prepared.spmv(&[1.0; 12], &mut y);
+        assert_eq!(y, vec![5.0; 12]);
+        assert_eq!(prepared.footprint_bytes(), 0);
+    }
+}

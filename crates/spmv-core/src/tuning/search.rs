@@ -35,10 +35,22 @@ pub struct DenseProfile {
 }
 
 impl DenseProfile {
+    /// Dimensions below this produce timed regions in the tens of nanoseconds —
+    /// pure timer noise — so [`DenseProfile::measure`] falls back to the synthetic
+    /// profile instead of returning noise-driven throughput estimates.
+    pub const MIN_MEASURE_DIM: usize = 64;
+
     /// Measure the profile on this host by timing each shape on a small dense matrix
     /// stored in sparse format (the OSKI offline benchmark, shrunk to run in
     /// milliseconds).
+    ///
+    /// Degenerate or too-small `dim` (< [`DenseProfile::MIN_MEASURE_DIM`]) falls
+    /// back to [`DenseProfile::synthetic`], as does any measurement that yields a
+    /// non-finite or non-positive throughput.
     pub fn measure(dim: usize) -> Self {
+        if dim < Self::MIN_MEASURE_DIM {
+            return Self::synthetic();
+        }
         let mut coo = CooMatrix::new(dim, dim);
         for i in 0..dim {
             for j in 0..dim {
@@ -51,16 +63,23 @@ impl DenseProfile {
         for (r, c) in register_block_candidates() {
             let bcsr = BcsrMatrix::<u16>::from_csr(&csr, r, c).expect("small dims");
             let mut y = vec![0.0; dim];
-            // Warm up once, then time a few iterations.
+            // Warm up once, then take the median of several timed runs so one
+            // scheduler hiccup cannot skew the shape ranking.
             bcsr.spmv(&x, &mut y);
             let reps = 5;
-            let start = Instant::now();
-            for _ in 0..reps {
-                bcsr.spmv(&x, &mut y);
-            }
-            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            let secs = median_timing(3, || {
+                let start = Instant::now();
+                for _ in 0..reps {
+                    bcsr.spmv(&x, &mut y);
+                }
+                start.elapsed().as_secs_f64()
+            })
+            .max(1e-9);
             let flops = (2 * csr.nnz() * reps) as f64;
             entries.push((r, c, flops / secs));
+        }
+        if entries.iter().any(|&(_, _, t)| !t.is_finite() || t <= 0.0) {
+            return Self::synthetic();
         }
         DenseProfile { entries }
     }
@@ -90,6 +109,20 @@ impl DenseProfile {
             .map(|&(_, _, t)| t)
             .unwrap_or(1.0)
     }
+
+    /// The `(r, c, relative throughput)` entries of the profile.
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+}
+
+/// Run `time_once` `runs` times and return the median elapsed seconds — the
+/// reps-stable estimator both searches use so a single preempted run cannot
+/// flip a shape decision.
+fn median_timing(runs: usize, mut time_once: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1)).map(|_| time_once()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
 }
 
 /// OSKI's heuristic: pick the shape minimizing `fill_ratio / dense_throughput`,
@@ -122,7 +155,9 @@ pub fn search_register_blocking(csr: &CsrMatrix, profile: &DenseProfile) -> Sear
 }
 
 /// Time-based search: actually materialize and time every candidate shape, returning
-/// the fastest. This is the expensive search the paper's heuristic avoids.
+/// the fastest. This is the expensive search the paper's heuristic avoids. Each
+/// candidate is timed as the **median of three runs** of `reps` iterations, so the
+/// outcome is stable against one-off scheduler noise.
 pub fn search_by_timing(csr: &CsrMatrix, reps: usize) -> SearchOutcome {
     let width = if IndexWidth::U16.fits(csr.ncols()) && IndexWidth::U16.fits(csr.nrows()) {
         IndexWidth::U16
@@ -136,11 +171,14 @@ pub fn search_by_timing(csr: &CsrMatrix, reps: usize) -> SearchOutcome {
         let bcsr = BcsrAuto::from_csr(csr, r, c, width).expect("supported shape");
         let mut y = vec![0.0; csr.nrows()];
         bcsr.spmv(&x, &mut y);
-        let start = Instant::now();
-        for _ in 0..reps.max(1) {
-            bcsr.spmv(&x, &mut y);
-        }
-        let secs = start.elapsed().as_secs_f64().max(1e-12);
+        let secs = median_timing(3, || {
+            let start = Instant::now();
+            for _ in 0..reps.max(1) {
+                bcsr.spmv(&x, &mut y);
+            }
+            start.elapsed().as_secs_f64()
+        })
+        .max(1e-12);
         candidates.push((r, c, secs));
         let better = match &best {
             Some((_, _, b, _)) => secs < *b,
@@ -222,9 +260,20 @@ mod tests {
 
     #[test]
     fn measured_profile_has_all_shapes() {
-        let profile = DenseProfile::measure(32);
+        let profile = DenseProfile::measure(DenseProfile::MIN_MEASURE_DIM);
         for (r, c) in register_block_candidates() {
             assert!(profile.throughput(r, c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn too_small_measure_dims_fall_back_to_synthetic() {
+        // Degenerate and tiny dimensions would time nanosecond regions — pure
+        // noise — so they must return the deterministic synthetic profile.
+        let synthetic = DenseProfile::synthetic();
+        for dim in [0, 1, 8, DenseProfile::MIN_MEASURE_DIM - 1] {
+            let profile = DenseProfile::measure(dim);
+            assert_eq!(profile.entries(), synthetic.entries(), "dim {dim}");
         }
     }
 

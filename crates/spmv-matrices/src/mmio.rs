@@ -2,8 +2,8 @@
 //!
 //! The original suite ships as Harwell-Boeing/MatrixMarket files; providing the same
 //! interchange format lets users of this reproduction run the real matrices when they
-//! have them. Only the `matrix coordinate real {general|symmetric}` flavour — what
-//! SpMV needs — is supported.
+//! have them. The `matrix coordinate {real|pattern} {general|symmetric}` flavours —
+//! what SpMV needs — are supported; pattern entries read as value `1.0`.
 
 use spmv_core::error::{Error, Result};
 use spmv_core::formats::CooMatrix;
@@ -17,6 +17,15 @@ pub enum Symmetry {
     General,
     /// Only the lower triangle is listed; the transpose entries are implied.
     Symmetric,
+}
+
+/// Value field declared in the MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueField {
+    /// Each entry carries an explicit real value.
+    Real,
+    /// Entries are structural only (`i j` per line); values read as `1.0`.
+    Pattern,
 }
 
 /// Read a MatrixMarket coordinate-format matrix.
@@ -37,11 +46,16 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
             "only coordinate format is supported".to_string(),
         ));
     }
-    if lower.contains("complex") || lower.contains("pattern") {
+    if lower.contains("complex") {
         return Err(Error::Parse(
-            "only real-valued matrices are supported".to_string(),
+            "only real-valued or pattern matrices are supported".to_string(),
         ));
     }
+    let values = if lower.contains("pattern") {
+        ValueField::Pattern
+    } else {
+        ValueField::Real
+    };
     let symmetry = if lower.contains("symmetric") {
         Symmetry::Symmetric
     } else {
@@ -91,11 +105,14 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
             .ok_or_else(|| Error::Parse("missing column index".to_string()))?
             .parse()
             .map_err(|e: std::num::ParseIntError| Error::Parse(e.to_string()))?;
-        let v: f64 = it
-            .next()
-            .ok_or_else(|| Error::Parse("missing value".to_string()))?
-            .parse()
-            .map_err(|e: std::num::ParseFloatError| Error::Parse(e.to_string()))?;
+        let v: f64 = match values {
+            ValueField::Real => it
+                .next()
+                .ok_or_else(|| Error::Parse("missing value".to_string()))?
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| Error::Parse(e.to_string()))?,
+            ValueField::Pattern => 1.0,
+        };
         if i == 0 || j == 0 {
             return Err(Error::Parse("MatrixMarket indices are 1-based".to_string()));
         }
@@ -114,12 +131,85 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
 }
 
 /// Write a matrix in MatrixMarket general coordinate format.
-pub fn write_matrix_market<W: Write>(coo: &CooMatrix, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+pub fn write_matrix_market<W: Write>(coo: &CooMatrix, writer: W) -> std::io::Result<()> {
+    write_matrix_market_ex(coo, Symmetry::General, ValueField::Real, writer)
+}
+
+/// Write a matrix in MatrixMarket coordinate format with explicit symmetry and
+/// value-field flavours.
+///
+/// * `Symmetry::Symmetric` stores only the lower triangle (readers mirror the
+///   off-diagonal entries back). The matrix must actually be symmetric; an
+///   asymmetric matrix yields an `InvalidInput` error rather than silent data loss.
+/// * `ValueField::Pattern` stores structure only (`i j` per line); the values are
+///   discarded and read back as `1.0`.
+pub fn write_matrix_market_ex<W: Write>(
+    coo: &CooMatrix,
+    symmetry: Symmetry,
+    values: ValueField,
+    mut writer: W,
+) -> std::io::Result<()> {
+    let value_word = match values {
+        ValueField::Real => "real",
+        ValueField::Pattern => "pattern",
+    };
+    let symmetry_word = match symmetry {
+        Symmetry::General => "general",
+        Symmetry::Symmetric => "symmetric",
+    };
+    writeln!(
+        writer,
+        "%%MatrixMarket matrix coordinate {value_word} {symmetry_word}"
+    )?;
     writeln!(writer, "% written by spmv-matrices")?;
-    writeln!(writer, "{} {} {}", coo.nrows(), coo.ncols(), coo.nnz())?;
-    for t in coo.entries() {
-        writeln!(writer, "{} {} {:.17e}", t.row + 1, t.col + 1, t.val)?;
+
+    // Collect the entries to store; symmetric storage keeps the lower triangle
+    // only, after verifying the upper triangle actually mirrors it.
+    let stored: Vec<(usize, usize, f64)> = match symmetry {
+        Symmetry::General => coo
+            .entries()
+            .iter()
+            .map(|t| (t.row, t.col, t.val))
+            .collect(),
+        Symmetry::Symmetric => {
+            if coo.nrows() != coo.ncols() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "symmetric output requires a square matrix",
+                ));
+            }
+            // Sum duplicates first so the mirror check compares one value per
+            // coordinate.
+            let mut deduped = coo.clone();
+            deduped.sum_duplicates();
+            let mut all: Vec<(usize, usize, f64)> = deduped
+                .entries()
+                .iter()
+                .map(|t| (t.row, t.col, t.val))
+                .collect();
+            all.sort_by_key(|&(i, j, _)| (i, j));
+            for &(i, j, v) in &all {
+                let mirrored = all
+                    .binary_search_by(|probe| (probe.0, probe.1).cmp(&(j, i)))
+                    .map(|k| all[k].2 == v)
+                    .unwrap_or(false);
+                if !mirrored {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!("matrix is not symmetric at entry ({i}, {j})"),
+                    ));
+                }
+            }
+            all.into_iter().filter(|&(i, j, _)| i >= j).collect()
+        }
+    };
+
+    writeln!(writer, "{} {} {}", coo.nrows(), coo.ncols(), stored.len())?;
+    for (i, j, v) in stored {
+        match values {
+            ValueField::Real => writeln!(writer, "{} {} {:.17e}", i + 1, j + 1, v)?,
+            ValueField::Pattern => writeln!(writer, "{} {}", i + 1, j + 1)?,
+        }
     }
     Ok(())
 }
@@ -139,6 +229,87 @@ mod tests {
         assert_eq!(back.ncols(), 4);
         assert_eq!(back.nnz(), 3);
         assert_eq!(back.to_dense(), coo.to_dense());
+    }
+
+    /// The full write → read → structural-equality round trip, covering the
+    /// general/symmetric × real/pattern flavour grid.
+    #[test]
+    fn round_trip_all_flavours() {
+        // A symmetric matrix so every flavour is admissible.
+        let sym = CooMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 0, 2.0),
+                (1, 0, -1.5),
+                (0, 1, -1.5),
+                (2, 3, 4.25),
+                (3, 2, 4.25),
+                (3, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        for symmetry in [Symmetry::General, Symmetry::Symmetric] {
+            for values in [ValueField::Real, ValueField::Pattern] {
+                let mut buf = Vec::new();
+                write_matrix_market_ex(&sym, symmetry, values, &mut buf).unwrap();
+                let back = read_matrix_market(&buf[..]).unwrap();
+                assert_eq!(back.nrows(), 4, "{symmetry:?}/{values:?}");
+                assert_eq!(back.ncols(), 4, "{symmetry:?}/{values:?}");
+                // Structural equality: the same positions are occupied...
+                let dense = sym.to_dense();
+                let dense_back = back.to_dense();
+                for i in 0..4 {
+                    for j in 0..4 {
+                        assert_eq!(
+                            dense[i][j] != 0.0,
+                            dense_back[i][j] != 0.0,
+                            "{symmetry:?}/{values:?} structure diverged at ({i}, {j})"
+                        );
+                        // ...and real flavours preserve the values exactly.
+                        if values == ValueField::Real {
+                            assert_eq!(dense[i][j], dense_back[i][j]);
+                        }
+                    }
+                }
+                // Pattern entries read back as 1.0.
+                if values == ValueField::Pattern {
+                    assert!(back.entries().iter().all(|t| t.val == 1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_header_is_parsed() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 1\n3 2\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.nnz(), 2);
+        let d = coo.to_dense();
+        assert_eq!(d[0][0], 1.0);
+        assert_eq!(d[2][1], 1.0);
+    }
+
+    #[test]
+    fn symmetric_pattern_is_expanded() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.nnz(), 3); // off-diagonal mirrored
+        let d = coo.to_dense();
+        assert_eq!(d[0][1], 1.0);
+        assert_eq!(d[1][0], 1.0);
+        assert_eq!(d[2][2], 1.0);
+    }
+
+    #[test]
+    fn symmetric_write_rejects_asymmetric_input() {
+        let asym = CooMatrix::from_triplets(2, 2, vec![(1, 0, 3.0)]).unwrap();
+        let mut buf = Vec::new();
+        let err = write_matrix_market_ex(&asym, Symmetry::Symmetric, ValueField::Real, &mut buf);
+        assert!(err.is_err(), "asymmetric matrix must be rejected");
+        let rect = CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap();
+        let err = write_matrix_market_ex(&rect, Symmetry::Symmetric, ValueField::Real, &mut buf);
+        assert!(err.is_err(), "rectangular matrix must be rejected");
     }
 
     #[test]

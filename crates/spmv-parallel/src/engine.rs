@@ -4,23 +4,39 @@
 //! drives per-iteration parallel overhead to (near) zero by keeping Pthreads alive,
 //! giving each a fixed thread block in node-local memory, and writing disjoint
 //! destination slices so the steady state needs no locks and no allocation. This
-//! module reproduces that execution model exactly:
+//! module reproduces that execution model exactly, now unified with the tuning
+//! ladder through the two-phase `TunePlan` → [`PreparedBlock`] pipeline:
 //!
 //! * **Persistent workers** — spawned once in [`SpmvEngine::new`], reused by every
 //!   [`SpmvEngine::spmv`] call, joined on drop.
-//! * **First-touch placement** — each worker *builds its own* monomorphized
-//!   ([`CompressedCsr`]) block inside its thread during construction, so on a
-//!   first-touch NUMA OS the pages of that block land on the worker's node.
+//! * **First-touch placement** — each worker *materializes its own*
+//!   [`PreparedBlock`] inside its thread during construction, so on a first-touch
+//!   NUMA OS the pages of that block land on the worker's node. A tuned engine's
+//!   blocks are register-blocked, index-compressed, cache/TLB blocked, and
+//!   prefetch-annotated, exactly as the footprint heuristic decided.
 //! * **Precomputed disjoint `y` slices** — the row partition is fixed at
 //!   construction; each steady-state call just offsets the destination pointer.
 //! * **No per-call allocation, no steady-state atomics in the compute loop** — the
 //!   per-iteration operand exchange is two condvar-guarded epoch bumps (launch and
-//!   completion barrier); the compute loop itself is the monomorphized kernel with
-//!   no synchronization whatsoever.
+//!   completion barrier); the compute loop itself dispatches straight into the
+//!   prepared, monomorphized kernels with no per-call branching.
+//!
+//! Three ways to build one:
+//!
+//! * [`SpmvEngine::tuned`] — run the footprint heuristic per thread block and
+//!   execute the fully tuned structures (the paper's all-optimizations bar).
+//! * [`SpmvEngine::from_plan`] — materialize a saved [`TunePlan`] (e.g. loaded via
+//!   [`TunePlan::load`]), amortizing tuning cost across program runs.
+//! * [`SpmvEngine::new`] / [`SpmvEngine::with_variant`] — plain width-compressed
+//!   CSR blocks running one code variant; the untuned baseline.
 
-use spmv_core::formats::{CompressedCsr, CsrMatrix};
+use spmv_core::error::{Error, Result};
+use spmv_core::formats::CsrMatrix;
 use spmv_core::kernels::KernelVariant;
 use spmv_core::partition::row::{partition_rows_balanced, RowPartition};
+use spmv_core::tuning::plan::{ThreadPlan, TunePlan};
+use spmv_core::tuning::prepared::PreparedBlock;
+use spmv_core::tuning::TuningConfig;
 use spmv_core::MatrixShape;
 use std::ops::Range;
 use std::sync::{Arc, Condvar, Mutex};
@@ -59,41 +75,81 @@ enum Command {
     Shutdown,
 }
 
-/// Launch state: bumped epoch + the command and operands for that epoch.
+/// Launch state: bumped epoch + the command and operands for that epoch. The
+/// kernel itself is *not* here — it was bound into each worker's
+/// [`PreparedBlock`] at construction.
 struct Launch {
     epoch: u64,
     command: Command,
     operands: Operands,
-    /// The kernel variant to run this epoch (fixed per engine, but kept here so a
-    /// future API can swap it per call without restructuring).
-    variant: KernelVariant,
+}
+
+/// Construction/completion barrier state.
+struct Done {
+    /// Epoch the counter belongs to (0 during construction).
+    epoch: u64,
+    /// Workers checked in for `epoch`.
+    count: usize,
+    /// Workers whose block build failed (populated during construction only).
+    failed: usize,
+    /// Sum of worker-reported block footprints (populated during construction).
+    footprint: usize,
 }
 
 /// Shared synchronization state between the caller and the workers.
 struct Shared {
     launch: Mutex<Launch>,
     launch_cv: Condvar,
-    done: Mutex<(u64, usize)>,
+    done: Mutex<Done>,
     done_cv: Condvar,
 }
 
-/// A persistent, NUMA-placed, monomorphized parallel SpMV engine for one matrix.
+/// What a worker materializes during construction (on its own thread, for
+/// first-touch placement).
+enum BlockSpec {
+    /// Plain width-compressed CSR running one code variant.
+    Plain {
+        slice: CsrMatrix,
+        rows: Range<usize>,
+        variant: KernelVariant,
+    },
+    /// A fully tuned thread block described by a [`ThreadPlan`].
+    Planned { slice: CsrMatrix, plan: ThreadPlan },
+}
+
+impl BlockSpec {
+    fn build(self) -> Result<PreparedBlock> {
+        match self {
+            BlockSpec::Plain {
+                slice,
+                rows,
+                variant,
+            } => Ok(PreparedBlock::plain(&slice, rows, variant)),
+            BlockSpec::Planned { slice, plan } => PreparedBlock::materialize(&slice, &plan),
+        }
+    }
+}
+
+/// A persistent, NUMA-placed, fully-tuned parallel SpMV engine for one matrix.
 pub struct SpmvEngine {
     nrows: usize,
     ncols: usize,
     nnz: usize,
     partition: RowPartition,
-    variant: KernelVariant,
+    /// The single code variant of a plain engine; `None` for tuned engines, whose
+    /// kernels are bound per cache block by the plan.
+    variant: Option<KernelVariant>,
+    footprint_bytes: usize,
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     epoch: u64,
 }
 
 impl SpmvEngine {
-    /// Build the engine: partition rows balancing nonzeros, spawn one persistent
-    /// worker per partition, and let **each worker construct its own compressed
-    /// block** (index width chosen once per block) so first-touch places the pages
-    /// locally.
+    /// Build a plain (untuned) engine: partition rows balancing nonzeros, spawn one
+    /// persistent worker per partition, and let **each worker construct its own
+    /// compressed block** (index width chosen once per block) so first-touch places
+    /// the pages locally.
     pub fn new(csr: &CsrMatrix, nthreads: usize) -> Self {
         Self::with_variant(csr, nthreads, KernelVariant::SingleLoop)
     }
@@ -110,53 +166,118 @@ impl SpmvEngine {
             "engine variants run on CSR thread blocks"
         );
         let partition = partition_rows_balanced(csr, nthreads);
+        let specs = partition
+            .ranges
+            .iter()
+            .map(|r| BlockSpec::Plain {
+                slice: csr.row_slice(r.start, r.end),
+                rows: r.clone(),
+                variant,
+            })
+            .collect();
+        Self::build(csr, partition, Some(variant), specs)
+            .expect("plain block construction is infallible")
+    }
+
+    /// Build a **fully tuned** engine: run the footprint heuristic per thread block
+    /// and have each worker materialize its register-blocked, index-compressed,
+    /// cache/TLB-blocked, prefetch-annotated structure first-touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads == 0`.
+    pub fn tuned(csr: &CsrMatrix, nthreads: usize, config: &TuningConfig) -> Result<Self> {
+        assert!(nthreads > 0, "engine requires at least one worker");
+        Self::from_plan(csr, &TunePlan::new(csr, nthreads, config))
+    }
+
+    /// Materialize an existing [`TunePlan`] (typically produced earlier or loaded
+    /// from a saved profile) into a running engine. Fails if the plan does not
+    /// match the matrix or a worker cannot build its block.
+    pub fn from_plan(csr: &CsrMatrix, plan: &TunePlan) -> Result<Self> {
+        plan.validate_for(csr)?;
+        if plan.num_threads() == 0 {
+            return Err(Error::InvalidStructure(
+                "plan has no thread blocks".to_string(),
+            ));
+        }
+        let partition = plan.row_partition();
+        let specs = plan
+            .threads
+            .iter()
+            .map(|t| BlockSpec::Planned {
+                slice: csr.row_slice(t.rows.start, t.rows.end),
+                plan: t.clone(),
+            })
+            .collect();
+        Self::build(csr, partition, None, specs)
+    }
+
+    /// Common construction: spawn one worker per spec, wait for every block build,
+    /// and surface build failures as an error instead of a hang.
+    fn build(
+        csr: &CsrMatrix,
+        partition: RowPartition,
+        variant: Option<KernelVariant>,
+        specs: Vec<BlockSpec>,
+    ) -> Result<Self> {
         let shared = Arc::new(Shared {
             launch: Mutex::new(Launch {
                 epoch: 0,
                 command: Command::Spmv,
                 operands: Operands::EMPTY,
-                variant,
             }),
             launch_cv: Condvar::new(),
-            done: Mutex::new((0, 0)),
+            done: Mutex::new(Done {
+                epoch: 0,
+                count: 0,
+                failed: 0,
+                footprint: 0,
+            }),
             done_cv: Condvar::new(),
         });
 
-        // Construction handshake: workers signal block readiness through `done`
-        // as pseudo-epoch 0 completions.
-        let mut workers = Vec::with_capacity(partition.ranges.len());
-        for range in partition.ranges.iter().cloned() {
-            // The worker builds its block from a transient clone of the row slice;
-            // the clone is dropped once the compressed block (allocated and touched
-            // on the worker thread) replaces it.
-            let slice = csr.row_slice(range.start, range.end);
+        let mut workers = Vec::with_capacity(specs.len());
+        for (tid, spec) in specs.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
-                .name(format!("spmv-engine-{}", range.start))
-                .spawn(move || worker_loop(shared, slice, range))
+                .name(format!("spmv-engine-{tid}"))
+                .spawn(move || worker_loop(shared, spec))
                 .expect("spawn engine worker");
             workers.push(handle);
         }
 
-        // Wait for every worker to finish first-touch construction.
-        {
+        // Construction handshake: workers signal block readiness (or build
+        // failure) through `done` as pseudo-epoch-0 completions, reporting their
+        // block's footprint so the engine can account bytes without owning blocks.
+        let (failed, footprint) = {
             let mut done = shared.done.lock().unwrap();
-            while done.1 < workers.len() {
+            while done.count < workers.len() {
                 done = shared.done_cv.wait(done).unwrap();
             }
-            done.1 = 0;
-        }
+            done.count = 0;
+            (done.failed, done.footprint)
+        };
 
-        SpmvEngine {
+        let engine = SpmvEngine {
             nrows: csr.nrows(),
             ncols: csr.ncols(),
             nnz: csr.nnz(),
             partition,
             variant,
+            footprint_bytes: footprint,
             shared,
             workers,
             epoch: 0,
+        };
+        if failed > 0 {
+            // Dropping joins the surviving workers; the failed ones already exited.
+            drop(engine);
+            return Err(Error::InvalidStructure(format!(
+                "{failed} engine worker(s) failed to build their thread block"
+            )));
         }
+        Ok(engine)
     }
 
     /// Number of persistent workers.
@@ -174,9 +295,15 @@ impl SpmvEngine {
         self.nnz
     }
 
-    /// The steady-state kernel variant.
-    pub fn variant(&self) -> KernelVariant {
+    /// The steady-state kernel variant of a plain engine; `None` for tuned
+    /// engines (their kernels are bound per cache block by the plan).
+    pub fn variant(&self) -> Option<KernelVariant> {
         self.variant
+    }
+
+    /// Total bytes of the workers' materialized thread blocks.
+    pub fn footprint_bytes(&self) -> usize {
+        self.footprint_bytes
     }
 
     /// `y ← y + A·x`, steady state: publish operands, bump the epoch, wait for the
@@ -198,7 +325,7 @@ impl SpmvEngine {
             self.shared.launch_cv.notify_all();
         }
         let mut done = self.shared.done.lock().unwrap();
-        while !(done.0 == self.epoch && done.1 == self.workers.len()) {
+        while !(done.epoch == self.epoch && done.count == self.workers.len()) {
             done = self.shared.done_cv.wait(done).unwrap();
         }
     }
@@ -218,34 +345,47 @@ impl Drop for SpmvEngine {
     }
 }
 
-/// The worker body: build the block (first touch), signal readiness, then serve
-/// epochs until shutdown.
-fn worker_loop(shared: Arc<Shared>, slice: CsrMatrix, rows: Range<usize>) {
-    // First-touch construction: the compressed block's index and value pages are
-    // allocated and written on this thread.
-    let block = CompressedCsr::from_csr(&slice);
-    drop(slice);
-    let row_offset = rows.start;
-    let row_count = rows.end - rows.start;
+/// The worker body: materialize the block (first touch), signal readiness — or a
+/// build failure, so construction errors instead of hanging — then serve epochs
+/// until shutdown.
+fn worker_loop(shared: Arc<Shared>, spec: BlockSpec) {
+    // First-touch construction: the block's index and value pages are allocated
+    // and written on this thread. Both clean `Err`s and panics inside the build
+    // are reported through the handshake.
+    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.build()));
+    let block = match built {
+        Ok(Ok(block)) => Some(block),
+        _ => None,
+    };
 
     // Readiness: count into the epoch-0 completion barrier.
     {
         let mut done = shared.done.lock().unwrap();
-        done.1 += 1;
+        match &block {
+            Some(b) => done.footprint += b.footprint_bytes(),
+            None => done.failed += 1,
+        }
+        done.count += 1;
         shared.done_cv.notify_all();
     }
+    let Some(block) = block else {
+        return;
+    };
+    let rows = block.rows();
+    let row_offset = rows.start;
+    let row_count = rows.end - rows.start;
 
     let mut seen_epoch = 0u64;
     loop {
         // Wait for the next epoch. The mutex is held only across the epoch check,
         // never across the compute.
-        let (command, operands, variant) = {
+        let (command, operands) = {
             let mut launch = shared.launch.lock().unwrap();
             while launch.epoch == seen_epoch {
                 launch = shared.launch_cv.wait(launch).unwrap();
             }
             seen_epoch = launch.epoch;
-            (launch.command, launch.operands, launch.variant)
+            (launch.command, launch.operands)
         };
         if command == Command::Shutdown {
             return;
@@ -260,15 +400,15 @@ fn worker_loop(shared: Arc<Shared>, slice: CsrMatrix, rows: Range<usize>) {
             let y_block = std::slice::from_raw_parts_mut(operands.y_ptr.add(row_offset), row_count);
             (x, y_block)
         };
-        block.execute(variant, x, y_block);
+        block.execute(x, y_block);
 
         // Completion barrier: last worker of the epoch wakes the caller.
         let mut done = shared.done.lock().unwrap();
-        if done.0 != seen_epoch {
-            done.0 = seen_epoch;
-            done.1 = 0;
+        if done.epoch != seen_epoch {
+            done.epoch = seen_epoch;
+            done.count = 0;
         }
-        done.1 += 1;
+        done.count += 1;
         shared.done_cv.notify_all();
     }
 }
@@ -296,6 +436,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use spmv_core::dense::max_abs_diff;
     use spmv_core::formats::{CooMatrix, SpMv};
+    use spmv_core::tuning::prepared::PreparedMatrix;
 
     fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -401,7 +542,122 @@ mod tests {
         let engine = SpmvEngine::with_variant(&csr, 4, KernelVariant::Unrolled4);
         assert_eq!(engine.num_threads(), 4);
         assert_eq!(engine.nnz(), csr.nnz());
-        assert_eq!(engine.variant(), KernelVariant::Unrolled4);
+        assert_eq!(engine.variant(), Some(KernelVariant::Unrolled4));
         assert!(engine.partition().covers(64));
+        assert!(engine.footprint_bytes() > 0);
+    }
+
+    // --- tuned-engine tests: the two-phase pipeline behind the same engine ---
+
+    /// The tuned engine must be **bit-identical** to the serial tuned reference
+    /// (the same plan materialized and executed on one thread), at every thread
+    /// count including degenerate ones.
+    #[test]
+    fn tuned_engine_bit_identical_to_serial_prepared_reference() {
+        let nrows = 157;
+        let csr = random_csr(nrows, 140, 2100, 8);
+        let x: Vec<f64> = (0..140).map(|i| (i as f64 * 0.013).cos() * 3.0).collect();
+        for threads in [1, 2, nrows, nrows + 3] {
+            let plan = TunePlan::new(&csr, threads, &TuningConfig::full());
+            let serial = PreparedMatrix::materialize(&csr, &plan).unwrap();
+            let mut expected = vec![0.25; nrows];
+            serial.spmv(&x, &mut expected);
+
+            let mut engine = SpmvEngine::from_plan(&csr, &plan).unwrap();
+            let mut y = vec![0.25; nrows];
+            engine.spmv(&x, &mut y);
+            assert_eq!(expected, y, "threads={threads} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn tuned_engine_handles_empty_matrix_and_empty_rows() {
+        // Fully empty matrix.
+        let empty = CsrMatrix::from_coo(&CooMatrix::new(9, 9));
+        let mut engine = SpmvEngine::tuned(&empty, 3, &TuningConfig::full()).unwrap();
+        let mut y = vec![7.0; 9];
+        engine.spmv(&[1.0; 9], &mut y);
+        assert_eq!(y, vec![7.0; 9]);
+
+        // A matrix with many empty rows (exercises GCSR/BCOO choices).
+        let coo = CooMatrix::from_triplets(
+            64,
+            64,
+            vec![(0, 0, 1.0), (31, 2, -2.0), (31, 60, 4.0), (63, 63, 0.5)],
+        )
+        .unwrap();
+        let sparse = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        for threads in [1, 2, 64, 67] {
+            let plan = TunePlan::new(&sparse, threads, &TuningConfig::full());
+            let serial = PreparedMatrix::materialize(&sparse, &plan).unwrap();
+            let mut expected = vec![0.0; 64];
+            serial.spmv(&x, &mut expected);
+            let mut engine = SpmvEngine::from_plan(&sparse, &plan).unwrap();
+            let mut y = vec![0.0; 64];
+            engine.spmv(&x, &mut y);
+            assert_eq!(expected, y, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tuned_engine_matches_plain_reference_within_tolerance() {
+        let csr = random_csr(500, 430, 7000, 9);
+        let x: Vec<f64> = (0..430).map(|i| (i % 11) as f64 * 0.5 - 2.0).collect();
+        let reference = csr.spmv_alloc(&x);
+        for config in [
+            TuningConfig::naive(),
+            TuningConfig::register_only(),
+            TuningConfig::full(),
+        ] {
+            let mut engine = SpmvEngine::tuned(&csr, 4, &config).unwrap();
+            let mut y = vec![0.0; 500];
+            engine.spmv(&x, &mut y);
+            assert!(
+                max_abs_diff(&reference, &y) < 1e-9,
+                "config {config:?} diverged"
+            );
+            assert_eq!(engine.variant(), None);
+            assert!(engine.footprint_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn engine_from_saved_plan_round_trips() {
+        let csr = random_csr(220, 190, 2600, 10);
+        let plan = TunePlan::new(&csr, 3, &TuningConfig::full());
+        let reloaded = TunePlan::from_text(&plan.to_text()).unwrap();
+        let x: Vec<f64> = (0..190).map(|i| (i as f64).sqrt()).collect();
+        let mut a = vec![0.0; 220];
+        SpmvEngine::from_plan(&csr, &plan).unwrap().spmv(&x, &mut a);
+        let mut b = vec![0.0; 220];
+        SpmvEngine::from_plan(&csr, &reloaded)
+            .unwrap()
+            .spmv(&x, &mut b);
+        assert_eq!(a, b, "a reloaded plan must execute identically");
+    }
+
+    /// A worker that cannot build its block must surface as a construction error,
+    /// not a hang (regression test for the construction handshake).
+    #[test]
+    fn failed_block_build_errors_instead_of_hanging() {
+        let wide = random_csr(6, 70_000, 60, 11);
+        let mut plan = TunePlan::new(&wide, 2, &TuningConfig::naive());
+        // Corrupt one thread's decision: u16 indices cannot span 70k columns.
+        for d in &mut plan.threads[1].decisions {
+            d.choice.width = spmv_core::formats::IndexWidth::U16;
+        }
+        match SpmvEngine::from_plan(&wide, &plan) {
+            Err(e) => assert!(e.to_string().contains("failed to build their thread block")),
+            Ok(_) => panic!("corrupt plan must fail construction"),
+        }
+    }
+
+    #[test]
+    fn from_plan_rejects_mismatched_matrix() {
+        let csr = random_csr(100, 100, 1000, 12);
+        let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+        let other = random_csr(100, 100, 900, 13);
+        assert!(SpmvEngine::from_plan(&other, &plan).is_err());
     }
 }

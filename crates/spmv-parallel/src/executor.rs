@@ -6,19 +6,30 @@
 //! disjoint slice of the destination vector — no locks or atomics are needed in the
 //! steady state, exactly like the paper's Pthreads implementation.
 //!
+//! The tuned path is a thin wrapper over the shared two-phase pipeline: a
+//! `TunePlan` (the footprint heuristic's per-thread-block decisions) materialized
+//! into [`PreparedBlock`]s. [`crate::engine::SpmvEngine`] materializes the same
+//! plans *on its worker threads* (first-touch placement) and is the steady-state
+//! executor of choice; the drivers here exist for callers that want to manage
+//! threads themselves and for the serial bit-identical reference.
+//!
 //! Three execution strategies, in increasing steady-state efficiency:
 //!
-//! 1. [`ParallelCsr::spmv_scoped`] — spawn scoped threads per call. Simple, but
-//!    pays thread startup every iteration (the overhead the paper eliminates).
-//! 2. [`ParallelCsr::spmv_pool`] — reuse a persistent [`ThreadPool`]; pays one
-//!    boxed-closure broadcast per call.
+//! 1. [`ParallelCsr::spmv_scoped`] / [`ParallelTuned::spmv_scoped`] — spawn scoped
+//!    threads per call. Simple, but pays thread startup every iteration (the
+//!    overhead the paper eliminates).
+//! 2. [`ParallelCsr::spmv_pool`] / [`ParallelTuned::spmv_pool`] — reuse a
+//!    persistent [`ThreadPool`]; pays one boxed-closure broadcast per call.
 //! 3. [`crate::engine::SpmvEngine`] — persistent workers, first-touch-placed
-//!    monomorphized blocks, precomputed `y` slices, nothing allocated per call.
+//!    prepared blocks, precomputed `y` slices, nothing allocated per call.
 
 use crate::pool::ThreadPool;
+use spmv_core::error::Result;
 use spmv_core::formats::{CsrMatrix, SpMv};
 use spmv_core::partition::row::{partition_rows_balanced, RowPartition};
-use spmv_core::tuning::{tune_csr, TunedMatrix, TuningConfig};
+use spmv_core::tuning::plan::TunePlan;
+use spmv_core::tuning::prepared::PreparedBlock;
+use spmv_core::tuning::TuningConfig;
 use spmv_core::MatrixShape;
 use std::ops::Range;
 use std::sync::Arc;
@@ -162,30 +173,50 @@ impl ParallelCsr {
 }
 
 /// A row-partitioned matrix where every thread block is independently tuned
-/// (register/cache/TLB blocked) — the paper's fully-optimized configuration.
+/// (register/cache/TLB blocked, index compressed, prefetch annotated) — the
+/// paper's fully-optimized configuration, expressed as a thin wrapper over the
+/// shared `TunePlan` → [`PreparedBlock`] pipeline.
 #[derive(Debug, Clone)]
 pub struct ParallelTuned {
     nrows: usize,
     ncols: usize,
+    plan: TunePlan,
     partition: RowPartition,
-    blocks: Vec<Arc<TunedMatrix>>,
+    blocks: Vec<Arc<PreparedBlock>>,
 }
 
 impl ParallelTuned {
     /// Partition and tune `csr` for `nthreads` threads using `config` per block.
     pub fn new(csr: &CsrMatrix, nthreads: usize, config: &TuningConfig) -> Self {
-        let partition = partition_rows_balanced(csr, nthreads);
-        let blocks = partition
-            .ranges
+        Self::from_plan(csr, TunePlan::new(csr, nthreads, config))
+            .expect("a freshly planned TunePlan always fits its matrix")
+    }
+
+    /// Materialize an existing plan (e.g. loaded from a saved profile). Fails if
+    /// the plan does not match the matrix.
+    pub fn from_plan(csr: &CsrMatrix, plan: TunePlan) -> Result<Self> {
+        plan.validate_for(csr)?;
+        let blocks = plan
+            .threads
             .iter()
-            .map(|r| Arc::new(tune_csr(&csr.row_slice(r.start, r.end), config)))
-            .collect();
-        ParallelTuned {
+            .map(|t| {
+                PreparedBlock::materialize(&csr.row_slice(t.rows.start, t.rows.end), t)
+                    .map(Arc::new)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let partition = plan.row_partition();
+        Ok(ParallelTuned {
             nrows: csr.nrows(),
             ncols: csr.ncols(),
+            plan,
             partition,
             blocks,
-        }
+        })
+    }
+
+    /// The plan the blocks were materialized from.
+    pub fn plan(&self) -> &TunePlan {
+        &self.plan
     }
 
     /// The row partition in use.
@@ -198,24 +229,24 @@ impl ParallelTuned {
         self.blocks.iter().map(|b| b.footprint_bytes()).sum()
     }
 
-    /// The per-thread tuned blocks.
-    pub fn blocks(&self) -> &[Arc<TunedMatrix>] {
+    /// The per-thread prepared blocks.
+    pub fn blocks(&self) -> &[Arc<PreparedBlock>] {
         &self.blocks
     }
 
-    /// Execute `y ← y + A·x` on scoped threads (one per tuned block).
+    /// Execute `y ← y + A·x` on scoped threads (one per prepared block).
     pub fn spmv_scoped(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "source vector length mismatch");
         assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
         let chunks = split_by_partition(y, &self.partition.ranges);
         std::thread::scope(|scope| {
             for (y_chunk, block) in chunks.into_iter().zip(self.blocks.iter()) {
-                scope.spawn(move || block.spmv(x, y_chunk));
+                scope.spawn(move || block.execute(x, y_chunk));
             }
         });
     }
 
-    /// Execute `y ← y + A·x` on a persistent thread pool (one tuned block per
+    /// Execute `y ← y + A·x` on a persistent thread pool (one prepared block per
     /// worker) — the steady-state path iterative use and benchmarks should take.
     pub fn spmv_pool(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "source vector length mismatch");
@@ -238,8 +269,21 @@ impl ParallelTuned {
             // SAFETY: each worker receives a distinct, non-overlapping sub-slice of
             // `y`; the scoped_run barrier ends before `y` is reclaimed.
             let y_chunk = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
-            self.blocks[tid].spmv(x, y_chunk);
+            self.blocks[tid].execute(x, y_chunk);
         });
+    }
+
+    /// Execute the prepared blocks sequentially in partition order — the serial
+    /// tuned reference. Because the parallel paths run the identical per-block
+    /// kernels over the identical disjoint row ranges, their output is
+    /// **bit-identical** to this one.
+    pub fn spmv_serial(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+        let chunks = split_by_partition(y, &self.partition.ranges);
+        for (y_chunk, block) in chunks.into_iter().zip(self.blocks.iter()) {
+            block.execute(x, y_chunk);
+        }
     }
 }
 
@@ -332,6 +376,33 @@ mod tests {
             assert_eq!(par.blocks().len(), threads);
             assert!(par.footprint_bytes() > 0);
         }
+    }
+
+    #[test]
+    fn tuned_scoped_and_pool_are_bit_identical_to_serial() {
+        let csr = random_csr(350, 280, 5200, 10);
+        let x: Vec<f64> = (0..280).map(|i| (i as f64 * 0.09).sin() * 2.0).collect();
+        for threads in [1, 3, 4] {
+            let par = ParallelTuned::new(&csr, threads, &TuningConfig::full());
+            let mut serial = vec![1.5; 350];
+            par.spmv_serial(&x, &mut serial);
+            let mut scoped = vec![1.5; 350];
+            par.spmv_scoped(&x, &mut scoped);
+            assert_eq!(serial, scoped, "threads={threads}");
+            let pool = ThreadPool::new(threads);
+            let mut pooled = vec![1.5; 350];
+            par.spmv_pool(&pool, &x, &mut pooled);
+            assert_eq!(serial, pooled, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tuned_from_plan_validates() {
+        let csr = random_csr(120, 120, 1500, 11);
+        let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+        assert!(ParallelTuned::from_plan(&csr, plan.clone()).is_ok());
+        let other = random_csr(120, 120, 1400, 12);
+        assert!(ParallelTuned::from_plan(&other, plan).is_err());
     }
 
     #[test]

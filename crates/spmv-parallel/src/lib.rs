@@ -13,13 +13,18 @@
 //! * [`pool`] — a persistent worker pool with per-thread work descriptors, the
 //!   Pthreads analogue.
 //! * [`engine`] — the zero-overhead steady-state executor: persistent workers,
-//!   first-touch-placed monomorphized blocks, precomputed disjoint `y` slices,
-//!   and no per-call allocation.
+//!   first-touch-placed **fully tuned** `PreparedBlock`s (register blocked, index
+//!   compressed, cache/TLB blocked, prefetch annotated — the heuristic's
+//!   decisions, bound at construction), precomputed disjoint `y` slices, and no
+//!   per-call allocation. Build it with `SpmvEngine::tuned`, or from a saved
+//!   `TunePlan` profile with `SpmvEngine::from_plan`.
 //! * [`executor`] — row-partitioned parallel SpMV drivers (scoped-thread and
-//!   pooled), validated against the serial kernels.
-//! * [`numa`] — NUMA-aware thread blocks: per-thread tuned sub-matrices with explicit
-//!   node placement metadata (the placement itself is advisory on a host OS, but the
-//!   data decomposition and the bookkeeping match the paper's implementation).
+//!   pooled) over the same plan/prepared pipeline, plus the serial bit-identical
+//!   reference.
+//! * [`numa`] — NUMA-aware thread blocks: the hierarchical node × core
+//!   decomposition fed through the shared plan pipeline, with explicit placement
+//!   metadata (the placement itself is advisory on a host OS, but the data
+//!   decomposition and the bookkeeping match the paper's implementation).
 //! * [`affinity`] — process/memory affinity policies as data, mirroring the paper's
 //!   use of `numactl`, Linux and Solaris scheduling controls.
 

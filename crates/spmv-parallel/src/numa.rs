@@ -4,15 +4,19 @@
 //! a thread's matrix block roughly halves the sustained bandwidth (paper Sections 3.1,
 //! 4.3, 6.1). The paper therefore assigns each matrix block to a specific core *and*
 //! node. This module performs the same two-level decomposition — first across NUMA
-//! nodes, then across the cores of each node — and records the placement so the
-//! architecture simulator can charge remote traffic when affinity is ignored, while
-//! the real-thread executor uses the identical block layout.
+//! nodes, then across the cores of each node — and feeds the resulting flat row
+//! partition through the shared `TunePlan` → `PreparedBlock` pipeline, so each
+//! core's block is the identical fully-tuned structure the engine and the tuned
+//! executor run. The placement is recorded so the architecture simulator can charge
+//! remote traffic when affinity is ignored.
 
 use crate::affinity::AffinityPolicy;
 use crate::executor::split_by_partition;
-use spmv_core::formats::{CsrMatrix, SpMv};
+use spmv_core::formats::CsrMatrix;
 use spmv_core::partition::row::{partition_rows_balanced, RowPartition};
-use spmv_core::tuning::{tune_csr, TunedMatrix, TuningConfig};
+use spmv_core::tuning::plan::TunePlan;
+use spmv_core::tuning::prepared::PreparedBlock;
+use spmv_core::tuning::TuningConfig;
 use spmv_core::MatrixShape;
 use std::ops::Range;
 use std::sync::Arc;
@@ -58,8 +62,8 @@ pub struct ThreadBlock {
     pub core: usize,
     /// Global row range owned.
     pub rows: Range<usize>,
-    /// The tuned data structure for those rows.
-    pub matrix: Arc<TunedMatrix>,
+    /// The fully tuned, kernel-bound data structure for those rows.
+    pub prepared: Arc<PreparedBlock>,
 }
 
 /// A matrix decomposed for NUMA-aware parallel execution.
@@ -79,7 +83,8 @@ impl NumaAwareMatrix {
     ///
     /// The decomposition is hierarchical, exactly as the paper describes: the matrix
     /// is first split across nodes (balancing nonzeros), then each node's share is
-    /// split across its cores, and each core's share is cache/TLB/register blocked.
+    /// split across its cores, and each core's share is tuned by the footprint
+    /// heuristic through the shared plan pipeline.
     pub fn new(
         csr: &CsrMatrix,
         topology: NumaTopology,
@@ -87,21 +92,39 @@ impl NumaAwareMatrix {
         config: &TuningConfig,
     ) -> Self {
         let node_partition = partition_rows_balanced(csr, topology.nodes);
-        let mut blocks = Vec::with_capacity(topology.total_cores());
+        // Flatten the node × core hierarchy into per-core global row ranges, with
+        // the (node, core) placement recorded alongside.
+        let mut placements = Vec::with_capacity(topology.total_cores());
+        let mut flat_ranges = Vec::with_capacity(topology.total_cores());
         for (node, node_rows) in node_partition.ranges.iter().enumerate() {
             let node_csr = csr.row_slice(node_rows.start, node_rows.end);
             let core_partition = partition_rows_balanced(&node_csr, topology.cores_per_node);
             for (core, core_rows) in core_partition.ranges.iter().enumerate() {
-                let local = node_csr.row_slice(core_rows.start, core_rows.end);
-                let tuned = tune_csr(&local, config);
-                blocks.push(ThreadBlock {
-                    node,
-                    core,
-                    rows: node_rows.start + core_rows.start..node_rows.start + core_rows.end,
-                    matrix: Arc::new(tuned),
-                });
+                let rows = node_rows.start + core_rows.start..node_rows.start + core_rows.end;
+                placements.push((node, core));
+                flat_ranges.push(rows);
             }
         }
+
+        // One shared tuning path: plan every core block, then materialize.
+        let plan = TunePlan::from_partition(csr, &flat_ranges, config);
+        let blocks = plan
+            .threads
+            .iter()
+            .zip(placements)
+            .map(|(thread_plan, (node, core))| {
+                let local = csr.row_slice(thread_plan.rows.start, thread_plan.rows.end);
+                let prepared = PreparedBlock::materialize(&local, thread_plan)
+                    .expect("freshly planned thread block always materializes");
+                ThreadBlock {
+                    node,
+                    core,
+                    rows: thread_plan.rows.clone(),
+                    prepared: Arc::new(prepared),
+                }
+            })
+            .collect();
+
         NumaAwareMatrix {
             nrows: csr.nrows(),
             ncols: csr.ncols(),
@@ -137,7 +160,7 @@ impl NumaAwareMatrix {
     /// everything is charged to node 0 so only node-0 threads are local.
     pub fn local_access_fraction(&self) -> f64 {
         use crate::affinity::MemoryAffinity;
-        let total: usize = self.blocks.iter().map(|b| b.matrix.nnz()).sum();
+        let total: usize = self.blocks.iter().map(|b| b.prepared.nnz()).sum();
         if total == 0 {
             return 1.0;
         }
@@ -149,7 +172,7 @@ impl NumaAwareMatrix {
                 MemoryAffinity::Default => b.node == 0,
                 MemoryAffinity::Interleaved => false,
             })
-            .map(|b| b.matrix.nnz())
+            .map(|b| b.prepared.nnz())
             .sum();
         match self.policy.memory {
             // Interleaving spreads pages evenly: half of the accesses are local on a
@@ -168,7 +191,7 @@ impl NumaAwareMatrix {
         let chunks = split_by_partition(y, &ranges);
         std::thread::scope(|scope| {
             for (y_chunk, block) in chunks.into_iter().zip(self.blocks.iter()) {
-                scope.spawn(move || block.matrix.spmv(x, y_chunk));
+                scope.spawn(move || block.prepared.execute(x, y_chunk));
             }
         });
     }
@@ -180,7 +203,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use spmv_core::dense::max_abs_diff;
-    use spmv_core::formats::CooMatrix;
+    use spmv_core::formats::{CooMatrix, SpMv};
 
     fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -253,6 +276,36 @@ mod tests {
         );
         assert!(numa.node_partition().imbalance(&csr) < 1.05);
         assert_eq!(numa.policy(), AffinityPolicy::numa_aware());
+    }
+
+    #[test]
+    fn numa_blocks_share_the_tuned_pipeline() {
+        // The per-core blocks must be the same structures the flat tuned path
+        // produces for the same partition: identical footprint and output bits.
+        let csr = random_csr(500, 450, 7000, 5);
+        let topology = NumaTopology::amd_x2();
+        let numa = NumaAwareMatrix::new(
+            &csr,
+            topology,
+            AffinityPolicy::numa_aware(),
+            &TuningConfig::full(),
+        );
+        let ranges: Vec<Range<usize>> = numa.blocks().iter().map(|b| b.rows.clone()).collect();
+        let plan = TunePlan::from_partition(&csr, &ranges, &TuningConfig::full());
+        let flat = crate::executor::ParallelTuned::from_plan(&csr, plan).unwrap();
+        assert_eq!(
+            numa.blocks()
+                .iter()
+                .map(|b| b.prepared.footprint_bytes())
+                .sum::<usize>(),
+            flat.footprint_bytes()
+        );
+        let x: Vec<f64> = (0..450).map(|i| (i % 13) as f64 * 0.25).collect();
+        let mut a = vec![0.0; 500];
+        numa.spmv(&x, &mut a);
+        let mut b = vec![0.0; 500];
+        flat.spmv_serial(&x, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

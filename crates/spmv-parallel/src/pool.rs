@@ -244,6 +244,37 @@ mod tests {
         ThreadPool::new(0);
     }
 
+    /// Regression test: a worker that panics during setup-time work (the pool's
+    /// block-build use case) must surface the panic on the caller after the
+    /// barrier fills — never hang the `run` call or poison the pool.
+    #[test]
+    fn build_job_panic_surfaces_as_error_not_hang() {
+        let pool = ThreadPool::new(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                Box::new(move |_| {
+                    if tid == 2 {
+                        panic!("simulated thread-block build failure");
+                    }
+                })
+            });
+        }));
+        assert!(
+            caught.is_err(),
+            "build panic must re-raise on the calling thread"
+        );
+        // The barrier filled despite the panic, so the pool remains usable for a
+        // retry with a corrected configuration.
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.run(|_| {
+            let counter = Arc::clone(&counter);
+            Box::new(move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
     #[test]
     fn panicking_job_reraises_on_caller_and_pool_survives() {
         let pool = ThreadPool::new(3);

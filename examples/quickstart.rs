@@ -69,7 +69,16 @@ fn main() {
     let mut y = vec![0.0; csr.nrows()];
     let parallel_rate = time_gflops(csr.nnz(), reps, || parallel.spmv_scoped(&x, &mut y));
 
+    // The steady-state path: plan once (serializable — see TunePlan::save/load),
+    // then a persistent engine whose workers materialize their fully tuned blocks
+    // first-touch and run them with zero per-call overhead.
+    let plan = TunePlan::new(&csr, threads, &TuningConfig::full());
+    let mut engine = SpmvEngine::from_plan(&csr, &plan).expect("fresh plan fits");
+    let mut y = vec![0.0; csr.nrows()];
+    let engine_rate = time_gflops(csr.nnz(), reps, || engine.spmv(&x, &mut y));
+
     println!("naive CSR:        {naive:.2} Gflop/s");
     println!("tuned (serial):   {tuned_rate:.2} Gflop/s");
     println!("tuned ({threads} threads): {parallel_rate:.2} Gflop/s");
+    println!("engine ({threads} threads): {engine_rate:.2} Gflop/s (persistent workers)");
 }

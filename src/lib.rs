@@ -33,10 +33,13 @@ pub mod prelude {
     pub use spmv_baseline::oski::OskiMatrix;
     pub use spmv_baseline::petsc::OskiPetsc;
     pub use spmv_core::formats::{CooMatrix, CsrMatrix};
-    pub use spmv_core::tuning::{tune, tune_csr, TunedMatrix, TuningConfig};
+    pub use spmv_core::tuning::{
+        tune, tune_csr, PreparedMatrix, TunePlan, TunedMatrix, TuningConfig,
+    };
     pub use spmv_core::{MatrixShape, SpMv};
     pub use spmv_matrices::suite::{Scale, SuiteMatrix};
     pub use spmv_parallel::executor::{ParallelCsr, ParallelTuned};
+    pub use spmv_parallel::SpmvEngine;
 }
 
 #[cfg(test)]

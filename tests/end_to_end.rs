@@ -57,6 +57,53 @@ fn parallel_execution_matches_serial_for_every_suite_matrix() {
     }
 }
 
+/// The acceptance bar of the two-phase pipeline: for every suite matrix, the
+/// tuned parallel engine's output is **bit-identical** to the serial tuned path
+/// (the same plan materialized and executed sequentially).
+#[test]
+fn tuned_engine_bit_identical_to_serial_tuned_path_on_every_suite_matrix() {
+    use spmv_multicore::spmv_parallel::SpmvEngine;
+    for matrix in SuiteMatrix::all() {
+        let (csr, x, _) = reference_and_x(matrix);
+        for threads in [1, 3] {
+            let plan = TunePlan::new(&csr, threads, &TuningConfig::full());
+            let serial = PreparedMatrix::materialize(&csr, &plan).unwrap();
+            let mut expected = vec![0.0; csr.nrows()];
+            serial.spmv(&x, &mut expected);
+
+            let mut engine = SpmvEngine::from_plan(&csr, &plan).unwrap();
+            let mut y = vec![0.0; csr.nrows()];
+            engine.spmv(&x, &mut y);
+            assert_eq!(
+                expected,
+                y,
+                "{} at {threads} threads: tuned-parallel must be bit-identical to the serial tuned path",
+                matrix.id()
+            );
+        }
+    }
+}
+
+/// A plan survives the plain-text profile round trip and drives the engine to
+/// the same bits (the save/load amortization workflow).
+#[test]
+fn saved_plan_round_trips_through_text_for_suite_matrices() {
+    use spmv_multicore::spmv_parallel::SpmvEngine;
+    for matrix in [SuiteMatrix::FemCantilever, SuiteMatrix::Lp] {
+        let (csr, x, _) = reference_and_x(matrix);
+        let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+        let reloaded = TunePlan::from_text(&plan.to_text()).unwrap();
+        assert_eq!(plan, reloaded, "{}", matrix.id());
+        let mut a = vec![0.0; csr.nrows()];
+        SpmvEngine::from_plan(&csr, &plan).unwrap().spmv(&x, &mut a);
+        let mut b = vec![0.0; csr.nrows()];
+        SpmvEngine::from_plan(&csr, &reloaded)
+            .unwrap()
+            .spmv(&x, &mut b);
+        assert_eq!(a, b, "{}", matrix.id());
+    }
+}
+
 #[test]
 fn baselines_agree_with_reference_results() {
     for matrix in [SuiteMatrix::Protein, SuiteMatrix::Circuit, SuiteMatrix::Lp] {
