@@ -1,0 +1,68 @@
+//! Per-vector cost crossover of SpMM vs repeated SpMV as the batch grows.
+//!
+//! For each batch width k the bench times (a) one tuned `PreparedMatrix::spmm`
+//! over a k-column block and (b) k back-to-back tuned `spmv` calls on the same
+//! columns. Throughput is annotated as `nnz * k` elements, so the printed
+//! Melem/s numbers are directly comparable across k: the `spmm` rate climbing
+//! above the flat `k-spmv` rate as k grows is the index-traffic amortization
+//! the batching service exists to harvest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::formats::CsrMatrix;
+use spmv_core::multivec::MultiVec;
+use spmv_core::tuning::plan::TunePlan;
+use spmv_core::tuning::prepared::PreparedMatrix;
+use spmv_core::tuning::TuningConfig;
+use spmv_core::{MatrixShape, SpMv};
+use spmv_matrices::suite::{Scale, SuiteMatrix};
+use std::hint::black_box;
+
+fn xblock(ncols: usize, k: usize) -> MultiVec {
+    let cols: Vec<Vec<f64>> = (0..k)
+        .map(|j| {
+            (0..ncols)
+                .map(|i| ((i * 17 + j * 5) % 23) as f64 * 0.25)
+                .collect()
+        })
+        .collect();
+    let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    MultiVec::from_columns(&views)
+}
+
+fn bench_spmm_crossover(c: &mut Criterion) {
+    for matrix in [SuiteMatrix::FemCantilever, SuiteMatrix::Circuit] {
+        let csr = CsrMatrix::from_coo(&matrix.generate(Scale::Small));
+        let plan = TunePlan::new(&csr, 1, &TuningConfig::full());
+        let prepared = PreparedMatrix::materialize(&csr, &plan).expect("plan matches");
+        let mut group = c.benchmark_group(format!("spmm_crossover/{}", matrix.id()));
+        for k in [1usize, 2, 4, 8] {
+            // Equal work at every k: nnz * k multiply-adds per iteration.
+            group.throughput(Throughput::Elements((csr.nnz() * k) as u64));
+            let x = xblock(csr.ncols(), k);
+            group.bench_with_input(BenchmarkId::new("spmm", k), &k, |b, _| {
+                let mut y = MultiVec::zeros(csr.nrows(), k);
+                b.iter(|| {
+                    prepared.spmm(black_box(&x), &mut y);
+                    black_box(&y);
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("k-spmv", k), &k, |b, &k| {
+                let mut y = vec![0.0; csr.nrows()];
+                b.iter(|| {
+                    for j in 0..k {
+                        prepared.spmv(black_box(x.col(j)), &mut y);
+                    }
+                    black_box(&y);
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1200)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_spmm_crossover
+}
+criterion_main!(benches);

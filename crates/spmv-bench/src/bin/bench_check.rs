@@ -2,8 +2,10 @@
 //!
 //! CI runs this after the tiny-scale `spmv_bench` smoke run: it fails (exit 1)
 //! when the artifact is missing, fails to parse as JSON, or lacks the expected
-//! variant rows — in particular the `tuned-parallel` rows of the two-phase
-//! pipeline for every Table-3 suite matrix at every swept thread count.
+//! variant rows — the `tuned-serial`/`tuned-parallel` rows of the two-phase
+//! pipeline, the `batched-k{1,2,4,8}` multi-vector rows for every Table-3
+//! suite matrix (serial, plus the engine rows at the swept thread count), and
+//! one `serve-*` row per request-stream scenario.
 //!
 //! ```text
 //! cargo run --release -p spmv-bench --bin bench_check [BENCH_spmv.json]
@@ -13,6 +15,7 @@ use spmv_bench::json::Json;
 use spmv_bench::perf::{
     harness_matrices, swept_thread_counts, TUNED_PARALLEL_VARIANT, TUNED_SERIAL_VARIANT,
 };
+use spmv_bench::serve::{batched_variant, serve_variant, BATCH_WIDTHS, SERVE_SCENARIOS};
 
 fn fail(msg: &str) -> ! {
     eprintln!("[bench_check] FAIL: {msg}");
@@ -74,10 +77,43 @@ fn main() {
             }
             checked += 1;
         }
+
+        // Batched (SpMM) rows: serial at every width, plus the engine rows at
+        // every multi-thread sweep point.
+        for k in BATCH_WIDTHS {
+            let variant = batched_variant(k);
+            if !results.iter().any(|r| row_matches(r, id, &variant, 1)) {
+                fail(&format!("{id}: missing {variant} row at 1 thread"));
+            }
+            checked += 1;
+            for &threads in thread_counts.iter().filter(|&&t| t > 1) {
+                if !results
+                    .iter()
+                    .any(|r| row_matches(r, id, &variant, threads))
+                {
+                    fail(&format!("{id}: missing {variant} row at {threads} threads"));
+                }
+                checked += 1;
+            }
+        }
+    }
+
+    // Serve-scenario rows: one per replayed request stream, with traffic served.
+    for scenario in SERVE_SCENARIOS {
+        let variant = serve_variant(scenario);
+        let ok = results.iter().any(|r| {
+            r.get("variant").and_then(Json::as_str) == Some(variant.as_str())
+                && r.get("gflops").and_then(Json::as_f64).unwrap_or(0.0) > 0.0
+                && r.get("requests").and_then(Json::as_f64).unwrap_or(0.0) > 0.0
+        });
+        if !ok {
+            fail(&format!("missing or empty {variant} row"));
+        }
+        checked += 1;
     }
 
     println!(
-        "[bench_check] OK: {path} has all {checked} expected tuned rows ({} results total)",
+        "[bench_check] OK: {path} has all {checked} expected tuned/batched/serve rows ({} results total)",
         results.len()
     );
 }

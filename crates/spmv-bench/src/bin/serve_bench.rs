@@ -1,0 +1,182 @@
+//! `serve_bench` — the serve-layer perf driver.
+//!
+//! Replays synthetic request streams (uniform, bursty, hot-matrix-skewed)
+//! through the full `spmv-serve` stack and re-measures the batched (SpMM)
+//! rows, then **merges** both row families into an existing `BENCH_spmv.json`
+//! (replacing stale `batched-k*` / `serve-*` rows, leaving every other row
+//! untouched). Run `spmv_bench` first to produce the base artifact; this
+//! driver exists so the serve layer can be re-benchmarked without re-running
+//! the whole kernel sweep.
+//!
+//! ```text
+//! cargo run --release -p spmv-bench --bin serve_bench [scale] [BENCH_spmv.json]
+//! # scale: full | quarter | small (default) | tiny
+//! ```
+//!
+//! Thread count defaults to the host parallelism; override with `SPMV_BENCH_THREADS`.
+
+use spmv_bench::json::Json;
+use spmv_bench::perf::{build_suite, harness_json_with_rows, swept_thread_counts};
+use spmv_bench::serve::{
+    measure_batched_engine, measure_batched_serial, run_serve_scenarios, ReplayLoad, BATCH_WIDTHS,
+};
+use spmv_core::tuning::plan::TunePlan;
+use spmv_core::tuning::prepared::PreparedMatrix;
+use spmv_core::tuning::TuningConfig;
+use spmv_core::MatrixShape;
+use spmv_matrices::suite::Scale;
+use spmv_parallel::SpmvEngine;
+
+/// Is this a row the serve driver owns (and should replace)?
+fn is_serve_row(row: &Json) -> bool {
+    matches!(
+        row.get("variant").and_then(Json::as_str),
+        Some(v) if v.starts_with("batched-k") || v.starts_with("serve-")
+    )
+}
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("full") => Scale::Full,
+        Some("quarter") => Scale::Quarter,
+        Some("tiny") => Scale::Tiny,
+        Some("small") | None => Scale::Small,
+        Some(other) => {
+            eprintln!("unknown scale '{other}', using small");
+            Scale::Small
+        }
+    };
+    let output = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_spmv.json".to_string());
+
+    // Parse any existing artifact up front: when merging, the batched rows must
+    // be measured at the thread sweep the artifact's `max_threads` header
+    // advertises, or `bench_check`'s expectations desync from the rows.
+    let existing = match std::fs::read_to_string(&output) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("[serve_bench] FAIL: {output} exists but is not valid JSON: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => None,
+    };
+    let header_threads = existing
+        .as_ref()
+        .and_then(|d| d.get("max_threads"))
+        .and_then(Json::as_f64)
+        .map(|v| v as usize)
+        .filter(|&t| t > 0);
+    let env_threads = std::env::var("SPMV_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0);
+    let max_threads = match (header_threads, env_threads) {
+        (Some(header), Some(env)) if header != env => {
+            eprintln!(
+                "[serve_bench] note: {output} pins max_threads={header}; \
+                 ignoring SPMV_BENCH_THREADS={env} to keep the artifact consistent"
+            );
+            header
+        }
+        (Some(header), _) => header,
+        (None, Some(env)) => env,
+        (None, None) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(2),
+    };
+    let budget_ms = if scale == Scale::Tiny { 10 } else { 200 };
+
+    eprintln!("[serve_bench] scale {scale:?}, up to {max_threads} threads -> {output}");
+
+    // One matrix build per suite entry, shared by the batched rows (one
+    // materialization + one engine each) and the serve replay's registry.
+    let matrices = build_suite(scale);
+    let mut rows: Vec<Json> = Vec::new();
+    for (id, csr) in &matrices {
+        let plan1 = TunePlan::new(csr, 1, &TuningConfig::full());
+        let prepared = PreparedMatrix::materialize(csr, &plan1).expect("fresh plan matches");
+        for k in BATCH_WIDTHS {
+            rows.push(measure_batched_serial(id, csr.nnz(), &prepared, k, budget_ms).to_json());
+        }
+        for &threads in &swept_thread_counts(max_threads) {
+            if threads <= 1 {
+                continue; // the serial rows above cover threads = 1
+            }
+            let plan = TunePlan::new(csr, threads, &TuningConfig::full());
+            let mut engine = SpmvEngine::from_plan(csr, &plan).expect("fresh plan matches");
+            for k in BATCH_WIDTHS {
+                rows.push(
+                    measure_batched_engine(id, csr.nnz(), &mut engine, threads, k, budget_ms)
+                        .to_json(),
+                );
+            }
+        }
+    }
+    rows.extend(run_serve_scenarios(
+        &matrices,
+        max_threads,
+        ReplayLoad::smoke(),
+    ));
+
+    // Merge into the existing artifact when there is one: keep its header and
+    // every non-serve row, replace the two serve-owned row families.
+    let doc = match existing {
+        Some(doc) => {
+            let Json::Obj(pairs) = doc else {
+                eprintln!("[serve_bench] FAIL: {output} is not a JSON object");
+                std::process::exit(1);
+            };
+            let pairs = pairs
+                .into_iter()
+                .map(|(key, value)| {
+                    if key == "results" {
+                        let Json::Arr(old) = value else {
+                            eprintln!("[serve_bench] FAIL: 'results' is not an array");
+                            std::process::exit(1);
+                        };
+                        let mut kept: Vec<Json> =
+                            old.into_iter().filter(|r| !is_serve_row(r)).collect();
+                        kept.extend(rows.clone());
+                        (key, Json::Arr(kept))
+                    } else {
+                        (key, value)
+                    }
+                })
+                .collect();
+            Json::Obj(pairs)
+        }
+        None => {
+            eprintln!("[serve_bench] no existing artifact, writing a serve-only document");
+            harness_json_with_rows(scale, max_threads, &[], rows)
+        }
+    };
+    std::fs::write(&output, doc.pretty()).expect("write benchmark artifact");
+
+    // Human-readable recap: per-vector throughput scaling with batch width.
+    println!("per-vector GFLOP/s by batch width (threads = 1):");
+    for (id, _) in &matrices {
+        let mut line = format!("  {id:<16}");
+        for k in BATCH_WIDTHS {
+            let rate = doc
+                .get("results")
+                .and_then(Json::as_array)
+                .and_then(|rs| {
+                    rs.iter().find(|r| {
+                        r.get("matrix").and_then(Json::as_str) == Some(id)
+                            && r.get("variant").and_then(Json::as_str)
+                                == Some(format!("batched-k{k}").as_str())
+                            && r.get("threads").and_then(Json::as_f64) == Some(1.0)
+                    })
+                })
+                .and_then(|r| r.get("gflops").and_then(Json::as_f64))
+                .unwrap_or(0.0);
+            line.push_str(&format!("  k{k}: {rate:>7.3}"));
+        }
+        println!("{line}");
+    }
+    println!("wrote {output}");
+}

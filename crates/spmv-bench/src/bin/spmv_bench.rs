@@ -11,7 +11,8 @@
 //!
 //! Thread count defaults to the host parallelism; override with `SPMV_BENCH_THREADS`.
 
-use spmv_bench::perf::{harness_json, run_harness};
+use spmv_bench::perf::{build_suite, harness_json_with_rows, run_harness_on};
+use spmv_bench::serve::{run_serve_scenarios, ReplayLoad};
 use spmv_matrices::suite::Scale;
 
 fn main() {
@@ -45,8 +46,12 @@ fn main() {
     let budget_ms = if scale == Scale::Tiny { 10 } else { 200 };
 
     eprintln!("[spmv_bench] scale {scale:?}, up to {max_threads} threads -> {output}");
-    let results = run_harness(scale, max_threads, budget_ms);
-    let doc = harness_json(scale, max_threads, &results);
+    // One matrix build per suite entry, shared by the kernel-variant sweep, the
+    // tuned/batched rows, and the serve-scenario replay.
+    let matrices = build_suite(scale);
+    let results = run_harness_on(&matrices, max_threads, budget_ms);
+    let serve_rows = run_serve_scenarios(&matrices, max_threads, ReplayLoad::smoke());
+    let doc = harness_json_with_rows(scale, max_threads, &results, serve_rows);
     std::fs::write(&output, doc.pretty()).expect("write benchmark artifact");
 
     // Human-readable recap: the best configuration per matrix.

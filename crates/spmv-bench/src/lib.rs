@@ -17,13 +17,17 @@
 //!
 //! Shared logic lives in [`experiments`] (optimization ladders, workload-profile
 //! construction), [`format`] (plain-text table rendering), [`perf`] (the native
-//! perf harness behind the `spmv_bench` binary and `BENCH_spmv.json`) and
-//! [`json`] (the dependency-free JSON writer for benchmark artifacts).
+//! perf harness behind the `spmv_bench` binary and `BENCH_spmv.json`),
+//! [`serve`] (batched-apply rows and the request-stream replay behind the
+//! `serve_bench` binary) and [`json`] (the dependency-free JSON writer for
+//! benchmark artifacts).
 
 pub mod experiments;
 pub mod format;
 pub mod json;
 pub mod perf;
+pub mod serve;
 
 pub use experiments::{ladder_for, run_ladder, run_rung, ExperimentResult, Rung, RungKind};
 pub use perf::{run_harness, PerfResult};
+pub use serve::{run_serve_scenarios, ReplayLoad};

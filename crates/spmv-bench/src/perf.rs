@@ -192,17 +192,31 @@ pub fn measure_tuned_engine(
 ) -> PerfResult {
     let plan = TunePlan::new(csr, threads, &TuningConfig::full());
     let mut engine = SpmvEngine::from_plan(csr, &plan).expect("fresh plan matches its matrix");
-    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
-    let mut y = vec![0.0; csr.nrows()];
+    measure_tuned_engine_built(matrix_id, csr.nnz(), &mut engine, threads, budget_ms)
+}
+
+/// [`measure_tuned_engine`] on an already-running engine, so one build can be
+/// shared with the batched-apply rows.
+pub fn measure_tuned_engine_built(
+    matrix_id: &str,
+    nnz: usize,
+    engine: &mut SpmvEngine,
+    threads: usize,
+    budget_ms: u64,
+) -> PerfResult {
+    let x: Vec<f64> = (0..engine.ncols())
+        .map(|i| (i % 17) as f64 * 0.25)
+        .collect();
+    let mut y = vec![0.0; engine.nrows()];
     let (secs, iters) = time_adaptive(budget_ms, || engine.spmv(&x, &mut y));
     PerfResult {
         matrix: matrix_id.to_string(),
-        nnz: csr.nnz(),
+        nnz,
         variant: TUNED_PARALLEL_VARIANT.to_string(),
         threads,
-        gflops: gflops(csr.nnz(), secs, iters),
+        gflops: gflops(nnz, secs, iters),
         ns_per_iter: secs * 1e9 / iters as f64,
-        bytes_per_nnz: engine.footprint_bytes() as f64 / csr.nnz().max(1) as f64,
+        bytes_per_nnz: engine.footprint_bytes() as f64 / nnz.max(1) as f64,
     }
 }
 
@@ -211,17 +225,30 @@ pub fn measure_tuned_engine(
 pub fn measure_tuned_serial(matrix_id: &str, csr: &CsrMatrix, budget_ms: u64) -> PerfResult {
     let plan = TunePlan::new(csr, 1, &TuningConfig::full());
     let prepared = PreparedMatrix::materialize(csr, &plan).expect("fresh plan matches its matrix");
-    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
-    let mut y = vec![0.0; csr.nrows()];
+    measure_tuned_serial_prepared(matrix_id, csr.nnz(), &prepared, budget_ms)
+}
+
+/// [`measure_tuned_serial`] on an already-materialized matrix, so one
+/// materialization can be shared with the batched-apply rows.
+pub fn measure_tuned_serial_prepared(
+    matrix_id: &str,
+    nnz: usize,
+    prepared: &PreparedMatrix,
+    budget_ms: u64,
+) -> PerfResult {
+    let x: Vec<f64> = (0..prepared.ncols())
+        .map(|i| (i % 17) as f64 * 0.25)
+        .collect();
+    let mut y = vec![0.0; prepared.nrows()];
     let (secs, iters) = time_adaptive(budget_ms, || prepared.spmv(&x, &mut y));
     PerfResult {
         matrix: matrix_id.to_string(),
-        nnz: csr.nnz(),
+        nnz,
         variant: TUNED_SERIAL_VARIANT.to_string(),
         threads: 1,
-        gflops: gflops(csr.nnz(), secs, iters),
+        gflops: gflops(nnz, secs, iters),
         ns_per_iter: secs * 1e9 / iters as f64,
-        bytes_per_nnz: prepared.footprint_bytes() as f64 / csr.nnz().max(1) as f64,
+        bytes_per_nnz: prepared.footprint_bytes() as f64 / nnz.max(1) as f64,
     }
 }
 
@@ -259,12 +286,30 @@ pub fn swept_thread_counts(max_threads: usize) -> Vec<usize> {
     }
 }
 
+/// Build the harness suite once: one CSR per Table-3 entry, shared by the
+/// kernel-variant sweep, the tuned rows, the batched rows, and the serve
+/// replay (instead of regenerating the matrix per measurement family).
+pub fn build_suite(scale: Scale) -> Vec<(&'static str, CsrMatrix)> {
+    harness_matrices()
+        .into_iter()
+        .map(|matrix| (matrix.id(), CsrMatrix::from_coo(&matrix.generate(scale))))
+        .collect()
+}
+
 /// Run the full harness: every matrix × (serial baselines + variants × {1, N}).
 pub fn run_harness(scale: Scale, max_threads: usize, budget_ms: u64) -> Vec<PerfResult> {
+    run_harness_on(&build_suite(scale), max_threads, budget_ms)
+}
+
+/// [`run_harness`] over prebuilt suite matrices (one build per suite entry).
+pub fn run_harness_on(
+    matrices: &[(&'static str, CsrMatrix)],
+    max_threads: usize,
+    budget_ms: u64,
+) -> Vec<PerfResult> {
     let mut results = Vec::new();
-    for matrix in harness_matrices() {
-        let id = matrix.id();
-        let csr = CsrMatrix::from_coo(&matrix.generate(scale));
+    for (id, csr) in matrices {
+        let id = *id;
         eprintln!(
             "[spmv_bench] {} ({} x {}, {} nnz)",
             id,
@@ -275,28 +320,66 @@ pub fn run_harness(scale: Scale, max_threads: usize, budget_ms: u64) -> Vec<Perf
 
         // Serial baselines: the enum-dispatch path the tentpole replaced, the
         // monomorphized compressed CSR, and the best register-blocked shapes.
-        results.push(measure_enum_dispatch(id, &csr, budget_ms));
-        results.push(measure_compressed_csr(id, &csr, budget_ms));
+        results.push(measure_enum_dispatch(id, csr, budget_ms));
+        results.push(measure_compressed_csr(id, csr, budget_ms));
         for variant in [
             KernelVariant::Blocked { r: 2, c: 2 },
             KernelVariant::Blocked { r: 4, c: 4 },
         ] {
-            results.push(measure_prepared(id, &csr, variant, budget_ms));
+            results.push(measure_prepared(id, csr, variant, budget_ms));
         }
 
         // Kernel-variant sweep at 1 and N threads on the persistent engine.
         let thread_counts = swept_thread_counts(max_threads);
         for variant in harness_variants() {
             for &threads in &thread_counts {
-                results.push(measure_engine(id, &csr, variant, threads, budget_ms));
+                results.push(measure_engine(id, csr, variant, threads, budget_ms));
             }
         }
 
-        // The two-phase tuned pipeline: serial reference plus the fully tuned
-        // persistent engine at every swept thread count.
-        results.push(measure_tuned_serial(id, &csr, budget_ms));
+        // The two-phase tuned pipeline plus the batched (SpMM) rows, sharing
+        // one materialization (serial) and one engine build (parallel) each.
+        let plan1 = TunePlan::new(csr, 1, &TuningConfig::full());
+        let prepared =
+            PreparedMatrix::materialize(csr, &plan1).expect("fresh plan matches its matrix");
+        results.push(measure_tuned_serial_prepared(
+            id,
+            csr.nnz(),
+            &prepared,
+            budget_ms,
+        ));
+        for k in crate::serve::BATCH_WIDTHS {
+            results.push(crate::serve::measure_batched_serial(
+                id,
+                csr.nnz(),
+                &prepared,
+                k,
+                budget_ms,
+            ));
+        }
         for &threads in &thread_counts {
-            results.push(measure_tuned_engine(id, &csr, threads, budget_ms));
+            let plan = TunePlan::new(csr, threads, &TuningConfig::full());
+            let mut engine =
+                SpmvEngine::from_plan(csr, &plan).expect("fresh plan matches its matrix");
+            results.push(measure_tuned_engine_built(
+                id,
+                csr.nnz(),
+                &mut engine,
+                threads,
+                budget_ms,
+            ));
+            if threads > 1 {
+                for k in crate::serve::BATCH_WIDTHS {
+                    results.push(crate::serve::measure_batched_engine(
+                        id,
+                        csr.nnz(),
+                        &mut engine,
+                        threads,
+                        k,
+                        budget_ms,
+                    ));
+                }
+            }
         }
     }
     results
@@ -304,6 +387,19 @@ pub fn run_harness(scale: Scale, max_threads: usize, budget_ms: u64) -> Vec<Perf
 
 /// Render the harness output as the `BENCH_spmv.json` document.
 pub fn harness_json(scale: Scale, max_threads: usize, results: &[PerfResult]) -> Json {
+    harness_json_with_rows(scale, max_threads, results, Vec::new())
+}
+
+/// [`harness_json`] with extra pre-rendered rows appended to `results` (the
+/// serve-scenario rows carry fields `PerfResult` does not model).
+pub fn harness_json_with_rows(
+    scale: Scale,
+    max_threads: usize,
+    results: &[PerfResult],
+    extra_rows: Vec<Json>,
+) -> Json {
+    let mut rows: Vec<Json> = results.iter().map(|r| r.to_json()).collect();
+    rows.extend(extra_rows);
     Json::obj(vec![
         ("schema", Json::str("spmv-bench/v1")),
         (
@@ -316,10 +412,7 @@ pub fn harness_json(scale: Scale, max_threads: usize, results: &[PerfResult]) ->
         ("flops_per_nnz", Json::int(FLOPS_PER_NNZ)),
         ("max_threads", Json::int(max_threads)),
         ("arch", Json::str(std::env::consts::ARCH)),
-        (
-            "results",
-            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
-        ),
+        ("results", Json::Arr(rows)),
     ])
 }
 

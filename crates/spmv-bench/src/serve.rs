@@ -1,0 +1,343 @@
+//! Batched-apply measurements and request-stream replay for the serve layer.
+//!
+//! Two row families land in `BENCH_spmv.json` from here:
+//!
+//! * **`batched-k{1,2,4,8}`** — the multi-vector (SpMM) path at batch width `k`:
+//!   serially (`threads = 1`, `PreparedMatrix::spmm`, directly comparable to the
+//!   `tuned-serial` rows) and on the persistent engine (`threads = N`,
+//!   `SpmvEngine::spmm`). `gflops` counts `2·nnz` useful flops **per vector**,
+//!   so a `batched-k8` row at 2× the `tuned-serial` rate means the batch
+//!   amortized enough index traffic to double per-vector throughput.
+//! * **`serve-{uniform,bursty,hot-skew}`** — synthetic request streams replayed
+//!   through the full `spmv-serve` stack (registry → batcher → engine), one row
+//!   per scenario with aggregate GFLOP/s over the replay wall clock and the
+//!   mean per-request latency in `ns_per_iter`.
+//!
+//! Both families share one matrix build per suite entry with the kernel-variant
+//! sweep: `spmv_bench` builds each suite CSR once and threads it through every
+//! measurement, and the standalone `serve_bench` driver does the same for its
+//! two families.
+
+use crate::json::Json;
+use crate::perf::{time_adaptive, PerfResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spmv_core::formats::CsrMatrix;
+use spmv_core::multivec::MultiVec;
+use spmv_core::tuning::prepared::PreparedMatrix;
+use spmv_core::tuning::TuningConfig;
+use spmv_core::MatrixShape;
+use spmv_parallel::SpmvEngine;
+use spmv_serve::{BatchPolicy, Batcher, MatrixRegistry, Ticket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The batch widths measured (the widths the fixed-`K` microkernels cover).
+pub const BATCH_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// The request-stream scenarios the serve replay covers.
+pub const SERVE_SCENARIOS: [&str; 3] = ["uniform", "bursty", "hot-skew"];
+
+/// Variant label of a batched row.
+pub fn batched_variant(k: usize) -> String {
+    format!("batched-k{k}")
+}
+
+/// Variant label of a serve-scenario row.
+pub fn serve_variant(scenario: &str) -> String {
+    format!("serve-{scenario}")
+}
+
+/// The `matrix` field of serve-scenario rows (they mix the whole suite).
+pub const SERVE_MATRIX_LABEL: &str = "suite-mix";
+
+/// A deterministic k-column source block for batched measurements.
+fn bench_xblock(ncols: usize, k: usize) -> MultiVec {
+    let cols: Vec<Vec<f64>> = (0..k)
+        .map(|j| {
+            (0..ncols)
+                .map(|i| ((i * 17 + j * 5) % 23) as f64 * 0.25)
+                .collect()
+        })
+        .collect();
+    let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    MultiVec::from_columns(&views)
+}
+
+fn per_vector_gflops(nnz: usize, k: usize, secs: f64, iters: usize) -> f64 {
+    (2 * nnz * k * iters) as f64 / secs / 1e9
+}
+
+/// Measure the serial batched path at width `k` on an already-materialized
+/// tuned matrix (the same object the `tuned-serial` row measures).
+pub fn measure_batched_serial(
+    matrix_id: &str,
+    nnz: usize,
+    prepared: &PreparedMatrix,
+    k: usize,
+    budget_ms: u64,
+) -> PerfResult {
+    let x = bench_xblock(prepared.ncols(), k);
+    let mut y = MultiVec::zeros(prepared.nrows(), k);
+    let (secs, iters) = time_adaptive(budget_ms, || prepared.spmm(&x, &mut y));
+    PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz,
+        variant: batched_variant(k),
+        threads: 1,
+        gflops: per_vector_gflops(nnz, k, secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: prepared.footprint_bytes() as f64 / nnz.max(1) as f64,
+    }
+}
+
+/// Measure the engine's batched apply at width `k` on an already-running tuned
+/// engine (the same object the `tuned-parallel` row measures).
+pub fn measure_batched_engine(
+    matrix_id: &str,
+    nnz: usize,
+    engine: &mut SpmvEngine,
+    threads: usize,
+    k: usize,
+    budget_ms: u64,
+) -> PerfResult {
+    let (nrows, ncols) = (engine.nrows(), engine.ncols());
+    let x = bench_xblock(ncols, k);
+    let mut y = MultiVec::zeros(nrows, k);
+    let (secs, iters) = time_adaptive(budget_ms, || engine.spmm(&x, &mut y));
+    PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz,
+        variant: batched_variant(k),
+        threads,
+        gflops: per_vector_gflops(nnz, k, secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: engine.footprint_bytes() as f64 / nnz.max(1) as f64,
+    }
+}
+
+/// How hard the replay drives the service.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayLoad {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Flights (bursts of up to 8 in-flight requests) each client issues.
+    pub flights_per_client: usize,
+}
+
+impl ReplayLoad {
+    /// A load small enough for CI smoke runs, large enough to form batches.
+    pub fn smoke() -> ReplayLoad {
+        ReplayLoad {
+            clients: 4,
+            flights_per_client: 5,
+        }
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Replay one synthetic request stream against a shared registry and return its
+/// `serve-*` artifact row.
+///
+/// * `uniform` — every client cycles round-robin over all matrices.
+/// * `bursty` — each flight hits one matrix, with an idle gap between flights
+///   (the batcher's max-wait cuts partially-filled batches).
+/// * `hot-skew` — 80% of requests go to the first (hot) matrix.
+fn replay_scenario(
+    scenario: &str,
+    matrices: &[(&'static str, Arc<spmv_serve::ServedMatrix>)],
+    nthreads: usize,
+    load: ReplayLoad,
+) -> Json {
+    let policy = BatchPolicy {
+        max_batch: 8,
+        max_wait: Duration::from_micros(500),
+    };
+    let batchers: Vec<Arc<Batcher>> = matrices
+        .iter()
+        .map(|(_, served)| Arc::new(Batcher::spawn(Arc::clone(served), policy)))
+        .collect();
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..load.clients {
+            let batchers = &batchers;
+            let scenario = scenario.to_string();
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE + client as u64);
+                let m = batchers.len();
+                for flight in 0..load.flights_per_client {
+                    let mut tickets: Vec<(usize, Ticket)> = Vec::with_capacity(8);
+                    for r in 0..8 {
+                        let target = match scenario.as_str() {
+                            "uniform" => (client + flight * 8 + r) % m,
+                            "bursty" => (client + flight) % m,
+                            _ => {
+                                // hot-skew: 80% of traffic on matrix 0.
+                                if m == 1 || rng.random_range(0..10) < 8 {
+                                    0
+                                } else {
+                                    1 + rng.random_range(0..m - 1)
+                                }
+                            }
+                        };
+                        let target = target % m;
+                        let ncols = batchers[target].matrix().ncols();
+                        let x: Vec<f64> = (0..ncols)
+                            .map(|i| ((i * 13 + r * 7 + client) % 19) as f64 * 0.5)
+                            .collect();
+                        tickets.push((target, batchers[target].submit(x).expect("submit")));
+                    }
+                    for (_, ticket) in tickets {
+                        ticket.wait().expect("request served");
+                    }
+                    if scenario == "bursty" {
+                        std::thread::sleep(Duration::from_micros(300));
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Fold the per-matrix serve stats into one row.
+    let mut requests = 0usize;
+    let mut batches = 0usize;
+    let mut flops = 0.0f64;
+    let mut nnz_applied = 0usize;
+    let mut latency_weighted_ns = 0.0f64;
+    let mut max_latency_ns = 0.0f64;
+    let mut footprint = 0usize;
+    let mut nnz_total = 0usize;
+    for ((_, served), batcher) in matrices.iter().zip(&batchers) {
+        let report = batcher.stats().snapshot();
+        requests += report.requests;
+        batches += report.batches;
+        flops += (2 * served.nnz() * report.requests) as f64;
+        nnz_applied += served.nnz() * report.requests;
+        latency_weighted_ns += report.mean_latency.as_nanos() as f64 * report.requests as f64;
+        max_latency_ns = max_latency_ns.max(report.max_latency.as_nanos() as f64);
+        footprint += served.footprint().total_bytes;
+        nnz_total += served.nnz();
+    }
+    Json::obj(vec![
+        ("matrix", Json::str(SERVE_MATRIX_LABEL)),
+        ("nnz", Json::int(nnz_applied)),
+        ("variant", Json::str(serve_variant(scenario))),
+        ("threads", Json::int(nthreads)),
+        ("gflops", Json::Num(round3(flops / wall / 1e9))),
+        (
+            "ns_per_iter",
+            Json::Num(if requests > 0 {
+                (latency_weighted_ns / requests as f64).round()
+            } else {
+                0.0
+            }),
+        ),
+        (
+            "bytes_per_nnz",
+            Json::Num(round3(footprint as f64 / nnz_total.max(1) as f64)),
+        ),
+        ("requests", Json::int(requests)),
+        ("batches", Json::int(batches)),
+        (
+            "avg_batch",
+            Json::Num(round3(if batches > 0 {
+                requests as f64 / batches as f64
+            } else {
+                0.0
+            })),
+        ),
+        ("max_latency_ns", Json::Num(max_latency_ns.round())),
+    ])
+}
+
+/// Replay every scenario of [`SERVE_SCENARIOS`] against one shared registry
+/// built over `matrices` (each CSR is reused, not regenerated) and return the
+/// `serve-*` rows.
+pub fn run_serve_scenarios(
+    matrices: &[(&'static str, CsrMatrix)],
+    nthreads: usize,
+    load: ReplayLoad,
+) -> Vec<Json> {
+    let registry = MatrixRegistry::new(nthreads.max(1), TuningConfig::full());
+    let served: Vec<(&'static str, Arc<spmv_serve::ServedMatrix>)> = matrices
+        .iter()
+        .map(|(id, csr)| {
+            (
+                *id,
+                registry.insert(id, csr).expect("register suite matrix"),
+            )
+        })
+        .collect();
+    SERVE_SCENARIOS
+        .iter()
+        .map(|scenario| {
+            eprintln!("[serve_bench] replaying '{scenario}' request stream");
+            replay_scenario(scenario, &served, nthreads, load)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_matrices::suite::{Scale, SuiteMatrix};
+
+    fn tiny_suite() -> Vec<(&'static str, CsrMatrix)> {
+        [SuiteMatrix::Circuit, SuiteMatrix::Epidemiology]
+            .iter()
+            .map(|m| (m.id(), CsrMatrix::from_coo(&m.generate(Scale::Tiny))))
+            .collect()
+    }
+
+    #[test]
+    fn batched_rows_have_sane_labels_and_rates() {
+        let (_, csr) = &tiny_suite()[0];
+        let plan = spmv_core::tuning::plan::TunePlan::new(csr, 1, &TuningConfig::full());
+        let prepared = PreparedMatrix::materialize(csr, &plan).unwrap();
+        for k in BATCH_WIDTHS {
+            let row = measure_batched_serial("circuit", csr.nnz(), &prepared, k, 2);
+            assert_eq!(row.variant, format!("batched-k{k}"));
+            assert_eq!(row.threads, 1);
+            assert!(row.gflops > 0.0);
+        }
+        let mut engine = SpmvEngine::tuned(csr, 2, &TuningConfig::full()).unwrap();
+        let row = measure_batched_engine("circuit", csr.nnz(), &mut engine, 2, 8, 2);
+        assert_eq!(row.variant, "batched-k8");
+        assert_eq!(row.threads, 2);
+        assert!(row.gflops > 0.0);
+    }
+
+    #[test]
+    fn serve_scenarios_emit_one_row_each() {
+        let matrices = tiny_suite();
+        let rows = run_serve_scenarios(
+            &matrices,
+            2,
+            ReplayLoad {
+                clients: 2,
+                flights_per_client: 2,
+            },
+        );
+        assert_eq!(rows.len(), SERVE_SCENARIOS.len());
+        for (row, scenario) in rows.iter().zip(SERVE_SCENARIOS) {
+            assert_eq!(
+                row.get("variant").and_then(Json::as_str),
+                Some(serve_variant(scenario).as_str())
+            );
+            assert_eq!(
+                row.get("matrix").and_then(Json::as_str),
+                Some(SERVE_MATRIX_LABEL)
+            );
+            assert!(row.get("gflops").and_then(Json::as_f64).unwrap() > 0.0);
+            let requests = row.get("requests").and_then(Json::as_f64).unwrap();
+            assert_eq!(requests, 2.0 * 2.0 * 8.0, "every request must be served");
+            assert!(row.get("batches").and_then(Json::as_f64).unwrap() >= 1.0);
+            assert!(row.get("ns_per_iter").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+    }
+}

@@ -77,6 +77,19 @@ impl BlockFormat {
             BlockFormat::Gcsr(m) => m.spmv(x, y),
         }
     }
+
+    /// Execute `Y_local ← Y_local + block · X_local` on a column-major block of
+    /// vectors: `x` starts at the block's first column (column `j` of the source
+    /// at `x[j*x_ld ..]`), `y` exposes exactly the block's rows.
+    pub fn spmm_local(&self, x: &[f64], x_ld: usize, y: &mut crate::multivec::MultiVecMut) {
+        use crate::kernels::multivec;
+        match self {
+            BlockFormat::Csr(m) => m.spmm(x, x_ld, y),
+            BlockFormat::Bcsr(m) => m.spmm(x, x_ld, y),
+            BlockFormat::Bcoo(m) => multivec::spmm_bcoo(m, x, x_ld, y),
+            BlockFormat::Gcsr(m) => multivec::spmm_gcsr(m, x, x_ld, y),
+        }
+    }
 }
 
 /// One cache block: a sub-matrix with its own storage format and its placement in the

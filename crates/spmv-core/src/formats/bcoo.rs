@@ -110,6 +110,21 @@ impl BcooMatrix {
         }
         self.values.len() as f64 / self.logical_nnz as f64
     }
+
+    /// Block-row coordinate of tile `t` (in units of `r` rows).
+    pub fn block_row_coord(&self, t: usize) -> usize {
+        self.block_rows.get(t)
+    }
+
+    /// Block-column coordinate of tile `t` (in units of `c` columns).
+    pub fn block_col_coord(&self, t: usize) -> usize {
+        self.block_cols.get(t)
+    }
+
+    /// Tile value storage (`r*c` doubles per tile).
+    pub fn tile_values(&self) -> &[f64] {
+        &self.values
+    }
 }
 
 impl MatrixShape for BcooMatrix {

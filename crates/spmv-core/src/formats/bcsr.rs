@@ -206,6 +206,15 @@ impl BcsrAuto {
             BcsrAuto::U32(m) => m.fill_ratio(),
         }
     }
+
+    /// `Y ← Y + A·X` on the monomorphized tiles over a strided column-major
+    /// source block (column `j` at `x[j*x_ld ..]`).
+    pub fn spmm(&self, x: &[f64], x_ld: usize, y: &mut crate::multivec::MultiVecMut) {
+        match self {
+            BcsrAuto::U16(m) => crate::kernels::multivec::spmm_bcsr(m, x, x_ld, y),
+            BcsrAuto::U32(m) => crate::kernels::multivec::spmm_bcsr(m, x, x_ld, y),
+        }
+    }
 }
 
 impl MatrixShape for BcsrAuto {

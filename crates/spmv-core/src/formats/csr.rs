@@ -199,6 +199,23 @@ impl<I: IndexStorage> CsrMatrix<I> {
         })
     }
 
+    /// `Y ← Y + A·X` for a column-major block of `x.k()` vectors: each column
+    /// index is read once and reused across the whole block. Per vector the
+    /// arithmetic is bit-identical to the sequential single-vector kernels.
+    pub fn spmm(&self, x: &crate::multivec::MultiVec, y: &mut crate::multivec::MultiVec) {
+        assert_eq!(x.ld(), self.ncols, "source block row count mismatch");
+        assert_eq!(y.ld(), self.nrows, "destination block row count mismatch");
+        assert_eq!(x.k(), y.k(), "source and destination vector counts differ");
+        crate::kernels::multivec::spmm_csr(self, x.data(), self.ncols, &mut y.view_mut());
+    }
+
+    /// Allocating convenience for [`CsrMatrix::spmm`]: returns `A·X`.
+    pub fn spmm_alloc(&self, x: &crate::multivec::MultiVec) -> crate::multivec::MultiVec {
+        let mut y = crate::multivec::MultiVec::zeros(self.nrows, x.k());
+        self.spmm(x, &mut y);
+        y
+    }
+
     /// Extract rows `[start, end)` as a new CSR matrix over the same column space.
     /// Used by the row-partitioners to hand each thread an independent sub-matrix.
     pub fn row_slice(&self, start: usize, end: usize) -> CsrMatrix<I> {
@@ -291,6 +308,16 @@ impl CompressedCsr {
         match self {
             CompressedCsr::U16(m) => variant.execute(m, x, y),
             CompressedCsr::U32(m) => variant.execute(m, x, y),
+        }
+    }
+
+    /// `Y ← Y + A·X` on the monomorphized matrix over a strided column-major
+    /// source block (column `j` at `x[j*x_ld ..]`) and a destination view
+    /// exposing exactly this matrix's rows.
+    pub fn spmm(&self, x: &[f64], x_ld: usize, y: &mut crate::multivec::MultiVecMut) {
+        match self {
+            CompressedCsr::U16(m) => crate::kernels::multivec::spmm_csr(m, x, x_ld, y),
+            CompressedCsr::U32(m) => crate::kernels::multivec::spmm_csr(m, x, x_ld, y),
         }
     }
 }

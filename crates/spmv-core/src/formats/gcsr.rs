@@ -75,6 +75,26 @@ impl GcsrMatrix {
     pub fn index_width(&self) -> IndexWidth {
         self.col_idx.width()
     }
+
+    /// Global row index of stored row `s`.
+    pub fn row_id(&self, s: usize) -> usize {
+        self.row_ids.get(s)
+    }
+
+    /// Range of `values()`/`col_id` positions belonging to stored row `s`.
+    pub fn stored_row_range(&self, s: usize) -> (usize, usize) {
+        (self.row_ptr[s], self.row_ptr[s + 1])
+    }
+
+    /// Column index of stored entry `p`.
+    pub fn col_id(&self, p: usize) -> usize {
+        self.col_idx.get(p)
+    }
+
+    /// Value storage in stored-row order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
 }
 
 impl MatrixShape for GcsrMatrix {

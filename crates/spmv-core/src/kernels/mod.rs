@@ -13,12 +13,15 @@
 //! * [`unrolled`] — 4-way unrolled, SIMD-friendly inner loop (what the paper's
 //!   SIMD-intrinsic generator emits, expressed as auto-vectorizable Rust).
 //! * [`prefetch`] — software-prefetch-annotated traversal with a tunable distance.
+//! * [`multivec`] — the SpMM family: the same data structures applied to a
+//!   column-major block of `k` vectors at once, amortizing all index traffic.
 //!
 //! [`variant::KernelVariant`] provides uniform dispatch so the tuner and benchmarks
 //! can sweep the whole set.
 
 pub mod blocked;
 pub mod branchless;
+pub mod multivec;
 pub mod naive;
 pub mod pipelined;
 pub mod prefetch;

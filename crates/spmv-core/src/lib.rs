@@ -45,6 +45,7 @@ pub mod dense;
 pub mod error;
 pub mod formats;
 pub mod kernels;
+pub mod multivec;
 pub mod partition;
 pub mod stats;
 pub mod tuning;
@@ -53,6 +54,7 @@ pub use dense::AlignedVec;
 pub use error::{Error, Result};
 pub use formats::traits::{MatrixShape, SpMv};
 pub use formats::{BcooMatrix, BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, GcsrMatrix};
+pub use multivec::{MultiVec, MultiVecMut};
 pub use tuning::{PreparedBlock, PreparedMatrix, TunePlan, TunedMatrix, TuningConfig};
 
 /// Size in bytes of a double-precision matrix value.

@@ -1,0 +1,305 @@
+//! Column-major dense multi-vector blocks for SpMM (`Y ← Y + A·X`).
+//!
+//! The paper tunes SpMV for one right-hand side, where the data structure's index
+//! traffic dominates. When one matrix is applied to `k` vectors at once, that
+//! traffic amortizes perfectly: the kernel reads each column index **once** and
+//! uses it for all `k` vectors. This module holds the dense-block side of that
+//! computation:
+//!
+//! * [`MultiVec`] — an owned column-major block of `k` vectors (`ld` rows each,
+//!   vector `j` contiguous at `data[j*ld .. (j+1)*ld]`). Column-major is the
+//!   layout a batching service gets for free: each coalesced single-vector
+//!   request *is* one contiguous column, so batch assembly and result
+//!   extraction are straight `memcpy`s.
+//! * [`MultiVecMut`] — a strided mutable view of `k` destination columns. The
+//!   parallel engine's workers write disjoint *row ranges* of every column,
+//!   which no `&mut [f64]` can express; this view carries (base pointer, column
+//!   stride, visible rows) instead and hands kernels per-column disjoint slices.
+//!
+//! The multi-vector kernels themselves live in [`crate::kernels::multivec`].
+
+use std::marker::PhantomData;
+
+/// An owned, column-major dense block of `k` vectors of `ld` rows each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiVec {
+    data: Vec<f64>,
+    ld: usize,
+    k: usize,
+}
+
+impl MultiVec {
+    /// A zero-initialized `ld × k` block.
+    pub fn zeros(ld: usize, k: usize) -> MultiVec {
+        MultiVec {
+            data: vec![0.0; ld * k],
+            ld,
+            k,
+        }
+    }
+
+    /// Assemble a block from `k` equal-length columns (each one request's vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have differing lengths or `columns` is empty.
+    pub fn from_columns(columns: &[&[f64]]) -> MultiVec {
+        assert!(
+            !columns.is_empty(),
+            "multi-vector needs at least one column"
+        );
+        let ld = columns[0].len();
+        let mut data = Vec::with_capacity(ld * columns.len());
+        for col in columns {
+            assert_eq!(col.len(), ld, "all columns must have the same length");
+            data.extend_from_slice(col);
+        }
+        MultiVec {
+            data,
+            ld,
+            k: columns.len(),
+        }
+    }
+
+    /// Wrap an existing column-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != ld * k`.
+    pub fn from_vec(data: Vec<f64>, ld: usize, k: usize) -> MultiVec {
+        assert_eq!(data.len(), ld * k, "buffer must be exactly ld * k");
+        MultiVec { data, ld, k }
+    }
+
+    /// Rows per column (the leading dimension).
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Number of columns (vectors).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The whole column-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The whole column-major buffer, mutably.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column `j` as a contiguous slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.ld..(j + 1) * self.ld]
+    }
+
+    /// Column `j` as a contiguous mutable slice.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.ld..(j + 1) * self.ld]
+    }
+
+    /// Fill every element with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// A mutable kernel view over all rows of every column.
+    pub fn view_mut(&mut self) -> MultiVecMut<'_> {
+        let ld = self.ld;
+        let k = self.k;
+        MultiVecMut::from_slice(&mut self.data, ld, k)
+    }
+
+    /// Consume into the underlying column-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+/// A mutable, possibly strided view of `k` destination columns: column `j` is the
+/// `nrows` doubles starting `j * ld` past the base pointer.
+///
+/// The columns are pairwise disjoint by construction (`nrows ≤ ld`), so the view
+/// can hand out one `&mut [f64]` per column simultaneously — which is what the
+/// register-blocked SpMM microkernels consume — without ever materializing an
+/// aliasing `&mut` over the gaps between them.
+#[derive(Debug)]
+pub struct MultiVecMut<'a> {
+    ptr: *mut f64,
+    ld: usize,
+    nrows: usize,
+    k: usize,
+    _marker: PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: the view is an exclusive borrow of its k columns; sending it to another
+// thread moves that exclusivity with it, exactly like `&mut [f64]`.
+unsafe impl Send for MultiVecMut<'_> {}
+
+impl<'a> MultiVecMut<'a> {
+    /// View a contiguous column-major buffer (`ld == nrows`, all rows visible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is shorter than `ld * k`.
+    pub fn from_slice(data: &'a mut [f64], ld: usize, k: usize) -> MultiVecMut<'a> {
+        assert!(data.len() >= ld * k, "buffer shorter than ld * k");
+        MultiVecMut {
+            ptr: data.as_mut_ptr(),
+            ld,
+            nrows: ld,
+            k,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Build a view from raw parts: column `j` is `ptr[j*ld .. j*ld + nrows]`.
+    ///
+    /// # Safety
+    ///
+    /// For the lifetime `'a` the caller must guarantee exclusive access to every
+    /// column range, that all ranges lie within one live allocation, and that
+    /// `nrows <= ld` (or `k <= 1`) so the columns cannot overlap.
+    pub unsafe fn from_raw_parts(
+        ptr: *mut f64,
+        ld: usize,
+        nrows: usize,
+        k: usize,
+    ) -> MultiVecMut<'a> {
+        debug_assert!(nrows <= ld || k <= 1, "columns would overlap");
+        MultiVecMut {
+            ptr,
+            ld,
+            nrows,
+            k,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Rows visible per column.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Reborrow rows `[start, start + len)` of every column (used to walk cache
+    /// blocks: a plain pointer offset, no allocation).
+    pub fn sub_rows(&mut self, start: usize, len: usize) -> MultiVecMut<'_> {
+        assert!(
+            start <= self.nrows && len <= self.nrows - start,
+            "row range {start}..{} out of view",
+            start + len
+        );
+        MultiVecMut {
+            // SAFETY: stays within the view's own column ranges.
+            ptr: unsafe { self.ptr.add(start) },
+            ld: self.ld,
+            nrows: len,
+            k: self.k,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Column `j` as a mutable slice.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.k, "column {j} out of range");
+        // SAFETY: in-bounds per the construction contract; the returned borrow
+        // holds `&mut self`, so no second view of the column can be taken.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.nrows) }
+    }
+
+    /// Columns `[j0, j0 + K)` as `K` simultaneous mutable slices (the shape the
+    /// fixed-`K` microkernels consume).
+    pub fn cols_mut<const K: usize>(&mut self, j0: usize) -> [&mut [f64]; K] {
+        assert!(
+            j0 + K <= self.k,
+            "column chunk {j0}..{} out of range",
+            j0 + K
+        );
+        // SAFETY: distinct `j` give disjoint ranges (nrows ≤ ld), all in bounds,
+        // and the borrow of `self` pins the whole view for their lifetime.
+        std::array::from_fn(|i| unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.add((j0 + i) * self.ld), self.nrows)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_block_round_trips_columns() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![4.0, 5.0, 6.0];
+        let mv = MultiVec::from_columns(&[&a, &b]);
+        assert_eq!(mv.ld(), 3);
+        assert_eq!(mv.k(), 2);
+        assert_eq!(mv.col(0), &a[..]);
+        assert_eq!(mv.col(1), &b[..]);
+        assert_eq!(mv.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(mv.clone().into_vec(), mv.data());
+    }
+
+    #[test]
+    fn zeros_and_fill() {
+        let mut mv = MultiVec::zeros(4, 2);
+        assert_eq!(mv.data(), &[0.0; 8]);
+        mv.fill(2.5);
+        assert_eq!(mv.col(1), &[2.5; 4]);
+        mv.col_mut(0)[3] = -1.0;
+        assert_eq!(mv.col(0), &[2.5, 2.5, 2.5, -1.0]);
+    }
+
+    #[test]
+    fn view_hands_out_disjoint_columns() {
+        let mut mv = MultiVec::zeros(5, 3);
+        {
+            let mut view = mv.view_mut();
+            assert_eq!(view.nrows(), 5);
+            assert_eq!(view.k(), 3);
+            let [c0, c1] = view.cols_mut::<2>(1);
+            c0[0] = 1.0;
+            c1[4] = 2.0;
+        }
+        assert_eq!(mv.col(1)[0], 1.0);
+        assert_eq!(mv.col(2)[4], 2.0);
+    }
+
+    #[test]
+    fn sub_rows_offsets_every_column() {
+        let mut mv = MultiVec::zeros(6, 2);
+        {
+            let mut view = mv.view_mut();
+            let mut sub = view.sub_rows(2, 3);
+            assert_eq!(sub.nrows(), 3);
+            sub.col_mut(0)[0] = 7.0;
+            sub.col_mut(1)[2] = 8.0;
+        }
+        assert_eq!(mv.col(0)[2], 7.0);
+        assert_eq!(mv.col(1)[4], 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_columns_rejected() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0];
+        MultiVec::from_columns(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of view")]
+    fn sub_rows_bounds_checked() {
+        let mut mv = MultiVec::zeros(4, 1);
+        let mut view = mv.view_mut();
+        view.sub_rows(2, 3);
+    }
+}

@@ -135,6 +135,28 @@ impl PreparedBlock {
             }
         }
     }
+
+    /// Batched steady state: `Y_block ← Y_block + A_block · X` for a column-major
+    /// block of `y.k()` vectors (column `j` of the source at `x[j*x_ld ..]`, the
+    /// destination view exposing exactly this block's rows). Walks the same
+    /// materialized cache blocks as [`PreparedBlock::execute`], reading each
+    /// index once per `k` vectors; per vector the arithmetic is bit-identical to
+    /// [`PreparedBlock::execute`], because a plan's streaming variants
+    /// (single-loop / prefetch) share their accumulation order with the
+    /// multi-vector kernels. No allocation, no per-element dispatch.
+    pub fn spmm(&self, x: &[f64], x_ld: usize, y: &mut crate::multivec::MultiVecMut) {
+        debug_assert_eq!(
+            y.nrows(),
+            self.rows.end - self.rows.start,
+            "destination block row count mismatch"
+        );
+        debug_assert!(x_ld >= self.ncols, "source stride shorter than ncols");
+        for block in &self.blocks {
+            let x_local = &x[block.cols.start..];
+            let mut y_local = y.sub_rows(block.rows.start, block.rows.end - block.rows.start);
+            block.format.spmm_local(x_local, x_ld, &mut y_local);
+        }
+    }
 }
 
 /// A whole [`TunePlan`] materialized on one thread: the serial tuned reference.
@@ -170,6 +192,31 @@ impl PreparedMatrix {
     /// The materialized thread blocks in partition order.
     pub fn blocks(&self) -> &[PreparedBlock] {
         &self.blocks
+    }
+
+    /// `Y ← Y + A·X` for a column-major block of `x.k()` vectors, executed
+    /// serially over the thread blocks in partition order. This is the serial
+    /// reference of the batched path: the parallel engine's
+    /// `SpmvEngine::spmm` is bit-identical to it, and per vector it is
+    /// bit-identical to [`PreparedMatrix::spmv`] on that vector alone.
+    pub fn spmm(&self, x: &crate::multivec::MultiVec, y: &mut crate::multivec::MultiVec) {
+        assert_eq!(x.ld(), self.ncols, "source block row count mismatch");
+        assert_eq!(y.ld(), self.nrows, "destination block row count mismatch");
+        assert_eq!(x.k(), y.k(), "source and destination vector counts differ");
+        let x_ld = self.ncols;
+        let mut view = y.view_mut();
+        for block in &self.blocks {
+            let rows = block.rows();
+            let mut sub = view.sub_rows(rows.start, rows.end - rows.start);
+            block.spmm(x.data(), x_ld, &mut sub);
+        }
+    }
+
+    /// Allocating convenience for [`PreparedMatrix::spmm`]: returns `A·X`.
+    pub fn spmm_alloc(&self, x: &crate::multivec::MultiVec) -> crate::multivec::MultiVec {
+        let mut y = crate::multivec::MultiVec::zeros(self.nrows, x.k());
+        self.spmm(x, &mut y);
+        y
     }
 }
 
@@ -292,6 +339,39 @@ mod tests {
             d.choice.width = crate::formats::index::IndexWidth::U16;
         }
         assert!(PreparedMatrix::materialize(&wide, &bad).is_err());
+    }
+
+    #[test]
+    fn prepared_spmm_bit_identical_to_k_spmv_calls() {
+        use crate::multivec::MultiVec;
+        let csr = random_csr(210, 170, 2800, 21);
+        for config in [
+            TuningConfig::naive(),
+            TuningConfig::register_only(),
+            TuningConfig::full(),
+        ] {
+            let plan = TunePlan::new(&csr, 3, &config);
+            let prepared = PreparedMatrix::materialize(&csr, &plan).unwrap();
+            for k in [1, 2, 4, 5, 8] {
+                let cols: Vec<Vec<f64>> = (0..k)
+                    .map(|j| {
+                        (0..170)
+                            .map(|i| ((i * 7 + j) % 13) as f64 * 0.5 - 2.0)
+                            .collect()
+                    })
+                    .collect();
+                let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+                let x = MultiVec::from_columns(&views);
+                let mut y = MultiVec::zeros(210, k);
+                y.fill(0.125);
+                prepared.spmm(&x, &mut y);
+                for j in 0..k {
+                    let mut expected = vec![0.125; 210];
+                    prepared.spmv(x.col(j), &mut expected);
+                    assert_eq!(y.col(j), &expected[..], "config {config:?} k={k} col {j}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,18 @@ impl AffinityPolicy {
         }
     }
 
+    /// First-touch local placement without thread pinning: what a portable
+    /// user-space engine achieves on its own (each worker materializes its block
+    /// on its own thread, so pages land on whatever node the OS ran it on, but
+    /// nothing stops the scheduler migrating the thread afterwards). This is the
+    /// default policy of `SpmvEngine`.
+    pub fn first_touch() -> Self {
+        AffinityPolicy {
+            process: ProcessAffinity::None,
+            memory: MemoryAffinity::Local,
+        }
+    }
+
     /// The interleaved fallback used for the 16-SPE Cell blade experiments.
     pub fn interleaved() -> Self {
         AffinityPolicy {

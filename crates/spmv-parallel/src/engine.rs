@@ -20,6 +20,15 @@
 //!   per-iteration operand exchange is two condvar-guarded epoch bumps (launch and
 //!   completion barrier); the compute loop itself dispatches straight into the
 //!   prepared, monomorphized kernels with no per-call branching.
+//! * **Batched apply** — [`SpmvEngine::spmm`] runs the multi-vector (SpMM)
+//!   kernels over the same disjoint y-slices: each worker writes its row range
+//!   of every column of a column-major k-vector block, amortizing all index
+//!   traffic across the batch with zero per-call allocation.
+//! * **Affinity as metadata** — every constructor records an
+//!   [`AffinityPolicy`] (default: [`AffinityPolicy::first_touch`], which is what
+//!   worker-side materialization actually achieves). The policy is carried in
+//!   the [`EngineFootprint`] report and interpreted by the `spmv-archsim`
+//!   performance model to charge local vs. remote DRAM traffic.
 //!
 //! Three ways to build one:
 //!
@@ -30,9 +39,11 @@
 //! * [`SpmvEngine::new`] / [`SpmvEngine::with_variant`] — plain width-compressed
 //!   CSR blocks running one code variant; the untuned baseline.
 
+use crate::affinity::AffinityPolicy;
 use spmv_core::error::{Error, Result};
 use spmv_core::formats::CsrMatrix;
 use spmv_core::kernels::KernelVariant;
+use spmv_core::multivec::{MultiVec, MultiVecMut};
 use spmv_core::partition::row::{partition_rows_balanced, RowPartition};
 use spmv_core::tuning::plan::{ThreadPlan, TunePlan};
 use spmv_core::tuning::prepared::PreparedBlock;
@@ -45,12 +56,19 @@ use std::thread::JoinHandle;
 /// The per-iteration operand block: raw views of `x` and `y` published by the
 /// caller before the epoch bump. Workers read it only between the launch barrier
 /// and the completion barrier, during which the caller's borrow is live.
+///
+/// For an SpMM epoch, `x`/`y` are column-major blocks of `k` vectors with
+/// leading dimensions `x_ld`/`y_ld`; for SpMV, `k == 1` and the strides are
+/// unused.
 #[derive(Clone, Copy)]
 struct Operands {
     x_ptr: *const f64,
     x_len: usize,
     y_ptr: *mut f64,
     y_len: usize,
+    k: usize,
+    x_ld: usize,
+    y_ld: usize,
 }
 
 impl Operands {
@@ -59,6 +77,9 @@ impl Operands {
         x_len: 0,
         y_ptr: std::ptr::null_mut(),
         y_len: 0,
+        k: 0,
+        x_ld: 0,
+        y_ld: 0,
     };
 }
 
@@ -72,6 +93,9 @@ unsafe impl Sync for Operands {}
 #[derive(Clone, Copy, PartialEq)]
 enum Command {
     Spmv,
+    /// Batched apply: run the multi-vector kernels over the same disjoint
+    /// y-slices, each worker writing its row range of every column.
+    Spmm,
     Shutdown,
 }
 
@@ -92,8 +116,8 @@ struct Done {
     count: usize,
     /// Workers whose block build failed (populated during construction only).
     failed: usize,
-    /// Sum of worker-reported block footprints (populated during construction).
-    footprint: usize,
+    /// Per-worker materialized block footprints (populated during construction).
+    footprints: Vec<usize>,
 }
 
 /// Shared synchronization state between the caller and the workers.
@@ -130,6 +154,26 @@ impl BlockSpec {
     }
 }
 
+/// The engine's materialized-footprint report: how many bytes each persistent
+/// worker's thread block occupies, under which affinity policy they were placed.
+///
+/// The policy is advisory placement *metadata* (a portable user-space library
+/// cannot pin threads or pages), but it is what the `spmv-archsim` performance
+/// model interprets to charge local vs. remote DRAM traffic — see
+/// `PerformanceModel::predict_with_affinity`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineFootprint {
+    /// Sum of the workers' materialized block footprints.
+    pub total_bytes: usize,
+    /// Bytes of worker `i`'s first-touch-materialized thread block.
+    pub per_worker_bytes: Vec<usize>,
+    /// The affinity policy the engine was constructed under.
+    pub affinity: AffinityPolicy,
+    /// Whether the policy gives every worker node-local memory for its block
+    /// (process binding plus local memory affinity).
+    pub fully_local: bool,
+}
+
 /// A persistent, NUMA-placed, fully-tuned parallel SpMV engine for one matrix.
 pub struct SpmvEngine {
     nrows: usize,
@@ -139,7 +183,9 @@ pub struct SpmvEngine {
     /// The single code variant of a plain engine; `None` for tuned engines, whose
     /// kernels are bound per cache block by the plan.
     variant: Option<KernelVariant>,
+    affinity: AffinityPolicy,
     footprint_bytes: usize,
+    per_worker_bytes: Vec<usize>,
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     epoch: u64,
@@ -160,6 +206,17 @@ impl SpmvEngine {
     ///
     /// Panics if `nthreads == 0` or the variant is not a CSR code variant.
     pub fn with_variant(csr: &CsrMatrix, nthreads: usize, variant: KernelVariant) -> Self {
+        Self::with_variant_and_affinity(csr, nthreads, variant, AffinityPolicy::first_touch())
+    }
+
+    /// [`SpmvEngine::with_variant`] with an explicit [`AffinityPolicy`] recorded
+    /// for the construction (see [`SpmvEngine::footprint`]).
+    pub fn with_variant_and_affinity(
+        csr: &CsrMatrix,
+        nthreads: usize,
+        variant: KernelVariant,
+        affinity: AffinityPolicy,
+    ) -> Self {
         assert!(nthreads > 0, "engine requires at least one worker");
         assert!(
             variant.runs_on_csr(),
@@ -175,7 +232,7 @@ impl SpmvEngine {
                 variant,
             })
             .collect();
-        Self::build(csr, partition, Some(variant), specs)
+        Self::build(csr, partition, Some(variant), affinity, specs)
             .expect("plain block construction is infallible")
     }
 
@@ -187,14 +244,33 @@ impl SpmvEngine {
     ///
     /// Panics if `nthreads == 0`.
     pub fn tuned(csr: &CsrMatrix, nthreads: usize, config: &TuningConfig) -> Result<Self> {
+        Self::tuned_with_affinity(csr, nthreads, config, AffinityPolicy::first_touch())
+    }
+
+    /// [`SpmvEngine::tuned`] with an explicit [`AffinityPolicy`].
+    pub fn tuned_with_affinity(
+        csr: &CsrMatrix,
+        nthreads: usize,
+        config: &TuningConfig,
+        affinity: AffinityPolicy,
+    ) -> Result<Self> {
         assert!(nthreads > 0, "engine requires at least one worker");
-        Self::from_plan(csr, &TunePlan::new(csr, nthreads, config))
+        Self::from_plan_with_affinity(csr, &TunePlan::new(csr, nthreads, config), affinity)
     }
 
     /// Materialize an existing [`TunePlan`] (typically produced earlier or loaded
     /// from a saved profile) into a running engine. Fails if the plan does not
     /// match the matrix or a worker cannot build its block.
     pub fn from_plan(csr: &CsrMatrix, plan: &TunePlan) -> Result<Self> {
+        Self::from_plan_with_affinity(csr, plan, AffinityPolicy::first_touch())
+    }
+
+    /// [`SpmvEngine::from_plan`] with an explicit [`AffinityPolicy`].
+    pub fn from_plan_with_affinity(
+        csr: &CsrMatrix,
+        plan: &TunePlan,
+        affinity: AffinityPolicy,
+    ) -> Result<Self> {
         plan.validate_for(csr)?;
         if plan.num_threads() == 0 {
             return Err(Error::InvalidStructure(
@@ -210,7 +286,7 @@ impl SpmvEngine {
                 plan: t.clone(),
             })
             .collect();
-        Self::build(csr, partition, None, specs)
+        Self::build(csr, partition, None, affinity, specs)
     }
 
     /// Common construction: spawn one worker per spec, wait for every block build,
@@ -219,8 +295,10 @@ impl SpmvEngine {
         csr: &CsrMatrix,
         partition: RowPartition,
         variant: Option<KernelVariant>,
+        affinity: AffinityPolicy,
         specs: Vec<BlockSpec>,
     ) -> Result<Self> {
+        let nworkers = specs.len();
         let shared = Arc::new(Shared {
             launch: Mutex::new(Launch {
                 epoch: 0,
@@ -232,17 +310,17 @@ impl SpmvEngine {
                 epoch: 0,
                 count: 0,
                 failed: 0,
-                footprint: 0,
+                footprints: vec![0; nworkers],
             }),
             done_cv: Condvar::new(),
         });
 
-        let mut workers = Vec::with_capacity(specs.len());
+        let mut workers = Vec::with_capacity(nworkers);
         for (tid, spec) in specs.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("spmv-engine-{tid}"))
-                .spawn(move || worker_loop(shared, spec))
+                .spawn(move || worker_loop(shared, tid, spec))
                 .expect("spawn engine worker");
             workers.push(handle);
         }
@@ -250,13 +328,13 @@ impl SpmvEngine {
         // Construction handshake: workers signal block readiness (or build
         // failure) through `done` as pseudo-epoch-0 completions, reporting their
         // block's footprint so the engine can account bytes without owning blocks.
-        let (failed, footprint) = {
+        let (failed, per_worker_bytes) = {
             let mut done = shared.done.lock().unwrap();
             while done.count < workers.len() {
                 done = shared.done_cv.wait(done).unwrap();
             }
             done.count = 0;
-            (done.failed, done.footprint)
+            (done.failed, done.footprints.clone())
         };
 
         let engine = SpmvEngine {
@@ -265,7 +343,9 @@ impl SpmvEngine {
             nnz: csr.nnz(),
             partition,
             variant,
-            footprint_bytes: footprint,
+            affinity,
+            footprint_bytes: per_worker_bytes.iter().sum(),
+            per_worker_bytes,
             shared,
             workers,
             epoch: 0,
@@ -283,6 +363,16 @@ impl SpmvEngine {
     /// Number of persistent workers.
     pub fn num_threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Rows of the served matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the served matrix.
+    pub fn ncols(&self) -> usize {
+        self.ncols
     }
 
     /// The row partition in use.
@@ -306,6 +396,22 @@ impl SpmvEngine {
         self.footprint_bytes
     }
 
+    /// The affinity policy the engine was constructed under.
+    pub fn affinity(&self) -> AffinityPolicy {
+        self.affinity
+    }
+
+    /// The full footprint report: per-worker block bytes plus the affinity
+    /// policy they were placed under.
+    pub fn footprint(&self) -> EngineFootprint {
+        EngineFootprint {
+            total_bytes: self.footprint_bytes,
+            per_worker_bytes: self.per_worker_bytes.clone(),
+            affinity: self.affinity,
+            fully_local: self.affinity.is_fully_local(),
+        }
+    }
+
     /// `y ← y + A·x`, steady state: publish operands, bump the epoch, wait for the
     /// completion barrier. No allocation, no locks in the compute loop.
     pub fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
@@ -321,6 +427,45 @@ impl SpmvEngine {
                 x_len: x.len(),
                 y_ptr: y.as_mut_ptr(),
                 y_len: y.len(),
+                k: 1,
+                x_ld: self.ncols,
+                y_ld: self.nrows,
+            };
+            self.shared.launch_cv.notify_all();
+        }
+        let mut done = self.shared.done.lock().unwrap();
+        while !(done.epoch == self.epoch && done.count == self.workers.len()) {
+            done = self.shared.done_cv.wait(done).unwrap();
+        }
+    }
+
+    /// Batched steady state: `Y ← Y + A·X` for a column-major block of `x.k()`
+    /// vectors. Same epoch protocol and the same precomputed disjoint y-slices
+    /// as [`SpmvEngine::spmv`] — each worker writes its row range of every
+    /// column — with zero per-call allocation. Output is bit-identical to the
+    /// serial [`spmv_core::tuning::prepared::PreparedMatrix::spmm`] of the same
+    /// plan, and (for planned engines) per column bit-identical to
+    /// [`SpmvEngine::spmv`] on that column alone.
+    pub fn spmm(&mut self, x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.ld(), self.ncols, "source block row count mismatch");
+        assert_eq!(y.ld(), self.nrows, "destination block row count mismatch");
+        assert_eq!(x.k(), y.k(), "source and destination vector counts differ");
+        if x.k() == 0 {
+            return;
+        }
+        self.epoch += 1;
+        {
+            let mut launch = self.shared.launch.lock().unwrap();
+            launch.epoch = self.epoch;
+            launch.command = Command::Spmm;
+            launch.operands = Operands {
+                x_ptr: x.data().as_ptr(),
+                x_len: x.data().len(),
+                y_ptr: y.data_mut().as_mut_ptr(),
+                y_len: y.data().len(),
+                k: x.k(),
+                x_ld: self.ncols,
+                y_ld: self.nrows,
             };
             self.shared.launch_cv.notify_all();
         }
@@ -348,7 +493,7 @@ impl Drop for SpmvEngine {
 /// The worker body: materialize the block (first touch), signal readiness — or a
 /// build failure, so construction errors instead of hanging — then serve epochs
 /// until shutdown.
-fn worker_loop(shared: Arc<Shared>, spec: BlockSpec) {
+fn worker_loop(shared: Arc<Shared>, tid: usize, spec: BlockSpec) {
     // First-touch construction: the block's index and value pages are allocated
     // and written on this thread. Both clean `Err`s and panics inside the build
     // are reported through the handshake.
@@ -362,7 +507,7 @@ fn worker_loop(shared: Arc<Shared>, spec: BlockSpec) {
     {
         let mut done = shared.done.lock().unwrap();
         match &block {
-            Some(b) => done.footprint += b.footprint_bytes(),
+            Some(b) => done.footprints[tid] = b.footprint_bytes(),
             None => done.failed += 1,
         }
         done.count += 1;
@@ -387,20 +532,41 @@ fn worker_loop(shared: Arc<Shared>, spec: BlockSpec) {
             seen_epoch = launch.epoch;
             (launch.command, launch.operands)
         };
-        if command == Command::Shutdown {
-            return;
+        match command {
+            Command::Shutdown => return,
+            Command::Spmv => {
+                // SAFETY: the caller published valid x/y views for exactly this
+                // epoch and blocks on the completion barrier below before
+                // reclaiming them; this worker writes only its precomputed
+                // disjoint row range of y.
+                let (x, y_block) = unsafe {
+                    let x = std::slice::from_raw_parts(operands.x_ptr, operands.x_len);
+                    debug_assert!(row_offset + row_count <= operands.y_len);
+                    let y_block =
+                        std::slice::from_raw_parts_mut(operands.y_ptr.add(row_offset), row_count);
+                    (x, y_block)
+                };
+                block.execute(x, y_block);
+            }
+            Command::Spmm => {
+                // SAFETY: same epoch/barrier argument as above. The worker's
+                // write set is its row range of every column — the column ranges
+                // `y_ptr[row_offset + j*y_ld ..][..row_count]` — which are
+                // disjoint from every other worker's because the row partition
+                // is disjoint and row_count ≤ y_ld.
+                let x = unsafe { std::slice::from_raw_parts(operands.x_ptr, operands.x_len) };
+                debug_assert!(row_offset + row_count <= operands.y_ld);
+                let mut y_cols = unsafe {
+                    MultiVecMut::from_raw_parts(
+                        operands.y_ptr.add(row_offset),
+                        operands.y_ld,
+                        row_count,
+                        operands.k,
+                    )
+                };
+                block.spmm(x, operands.x_ld, &mut y_cols);
+            }
         }
-
-        // SAFETY: the caller published valid x/y views for exactly this epoch and
-        // blocks on the completion barrier below before reclaiming them; this
-        // worker writes only its precomputed disjoint row range of y.
-        let (x, y_block) = unsafe {
-            let x = std::slice::from_raw_parts(operands.x_ptr, operands.x_len);
-            debug_assert!(row_offset + row_count <= operands.y_len);
-            let y_block = std::slice::from_raw_parts_mut(operands.y_ptr.add(row_offset), row_count);
-            (x, y_block)
-        };
-        block.execute(x, y_block);
 
         // Completion barrier: last worker of the epoch wakes the caller.
         let mut done = shared.done.lock().unwrap();
@@ -659,5 +825,98 @@ mod tests {
         let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
         let other = random_csr(100, 100, 900, 13);
         assert!(SpmvEngine::from_plan(&other, &plan).is_err());
+    }
+
+    // --- batched (SpMM) apply -------------------------------------------------
+
+    /// A deterministic k-column source block.
+    fn test_xblock(ncols: usize, k: usize) -> MultiVec {
+        let cols: Vec<Vec<f64>> = (0..k)
+            .map(|j| {
+                (0..ncols)
+                    .map(|i| ((i * 29 + j * 13 + 3) % 89) as f64 * 0.25 - 9.0)
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        MultiVec::from_columns(&views)
+    }
+
+    /// The engine's batched apply must be bit-identical per column to the serial
+    /// tuned SpMV of the same plan, at every thread count including degenerate
+    /// ones, for every batch width the microkernels are generated for (and one
+    /// odd width exercising the chunk decomposition).
+    #[test]
+    fn engine_spmm_bit_identical_to_k_serial_tuned_spmv_calls() {
+        let nrows = 113;
+        let csr = random_csr(nrows, 97, 1600, 20);
+        for threads in [1, 2, nrows + 3] {
+            let plan = TunePlan::new(&csr, threads, &TuningConfig::full());
+            let serial = PreparedMatrix::materialize(&csr, &plan).unwrap();
+            let mut engine = SpmvEngine::from_plan(&csr, &plan).unwrap();
+            for k in [1, 2, 4, 8, 5] {
+                let x = test_xblock(97, k);
+                let mut y = MultiVec::zeros(nrows, k);
+                y.fill(0.5);
+                engine.spmm(&x, &mut y);
+                for j in 0..k {
+                    let mut expected = vec![0.5; nrows];
+                    serial.spmv(x.col(j), &mut expected);
+                    assert_eq!(y.col(j), &expected[..], "threads={threads} k={k} col {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_spmm_accumulates_and_interleaves_with_spmv() {
+        let csr = random_csr(90, 90, 1100, 21);
+        let mut engine = SpmvEngine::tuned(&csr, 3, &TuningConfig::full()).unwrap();
+        let x = test_xblock(90, 4);
+        let mut y = MultiVec::zeros(90, 4);
+        engine.spmm(&x, &mut y);
+        engine.spmm(&x, &mut y); // accumulate a second application
+        let mut single = vec![0.0; 90];
+        engine.spmv(x.col(2), &mut single); // interleaved single-vector call
+        engine.spmv(x.col(2), &mut single);
+        assert_eq!(y.col(2), &single[..]);
+    }
+
+    #[test]
+    fn engine_spmm_on_empty_matrix_leaves_y_untouched() {
+        let csr = CsrMatrix::from_coo(&CooMatrix::new(7, 7));
+        let mut engine = SpmvEngine::tuned(&csr, 2, &TuningConfig::full()).unwrap();
+        let x = MultiVec::zeros(7, 3);
+        let mut y = MultiVec::zeros(7, 3);
+        y.fill(4.5);
+        engine.spmm(&x, &mut y);
+        assert_eq!(y.data(), &[4.5; 21]);
+    }
+
+    // --- affinity metadata ----------------------------------------------------
+
+    #[test]
+    fn engine_carries_and_reports_affinity() {
+        let csr = random_csr(120, 120, 1400, 22);
+        let engine = SpmvEngine::tuned(&csr, 3, &TuningConfig::full()).unwrap();
+        assert_eq!(engine.affinity(), AffinityPolicy::first_touch());
+        let report = engine.footprint();
+        assert!(!report.fully_local, "unpinned threads are not fully local");
+        assert_eq!(report.per_worker_bytes.len(), 3);
+        assert_eq!(
+            report.per_worker_bytes.iter().sum::<usize>(),
+            engine.footprint_bytes()
+        );
+        assert!(report.per_worker_bytes.iter().all(|&b| b > 0));
+
+        let pinned = SpmvEngine::tuned_with_affinity(
+            &csr,
+            2,
+            &TuningConfig::full(),
+            AffinityPolicy::numa_aware(),
+        )
+        .unwrap();
+        assert!(pinned.footprint().fully_local);
+        assert_eq!(pinned.affinity(), AffinityPolicy::numa_aware());
     }
 }

@@ -34,7 +34,8 @@ pub mod executor;
 pub mod numa;
 pub mod pool;
 
-pub use engine::SpmvEngine;
+pub use affinity::{AffinityPolicy, MemoryAffinity, ProcessAffinity};
+pub use engine::{EngineFootprint, SpmvEngine};
 pub use executor::{ParallelCsr, ParallelTuned};
 pub use numa::{NumaAwareMatrix, NumaTopology};
 pub use pool::ThreadPool;

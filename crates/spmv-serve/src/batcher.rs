@@ -1,0 +1,415 @@
+//! Request coalescing: concurrent single-vector requests → SpMM batches.
+//!
+//! Clients submit ordinary `y = A·x` requests one vector at a time. The batcher
+//! queues them and serves the queue in multi-vector batches under a simple
+//! policy: execute as soon as `max_batch` requests are waiting, or when the
+//! oldest waiting request has aged past `max_wait` — the standard
+//! latency/throughput knob of a batching service. Each batch is one
+//! [`SpmvEngine::spmm`](spmv_parallel::SpmvEngine) call, so the index traffic of
+//! the matrix is read once for the whole batch; and because the SpMM kernels
+//! are bit-identical per vector to the tuned SpMV path, batching is invisible
+//! to clients in every bit of the result.
+//!
+//! Two driving modes:
+//!
+//! * [`Batcher::spawn`] — a background service thread owns the loop (the
+//!   production shape). Dropping the batcher flushes the queue and joins it.
+//! * [`Batcher::manual`] — no thread; the caller drives with
+//!   [`Batcher::run_once`]. Deterministic, used by tests and benchmarks.
+
+use crate::registry::ServedMatrix;
+use crate::stats::ServeStats;
+use crate::{Result, ServeError};
+use spmv_core::multivec::MultiVec;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// When a batch is cut: at `max_batch` waiting requests, or when the oldest
+/// waiting request has aged `max_wait`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum requests coalesced into one SpMM batch.
+    pub max_batch: usize,
+    /// Maximum time the oldest request may wait before the batch is cut anyway.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    /// Eight-wide batches (the widest generated microkernel chunk) with a
+    /// 200 µs age bound.
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One queued request.
+struct Request {
+    x: Vec<f64>,
+    reply: mpsc::Sender<Vec<f64>>,
+    submitted: Instant,
+}
+
+/// A handle to a submitted request's eventual result.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Vec<f64>>,
+}
+
+impl Ticket {
+    /// Block until the result arrives. Errors with [`ServeError::Closed`] if the
+    /// batcher shut down before serving the request.
+    pub fn wait(self) -> Result<Vec<f64>> {
+        self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Non-blocking poll: `Some(result)` once served.
+    pub fn try_wait(&self) -> Option<Vec<f64>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Queue {
+    pending: VecDeque<Request>,
+    open: bool,
+}
+
+struct SharedQueue {
+    state: Mutex<Queue>,
+    cv: Condvar,
+}
+
+/// The batching front-end of one served matrix.
+pub struct Batcher {
+    matrix: Arc<ServedMatrix>,
+    policy: BatchPolicy,
+    queue: Arc<SharedQueue>,
+    stats: Arc<ServeStats>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Start a batcher with a background service thread.
+    pub fn spawn(matrix: Arc<ServedMatrix>, policy: BatchPolicy) -> Batcher {
+        let mut batcher = Self::manual(matrix, policy);
+        let queue = Arc::clone(&batcher.queue);
+        let matrix = Arc::clone(&batcher.matrix);
+        let stats = Arc::clone(&batcher.stats);
+        batcher.worker = Some(
+            std::thread::Builder::new()
+                .name(format!("spmv-serve-{}", matrix.name()))
+                .spawn(move || service_loop(queue, matrix, policy, stats))
+                .expect("spawn batcher service thread"),
+        );
+        batcher
+    }
+
+    /// A batcher with no service thread: the caller drives it with
+    /// [`Batcher::run_once`]. Deterministic batch composition for tests.
+    pub fn manual(matrix: Arc<ServedMatrix>, policy: BatchPolicy) -> Batcher {
+        assert!(policy.max_batch > 0, "batch policy needs max_batch >= 1");
+        Batcher {
+            matrix,
+            policy,
+            queue: Arc::new(SharedQueue {
+                state: Mutex::new(Queue {
+                    pending: VecDeque::new(),
+                    open: true,
+                }),
+                cv: Condvar::new(),
+            }),
+            stats: Arc::new(ServeStats::new()),
+            worker: None,
+        }
+    }
+
+    /// The served matrix this batcher fronts.
+    pub fn matrix(&self) -> &Arc<ServedMatrix> {
+        &self.matrix
+    }
+
+    /// The batching policy in force.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// The serve statistics (shared with the service loop).
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Requests currently waiting.
+    pub fn pending(&self) -> usize {
+        self.queue.state.lock().unwrap().pending.len()
+    }
+
+    /// Enqueue one request, returning a [`Ticket`] for its result.
+    pub fn submit(&self, x: Vec<f64>) -> Result<Ticket> {
+        if x.len() != self.matrix.ncols() {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.matrix.ncols(),
+                found: x.len(),
+            });
+        }
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.queue.state.lock().unwrap();
+            if !state.open {
+                return Err(ServeError::Closed);
+            }
+            state.pending.push_back(Request {
+                x,
+                reply: tx,
+                submitted: now,
+            });
+            self.queue.cv.notify_all();
+        }
+        self.stats.record_submit(now);
+        Ok(Ticket { rx })
+    }
+
+    /// Blocking convenience: submit and wait.
+    pub fn apply(&self, x: Vec<f64>) -> Result<Vec<f64>> {
+        self.submit(x)?.wait()
+    }
+
+    /// Drain up to `max_batch` currently-waiting requests and serve them as one
+    /// SpMM batch *on the calling thread*. Returns the batch width (0 when the
+    /// queue was empty). This is the manual driving mode; with a background
+    /// service thread it is still safe, but batch composition becomes racy.
+    pub fn run_once(&self) -> usize {
+        let batch = {
+            let mut state = self.queue.state.lock().unwrap();
+            drain_batch(&mut state.pending, self.policy.max_batch)
+        };
+        execute_batch(&self.matrix, batch, &self.stats)
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        {
+            let mut state = self.queue.state.lock().unwrap();
+            state.open = false;
+            self.queue.cv.notify_all();
+        }
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+        // Manual mode (or a panicked service thread): any still-pending requests
+        // are dropped here, which disconnects their reply channels and fails
+        // outstanding tickets with `Closed`.
+    }
+}
+
+/// Take up to `max_batch` requests off the front of the queue.
+fn drain_batch(pending: &mut VecDeque<Request>, max_batch: usize) -> Vec<Request> {
+    let n = pending.len().min(max_batch);
+    pending.drain(..n).collect()
+}
+
+/// Serve one drained batch: assemble the column-major source block, run one
+/// engine SpMM, reply per request, record stats. Returns the batch width.
+fn execute_batch(matrix: &ServedMatrix, batch: Vec<Request>, stats: &ServeStats) -> usize {
+    let k = batch.len();
+    if k == 0 {
+        return 0;
+    }
+    let columns: Vec<&[f64]> = batch.iter().map(|r| r.x.as_slice()).collect();
+    let x = MultiVec::from_columns(&columns);
+    let mut y = MultiVec::zeros(matrix.nrows(), k);
+    let exec = matrix.spmm_into(&x, &mut y);
+    stats.record_batch(k, (2 * matrix.nnz() * k) as f64, exec);
+    for (j, request) in batch.into_iter().enumerate() {
+        // A client that gave up (dropped its ticket) just discards the send.
+        let _ = request.reply.send(y.col(j).to_vec());
+        stats.record_request(request.submitted.elapsed());
+    }
+    k
+}
+
+/// The background service loop: wait for work, cut batches per the policy,
+/// execute. On shutdown the queue is flushed before the thread exits.
+fn service_loop(
+    queue: Arc<SharedQueue>,
+    matrix: Arc<ServedMatrix>,
+    policy: BatchPolicy,
+    stats: Arc<ServeStats>,
+) {
+    loop {
+        let batch = {
+            let mut state = queue.state.lock().unwrap();
+            loop {
+                if state.pending.is_empty() {
+                    if !state.open {
+                        return;
+                    }
+                    state = queue.cv.wait(state).unwrap();
+                    continue;
+                }
+                if state.pending.len() >= policy.max_batch || !state.open {
+                    break;
+                }
+                let deadline = state.pending.front().unwrap().submitted + policy.max_wait;
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, _timeout) = queue.cv.wait_timeout(state, deadline - now).unwrap();
+                state = next;
+            }
+            drain_batch(&mut state.pending, policy.max_batch)
+        };
+        execute_batch(&matrix, batch, &stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MatrixRegistry;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spmv_core::formats::{CooMatrix, CsrMatrix};
+    use spmv_core::tuning::TuningConfig;
+
+    fn served(seed: u64) -> Arc<ServedMatrix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(48, 36);
+        for _ in 0..500 {
+            coo.push(
+                rng.random_range(0..48),
+                rng.random_range(0..36),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let registry = MatrixRegistry::new(2, TuningConfig::full());
+        registry.insert("m", &csr).unwrap()
+    }
+
+    fn request_x(j: usize) -> Vec<f64> {
+        (0..36)
+            .map(|i| ((i * 7 + j * 3) % 23) as f64 * 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn manual_mode_serves_a_burst_as_one_batch() {
+        let batcher = Batcher::manual(served(1), BatchPolicy::default());
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|j| batcher.submit(request_x(j)).unwrap())
+            .collect();
+        assert_eq!(batcher.pending(), 8);
+        assert_eq!(batcher.run_once(), 8);
+        for (j, ticket) in tickets.into_iter().enumerate() {
+            let y = ticket.wait().unwrap();
+            assert_eq!(y, batcher.matrix().spmv_now(&request_x(j)).unwrap());
+        }
+        let report = batcher.stats().snapshot();
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.requests, 8);
+        assert_eq!(report.batch_k_histogram, vec![(8, 1)]);
+    }
+
+    #[test]
+    fn manual_mode_splits_oversized_bursts_at_max_batch() {
+        let policy = BatchPolicy {
+            max_batch: 4,
+            ..BatchPolicy::default()
+        };
+        let batcher = Batcher::manual(served(2), policy);
+        let tickets: Vec<Ticket> = (0..10)
+            .map(|j| batcher.submit(request_x(j)).unwrap())
+            .collect();
+        assert_eq!(batcher.run_once(), 4);
+        assert_eq!(batcher.run_once(), 4);
+        assert_eq!(batcher.run_once(), 2);
+        assert_eq!(batcher.run_once(), 0);
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let report = batcher.stats().snapshot();
+        assert_eq!(report.batches, 3);
+        assert!((report.avg_batch - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_mode_serves_concurrent_clients_correctly() {
+        let batcher = Arc::new(Batcher::spawn(
+            served(3),
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+            },
+        ));
+        let handles: Vec<_> = (0..12)
+            .map(|j| {
+                let batcher = Arc::clone(&batcher);
+                std::thread::spawn(move || {
+                    let y = batcher.apply(request_x(j)).unwrap();
+                    (j, y)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (j, y) = handle.join().unwrap();
+            assert_eq!(y, batcher.matrix().spmv_now(&request_x(j)).unwrap());
+        }
+        let report = batcher.stats().snapshot();
+        assert_eq!(report.requests, 12);
+        assert!(report.batches >= 3, "4-wide cap means at least 3 batches");
+        assert!(report.busy_gflops > 0.0);
+        assert!(report.max_latency >= report.mean_latency);
+    }
+
+    #[test]
+    fn shutdown_flushes_pending_requests() {
+        let batcher = Batcher::spawn(
+            served(4),
+            BatchPolicy {
+                max_batch: 64,
+                max_wait: Duration::from_secs(60), // never cut by age during the test
+            },
+        );
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|j| batcher.submit(request_x(j)).unwrap())
+            .collect();
+        drop(batcher); // close + flush + join
+        for ticket in tickets {
+            assert!(
+                ticket.wait().is_ok(),
+                "pending requests are flushed on drop"
+            );
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_and_bad_lengths_error() {
+        let batcher = Batcher::manual(served(5), BatchPolicy::default());
+        assert!(matches!(
+            batcher.submit(vec![0.0; 7]),
+            Err(ServeError::DimensionMismatch { .. })
+        ));
+        batcher.queue.state.lock().unwrap().open = false;
+        assert!(matches!(
+            batcher.submit(request_x(0)),
+            Err(ServeError::Closed)
+        ));
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking() {
+        let batcher = Batcher::manual(served(6), BatchPolicy::default());
+        let ticket = batcher.submit(request_x(0)).unwrap();
+        assert!(ticket.try_wait().is_none());
+        batcher.run_once();
+        assert!(ticket.try_wait().is_some());
+    }
+}

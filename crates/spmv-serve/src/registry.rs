@@ -1,0 +1,364 @@
+//! The matrix registry: named matrices, their tune plans, and running engines.
+//!
+//! A serving deployment holds a small set of hot matrices, each tuned once
+//! (possibly offline — plans round-trip through the plain-text profile format of
+//! [`TunePlan::save`]/[`TunePlan::load`]) and then applied millions of times.
+//! [`MatrixRegistry`] owns that mapping: inserting a matrix plans it (or adopts
+//! a supplied/loaded plan), spins up the persistent [`SpmvEngine`], and hands
+//! out [`ServedMatrix`] handles that batchers and direct callers share.
+
+use crate::{Result, ServeError};
+use spmv_core::formats::CsrMatrix;
+use spmv_core::multivec::MultiVec;
+use spmv_core::tuning::plan::TunePlan;
+use spmv_core::tuning::TuningConfig;
+use spmv_core::MatrixShape;
+use spmv_parallel::affinity::AffinityPolicy;
+use spmv_parallel::engine::EngineFootprint;
+use spmv_parallel::SpmvEngine;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One registered matrix: its identity, its serializable tune plan, and the
+/// running persistent engine that serves it.
+pub struct ServedMatrix {
+    name: String,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    plan: TunePlan,
+    engine: Mutex<SpmvEngine>,
+}
+
+impl ServedMatrix {
+    fn build(
+        name: &str,
+        csr: &CsrMatrix,
+        plan: TunePlan,
+        affinity: AffinityPolicy,
+    ) -> Result<ServedMatrix> {
+        let engine = SpmvEngine::from_plan_with_affinity(csr, &plan, affinity)?;
+        Ok(ServedMatrix {
+            name: name.to_string(),
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            nnz: csr.nnz(),
+            plan,
+            engine: Mutex::new(engine),
+        })
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rows of the served matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the served matrix (the request vector length).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Logical nonzeros (2 flops each per request).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The tune plan the engine was materialized from.
+    pub fn plan(&self) -> &TunePlan {
+        &self.plan
+    }
+
+    /// The engine's footprint report (per-worker bytes + affinity policy).
+    pub fn footprint(&self) -> EngineFootprint {
+        self.engine.lock().unwrap().footprint()
+    }
+
+    /// Apply the matrix to one vector immediately, bypassing any batching.
+    pub fn spmv_now(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.ncols,
+                found: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.nrows];
+        self.engine.lock().unwrap().spmv(x, &mut y);
+        Ok(y)
+    }
+
+    /// Apply the matrix to a column-major block of vectors immediately.
+    pub fn spmm_now(&self, x: &MultiVec) -> Result<MultiVec> {
+        if x.ld() != self.ncols {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.ncols,
+                found: x.ld(),
+            });
+        }
+        let mut y = MultiVec::zeros(self.nrows, x.k());
+        self.engine.lock().unwrap().spmm(x, &mut y);
+        Ok(y)
+    }
+
+    /// Apply a prebuilt block into a caller-owned destination (the batcher's
+    /// zero-copy path), timing only the engine execution.
+    pub(crate) fn spmm_into(&self, x: &MultiVec, y: &mut MultiVec) -> std::time::Duration {
+        let mut engine = self.engine.lock().unwrap();
+        let t0 = std::time::Instant::now();
+        engine.spmm(x, y);
+        t0.elapsed()
+    }
+}
+
+impl std::fmt::Debug for ServedMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedMatrix")
+            .field("name", &self.name)
+            .field("nrows", &self.nrows)
+            .field("ncols", &self.ncols)
+            .field("nnz", &self.nnz)
+            .finish()
+    }
+}
+
+/// Named matrices → tuned, running engines.
+pub struct MatrixRegistry {
+    matrices: RwLock<HashMap<String, Arc<ServedMatrix>>>,
+    nthreads: usize,
+    config: TuningConfig,
+    affinity: AffinityPolicy,
+}
+
+impl MatrixRegistry {
+    /// A registry whose engines run `nthreads` workers, tuned with `config`,
+    /// under the engine's default first-touch affinity.
+    pub fn new(nthreads: usize, config: TuningConfig) -> MatrixRegistry {
+        Self::with_affinity(nthreads, config, AffinityPolicy::first_touch())
+    }
+
+    /// [`MatrixRegistry::new`] with an explicit [`AffinityPolicy`] recorded on
+    /// every engine built by this registry.
+    pub fn with_affinity(
+        nthreads: usize,
+        config: TuningConfig,
+        affinity: AffinityPolicy,
+    ) -> MatrixRegistry {
+        assert!(nthreads > 0, "registry engines need at least one worker");
+        MatrixRegistry {
+            matrices: RwLock::new(HashMap::new()),
+            nthreads,
+            config,
+            affinity,
+        }
+    }
+
+    /// Tune `csr` with the registry's configuration and register it under
+    /// `name`, returning the served handle.
+    pub fn insert(&self, name: &str, csr: &CsrMatrix) -> Result<Arc<ServedMatrix>> {
+        let plan = TunePlan::new(csr, self.nthreads, &self.config);
+        self.insert_with_plan(name, csr, plan)
+    }
+
+    /// Register `csr` under `name` with an already-built [`TunePlan`] (e.g. one
+    /// produced by an offline tuning pass). The plan is validated against the
+    /// matrix by engine construction.
+    pub fn insert_with_plan(
+        &self,
+        name: &str,
+        csr: &CsrMatrix,
+        plan: TunePlan,
+    ) -> Result<Arc<ServedMatrix>> {
+        // Cheap duplicate check first: building the engine materializes the
+        // whole matrix and spawns workers, which a taken name must not cost.
+        if self.matrices.read().unwrap().contains_key(name) {
+            return Err(ServeError::AlreadyRegistered(name.to_string()));
+        }
+        let served = Arc::new(ServedMatrix::build(name, csr, plan, self.affinity)?);
+        let mut map = self.matrices.write().unwrap();
+        // Re-check under the write lock: a racing insert may have won the name
+        // while this one was building.
+        if map.contains_key(name) {
+            return Err(ServeError::AlreadyRegistered(name.to_string()));
+        }
+        map.insert(name.to_string(), Arc::clone(&served));
+        Ok(served)
+    }
+
+    /// Register `csr` under `name` with a plan loaded from a plain-text profile
+    /// (the PR-2 `spmv-tune-plan v1` format).
+    pub fn insert_from_profile(
+        &self,
+        name: &str,
+        csr: &CsrMatrix,
+        path: impl AsRef<Path>,
+    ) -> Result<Arc<ServedMatrix>> {
+        let plan = TunePlan::load(path).map_err(|e| ServeError::Profile(e.to_string()))?;
+        self.insert_with_plan(name, csr, plan)
+    }
+
+    /// Save the registered matrix's tune plan as a plain-text profile, so a
+    /// later process can skip the tuning pass.
+    pub fn save_profile(&self, name: &str, path: impl AsRef<Path>) -> Result<()> {
+        let served = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownMatrix(name.to_string()))?;
+        served
+            .plan()
+            .save(path)
+            .map_err(|e| ServeError::Profile(e.to_string()))
+    }
+
+    /// Look up a served matrix by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ServedMatrix>> {
+        self.matrices.read().unwrap().get(name).cloned()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.matrices.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered matrices.
+    pub fn len(&self) -> usize {
+        self.matrices.read().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.matrices.read().unwrap().is_empty()
+    }
+
+    /// Remove a matrix. Existing `Arc<ServedMatrix>` handles (and batchers
+    /// holding them) stay valid; the name becomes free for re-registration.
+    pub fn remove(&self, name: &str) -> Option<Arc<ServedMatrix>> {
+        self.matrices.write().unwrap().remove(name)
+    }
+}
+
+impl std::fmt::Debug for MatrixRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatrixRegistry")
+            .field("names", &self.names())
+            .field("nthreads", &self.nthreads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spmv_core::formats::CooMatrix;
+    use spmv_core::SpMv;
+
+    fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn insert_get_and_direct_apply() {
+        let registry = MatrixRegistry::new(2, TuningConfig::full());
+        let csr = random_csr(60, 50, 600, 1);
+        let served = registry.insert("m", &csr).unwrap();
+        assert_eq!(registry.names(), vec!["m".to_string()]);
+        assert_eq!(served.nnz(), csr.nnz());
+        let x: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let y = served.spmv_now(&x).unwrap();
+        let mut expected = vec![0.0; 60];
+        csr.spmv(&x, &mut expected);
+        let diff = y
+            .iter()
+            .zip(&expected)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(diff < 1e-9);
+        assert!(served.footprint().total_bytes > 0);
+        assert_eq!(registry.get("m").unwrap().name(), "m");
+        assert!(registry.get("absent").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected_and_remove_frees_them() {
+        let registry = MatrixRegistry::new(1, TuningConfig::naive());
+        let csr = random_csr(10, 10, 30, 2);
+        registry.insert("m", &csr).unwrap();
+        assert!(matches!(
+            registry.insert("m", &csr),
+            Err(ServeError::AlreadyRegistered(_))
+        ));
+        assert!(registry.remove("m").is_some());
+        assert!(registry.is_empty());
+        registry.insert("m", &csr).unwrap();
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn profile_round_trip_through_registry() {
+        let registry = MatrixRegistry::new(2, TuningConfig::full());
+        let csr = random_csr(80, 70, 900, 3);
+        registry.insert("m", &csr).unwrap();
+        let path = std::env::temp_dir().join("spmv_serve_registry_test.profile");
+        registry.save_profile("m", &path).unwrap();
+
+        let fresh = MatrixRegistry::new(2, TuningConfig::naive());
+        let reloaded = fresh.insert_from_profile("m2", &csr, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded.plan(), registry.get("m").unwrap().plan());
+
+        // A profile for a different matrix must be rejected.
+        let other = random_csr(80, 70, 800, 4);
+        let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+        assert!(matches!(
+            fresh.insert_with_plan("bad", &other, plan),
+            Err(ServeError::Build(_))
+        ));
+    }
+
+    #[test]
+    fn spmm_now_matches_per_column_spmv() {
+        let registry = MatrixRegistry::new(3, TuningConfig::full());
+        let csr = random_csr(40, 30, 300, 5);
+        let served = registry.insert("m", &csr).unwrap();
+        let cols: Vec<Vec<f64>> = (0..5)
+            .map(|j| (0..30).map(|i| (i * (j + 1)) as f64 * 0.05).collect())
+            .collect();
+        let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let x = MultiVec::from_columns(&views);
+        let y = served.spmm_now(&x).unwrap();
+        for j in 0..5 {
+            assert_eq!(y.col(j), &served.spmv_now(x.col(j)).unwrap()[..]);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatches_are_reported() {
+        let registry = MatrixRegistry::new(1, TuningConfig::naive());
+        let csr = random_csr(8, 6, 20, 6);
+        let served = registry.insert("m", &csr).unwrap();
+        assert!(matches!(
+            served.spmv_now(&[1.0; 5]),
+            Err(ServeError::DimensionMismatch {
+                expected: 6,
+                found: 5
+            })
+        ));
+        assert!(registry.save_profile("absent", "/tmp/x").is_err());
+    }
+}

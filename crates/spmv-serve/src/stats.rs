@@ -1,0 +1,204 @@
+//! Serve-loop statistics: per-request latency and aggregate throughput.
+//!
+//! One [`ServeStats`] instance is shared between a [`crate::batcher::Batcher`]'s
+//! submit path and its service loop; [`ServeStats::snapshot`] folds the counters
+//! into a [`ServeReport`] at any time without stopping the service.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Histogram bucket ceiling for batch widths (batches wider than this are
+/// counted in the last bucket; the engine handles arbitrary `k`).
+const K_BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct Inner {
+    requests: usize,
+    batches: usize,
+    /// Useful flops executed (2 per logical nonzero per vector).
+    flops: f64,
+    /// Time the engine spent inside batched applies.
+    busy: Duration,
+    latency_sum: Duration,
+    latency_max: Duration,
+    /// `k_counts[k-1]` = number of batches of width `k` (capped at `K_BUCKETS`).
+    k_counts: [usize; K_BUCKETS],
+    /// First submission seen (the wall-clock window opens here).
+    window_start: Option<Instant>,
+    /// Latest batch completion (the window closes here).
+    window_end: Option<Instant>,
+}
+
+/// Thread-safe serve statistics.
+#[derive(Debug)]
+pub struct ServeStats {
+    inner: Mutex<Inner>,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeStats {
+    /// Fresh, empty counters.
+    pub fn new() -> ServeStats {
+        ServeStats {
+            inner: Mutex::new(Inner {
+                requests: 0,
+                batches: 0,
+                flops: 0.0,
+                busy: Duration::ZERO,
+                latency_sum: Duration::ZERO,
+                latency_max: Duration::ZERO,
+                k_counts: [0; K_BUCKETS],
+                window_start: None,
+                window_end: None,
+            }),
+        }
+    }
+
+    /// Note a request submission (opens the wall-clock window on first call).
+    pub fn record_submit(&self, at: Instant) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.window_start.is_none() {
+            inner.window_start = Some(at);
+        }
+    }
+
+    /// Record one executed batch: its width, the useful flops it performed
+    /// (`2 · nnz · k`), and the engine execution time.
+    pub fn record_batch(&self, k: usize, flops: f64, exec: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.batches += 1;
+        inner.flops += flops;
+        inner.busy += exec;
+        inner.k_counts[k.clamp(1, K_BUCKETS) - 1] += 1;
+        inner.window_end = Some(Instant::now());
+    }
+
+    /// Record one completed request and its submit-to-reply latency.
+    pub fn record_request(&self, latency: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.requests += 1;
+        inner.latency_sum += latency;
+        inner.latency_max = inner.latency_max.max(latency);
+    }
+
+    /// Fold the counters into a report.
+    pub fn snapshot(&self) -> ServeReport {
+        let inner = self.inner.lock().unwrap();
+        let busy_s = inner.busy.as_secs_f64();
+        let wall_s = match (inner.window_start, inner.window_end) {
+            (Some(a), Some(b)) => (b - a).as_secs_f64(),
+            _ => 0.0,
+        };
+        ServeReport {
+            requests: inner.requests,
+            batches: inner.batches,
+            avg_batch: if inner.batches == 0 {
+                0.0
+            } else {
+                inner.requests as f64 / inner.batches as f64
+            },
+            busy_gflops: if busy_s > 0.0 {
+                inner.flops / busy_s / 1e9
+            } else {
+                0.0
+            },
+            wall_gflops: if wall_s > 0.0 {
+                inner.flops / wall_s / 1e9
+            } else {
+                0.0
+            },
+            busy_seconds: busy_s,
+            wall_seconds: wall_s,
+            mean_latency: if inner.requests == 0 {
+                Duration::ZERO
+            } else {
+                inner.latency_sum / inner.requests as u32
+            },
+            max_latency: inner.latency_max,
+            batch_k_histogram: inner
+                .k_counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (i + 1, c))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time summary of a serve loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests completed.
+    pub requests: usize,
+    /// SpMM batches executed.
+    pub batches: usize,
+    /// Mean batch width (requests / batches).
+    pub avg_batch: f64,
+    /// Aggregate GFLOP/s over engine busy time (the kernel-side rate).
+    pub busy_gflops: f64,
+    /// Aggregate GFLOP/s over the wall-clock window from the first submission
+    /// to the latest completion (the client-side rate, including waits).
+    pub wall_gflops: f64,
+    /// Engine busy seconds.
+    pub busy_seconds: f64,
+    /// Wall-clock window seconds.
+    pub wall_seconds: f64,
+    /// Mean submit-to-reply latency.
+    pub mean_latency: Duration,
+    /// Worst submit-to-reply latency.
+    pub max_latency: Duration,
+    /// `(k, batches)` pairs for every batch width observed.
+    pub batch_k_histogram: Vec<(usize, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_report_zeros() {
+        let report = ServeStats::new().snapshot();
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.avg_batch, 0.0);
+        assert_eq!(report.busy_gflops, 0.0);
+        assert_eq!(report.wall_gflops, 0.0);
+        assert!(report.batch_k_histogram.is_empty());
+    }
+
+    #[test]
+    fn counters_fold_into_report() {
+        let stats = ServeStats::new();
+        let t0 = Instant::now();
+        stats.record_submit(t0);
+        stats.record_batch(4, 8.0e9, Duration::from_secs(1));
+        stats.record_batch(2, 2.0e9, Duration::from_secs(1));
+        for _ in 0..6 {
+            stats.record_request(Duration::from_millis(10));
+        }
+        stats.record_request(Duration::from_millis(40));
+        let report = stats.snapshot();
+        assert_eq!(report.requests, 7);
+        assert_eq!(report.batches, 2);
+        assert!((report.avg_batch - 3.5).abs() < 1e-12);
+        assert!((report.busy_gflops - 5.0).abs() < 1e-9);
+        assert!(report.wall_gflops > 0.0);
+        assert_eq!(report.max_latency, Duration::from_millis(40));
+        assert_eq!(report.mean_latency, Duration::from_millis(100) / 7);
+        assert_eq!(report.batch_k_histogram, vec![(2, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn oversized_batches_clamp_into_last_bucket() {
+        let stats = ServeStats::new();
+        stats.record_batch(1000, 1.0, Duration::from_micros(1));
+        let report = stats.snapshot();
+        assert_eq!(report.batch_k_histogram, vec![(K_BUCKETS, 1)]);
+    }
+}

@@ -23,6 +23,7 @@ pub use spmv_baseline;
 pub use spmv_core;
 pub use spmv_matrices;
 pub use spmv_parallel;
+pub use spmv_serve;
 
 /// Convenience prelude pulling in the types most examples need.
 pub mod prelude {
@@ -33,13 +34,15 @@ pub mod prelude {
     pub use spmv_baseline::oski::OskiMatrix;
     pub use spmv_baseline::petsc::OskiPetsc;
     pub use spmv_core::formats::{CooMatrix, CsrMatrix};
+    pub use spmv_core::multivec::MultiVec;
     pub use spmv_core::tuning::{
         tune, tune_csr, PreparedMatrix, TunePlan, TunedMatrix, TuningConfig,
     };
     pub use spmv_core::{MatrixShape, SpMv};
     pub use spmv_matrices::suite::{Scale, SuiteMatrix};
     pub use spmv_parallel::executor::{ParallelCsr, ParallelTuned};
-    pub use spmv_parallel::SpmvEngine;
+    pub use spmv_parallel::{AffinityPolicy, SpmvEngine};
+    pub use spmv_serve::{BatchPolicy, Batcher, MatrixRegistry};
 }
 
 #[cfg(test)]
