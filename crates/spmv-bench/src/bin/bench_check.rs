@@ -13,7 +13,8 @@
 
 use spmv_bench::json::Json;
 use spmv_bench::perf::{
-    harness_matrices, swept_thread_counts, TUNED_PARALLEL_VARIANT, TUNED_SERIAL_VARIANT,
+    harness_matrices, swept_thread_counts, sym_id, symmetric_harness_matrices,
+    SYM_PARALLEL_VARIANT, SYM_SERIAL_VARIANT, TUNED_PARALLEL_VARIANT, TUNED_SERIAL_VARIANT,
 };
 use spmv_bench::serve::{batched_variant, serve_variant, BATCH_WIDTHS, SERVE_SCENARIOS};
 
@@ -98,6 +99,41 @@ fn main() {
         }
     }
 
+    // Symmetric-pipeline rows: for every symmetric Table-3 suite matrix, the
+    // symmetrized instance must carry a sym-serial row, sym-parallel rows at
+    // every swept thread count, and a general tuned-serial baseline — and the
+    // halved-traffic claim must hold: sym-serial streams strictly fewer
+    // bytes/nnz than tuned-serial on the same matrix.
+    for matrix in symmetric_harness_matrices() {
+        let id = sym_id(matrix.id());
+        let bytes_per_nnz = |variant: &str| -> f64 {
+            results
+                .iter()
+                .find(|r| row_matches(r, &id, variant, 1))
+                .and_then(|r| r.get("bytes_per_nnz").and_then(Json::as_f64))
+                .unwrap_or_else(|| fail(&format!("{id}: missing {variant} row")))
+        };
+        let tuned = bytes_per_nnz(TUNED_SERIAL_VARIANT);
+        let sym = bytes_per_nnz(SYM_SERIAL_VARIANT);
+        if sym >= tuned {
+            fail(&format!(
+                "{id}: sym-serial streams {sym} B/nnz, not below tuned-serial's {tuned} B/nnz"
+            ));
+        }
+        checked += 2;
+        for &threads in &thread_counts {
+            if !results
+                .iter()
+                .any(|r| row_matches(r, &id, SYM_PARALLEL_VARIANT, threads))
+            {
+                fail(&format!(
+                    "{id}: missing {SYM_PARALLEL_VARIANT} row at {threads} threads"
+                ));
+            }
+            checked += 1;
+        }
+    }
+
     // Serve-scenario rows: one per replayed request stream, with traffic served.
     for scenario in SERVE_SCENARIOS {
         let variant = serve_variant(scenario);
@@ -113,7 +149,7 @@ fn main() {
     }
 
     println!(
-        "[bench_check] OK: {path} has all {checked} expected tuned/batched/serve rows ({} results total)",
+        "[bench_check] OK: {path} has all {checked} expected tuned/batched/sym/serve rows ({} results total)",
         results.len()
     );
 }

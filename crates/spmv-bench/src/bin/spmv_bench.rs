@@ -11,7 +11,10 @@
 //!
 //! Thread count defaults to the host parallelism; override with `SPMV_BENCH_THREADS`.
 
-use spmv_bench::perf::{build_suite, harness_json_with_rows, run_harness_on};
+use spmv_bench::perf::{
+    build_suite, build_symmetric_suite, harness_json_with_rows, run_harness_on,
+    run_symmetric_harness,
+};
 use spmv_bench::serve::{run_serve_scenarios, ReplayLoad};
 use spmv_matrices::suite::Scale;
 
@@ -49,7 +52,14 @@ fn main() {
     // One matrix build per suite entry, shared by the kernel-variant sweep, the
     // tuned/batched rows, and the serve-scenario replay.
     let matrices = build_suite(scale);
-    let results = run_harness_on(&matrices, max_threads, budget_ms);
+    let mut results = run_harness_on(&matrices, max_threads, budget_ms);
+    // The symmetric pipeline rows: every symmetric Table-3 matrix, symmetrized,
+    // measured as general tuned-serial (baseline) vs sym-serial/sym-parallel.
+    results.extend(run_symmetric_harness(
+        &build_symmetric_suite(scale),
+        max_threads,
+        budget_ms,
+    ));
     let serve_rows = run_serve_scenarios(&matrices, max_threads, ReplayLoad::smoke());
     let doc = harness_json_with_rows(scale, max_threads, &results, serve_rows);
     std::fs::write(&output, doc.pretty()).expect("write benchmark artifact");

@@ -26,6 +26,30 @@ pub const TUNED_PARALLEL_VARIANT: &str = "tuned-parallel";
 /// sequentially; bit-identical to the parallel rows' results).
 pub const TUNED_SERIAL_VARIANT: &str = "tuned-serial";
 
+/// Variant label of the serial symmetric rows: diagonal + strictly-lower
+/// storage (`SymCsr`/`SymBcsr`), halved off-diagonal value/index traffic.
+pub const SYM_SERIAL_VARIANT: &str = "sym-serial";
+
+/// Variant label of the parallel symmetric rows: the same lower-triangle plan
+/// on the persistent engine (per-worker scratch + deterministic tree
+/// reduction); bit-identical to the `sym-serial` results.
+pub const SYM_PARALLEL_VARIANT: &str = "sym-parallel";
+
+/// The full tuning config with symmetry exploitation switched **off** — the
+/// general-storage baseline the `sym-*` rows are compared against (the artifact
+/// needs both on the same matrix to show the halved bytes/nnz).
+pub fn general_config() -> TuningConfig {
+    TuningConfig {
+        exploit_symmetry: false,
+        ..TuningConfig::full()
+    }
+}
+
+/// Artifact matrix id of the symmetrized instance of a suite matrix.
+pub fn sym_id(base: &str) -> String {
+    format!("{base}-sym")
+}
+
 /// One measured configuration.
 #[derive(Debug, Clone)]
 pub struct PerfResult {
@@ -264,6 +288,115 @@ pub fn harness_matrices() -> Vec<SuiteMatrix> {
     ]
 }
 
+/// The symmetric slice of Table 3: every `.rsa` (real symmetric assembled)
+/// matrix of the paper's suite, benchmarked as its symmetrized synthetic twin
+/// under the `{id}-sym` artifact ids.
+pub fn symmetric_harness_matrices() -> Vec<SuiteMatrix> {
+    SuiteMatrix::all()
+        .into_iter()
+        .filter(|m| m.is_symmetric_in_table3())
+        .collect()
+}
+
+/// Build the symmetric harness suite: one exactly-symmetric CSR per symmetric
+/// Table-3 entry (the generator's structural profile folded through
+/// `spmv_matrices::symmetrize`).
+pub fn build_symmetric_suite(scale: Scale) -> Vec<(String, CsrMatrix)> {
+    symmetric_harness_matrices()
+        .into_iter()
+        .map(|matrix| {
+            let coo = matrix
+                .generate_symmetric(scale)
+                .expect("symmetric Table-3 matrices symmetrize");
+            (sym_id(matrix.id()), CsrMatrix::from_coo(&coo))
+        })
+        .collect()
+}
+
+/// Measure the serial symmetric pipeline: the symmetric plan (detected
+/// automatically by `TunePlan::new` under the full config) materialized and
+/// executed on the calling thread.
+pub fn measure_sym_serial(matrix_id: &str, csr: &CsrMatrix, budget_ms: u64) -> PerfResult {
+    let plan = TunePlan::new(csr, 1, &TuningConfig::full());
+    assert!(plan.symmetric, "{matrix_id}: symmetry must be detected");
+    let prepared = PreparedMatrix::materialize(csr, &plan).expect("fresh plan matches its matrix");
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![0.0; csr.nrows()];
+    let (secs, iters) = time_adaptive(budget_ms, || prepared.spmv(&x, &mut y));
+    PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz: csr.nnz(),
+        variant: SYM_SERIAL_VARIANT.to_string(),
+        threads: 1,
+        gflops: gflops(csr.nnz(), secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: prepared.footprint_bytes() as f64 / csr.nnz().max(1) as f64,
+    }
+}
+
+/// Measure the parallel symmetric pipeline at `threads`: the same lower-triangle
+/// plan on the persistent engine (per-worker scratch + deterministic tree
+/// reduction).
+pub fn measure_sym_parallel(
+    matrix_id: &str,
+    csr: &CsrMatrix,
+    threads: usize,
+    budget_ms: u64,
+) -> PerfResult {
+    let plan = TunePlan::new(csr, threads, &TuningConfig::full());
+    assert!(plan.symmetric, "{matrix_id}: symmetry must be detected");
+    let mut engine = SpmvEngine::from_plan(csr, &plan).expect("fresh plan matches its matrix");
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![0.0; csr.nrows()];
+    let (secs, iters) = time_adaptive(budget_ms, || engine.spmv(&x, &mut y));
+    PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz: csr.nnz(),
+        variant: SYM_PARALLEL_VARIANT.to_string(),
+        threads,
+        gflops: gflops(csr.nnz(), secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: engine.footprint_bytes() as f64 / csr.nnz().max(1) as f64,
+    }
+}
+
+/// Run the symmetric harness over prebuilt symmetrized suite matrices: for each,
+/// the general tuned-serial baseline (symmetry off — same matrix, general
+/// storage) plus `sym-serial` and `sym-parallel` rows at the swept thread
+/// counts. The bytes/nnz column is the paper's symmetry story: the `sym-*`
+/// rows stream roughly half the baseline's bytes.
+pub fn run_symmetric_harness(
+    matrices: &[(String, CsrMatrix)],
+    max_threads: usize,
+    budget_ms: u64,
+) -> Vec<PerfResult> {
+    let mut results = Vec::new();
+    for (id, csr) in matrices {
+        eprintln!(
+            "[spmv_bench] {} ({} x {}, {} nnz, symmetric)",
+            id,
+            csr.nrows(),
+            csr.ncols(),
+            csr.nnz()
+        );
+        // General-storage baseline on the identical matrix.
+        let plan = TunePlan::new(csr, 1, &general_config());
+        let prepared =
+            PreparedMatrix::materialize(csr, &plan).expect("fresh plan matches its matrix");
+        results.push(measure_tuned_serial_prepared(
+            id,
+            csr.nnz(),
+            &prepared,
+            budget_ms,
+        ));
+        results.push(measure_sym_serial(id, csr, budget_ms));
+        for &threads in &swept_thread_counts(max_threads) {
+            results.push(measure_sym_parallel(id, csr, threads, budget_ms));
+        }
+    }
+    results
+}
+
 /// The CSR code variants swept at every thread count.
 pub fn harness_variants() -> Vec<KernelVariant> {
     vec![
@@ -499,6 +632,42 @@ mod tests {
         let compressed = measure_compressed_csr("circuit", &csr, 2);
         assert_eq!(compressed.variant, "csr-u16");
         assert!(compressed.bytes_per_nnz < csr.footprint_bytes() as f64 / csr.nnz() as f64);
+    }
+
+    #[test]
+    fn symmetric_rows_stream_fewer_bytes_than_tuned_serial() {
+        // The acceptance bar: on every symmetric Table-3 suite matrix,
+        // sym-serial must report strictly lower bytes/nnz than the general
+        // tuned-serial baseline on the same matrix, and sym-parallel rows must
+        // exist at the swept thread counts.
+        let matrices = build_symmetric_suite(Scale::Tiny);
+        assert_eq!(matrices.len(), 6, "six .rsa matrices in Table 3");
+        let subset = &matrices[..2]; // keep the unit test fast; CI runs them all
+        let results = run_symmetric_harness(subset, 2, 1);
+        for (id, _) in subset {
+            let tuned = results
+                .iter()
+                .find(|r| &r.matrix == id && r.variant == TUNED_SERIAL_VARIANT)
+                .unwrap_or_else(|| panic!("{id}: missing tuned-serial baseline"));
+            let sym = results
+                .iter()
+                .find(|r| &r.matrix == id && r.variant == SYM_SERIAL_VARIANT)
+                .unwrap_or_else(|| panic!("{id}: missing sym-serial row"));
+            assert!(
+                sym.bytes_per_nnz < tuned.bytes_per_nnz,
+                "{id}: sym-serial {} B/nnz must beat tuned-serial {} B/nnz",
+                sym.bytes_per_nnz,
+                tuned.bytes_per_nnz
+            );
+            for threads in [1, 2] {
+                assert!(
+                    results.iter().any(|r| &r.matrix == id
+                        && r.variant == SYM_PARALLEL_VARIANT
+                        && r.threads == threads),
+                    "{id}: missing sym-parallel row at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

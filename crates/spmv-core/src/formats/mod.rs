@@ -14,6 +14,8 @@ pub mod csc;
 pub mod csr;
 pub mod gcsr;
 pub mod index;
+pub mod symbcsr;
+pub mod symcsr;
 pub mod traits;
 
 pub use bcoo::BcooMatrix;
@@ -23,4 +25,6 @@ pub use csc::CscMatrix;
 pub use csr::{CompressedCsr, CsrMatrix};
 pub use gcsr::GcsrMatrix;
 pub use index::{EnumDispatchCsr, IndexArray, IndexStorage, IndexWidth};
+pub use symbcsr::SymBcsr;
+pub use symcsr::{is_symmetric, SymCsr};
 pub use traits::{MatrixShape, SpMv};

@@ -26,6 +26,7 @@ pub mod naive;
 pub mod pipelined;
 pub mod prefetch;
 pub mod single_loop;
+pub mod symmetric;
 pub mod unrolled;
 pub mod variant;
 

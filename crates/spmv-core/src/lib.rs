@@ -53,7 +53,9 @@ pub mod tuning;
 pub use dense::AlignedVec;
 pub use error::{Error, Result};
 pub use formats::traits::{MatrixShape, SpMv};
-pub use formats::{BcooMatrix, BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, GcsrMatrix};
+pub use formats::{
+    BcooMatrix, BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, GcsrMatrix, SymBcsr, SymCsr,
+};
 pub use multivec::{MultiVec, MultiVecMut};
 pub use tuning::{PreparedBlock, PreparedMatrix, TunePlan, TunedMatrix, TuningConfig};
 

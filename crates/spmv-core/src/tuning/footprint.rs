@@ -22,6 +22,19 @@ pub enum FormatKind {
     Bcoo,
     /// Generalized CSR (occupied rows only, no register blocking).
     Gcsr,
+    /// Symmetric CSR: dense diagonal + strictly-lower triangle, each
+    /// off-diagonal entry applied twice (chosen only for symmetric matrices).
+    SymCsr,
+    /// Symmetric register-blocked CSR: dense diagonal + strictly-lower tiles.
+    SymBcsr,
+}
+
+impl FormatKind {
+    /// Whether this kind stores only the lower triangle and needs the symmetric
+    /// execution path (full-length destinations, scratch reduction in parallel).
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, FormatKind::SymCsr | FormatKind::SymBcsr)
+    }
 }
 
 /// A fully-specified storage decision for one matrix or cache block.
@@ -59,6 +72,88 @@ pub fn gcsr_bytes(csr: &CsrMatrix, width: IndexWidth) -> usize {
         + csr.nnz() * width.bytes()
         + occupied * width.bytes()
         + (occupied + 1) * INDEX32_BYTES
+}
+
+/// Exact [`crate::formats::SymCsr`] byte cost for a slab with `local_rows` rows
+/// and `lower_nnz` strictly-lower entries (dense diagonal + lower CSR).
+pub fn sym_csr_bytes(local_rows: usize, lower_nnz: usize, width: IndexWidth) -> usize {
+    local_rows * VALUE_BYTES
+        + lower_nnz * (VALUE_BYTES + width.bytes())
+        + (local_rows + 1) * INDEX32_BYTES
+}
+
+/// Exact [`crate::formats::SymBcsr`] byte cost given a lower-triangle fill
+/// estimate (dense diagonal + tiles + one block-column index per tile).
+pub fn sym_bcsr_bytes(local_rows: usize, est: &FillEstimate, width: IndexWidth) -> usize {
+    let nblock_rows = local_rows.div_ceil(est.r);
+    local_rows * VALUE_BYTES
+        + est.tiles * est.r * est.c * VALUE_BYTES
+        + est.tiles * width.bytes()
+        + (nblock_rows + 1) * INDEX32_BYTES
+}
+
+/// Enumerate every admissible symmetric `FormatChoice` for a row slab of a
+/// symmetric matrix. `lower` is the slab's strictly-lower triangle as a CSR
+/// matrix (local rows, global columns); `n` is the global dimension. The
+/// `fill_ratio` recorded in each choice describes the lower-triangle tiling.
+pub fn enumerate_symmetric_choices(
+    lower: &CsrMatrix,
+    n: usize,
+    opts: &CandidateOptions,
+) -> Vec<FormatChoice> {
+    let local_rows = lower.nrows();
+    let lower_nnz = lower.nnz();
+    let mut out = Vec::new();
+
+    let widths = |span: usize| -> Vec<IndexWidth> {
+        let mut w = vec![IndexWidth::U32];
+        if opts.allow_u16 && IndexWidth::U16.fits(span) {
+            w.push(IndexWidth::U16);
+        }
+        w
+    };
+
+    // Pointwise symmetric CSR is always admissible (columns span the full
+    // global dimension).
+    for width in widths(n) {
+        out.push(FormatChoice {
+            kind: FormatKind::SymCsr,
+            r: 1,
+            c: 1,
+            width,
+            bytes: sym_csr_bytes(local_rows, lower_nnz, width),
+            fill_ratio: 1.0,
+        });
+    }
+
+    let estimates: Vec<FillEstimate> = if opts.register_blocking {
+        crate::blocking::register::estimate_all_shapes(lower)
+    } else {
+        vec![crate::blocking::register::estimate_fill(lower, 1, 1)]
+    };
+    for est in &estimates {
+        let nblock_cols = n.div_ceil(est.c);
+        for width in widths(nblock_cols) {
+            out.push(FormatChoice {
+                kind: FormatKind::SymBcsr,
+                r: est.r,
+                c: est.c,
+                width,
+                bytes: sym_bcsr_bytes(local_rows, est, width),
+                fill_ratio: est.fill_ratio,
+            });
+        }
+    }
+    out
+}
+
+/// Pick the smallest-footprint symmetric choice for a slab (ties toward the
+/// simpler pointwise format, which is listed first).
+pub fn best_symmetric_choice(lower: &CsrMatrix, n: usize, opts: &CandidateOptions) -> FormatChoice {
+    enumerate_symmetric_choices(lower, n, opts)
+        .into_iter()
+        .min_by(|a, b| a.bytes.cmp(&b.bytes))
+        .expect("at least the SymCsr candidate exists")
 }
 
 /// Options controlling which candidates [`enumerate_choices`] considers.

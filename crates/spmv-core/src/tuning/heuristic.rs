@@ -38,6 +38,12 @@ pub struct TuningConfig {
     /// Annotate large streaming thread blocks with software prefetch
     /// (consumed by the two-phase [`crate::tuning::plan::TunePlan`] pipeline).
     pub software_prefetch: bool,
+    /// Store detected square-and-symmetric matrices as diagonal + strictly-lower
+    /// triangle (`SymCsr`/`SymBcsr`), halving off-diagonal value/index traffic.
+    /// Consumed by [`tune_csr`] and `TunePlan::new`; the scoped executors
+    /// (`ParallelTuned`, NUMA decomposition) plan with this off because their
+    /// disjoint-slice writes cannot express the symmetric scatter.
+    pub exploit_symmetry: bool,
 }
 
 impl TuningConfig {
@@ -52,6 +58,7 @@ impl TuningConfig {
             allow_bcoo: true,
             allow_gcsr: true,
             software_prefetch: true,
+            exploit_symmetry: true,
         }
     }
 
@@ -65,6 +72,7 @@ impl TuningConfig {
             allow_bcoo: false,
             allow_gcsr: false,
             software_prefetch: false,
+            exploit_symmetry: false,
         }
     }
 
@@ -135,18 +143,74 @@ impl TuningReport {
     }
 }
 
-/// The tuned matrix: a cache-blocked container plus the report describing it.
+/// The storage the tuner materialized: a grid of independently-formatted cache
+/// blocks for general matrices, or the symmetric prepared pipeline (diagonal +
+/// strictly-lower slabs) when the matrix was detected symmetric.
+#[derive(Debug, Clone)]
+enum TunedStorage {
+    Blocked(CacheBlockedMatrix),
+    Symmetric(crate::tuning::prepared::PreparedMatrix),
+}
+
+/// The tuned matrix: the materialized storage plus the report describing it.
 #[derive(Debug, Clone)]
 pub struct TunedMatrix {
-    matrix: CacheBlockedMatrix,
+    storage: TunedStorage,
     report: TuningReport,
     config: TuningConfig,
 }
 
 impl TunedMatrix {
-    /// The underlying cache-blocked matrix.
-    pub fn matrix(&self) -> &CacheBlockedMatrix {
-        &self.matrix
+    /// The underlying cache-blocked matrix, when the tuner chose general
+    /// storage; `None` when it chose the symmetric pipeline.
+    pub fn matrix(&self) -> Option<&CacheBlockedMatrix> {
+        match &self.storage {
+            TunedStorage::Blocked(m) => Some(m),
+            TunedStorage::Symmetric(_) => None,
+        }
+    }
+
+    /// The symmetric prepared matrix, when the tuner exploited symmetry.
+    pub fn symmetric(&self) -> Option<&crate::tuning::prepared::PreparedMatrix> {
+        match &self.storage {
+            TunedStorage::Blocked(_) => None,
+            TunedStorage::Symmetric(m) => Some(m),
+        }
+    }
+
+    /// Whether the tuner stored only the lower triangle.
+    pub fn is_symmetric(&self) -> bool {
+        matches!(self.storage, TunedStorage::Symmetric(_))
+    }
+
+    /// Number of materialized blocks (cache blocks, or symmetric slabs).
+    pub fn num_blocks(&self) -> usize {
+        match &self.storage {
+            TunedStorage::Blocked(m) => m.num_blocks(),
+            TunedStorage::Symmetric(m) => m.blocks().len(),
+        }
+    }
+
+    /// A histogram of storage format names, for the tuning report.
+    pub fn format_histogram(&self) -> Vec<(&'static str, usize)> {
+        match &self.storage {
+            TunedStorage::Blocked(m) => m.format_histogram(),
+            TunedStorage::Symmetric(_) => {
+                let mut counts: Vec<(&'static str, usize)> = Vec::new();
+                for d in &self.report.decisions {
+                    let name = match d.choice.kind {
+                        FormatKind::SymCsr => "SymCSR",
+                        FormatKind::SymBcsr => "SymBCSR",
+                        _ => "other",
+                    };
+                    match counts.iter_mut().find(|(n, _)| *n == name) {
+                        Some((_, c)) => *c += 1,
+                        None => counts.push((name, 1)),
+                    }
+                }
+                counts
+            }
+        }
     }
 
     /// The tuning report.
@@ -162,25 +226,43 @@ impl TunedMatrix {
 
 impl MatrixShape for TunedMatrix {
     fn nrows(&self) -> usize {
-        self.matrix.nrows()
+        match &self.storage {
+            TunedStorage::Blocked(m) => m.nrows(),
+            TunedStorage::Symmetric(m) => m.nrows(),
+        }
     }
     fn ncols(&self) -> usize {
-        self.matrix.ncols()
+        match &self.storage {
+            TunedStorage::Blocked(m) => m.ncols(),
+            TunedStorage::Symmetric(m) => m.ncols(),
+        }
     }
     fn stored_entries(&self) -> usize {
-        self.matrix.stored_entries()
+        match &self.storage {
+            TunedStorage::Blocked(m) => m.stored_entries(),
+            TunedStorage::Symmetric(m) => m.stored_entries(),
+        }
     }
     fn nnz(&self) -> usize {
-        self.matrix.nnz()
+        match &self.storage {
+            TunedStorage::Blocked(m) => m.nnz(),
+            TunedStorage::Symmetric(m) => m.nnz(),
+        }
     }
     fn footprint_bytes(&self) -> usize {
-        self.matrix.footprint_bytes()
+        match &self.storage {
+            TunedStorage::Blocked(m) => m.footprint_bytes(),
+            TunedStorage::Symmetric(m) => m.footprint_bytes(),
+        }
     }
 }
 
 impl SpMv for TunedMatrix {
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
-        self.matrix.spmv(x, y)
+        match &self.storage {
+            TunedStorage::Blocked(m) => m.spmv(x, y),
+            TunedStorage::Symmetric(m) => m.spmv(x, y),
+        }
     }
 }
 
@@ -188,6 +270,12 @@ impl SpMv for TunedMatrix {
 /// against the block (a plan loaded from disk may not match the matrix).
 pub fn try_materialize(csr_block: &CsrMatrix, choice: &FormatChoice) -> Result<BlockFormat> {
     Ok(match choice.kind {
+        FormatKind::SymCsr | FormatKind::SymBcsr => {
+            return Err(Error::InvalidStructure(
+                "symmetric slab decisions materialize through PreparedBlock, not cache blocks"
+                    .to_string(),
+            ))
+        }
         FormatKind::Csr => BlockFormat::Csr(match choice.width {
             crate::formats::index::IndexWidth::U16 => CompressedCsr::U16(csr_block.reindex()?),
             crate::formats::index::IndexWidth::U32 => CompressedCsr::U32(csr_block.clone()),
@@ -277,6 +365,37 @@ pub fn plan_block_decisions(csr: &CsrMatrix, config: &TuningConfig) -> Vec<Block
     decisions
 }
 
+/// Plan one thread's **symmetric** slab: extract the strictly-lower triangle of
+/// the thread's row slice (global rows `row_offset..row_offset + local.nrows()`,
+/// global columns) and pick the smallest-footprint symmetric encoding
+/// (`SymCsr`/`SymBcsr` × register shapes × index widths). The decision's `nnz`
+/// counts the slice's *general-form* nonzeros, so per-thread planned nonzeros
+/// still sum to the plan's total.
+pub fn plan_symmetric_thread(
+    local: &CsrMatrix,
+    row_offset: usize,
+    config: &TuningConfig,
+) -> BlockDecision {
+    let mut lower_coo = CooMatrix::new(local.nrows(), local.ncols());
+    for (i, j, v) in local.iter() {
+        if j < row_offset + i {
+            lower_coo.push(i, j, v);
+        }
+    }
+    let lower = CsrMatrix::from_coo(&lower_coo);
+    let choice = crate::tuning::footprint::best_symmetric_choice(
+        &lower,
+        local.ncols(),
+        &config.candidate_options(),
+    );
+    BlockDecision {
+        rows: 0..local.nrows(),
+        cols: 0..local.ncols(),
+        choice,
+        nnz: local.nnz(),
+    }
+}
+
 /// The materialization half of the tuner: build the storage each decision names.
 /// Fails (rather than panicking) when the decisions do not fit the matrix, which
 /// can happen with a stale plan loaded from disk.
@@ -328,6 +447,29 @@ pub fn materialize_decisions(
 /// (the split halves exist for the two-phase pipeline, where planning and
 /// materialization happen at different times and on different threads).
 pub fn tune_csr(csr: &CsrMatrix, config: &TuningConfig) -> TunedMatrix {
+    // Symmetric matrices take the lower-triangle pipeline when the config allows
+    // it: plan one slab, materialize it through the shared two-phase path.
+    // (`symmetric_plan` skips re-detection — symmetry was just established.)
+    if config.exploit_symmetry && csr.nnz() > 0 && crate::formats::symcsr::is_symmetric(csr) {
+        let plan = crate::tuning::plan::TunePlan::symmetric_plan(csr, 1, config);
+        let prepared = crate::tuning::prepared::PreparedMatrix::materialize(csr, &plan)
+            .expect("fresh symmetric plan matches its matrix");
+        let decisions: Vec<BlockDecision> = plan
+            .threads
+            .iter()
+            .flat_map(|t| t.decisions.iter().cloned())
+            .collect();
+        let report = TuningReport {
+            decisions,
+            csr_bytes: crate::tuning::footprint::csr_bytes(csr),
+            tuned_bytes: prepared.footprint_bytes(),
+        };
+        return TunedMatrix {
+            storage: TunedStorage::Symmetric(prepared),
+            report,
+            config: *config,
+        };
+    }
     let opts = config.candidate_options();
     let grid = blocking_grid(csr, config);
     let coo_full = csr.to_coo();
@@ -361,7 +503,7 @@ pub fn tune_csr(csr: &CsrMatrix, config: &TuningConfig) -> TunedMatrix {
         tuned_bytes: matrix.footprint_bytes(),
     };
     TunedMatrix {
-        matrix,
+        storage: TunedStorage::Blocked(matrix),
         report,
         config: *config,
     }
@@ -489,7 +631,7 @@ mod tests {
             ..TuningConfig::full()
         };
         let tuned = tune(&coo, &cfg);
-        assert!(tuned.matrix().num_blocks() > 1);
+        assert!(tuned.num_blocks() > 1);
         let x: Vec<f64> = (0..20_000).map(|i| (i % 17) as f64).collect();
         let reference = CsrMatrix::from_coo(&coo).spmv_alloc(&x);
         assert!(max_abs_diff(&reference, &tuned.spmv_alloc(&x)) < 1e-9);
@@ -499,7 +641,7 @@ mod tests {
     fn empty_matrix_tunes_to_nothing() {
         let coo = CooMatrix::new(100, 100);
         let tuned = tune(&coo, &TuningConfig::full());
-        assert_eq!(tuned.matrix().num_blocks(), 0);
+        assert_eq!(tuned.num_blocks(), 0);
         assert_eq!(tuned.spmv_alloc(&vec![1.0; 100]), vec![0.0; 100]);
     }
 

@@ -33,9 +33,9 @@ pub mod search;
 
 pub use footprint::{FormatChoice, FormatKind};
 pub use heuristic::{
-    materialize_decisions, plan_block_decisions, tune, tune_csr, BlockDecision, TunedMatrix,
-    TuningConfig, TuningReport,
+    materialize_decisions, plan_block_decisions, plan_symmetric_thread, tune, tune_csr,
+    BlockDecision, TunedMatrix, TuningConfig, TuningReport,
 };
 pub use plan::{ThreadPlan, TunePlan};
-pub use prepared::{PreparedBlock, PreparedMatrix};
+pub use prepared::{reduce_into, reduce_tree, PreparedBlock, PreparedMatrix, SymBlock};
 pub use search::{search_register_blocking, SearchOutcome};

@@ -78,6 +78,11 @@ pub struct TunePlan {
     pub ncols: usize,
     /// Logical nonzeros of the matrix the plan was produced for.
     pub nnz: usize,
+    /// Whether the plan stores only the lower triangle (symmetric pipeline):
+    /// every thread holds exactly one `SymCsr`/`SymBcsr` slab decision, and
+    /// execution needs full-length destinations plus the deterministic scratch
+    /// reduction (`PreparedMatrix` serial, `SpmvEngine` parallel).
+    pub symmetric: bool,
     /// Per-thread plans, in thread order; their row ranges tile `0..nrows`.
     pub threads: Vec<ThreadPlan>,
 }
@@ -86,9 +91,70 @@ impl TunePlan {
     /// Plan `csr` for `nthreads` threads: partition rows balancing nonzeros, then
     /// run the footprint heuristic independently on every thread block, exactly as
     /// the paper tunes each thread's share in isolation.
+    ///
+    /// When the config enables [`TuningConfig::exploit_symmetry`] and the matrix
+    /// is detected square-and-symmetric, the plan switches to the symmetric
+    /// pipeline automatically (Section 4.2's symmetry optimization: halved
+    /// value/index traffic).
     pub fn new(csr: &CsrMatrix, nthreads: usize, config: &TuningConfig) -> TunePlan {
+        if config.exploit_symmetry && csr.nnz() > 0 && crate::formats::symcsr::is_symmetric(csr) {
+            return Self::symmetric_plan(csr, nthreads, config);
+        }
         let partition = partition_rows_balanced(csr, nthreads);
         TunePlan::from_partition(csr, &partition.ranges, config)
+    }
+
+    /// Plan a matrix the caller *declares* symmetric. Verifies the declaration
+    /// (exact pattern-and-value symmetry) and fails otherwise, instead of
+    /// silently producing wrong products.
+    pub fn new_symmetric(
+        csr: &CsrMatrix,
+        nthreads: usize,
+        config: &TuningConfig,
+    ) -> Result<TunePlan> {
+        if !crate::formats::symcsr::is_symmetric(csr) {
+            return Err(Error::InvalidStructure(
+                "matrix declared symmetric is not (pattern or values differ from transpose)"
+                    .to_string(),
+            ));
+        }
+        Ok(Self::symmetric_plan(csr, nthreads, config))
+    }
+
+    /// The symmetric planning pass: one lower-triangle slab decision per thread,
+    /// chosen by footprint among `SymCsr`/`SymBcsr` × shapes × index widths.
+    /// The caller has already established symmetry (crate-visible so `tune_csr`
+    /// does not pay the O(nnz) detection twice).
+    pub(crate) fn symmetric_plan(
+        csr: &CsrMatrix,
+        nthreads: usize,
+        config: &TuningConfig,
+    ) -> TunePlan {
+        let partition = partition_rows_balanced(csr, nthreads);
+        let threads = partition
+            .ranges
+            .iter()
+            .map(|range| {
+                let local = csr.row_slice(range.start, range.end);
+                let decision =
+                    crate::tuning::heuristic::plan_symmetric_thread(&local, range.start, config);
+                ThreadPlan {
+                    rows: range.clone(),
+                    // The prefetch annotation binds a CSR *code variant*, which
+                    // symmetric slabs do not execute; leave it off.
+                    prefetch_distance: 0,
+                    nta_hint: false,
+                    decisions: vec![decision],
+                }
+            })
+            .collect();
+        TunePlan {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            nnz: csr.nnz(),
+            symmetric: true,
+            threads,
+        }
     }
 
     /// Plan `csr` over an explicit row partition (the NUMA decomposition passes
@@ -121,6 +187,7 @@ impl TunePlan {
             nrows: csr.nrows(),
             ncols: csr.ncols(),
             nnz: csr.nnz(),
+            symmetric: false,
             threads,
         }
     }
@@ -184,6 +251,34 @@ impl TunePlan {
                 "plan row partition does not tile the matrix".to_string(),
             ));
         }
+        // Symmetric plans: square matrix, exactly one lower-triangle slab
+        // decision per thread; general plans must not carry symmetric kinds
+        // (a hand-edited profile mixing the two would break the executors'
+        // disjoint-write/scratch-reduction assumptions).
+        if self.symmetric {
+            if self.nrows != self.ncols {
+                return Err(Error::InvalidStructure(
+                    "symmetric plan requires a square matrix".to_string(),
+                ));
+            }
+            for t in &self.threads {
+                if t.decisions.len() != 1 || !t.decisions[0].choice.kind.is_symmetric() {
+                    return Err(Error::InvalidStructure(
+                        "symmetric plan threads must hold exactly one symmetric slab decision"
+                            .to_string(),
+                    ));
+                }
+            }
+        } else if self
+            .threads
+            .iter()
+            .flat_map(|t| t.decisions.iter())
+            .any(|d| d.choice.kind.is_symmetric())
+        {
+            return Err(Error::InvalidStructure(
+                "symmetric slab decisions appear in a plan not marked symmetric".to_string(),
+            ));
+        }
         Ok(())
     }
 
@@ -195,6 +290,9 @@ impl TunePlan {
         out.push_str("spmv-tune-plan v1\n");
         let _ = writeln!(out, "matrix {} {} {}", self.nrows, self.ncols, self.nnz);
         let _ = writeln!(out, "threads {}", self.threads.len());
+        if self.symmetric {
+            out.push_str("symmetric\n");
+        }
         for t in &self.threads {
             let _ = writeln!(
                 out,
@@ -254,10 +352,17 @@ impl TunePlan {
         };
 
         let mut threads: Vec<ThreadPlan> = Vec::with_capacity(nthreads);
+        let mut symmetric = false;
         let mut saw_end = false;
         for line in lines {
             let toks: Vec<&str> = line.split_whitespace().collect();
             match toks[0] {
+                "symmetric" => {
+                    if !threads.is_empty() {
+                        return Err(parse_err("'symmetric' must precede the thread lines"));
+                    }
+                    symmetric = true;
+                }
                 "thread" => {
                     if toks.len() != 6 || toks[3] != "prefetch" {
                         return Err(parse_err(&format!("malformed thread line '{line}'")));
@@ -319,6 +424,7 @@ impl TunePlan {
             nrows,
             ncols,
             nnz,
+            symmetric,
             threads,
         })
     }
@@ -341,6 +447,8 @@ fn kind_name(kind: FormatKind) -> &'static str {
         FormatKind::Bcsr => "bcsr",
         FormatKind::Bcoo => "bcoo",
         FormatKind::Gcsr => "gcsr",
+        FormatKind::SymCsr => "symcsr",
+        FormatKind::SymBcsr => "symbcsr",
     }
 }
 
@@ -357,6 +465,8 @@ fn parse_kind(tok: &str) -> Result<FormatKind> {
         "bcsr" => FormatKind::Bcsr,
         "bcoo" => FormatKind::Bcoo,
         "gcsr" => FormatKind::Gcsr,
+        "symcsr" => FormatKind::SymCsr,
+        "symbcsr" => FormatKind::SymBcsr,
         other => return Err(parse_err(&format!("unknown format kind '{other}'"))),
     })
 }

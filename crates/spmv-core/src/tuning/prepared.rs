@@ -17,10 +17,94 @@
 use crate::blocking::blocked::{BlockFormat, CacheBlock};
 use crate::error::{Error, Result};
 use crate::formats::csr::CsrMatrix;
+use crate::formats::index::IndexWidth;
+use crate::formats::symbcsr::SymBcsr;
+use crate::formats::symcsr::SymCsr;
 use crate::formats::traits::{check_dims, MatrixShape, SpMv};
 use crate::kernels::KernelVariant;
+use crate::tuning::footprint::FormatKind;
 use crate::tuning::plan::{ThreadPlan, TunePlan};
 use std::ops::Range;
+
+/// A materialized **symmetric** thread slab: diagonal + strictly-lower triangle
+/// at the planned encoding, with the index width selected once.
+///
+/// Unlike the general cache blocks, a symmetric slab's kernel scatters into
+/// `y[j]` for arbitrary global `j`, so it executes against a *full-length*
+/// destination ([`PreparedBlock::execute_full`]); the serial and parallel
+/// executors give it scratch destinations and combine them with the shared
+/// deterministic tree reduction.
+#[derive(Debug, Clone)]
+pub enum SymBlock {
+    /// Pointwise symmetric CSR, 16-bit column indices.
+    Csr16(SymCsr<u16>),
+    /// Pointwise symmetric CSR, 32-bit column indices.
+    Csr32(SymCsr<u32>),
+    /// Register-blocked symmetric storage, 16-bit block-column indices.
+    Bcsr16(SymBcsr<u16>),
+    /// Register-blocked symmetric storage, 32-bit block-column indices.
+    Bcsr32(SymBcsr<u32>),
+}
+
+impl SymBlock {
+    /// Materialize the slab `local` (global rows starting at `row_offset`) at the
+    /// encoding `choice` names.
+    fn materialize(
+        local: &CsrMatrix,
+        row_offset: usize,
+        choice: &crate::tuning::footprint::FormatChoice,
+    ) -> Result<SymBlock> {
+        Ok(match (choice.kind, choice.width) {
+            (FormatKind::SymCsr, IndexWidth::U16) => {
+                SymBlock::Csr16(SymCsr::from_slab_unchecked(local, row_offset)?)
+            }
+            (FormatKind::SymCsr, IndexWidth::U32) => {
+                SymBlock::Csr32(SymCsr::from_slab_unchecked(local, row_offset)?)
+            }
+            (FormatKind::SymBcsr, IndexWidth::U16) => SymBlock::Bcsr16(
+                SymBcsr::from_slab_unchecked(local, row_offset, choice.r, choice.c)?,
+            ),
+            (FormatKind::SymBcsr, IndexWidth::U32) => SymBlock::Bcsr32(
+                SymBcsr::from_slab_unchecked(local, row_offset, choice.r, choice.c)?,
+            ),
+            (kind, _) => {
+                return Err(Error::InvalidStructure(format!(
+                    "{kind:?} is not a symmetric slab encoding"
+                )))
+            }
+        })
+    }
+
+    /// `y ← y + A_slab·x` over full-length global vectors.
+    pub fn spmv_full(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            SymBlock::Csr16(m) => m.spmv_full(x, y),
+            SymBlock::Csr32(m) => m.spmv_full(x, y),
+            SymBlock::Bcsr16(m) => m.spmv_full(x, y),
+            SymBlock::Bcsr32(m) => m.spmv_full(x, y),
+        }
+    }
+
+    /// Bytes of materialized slab data.
+    pub fn footprint_bytes(&self) -> usize {
+        match self {
+            SymBlock::Csr16(m) => m.footprint_bytes(),
+            SymBlock::Csr32(m) => m.footprint_bytes(),
+            SymBlock::Bcsr16(m) => m.footprint_bytes(),
+            SymBlock::Bcsr32(m) => m.footprint_bytes(),
+        }
+    }
+
+    /// Stored entries (diagonal + lower values, including tile fill).
+    pub fn stored_entries(&self) -> usize {
+        match self {
+            SymBlock::Csr16(m) => m.stored_entries(),
+            SymBlock::Csr32(m) => m.stored_entries(),
+            SymBlock::Bcsr16(m) => m.stored_entries(),
+            SymBlock::Bcsr32(m) => m.stored_entries(),
+        }
+    }
+}
 
 /// One thread's fully materialized, kernel-bound share of the matrix.
 #[derive(Debug, Clone)]
@@ -36,6 +120,9 @@ pub struct PreparedBlock {
     stream_variant: KernelVariant,
     /// Materialized cache blocks, rows/cols local to the thread block.
     blocks: Vec<CacheBlock>,
+    /// The symmetric slab, when the plan chose the lower-triangle pipeline
+    /// (`blocks` is empty then).
+    sym: Option<SymBlock>,
 }
 
 impl PreparedBlock {
@@ -50,6 +137,30 @@ impl PreparedBlock {
                 what: "thread block row count",
             });
         }
+        // A symmetric thread plan is exactly one lower-triangle slab decision.
+        if let Some(d) = plan.decisions.iter().find(|d| d.choice.kind.is_symmetric()) {
+            if plan.decisions.len() != 1 {
+                return Err(Error::InvalidStructure(
+                    "symmetric thread plan must hold exactly one slab decision".to_string(),
+                ));
+            }
+            if d.nnz != local.nnz() {
+                return Err(Error::InvalidStructure(format!(
+                    "symmetric slab expects {} nonzeros, thread slice has {}",
+                    d.nnz,
+                    local.nnz()
+                )));
+            }
+            let sym = SymBlock::materialize(local, plan.rows.start, &d.choice)?;
+            return Ok(PreparedBlock {
+                rows: plan.rows.clone(),
+                ncols: local.ncols(),
+                nnz: local.nnz(),
+                stream_variant: plan.stream_variant(),
+                blocks: Vec::new(),
+                sym: Some(sym),
+            });
+        }
         let matrix = crate::tuning::heuristic::materialize_decisions(local, &plan.decisions)?;
         let nnz = matrix.nnz();
         // CacheBlockedMatrix is only a validated container here; the prepared
@@ -61,6 +172,7 @@ impl PreparedBlock {
             nnz,
             stream_variant: plan.stream_variant(),
             blocks,
+            sym: None,
         })
     }
 
@@ -86,12 +198,20 @@ impl PreparedBlock {
             nnz,
             stream_variant: variant,
             blocks,
+            sym: None,
         }
     }
 
-    /// Global row range this block writes.
+    /// Global row range this block writes (symmetric slabs additionally scatter
+    /// transposed contributions below this range).
     pub fn rows(&self) -> Range<usize> {
         self.rows.clone()
+    }
+
+    /// Column span of the full matrix (the `x` length the block expects; equals
+    /// the full dimension for symmetric slabs).
+    pub fn ncols(&self) -> usize {
+        self.ncols
     }
 
     /// Logical nonzeros in the block.
@@ -101,7 +221,23 @@ impl PreparedBlock {
 
     /// Bytes of materialized matrix data.
     pub fn footprint_bytes(&self) -> usize {
-        self.blocks.iter().map(|b| b.format.footprint_bytes()).sum()
+        let sym = self.sym.as_ref().map_or(0, |s| s.footprint_bytes());
+        sym + self
+            .blocks
+            .iter()
+            .map(|b| b.format.footprint_bytes())
+            .sum::<usize>()
+    }
+
+    /// Whether this block is a symmetric lower-triangle slab (its writes scatter
+    /// beyond its own row range; execute it with [`PreparedBlock::execute_full`]).
+    pub fn is_symmetric(&self) -> bool {
+        self.sym.is_some()
+    }
+
+    /// The materialized symmetric slab, if any.
+    pub fn sym_block(&self) -> Option<&SymBlock> {
+        self.sym.as_ref()
     }
 
     /// The kernel variant bound for streaming cache blocks.
@@ -118,6 +254,10 @@ impl PreparedBlock {
     /// this block's row range of the destination. No allocation, no per-element
     /// dispatch — one enum match per cache block, then monomorphized kernels.
     pub fn execute(&self, x: &[f64], y_block: &mut [f64]) {
+        debug_assert!(
+            self.sym.is_none(),
+            "symmetric slabs execute against full-length destinations (execute_full)"
+        );
         debug_assert_eq!(x.len(), self.ncols, "source vector length mismatch");
         debug_assert_eq!(
             y_block.len(),
@@ -136,6 +276,18 @@ impl PreparedBlock {
         }
     }
 
+    /// `y_full ← y_full + A_block·x` against a **full-length** destination
+    /// (`y_full.len()` = total matrix rows). For symmetric slabs this is the only
+    /// execution form (their transposed writes scatter anywhere below the slab);
+    /// general blocks write their own row range of `y_full`, so the call is
+    /// equivalent to [`PreparedBlock::execute`] on the sliced destination.
+    pub fn execute_full(&self, x: &[f64], y_full: &mut [f64]) {
+        match &self.sym {
+            Some(sym) => sym.spmv_full(x, y_full),
+            None => self.execute(x, &mut y_full[self.rows.start..self.rows.end]),
+        }
+    }
+
     /// Batched steady state: `Y_block ← Y_block + A_block · X` for a column-major
     /// block of `y.k()` vectors (column `j` of the source at `x[j*x_ld ..]`, the
     /// destination view exposing exactly this block's rows). Walks the same
@@ -145,6 +297,10 @@ impl PreparedBlock {
     /// (single-loop / prefetch) share their accumulation order with the
     /// multi-vector kernels. No allocation, no per-element dispatch.
     pub fn spmm(&self, x: &[f64], x_ld: usize, y: &mut crate::multivec::MultiVecMut) {
+        debug_assert!(
+            self.sym.is_none(),
+            "symmetric slabs batch through execute_full per column"
+        );
         debug_assert_eq!(
             y.nrows(),
             self.rows.end - self.rows.start,
@@ -159,16 +315,56 @@ impl PreparedBlock {
     }
 }
 
+/// Accumulate `src` into `dst` element-wise — the single combine step of the
+/// deterministic pairwise tree reduction shared by the serial
+/// [`PreparedMatrix`] and the parallel `spmv_parallel::SpmvEngine`.
+///
+/// The shared schedule: with `count` scratch buffers, rounds use strides
+/// `1, 2, 4, …` while `stride < count`; in each round, buffer `i` (where
+/// `i % (2·stride) == 0` and `i + stride < count`) absorbs buffer `i + stride`.
+/// Because both executors perform exactly these element-wise additions in
+/// exactly this order, their outputs are bit-identical.
+pub fn reduce_into(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Run the full deterministic tree reduction over `count` contiguous segments
+/// of `len` elements in one flat buffer, leaving the combined result in the
+/// first segment. This is the exact schedule [`reduce_into`] documents — the
+/// single definition the serial symmetric SpMV and SpMM share, so the order
+/// the parallel engine mirrors cannot drift between them.
+pub fn reduce_tree(scratch: &mut [f64], len: usize, count: usize) {
+    debug_assert!(scratch.len() >= count * len);
+    let mut stride = 1;
+    while stride < count {
+        let mut i = 0;
+        while i + stride < count {
+            let (head, tail) = scratch.split_at_mut((i + stride) * len);
+            reduce_into(&mut head[i * len..(i + 1) * len], &tail[..len]);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+}
+
 /// A whole [`TunePlan`] materialized on one thread: the serial tuned reference.
 ///
 /// Executes the thread blocks sequentially in partition order. Because every block
 /// runs the identical kernels over identical disjoint row ranges, the result is
-/// **bit-identical** to the parallel engine executing the same plan.
+/// **bit-identical** to the parallel engine executing the same plan. Symmetric
+/// plans execute each slab into a per-slab scratch vector and combine them with
+/// the deterministic tree reduction ([`reduce_into`]'s schedule) — the exact
+/// element-wise additions the engine's workers perform — so bit-identity holds
+/// there too, despite the overlapping scatter writes symmetry creates.
 #[derive(Debug, Clone)]
 pub struct PreparedMatrix {
     nrows: usize,
     ncols: usize,
     nnz: usize,
+    symmetric: bool,
     blocks: Vec<PreparedBlock>,
 }
 
@@ -185,13 +381,60 @@ impl PreparedMatrix {
             nrows: csr.nrows(),
             ncols: csr.ncols(),
             nnz: csr.nnz(),
+            symmetric: plan.symmetric,
             blocks,
         })
+    }
+
+    /// Whether the plan stored only the lower triangle (symmetric pipeline).
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
     }
 
     /// The materialized thread blocks in partition order.
     pub fn blocks(&self) -> &[PreparedBlock] {
         &self.blocks
+    }
+
+    /// The symmetric serial path: every slab computes into its own zeroed
+    /// segment of one flat scratch buffer (a single zeroed allocation per
+    /// call), segments combine pairwise in the deterministic tree order, and
+    /// the root segment accumulates into `y`. Mirrored op-for-op by the
+    /// engine's scratch reduction.
+    ///
+    /// The per-call calloc is the price of keeping `spmv(&self)` shareable and
+    /// the reference simple; iterative (steady-state) callers should use
+    /// `spmv_parallel::SpmvEngine`, whose workers own grow-once scratch and
+    /// allocate nothing per call.
+    fn spmv_symmetric(&self, x: &[f64], y: &mut [f64]) {
+        let count = self.blocks.len();
+        let len = self.nrows;
+        let mut scratch = vec![0.0f64; count * len];
+        for (block, s) in self.blocks.iter().zip(scratch.chunks_mut(len.max(1))) {
+            block.execute_full(x, s);
+        }
+        reduce_tree(&mut scratch, len, count);
+        if count > 0 {
+            reduce_into(y, &scratch[..len]);
+        }
+    }
+
+    /// Symmetric batched apply, mirroring the engine's per-column loop and the
+    /// same tree reduction over the whole `nrows × k` scratch segments.
+    fn spmm_symmetric(&self, x: &crate::multivec::MultiVec, y: &mut crate::multivec::MultiVec) {
+        let count = self.blocks.len();
+        let k = x.k();
+        let len = self.nrows * k;
+        let mut scratch = vec![0.0f64; count * len];
+        for (block, s) in self.blocks.iter().zip(scratch.chunks_mut(len.max(1))) {
+            for j in 0..k {
+                block.execute_full(x.col(j), &mut s[j * self.nrows..(j + 1) * self.nrows]);
+            }
+        }
+        reduce_tree(&mut scratch, len, count);
+        if count > 0 {
+            reduce_into(y.data_mut(), &scratch[..len]);
+        }
     }
 
     /// `Y ← Y + A·X` for a column-major block of `x.k()` vectors, executed
@@ -203,6 +446,10 @@ impl PreparedMatrix {
         assert_eq!(x.ld(), self.ncols, "source block row count mismatch");
         assert_eq!(y.ld(), self.nrows, "destination block row count mismatch");
         assert_eq!(x.k(), y.k(), "source and destination vector counts differ");
+        if self.symmetric {
+            self.spmm_symmetric(x, y);
+            return;
+        }
         let x_ld = self.ncols;
         let mut view = y.view_mut();
         for block in &self.blocks {
@@ -230,8 +477,13 @@ impl MatrixShape for PreparedMatrix {
     fn stored_entries(&self) -> usize {
         self.blocks
             .iter()
-            .flat_map(|b| b.blocks.iter())
-            .map(|c| c.format.stored_entries())
+            .map(|b| {
+                b.sym.as_ref().map_or(0, |s| s.stored_entries())
+                    + b.blocks
+                        .iter()
+                        .map(|c| c.format.stored_entries())
+                        .sum::<usize>()
+            })
             .sum()
     }
     fn nnz(&self) -> usize {
@@ -245,6 +497,10 @@ impl MatrixShape for PreparedMatrix {
 impl SpMv for PreparedMatrix {
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
         check_dims(self.nrows, self.ncols, x, y);
+        if self.symmetric {
+            self.spmv_symmetric(x, y);
+            return;
+        }
         for block in &self.blocks {
             let rows = block.rows();
             block.execute(x, &mut y[rows.start..rows.end]);

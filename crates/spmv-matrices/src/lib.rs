@@ -24,4 +24,4 @@ pub mod generators;
 pub mod mmio;
 pub mod suite;
 
-pub use suite::{Scale, SuiteMatrix};
+pub use suite::{symmetrize, Scale, SuiteMatrix};

@@ -28,8 +28,69 @@ pub enum ValueField {
     Pattern,
 }
 
-/// Read a MatrixMarket coordinate-format matrix.
+/// A parsed MatrixMarket file, keeping the entries **as stored**: a symmetric
+/// file's off-diagonal entries are *not* mirrored, so symmetric inputs can feed
+/// the lower-triangle [`SymCsr`](spmv_core::formats::SymCsr) pipeline without
+/// ever paying for the expanded general form.
+#[derive(Debug, Clone)]
+pub struct MatrixMarketFile {
+    /// Symmetry flavour declared in the header.
+    pub symmetry: Symmetry,
+    /// Value flavour declared in the header.
+    pub values: ValueField,
+    /// The entries exactly as listed (lower triangle only for symmetric files).
+    pub stored: CooMatrix,
+}
+
+impl MatrixMarketFile {
+    /// Expand to the general coordinate form (mirroring symmetric off-diagonal
+    /// entries) — what [`read_matrix_market`] returns.
+    pub fn expand(&self) -> CooMatrix {
+        match self.symmetry {
+            Symmetry::General => self.stored.clone(),
+            Symmetry::Symmetric => {
+                let mut coo = CooMatrix::with_capacity(
+                    self.stored.nrows(),
+                    self.stored.ncols(),
+                    2 * self.stored.nnz(),
+                );
+                for t in self.stored.entries() {
+                    coo.push(t.row, t.col, t.val);
+                    if t.row != t.col {
+                        coo.push(t.col, t.row, t.val);
+                    }
+                }
+                coo
+            }
+        }
+    }
+
+    /// Build the symmetric storage directly from the stored lower triangle,
+    /// never materializing the expanded form. Errors for general files (nothing
+    /// guarantees their symmetry) and for malformed symmetric files listing
+    /// strictly-upper entries.
+    pub fn to_sym_csr<I: spmv_core::formats::IndexStorage>(
+        &self,
+    ) -> Result<spmv_core::formats::SymCsr<I>> {
+        if self.symmetry != Symmetry::Symmetric {
+            return Err(Error::InvalidStructure(
+                "only MatrixMarket files declared symmetric convert to SymCsr".to_string(),
+            ));
+        }
+        spmv_core::formats::SymCsr::from_lower_coo(&self.stored)
+    }
+}
+
+/// Read a MatrixMarket coordinate-format matrix, expanding symmetric storage to
+/// the general form (the historical behaviour; see [`read_matrix_market_ex`]
+/// for the symmetry-preserving reader).
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
+    Ok(read_matrix_market_ex(reader)?.expand())
+}
+
+/// Read a MatrixMarket coordinate-format matrix, preserving the stored
+/// (unmirrored) entry list and the header flavours.
+pub fn read_matrix_market_ex<R: Read>(reader: R) -> Result<MatrixMarketFile> {
     let mut lines = BufReader::new(reader).lines();
 
     // Header line.
@@ -85,6 +146,14 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
         )));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    // A symmetric header on a rectangular size line is malformed: mirroring
+    // would index outside the matrix. Reject it here so `expand()` can mirror
+    // infallibly.
+    if symmetry == Symmetry::Symmetric && nrows != ncols {
+        return Err(Error::Parse(format!(
+            "symmetric matrix must be square, got {nrows}x{ncols}"
+        )));
+    }
 
     let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
     let mut seen = 0usize;
@@ -117,9 +186,6 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
             return Err(Error::Parse("MatrixMarket indices are 1-based".to_string()));
         }
         coo.try_push(i - 1, j - 1, v)?;
-        if symmetry == Symmetry::Symmetric && i != j {
-            coo.try_push(j - 1, i - 1, v)?;
-        }
         seen += 1;
     }
     if seen != nnz {
@@ -127,7 +193,11 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
             "expected {nnz} entries, found {seen}"
         )));
     }
-    Ok(coo)
+    Ok(MatrixMarketFile {
+        symmetry,
+        values,
+        stored: coo,
+    })
 }
 
 /// Write a matrix in MatrixMarket general coordinate format.
@@ -313,6 +383,34 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_read_ex_preserves_lower_storage() {
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2.0\n2 1 -1.0\n3 3 4.0\n";
+        let file = read_matrix_market_ex(text.as_bytes()).unwrap();
+        assert_eq!(file.symmetry, Symmetry::Symmetric);
+        assert_eq!(file.values, ValueField::Real);
+        // Stored form keeps exactly the listed (lower) entries...
+        assert_eq!(file.stored.nnz(), 3);
+        // ...expansion mirrors the off-diagonal one...
+        assert_eq!(file.expand().nnz(), 4);
+        // ...and the SymCsr conversion never materializes the expanded form.
+        let sym: spmv_core::formats::SymCsr<u32> = file.to_sym_csr().unwrap();
+        assert_eq!(sym.lower_nnz(), 1);
+        assert_eq!(sym.diag(), &[2.0, 0.0, 4.0]);
+        use spmv_core::SpMv;
+        let x = vec![1.0, 2.0, 3.0];
+        let expanded = spmv_core::formats::CsrMatrix::from_coo(&file.expand());
+        assert_eq!(sym.spmv_alloc(&x), expanded.spmv_alloc(&x));
+    }
+
+    #[test]
+    fn to_sym_csr_rejects_general_files() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n";
+        let file = read_matrix_market_ex(text.as_bytes()).unwrap();
+        assert!(file.to_sym_csr::<u32>().is_err());
+    }
+
+    #[test]
     fn symmetric_matrices_are_expanded() {
         let text =
             "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2.0\n2 1 -1.0\n3 3 4.0\n";
@@ -354,6 +452,15 @@ mod tests {
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n".as_bytes()
         )
         .is_err());
+    }
+
+    #[test]
+    fn rejects_rectangular_symmetric_header() {
+        // A symmetric flavour on a rectangular size line must surface as a
+        // parse error (mirroring would index outside the matrix), not a panic.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 3 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+        assert!(read_matrix_market_ex(text.as_bytes()).is_err());
     }
 
     #[test]

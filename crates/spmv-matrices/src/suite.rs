@@ -13,6 +13,44 @@ use crate::generators::graph::{power_law_graph, random_scatter, GraphParams};
 use crate::generators::lp::{lp_constraint_matrix, LpParams};
 use crate::generators::stencil::{banded_stencil, StencilParams};
 use spmv_core::formats::CooMatrix;
+use spmv_core::MatrixShape;
+
+/// Make a square matrix exactly symmetric by folding every entry onto the lower
+/// triangle (summing collisions) and mirroring the result back up.
+///
+/// The fold preserves the structural profile the suite generators aim for
+/// (bandwidth, block substructure, nonzeros per row stay within a factor of ~2)
+/// while guaranteeing `spmv_core::formats::is_symmetric` holds bitwise — the
+/// precondition of the `SymCsr`/`SymBcsr` pipeline.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn symmetrize(coo: &CooMatrix) -> CooMatrix {
+    assert_eq!(
+        coo.nrows(),
+        coo.ncols(),
+        "symmetrize requires a square matrix"
+    );
+    let mut folded = CooMatrix::with_capacity(coo.nrows(), coo.ncols(), coo.nnz());
+    for t in coo.entries() {
+        let (i, j) = if t.row >= t.col {
+            (t.row, t.col)
+        } else {
+            (t.col, t.row)
+        };
+        folded.push(i, j, t.val);
+    }
+    folded.sum_duplicates();
+    let mut sym = CooMatrix::with_capacity(coo.nrows(), coo.ncols(), 2 * folded.nnz());
+    for t in folded.entries() {
+        sym.push(t.row, t.col, t.val);
+        if t.row != t.col {
+            sym.push(t.col, t.row, t.val);
+        }
+    }
+    sym
+}
 
 /// Static description of one Table 3 row.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -270,6 +308,28 @@ impl SuiteMatrix {
         }
     }
 
+    /// Whether the original Table-3 matrix is symmetric (the Rutherford-Boeing
+    /// `.rsa` files — real symmetric assembled). These are the matrices the
+    /// paper's symmetry optimization applies to.
+    pub fn is_symmetric_in_table3(&self) -> bool {
+        self.spec().filename.ends_with(".rsa")
+    }
+
+    /// Synthesize the **symmetric** variant of the matrix at the requested
+    /// scale: [`SuiteMatrix::generate`] folded through [`symmetrize`], so the
+    /// structural profile survives while exact symmetry holds. Returns `None`
+    /// for matrices that are not symmetric in Table 3 (or not square).
+    pub fn generate_symmetric(&self, scale: Scale) -> Option<CooMatrix> {
+        if !self.is_symmetric_in_table3() {
+            return None;
+        }
+        let coo = self.generate(scale);
+        if coo.nrows() != coo.ncols() {
+            return None;
+        }
+        Some(symmetrize(&coo))
+    }
+
     /// Synthesize the matrix at the requested scale.
     ///
     /// The generator family and its parameters are chosen to reproduce the
@@ -464,6 +524,61 @@ mod tests {
         assert_eq!(Scale::Tiny.divisor(), 64);
         assert_eq!(Scale::Small.apply(16_000), 1_000);
         assert_eq!(Scale::Tiny.apply(100), 64);
+    }
+
+    #[test]
+    fn symmetric_table3_rows_are_the_rsa_files() {
+        let symmetric: Vec<&str> = SuiteMatrix::all()
+            .iter()
+            .filter(|m| m.is_symmetric_in_table3())
+            .map(|m| m.id())
+            .collect();
+        assert_eq!(
+            symmetric,
+            vec![
+                "protein",
+                "fem_spheres",
+                "fem_cantilever",
+                "wind_tunnel",
+                "fem_ship",
+                "fem_accelerator"
+            ]
+        );
+    }
+
+    #[test]
+    fn generate_symmetric_is_exactly_symmetric_and_preserves_profile() {
+        for m in SuiteMatrix::all() {
+            match m.generate_symmetric(Scale::Tiny) {
+                None => assert!(!m.is_symmetric_in_table3() || m.spec().rows != m.spec().cols),
+                Some(sym) => {
+                    let csr = CsrMatrix::from_coo(&sym);
+                    assert!(
+                        spmv_core::formats::is_symmetric(&csr),
+                        "{}: symmetrized matrix must be exactly symmetric",
+                        m.id()
+                    );
+                    let general = CsrMatrix::from_coo(&m.generate(Scale::Tiny));
+                    let ratio = csr.nnz() as f64 / general.nnz() as f64;
+                    assert!(
+                        ratio > 0.5 && ratio < 2.5,
+                        "{}: symmetrization changed nnz by {ratio}",
+                        m.id()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_folds_and_mirrors() {
+        let coo =
+            CooMatrix::from_triplets(3, 3, vec![(0, 1, 2.0), (1, 0, 3.0), (2, 2, 1.0)]).unwrap();
+        let sym = symmetrize(&coo);
+        let d = sym.to_dense();
+        assert_eq!(d[0][1], 5.0); // folded sum mirrored
+        assert_eq!(d[1][0], 5.0);
+        assert_eq!(d[2][2], 1.0);
     }
 
     #[test]

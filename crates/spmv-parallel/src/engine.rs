@@ -24,6 +24,15 @@
 //!   kernels over the same disjoint y-slices: each worker writes its row range
 //!   of every column of a column-major k-vector block, amortizing all index
 //!   traffic across the batch with zero per-call allocation.
+//! * **Symmetric execution** — a symmetric plan's workers hold lower-triangle
+//!   slabs whose transposed writes scatter *outside* their row ranges, so the
+//!   disjoint-slice contract no longer holds. Each symmetric worker instead
+//!   computes into its own full-length scratch vector (allocated first-touch at
+//!   construction, grown once for wider SpMM batches, zero steady-state
+//!   allocation), and the workers combine scratches with a **deterministic
+//!   pairwise tree reduction** (log₂ rounds under a generation barrier). The
+//!   reduction order is exactly the serial `PreparedMatrix`'s, so symmetric
+//!   parallel output stays bit-identical to the symmetric serial reference.
 //! * **Affinity as metadata** — every constructor records an
 //!   [`AffinityPolicy`] (default: [`AffinityPolicy::first_touch`], which is what
 //!   worker-side materialization actually achieves). The policy is carried in
@@ -108,6 +117,73 @@ struct Launch {
     operands: Operands,
 }
 
+/// A reusable generation-counting barrier for the symmetric reduction rounds.
+///
+/// Every worker of a symmetric engine calls [`RoundBarrier::wait`] once per
+/// reduction round (plus once before round 0, separating compute from
+/// reduction); the last arrival bumps the generation and wakes the rest. The
+/// barrier is only touched on the symmetric path, so general engines pay
+/// nothing for it.
+struct RoundBarrier {
+    state: Mutex<(u64, usize)>,
+    cv: Condvar,
+    n: usize,
+}
+
+impl RoundBarrier {
+    fn new(n: usize) -> RoundBarrier {
+        RoundBarrier {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    fn wait(&self) {
+        let mut state = self.state.lock().unwrap();
+        let gen = state.0;
+        state.1 += 1;
+        if state.1 == self.n {
+            state.1 = 0;
+            state.0 += 1;
+            self.cv.notify_all();
+        } else {
+            while state.0 == gen {
+                state = self.cv.wait(state).unwrap();
+            }
+        }
+    }
+}
+
+/// One worker's full-length scratch destination for the symmetric path.
+///
+/// The vector is allocated (and grown, for wider SpMM batches) *by its owning
+/// worker*, so first-touch places the pages on that worker's node. Other
+/// workers only read it during reduction rounds, under the barrier ordering.
+struct ScratchSlot(std::cell::UnsafeCell<Vec<f64>>);
+
+// SAFETY: access is disciplined by the reduction protocol — a slot is written
+// only by its owning worker (compute + absorbing rounds) and read by at most
+// one partner per round, with a RoundBarrier::wait separating every round.
+unsafe impl Sync for ScratchSlot {}
+
+/// Shared state of the symmetric scratch reduction.
+struct SymShared {
+    slots: Vec<ScratchSlot>,
+    barrier: RoundBarrier,
+}
+
+impl SymShared {
+    /// Number of pairwise reduction rounds for `count` scratch buffers.
+    fn rounds(count: usize) -> usize {
+        let mut rounds = 0usize;
+        while (1usize << rounds) < count {
+            rounds += 1;
+        }
+        rounds
+    }
+}
+
 /// Construction/completion barrier state.
 struct Done {
     /// Epoch the counter belongs to (0 during construction).
@@ -126,6 +202,8 @@ struct Shared {
     launch_cv: Condvar,
     done: Mutex<Done>,
     done_cv: Condvar,
+    /// Scratch slots + reduction barrier; `Some` only for symmetric engines.
+    sym: Option<SymShared>,
 }
 
 /// What a worker materializes during construction (on its own thread, for
@@ -184,6 +262,8 @@ pub struct SpmvEngine {
     /// kernels are bound per cache block by the plan.
     variant: Option<KernelVariant>,
     affinity: AffinityPolicy,
+    /// Whether the workers run the symmetric scratch-reduction path.
+    symmetric: bool,
     footprint_bytes: usize,
     per_worker_bytes: Vec<usize>,
     shared: Arc<Shared>,
@@ -232,7 +312,7 @@ impl SpmvEngine {
                 variant,
             })
             .collect();
-        Self::build(csr, partition, Some(variant), affinity, specs)
+        Self::build(csr, partition, Some(variant), affinity, specs, false)
             .expect("plain block construction is infallible")
     }
 
@@ -286,7 +366,7 @@ impl SpmvEngine {
                 plan: t.clone(),
             })
             .collect();
-        Self::build(csr, partition, None, affinity, specs)
+        Self::build(csr, partition, None, affinity, specs, plan.symmetric)
     }
 
     /// Common construction: spawn one worker per spec, wait for every block build,
@@ -297,6 +377,7 @@ impl SpmvEngine {
         variant: Option<KernelVariant>,
         affinity: AffinityPolicy,
         specs: Vec<BlockSpec>,
+        symmetric: bool,
     ) -> Result<Self> {
         let nworkers = specs.len();
         let shared = Arc::new(Shared {
@@ -313,6 +394,12 @@ impl SpmvEngine {
                 footprints: vec![0; nworkers],
             }),
             done_cv: Condvar::new(),
+            sym: symmetric.then(|| SymShared {
+                slots: (0..nworkers)
+                    .map(|_| ScratchSlot(std::cell::UnsafeCell::new(Vec::new())))
+                    .collect(),
+                barrier: RoundBarrier::new(nworkers),
+            }),
         });
 
         let mut workers = Vec::with_capacity(nworkers);
@@ -344,6 +431,7 @@ impl SpmvEngine {
             partition,
             variant,
             affinity,
+            symmetric,
             footprint_bytes: per_worker_bytes.iter().sum(),
             per_worker_bytes,
             shared,
@@ -389,6 +477,13 @@ impl SpmvEngine {
     /// engines (their kernels are bound per cache block by the plan).
     pub fn variant(&self) -> Option<KernelVariant> {
         self.variant
+    }
+
+    /// Whether the engine serves the matrix from symmetric (lower-triangle)
+    /// storage, with per-worker scratch destinations and the deterministic tree
+    /// reduction.
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
     }
 
     /// Total bytes of the workers' materialized thread blocks.
@@ -520,6 +615,16 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, spec: BlockSpec) {
     let row_offset = rows.start;
     let row_count = rows.end - rows.start;
 
+    // Symmetric workers own a full-length scratch destination; allocate it here
+    // so first-touch places its pages on this worker's node. (SpMM batches grow
+    // it on first use of a wider batch — steady state allocates nothing.)
+    let sym_shared = shared.sym.as_ref().filter(|_| block.is_symmetric());
+    if let Some(sym) = sym_shared {
+        // SAFETY: no other thread touches this worker's slot until the first
+        // epoch's reduction rounds, which happen strictly later.
+        unsafe { *sym.slots[tid].0.get() = vec![0.0; block.ncols()] };
+    }
+
     let mut seen_epoch = 0u64;
     loop {
         // Wait for the next epoch. The mutex is held only across the epoch check,
@@ -534,6 +639,44 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, spec: BlockSpec) {
         };
         match command {
             Command::Shutdown => return,
+            Command::Spmv if sym_shared.is_some() => {
+                let sym = sym_shared.expect("checked by the guard");
+                // SAFETY: this worker owns its slot outside the reduction
+                // rounds; the caller's x view is valid for this epoch.
+                let scratch = unsafe { &mut *sym.slots[tid].0.get() };
+                let need = operands.y_len;
+                if scratch.len() < need {
+                    scratch.resize(need, 0.0);
+                }
+                scratch[..need].fill(0.0);
+                let x = unsafe { std::slice::from_raw_parts(operands.x_ptr, operands.x_len) };
+                block.execute_full(x, &mut scratch[..need]);
+                sym_reduce(sym, tid, need, &operands);
+            }
+            Command::Spmm if sym_shared.is_some() => {
+                let sym = sym_shared.expect("checked by the guard");
+                // SAFETY: as above; x column `j` is the contiguous slice at
+                // `x_ptr + j*x_ld` of x_ld (= ncols) elements.
+                let scratch = unsafe { &mut *sym.slots[tid].0.get() };
+                let need = operands.y_ld * operands.k;
+                if scratch.len() < need {
+                    scratch.resize(need, 0.0);
+                }
+                scratch[..need].fill(0.0);
+                for j in 0..operands.k {
+                    let x_col = unsafe {
+                        std::slice::from_raw_parts(
+                            operands.x_ptr.add(j * operands.x_ld),
+                            operands.x_ld,
+                        )
+                    };
+                    block.execute_full(
+                        x_col,
+                        &mut scratch[j * operands.y_ld..(j + 1) * operands.y_ld],
+                    );
+                }
+                sym_reduce(sym, tid, need, &operands);
+            }
             Command::Spmv => {
                 // SAFETY: the caller published valid x/y views for exactly this
                 // epoch and blocks on the completion barrier below before
@@ -576,6 +719,41 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, spec: BlockSpec) {
         }
         done.count += 1;
         shared.done_cv.notify_all();
+    }
+}
+
+/// The symmetric epilogue every worker runs after computing its scratch
+/// contribution: the deterministic pairwise tree reduction, then worker 0
+/// accumulates the root scratch into the caller's destination.
+///
+/// The schedule — stride 1, 2, 4, … while `stride < workers`; in each round
+/// buffer `i` (with `i % (2·stride) == 0`, `i + stride < workers`) absorbs
+/// buffer `i + stride` — is **exactly** the order the serial
+/// [`spmv_core::tuning::prepared::PreparedMatrix`] applies, so the parallel
+/// result is bit-identical to the serial one. A [`RoundBarrier::wait`] opens
+/// every round: the first separates compute from reduction, the later ones
+/// order round `r`'s reads after round `r-1`'s writes.
+fn sym_reduce(sym: &SymShared, tid: usize, len: usize, operands: &Operands) {
+    let count = sym.slots.len();
+    let mut stride = 1usize;
+    for _ in 0..SymShared::rounds(count) {
+        sym.barrier.wait();
+        if tid.is_multiple_of(2 * stride) && tid + stride < count {
+            // SAFETY: the partner finished writing its slot before arriving at
+            // this round's barrier and does not touch it again this epoch.
+            let src = unsafe { &*sym.slots[tid + stride].0.get() };
+            let dst = unsafe { &mut *sym.slots[tid].0.get() };
+            spmv_core::tuning::reduce_into(&mut dst[..len], &src[..len]);
+        }
+        stride *= 2;
+    }
+    if tid == 0 {
+        // SAFETY: every other worker's last access to slot 0 (none) and to y
+        // (none on the symmetric path) is ordered before this; the caller's y
+        // view stays valid until the completion barrier below.
+        let root = unsafe { &*sym.slots[0].0.get() };
+        let y = unsafe { std::slice::from_raw_parts_mut(operands.y_ptr, len) };
+        spmv_core::tuning::reduce_into(y, &root[..len]);
     }
 }
 
@@ -891,6 +1069,117 @@ mod tests {
         y.fill(4.5);
         engine.spmm(&x, &mut y);
         assert_eq!(y.data(), &[4.5; 21]);
+    }
+
+    // --- symmetric engines ----------------------------------------------------
+
+    use spmv_testutil::random_symmetric_csr as random_symmetric;
+
+    /// A symmetric plan's engine must route through the scratch reduction and
+    /// stay **bit-identical** to the serial symmetric reference at every thread
+    /// count, including degenerate ones — the property the mirrored tree
+    /// reduction exists to provide.
+    #[test]
+    fn symmetric_engine_bit_identical_to_serial_symmetric_reference() {
+        let n = 143;
+        let csr = random_symmetric(n, 900, 31);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.017).cos() * 2.5).collect();
+        for threads in [1, 2, 3, 8, n + 3] {
+            let plan = TunePlan::new(&csr, threads, &TuningConfig::full());
+            assert!(
+                plan.symmetric,
+                "threads={threads}: symmetry must be detected"
+            );
+            let serial = PreparedMatrix::materialize(&csr, &plan).unwrap();
+            let mut expected = vec![0.125; n];
+            serial.spmv(&x, &mut expected);
+
+            let mut engine = SpmvEngine::from_plan(&csr, &plan).unwrap();
+            assert!(engine.is_symmetric());
+            let mut y = vec![0.125; n];
+            engine.spmv(&x, &mut y);
+            assert_eq!(expected, y, "threads={threads} must be bit-identical");
+            // Reusability: a second epoch accumulates identically.
+            engine.spmv(&x, &mut y);
+            serial.spmv(&x, &mut expected);
+            assert_eq!(expected, y, "threads={threads} second epoch");
+        }
+    }
+
+    /// Symmetric storage must also agree with the *general* reference (within
+    /// tolerance — the summation order differs) and report a smaller footprint.
+    #[test]
+    fn symmetric_engine_matches_general_reference_and_halves_footprint() {
+        let n = 120;
+        let csr = random_symmetric(n, 1400, 32);
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.5 - 3.0).collect();
+        let reference = csr.spmv_alloc(&x);
+        let mut engine = SpmvEngine::tuned(&csr, 4, &TuningConfig::full()).unwrap();
+        let mut y = vec![0.0; n];
+        engine.spmv(&x, &mut y);
+        assert!(max_abs_diff(&reference, &y) < 1e-9);
+
+        let general = TuningConfig {
+            exploit_symmetry: false,
+            ..TuningConfig::full()
+        };
+        let general_engine = SpmvEngine::tuned(&csr, 4, &general).unwrap();
+        assert!(!general_engine.is_symmetric());
+        assert!(
+            (engine.footprint_bytes() as f64) < 0.75 * general_engine.footprint_bytes() as f64,
+            "sym {} bytes vs general {} bytes",
+            engine.footprint_bytes(),
+            general_engine.footprint_bytes()
+        );
+    }
+
+    /// Symmetric SpMM: bit-identical per column to the serial symmetric SpMM and
+    /// to k single-vector engine calls, with batch widths exceeding the first
+    /// epoch's scratch size (exercises the grow-once path).
+    #[test]
+    fn symmetric_engine_spmm_bit_identical_to_serial() {
+        let n = 97;
+        let csr = random_symmetric(n, 600, 33);
+        for threads in [1, 3, n + 3] {
+            let plan = TunePlan::new(&csr, threads, &TuningConfig::full());
+            let serial = PreparedMatrix::materialize(&csr, &plan).unwrap();
+            let mut engine = SpmvEngine::from_plan(&csr, &plan).unwrap();
+            for k in [1, 2, 5, 8] {
+                let x = test_xblock(n, k);
+                let mut y = MultiVec::zeros(n, k);
+                y.fill(0.25);
+                engine.spmm(&x, &mut y);
+                let mut expected = MultiVec::zeros(n, k);
+                expected.fill(0.25);
+                serial.spmm(&x, &mut expected);
+                assert_eq!(y, expected, "threads={threads} k={k}");
+                // Per column identical to the single-vector path too.
+                for j in 0..k {
+                    let mut single = vec![0.25; n];
+                    engine.spmv(x.col(j), &mut single);
+                    let mut single_serial = vec![0.25; n];
+                    serial.spmv(x.col(j), &mut single_serial);
+                    assert_eq!(single, single_serial, "threads={threads} k={k} col {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_plan_round_trips_into_identical_engine_results() {
+        let csr = random_symmetric(76, 500, 34);
+        let plan = TunePlan::new(&csr, 3, &TuningConfig::full());
+        assert!(plan.symmetric);
+        let reloaded = TunePlan::from_text(&plan.to_text()).unwrap();
+        assert_eq!(plan, reloaded);
+        let x: Vec<f64> = (0..76).map(|i| (i as f64).sqrt() - 4.0).collect();
+        let mut a = vec![0.0; 76];
+        SpmvEngine::from_plan(&csr, &plan).unwrap().spmv(&x, &mut a);
+        let mut b = vec![0.0; 76];
+        SpmvEngine::from_plan(&csr, &reloaded)
+            .unwrap()
+            .spmv(&x, &mut b);
+        assert_eq!(a, b);
     }
 
     // --- affinity metadata ----------------------------------------------------

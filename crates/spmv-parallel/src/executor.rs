@@ -187,14 +187,30 @@ pub struct ParallelTuned {
 
 impl ParallelTuned {
     /// Partition and tune `csr` for `nthreads` threads using `config` per block.
+    ///
+    /// Symmetry exploitation is disabled here regardless of `config`: the scoped
+    /// executor writes strictly disjoint destination slices, which cannot
+    /// express the symmetric kernels' transposed scatter. Symmetric matrices
+    /// are served by [`crate::SpmvEngine`] (per-worker scratch + deterministic
+    /// tree reduction) instead.
     pub fn new(csr: &CsrMatrix, nthreads: usize, config: &TuningConfig) -> Self {
-        Self::from_plan(csr, TunePlan::new(csr, nthreads, config))
+        let general = TuningConfig {
+            exploit_symmetry: false,
+            ..*config
+        };
+        Self::from_plan(csr, TunePlan::new(csr, nthreads, &general))
             .expect("a freshly planned TunePlan always fits its matrix")
     }
 
     /// Materialize an existing plan (e.g. loaded from a saved profile). Fails if
-    /// the plan does not match the matrix.
+    /// the plan does not match the matrix, or if the plan is symmetric (see
+    /// [`ParallelTuned::new`]).
     pub fn from_plan(csr: &CsrMatrix, plan: TunePlan) -> Result<Self> {
+        if plan.symmetric {
+            return Err(spmv_core::error::Error::InvalidStructure(
+                "symmetric plans run on SpmvEngine, not the scoped executor".to_string(),
+            ));
+        }
         plan.validate_for(csr)?;
         let blocks = plan
             .threads

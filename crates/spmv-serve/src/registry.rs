@@ -74,6 +74,13 @@ impl ServedMatrix {
         &self.plan
     }
 
+    /// Whether the matrix is served from symmetric (lower-triangle) storage —
+    /// chosen automatically when the registry's tuning config exploits symmetry
+    /// and the inserted matrix is detected symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        self.plan.symmetric
+    }
+
     /// The engine's footprint report (per-worker bytes + affinity policy).
     pub fn footprint(&self) -> EngineFootprint {
         self.engine.lock().unwrap().footprint()

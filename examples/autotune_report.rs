@@ -51,7 +51,7 @@ fn main() {
             .take(3)
             .map(|((r, c), n)| format!("{n}x {r}x{c}"))
             .collect();
-        let formats = tuned.matrix().format_histogram();
+        let formats = tuned.format_histogram();
         println!(
             "    register shapes: {} | block formats: {:?}",
             shapes.join(", "),

@@ -46,7 +46,7 @@ fn main() {
         "tuned footprint {:.2} MB (CSR {:.2} MB); block formats: {:?}",
         tuned.footprint_bytes() as f64 / 1e6,
         tuned.report().csr_bytes as f64 / 1e6,
-        tuned.matrix().format_histogram()
+        tuned.format_histogram()
     );
 
     let damping = 0.85;

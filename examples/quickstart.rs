@@ -40,8 +40,8 @@ fn main() {
         report.csr_bytes as f64 / 1e6,
         report.csr_bytes as f64 / tuned.footprint_bytes() as f64
     );
-    println!("cache blocks: {}", tuned.matrix().num_blocks());
-    for (format, count) in tuned.matrix().format_histogram() {
+    println!("cache blocks: {}", tuned.num_blocks());
+    for (format, count) in tuned.format_histogram() {
         println!("  {count:>4} blocks stored as {format}");
     }
 

@@ -3,10 +3,10 @@
 
 use spmv_multicore::prelude::*;
 use spmv_multicore::spmv_archsim::platforms::PlatformId;
-use spmv_multicore::spmv_core::dense::max_abs_diff;
 use spmv_multicore::spmv_core::tuning::search::DenseProfile;
 use spmv_multicore::spmv_parallel::affinity::AffinityPolicy;
 use spmv_multicore::spmv_parallel::numa::{NumaAwareMatrix, NumaTopology};
+use spmv_testutil::{assert_bit_identical, max_abs_diff};
 
 fn reference_and_x(matrix: SuiteMatrix) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
     let csr = CsrMatrix::from_coo(&matrix.generate(Scale::Tiny));
@@ -74,11 +74,13 @@ fn tuned_engine_bit_identical_to_serial_tuned_path_on_every_suite_matrix() {
             let mut engine = SpmvEngine::from_plan(&csr, &plan).unwrap();
             let mut y = vec![0.0; csr.nrows()];
             engine.spmv(&x, &mut y);
-            assert_eq!(
-                expected,
-                y,
-                "{} at {threads} threads: tuned-parallel must be bit-identical to the serial tuned path",
-                matrix.id()
+            assert_bit_identical(
+                &expected,
+                &y,
+                &format!(
+                    "{} at {threads} threads (tuned-parallel vs serial)",
+                    matrix.id()
+                ),
             );
         }
     }

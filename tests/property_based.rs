@@ -1,14 +1,14 @@
-//! Property-based tests over the core data-structure invariants, driven by a
-//! deterministic random-case generator (no external framework): every storage
-//! format, every kernel variant, every index width and every register block shape
-//! must compute the same product as a dense reference on arbitrary matrices —
-//! including rectangular shapes, empty rows/columns and fully empty matrices — and
-//! the tuner must never lose nonzeros or blow up the footprint.
+//! Property-based tests over the core data-structure invariants, driven by the
+//! shared `spmv-testutil` deterministic case generator (no external framework):
+//! every storage format, every kernel variant, every index width and every
+//! register block shape must compute the same product as a dense reference on
+//! arbitrary matrices — including rectangular shapes, empty rows/columns,
+//! single-row/single-column matrices and the fully empty matrix — and the tuner
+//! must never lose nonzeros or blow up the footprint.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spmv_multicore::prelude::*;
-use spmv_multicore::spmv_core::dense::max_abs_diff;
 use spmv_multicore::spmv_core::formats::bcsr::ALLOWED_BLOCK_DIMS;
 use spmv_multicore::spmv_core::formats::index::IndexWidth;
 use spmv_multicore::spmv_core::formats::{
@@ -18,80 +18,14 @@ use spmv_multicore::spmv_core::kernels::KernelVariant;
 use spmv_multicore::spmv_core::partition::row::partition_rows_balanced;
 use spmv_multicore::spmv_core::partition::segmented::{partition_nonzeros, segmented_spmv};
 use spmv_multicore::spmv_parallel::SpmvEngine;
-
-/// One random test case: possibly rectangular, possibly with empty rows/columns.
-struct Case {
-    nrows: usize,
-    ncols: usize,
-    entries: Vec<(usize, usize, f64)>,
-}
-
-/// Deterministic random cases, biased toward the shapes that break kernels:
-/// rectangular matrices, rows at the boundary of a register block, empty rows and
-/// the empty matrix itself.
-fn cases(count: usize, seed: u64) -> Vec<Case> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(count + 2);
-    // Always include the pathological fixed cases.
-    out.push(Case {
-        nrows: 1,
-        ncols: 1,
-        entries: vec![],
-    });
-    out.push(Case {
-        nrows: 7,
-        ncols: 3,
-        entries: vec![(0, 0, 1.0), (6, 2, -2.0)], // first/last rows only
-    });
-    for _ in 0..count {
-        let nrows = rng.random_range(1..40usize);
-        let ncols = rng.random_range(1..40usize);
-        let nnz = rng.random_range(0..200usize);
-        let mut entries = Vec::with_capacity(nnz);
-        for _ in 0..nnz {
-            entries.push((
-                rng.random_range(0..nrows),
-                rng.random_range(0..ncols),
-                rng.random_range(-10.0..10.0),
-            ));
-        }
-        out.push(Case {
-            nrows,
-            ncols,
-            entries,
-        });
-    }
-    out
-}
-
-/// Dense reference product computed straight from the triplets.
-fn dense_reference(case: &Case, x: &[f64]) -> Vec<f64> {
-    let mut y = vec![0.0; case.nrows];
-    for &(r, c, v) in &case.entries {
-        y[r] += v * x[c];
-    }
-    y
-}
-
-fn build(case: &Case) -> (CooMatrix, CsrMatrix) {
-    let coo =
-        CooMatrix::from_triplets(case.nrows, case.ncols, case.entries.iter().copied()).unwrap();
-    let csr = CsrMatrix::from_coo(&coo);
-    (coo, csr)
-}
-
-fn test_x(ncols: usize) -> Vec<f64> {
-    (0..ncols)
-        .map(|i| ((i * 7 + 3) % 11) as f64 - 5.0)
-        .collect()
-}
+use spmv_testutil::{cases, max_abs_diff, test_x};
 
 #[test]
 fn every_format_matches_dense_reference() {
     for (i, case) in cases(48, 0xF0).iter().enumerate() {
-        let (coo, csr) = build(case);
+        let (coo, csr) = (case.coo(), case.csr());
         let x = test_x(case.ncols);
-        let expected = dense_reference(case, &x);
+        let expected = case.dense_reference(&x);
 
         assert!(
             max_abs_diff(&coo.spmv_alloc(&x), &expected) < 1e-9,
@@ -133,9 +67,9 @@ fn every_format_matches_dense_reference() {
 #[test]
 fn every_block_shape_and_width_matches_dense_reference() {
     for (i, case) in cases(32, 0xB1).iter().enumerate() {
-        let (_, csr) = build(case);
+        let csr = case.csr();
         let x = test_x(case.ncols);
-        let expected = dense_reference(case, &x);
+        let expected = case.dense_reference(&x);
         for &r in &ALLOWED_BLOCK_DIMS {
             for &c in &ALLOWED_BLOCK_DIMS {
                 let b16 = BcsrMatrix::<u16>::from_csr(&csr, r, c).unwrap();
@@ -165,10 +99,10 @@ fn every_block_shape_and_width_matches_dense_reference() {
 #[test]
 fn every_kernel_variant_matches_dense_reference() {
     for (i, case) in cases(24, 0xC2).iter().enumerate() {
-        let (_, csr) = build(case);
+        let csr = case.csr();
         let narrow: spmv_multicore::spmv_core::formats::CsrMatrix<u16> = csr.reindex().unwrap();
         let x = test_x(case.ncols);
-        let expected = dense_reference(case, &x);
+        let expected = case.dense_reference(&x);
         for variant in KernelVariant::all() {
             let mut y = vec![0.0; case.nrows];
             variant.execute(&csr, &x, &mut y);
@@ -201,9 +135,9 @@ fn every_kernel_variant_matches_dense_reference() {
 #[test]
 fn tuner_preserves_nonzeros_and_results() {
     for (i, case) in cases(24, 0xD3).iter().enumerate() {
-        let (coo, csr) = build(case);
+        let (coo, csr) = (case.coo(), case.csr());
         let x = test_x(case.ncols);
-        let expected = dense_reference(case, &x);
+        let expected = case.dense_reference(&x);
         for config in [
             TuningConfig::naive(),
             TuningConfig::register_only(),
@@ -215,8 +149,11 @@ fn tuner_preserves_nonzeros_and_results() {
                 max_abs_diff(&tuned.spmv_alloc(&x), &expected) < 1e-9,
                 "case {i}"
             );
-            // Stored entries can only grow (zero fill), never shrink.
-            assert!(tuned.stored_entries() >= tuned.nnz(), "case {i}");
+            // Stored entries can only grow (zero fill), never shrink — except on
+            // the symmetric pipeline, which stores the lower triangle only.
+            if !tuned.is_symmetric() {
+                assert!(tuned.stored_entries() >= tuned.nnz(), "case {i}");
+            }
         }
     }
 }
@@ -225,10 +162,10 @@ fn tuner_preserves_nonzeros_and_results() {
 fn partitions_cover_and_preserve_results() {
     let mut rng = StdRng::seed_from_u64(0xE4);
     for (i, case) in cases(24, 0xE5).iter().enumerate() {
-        let (_, csr) = build(case);
+        let csr = case.csr();
         let parts = rng.random_range(1..9usize);
         let x = test_x(case.ncols);
-        let expected = dense_reference(case, &x);
+        let expected = case.dense_reference(&x);
 
         let rows = partition_rows_balanced(&csr, parts);
         assert!(rows.covers(case.nrows), "case {i}");
@@ -260,7 +197,7 @@ fn partitions_cover_and_preserve_results() {
 #[test]
 fn footprint_reported_matches_accounting() {
     for (i, case) in cases(24, 0xF6).iter().enumerate() {
-        let (coo, csr) = build(case);
+        let (coo, csr) = (case.coo(), case.csr());
         // CSR footprint formula: nnz*(8+4) + (nrows+1)*4.
         assert_eq!(
             csr.footprint_bytes(),

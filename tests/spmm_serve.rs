@@ -4,9 +4,7 @@
 //! pipeline, and the parallel engine at degenerate thread counts — and the
 //! batcher must actually coalesce concurrent requests into one SpMM batch.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use spmv_core::formats::{BcsrMatrix, CooMatrix, CsrMatrix};
+use spmv_core::formats::{BcsrMatrix, CsrMatrix};
 use spmv_core::kernels::multivec::{spmm_bcsr, spmm_csr};
 use spmv_core::kernels::{blocked::spmv_bcsr, single_loop::spmv_single_loop};
 use spmv_core::multivec::MultiVec;
@@ -16,44 +14,9 @@ use spmv_core::tuning::TuningConfig;
 use spmv_core::{MatrixShape, SpMv};
 use spmv_parallel::SpmvEngine;
 use spmv_serve::{BatchPolicy, Batcher, MatrixRegistry};
+use spmv_testutil::{empty_row_csr, random_csr, xblock};
 use std::sync::Arc;
 use std::time::Duration;
-
-fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut coo = CooMatrix::new(nrows, ncols);
-    for _ in 0..nnz {
-        coo.push(
-            rng.random_range(0..nrows),
-            rng.random_range(0..ncols),
-            rng.random_range(-1.0..1.0),
-        );
-    }
-    CsrMatrix::from_coo(&coo)
-}
-
-/// A matrix with mostly-empty rows (exercises the GCSR/BCOO block choices).
-fn empty_row_csr(nrows: usize, ncols: usize) -> CsrMatrix {
-    let mut coo = CooMatrix::new(nrows, ncols);
-    coo.push(0, 0, 1.5);
-    coo.push(0, ncols - 1, -2.0);
-    coo.push(nrows / 2, 2, 4.0);
-    coo.push(nrows / 2, 3, 0.5);
-    coo.push(nrows - 1, ncols / 2, 3.0);
-    CsrMatrix::from_coo(&coo)
-}
-
-fn xblock(ncols: usize, k: usize) -> MultiVec {
-    let cols: Vec<Vec<f64>> = (0..k)
-        .map(|j| {
-            (0..ncols)
-                .map(|i| ((i * 31 + j * 17 + 5) % 97) as f64 * 0.125 - 6.0)
-                .collect()
-        })
-        .collect();
-    let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
-    MultiVec::from_columns(&views)
-}
 
 /// Raw CSR kernels: spmm(k) ≡ k × single-loop SpMV, at u16/u32/usize widths,
 /// on rectangular and empty-row matrices.
@@ -146,6 +109,69 @@ fn tuned_engine_spmm_bit_identity_across_thread_counts() {
                 }
             }
         }
+    }
+}
+
+/// A symmetric matrix registered with the default (full) config must be served
+/// from symmetric storage automatically, and the batched SpMM answers must be
+/// exactly what the direct symmetric SpMV gives.
+#[test]
+fn registry_serves_symmetric_matrices_from_halved_storage() {
+    let csr = spmv_testutil::random_symmetric_csr(52, 400, 40);
+    let registry = MatrixRegistry::new(3, TuningConfig::full());
+    let served = registry.insert("sym", &csr).unwrap();
+    assert!(served.is_symmetric(), "symmetry must be detected at insert");
+
+    // Halved storage shows up in the engine's footprint report.
+    let general = MatrixRegistry::new(
+        3,
+        TuningConfig {
+            exploit_symmetry: false,
+            ..TuningConfig::full()
+        },
+    );
+    let served_general = general.insert("gen", &csr).unwrap();
+    assert!(!served_general.is_symmetric());
+    assert!(
+        served.footprint().total_bytes < served_general.footprint().total_bytes * 3 / 4,
+        "symmetric serving must stream fewer bytes ({} vs {})",
+        served.footprint().total_bytes,
+        served_general.footprint().total_bytes
+    );
+
+    // Batched symmetric SpMM ≡ per-column symmetric SpMV, exactly.
+    let x = xblock(52, 4);
+    let y = served.spmm_now(&x).unwrap();
+    for j in 0..4 {
+        assert_eq!(y.col(j), &served.spmv_now(x.col(j)).unwrap()[..]);
+    }
+
+    // And the batcher coalesces symmetric requests like any other.
+    let batcher = Batcher::manual(
+        served,
+        BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_secs(60),
+        },
+    );
+    let batcher = Arc::new(batcher);
+    let clients: Vec<_> = (0..4)
+        .map(|j| {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || {
+                let x: Vec<f64> = (0..52).map(|i| ((i * 5 + j) % 11) as f64 * 0.25).collect();
+                let y = batcher.apply(x.clone()).unwrap();
+                (x, y)
+            })
+        })
+        .collect();
+    while batcher.pending() < 4 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(batcher.run_once(), 4);
+    for client in clients {
+        let (x, y) = client.join().unwrap();
+        assert_eq!(y, batcher.matrix().spmv_now(&x).unwrap());
     }
 }
 

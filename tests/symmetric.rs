@@ -1,0 +1,304 @@
+//! The symmetric-subsystem property/fuzz suite.
+//!
+//! Four pillars, per the symmetric-pipeline acceptance bar:
+//!
+//! 1. **Agreement** — symmetric storage (`SymCsr`/`SymBcsr`) must match the
+//!    eagerly-expanded general CSR within tight tolerance, across index widths
+//!    {u16, u32, usize}, every register block shape ≤ 4×4, and fuzzed matrices
+//!    (random symmetric, banded, diagonal-heavy, empty).
+//! 2. **Bit-identity** — serial symmetric (`PreparedMatrix`) vs parallel
+//!    symmetric (`SpmvEngine`) must be *bit-identical* at thread counts
+//!    {1, 2, nrows+3}, for SpMV and SpMM alike, because both run the same
+//!    kernels and the same deterministic tree reduction.
+//! 3. **Plan round-trip** — a `Symmetric` decision survives the plain-text
+//!    profile save/load and drives identical materialization.
+//! 4. **MatrixMarket regression** — symmetric `.mtx` files read via `mmio`
+//!    produce a `SymCsr` whose SpMV matches the expanded general CSR on every
+//!    symmetric Table-3 suite matrix.
+
+use spmv_multicore::prelude::*;
+use spmv_multicore::spmv_core::formats::bcsr::ALLOWED_BLOCK_DIMS;
+use spmv_multicore::spmv_core::formats::{is_symmetric, SymBcsr, SymCsr};
+use spmv_multicore::spmv_core::tuning::FormatKind;
+use spmv_multicore::spmv_matrices::mmio::{
+    read_matrix_market_ex, write_matrix_market_ex, Symmetry, ValueField,
+};
+use spmv_multicore::spmv_parallel::SpmvEngine;
+use spmv_testutil::{
+    assert_bit_identical, assert_ulps_within, banded_csr, max_abs_diff, random_symmetric_csr,
+    test_x, xblock,
+};
+
+/// The fuzz corpus: seeded symmetric matrices of varied shape and density.
+fn symmetric_corpus() -> Vec<(String, CsrMatrix)> {
+    let mut corpus: Vec<(String, CsrMatrix)> = Vec::new();
+    for (n, lower_nnz, seed) in [(1usize, 1usize, 1u64), (7, 5, 2), (33, 90, 3), (64, 700, 4)] {
+        corpus.push((
+            format!("random-{n}x{n}-seed{seed}"),
+            random_symmetric_csr(n, lower_nnz, seed),
+        ));
+    }
+    for (n, bw, seed) in [(24usize, 2usize, 5u64), (50, 7, 6)] {
+        corpus.push((format!("banded-{n}-bw{bw}"), banded_csr(n, bw, true, seed)));
+    }
+    // Diagonal-only and empty matrices.
+    corpus.push(("diagonal".to_string(), {
+        let mut coo = CooMatrix::new(19, 19);
+        for i in 0..19 {
+            coo.push(i, i, i as f64 - 9.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }));
+    corpus.push((
+        "empty".to_string(),
+        CsrMatrix::from_coo(&CooMatrix::new(11, 11)),
+    ));
+    corpus
+}
+
+/// Pillar 1a: `SymCsr` at every index width agrees with the expanded general
+/// form within 2 ULPs per element-pair count (the only difference is summation
+/// order, so the tolerance is tight, not loose).
+#[test]
+fn sym_csr_agrees_with_expanded_general_across_widths() {
+    for (name, csr) in symmetric_corpus() {
+        assert!(is_symmetric(&csr), "{name}: corpus must be symmetric");
+        let x = test_x(csr.ncols());
+        let reference = csr.spmv_alloc(&x);
+        let y16 = SymCsr::<u16>::from_csr(&csr).unwrap().spmv_alloc(&x);
+        let y32 = SymCsr::<u32>::from_csr(&csr).unwrap().spmv_alloc(&x);
+        let yus = SymCsr::<usize>::from_csr(&csr).unwrap().spmv_alloc(&x);
+        // All widths run the same arithmetic: bit-identical to each other.
+        assert_bit_identical(&y16, &y32, &format!("{name}: u16 vs u32"));
+        assert_bit_identical(&y32, &yus, &format!("{name}: u32 vs usize"));
+        // And tightly close to the general reference.
+        assert!(
+            max_abs_diff(&reference, &y32) < 1e-9,
+            "{name}: symmetric diverged from expanded general"
+        );
+    }
+}
+
+/// Pillar 1b: `SymBcsr` at every block shape ≤ 4×4 and width agrees with both
+/// the expanded general form and the pointwise symmetric form.
+#[test]
+fn sym_bcsr_agrees_across_shapes_and_widths() {
+    for (name, csr) in symmetric_corpus() {
+        let x = test_x(csr.ncols());
+        let reference = csr.spmv_alloc(&x);
+        for &r in &ALLOWED_BLOCK_DIMS {
+            for &c in &ALLOWED_BLOCK_DIMS {
+                let y16 = SymBcsr::<u16>::from_csr(&csr, r, c).unwrap().spmv_alloc(&x);
+                let y32 = SymBcsr::<u32>::from_csr(&csr, r, c).unwrap().spmv_alloc(&x);
+                let yus = SymBcsr::<usize>::from_csr(&csr, r, c)
+                    .unwrap()
+                    .spmv_alloc(&x);
+                assert_bit_identical(&y16, &y32, &format!("{name} {r}x{c}: u16 vs u32"));
+                assert_bit_identical(&y32, &yus, &format!("{name} {r}x{c}: u32 vs usize"));
+                assert!(
+                    max_abs_diff(&reference, &y32) < 1e-9,
+                    "{name} {r}x{c}: symmetric blocked diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Pillar 2: serial symmetric vs parallel symmetric **bit-identity** at thread
+/// counts {1, 2, nrows+3}, SpMV and SpMM, with accumulation into non-zero y.
+#[test]
+fn serial_vs_parallel_symmetric_bit_identity() {
+    for (name, csr) in symmetric_corpus() {
+        if csr.nnz() == 0 {
+            continue; // zero matrices plan as general (nothing to store)
+        }
+        let n = csr.nrows();
+        let x = test_x(n);
+        for threads in [1, 2, n + 3] {
+            let plan = TunePlan::new(&csr, threads, &TuningConfig::full());
+            assert!(plan.symmetric, "{name}: symmetry must be detected");
+            let serial = PreparedMatrix::materialize(&csr, &plan).unwrap();
+            assert!(serial.is_symmetric());
+            let mut expected = vec![0.375; n];
+            serial.spmv(&x, &mut expected);
+
+            let mut engine = SpmvEngine::from_plan(&csr, &plan).unwrap();
+            let mut y = vec![0.375; n];
+            engine.spmv(&x, &mut y);
+            assert_bit_identical(&expected, &y, &format!("{name} threads={threads} spmv"));
+
+            for k in [1usize, 3, 8] {
+                let xs = xblock(n, k);
+                let mut ys = MultiVec::zeros(n, k);
+                ys.fill(-0.5);
+                engine.spmm(&xs, &mut ys);
+                let mut expected_s = MultiVec::zeros(n, k);
+                expected_s.fill(-0.5);
+                serial.spmm(&xs, &mut expected_s);
+                assert_bit_identical(
+                    expected_s.data(),
+                    ys.data(),
+                    &format!("{name} threads={threads} spmm k={k}"),
+                );
+            }
+        }
+    }
+}
+
+/// Pillar 3: the `Symmetric` decision survives the plain-text profile
+/// round-trip exactly, and a reloaded plan materializes to identical bits.
+#[test]
+fn symmetric_plan_save_load_round_trip() {
+    let csr = random_symmetric_csr(45, 300, 77);
+    for threads in [1, 3] {
+        let plan = TunePlan::new(&csr, threads, &TuningConfig::full());
+        assert!(plan.symmetric);
+        for t in &plan.threads {
+            assert_eq!(t.decisions.len(), 1);
+            assert!(matches!(
+                t.decisions[0].choice.kind,
+                FormatKind::SymCsr | FormatKind::SymBcsr
+            ));
+        }
+        // Text round trip is exact.
+        let text = plan.to_text();
+        assert!(text.contains("symmetric\n"), "flag must serialize");
+        let reloaded = TunePlan::from_text(&text).unwrap();
+        assert_eq!(plan, reloaded);
+
+        // File round trip drives identical materialization.
+        let path = std::env::temp_dir().join(format!("spmv_sym_plan_{threads}.profile"));
+        plan.save(&path).unwrap();
+        let loaded = TunePlan::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let a = PreparedMatrix::materialize(&csr, &plan).unwrap();
+        let b = PreparedMatrix::materialize(&csr, &loaded).unwrap();
+        let x = test_x(45);
+        assert_bit_identical(
+            &a.spmv_alloc(&x),
+            &b.spmv_alloc(&x),
+            &format!("threads={threads}: reloaded symmetric plan"),
+        );
+        assert_eq!(a.footprint_bytes(), b.footprint_bytes());
+    }
+}
+
+/// A hand-tampered symmetric profile (mixed with a general decision) must be
+/// rejected at validation rather than silently executed.
+#[test]
+fn tampered_symmetric_profiles_are_rejected() {
+    let csr = random_symmetric_csr(20, 80, 78);
+    let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+    assert!(plan.symmetric);
+
+    // Strip the symmetric flag: the sym decisions are now inconsistent.
+    let text = plan.to_text().replace("symmetric\n", "");
+    let stripped = TunePlan::from_text(&text).unwrap();
+    assert!(stripped.validate_for(&csr).is_err());
+
+    // Flip a decision kind to general inside a symmetric plan.
+    let mut mixed = plan.clone();
+    mixed.threads[0].decisions[0].choice.kind = FormatKind::Csr;
+    assert!(mixed.validate_for(&csr).is_err());
+}
+
+/// Pillar 1c (threads × tolerance): the symmetric engine agrees with the
+/// expanded general engine within a few ULPs of headroom per element.
+#[test]
+fn symmetric_engine_agrees_with_general_engine_within_ulps() {
+    let csr = random_symmetric_csr(80, 900, 79);
+    let x = test_x(80);
+    let general_cfg = TuningConfig {
+        exploit_symmetry: false,
+        ..TuningConfig::full()
+    };
+    for threads in [1, 2, 83] {
+        let mut sym_engine = SpmvEngine::tuned(&csr, threads, &TuningConfig::full()).unwrap();
+        let mut gen_engine = SpmvEngine::tuned(&csr, threads, &general_cfg).unwrap();
+        assert!(sym_engine.is_symmetric() && !gen_engine.is_symmetric());
+        let mut ys = vec![0.0; 80];
+        sym_engine.spmv(&x, &mut ys);
+        let mut yg = vec![0.0; 80];
+        gen_engine.spmv(&x, &mut yg);
+        // Different summation orders: tight relative tolerance, expressed in
+        // ULPs scaled by the row lengths involved (generous but meaningful).
+        assert_ulps_within(&ys, &yg, 1 << 16, &format!("threads={threads}"));
+    }
+}
+
+/// Pillar 4 (regression): every symmetric Table-3 suite matrix, symmetrized,
+/// written as a symmetric MatrixMarket file, read back via `mmio`, must produce
+/// a `SymCsr` whose SpMV matches the eagerly-expanded general CSR — and whose
+/// footprint shows the halved index/value traffic.
+#[test]
+fn symmetric_matrix_market_round_trip_matches_expanded_general() {
+    let symmetric_suite: Vec<SuiteMatrix> = SuiteMatrix::all()
+        .into_iter()
+        .filter(|m| m.is_symmetric_in_table3())
+        .collect();
+    assert_eq!(symmetric_suite.len(), 6, "Table 3 lists six .rsa matrices");
+    for matrix in symmetric_suite {
+        let sym_coo = matrix
+            .generate_symmetric(Scale::Tiny)
+            .expect("symmetric Table-3 matrices symmetrize");
+        let mut buf = Vec::new();
+        write_matrix_market_ex(&sym_coo, Symmetry::Symmetric, ValueField::Real, &mut buf)
+            .expect("write symmetric mtx");
+
+        let file = read_matrix_market_ex(&buf[..]).expect("read symmetric mtx");
+        assert_eq!(file.symmetry, Symmetry::Symmetric, "{}", matrix.id());
+        let sym: SymCsr<u32> = file.to_sym_csr().expect("lower triangle converts");
+        let expanded = CsrMatrix::from_coo(&file.expand());
+
+        let x = test_x(expanded.ncols());
+        assert!(
+            max_abs_diff(&sym.spmv_alloc(&x), &expanded.spmv_alloc(&x)) < 1e-9,
+            "{}: SymCsr from mmio diverged from expanded CSR",
+            matrix.id()
+        );
+        assert_eq!(sym.nnz(), expanded.nnz(), "{}", matrix.id());
+        assert!(
+            sym.footprint_bytes() < expanded.footprint_bytes() * 3 / 4,
+            "{}: symmetric storage must be well below general ({} vs {} bytes)",
+            matrix.id(),
+            sym.footprint_bytes(),
+            expanded.footprint_bytes()
+        );
+    }
+}
+
+/// The symmetrize → tune → serve pipeline picks the symmetric path up
+/// automatically end-to-end (tune_csr and the engine alike).
+#[test]
+fn tuner_picks_up_symmetry_automatically_on_suite_matrices() {
+    for matrix in [SuiteMatrix::FemCantilever, SuiteMatrix::FemShip] {
+        let sym_coo = matrix.generate_symmetric(Scale::Tiny).unwrap();
+        let csr = CsrMatrix::from_coo(&sym_coo);
+        let tuned = tune_csr(&csr, &TuningConfig::full());
+        assert!(tuned.is_symmetric(), "{}", matrix.id());
+        assert!(tuned
+            .format_histogram()
+            .iter()
+            .all(|(name, _)| *name == "SymCSR" || *name == "SymBCSR"));
+        let general = tune_csr(
+            &csr,
+            &TuningConfig {
+                exploit_symmetry: false,
+                ..TuningConfig::full()
+            },
+        );
+        assert!(
+            tuned.footprint_bytes() < general.footprint_bytes() * 3 / 4,
+            "{}: symmetric tuning must shrink the footprint ({} vs {})",
+            matrix.id(),
+            tuned.footprint_bytes(),
+            general.footprint_bytes()
+        );
+        let x = test_x(csr.ncols());
+        assert!(
+            max_abs_diff(&tuned.spmv_alloc(&x), &general.spmv_alloc(&x)) < 1e-9,
+            "{}",
+            matrix.id()
+        );
+    }
+}
