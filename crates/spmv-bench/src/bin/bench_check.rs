@@ -3,9 +3,11 @@
 //! CI runs this after the tiny-scale `spmv_bench` smoke run: it fails (exit 1)
 //! when the artifact is missing, fails to parse as JSON, or lacks the expected
 //! variant rows — the `tuned-serial`/`tuned-parallel` rows of the two-phase
-//! pipeline, the `batched-k{1,2,4,8}` multi-vector rows for every Table-3
-//! suite matrix (serial, plus the engine rows at the swept thread count), and
-//! one `serve-*` row per request-stream scenario.
+//! pipeline, the `searched-serial`/`searched-parallel` rows of the measured
+//! whole-plan autotuner (which must not lose to the heuristic rows beyond
+//! `SEARCH_TOLERANCE`), the `batched-k{1,2,4,8}` multi-vector rows for every
+//! Table-3 suite matrix (serial, plus the engine rows at the swept thread
+//! count), and one `serve-*` row per request-stream scenario.
 //!
 //! ```text
 //! cargo run --release -p spmv-bench --bin bench_check [BENCH_spmv.json]
@@ -14,7 +16,8 @@
 use spmv_bench::json::Json;
 use spmv_bench::perf::{
     harness_matrices, swept_thread_counts, sym_id, symmetric_harness_matrices,
-    SYM_PARALLEL_VARIANT, SYM_SERIAL_VARIANT, TUNED_PARALLEL_VARIANT, TUNED_SERIAL_VARIANT,
+    SEARCHED_PARALLEL_VARIANT, SEARCHED_SERIAL_VARIANT, SEARCH_TOLERANCE, SYM_PARALLEL_VARIANT,
+    SYM_SERIAL_VARIANT, TUNED_PARALLEL_VARIANT, TUNED_SERIAL_VARIANT,
 };
 use spmv_bench::serve::{batched_variant, serve_variant, BATCH_WIDTHS, SERVE_SCENARIOS};
 
@@ -56,27 +59,41 @@ fn main() {
             && row.get("gflops").and_then(Json::as_f64).unwrap_or(0.0) > 0.0
     };
 
+    // GFLOP/s of the unique row matching (matrix, variant, threads), or fail.
+    let row_gflops = |id: &str, variant: &str, threads: usize| -> f64 {
+        results
+            .iter()
+            .find(|r| row_matches(r, id, variant, threads))
+            .and_then(|r| r.get("gflops").and_then(Json::as_f64))
+            .unwrap_or_else(|| fail(&format!("{id}: missing {variant} row at {threads} threads")))
+    };
+
     let mut checked = 0usize;
     let thread_counts = swept_thread_counts(max_threads);
     for matrix in harness_matrices() {
         let id = matrix.id();
-        if !results
-            .iter()
-            .any(|r| row_matches(r, id, TUNED_SERIAL_VARIANT, 1))
-        {
-            fail(&format!("{id}: missing {TUNED_SERIAL_VARIANT} row"));
+        // The measured-search acceptance bar: searched rows exist and do not
+        // lose to the heuristic rows beyond tolerance.
+        let tuned_serial = row_gflops(id, TUNED_SERIAL_VARIANT, 1);
+        let searched_serial = row_gflops(id, SEARCHED_SERIAL_VARIANT, 1);
+        if searched_serial < tuned_serial * (1.0 - SEARCH_TOLERANCE) {
+            fail(&format!(
+                "{id}: {SEARCHED_SERIAL_VARIANT} at {searched_serial} GFLOP/s loses to \
+                 {TUNED_SERIAL_VARIANT} at {tuned_serial} beyond {SEARCH_TOLERANCE} tolerance"
+            ));
         }
-        checked += 1;
+        checked += 2;
         for &threads in &thread_counts {
-            if !results
-                .iter()
-                .any(|r| row_matches(r, id, TUNED_PARALLEL_VARIANT, threads))
-            {
+            let tuned = row_gflops(id, TUNED_PARALLEL_VARIANT, threads);
+            let searched = row_gflops(id, SEARCHED_PARALLEL_VARIANT, threads);
+            if searched < tuned * (1.0 - SEARCH_TOLERANCE) {
                 fail(&format!(
-                    "{id}: missing {TUNED_PARALLEL_VARIANT} row at {threads} threads"
+                    "{id}: {SEARCHED_PARALLEL_VARIANT} at {searched} GFLOP/s loses to \
+                     {TUNED_PARALLEL_VARIANT} at {tuned} at {threads} threads beyond \
+                     {SEARCH_TOLERANCE} tolerance"
                 ));
             }
-            checked += 1;
+            checked += 2;
         }
 
         // Batched (SpMM) rows: serial at every width, plus the engine rows at
@@ -149,7 +166,8 @@ fn main() {
     }
 
     println!(
-        "[bench_check] OK: {path} has all {checked} expected tuned/batched/sym/serve rows ({} results total)",
+        "[bench_check] OK: {path} has all {checked} expected tuned/searched/batched/sym/serve \
+         rows and the searched rows hold the heuristic bar ({} results total)",
         results.len()
     );
 }

@@ -57,7 +57,10 @@ pub use formats::{
     BcooMatrix, BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, GcsrMatrix, SymBcsr, SymCsr,
 };
 pub use multivec::{MultiVec, MultiVecMut};
-pub use tuning::{PreparedBlock, PreparedMatrix, TunePlan, TunedMatrix, TuningConfig};
+pub use tuning::{
+    MatrixFingerprint, PreparedBlock, PreparedMatrix, SearchBudget, TuneCache, TunePlan,
+    TunedMatrix, TuningConfig,
+};
 
 /// Size in bytes of a double-precision matrix value.
 pub const VALUE_BYTES: usize = 8;

@@ -35,6 +35,32 @@ impl FormatKind {
     pub fn is_symmetric(self) -> bool {
         matches!(self, FormatKind::SymCsr | FormatKind::SymBcsr)
     }
+
+    /// The stable lower-case token used by the plain-text plan profile and the
+    /// plan snapshots ([`FormatKind::from_token`] is its inverse).
+    pub fn token(self) -> &'static str {
+        match self {
+            FormatKind::Csr => "csr",
+            FormatKind::Bcsr => "bcsr",
+            FormatKind::Bcoo => "bcoo",
+            FormatKind::Gcsr => "gcsr",
+            FormatKind::SymCsr => "symcsr",
+            FormatKind::SymBcsr => "symbcsr",
+        }
+    }
+
+    /// Parse a [`FormatKind::token`] back into the kind.
+    pub fn from_token(tok: &str) -> Option<FormatKind> {
+        Some(match tok {
+            "csr" => FormatKind::Csr,
+            "bcsr" => FormatKind::Bcsr,
+            "bcoo" => FormatKind::Bcoo,
+            "gcsr" => FormatKind::Gcsr,
+            "symcsr" => FormatKind::SymCsr,
+            "symbcsr" => FormatKind::SymBcsr,
+            _ => return None,
+        })
+    }
 }
 
 /// A fully-specified storage decision for one matrix or cache block.

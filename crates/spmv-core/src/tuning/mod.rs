@@ -13,9 +13,11 @@
 //!    ([`heuristic`]).
 //! 3. Materialize the winning choice per block into a [`crate::blocking::CacheBlockedMatrix`].
 //!
-//! [`search`] provides the OSKI-style exhaustive search used by the ablation study
-//! and the baseline crate. [`optimizations`] is the machine-readable form of the
-//! paper's Table 2.
+//! [`search`] provides the OSKI-style register-shape search used by the ablation
+//! study and the baseline crate; [`autotune`] lifts that idea to **measured
+//! whole-plan search** (complete [`TunePlan`] candidates timed end to end) with a
+//! persistent, fingerprint-keyed [`TuneCache`]. [`optimizations`] is the
+//! machine-readable form of the paper's Table 2.
 //!
 //! The pipeline is exposed in **two phases** so tuning cost can be paid once and
 //! amortized: [`plan`] produces a serializable [`TunePlan`] (row partition +
@@ -24,6 +26,7 @@
 //! thread, for first-touch NUMA placement. [`tune_csr`] composes both phases for
 //! the serial single-call case.
 
+pub mod autotune;
 pub mod footprint;
 pub mod heuristic;
 pub mod optimizations;
@@ -31,6 +34,10 @@ pub mod plan;
 pub mod prepared;
 pub mod search;
 
+pub use autotune::{
+    autotune, autotune_timed, candidate_plans, Autotuned, CandidateTiming, MatrixFingerprint,
+    SearchBudget, TuneCache,
+};
 pub use footprint::{FormatChoice, FormatKind};
 pub use heuristic::{
     materialize_decisions, plan_block_decisions, plan_symmetric_thread, tune, tune_csr,

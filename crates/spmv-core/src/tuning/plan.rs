@@ -442,14 +442,7 @@ impl TunePlan {
 }
 
 fn kind_name(kind: FormatKind) -> &'static str {
-    match kind {
-        FormatKind::Csr => "csr",
-        FormatKind::Bcsr => "bcsr",
-        FormatKind::Bcoo => "bcoo",
-        FormatKind::Gcsr => "gcsr",
-        FormatKind::SymCsr => "symcsr",
-        FormatKind::SymBcsr => "symbcsr",
-    }
+    kind.token()
 }
 
 fn width_name(width: IndexWidth) -> &'static str {
@@ -460,15 +453,7 @@ fn width_name(width: IndexWidth) -> &'static str {
 }
 
 fn parse_kind(tok: &str) -> Result<FormatKind> {
-    Ok(match tok {
-        "csr" => FormatKind::Csr,
-        "bcsr" => FormatKind::Bcsr,
-        "bcoo" => FormatKind::Bcoo,
-        "gcsr" => FormatKind::Gcsr,
-        "symcsr" => FormatKind::SymCsr,
-        "symbcsr" => FormatKind::SymBcsr,
-        other => return Err(parse_err(&format!("unknown format kind '{other}'"))),
-    })
+    FormatKind::from_token(tok).ok_or_else(|| parse_err(&format!("unknown format kind '{tok}'")))
 }
 
 fn parse_width(tok: &str) -> Result<IndexWidth> {

@@ -117,9 +117,10 @@ impl DenseProfile {
 }
 
 /// Run `time_once` `runs` times and return the median elapsed seconds — the
-/// reps-stable estimator both searches use so a single preempted run cannot
-/// flip a shape decision.
-fn median_timing(runs: usize, mut time_once: impl FnMut() -> f64) -> f64 {
+/// reps-stable estimator every measured search in this crate uses (the OSKI
+/// dense profile, the timed shape search, and the whole-plan autotuner) so a
+/// single preempted run cannot flip a decision.
+pub fn median_timing(runs: usize, mut time_once: impl FnMut() -> f64) -> f64 {
     let mut samples: Vec<f64> = (0..runs.max(1)).map(|_| time_once()).collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
     samples[samples.len() / 2]

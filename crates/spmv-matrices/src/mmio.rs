@@ -146,6 +146,11 @@ pub fn read_matrix_market_ex<R: Read>(reader: R) -> Result<MatrixMarketFile> {
         )));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    // The declared entry count is attacker-controlled (a malformed header can
+    // claim usize::MAX entries): cap the upfront reservation so a hostile size
+    // line costs a parse error, never an allocation abort. Legitimate files
+    // beyond the cap just grow the vector as entries arrive.
+    let reserve = nnz.min(1 << 20);
     // A symmetric header on a rectangular size line is malformed: mirroring
     // would index outside the matrix. Reject it here so `expand()` can mirror
     // infallibly.
@@ -155,7 +160,7 @@ pub fn read_matrix_market_ex<R: Read>(reader: R) -> Result<MatrixMarketFile> {
         )));
     }
 
-    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, reserve);
     let mut seen = 0usize;
     for line in lines {
         let line = line.map_err(|e| Error::Parse(e.to_string()))?;

@@ -569,6 +569,17 @@ impl SpmvEngine {
             done = self.shared.done_cv.wait(done).unwrap();
         }
     }
+
+    /// Swap `replacement` into this engine slot and return the engine that was
+    /// serving, in O(1) and without touching either engine's workers — the
+    /// hot-swap primitive of the serve layer's background retuning: build the
+    /// replacement off the serving lock (the expensive part: tuning search +
+    /// first-touch materialization), take the lock, `swap_with`, release, and
+    /// drop the returned engine *after* releasing so joining the old workers
+    /// never stalls a request.
+    pub fn swap_with(&mut self, replacement: SpmvEngine) -> SpmvEngine {
+        std::mem::replace(self, replacement)
+    }
 }
 
 impl Drop for SpmvEngine {
@@ -793,6 +804,39 @@ mod tests {
             );
         }
         CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn swap_with_replaces_the_serving_engine_mid_stream() {
+        let csr = random_csr(300, 280, 4000, 77);
+        let x: Vec<f64> = (0..280).map(|i| (i as f64 * 0.03).cos()).collect();
+        let plan_a = TunePlan::new(&csr, 2, &TuningConfig::full());
+        let plan_b = TunePlan::new(&csr, 3, &TuningConfig::naive());
+        let ref_a = PreparedMatrix::materialize(&csr, &plan_a)
+            .unwrap()
+            .spmv_alloc(&x);
+        let ref_b = PreparedMatrix::materialize(&csr, &plan_b)
+            .unwrap()
+            .spmv_alloc(&x);
+
+        let mut engine = SpmvEngine::from_plan(&csr, &plan_a).unwrap();
+        let mut y = vec![0.0; 300];
+        engine.spmv(&x, &mut y);
+        assert_eq!(y, ref_a, "pre-swap output is the old plan's");
+
+        // Build the replacement off to the side, swap it in, and keep serving:
+        // the old engine stays joinable and the slot serves the new plan.
+        let replacement = SpmvEngine::from_plan(&csr, &plan_b).unwrap();
+        let mut old = engine.swap_with(replacement);
+        assert_eq!(engine.num_threads(), 3);
+        assert_eq!(old.num_threads(), 2);
+        let mut y2 = vec![0.0; 300];
+        engine.spmv(&x, &mut y2);
+        assert_eq!(y2, ref_b, "post-swap output is the new plan's");
+        // The returned engine still works until dropped (joins its workers).
+        let mut y3 = vec![0.0; 300];
+        old.spmv(&x, &mut y3);
+        assert_eq!(y3, ref_a);
     }
 
     #[test]

@@ -6,10 +6,28 @@
 //! [`MatrixRegistry`] owns that mapping: inserting a matrix plans it (or adopts
 //! a supplied/loaded plan), spins up the persistent [`SpmvEngine`], and hands
 //! out [`ServedMatrix`] handles that batchers and direct callers share.
+//!
+//! Two knobs turn the registry from heuristic-only tuning into the measured
+//! pipeline:
+//!
+//! * [`MatrixRegistry::with_budget`] — inserts run the measured whole-plan
+//!   search ([`spmv_core::tuning::autotune`]) at the given [`SearchBudget`]
+//!   instead of trusting the one-pass heuristic.
+//! * [`MatrixRegistry::with_cache`] — winners persist in a [`TuneCache`]
+//!   keyed by matrix fingerprint × platform × thread count, so re-inserting a
+//!   known matrix (same process or a later one) skips the search entirely and
+//!   produces a ready [`ServedMatrix`] straight from the cached plan.
+//!
+//! Serving never blocks on a search: [`ServedMatrix::retune`] (and the
+//! registry's [`MatrixRegistry::retune_background`]) run the search and the
+//! first-touch engine build **off** the serving lock, then hot-swap the new
+//! engine in with one O(1) [`SpmvEngine::swap_with`] under the lock. In-flight
+//! requests finish on the old engine; the next request runs on the new one.
 
 use crate::{Result, ServeError};
 use spmv_core::formats::CsrMatrix;
 use spmv_core::multivec::MultiVec;
+use spmv_core::tuning::autotune::{autotune, MatrixFingerprint, SearchBudget, TuneCache};
 use spmv_core::tuning::plan::TunePlan;
 use spmv_core::tuning::TuningConfig;
 use spmv_core::MatrixShape;
@@ -18,35 +36,71 @@ use spmv_parallel::engine::EngineFootprint;
 use spmv_parallel::SpmvEngine;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
 
-/// One registered matrix: its identity, its serializable tune plan, and the
-/// running persistent engine that serves it.
+/// One registered matrix: its identity, its (hot-swappable) tune plan, and the
+/// running persistent engine that serves it. The matrix itself is retained
+/// (shared, not copied — insert via [`MatrixRegistry::insert_arc`] to avoid
+/// even the one-time clone) so background retunes can rebuild the engine
+/// without the caller keeping the CSR alive, and its structural fingerprint
+/// is computed once at build time for every cache interaction after.
 pub struct ServedMatrix {
     name: String,
+    csr: Arc<CsrMatrix>,
+    fingerprint: MatrixFingerprint,
     nrows: usize,
     ncols: usize,
     nnz: usize,
-    plan: TunePlan,
+    config: TuningConfig,
+    affinity: AffinityPolicy,
+    /// The plan the serving engine was materialized from. Updated under the
+    /// engine lock by [`ServedMatrix::swap_plan`], so plan and engine never
+    /// disagree.
+    plan: RwLock<TunePlan>,
     engine: Mutex<SpmvEngine>,
+    retunes: AtomicU64,
 }
 
 impl ServedMatrix {
     fn build(
         name: &str,
-        csr: &CsrMatrix,
+        csr: Arc<CsrMatrix>,
         plan: TunePlan,
+        config: TuningConfig,
         affinity: AffinityPolicy,
     ) -> Result<ServedMatrix> {
-        let engine = SpmvEngine::from_plan_with_affinity(csr, &plan, affinity)?;
+        let engine = SpmvEngine::from_plan_with_affinity(&csr, &plan, affinity)?;
         Ok(ServedMatrix {
             name: name.to_string(),
+            fingerprint: MatrixFingerprint::compute(&csr),
             nrows: csr.nrows(),
             ncols: csr.ncols(),
             nnz: csr.nnz(),
-            plan,
+            csr,
+            config,
+            affinity,
+            plan: RwLock::new(plan),
             engine: Mutex::new(engine),
+            retunes: AtomicU64::new(0),
         })
+    }
+
+    /// The matrix's structural fingerprint (computed once at registration).
+    pub fn fingerprint(&self) -> MatrixFingerprint {
+        self.fingerprint
+    }
+
+    /// Persist the currently-serving plan into `cache`, keyed by this
+    /// matrix's fingerprint, the plan's own thread count, and the tuning
+    /// config it was searched under — the single store path the registry's
+    /// retune entry points share.
+    fn store_plan_in(&self, cache: &TuneCache) -> Result<()> {
+        let plan = self.plan();
+        cache
+            .store(&self.fingerprint, plan.num_threads(), &self.config, &plan)
+            .map_err(ServeError::Build)
     }
 
     /// Registered name.
@@ -69,16 +123,22 @@ impl ServedMatrix {
         self.nnz
     }
 
-    /// The tune plan the engine was materialized from.
-    pub fn plan(&self) -> &TunePlan {
-        &self.plan
+    /// The tune plan currently serving (a snapshot — a concurrent retune may
+    /// swap in a new one right after this returns).
+    pub fn plan(&self) -> TunePlan {
+        self.plan.read().unwrap().clone()
     }
 
-    /// Whether the matrix is served from symmetric (lower-triangle) storage —
-    /// chosen automatically when the registry's tuning config exploits symmetry
+    /// Whether the matrix is currently served from symmetric (lower-triangle)
+    /// storage — chosen automatically when the tuning config exploits symmetry
     /// and the inserted matrix is detected symmetric.
     pub fn is_symmetric(&self) -> bool {
-        self.plan.symmetric
+        self.plan.read().unwrap().symmetric
+    }
+
+    /// How many engine hot-swaps this matrix has completed.
+    pub fn retune_count(&self) -> u64 {
+        self.retunes.load(Ordering::Relaxed)
     }
 
     /// The engine's footprint report (per-worker bytes + affinity policy).
@@ -120,6 +180,42 @@ impl ServedMatrix {
         engine.spmm(x, y);
         t0.elapsed()
     }
+
+    /// Hot-swap the serving engine to `plan`. The replacement engine is built
+    /// **before** the serving lock is taken (tuning search and first-touch
+    /// materialization are the expensive parts), the swap itself is one O(1)
+    /// pointer exchange under the lock, and the old engine's workers are
+    /// joined only after the lock is released — so concurrent `spmv_now` /
+    /// `spmm_now` callers observe either the old engine or the new one,
+    /// never a stall and never a torn state.
+    pub fn swap_plan(&self, plan: TunePlan) -> Result<()> {
+        let replacement = SpmvEngine::from_plan_with_affinity(&self.csr, &plan, self.affinity)?;
+        let old = {
+            let mut engine = self.engine.lock().unwrap();
+            let old = engine.swap_with(replacement);
+            // Plan updated under the engine lock: a reader holding a fresh
+            // plan() snapshot is looking at the engine that serves it.
+            *self.plan.write().unwrap() = plan;
+            old
+        };
+        drop(old);
+        self.retunes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Re-run the measured whole-plan search at `budget` (off the serving
+    /// lock) and hot-swap the winner in if it differs from the current plan.
+    /// Returns whether a swap happened. Serving continues uninterrupted
+    /// throughout.
+    pub fn retune(&self, budget: SearchBudget) -> Result<bool> {
+        let nthreads = self.plan.read().unwrap().num_threads();
+        let outcome = autotune(&self.csr, nthreads, &self.config, budget);
+        if outcome.plan == *self.plan.read().unwrap() {
+            return Ok(false);
+        }
+        self.swap_plan(outcome.plan)?;
+        Ok(true)
+    }
 }
 
 impl std::fmt::Debug for ServedMatrix {
@@ -129,6 +225,7 @@ impl std::fmt::Debug for ServedMatrix {
             .field("nrows", &self.nrows)
             .field("ncols", &self.ncols)
             .field("nnz", &self.nnz)
+            .field("retunes", &self.retune_count())
             .finish()
     }
 }
@@ -139,11 +236,15 @@ pub struct MatrixRegistry {
     nthreads: usize,
     config: TuningConfig,
     affinity: AffinityPolicy,
+    budget: SearchBudget,
+    cache: Option<Arc<TuneCache>>,
 }
 
 impl MatrixRegistry {
     /// A registry whose engines run `nthreads` workers, tuned with `config`,
-    /// under the engine's default first-touch affinity.
+    /// under the engine's default first-touch affinity. Inserts use the
+    /// one-pass heuristic ([`SearchBudget::Heuristic`]) and no cache; see
+    /// [`MatrixRegistry::with_budget`] / [`MatrixRegistry::with_cache`].
     pub fn new(nthreads: usize, config: TuningConfig) -> MatrixRegistry {
         Self::with_affinity(nthreads, config, AffinityPolicy::first_touch())
     }
@@ -161,14 +262,69 @@ impl MatrixRegistry {
             nthreads,
             config,
             affinity,
+            budget: SearchBudget::Heuristic,
+            cache: None,
         }
     }
 
-    /// Tune `csr` with the registry's configuration and register it under
-    /// `name`, returning the served handle.
+    /// Tune inserts with the measured whole-plan search at `budget` instead of
+    /// the plain heuristic.
+    pub fn with_budget(mut self, budget: SearchBudget) -> MatrixRegistry {
+        self.budget = budget;
+        self
+    }
+
+    /// Persist (and reuse) winning plans through `cache`: an insert whose
+    /// matrix fingerprint is already cached skips the search entirely and
+    /// serves from the cached plan; misses search at the registry's budget and
+    /// store the winner. Share one [`TuneCache`] across registries (and
+    /// processes pointing at the same directory) to amortize tuning globally.
+    pub fn with_cache(mut self, cache: Arc<TuneCache>) -> MatrixRegistry {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The search budget inserts tune at.
+    pub fn budget(&self) -> SearchBudget {
+        self.budget
+    }
+
+    /// The tune cache, when one is attached.
+    pub fn cache(&self) -> Option<&Arc<TuneCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Produce the plan an insert of `csr` should serve: cache hit → cached
+    /// plan (no search); miss or no cache → heuristic or measured search per
+    /// the registry's budget (winner stored when a cache is attached).
+    fn plan_for(&self, csr: &CsrMatrix) -> Result<TunePlan> {
+        match &self.cache {
+            Some(cache) => cache
+                .autotune(csr, self.nthreads, &self.config, self.budget)
+                .map(|outcome| outcome.plan)
+                .map_err(ServeError::Build),
+            None => Ok(match self.budget {
+                SearchBudget::Heuristic => TunePlan::new(csr, self.nthreads, &self.config),
+                budget => autotune(csr, self.nthreads, &self.config, budget).plan,
+            }),
+        }
+    }
+
+    /// Tune `csr` with the registry's configuration (heuristic, searched, or
+    /// cache-served per the registry's budget and cache) and register it under
+    /// `name`, returning the served handle. Clones the matrix once so the
+    /// served handle can retune without the caller keeping it alive; pass an
+    /// [`MatrixRegistry::insert_arc`] when the caller already holds an `Arc`
+    /// and the copy matters (large matrices).
     pub fn insert(&self, name: &str, csr: &CsrMatrix) -> Result<Arc<ServedMatrix>> {
-        let plan = TunePlan::new(csr, self.nthreads, &self.config);
-        self.insert_with_plan(name, csr, plan)
+        self.insert_arc(name, Arc::new(csr.clone()))
+    }
+
+    /// [`MatrixRegistry::insert`] without the clone: the served handle shares
+    /// the caller's `Arc<CsrMatrix>`.
+    pub fn insert_arc(&self, name: &str, csr: Arc<CsrMatrix>) -> Result<Arc<ServedMatrix>> {
+        let plan = self.plan_for(&csr)?;
+        self.insert_arc_with_plan(name, csr, plan)
     }
 
     /// Register `csr` under `name` with an already-built [`TunePlan`] (e.g. one
@@ -180,12 +336,28 @@ impl MatrixRegistry {
         csr: &CsrMatrix,
         plan: TunePlan,
     ) -> Result<Arc<ServedMatrix>> {
+        self.insert_arc_with_plan(name, Arc::new(csr.clone()), plan)
+    }
+
+    /// [`MatrixRegistry::insert_with_plan`] without the clone.
+    pub fn insert_arc_with_plan(
+        &self,
+        name: &str,
+        csr: Arc<CsrMatrix>,
+        plan: TunePlan,
+    ) -> Result<Arc<ServedMatrix>> {
         // Cheap duplicate check first: building the engine materializes the
         // whole matrix and spawns workers, which a taken name must not cost.
         if self.matrices.read().unwrap().contains_key(name) {
             return Err(ServeError::AlreadyRegistered(name.to_string()));
         }
-        let served = Arc::new(ServedMatrix::build(name, csr, plan, self.affinity)?);
+        let served = Arc::new(ServedMatrix::build(
+            name,
+            csr,
+            plan,
+            self.config,
+            self.affinity,
+        )?);
         let mut map = self.matrices.write().unwrap();
         // Re-check under the write lock: a racing insert may have won the name
         // while this one was building.
@@ -197,7 +369,7 @@ impl MatrixRegistry {
     }
 
     /// Register `csr` under `name` with a plan loaded from a plain-text profile
-    /// (the PR-2 `spmv-tune-plan v1` format).
+    /// (the `spmv-tune-plan v1` format).
     pub fn insert_from_profile(
         &self,
         name: &str,
@@ -208,8 +380,8 @@ impl MatrixRegistry {
         self.insert_with_plan(name, csr, plan)
     }
 
-    /// Save the registered matrix's tune plan as a plain-text profile, so a
-    /// later process can skip the tuning pass.
+    /// Save the registered matrix's current tune plan as a plain-text profile,
+    /// so a later process can skip the tuning pass.
     pub fn save_profile(&self, name: &str, path: impl AsRef<Path>) -> Result<()> {
         let served = self
             .get(name)
@@ -218,6 +390,49 @@ impl MatrixRegistry {
             .plan()
             .save(path)
             .map_err(|e| ServeError::Profile(e.to_string()))
+    }
+
+    /// Synchronously retune `name` at `budget` and hot-swap the winner in if
+    /// it beats the serving plan (see [`ServedMatrix::retune`]; serving never
+    /// blocks on the search). The winner is persisted when a cache is
+    /// attached — keyed by the served plan's own thread count, which can
+    /// legitimately differ from the registry's (plans adopted via
+    /// `insert_with_plan` or swapped in directly). Returns whether a swap
+    /// happened.
+    pub fn retune(&self, name: &str, budget: SearchBudget) -> Result<bool> {
+        let served = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownMatrix(name.to_string()))?;
+        let swapped = served.retune(budget)?;
+        if let Some(cache) = &self.cache {
+            served.store_plan_in(cache)?;
+        }
+        Ok(swapped)
+    }
+
+    /// [`MatrixRegistry::retune`] on a background thread: returns immediately
+    /// with a handle; serving continues on the current engine until the search
+    /// finishes and the new engine hot-swaps in.
+    pub fn retune_background(
+        &self,
+        name: &str,
+        budget: SearchBudget,
+    ) -> Result<JoinHandle<Result<bool>>> {
+        let served = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownMatrix(name.to_string()))?;
+        let cache = self.cache.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("spmv-retune-{name}"))
+            .spawn(move || {
+                let swapped = served.retune(budget)?;
+                if let Some(cache) = cache {
+                    served.store_plan_in(&cache)?;
+                }
+                Ok(swapped)
+            })
+            .expect("spawn retune thread");
+        Ok(handle)
     }
 
     /// Look up a served matrix by name.
@@ -254,6 +469,8 @@ impl std::fmt::Debug for MatrixRegistry {
         f.debug_struct("MatrixRegistry")
             .field("names", &self.names())
             .field("nthreads", &self.nthreads)
+            .field("budget", &self.budget)
+            .field("cached", &self.cache.is_some())
             .finish()
     }
 }
@@ -277,6 +494,13 @@ mod tests {
             );
         }
         CsrMatrix::from_coo(&coo)
+    }
+
+    fn temp_cache(tag: &str) -> (std::path::PathBuf, Arc<TuneCache>) {
+        let dir = std::env::temp_dir().join(format!("spmv_registry_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = Arc::new(TuneCache::with_platform(&dir, "test-plat").unwrap());
+        (dir, cache)
     }
 
     #[test]
@@ -367,5 +591,98 @@ mod tests {
             })
         ));
         assert!(registry.save_profile("absent", "/tmp/x").is_err());
+    }
+
+    #[test]
+    fn cached_insert_skips_the_search_on_the_second_registry() {
+        let (dir, cache) = temp_cache("warm_hit");
+        let csr = random_csr(70, 60, 700, 7);
+
+        let first = MatrixRegistry::new(2, TuningConfig::full())
+            .with_budget(SearchBudget::Pruned)
+            .with_cache(Arc::clone(&cache));
+        let a = first.insert("m", &csr).unwrap();
+        assert_eq!(cache.search_count(), 1);
+
+        // A fresh registry sharing the cache serves the same plan with no
+        // second search — the warm hit produces a ready ServedMatrix.
+        let second = MatrixRegistry::new(2, TuningConfig::full())
+            .with_budget(SearchBudget::Pruned)
+            .with_cache(Arc::clone(&cache));
+        let b = second.insert("m", &csr).unwrap();
+        assert_eq!(cache.search_count(), 1, "warm insert must not search");
+        assert_eq!(cache.hit_count(), 1);
+        assert_eq!(a.plan(), b.plan());
+        let x: Vec<f64> = (0..60).map(|i| (i % 7) as f64).collect();
+        assert_eq!(a.spmv_now(&x).unwrap(), b.spmv_now(&x).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn swap_plan_hot_swaps_the_engine() {
+        let registry = MatrixRegistry::new(2, TuningConfig::full());
+        let csr = random_csr(50, 50, 500, 8);
+        let served = registry.insert("m", &csr).unwrap();
+        assert_eq!(served.retune_count(), 0);
+        let before = served.plan();
+
+        let alt = TunePlan::new(&csr, 3, &TuningConfig::naive());
+        assert_ne!(alt, before);
+        served.swap_plan(alt.clone()).unwrap();
+        assert_eq!(served.retune_count(), 1);
+        assert_eq!(served.plan(), alt);
+        let x: Vec<f64> = (0..50).map(|i| (i % 5) as f64 * 0.5).collect();
+        let mut expected = vec![0.0; 50];
+        csr.spmv(&x, &mut expected);
+        let y = served.spmv_now(&x).unwrap();
+        let diff = y
+            .iter()
+            .zip(&expected)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(diff < 1e-9);
+
+        // A plan for a different matrix must be rejected and leave the old
+        // engine serving.
+        let other = random_csr(50, 50, 400, 9);
+        let bad = TunePlan::new(&other, 2, &TuningConfig::full());
+        assert!(served.swap_plan(bad).is_err());
+        assert_eq!(served.retune_count(), 1);
+        assert_eq!(served.plan(), alt);
+    }
+
+    #[test]
+    fn retune_background_completes_and_keeps_serving() {
+        let (dir, cache) = temp_cache("retune_bg");
+        let registry = MatrixRegistry::new(2, TuningConfig::full())
+            .with_budget(SearchBudget::Heuristic)
+            .with_cache(Arc::clone(&cache));
+        let csr = random_csr(90, 80, 1000, 10);
+        let served = registry.insert("m", &csr).unwrap();
+
+        let handle = registry
+            .retune_background("m", SearchBudget::Pruned)
+            .unwrap();
+        // Serving stays live while the search runs.
+        let x: Vec<f64> = (0..80).map(|i| (i % 9) as f64).collect();
+        let _ = served.spmv_now(&x).unwrap();
+        let swapped = handle.join().expect("retune thread").unwrap();
+        // Whatever the search concluded, the served plan is the winner and the
+        // cache holds it.
+        let fp = MatrixFingerprint::compute(&csr);
+        assert_eq!(fp, served.fingerprint());
+        let cached = cache
+            .lookup(&fp, 2, &TuningConfig::full(), &csr)
+            .expect("winner persisted");
+        assert_eq!(cached, served.plan());
+        if swapped {
+            assert_eq!(served.retune_count(), 1);
+        } else {
+            assert_eq!(served.retune_count(), 0);
+        }
+        assert!(registry
+            .retune_background("absent", SearchBudget::Pruned)
+            .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,6 +11,9 @@
 //! * **Comparison helpers** — max-abs-diff (re-exported from `spmv_core`),
 //!   ULP distance for tight relative-tolerance checks, and exact bit-identity
 //!   assertions for the paths that guarantee it.
+//! * **Plan helpers** — tune-plan equivalence assertions (two plans for the
+//!   same matrix must compute the same products) and compact golden-snapshot
+//!   rendering for the autotuning suites.
 //!
 //! Everything is deterministic in the seed, so failures reproduce.
 
@@ -18,6 +21,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spmv_core::formats::{CooMatrix, CsrMatrix};
 use spmv_core::multivec::MultiVec;
+use spmv_core::tuning::plan::TunePlan;
+use spmv_core::tuning::prepared::PreparedMatrix;
 
 pub use spmv_core::dense::max_abs_diff;
 
@@ -326,6 +331,182 @@ pub fn assert_bit_identical(a: &[f64], b: &[f64], context: &str) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tune-plan helpers
+// ---------------------------------------------------------------------------
+
+/// Materialize `plan` serially and return its SpMV output on [`test_x`] and
+/// its SpMM output on a 3-column [`xblock`] — the observable behaviour two
+/// equivalent plans must share.
+pub fn plan_outputs(csr: &CsrMatrix, plan: &TunePlan) -> (Vec<f64>, MultiVec) {
+    use spmv_core::{MatrixShape, SpMv};
+    let prepared = PreparedMatrix::materialize(csr, plan).expect("plan matches its matrix");
+    let x = test_x(csr.ncols());
+    let mut y = vec![0.0; csr.nrows()];
+    prepared.spmv(&x, &mut y);
+    let xs = xblock(csr.ncols(), 3);
+    let mut ys = MultiVec::zeros(csr.nrows(), 3);
+    prepared.spmm(&xs, &mut ys);
+    (y, ys)
+}
+
+/// One plan decision flattened to global coordinates with the properties that
+/// determine floating-point accumulation order: block boundaries, format
+/// kind, and register block shape. Index width and prefetch annotations are
+/// deliberately excluded — they change bytes and scheduling, never arithmetic.
+type DecisionSignature = (
+    usize,
+    usize,
+    usize,
+    usize,
+    spmv_core::tuning::FormatKind,
+    usize,
+    usize,
+);
+
+fn decision_signature(plan: &TunePlan) -> Vec<DecisionSignature> {
+    plan.threads
+        .iter()
+        .flat_map(|t| {
+            t.decisions.iter().map(move |d| {
+                (
+                    t.rows.start + d.rows.start,
+                    t.rows.start + d.rows.end,
+                    d.cols.start,
+                    d.cols.end,
+                    d.choice.kind,
+                    d.choice.r,
+                    d.choice.c,
+                )
+            })
+        })
+        .collect()
+}
+
+/// Whether two plans are in the same *accumulation class*, i.e. their serial
+/// executions perform the identical element-wise additions in the identical
+/// order, making their outputs bit-identical: the flattened block decisions
+/// (boundaries, format kind, register shape) must match — different formats
+/// reassociate a row's partial sums (tile-local accumulators, block splits) —
+/// and symmetric plans must additionally share the row partition (the scratch
+/// tree reduction depends on slab count and boundaries). Index width and
+/// prefetch annotations never change the arithmetic, so they may differ.
+pub fn same_accumulation_class(a: &TunePlan, b: &TunePlan) -> bool {
+    if a.symmetric != b.symmetric {
+        return false;
+    }
+    if a.symmetric && a.row_partition().ranges != b.row_partition().ranges {
+        return false;
+    }
+    decision_signature(a) == decision_signature(b)
+}
+
+/// Assert two plans for the same matrix compute equivalent products:
+/// **bit-identical** when [`same_accumulation_class`] holds, within a scaled
+/// absolute tolerance otherwise (crossing the symmetric/general boundary
+/// reassociates sums).
+///
+/// # Panics
+///
+/// Panics (test failure) when the outputs diverge.
+pub fn assert_plans_equivalent(csr: &CsrMatrix, a: &TunePlan, b: &TunePlan, context: &str) {
+    let (ya, sa) = plan_outputs(csr, a);
+    let (yb, sb) = plan_outputs(csr, b);
+    if same_accumulation_class(a, b) {
+        assert_bit_identical(&ya, &yb, &format!("{context}: spmv"));
+        assert_bit_identical(sa.data(), sb.data(), &format!("{context}: spmm"));
+    } else {
+        let scale = ya.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        let tol = 1e-12 * scale;
+        assert!(
+            max_abs_diff(&ya, &yb) <= tol,
+            "{context}: spmv diverged beyond {tol:e}"
+        );
+        assert!(
+            max_abs_diff(sa.data(), sb.data()) <= tol,
+            "{context}: spmm diverged beyond {tol:e}"
+        );
+    }
+}
+
+/// A compact, deterministic, human-diffable rendering of a plan for golden
+/// tests: one header line plus one line per thread listing its row range,
+/// prefetch annotation, and every block decision as
+/// `kind[rxc]/width@rows x cols`.
+pub fn plan_snapshot(plan: &TunePlan) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "plan {}x{} nnz={} threads={} symmetric={}",
+        plan.nrows,
+        plan.ncols,
+        plan.nnz,
+        plan.num_threads(),
+        plan.symmetric
+    );
+    for (i, t) in plan.threads.iter().enumerate() {
+        let prefetch = match (t.prefetch_distance, t.nta_hint) {
+            (0, _) => "none".to_string(),
+            (d, true) => format!("nta:{d}"),
+            (d, false) => format!("t0:{d}"),
+        };
+        let blocks: Vec<String> = t
+            .decisions
+            .iter()
+            .map(|d| {
+                let shape = if d.choice.r == 1 && d.choice.c == 1 {
+                    String::new()
+                } else {
+                    format!("{}x{}", d.choice.r, d.choice.c)
+                };
+                let width = match d.choice.width {
+                    spmv_core::formats::IndexWidth::U16 => "u16",
+                    spmv_core::formats::IndexWidth::U32 => "u32",
+                };
+                format!(
+                    "{}{shape}/{width}@{}..{}x{}..{}",
+                    d.choice.kind.token(),
+                    d.rows.start,
+                    d.rows.end,
+                    d.cols.start,
+                    d.cols.end
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  t{i} rows={}..{} prefetch={prefetch} blocks=[{}]",
+            t.rows.start,
+            t.rows.end,
+            blocks.join(", ")
+        );
+    }
+    out
+}
+
+/// Assert `plan`'s snapshot equals `golden` (whitespace-trimmed per line),
+/// printing both renderings on mismatch.
+///
+/// # Panics
+///
+/// Panics (test failure) when the snapshots differ.
+pub fn assert_plan_snapshot(plan: &TunePlan, golden: &str, context: &str) {
+    let actual = plan_snapshot(plan);
+    let norm = |s: &str| -> Vec<String> {
+        s.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(
+        norm(&actual),
+        norm(golden),
+        "{context}: plan snapshot drifted\n--- actual ---\n{actual}\n--- golden ---\n{golden}"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +567,49 @@ mod tests {
             // so the agreement is tight-tolerance, not bitwise.
             assert!(max_abs_diff(&c.dense_reference(&x), &c.csr().spmv_alloc(&x)) < 1e-9);
         }
+    }
+
+    #[test]
+    fn plan_helpers_compare_and_snapshot() {
+        use spmv_core::tuning::TuningConfig;
+        let csr = random_csr(40, 30, 300, 5);
+        let a = TunePlan::new(&csr, 1, &TuningConfig::full());
+        // Identical decisions at a different index width stay in the same
+        // accumulation class (width never changes the arithmetic) ...
+        let mut widened = a.clone();
+        for t in &mut widened.threads {
+            for d in &mut t.decisions {
+                d.choice.width = spmv_core::formats::IndexWidth::U32;
+            }
+        }
+        assert!(same_accumulation_class(&a, &widened));
+        assert_plans_equivalent(&csr, &a, &widened, "width-only change");
+        // ... while a different partition or format sequence leaves it, and
+        // the comparison falls back to the tolerance path.
+        let b = TunePlan::new(&csr, 3, &TuningConfig::naive());
+        assert!(!same_accumulation_class(&a, &b));
+        assert_plans_equivalent(&csr, &a, &b, "general plans, different decisions");
+        let snap = plan_snapshot(&a);
+        assert!(snap.starts_with("plan 40x30"), "{snap}");
+        assert_plan_snapshot(&a, &snap, "self-snapshot");
+
+        let sym = random_symmetric_csr(30, 100, 6);
+        let sa = TunePlan::new(&sym, 2, &TuningConfig::full());
+        assert!(sa.symmetric);
+        assert!(same_accumulation_class(
+            &sa,
+            &TunePlan::new(&sym, 2, &TuningConfig::full())
+        ));
+        let general = TunePlan::new(
+            &sym,
+            2,
+            &TuningConfig {
+                exploit_symmetry: false,
+                ..TuningConfig::full()
+            },
+        );
+        assert!(!same_accumulation_class(&sa, &general));
+        assert_plans_equivalent(&sym, &sa, &general, "symmetric vs general");
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub mod prelude {
     pub use spmv_core::formats::{CooMatrix, CsrMatrix};
     pub use spmv_core::multivec::MultiVec;
     pub use spmv_core::tuning::{
-        tune, tune_csr, PreparedMatrix, TunePlan, TunedMatrix, TuningConfig,
+        autotune, tune, tune_csr, MatrixFingerprint, PreparedMatrix, SearchBudget, TuneCache,
+        TunePlan, TunedMatrix, TuningConfig,
     };
     pub use spmv_core::{MatrixShape, SpMv};
     pub use spmv_matrices::suite::{Scale, SuiteMatrix};

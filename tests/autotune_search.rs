@@ -1,0 +1,228 @@
+//! The measured-autotuning property/fuzz suite.
+//!
+//! Four pillars, per the whole-plan search acceptance bar:
+//!
+//! 1. **Equivalence** — for seeded generator matrices × index-width regimes ×
+//!    thread counts × budgets, the searched plan's SpMV/SpMM output is
+//!    bit-identical to the heuristic `PreparedMatrix` reference whenever the
+//!    two plans share an accumulation class (same flattened format decisions;
+//!    index width and prefetch never change arithmetic), within tight
+//!    tolerance when the search changed formats (reassociated sums), and the
+//!    winner's parallel engine is always bit-identical to the winner's own
+//!    serial `PreparedMatrix` reference.
+//! 2. **Round-trip** — every candidate plan the exhaustive search generates
+//!    (forced shapes, widths, symmetric slabs) survives plan → profile → plan
+//!    exactly and materializes.
+//! 3. **Fingerprint/cache** — identical matrices fingerprint identically
+//!    (including two reads of the same MatrixMarket stream); row-permuted and
+//!    value-perturbed variants differ; a warm `TuneCache` hit provably skips
+//!    the search (counter hook), and tampered cache entries are rejected.
+//! 4. **Golden plan** — the heuristic plan for a fixed seeded matrix matches
+//!    a committed snapshot, so silent planner drift fails loudly.
+
+use spmv_multicore::prelude::*;
+use spmv_multicore::spmv_core::tuning::autotune::{
+    autotune_timed, candidate_plans, MatrixFingerprint, SearchBudget, TuneCache,
+};
+use spmv_multicore::spmv_matrices::mmio::read_matrix_market;
+use spmv_multicore::spmv_matrices::mmio::write_matrix_market;
+use spmv_testutil::{
+    assert_bit_identical, assert_plan_snapshot, assert_plans_equivalent, plan_outputs,
+    plan_snapshot, random_csr, random_symmetric_csr, same_accumulation_class,
+};
+
+/// Seeded matrices spanning the regimes the search must handle: u16-index
+/// territory, u32-index territory (wide columns), tall/thin, symmetric.
+fn suite() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("small-u16", random_csr(80, 60, 700, 1)),
+        ("square-u16", random_csr(200, 200, 2000, 2)),
+        ("wide-u32", random_csr(40, 70_000, 1200, 3)),
+        ("tall", random_csr(900, 30, 1800, 4)),
+        ("symmetric", random_symmetric_csr(120, 600, 5)),
+    ]
+}
+
+#[test]
+fn searched_plans_agree_with_the_heuristic_reference() {
+    for (id, csr) in suite() {
+        for threads in [1, 2, 5] {
+            for budget in [SearchBudget::Pruned, SearchBudget::Exhaustive] {
+                let ctx = format!("{id} threads={threads} budget={budget:?}");
+                let outcome = autotune_timed(&csr, threads, &TuningConfig::full(), budget, 1);
+                let heuristic = TunePlan::new(&csr, threads, &TuningConfig::full());
+                assert_plans_equivalent(
+                    &csr,
+                    &outcome.plan,
+                    &heuristic,
+                    &format!("{ctx} winner={}", outcome.label),
+                );
+                // The winner's parallel engine is bit-identical to the
+                // winner's serial reference — the guarantee the serve layer's
+                // hot swap leans on.
+                let (y_serial, s_serial) = plan_outputs(&csr, &outcome.plan);
+                let mut engine = SpmvEngine::from_plan(&csr, &outcome.plan)
+                    .unwrap_or_else(|e| panic!("{ctx}: engine build: {e}"));
+                let x = spmv_testutil::test_x(csr.ncols());
+                let mut y = vec![0.0; csr.nrows()];
+                engine.spmv(&x, &mut y);
+                assert_bit_identical(&y_serial, &y, &format!("{ctx}: engine spmv"));
+                let xs = spmv_testutil::xblock(csr.ncols(), 3);
+                let mut ys = MultiVec::zeros(csr.nrows(), 3);
+                engine.spmm(&xs, &mut ys);
+                assert_bit_identical(s_serial.data(), ys.data(), &format!("{ctx}: engine spmm"));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_exhaustive_candidate_round_trips_and_materializes() {
+    for (id, csr) in suite() {
+        let plans = candidate_plans(&csr, 2, &TuningConfig::full(), SearchBudget::Exhaustive);
+        assert!(plans.len() > 10, "{id}: exhaustive sweep is broad");
+        for (label, plan) in &plans {
+            let ctx = format!("{id}/{label}");
+            plan.validate_for(&csr)
+                .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            let text = plan.to_text();
+            let back = TunePlan::from_text(&text).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            assert_eq!(*plan, back, "{ctx}: profile round trip");
+            PreparedMatrix::materialize(&csr, plan).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            // Same-class candidates are bit-identical to the heuristic plan;
+            // cross-class (symmetric vs general) agree within tolerance.
+            assert_plans_equivalent(&csr, plan, &plans[0].1, &ctx);
+        }
+        // The symmetric matrix's exhaustive sweep must cross the boundary both
+        // ways: symmetric slab candidates and forced general candidates.
+        if csr.nrows() == csr.ncols() && plans[0].1.symmetric {
+            assert!(plans.iter().any(|(_, p)| p.symmetric));
+            assert!(plans.iter().any(|(_, p)| !p.symmetric));
+            assert!(plans
+                .iter()
+                .any(|(_, p)| !same_accumulation_class(p, &plans[0].1)));
+        }
+    }
+}
+
+#[test]
+fn fingerprints_identify_matrices_read_twice_from_matrix_market() {
+    let csr = random_csr(50, 40, 400, 7);
+    let mut buf = Vec::new();
+    write_matrix_market(&csr.to_coo(), &mut buf).unwrap();
+    let once = CsrMatrix::from_coo(&read_matrix_market(&buf[..]).unwrap());
+    let twice = CsrMatrix::from_coo(&read_matrix_market(&buf[..]).unwrap());
+    assert_eq!(
+        MatrixFingerprint::compute(&once),
+        MatrixFingerprint::compute(&twice),
+        "two reads of the same stream must fingerprint identically"
+    );
+}
+
+#[test]
+fn fingerprints_differ_for_permuted_and_perturbed_variants() {
+    let base = random_csr(60, 60, 500, 8);
+    let fp = MatrixFingerprint::compute(&base);
+
+    // Row permutation: swap the first two (structurally distinct) rows.
+    let permuted: Vec<(usize, usize, f64)> = base
+        .iter()
+        .map(|(i, j, v)| {
+            let row = match i {
+                0 => 1,
+                1 => 0,
+                other => other,
+            };
+            (row, j, v)
+        })
+        .collect();
+    let permuted = CsrMatrix::from_coo(&CooMatrix::from_triplets(60, 60, permuted).unwrap());
+    assert_ne!(base, permuted, "swap must change the matrix");
+    assert_ne!(fp, MatrixFingerprint::compute(&permuted), "row permutation");
+
+    // Value perturbation: nudge every stored value's last bit in turn — any
+    // single perturbation must change the fingerprint.
+    for k in [0, base.nnz() / 2, base.nnz() - 1] {
+        let perturbed: Vec<(usize, usize, f64)> = base
+            .iter()
+            .enumerate()
+            .map(|(idx, (i, j, v))| {
+                let v = if idx == k {
+                    f64::from_bits(v.to_bits() ^ 1)
+                } else {
+                    v
+                };
+                (i, j, v)
+            })
+            .collect();
+        let perturbed = CsrMatrix::from_coo(&CooMatrix::from_triplets(60, 60, perturbed).unwrap());
+        assert_ne!(
+            fp,
+            MatrixFingerprint::compute(&perturbed),
+            "value perturbation at stored entry {k}"
+        );
+    }
+}
+
+#[test]
+fn warm_cache_hit_skips_the_search_and_tampering_is_rejected() {
+    let dir = std::env::temp_dir().join(format!("spmv_autotune_suite_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = TuneCache::with_platform(&dir, "suite-plat").unwrap();
+    let csr = random_csr(90, 80, 900, 9);
+
+    let first = cache
+        .autotune_timed(&csr, 2, &TuningConfig::full(), SearchBudget::Pruned, 1)
+        .unwrap();
+    assert!(!first.from_cache);
+    assert_eq!(cache.search_count(), 1);
+
+    let second = cache
+        .autotune_timed(&csr, 2, &TuningConfig::full(), SearchBudget::Pruned, 1)
+        .unwrap();
+    assert!(second.from_cache, "second insert must be a warm hit");
+    assert_eq!(second.plan, first.plan);
+    assert_eq!(cache.search_count(), 1, "the search must not run twice");
+
+    // Tamper with the stored entry: the checksum rejects it, the lookup
+    // treats it as a miss, and the next autotune searches again.
+    let fp = MatrixFingerprint::compute(&csr);
+    let config = TuningConfig::full();
+    let path = cache.entry_path(&fp, 2, &config);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let tampered = text.replacen("block 0", "block 1", 1);
+    assert_ne!(text, tampered);
+    std::fs::write(&path, tampered).unwrap();
+    assert!(
+        cache.load_entry(&fp, 2, &config).is_err(),
+        "tampered entry must error"
+    );
+    assert!(cache.lookup(&fp, 2, &config, &csr).is_none());
+    let third = cache
+        .autotune_timed(&csr, 2, &TuningConfig::full(), SearchBudget::Pruned, 1)
+        .unwrap();
+    assert!(!third.from_cache);
+    assert_eq!(cache.search_count(), 2, "tampered entry forces a re-search");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn heuristic_plan_matches_the_golden_snapshot() {
+    // A fixed seeded matrix whose heuristic plan is committed below: planner
+    // drift (new formats, changed thresholds) must be a conscious edit here,
+    // never a silent behaviour change.
+    let csr = random_csr(64, 48, 512, 42);
+    let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+    assert_plan_snapshot(&plan, GOLDEN_PLAN_64X48, "seed-42 heuristic plan");
+    // And the snapshot itself is stable across renderings.
+    assert_eq!(plan_snapshot(&plan), plan_snapshot(&plan.clone()));
+}
+
+/// Golden heuristic plan for `random_csr(64, 48, 512, 42)` at 2 threads,
+/// `TuningConfig::full()`. Regenerate with `plan_snapshot` if the planner
+/// changes intentionally.
+const GOLDEN_PLAN_64X48: &str = "\
+plan 64x48 nnz=467 threads=2 symmetric=false
+  t0 rows=0..31 prefetch=none blocks=[csr/u16@0..31x0..48]
+  t1 rows=31..64 prefetch=none blocks=[csr/u16@0..33x0..48]
+";

@@ -1,0 +1,125 @@
+//! MatrixMarket robustness suite: malformed input must fail with `Err`,
+//! never panic and never blow up allocation.
+//!
+//! Three layers:
+//!
+//! 1. **Regression corpus** — every file under `tests/mmio_corpus/` is a
+//!    malformed header/size-line/body case collected from fuzzing; each must
+//!    return `Err` from both readers.
+//! 2. **Truncation fuzz** — a valid file cut at every byte boundary must
+//!    parse to a clean `Result` (an `Err` everywhere except trailing-newline
+//!    trims), never panic.
+//! 3. **Mutation fuzz** — seeded random byte substitutions over a valid file
+//!    must never panic, whatever they parse to.
+
+use spmv_multicore::prelude::*;
+use spmv_multicore::spmv_matrices::mmio::{
+    read_matrix_market, read_matrix_market_ex, write_matrix_market,
+};
+use spmv_testutil::random_csr;
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/mmio_corpus")
+}
+
+/// A small valid file the fuzz layers mangle.
+fn valid_text() -> String {
+    let csr = random_csr(6, 5, 18, 99);
+    let mut buf = Vec::new();
+    write_matrix_market(&csr.to_coo(), &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+#[test]
+fn every_corpus_file_errors_cleanly() {
+    let dir = corpus_dir();
+    let mut cases = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {dir:?}: {e}"))
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("mtx") {
+            continue;
+        }
+        cases += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            read_matrix_market(text.as_bytes()).is_err(),
+            "{path:?}: expanded reader must reject"
+        );
+        assert!(
+            read_matrix_market_ex(text.as_bytes()).is_err(),
+            "{path:?}: preserving reader must reject"
+        );
+    }
+    assert!(cases >= 15, "corpus unexpectedly small ({cases} cases)");
+}
+
+#[test]
+fn huge_declared_nnz_fails_without_allocating() {
+    // A hostile size line claiming usize::MAX entries must cost a parse error
+    // (entry-count mismatch), not an allocation abort.
+    let text = format!(
+        "%%MatrixMarket matrix coordinate real general\n3 3 {}\n1 1 1.0\n",
+        usize::MAX
+    );
+    assert!(read_matrix_market(text.as_bytes()).is_err());
+}
+
+#[test]
+fn truncations_never_panic() {
+    let text = valid_text();
+    let full = read_matrix_market(text.as_bytes()).expect("the untruncated file is valid");
+    for cut in 0..text.len() {
+        let prefix = &text[..cut];
+        // Any truncation must yield a clean Result. A cut that only trims the
+        // trailing newline may still parse; everything shorter loses at least
+        // one declared entry (or the header) and must be an Err.
+        if let Ok(coo) = read_matrix_market(prefix.as_bytes()) {
+            assert_eq!(coo.nnz(), full.nnz(), "cut={cut}: short parse succeeded");
+        }
+        let _ = read_matrix_market_ex(prefix.as_bytes());
+    }
+    // Cutting anywhere before the last entry line must error.
+    let last_line_start = text.trim_end().rfind('\n').unwrap() + 1;
+    for cut in 0..last_line_start {
+        assert!(
+            read_matrix_market(&text.as_bytes()[..cut]).is_err(),
+            "cut={cut}: a truncated body must not parse"
+        );
+    }
+}
+
+#[test]
+fn random_mutations_never_panic() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let text = valid_text();
+    let mut rng = StdRng::seed_from_u64(0xF022);
+    let replacements: &[u8] = b"0123456789 .-+eE%\n\tXx";
+    for _ in 0..500 {
+        let mut bytes = text.clone().into_bytes();
+        let mutations = rng.random_range(1..6usize);
+        for _ in 0..mutations {
+            let pos = rng.random_range(0..bytes.len());
+            let sub = replacements[rng.random_range(0..replacements.len())];
+            bytes[pos] = sub;
+        }
+        // Whatever the mutation produced, both readers must return a clean
+        // Result (the assertion is simply that no panic unwinds).
+        let _ = read_matrix_market(&bytes[..]);
+        let _ = read_matrix_market_ex(&bytes[..]);
+    }
+}
+
+#[test]
+fn valid_files_still_round_trip_after_hardening() {
+    // The capacity clamp must not change behaviour for honest files.
+    let csr = random_csr(12, 9, 40, 5);
+    let mut buf = Vec::new();
+    write_matrix_market(&csr.to_coo(), &mut buf).unwrap();
+    let back = CsrMatrix::from_coo(&read_matrix_market(&buf[..]).unwrap());
+    assert_eq!(back, csr);
+}
