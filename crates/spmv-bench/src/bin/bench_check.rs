@@ -5,7 +5,10 @@
 //! variant rows — the `tuned-serial`/`tuned-parallel` rows of the two-phase
 //! pipeline, the `searched-serial`/`searched-parallel` rows of the measured
 //! whole-plan autotuner (which must not lose to the heuristic rows beyond
-//! `SEARCH_TOLERANCE`), the `batched-k{1,2,4,8}` multi-vector rows for every
+//! `SEARCH_TOLERANCE`), the `simd-serial`/`simd-parallel` vectorized rows
+//! whenever the run detected a SIMD level (mandatory on such hosts; on the
+//! dense-ish slice they must also not trail the scalar `bcsr-4x4` row beyond
+//! tolerance), the `batched-k{1,2,4,8}` multi-vector rows for every
 //! Table-3 suite matrix (serial, plus the engine rows at the swept thread
 //! count), and one `serve-*` row per request-stream scenario.
 //!
@@ -15,9 +18,10 @@
 
 use spmv_bench::json::Json;
 use spmv_bench::perf::{
-    harness_matrices, swept_thread_counts, sym_id, symmetric_harness_matrices,
-    SEARCHED_PARALLEL_VARIANT, SEARCHED_SERIAL_VARIANT, SEARCH_TOLERANCE, SYM_PARALLEL_VARIANT,
-    SYM_SERIAL_VARIANT, TUNED_PARALLEL_VARIANT, TUNED_SERIAL_VARIANT,
+    harness_matrices, simd_gate_matrices, swept_thread_counts, sym_id, symmetric_harness_matrices,
+    SEARCHED_PARALLEL_VARIANT, SEARCHED_SERIAL_VARIANT, SEARCH_TOLERANCE, SIMD_PARALLEL_VARIANT,
+    SIMD_SERIAL_VARIANT, SYM_PARALLEL_VARIANT, SYM_SERIAL_VARIANT, TUNED_PARALLEL_VARIANT,
+    TUNED_SERIAL_VARIANT,
 };
 use spmv_bench::serve::{batched_variant, serve_variant, BATCH_WIDTHS, SERVE_SCENARIOS};
 
@@ -68,6 +72,27 @@ fn main() {
             .unwrap_or_else(|| fail(&format!("{id}: missing {variant} row at {threads} threads")))
     };
 
+    // The SIMD level the run detected. A scalar artifact from a host whose
+    // current detection says SIMD is available means the harness silently
+    // dropped the simd rows — fail rather than let the gate rot. (The CI leg
+    // that force-disables SIMD exports SPMV_SIMD=off to this check too, so
+    // its own detection also reports scalar there.)
+    let doc_simd = doc
+        .get("simd")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("missing simd feature field"));
+    let doc_arch = doc.get("arch").and_then(Json::as_str).unwrap_or("");
+    if doc_simd == "scalar"
+        && doc_arch == std::env::consts::ARCH
+        && spmv_core::kernels::simd::available()
+    {
+        fail(&format!(
+            "artifact recorded scalar kernels on {doc_arch} but this host detects \
+             {} — simd rows are missing",
+            spmv_core::kernels::simd::feature_suffix()
+        ));
+    }
+
     let mut checked = 0usize;
     let thread_counts = swept_thread_counts(max_threads);
     for matrix in harness_matrices() {
@@ -96,6 +121,33 @@ fn main() {
             checked += 2;
         }
 
+        // SIMD rows: whenever the run detected a vector level, every matrix
+        // carries a simd-serial row plus simd-parallel rows at the swept
+        // thread counts, and the searched rows must not lose to them either
+        // (the full-config heuristic incumbent plans SIMD on such hosts).
+        if doc_simd != "scalar" {
+            let simd_serial = row_gflops(id, SIMD_SERIAL_VARIANT, 1);
+            if searched_serial < simd_serial * (1.0 - SEARCH_TOLERANCE) {
+                fail(&format!(
+                    "{id}: {SEARCHED_SERIAL_VARIANT} at {searched_serial} GFLOP/s loses to \
+                     {SIMD_SERIAL_VARIANT} at {simd_serial} beyond {SEARCH_TOLERANCE} tolerance"
+                ));
+            }
+            checked += 1;
+            for &threads in &thread_counts {
+                let simd_p = row_gflops(id, SIMD_PARALLEL_VARIANT, threads);
+                let searched_p = row_gflops(id, SEARCHED_PARALLEL_VARIANT, threads);
+                if searched_p < simd_p * (1.0 - SEARCH_TOLERANCE) {
+                    fail(&format!(
+                        "{id}: {SEARCHED_PARALLEL_VARIANT} at {searched_p} GFLOP/s loses to \
+                         {SIMD_PARALLEL_VARIANT} at {simd_p} at {threads} threads beyond \
+                         {SEARCH_TOLERANCE} tolerance"
+                    ));
+                }
+                checked += 1;
+            }
+        }
+
         // Batched (SpMM) rows: serial at every width, plus the engine rows at
         // every multi-thread sweep point.
         for k in BATCH_WIDTHS {
@@ -113,6 +165,24 @@ fn main() {
                 }
                 checked += 1;
             }
+        }
+    }
+
+    // The SIMD-vs-scalar-blocking gate: on the dense-ish slice of the suite a
+    // vectorized row trailing the scalar register-blocked bcsr-4x4 row beyond
+    // tolerance signals a broken microkernel, not noise.
+    if doc_simd != "scalar" {
+        for matrix in simd_gate_matrices() {
+            let id = matrix.id();
+            let simd = row_gflops(id, SIMD_SERIAL_VARIANT, 1);
+            let bcsr = row_gflops(id, "bcsr-4x4", 1);
+            if simd < bcsr * (1.0 - SEARCH_TOLERANCE) {
+                fail(&format!(
+                    "{id}: {SIMD_SERIAL_VARIANT} at {simd} GFLOP/s trails scalar bcsr-4x4 at \
+                     {bcsr} beyond {SEARCH_TOLERANCE} tolerance"
+                ));
+            }
+            checked += 1;
         }
     }
 
@@ -166,8 +236,9 @@ fn main() {
     }
 
     println!(
-        "[bench_check] OK: {path} has all {checked} expected tuned/searched/batched/sym/serve \
-         rows and the searched rows hold the heuristic bar ({} results total)",
+        "[bench_check] OK: {path} has all {checked} expected tuned/searched/simd/batched/sym/\
+         serve rows (simd level: {doc_simd}) and the searched rows hold the heuristic bar \
+         ({} results total)",
         results.len()
     );
 }

@@ -20,12 +20,24 @@ use spmv_parallel::SpmvEngine;
 use std::time::Instant;
 
 /// Variant label of the fully tuned persistent engine rows (two-phase
-/// `TunePlan` → `PreparedBlock` pipeline, all optimizations on).
+/// `TunePlan` → `PreparedBlock` pipeline, every scalar optimization on; the
+/// SIMD knob is held off so these rows stay the scalar ablation baseline the
+/// `simd-*` rows are read against).
 pub const TUNED_PARALLEL_VARIANT: &str = "tuned-parallel";
 
 /// Variant label of the serial tuned reference rows (the same plan executed
 /// sequentially; bit-identical to the parallel rows' results).
 pub const TUNED_SERIAL_VARIANT: &str = "tuned-serial";
+
+/// Variant label of the serial vectorized rows: the same heuristic plan as
+/// `tuned-serial` with the SIMD knob on (AVX2/FMA or NEON microkernels,
+/// runtime-detected). Absent from the artifact on scalar-only hosts — the
+/// document's `simd` field records the detected level.
+pub const SIMD_SERIAL_VARIANT: &str = "simd-serial";
+
+/// Variant label of the parallel vectorized rows: the SIMD plan on the
+/// persistent engine.
+pub const SIMD_PARALLEL_VARIANT: &str = "simd-parallel";
 
 /// Variant label of the serial measured-search rows: the whole-plan autotuner
 /// (`spmv_core::tuning::autotune`) picks the fastest complete `TunePlan` by
@@ -59,8 +71,30 @@ pub const SYM_PARALLEL_VARIANT: &str = "sym-parallel";
 pub fn general_config() -> TuningConfig {
     TuningConfig {
         exploit_symmetry: false,
+        ..scalar_config()
+    }
+}
+
+/// The full tuning config with the SIMD knob switched **off** — the scalar
+/// baseline plan the `tuned-*` rows measure and the `simd-*` rows are
+/// compared against (same register/cache/prefetch decisions, scalar kernels).
+pub fn scalar_config() -> TuningConfig {
+    TuningConfig {
+        simd: false,
         ..TuningConfig::full()
     }
+}
+
+/// The dense-ish slice of the harness suite the `bench_check` SIMD gate
+/// applies to: matrices whose rows are long/regular enough to feed the vector
+/// units steadily, so a `simd-serial` row trailing the scalar `bcsr-4x4` row
+/// signals a broken kernel rather than measurement noise.
+pub fn simd_gate_matrices() -> Vec<SuiteMatrix> {
+    vec![
+        SuiteMatrix::Dense,
+        SuiteMatrix::FemCantilever,
+        SuiteMatrix::Epidemiology,
+    ]
 }
 
 /// Artifact matrix id of the symmetrized instance of a suite matrix.
@@ -232,7 +266,7 @@ pub fn measure_tuned_engine(
     threads: usize,
     budget_ms: u64,
 ) -> PerfResult {
-    let plan = TunePlan::new(csr, threads, &TuningConfig::full());
+    let plan = TunePlan::new(csr, threads, &scalar_config());
     let mut engine = SpmvEngine::from_plan(csr, &plan).expect("fresh plan matches its matrix");
     measure_tuned_engine_built(matrix_id, csr.nnz(), &mut engine, threads, budget_ms)
 }
@@ -265,9 +299,68 @@ pub fn measure_tuned_engine_built(
 /// Measure the serial tuned reference: the single-thread plan materialized and
 /// executed on the calling thread (the path the tuned engine is bit-identical to).
 pub fn measure_tuned_serial(matrix_id: &str, csr: &CsrMatrix, budget_ms: u64) -> PerfResult {
-    let plan = TunePlan::new(csr, 1, &TuningConfig::full());
+    let plan = TunePlan::new(csr, 1, &scalar_config());
     let prepared = PreparedMatrix::materialize(csr, &plan).expect("fresh plan matches its matrix");
     measure_tuned_serial_prepared(matrix_id, csr.nnz(), &prepared, budget_ms)
+}
+
+/// Measure the serial vectorized pipeline: the same heuristic plan as the
+/// tuned row with the SIMD knob on, so the row pair is a clean scalar-vs-SIMD
+/// ablation. `None` on hosts without a detected SIMD level (the artifact's
+/// `simd` field says why the rows are absent).
+pub fn measure_simd_serial(matrix_id: &str, csr: &CsrMatrix, budget_ms: u64) -> Option<PerfResult> {
+    if !spmv_core::kernels::simd::available() {
+        return None;
+    }
+    let plan = TunePlan::new(csr, 1, &TuningConfig::full());
+    assert!(
+        plan.threads.iter().any(|t| t.simd),
+        "{matrix_id}: full config must plan SIMD kernels on a SIMD host"
+    );
+    let prepared = PreparedMatrix::materialize(csr, &plan).expect("fresh plan matches its matrix");
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![0.0; csr.nrows()];
+    let (secs, iters) = time_adaptive(budget_ms, || prepared.spmv(&x, &mut y));
+    Some(PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz: csr.nnz(),
+        variant: SIMD_SERIAL_VARIANT.to_string(),
+        threads: 1,
+        gflops: gflops(csr.nnz(), secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: prepared.footprint_bytes() as f64 / csr.nnz().max(1) as f64,
+    })
+}
+
+/// Measure the parallel vectorized pipeline at `threads`: the SIMD plan on
+/// the persistent engine. `None` on scalar-only hosts.
+pub fn measure_simd_parallel(
+    matrix_id: &str,
+    csr: &CsrMatrix,
+    threads: usize,
+    budget_ms: u64,
+) -> Option<PerfResult> {
+    if !spmv_core::kernels::simd::available() {
+        return None;
+    }
+    let plan = TunePlan::new(csr, threads, &TuningConfig::full());
+    assert!(
+        plan.threads.iter().any(|t| t.simd),
+        "{matrix_id}: full config must plan SIMD kernels on a SIMD host"
+    );
+    let mut engine = SpmvEngine::from_plan(csr, &plan).expect("fresh plan matches its matrix");
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![0.0; csr.nrows()];
+    let (secs, iters) = time_adaptive(budget_ms, || engine.spmv(&x, &mut y));
+    Some(PerfResult {
+        matrix: matrix_id.to_string(),
+        nnz: csr.nnz(),
+        variant: SIMD_PARALLEL_VARIANT.to_string(),
+        threads,
+        gflops: gflops(csr.nnz(), secs, iters),
+        ns_per_iter: secs * 1e9 / iters as f64,
+        bytes_per_nnz: engine.footprint_bytes() as f64 / csr.nnz().max(1) as f64,
+    })
 }
 
 /// [`measure_tuned_serial`] on an already-materialized matrix, so one
@@ -322,9 +415,10 @@ fn searched_row_from(baseline: &PerfResult, variant: &str) -> PerfResult {
 
 /// Measure the serial measured-search row: run the whole-plan search at
 /// `SearchBudget::Pruned` and report the better of the winner's fresh
-/// measurement and `baseline` (the `tuned-serial` row just measured). The
-/// heuristic plan is always a search finalist, so the searched row can never
-/// trail the heuristic row it was measured against.
+/// measurement and `baseline` (the full-config heuristic row just measured —
+/// `simd-serial` on SIMD hosts, `tuned-serial` otherwise). The heuristic plan
+/// is always a search finalist, so the searched row can never trail the
+/// heuristic row it was measured against.
 pub fn measure_searched_serial(
     matrix_id: &str,
     csr: &CsrMatrix,
@@ -583,13 +677,24 @@ pub fn run_harness_on(
 
         // The two-phase tuned pipeline plus the batched (SpMM) rows, sharing
         // one materialization (serial) and one engine build (parallel) each.
-        let plan1 = TunePlan::new(csr, 1, &TuningConfig::full());
+        // The tuned rows hold the SIMD knob off; the simd rows flip it on the
+        // same heuristic plan, so the pair is the scalar-vs-SIMD ablation.
+        let plan1 = TunePlan::new(csr, 1, &scalar_config());
         let prepared =
             PreparedMatrix::materialize(csr, &plan1).expect("fresh plan matches its matrix");
         let tuned_serial = measure_tuned_serial_prepared(id, csr.nnz(), &prepared, budget_ms);
-        // The measured-search ablation row against the heuristic row just taken.
-        results.push(measure_searched_serial(id, csr, &tuned_serial, budget_ms));
+        let simd_serial = measure_simd_serial(id, csr, budget_ms);
+        // The measured-search ablation row against the better heuristic row
+        // just taken — both the scalar and the SIMD heuristic plans are
+        // search finalists (the candidate ladder carries a no-simd and a simd
+        // entry), so either measurement is a valid incumbent for the search.
+        let search_base = match &simd_serial {
+            Some(s) if s.gflops > tuned_serial.gflops => s,
+            _ => &tuned_serial,
+        };
+        results.push(measure_searched_serial(id, csr, search_base, budget_ms));
         results.push(tuned_serial);
+        results.extend(simd_serial);
         for k in crate::serve::BATCH_WIDTHS {
             results.push(crate::serve::measure_batched_serial(
                 id,
@@ -600,19 +705,25 @@ pub fn run_harness_on(
             ));
         }
         for &threads in &thread_counts {
-            let plan = TunePlan::new(csr, threads, &TuningConfig::full());
+            let plan = TunePlan::new(csr, threads, &scalar_config());
             let mut engine =
                 SpmvEngine::from_plan(csr, &plan).expect("fresh plan matches its matrix");
             let tuned_parallel =
                 measure_tuned_engine_built(id, csr.nnz(), &mut engine, threads, budget_ms);
+            let simd_parallel = measure_simd_parallel(id, csr, threads, budget_ms);
+            let search_base = match &simd_parallel {
+                Some(s) if s.gflops > tuned_parallel.gflops => s,
+                _ => &tuned_parallel,
+            };
             results.push(measure_searched_parallel(
                 id,
                 csr,
                 threads,
-                &tuned_parallel,
+                search_base,
                 budget_ms,
             ));
             results.push(tuned_parallel);
+            results.extend(simd_parallel);
             if threads > 1 {
                 for k in crate::serve::BATCH_WIDTHS {
                     results.push(crate::serve::measure_batched_engine(
@@ -657,6 +768,12 @@ pub fn harness_json_with_rows(
         ("flops_per_nnz", Json::int(FLOPS_PER_NNZ)),
         ("max_threads", Json::int(max_threads)),
         ("arch", Json::str(std::env::consts::ARCH)),
+        // The SIMD level the run detected ("avx2fma", "neon", or "scalar") —
+        // bench_check uses it to decide whether simd-* rows are mandatory.
+        (
+            "simd",
+            Json::str(spmv_core::kernels::simd::feature_suffix()),
+        ),
         ("results", Json::Arr(rows)),
     ])
 }
@@ -741,6 +858,42 @@ mod tests {
                     );
                 }
             }
+            // SIMD rows ride along exactly when the host detects a level.
+            let has_simd = spmv_core::kernels::simd::available();
+            assert_eq!(
+                results
+                    .iter()
+                    .any(|r| r.matrix == id && r.variant == SIMD_SERIAL_VARIANT),
+                has_simd,
+                "{id}: simd-serial row presence must track host detection"
+            );
+            for threads in [1, 2] {
+                assert_eq!(
+                    results.iter().any(|r| r.matrix == id
+                        && r.variant == SIMD_PARALLEL_VARIANT
+                        && r.threads == threads),
+                    has_simd,
+                    "{id}: simd-parallel row presence must track host detection"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_rows_carry_the_vectorized_plan_or_stay_absent() {
+        let csr = tiny_csr();
+        match measure_simd_serial("circuit", &csr, 5) {
+            Some(r) => {
+                assert!(spmv_core::kernels::simd::available());
+                assert_eq!(r.variant, SIMD_SERIAL_VARIANT);
+                assert_eq!(r.threads, 1);
+                assert!(r.gflops > 0.0);
+                let p = measure_simd_parallel("circuit", &csr, 2, 5).expect("same host");
+                assert_eq!(p.variant, SIMD_PARALLEL_VARIANT);
+                assert_eq!(p.threads, 2);
+                assert!(p.gflops > 0.0);
+            }
+            None => assert!(!spmv_core::kernels::simd::available()),
         }
     }
 

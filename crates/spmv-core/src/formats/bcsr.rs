@@ -215,6 +215,24 @@ impl BcsrAuto {
             BcsrAuto::U32(m) => crate::kernels::multivec::spmm_bcsr(m, x, x_ld, y),
         }
     }
+
+    /// `y ← y + A·x` through the explicit SIMD microkernels (scalar fallback
+    /// for uncovered shapes or hosts).
+    pub fn spmv_simd(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            BcsrAuto::U16(m) => crate::kernels::simd::spmv_bcsr_simd(m, x, y),
+            BcsrAuto::U32(m) => crate::kernels::simd::spmv_bcsr_simd(m, x, y),
+        }
+    }
+
+    /// `Y ← Y + A·X` through the SIMD microkernels; per vector bit-identical to
+    /// [`BcsrAuto::spmv_simd`] on that vector alone.
+    pub fn spmm_simd(&self, x: &[f64], x_ld: usize, y: &mut crate::multivec::MultiVecMut) {
+        match self {
+            BcsrAuto::U16(m) => crate::kernels::simd::spmm_bcsr_simd(m, x, x_ld, y),
+            BcsrAuto::U32(m) => crate::kernels::simd::spmm_bcsr_simd(m, x, x_ld, y),
+        }
+    }
 }
 
 impl MatrixShape for BcsrAuto {

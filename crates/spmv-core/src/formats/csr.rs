@@ -320,6 +320,24 @@ impl CompressedCsr {
             CompressedCsr::U32(m) => crate::kernels::multivec::spmm_csr(m, x, x_ld, y),
         }
     }
+
+    /// `y ← y + A·x` through the explicit SIMD row kernel (scalar fallback when
+    /// the host's feature probe fails).
+    pub fn execute_simd(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            CompressedCsr::U16(m) => crate::kernels::simd::spmv_csr_simd(m, x, y),
+            CompressedCsr::U32(m) => crate::kernels::simd::spmv_csr_simd(m, x, y),
+        }
+    }
+
+    /// `Y ← Y + A·X` through the SIMD row kernel; per vector bit-identical to
+    /// [`CompressedCsr::execute_simd`] on that vector alone.
+    pub fn spmm_simd(&self, x: &[f64], x_ld: usize, y: &mut crate::multivec::MultiVecMut) {
+        match self {
+            CompressedCsr::U16(m) => crate::kernels::simd::spmm_csr_simd(m, x, x_ld, y),
+            CompressedCsr::U32(m) => crate::kernels::simd::spmm_csr_simd(m, x, x_ld, y),
+        }
+    }
 }
 
 impl MatrixShape for CompressedCsr {

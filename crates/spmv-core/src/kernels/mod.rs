@@ -25,6 +25,7 @@ pub mod multivec;
 pub mod naive;
 pub mod pipelined;
 pub mod prefetch;
+pub mod simd;
 pub mod single_loop;
 pub mod symmetric;
 pub mod unrolled;

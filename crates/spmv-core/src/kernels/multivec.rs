@@ -294,7 +294,7 @@ pub fn spmm_gcsr(a: &GcsrMatrix, x: &[f64], x_ld: usize, y: &mut MultiVecMut) {
 /// Shared dimension checks for the SpMM entry points: the destination view must
 /// expose exactly the matrix's rows, and the source block must reach the last
 /// column of its last vector.
-fn check_spmm_dims(nrows: usize, ncols: usize, x: &[f64], x_ld: usize, y: &MultiVecMut) {
+pub(crate) fn check_spmm_dims(nrows: usize, ncols: usize, x: &[f64], x_ld: usize, y: &MultiVecMut) {
     assert_eq!(y.nrows(), nrows, "destination block row count mismatch");
     assert!(x_ld >= ncols, "source stride shorter than the column span");
     let k = y.k();

@@ -1,0 +1,925 @@
+//! Explicit SIMD microkernels (paper Section 4.3): AVX2+FMA on x86-64, NEON on
+//! aarch64, with a guaranteed scalar fallback.
+//!
+//! The paper's final single-core rung SIMDizes the register-blocked inner
+//! kernels. This module reproduces that as a *runtime* decision: [`detect`]
+//! probes the host once (overridable via the `SPMV_SIMD` environment variable),
+//! and every entry point falls back to the scalar kernel ladder when the
+//! feature set or block shape is not covered. The vectorized shapes are the hot
+//! ones: BCSR r×4 for r ∈ {1, 2, 4} (a tile row is exactly one 4-lane f64
+//! vector) and a gather-free CSR row kernel whose *value* stream is loaded with
+//! contiguous vector loads (only the source vector is gathered).
+//!
+//! **Accumulation class.** FMA contracts multiply-add rounding, and the vector
+//! kernels reassociate row sums, so SIMD output is *not* bit-identical to the
+//! scalar ladder — plans that differ in the `simd` knob are different
+//! accumulation classes (see `spmv-testutil::same_accumulation_class`).
+//! Within the SIMD class, though, the same invariant the scalar kernels uphold
+//! holds here: every kernel keeps one 4-lane partial accumulator per output row
+//! across *all* tiles/nonzero groups of that row and performs exactly one
+//! fixed-order horizontal sum at row end. The multivec (SpMM) kernels perform,
+//! per column, the identical operation sequence — so `spmm` over `k` vectors
+//! stays bit-identical to `k` single-vector SIMD calls, which the batching
+//! service relies on.
+
+use std::sync::OnceLock;
+
+use crate::formats::bcsr::BcsrMatrix;
+use crate::formats::csr::CsrMatrix;
+use crate::formats::index::IndexStorage;
+use crate::formats::traits::MatrixShape;
+use crate::multivec::MultiVecMut;
+
+/// The instruction set a kernel dispatch resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// No vector path: run the scalar kernel ladder.
+    Scalar,
+    /// x86-64 AVX2 + FMA (4 × f64 lanes, fused multiply-add).
+    Avx2Fma,
+    /// aarch64 NEON (2 × f64 lanes, paired to mirror the 4-wide layout).
+    Neon,
+}
+
+impl SimdLevel {
+    /// Short token naming the feature set, used in the tune-cache platform key
+    /// and the bench harness metadata.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2Fma => "avx2fma",
+            SimdLevel::Neon => "neon",
+        }
+    }
+}
+
+/// Probe the host's vector features once. `SPMV_SIMD=0|off|scalar` forces the
+/// scalar path (the CI leg that exercises the fallback arm sets this).
+pub fn detect() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if let Ok(v) = std::env::var("SPMV_SIMD") {
+            let v = v.to_ascii_lowercase();
+            if v == "0" || v == "off" || v == "scalar" {
+                return SimdLevel::Scalar;
+            }
+        }
+        detect_uncached()
+    })
+}
+
+fn detect_uncached() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdLevel::Avx2Fma;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON with 2×f64 is baseline on aarch64.
+        return SimdLevel::Neon;
+    }
+    #[allow(unreachable_code)]
+    SimdLevel::Scalar
+}
+
+/// Whether a vector path is available on this host (after any env override).
+pub fn available() -> bool {
+    detect() != SimdLevel::Scalar
+}
+
+/// The platform feature token for this host: `avx2fma`, `neon`, or `scalar`.
+pub fn feature_suffix() -> &'static str {
+    detect().suffix()
+}
+
+/// The BCSR block shapes the vector kernels cover: a tile row must be exactly
+/// one 4-lane vector (c = 4) and the row count one of the generated heights.
+pub fn bcsr_simd_shape(r: usize, c: usize) -> bool {
+    c == 4 && matches!(r, 1 | 2 | 4)
+}
+
+// ---------------------------------------------------------------------------
+// Safe dispatch entry points. Each resolves the host level once and falls back
+// to the scalar ladder for uncovered levels or shapes, so a `simd` plan built
+// on one host still *runs* anywhere (the plan loader additionally degrades the
+// knob on foreign hosts — see `TunePlan::from_text`).
+// ---------------------------------------------------------------------------
+
+/// `y ← y + A·x` for BCSR via the vector microkernels (scalar fallback).
+pub fn spmv_bcsr_simd<I: IndexStorage>(a: &BcsrMatrix<I>, x: &[f64], y: &mut [f64]) {
+    spmv_bcsr_simd_at(detect(), a, x, y);
+}
+
+/// `Y ← Y + A·X` for BCSR via the vector multivec microkernels.
+pub fn spmm_bcsr_simd<I: IndexStorage>(
+    a: &BcsrMatrix<I>,
+    x: &[f64],
+    x_ld: usize,
+    y: &mut MultiVecMut,
+) {
+    spmm_bcsr_simd_at(detect(), a, x, x_ld, y);
+}
+
+/// `y ← y + A·x` for CSR via the gather-free vector row kernel.
+pub fn spmv_csr_simd<I: IndexStorage>(a: &CsrMatrix<I>, x: &[f64], y: &mut [f64]) {
+    spmv_csr_simd_at(detect(), a, x, y);
+}
+
+/// `Y ← Y + A·X` for CSR via the vector row kernel, one index load per group
+/// shared by all `k` columns.
+pub fn spmm_csr_simd<I: IndexStorage>(
+    a: &CsrMatrix<I>,
+    x: &[f64],
+    x_ld: usize,
+    y: &mut MultiVecMut,
+) {
+    spmm_csr_simd_at(detect(), a, x, x_ld, y);
+}
+
+/// Level-explicit variant of [`spmv_bcsr_simd`], used by tests to exercise
+/// both dispatch arms in one process regardless of the host.
+pub fn spmv_bcsr_simd_at<I: IndexStorage>(
+    level: SimdLevel,
+    a: &BcsrMatrix<I>,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    assert_eq!(x.len(), a.ncols(), "source vector length mismatch");
+    assert_eq!(y.len(), a.nrows(), "destination vector length mismatch");
+    let (r, c) = (a.block_rows(), a.block_cols());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma if bcsr_simd_shape(r, c) => unsafe {
+            match r {
+                1 => avx2::spmv_bcsr_rx4::<1, I>(a, x, y),
+                2 => avx2::spmv_bcsr_rx4::<2, I>(a, x, y),
+                _ => avx2::spmv_bcsr_rx4::<4, I>(a, x, y),
+            }
+        },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon if bcsr_simd_shape(r, c) => unsafe {
+            match r {
+                1 => neon::spmv_bcsr_rx4::<1, I>(a, x, y),
+                2 => neon::spmv_bcsr_rx4::<2, I>(a, x, y),
+                _ => neon::spmv_bcsr_rx4::<4, I>(a, x, y),
+            }
+        },
+        _ => crate::kernels::blocked::spmv_bcsr(a, x, y),
+    }
+}
+
+/// Level-explicit variant of [`spmm_bcsr_simd`]. Column chunking follows the
+/// register budget (`r = 1` runs 8-wide chunks, `r = 2` 4-wide, `r = 4`
+/// 2-wide); chunking is invisible to results because each column's operation
+/// sequence is fixed.
+pub fn spmm_bcsr_simd_at<I: IndexStorage>(
+    level: SimdLevel,
+    a: &BcsrMatrix<I>,
+    x: &[f64],
+    x_ld: usize,
+    y: &mut MultiVecMut,
+) {
+    let (r, c) = (a.block_rows(), a.block_cols());
+    let vectorized = match level {
+        SimdLevel::Scalar => false,
+        SimdLevel::Avx2Fma => cfg!(target_arch = "x86_64") && bcsr_simd_shape(r, c),
+        SimdLevel::Neon => cfg!(target_arch = "aarch64") && bcsr_simd_shape(r, c),
+    };
+    if !vectorized {
+        return crate::kernels::multivec::spmm_bcsr(a, x, x_ld, y);
+    }
+    crate::kernels::multivec::check_spmm_dims(a.nrows(), a.ncols(), x, x_ld, y);
+    let k = y.k();
+    let max_chunk = match r {
+        1 => 8,
+        2 => 4,
+        _ => 2,
+    };
+    let mut j0 = 0usize;
+    while max_chunk >= 8 && k - j0 >= 8 {
+        spmm_bcsr_chunk::<8, I>(level, a, &x[j0 * x_ld..], x_ld, y.cols_mut::<8>(j0));
+        j0 += 8;
+    }
+    while max_chunk >= 4 && k - j0 >= 4 {
+        spmm_bcsr_chunk::<4, I>(level, a, &x[j0 * x_ld..], x_ld, y.cols_mut::<4>(j0));
+        j0 += 4;
+    }
+    while k - j0 >= 2 {
+        spmm_bcsr_chunk::<2, I>(level, a, &x[j0 * x_ld..], x_ld, y.cols_mut::<2>(j0));
+        j0 += 2;
+    }
+    while k - j0 >= 1 {
+        spmm_bcsr_chunk::<1, I>(level, a, &x[j0 * x_ld..], x_ld, y.cols_mut::<1>(j0));
+        j0 += 1;
+    }
+}
+
+fn spmm_bcsr_chunk<const K: usize, I: IndexStorage>(
+    level: SimdLevel,
+    a: &BcsrMatrix<I>,
+    x: &[f64],
+    x_ld: usize,
+    ys: [&mut [f64]; K],
+) {
+    let _ = level;
+    #[cfg(target_arch = "x86_64")]
+    if level == SimdLevel::Avx2Fma {
+        return unsafe {
+            match a.block_rows() {
+                1 => avx2::spmm_bcsr_rx4::<1, K, I>(a, x, x_ld, ys),
+                2 => avx2::spmm_bcsr_rx4::<2, K, I>(a, x, x_ld, ys),
+                _ => avx2::spmm_bcsr_rx4::<4, K, I>(a, x, x_ld, ys),
+            }
+        };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if level == SimdLevel::Neon {
+        return unsafe {
+            match a.block_rows() {
+                1 => neon::spmm_bcsr_rx4::<1, K, I>(a, x, x_ld, ys),
+                2 => neon::spmm_bcsr_rx4::<2, K, I>(a, x, x_ld, ys),
+                _ => neon::spmm_bcsr_rx4::<4, K, I>(a, x, x_ld, ys),
+            }
+        };
+    }
+    unreachable!("vector chunk dispatched without a vector level");
+}
+
+/// Level-explicit variant of [`spmv_csr_simd`].
+pub fn spmv_csr_simd_at<I: IndexStorage>(
+    level: SimdLevel,
+    a: &CsrMatrix<I>,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    assert_eq!(x.len(), a.ncols(), "source vector length mismatch");
+    assert_eq!(y.len(), a.nrows(), "destination vector length mismatch");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => unsafe { avx2::spmv_csr::<I>(a, x, y) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::spmv_csr::<I>(a, x, y) },
+        _ => crate::kernels::single_loop::spmv_single_loop(a, x, y),
+    }
+}
+
+/// Level-explicit variant of [`spmm_csr_simd`].
+pub fn spmm_csr_simd_at<I: IndexStorage>(
+    level: SimdLevel,
+    a: &CsrMatrix<I>,
+    x: &[f64],
+    x_ld: usize,
+    y: &mut MultiVecMut,
+) {
+    if level == SimdLevel::Scalar {
+        return crate::kernels::multivec::spmm_csr(a, x, x_ld, y);
+    }
+    crate::kernels::multivec::check_spmm_dims(a.nrows(), a.ncols(), x, x_ld, y);
+    let k = y.k();
+    let mut j0 = 0usize;
+    while k - j0 >= 4 {
+        spmm_csr_chunk::<4, I>(level, a, &x[j0 * x_ld..], x_ld, y.cols_mut::<4>(j0));
+        j0 += 4;
+    }
+    while k - j0 >= 2 {
+        spmm_csr_chunk::<2, I>(level, a, &x[j0 * x_ld..], x_ld, y.cols_mut::<2>(j0));
+        j0 += 2;
+    }
+    while k - j0 >= 1 {
+        spmm_csr_chunk::<1, I>(level, a, &x[j0 * x_ld..], x_ld, y.cols_mut::<1>(j0));
+        j0 += 1;
+    }
+}
+
+fn spmm_csr_chunk<const K: usize, I: IndexStorage>(
+    level: SimdLevel,
+    a: &CsrMatrix<I>,
+    x: &[f64],
+    x_ld: usize,
+    ys: [&mut [f64]; K],
+) {
+    let _ = level;
+    #[cfg(target_arch = "x86_64")]
+    if level == SimdLevel::Avx2Fma {
+        return unsafe { avx2::spmm_csr::<K, I>(a, x, x_ld, ys) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if level == SimdLevel::Neon {
+        return unsafe { neon::spmm_csr::<K, I>(a, x, x_ld, ys) };
+    }
+    unreachable!("vector chunk dispatched without a vector level");
+}
+
+/// Load the 4-wide window of `x` starting at `col_lo`, zero-padding lanes past
+/// `x.len()`. The BCSR zero fill guarantees the matching tile lanes are zero,
+/// so padded lanes contribute exact `+0.0` terms on every path.
+#[inline(always)]
+fn padded_window(x: &[f64], col_lo: usize) -> [f64; 4] {
+    let mut w = [0.0f64; 4];
+    let n = (x.len() - col_lo).min(4);
+    w[..n].copy_from_slice(&x[col_lo..col_lo + n]);
+    w
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2+FMA bodies. Every function is `#[target_feature]`-gated and only
+    //! reached through the dispatch layer after a successful runtime probe.
+
+    use std::arch::x86_64::*;
+
+    use super::padded_window;
+    use crate::formats::bcsr::BcsrMatrix;
+    use crate::formats::csr::CsrMatrix;
+    use crate::formats::index::IndexStorage;
+    use crate::formats::traits::MatrixShape;
+
+    /// The one horizontal reduction: lane order is fixed so every kernel (and
+    /// the NEON mirror) produces the same scalar for the same lane contents.
+    #[inline(always)]
+    unsafe fn hsum4(v: __m256d) -> f64 {
+        let mut t = [0.0f64; 4];
+        _mm256_storeu_pd(t.as_mut_ptr(), v);
+        (t[0] + t[1]) + (t[2] + t[3])
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn spmv_bcsr_rx4<const R: usize, I: IndexStorage>(
+        a: &BcsrMatrix<I>,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        let nrows = a.nrows();
+        let ncols = a.ncols();
+        let block_row_ptr = a.block_row_ptr();
+        let block_col_idx = a.block_col_idx();
+        let tiles = a.tile_values();
+        let nblock_rows = block_row_ptr.len() - 1;
+
+        for brow in 0..nblock_rows {
+            let row_lo = brow * R;
+            let lo = block_row_ptr[brow];
+            let hi = block_row_ptr[brow + 1];
+            // One 4-lane partial accumulator per output row, live across every
+            // tile of the block row.
+            let mut vacc = [_mm256_setzero_pd(); R];
+
+            for (tile, bc) in tiles[lo * R * 4..hi * R * 4]
+                .chunks_exact(R * 4)
+                .zip(&block_col_idx[lo..hi])
+            {
+                let col_lo = bc.to_usize() * 4;
+                let xv = if col_lo + 4 <= ncols {
+                    _mm256_loadu_pd(x.as_ptr().add(col_lo))
+                } else {
+                    // Ragged right edge: pad x; the tile's own zero fill makes
+                    // the padded lanes exact zeros.
+                    _mm256_loadu_pd(padded_window(x, col_lo).as_ptr())
+                };
+                for (i, acc) in vacc.iter_mut().enumerate() {
+                    let tv = _mm256_loadu_pd(tile.as_ptr().add(i * 4));
+                    *acc = _mm256_fmadd_pd(tv, xv, *acc);
+                }
+            }
+
+            let rows_here = R.min(nrows - row_lo);
+            for i in 0..rows_here {
+                y[row_lo + i] += hsum4(vacc[i]);
+            }
+        }
+    }
+
+    /// Per column the operation sequence (tile-order FMAs into one 4-lane
+    /// accumulator, one `hsum4` at row end) equals [`spmv_bcsr_rx4`] exactly,
+    /// so SpMM stays bit-identical to `k` SpMV calls.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn spmm_bcsr_rx4<const R: usize, const K: usize, I: IndexStorage>(
+        a: &BcsrMatrix<I>,
+        x: &[f64],
+        x_ld: usize,
+        ys: [&mut [f64]; K],
+    ) {
+        let nrows = a.nrows();
+        let ncols = a.ncols();
+        let block_row_ptr = a.block_row_ptr();
+        let block_col_idx = a.block_col_idx();
+        let tiles = a.tile_values();
+        let nblock_rows = block_row_ptr.len() - 1;
+
+        for brow in 0..nblock_rows {
+            let row_lo = brow * R;
+            let lo = block_row_ptr[brow];
+            let hi = block_row_ptr[brow + 1];
+            let mut vacc = [[_mm256_setzero_pd(); K]; R];
+
+            for (tile, bc) in tiles[lo * R * 4..hi * R * 4]
+                .chunks_exact(R * 4)
+                .zip(&block_col_idx[lo..hi])
+            {
+                let col_lo = bc.to_usize() * 4;
+                let interior = col_lo + 4 <= ncols;
+                let xv: [__m256d; K] = std::array::from_fn(|j| {
+                    let xj = &x[j * x_ld..];
+                    if interior {
+                        _mm256_loadu_pd(xj.as_ptr().add(col_lo))
+                    } else {
+                        _mm256_loadu_pd(padded_window(&xj[..ncols], col_lo).as_ptr())
+                    }
+                });
+                for (i, accs) in vacc.iter_mut().enumerate() {
+                    let tv = _mm256_loadu_pd(tile.as_ptr().add(i * 4));
+                    for (acc, &xvj) in accs.iter_mut().zip(&xv) {
+                        *acc = _mm256_fmadd_pd(tv, xvj, *acc);
+                    }
+                }
+            }
+
+            let rows_here = R.min(nrows - row_lo);
+            for i in 0..rows_here {
+                for j in 0..K {
+                    ys[j][row_lo + i] += hsum4(vacc[i][j]);
+                }
+            }
+        }
+    }
+
+    /// Gather-free on the value/index streams: nonzeros are consumed in groups
+    /// of 4 with one contiguous value load; only `x` is assembled lane-wise.
+    /// The remainder group is zero-padded (0·0 terms), keeping the per-row
+    /// sequence independent of how `nnz` splits into groups.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn spmv_csr<I: IndexStorage>(a: &CsrMatrix<I>, x: &[f64], y: &mut [f64]) {
+        let row_ptr = a.row_ptr();
+        let col_idx = a.col_idx();
+        let values = a.values();
+        for row in 0..a.nrows() {
+            let lo = row_ptr[row];
+            let hi = row_ptr[row + 1];
+            let mut vacc = _mm256_setzero_pd();
+            let mut p = lo;
+            while p + 4 <= hi {
+                let vv = _mm256_loadu_pd(values.as_ptr().add(p));
+                let xg = _mm256_set_pd(
+                    x[col_idx[p + 3].to_usize()],
+                    x[col_idx[p + 2].to_usize()],
+                    x[col_idx[p + 1].to_usize()],
+                    x[col_idx[p].to_usize()],
+                );
+                vacc = _mm256_fmadd_pd(vv, xg, vacc);
+                p += 4;
+            }
+            if p < hi {
+                let mut vbuf = [0.0f64; 4];
+                let mut xbuf = [0.0f64; 4];
+                for (t, q) in (p..hi).enumerate() {
+                    vbuf[t] = values[q];
+                    xbuf[t] = x[col_idx[q].to_usize()];
+                }
+                vacc = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(vbuf.as_ptr()),
+                    _mm256_loadu_pd(xbuf.as_ptr()),
+                    vacc,
+                );
+            }
+            y[row] += hsum4(vacc);
+        }
+    }
+
+    /// Per column identical to [`spmv_csr`]; the group's value vector is loaded
+    /// once and reused for all `K` columns.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn spmm_csr<const K: usize, I: IndexStorage>(
+        a: &CsrMatrix<I>,
+        x: &[f64],
+        x_ld: usize,
+        ys: [&mut [f64]; K],
+    ) {
+        let row_ptr = a.row_ptr();
+        let col_idx = a.col_idx();
+        let values = a.values();
+        let ncols = a.ncols();
+        let xcols: [&[f64]; K] = std::array::from_fn(|j| &x[j * x_ld..j * x_ld + ncols]);
+        for row in 0..a.nrows() {
+            let lo = row_ptr[row];
+            let hi = row_ptr[row + 1];
+            let mut vacc = [_mm256_setzero_pd(); K];
+            let mut p = lo;
+            while p + 4 <= hi {
+                let vv = _mm256_loadu_pd(values.as_ptr().add(p));
+                let (c0, c1, c2, c3) = (
+                    col_idx[p].to_usize(),
+                    col_idx[p + 1].to_usize(),
+                    col_idx[p + 2].to_usize(),
+                    col_idx[p + 3].to_usize(),
+                );
+                for j in 0..K {
+                    let xj = xcols[j];
+                    let xg = _mm256_set_pd(xj[c3], xj[c2], xj[c1], xj[c0]);
+                    vacc[j] = _mm256_fmadd_pd(vv, xg, vacc[j]);
+                }
+                p += 4;
+            }
+            if p < hi {
+                let mut vbuf = [0.0f64; 4];
+                for (t, q) in (p..hi).enumerate() {
+                    vbuf[t] = values[q];
+                }
+                let vv = _mm256_loadu_pd(vbuf.as_ptr());
+                for j in 0..K {
+                    let mut xbuf = [0.0f64; 4];
+                    for (t, q) in (p..hi).enumerate() {
+                        xbuf[t] = xcols[j][col_idx[q].to_usize()];
+                    }
+                    vacc[j] = _mm256_fmadd_pd(vv, _mm256_loadu_pd(xbuf.as_ptr()), vacc[j]);
+                }
+            }
+            for j in 0..K {
+                ys[j][row] += hsum4(vacc[j]);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON bodies: each 4-wide AVX2 vector becomes a pair of `float64x2_t`
+    //! with identical lane layout, and `hsum4` reduces in the same fixed
+    //! scalar order, so the per-row invariants match the AVX2 module exactly.
+
+    use std::arch::aarch64::*;
+
+    use super::padded_window;
+    use crate::formats::bcsr::BcsrMatrix;
+    use crate::formats::csr::CsrMatrix;
+    use crate::formats::index::IndexStorage;
+    use crate::formats::traits::MatrixShape;
+
+    #[derive(Clone, Copy)]
+    struct V4 {
+        lo: float64x2_t,
+        hi: float64x2_t,
+    }
+
+    #[inline(always)]
+    unsafe fn v4_zero() -> V4 {
+        V4 {
+            lo: vdupq_n_f64(0.0),
+            hi: vdupq_n_f64(0.0),
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn v4_load(p: *const f64) -> V4 {
+        V4 {
+            lo: vld1q_f64(p),
+            hi: vld1q_f64(p.add(2)),
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn v4_fma(acc: V4, a: V4, b: V4) -> V4 {
+        V4 {
+            lo: vfmaq_f64(acc.lo, a.lo, b.lo),
+            hi: vfmaq_f64(acc.hi, a.hi, b.hi),
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn hsum4(v: V4) -> f64 {
+        let mut t = [0.0f64; 4];
+        vst1q_f64(t.as_mut_ptr(), v.lo);
+        vst1q_f64(t.as_mut_ptr().add(2), v.hi);
+        (t[0] + t[1]) + (t[2] + t[3])
+    }
+
+    pub(super) unsafe fn spmv_bcsr_rx4<const R: usize, I: IndexStorage>(
+        a: &BcsrMatrix<I>,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        let nrows = a.nrows();
+        let ncols = a.ncols();
+        let block_row_ptr = a.block_row_ptr();
+        let block_col_idx = a.block_col_idx();
+        let tiles = a.tile_values();
+        let nblock_rows = block_row_ptr.len() - 1;
+
+        for brow in 0..nblock_rows {
+            let row_lo = brow * R;
+            let lo = block_row_ptr[brow];
+            let hi = block_row_ptr[brow + 1];
+            let mut vacc = [v4_zero(); R];
+
+            for (tile, bc) in tiles[lo * R * 4..hi * R * 4]
+                .chunks_exact(R * 4)
+                .zip(&block_col_idx[lo..hi])
+            {
+                let col_lo = bc.to_usize() * 4;
+                let xv = if col_lo + 4 <= ncols {
+                    v4_load(x.as_ptr().add(col_lo))
+                } else {
+                    v4_load(padded_window(x, col_lo).as_ptr())
+                };
+                for (i, acc) in vacc.iter_mut().enumerate() {
+                    let tv = v4_load(tile.as_ptr().add(i * 4));
+                    *acc = v4_fma(*acc, tv, xv);
+                }
+            }
+
+            let rows_here = R.min(nrows - row_lo);
+            for i in 0..rows_here {
+                y[row_lo + i] += hsum4(vacc[i]);
+            }
+        }
+    }
+
+    pub(super) unsafe fn spmm_bcsr_rx4<const R: usize, const K: usize, I: IndexStorage>(
+        a: &BcsrMatrix<I>,
+        x: &[f64],
+        x_ld: usize,
+        ys: [&mut [f64]; K],
+    ) {
+        let nrows = a.nrows();
+        let ncols = a.ncols();
+        let block_row_ptr = a.block_row_ptr();
+        let block_col_idx = a.block_col_idx();
+        let tiles = a.tile_values();
+        let nblock_rows = block_row_ptr.len() - 1;
+
+        for brow in 0..nblock_rows {
+            let row_lo = brow * R;
+            let lo = block_row_ptr[brow];
+            let hi = block_row_ptr[brow + 1];
+            let mut vacc = [[v4_zero(); K]; R];
+
+            for (tile, bc) in tiles[lo * R * 4..hi * R * 4]
+                .chunks_exact(R * 4)
+                .zip(&block_col_idx[lo..hi])
+            {
+                let col_lo = bc.to_usize() * 4;
+                let interior = col_lo + 4 <= ncols;
+                let xv: [V4; K] = std::array::from_fn(|j| {
+                    let xj = &x[j * x_ld..];
+                    if interior {
+                        v4_load(xj.as_ptr().add(col_lo))
+                    } else {
+                        v4_load(padded_window(&xj[..ncols], col_lo).as_ptr())
+                    }
+                });
+                for (i, accs) in vacc.iter_mut().enumerate() {
+                    let tv = v4_load(tile.as_ptr().add(i * 4));
+                    for (acc, &xvj) in accs.iter_mut().zip(&xv) {
+                        *acc = v4_fma(*acc, tv, xvj);
+                    }
+                }
+            }
+
+            let rows_here = R.min(nrows - row_lo);
+            for i in 0..rows_here {
+                for j in 0..K {
+                    ys[j][row_lo + i] += hsum4(vacc[i][j]);
+                }
+            }
+        }
+    }
+
+    pub(super) unsafe fn spmv_csr<I: IndexStorage>(a: &CsrMatrix<I>, x: &[f64], y: &mut [f64]) {
+        let row_ptr = a.row_ptr();
+        let col_idx = a.col_idx();
+        let values = a.values();
+        for row in 0..a.nrows() {
+            let lo = row_ptr[row];
+            let hi = row_ptr[row + 1];
+            let mut vacc = v4_zero();
+            let mut p = lo;
+            while p + 4 <= hi {
+                let vv = v4_load(values.as_ptr().add(p));
+                let xbuf = [
+                    x[col_idx[p].to_usize()],
+                    x[col_idx[p + 1].to_usize()],
+                    x[col_idx[p + 2].to_usize()],
+                    x[col_idx[p + 3].to_usize()],
+                ];
+                vacc = v4_fma(vacc, vv, v4_load(xbuf.as_ptr()));
+                p += 4;
+            }
+            if p < hi {
+                let mut vbuf = [0.0f64; 4];
+                let mut xbuf = [0.0f64; 4];
+                for (t, q) in (p..hi).enumerate() {
+                    vbuf[t] = values[q];
+                    xbuf[t] = x[col_idx[q].to_usize()];
+                }
+                vacc = v4_fma(vacc, v4_load(vbuf.as_ptr()), v4_load(xbuf.as_ptr()));
+            }
+            y[row] += hsum4(vacc);
+        }
+    }
+
+    pub(super) unsafe fn spmm_csr<const K: usize, I: IndexStorage>(
+        a: &CsrMatrix<I>,
+        x: &[f64],
+        x_ld: usize,
+        ys: [&mut [f64]; K],
+    ) {
+        let row_ptr = a.row_ptr();
+        let col_idx = a.col_idx();
+        let values = a.values();
+        let ncols = a.ncols();
+        let xcols: [&[f64]; K] = std::array::from_fn(|j| &x[j * x_ld..j * x_ld + ncols]);
+        for row in 0..a.nrows() {
+            let lo = row_ptr[row];
+            let hi = row_ptr[row + 1];
+            let mut vacc = [v4_zero(); K];
+            let mut p = lo;
+            while p + 4 <= hi {
+                let vv = v4_load(values.as_ptr().add(p));
+                let (c0, c1, c2, c3) = (
+                    col_idx[p].to_usize(),
+                    col_idx[p + 1].to_usize(),
+                    col_idx[p + 2].to_usize(),
+                    col_idx[p + 3].to_usize(),
+                );
+                for j in 0..K {
+                    let xj = xcols[j];
+                    let xbuf = [xj[c0], xj[c1], xj[c2], xj[c3]];
+                    vacc[j] = v4_fma(vacc[j], vv, v4_load(xbuf.as_ptr()));
+                }
+                p += 4;
+            }
+            if p < hi {
+                let mut vbuf = [0.0f64; 4];
+                for (t, q) in (p..hi).enumerate() {
+                    vbuf[t] = values[q];
+                }
+                let vv = v4_load(vbuf.as_ptr());
+                for j in 0..K {
+                    let mut xbuf = [0.0f64; 4];
+                    for (t, q) in (p..hi).enumerate() {
+                        xbuf[t] = xcols[j][col_idx[q].to_usize()];
+                    }
+                    vacc[j] = v4_fma(vacc[j], vv, v4_load(xbuf.as_ptr()));
+                }
+            }
+            for j in 0..K {
+                ys[j][row] += hsum4(vacc[j]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::max_abs_diff;
+    use crate::formats::traits::SpMv;
+    use crate::formats::CsrMatrix;
+    use crate::kernels::testing::{random_coo, test_x};
+    use crate::multivec::MultiVec;
+
+    #[test]
+    fn detection_is_stable_and_named() {
+        let level = detect();
+        assert_eq!(level, detect());
+        assert_eq!(feature_suffix(), level.suffix());
+        assert_eq!(available(), level != SimdLevel::Scalar);
+        assert!(["scalar", "avx2fma", "neon"].contains(&feature_suffix()));
+    }
+
+    #[test]
+    fn bcsr_simd_matches_reference_on_all_covered_shapes() {
+        let coo = random_coo(53, 47, 700, 71);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = test_x(47);
+        let reference = csr.spmv_alloc(&x);
+        for r in [1usize, 2, 4] {
+            let bcsr = crate::formats::bcsr::BcsrMatrix::<u32>::from_csr(&csr, r, 4).unwrap();
+            for level in [SimdLevel::Scalar, detect()] {
+                let mut y = vec![0.0; 53];
+                spmv_bcsr_simd_at(level, &bcsr, &x, &mut y);
+                assert!(
+                    max_abs_diff(&reference, &y) < 1e-10,
+                    "{r}x4 at {level:?} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_simd_matches_reference() {
+        let csr = CsrMatrix::from_coo(&random_coo(61, 45, 800, 72));
+        let x = test_x(45);
+        let reference = csr.spmv_alloc(&x);
+        for level in [SimdLevel::Scalar, detect()] {
+            let mut y = vec![0.0; 61];
+            spmv_csr_simd_at(level, &csr, &x, &mut y);
+            assert!(max_abs_diff(&reference, &y) < 1e-10, "{level:?} diverged");
+        }
+    }
+
+    #[test]
+    fn simd_spmm_bit_identical_to_k_simd_spmv_calls() {
+        // The load-bearing invariant: per column, the multivec kernels run the
+        // identical FMA/hsum sequence as the single-vector kernels.
+        let coo = random_coo(37, 29, 400, 73);
+        let csr = CsrMatrix::from_coo(&coo);
+        let level = detect();
+        for k in [1usize, 2, 3, 4, 5, 7, 8, 11] {
+            let cols: Vec<Vec<f64>> = (0..k)
+                .map(|j| {
+                    (0..29)
+                        .map(|i| ((i * 13 + j * 7 + 1) % 23) as f64 - 11.0)
+                        .collect()
+                })
+                .collect();
+            let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+            let x = MultiVec::from_columns(&views);
+
+            let mut y = MultiVec::zeros(37, k);
+            spmm_csr_simd_at(level, &csr, x.data(), 29, &mut y.view_mut());
+            for j in 0..k {
+                let mut expected = vec![0.0; 37];
+                spmv_csr_simd_at(level, &csr, x.col(j), &mut expected);
+                assert_eq!(y.col(j), &expected[..], "csr k={k} column {j}");
+            }
+
+            for r in [1usize, 2, 4] {
+                let bcsr = crate::formats::bcsr::BcsrMatrix::<u16>::from_csr(&csr, r, 4).unwrap();
+                let mut y = MultiVec::zeros(37, k);
+                spmm_bcsr_simd_at(level, &bcsr, x.data(), 29, &mut y.view_mut());
+                for j in 0..k {
+                    let mut expected = vec![0.0; 37];
+                    spmv_bcsr_simd_at(level, &bcsr, x.col(j), &mut expected);
+                    assert_eq!(y.col(j), &expected[..], "bcsr {r}x4 k={k} column {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_columns_and_ragged_edges_are_exact() {
+        // ncols = 5 with c = 4: the second block column's tile extends 3 lanes
+        // past the edge; rows with nnz % 4 != 0 exercise the CSR remainder.
+        let coo = random_coo(6, 5, 22, 74);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = test_x(5);
+        let reference = csr.spmv_alloc(&x);
+        let bcsr = crate::formats::bcsr::BcsrMatrix::<u16>::from_csr(&csr, 4, 4).unwrap();
+        for level in [SimdLevel::Scalar, detect()] {
+            let mut yb = vec![0.0; 6];
+            spmv_bcsr_simd_at(level, &bcsr, &x, &mut yb);
+            assert!(max_abs_diff(&reference, &yb) < 1e-12, "bcsr {level:?}");
+            let mut yc = vec![0.0; 6];
+            spmv_csr_simd_at(level, &csr, &x, &mut yc);
+            assert!(max_abs_diff(&reference, &yc) < 1e-12, "csr {level:?}");
+        }
+    }
+
+    #[test]
+    fn uncovered_shapes_fall_back_to_scalar_bitwise() {
+        // 3x4 and c != 4 shapes are not vectorized: the dispatch must produce
+        // the scalar kernel's exact bits at any level.
+        let coo = random_coo(31, 26, 300, 75);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = test_x(26);
+        for (r, c) in [(3usize, 4usize), (4, 2), (2, 3)] {
+            let bcsr = crate::formats::bcsr::BcsrMatrix::<u32>::from_csr(&csr, r, c).unwrap();
+            let mut scalar = vec![0.0; 31];
+            crate::kernels::blocked::spmv_bcsr(&bcsr, &x, &mut scalar);
+            let mut y = vec![0.0; 31];
+            spmv_bcsr_simd_at(detect(), &bcsr, &x, &mut y);
+            assert_eq!(scalar, y, "{r}x{c} fallback not bit-identical");
+        }
+    }
+
+    #[test]
+    fn accumulates_into_destination() {
+        let coo = random_coo(9, 9, 40, 76);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = test_x(9);
+        let bcsr = crate::formats::bcsr::BcsrMatrix::<u32>::from_csr(&csr, 2, 4).unwrap();
+        let mut y0 = vec![0.0; 9];
+        spmv_bcsr_simd(&bcsr, &x, &mut y0);
+        let mut y = vec![1.5; 9];
+        spmv_bcsr_simd(&bcsr, &x, &mut y);
+        for i in 0..9 {
+            assert_eq!(y[i], 1.5 + y0[i]);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_and_empty_rows_are_identity_on_y() {
+        let csr: CsrMatrix = CsrMatrix::from_coo(&crate::formats::CooMatrix::new(5, 5));
+        let x = test_x(5);
+        let mut y = vec![2.5; 5];
+        spmv_csr_simd(&csr, &x, &mut y);
+        assert_eq!(y, vec![2.5; 5]);
+        let bcsr = crate::formats::bcsr::BcsrMatrix::<u16>::from_csr(&csr, 4, 4).unwrap();
+        let mut yb = vec![-1.0; 5];
+        spmv_bcsr_simd(&bcsr, &x, &mut yb);
+        assert_eq!(yb, vec![-1.0; 5]);
+    }
+}

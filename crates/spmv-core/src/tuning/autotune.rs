@@ -195,6 +195,7 @@ fn forced_general_plan(
                 0
             },
             nta_hint: prefetch,
+            simd: config.simd && crate::kernels::simd::available(),
             decisions,
         });
     }
@@ -269,6 +270,7 @@ fn forced_symmetric_plan(
                 rows: range.clone(),
                 prefetch_distance: 0,
                 nta_hint: false,
+                simd: false,
                 decisions: vec![BlockDecision {
                     rows: 0..local.nrows(),
                     cols: 0..local.ncols(),
@@ -338,6 +340,23 @@ pub fn candidate_plans(
             "no-prefetch",
             TuningConfig {
                 software_prefetch: false,
+                ..*config
+            },
+        ),
+        // The SIMD knob both ways: measured, never assumed. On hosts whose
+        // feature probe fails the two plans are identical (the knob degrades
+        // at planning time) and dedup keeps one.
+        (
+            "no-simd",
+            TuningConfig {
+                simd: false,
+                ..*config
+            },
+        ),
+        (
+            "simd",
+            TuningConfig {
+                simd: true,
                 ..*config
             },
         ),
@@ -620,9 +639,17 @@ impl TuneCache {
         })
     }
 
-    /// The host platform key (`<arch>-<os>`).
+    /// The host platform key (`<arch>-<os>+<features>`). The detected vector
+    /// feature set is part of the key: a cache written on an AVX2 host must
+    /// never hand a SIMD plan to a host without it (entries written before the
+    /// feature token existed simply miss — different file name, no corruption).
     pub fn host_platform() -> String {
-        format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS)
+        format!(
+            "{}-{}+{}",
+            std::env::consts::ARCH,
+            std::env::consts::OS,
+            crate::kernels::simd::feature_suffix()
+        )
     }
 
     /// The platform key entries are stored under.
@@ -956,6 +983,56 @@ mod tests {
             TuneCache::config_key(&config),
             TuneCache::config_key(&TuningConfig::naive())
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn platform_digest_includes_the_detected_feature_set() {
+        // The platform component of the cache key carries the SIMD feature
+        // suffix, so an AVX2-host cache can never hand a SIMD plan to a host
+        // that only detects scalar: the filenames simply differ.
+        let plat = TuneCache::host_platform();
+        let suffix = crate::kernels::simd::feature_suffix();
+        assert!(
+            plat.ends_with(&format!("+{suffix}")),
+            "host platform {plat:?} must end with +{suffix}"
+        );
+        assert_eq!(plat.matches('+').count(), 1);
+    }
+
+    #[test]
+    fn old_platform_entries_become_clean_misses_after_feature_key_change() {
+        // Entries written under the pre-feature-suffix platform string must be
+        // invisible — a clean miss, never a corruption error — once the cache
+        // keys on the detected feature set.
+        let dir = temp_dir("feature_migration");
+        let csr = random_csr(80, 70, 800, 21);
+        let fp = MatrixFingerprint::compute(&csr);
+        let config = TuningConfig::full();
+        let plan = TunePlan::new(&csr, 2, &config);
+
+        // Simulate a cache populated before the key change: bare arch-os.
+        let old = TuneCache::with_platform(&dir, "x86_64-linux").unwrap();
+        old.store(&fp, 2, &config, &plan).unwrap();
+        assert!(old.lookup(&fp, 2, &config, &csr).is_some());
+
+        // Reopening the same directory with the feature-suffixed platform
+        // sees a different entry path: strict load reports absent (no error)
+        // and lookup counts a miss rather than tripping validation.
+        let new = TuneCache::with_platform(&dir, "x86_64-linux+avx2fma").unwrap();
+        assert_ne!(
+            old.entry_path(&fp, 2, &config),
+            new.entry_path(&fp, 2, &config)
+        );
+        assert!(matches!(new.load_entry(&fp, 2, &config), Ok(None)));
+        assert!(new.lookup(&fp, 2, &config, &csr).is_none());
+        assert_eq!(new.miss_count(), 1);
+
+        // The old handle still hits its own entry, and the new platform can
+        // populate its own slot alongside without clobbering the old one.
+        new.store(&fp, 2, &config, &plan).unwrap();
+        assert!(new.lookup(&fp, 2, &config, &csr).is_some());
+        assert!(old.lookup(&fp, 2, &config, &csr).is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -193,6 +193,10 @@ pub struct CandidateOptions {
     pub allow_bcoo: bool,
     /// Consider GCSR storage.
     pub allow_gcsr: bool,
+    /// Steer [`best_choice`] toward shapes the runtime SIMD dispatcher covers:
+    /// a covered candidate whose footprint is within [`SIMD_SHAPE_SLACK`] of
+    /// the smallest candidate wins over a slightly smaller uncovered one.
+    pub prefer_simd_shapes: bool,
 }
 
 impl Default for CandidateOptions {
@@ -202,7 +206,28 @@ impl Default for CandidateOptions {
             allow_u16: true,
             allow_bcoo: true,
             allow_gcsr: true,
+            prefer_simd_shapes: false,
         }
+    }
+}
+
+/// Footprint slack granted to SIMD-covered candidates when
+/// [`CandidateOptions::prefer_simd_shapes`] is set. The footprint model prices
+/// bytes streamed, not multiplies retired; when the plan will run vector
+/// microkernels, a covered shape repays up to ~10% extra padding traffic many
+/// times over, so the pure byte minimum is the wrong objective by exactly that
+/// margin.
+pub const SIMD_SHAPE_SLACK: f64 = 1.10;
+
+/// True when the runtime SIMD dispatcher has a vector microkernel for this
+/// choice: the CSR row kernel, or a BCSR tile shape in the covered set
+/// (`c == 4`, `r ∈ {1, 2, 4}`). GCSR and BCOO blocks always take the scalar
+/// ladder, as do uncovered BCSR shapes.
+pub fn simd_covered(choice: &FormatChoice) -> bool {
+    match choice.kind {
+        FormatKind::Csr => true,
+        FormatKind::Bcsr => crate::kernels::simd::bcsr_simd_shape(choice.r, choice.c),
+        _ => false,
     }
 }
 
@@ -280,12 +305,27 @@ pub fn enumerate_choices(csr: &CsrMatrix, opts: &CandidateOptions) -> Vec<Format
 }
 
 /// Pick the smallest-footprint choice (ties broken toward simpler formats because
-/// `enumerate_choices` lists them first).
+/// `enumerate_choices` lists them first). With `prefer_simd_shapes` set, a
+/// SIMD-covered candidate within [`SIMD_SHAPE_SLACK`] of the byte minimum
+/// displaces an uncovered winner.
 pub fn best_choice(csr: &CsrMatrix, opts: &CandidateOptions) -> FormatChoice {
-    enumerate_choices(csr, opts)
-        .into_iter()
+    let choices = enumerate_choices(csr, opts);
+    let best = choices
+        .iter()
         .min_by(|a, b| a.bytes.cmp(&b.bytes))
-        .expect("at least the CSR candidate exists")
+        .cloned()
+        .expect("at least the CSR candidate exists");
+    if opts.prefer_simd_shapes && !simd_covered(&best) {
+        let limit = (best.bytes as f64 * SIMD_SHAPE_SLACK) as usize;
+        if let Some(covered) = choices
+            .into_iter()
+            .filter(|c| simd_covered(c) && c.bytes <= limit)
+            .min_by(|a, b| a.bytes.cmp(&b.bytes))
+        {
+            return covered;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -385,11 +425,68 @@ mod tests {
             allow_u16: false,
             allow_bcoo: false,
             allow_gcsr: false,
+            prefer_simd_shapes: false,
         };
         let choices = enumerate_choices(&csr, &opts);
         assert!(choices.iter().any(|c| c.kind == FormatKind::Csr));
         // Only CSR and the single 1x1 BCSR candidate remain.
         assert_eq!(choices.len(), 2);
+    }
+
+    #[test]
+    fn simd_preference_flips_to_covered_shapes_within_slack() {
+        // A dense 27x27 block: 3x3 tiles pad nothing, 4x4 tiles pad the edge
+        // to 28 and pay ~6% more bytes — inside SIMD_SHAPE_SLACK, so the
+        // preference flips the winner to the vector-covered shape.
+        let mut coo = CooMatrix::new(27, 27);
+        for i in 0..27 {
+            for j in 0..27 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let scalar = best_choice(&csr, &CandidateOptions::default());
+        assert!(
+            !simd_covered(&scalar),
+            "byte minimum should be an uncovered shape, got {scalar:?}"
+        );
+        let opts = CandidateOptions {
+            prefer_simd_shapes: true,
+            ..Default::default()
+        };
+        let vectored = best_choice(&csr, &opts);
+        assert!(
+            simd_covered(&vectored),
+            "expected a covered shape, got {vectored:?}"
+        );
+        assert_eq!(
+            (vectored.kind, vectored.r, vectored.c),
+            (FormatKind::Bcsr, 4, 4)
+        );
+        assert!(vectored.bytes as f64 <= scalar.bytes as f64 * SIMD_SHAPE_SLACK);
+    }
+
+    #[test]
+    fn simd_preference_never_displaces_a_clear_byte_winner() {
+        // Mostly-empty rows: Bcoo/Gcsr beat the covered CSR candidate by far
+        // more than the slack, so the preference must leave the plan alone.
+        let coo = CooMatrix::from_triplets(
+            50_000,
+            50_000,
+            vec![(0, 0, 1.0), (10, 20, 2.0), (49_999, 3, 3.0)],
+        )
+        .unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let opts = CandidateOptions {
+            prefer_simd_shapes: true,
+            ..Default::default()
+        };
+        let choice = best_choice(&csr, &opts);
+        assert!(
+            !simd_covered(&choice),
+            "Bcoo/Gcsr must keep winning when covered formats cost far more"
+        );
+        assert_eq!(choice, best_choice(&csr, &CandidateOptions::default()));
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct TuningConfig {
     /// (`ParallelTuned`, NUMA decomposition) plan with this off because their
     /// disjoint-slice writes cannot express the symmetric scatter.
     pub exploit_symmetry: bool,
+    /// Execute streaming CSR and the covered BCSR shapes with the explicit
+    /// SIMD microkernels ([`crate::kernels::simd`]). Planned on only when the
+    /// host's runtime feature probe succeeds, so plans stay portable.
+    pub simd: bool,
 }
 
 impl TuningConfig {
@@ -59,6 +63,7 @@ impl TuningConfig {
             allow_gcsr: true,
             software_prefetch: true,
             exploit_symmetry: true,
+            simd: true,
         }
     }
 
@@ -73,6 +78,7 @@ impl TuningConfig {
             allow_gcsr: false,
             software_prefetch: false,
             exploit_symmetry: false,
+            simd: false,
         }
     }
 
@@ -99,6 +105,9 @@ impl TuningConfig {
             allow_u16: self.allow_u16_indices,
             allow_bcoo: self.allow_bcoo,
             allow_gcsr: self.allow_gcsr,
+            // The byte-footprint objective only shifts when the plan will
+            // actually dispatch vector microkernels on this host.
+            prefer_simd_shapes: self.simd && crate::kernels::simd::available(),
         }
     }
 }

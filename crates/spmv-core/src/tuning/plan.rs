@@ -43,6 +43,11 @@ pub struct ThreadPlan {
     pub prefetch_distance: usize,
     /// Use the non-temporal hint (`prefetchnta`) rather than all-levels.
     pub nta_hint: bool,
+    /// Execute this block with the explicit SIMD microkernels
+    /// ([`crate::kernels::simd`]). Only ever planned `true` on hosts whose
+    /// runtime feature probe succeeds; loading a profile that requests SIMD on
+    /// a host without it degrades to `false` with a warning.
+    pub simd: bool,
     /// Per-cache-block decisions, rows/cols local to the thread block.
     pub decisions: Vec<BlockDecision>,
 }
@@ -141,9 +146,12 @@ impl TunePlan {
                 ThreadPlan {
                     rows: range.clone(),
                     // The prefetch annotation binds a CSR *code variant*, which
-                    // symmetric slabs do not execute; leave it off.
+                    // symmetric slabs do not execute; leave it off. The SIMD
+                    // microkernels cover the general formats only, so symmetric
+                    // slabs stay scalar too.
                     prefetch_distance: 0,
                     nta_hint: false,
+                    simd: false,
                     decisions: vec![decision],
                 }
             })
@@ -179,6 +187,9 @@ impl TunePlan {
                         0
                     },
                     nta_hint: prefetch,
+                    // The knob is only planned on when the host can execute it,
+                    // so a freshly tuned plan always round-trips exactly.
+                    simd: config.simd && crate::kernels::simd::available(),
                     decisions,
                 }
             })
@@ -296,11 +307,12 @@ impl TunePlan {
         for t in &self.threads {
             let _ = writeln!(
                 out,
-                "thread {} {} prefetch {} {}",
+                "thread {} {} prefetch {} {}{}",
                 t.rows.start,
                 t.rows.end,
                 t.prefetch_distance,
-                if t.nta_hint { "nta" } else { "t0" }
+                if t.nta_hint { "nta" } else { "t0" },
+                if t.simd { " simd" } else { "" }
             );
             for d in &t.decisions {
                 let _ = writeln!(
@@ -325,7 +337,18 @@ impl TunePlan {
     }
 
     /// Parse the plain-text profile format written by [`TunePlan::to_text`].
+    ///
+    /// A `simd` annotation in the profile is honored only when this host's
+    /// runtime feature probe succeeds; otherwise the plan degrades to the
+    /// scalar kernels with a warning (never a panic, never a silent
+    /// miscompute — the scalar ladder computes the same product).
     pub fn from_text(text: &str) -> Result<TunePlan> {
+        Self::from_text_with_simd_support(text, crate::kernels::simd::available())
+    }
+
+    /// [`TunePlan::from_text`] with the host capability made explicit, so the
+    /// degrade path is testable on any machine.
+    pub fn from_text_with_simd_support(text: &str, simd_supported: bool) -> Result<TunePlan> {
         let mut lines = text
             .lines()
             .map(str::trim)
@@ -354,6 +377,7 @@ impl TunePlan {
         let mut threads: Vec<ThreadPlan> = Vec::with_capacity(nthreads);
         let mut symmetric = false;
         let mut saw_end = false;
+        let mut warned_simd = false;
         for line in lines {
             let toks: Vec<&str> = line.split_whitespace().collect();
             match toks[0] {
@@ -364,8 +388,20 @@ impl TunePlan {
                     symmetric = true;
                 }
                 "thread" => {
-                    if toks.len() != 6 || toks[3] != "prefetch" {
+                    let simd_tok = match toks.len() {
+                        6 => false,
+                        7 if toks[6] == "simd" => true,
+                        _ => return Err(parse_err(&format!("malformed thread line '{line}'"))),
+                    };
+                    if toks[3] != "prefetch" {
                         return Err(parse_err(&format!("malformed thread line '{line}'")));
+                    }
+                    if simd_tok && !simd_supported && !warned_simd {
+                        eprintln!(
+                            "spmv: plan profile requests SIMD kernels this host lacks; \
+                             degrading to the scalar kernel ladder"
+                        );
+                        warned_simd = true;
                     }
                     threads.push(ThreadPlan {
                         rows: parse_usize(toks[1])?..parse_usize(toks[2])?,
@@ -377,6 +413,7 @@ impl TunePlan {
                                 return Err(parse_err(&format!("unknown prefetch hint '{other}'")))
                             }
                         },
+                        simd: simd_tok && simd_supported,
                         decisions: Vec::new(),
                     });
                 }
@@ -613,6 +650,49 @@ mod tests {
         // And the annotation is off when the config disables it.
         let no_pf = TunePlan::new(&big, 1, &TuningConfig::naive());
         assert_eq!(no_pf.threads[0].prefetch_distance, 0);
+    }
+
+    #[test]
+    fn simd_annotation_round_trips_on_capable_hosts() {
+        let csr = random_csr(200, 150, 2500, 10);
+        let plan = TunePlan::new(&csr, 2, &TuningConfig::full());
+        let expect_simd = crate::kernels::simd::available();
+        assert!(plan.threads.iter().all(|t| t.simd == expect_simd));
+        let text = plan.to_text();
+        assert_eq!(text.contains(" simd"), expect_simd);
+        let back = TunePlan::from_text(&text).expect("round trip parses");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn simd_profile_degrades_to_scalar_on_unsupported_hosts() {
+        // The load must not panic and must not keep the knob on: a host without
+        // the feature set silently running the vector path would miscompute (or
+        // crash on illegal instructions); the scalar ladder computes the same
+        // product, so degrading is always safe.
+        let csr = random_csr(60, 60, 500, 11);
+        let mut plan = TunePlan::new(&csr, 2, &TuningConfig::naive());
+        for t in &mut plan.threads {
+            t.simd = true;
+        }
+        let text = plan.to_text();
+        assert!(text.contains(" simd"));
+
+        let degraded =
+            TunePlan::from_text_with_simd_support(&text, false).expect("degrades, not errors");
+        assert!(degraded.threads.iter().all(|t| !t.simd));
+        assert!(degraded.validate_for(&csr).is_ok());
+
+        let kept = TunePlan::from_text_with_simd_support(&text, true).expect("parses");
+        assert!(kept.threads.iter().all(|t| t.simd));
+        assert_eq!(kept, plan);
+    }
+
+    #[test]
+    fn malformed_simd_token_is_rejected() {
+        let text = "spmv-tune-plan v1\nmatrix 1 1 0\nthreads 1\n\
+                    thread 0 1 prefetch 0 t0 vectorize\nend\n";
+        assert!(TunePlan::from_text(text).is_err());
     }
 
     #[test]

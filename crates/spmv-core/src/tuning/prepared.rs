@@ -118,6 +118,10 @@ pub struct PreparedBlock {
     /// The CSR code variant bound for streaming-format cache blocks (carries the
     /// plan's prefetch distance and hint).
     stream_variant: KernelVariant,
+    /// Execute streaming CSR and covered BCSR blocks with the explicit SIMD
+    /// microkernels ([`crate::kernels::simd`]); overrides `stream_variant` for
+    /// CSR blocks when set.
+    simd: bool,
     /// Materialized cache blocks, rows/cols local to the thread block.
     blocks: Vec<CacheBlock>,
     /// The symmetric slab, when the plan chose the lower-triangle pipeline
@@ -157,6 +161,9 @@ impl PreparedBlock {
                 ncols: local.ncols(),
                 nnz: local.nnz(),
                 stream_variant: plan.stream_variant(),
+                // Symmetric slabs have no SIMD kernels; planning keeps the knob
+                // off for them, and the executor never consults it here.
+                simd: false,
                 blocks: Vec::new(),
                 sym: Some(sym),
             });
@@ -171,6 +178,7 @@ impl PreparedBlock {
             ncols: local.ncols(),
             nnz,
             stream_variant: plan.stream_variant(),
+            simd: plan.simd,
             blocks,
             sym: None,
         })
@@ -197,6 +205,7 @@ impl PreparedBlock {
             ncols: local.ncols(),
             nnz,
             stream_variant: variant,
+            simd: false,
             blocks,
             sym: None,
         }
@@ -245,6 +254,11 @@ impl PreparedBlock {
         self.stream_variant
     }
 
+    /// Whether this block executes through the explicit SIMD microkernels.
+    pub fn uses_simd(&self) -> bool {
+        self.simd
+    }
+
     /// Number of materialized cache blocks.
     pub fn num_cache_blocks(&self) -> usize {
         self.blocks.len()
@@ -269,8 +283,14 @@ impl PreparedBlock {
             let y_local = &mut y_block[block.rows.start..block.rows.end];
             match &block.format {
                 // Streaming CSR blocks run the bound code variant (which is where
-                // the prefetch annotation lives).
+                // the prefetch annotation lives) — unless the plan bound the
+                // SIMD row kernel, which subsumes the streaming variants.
+                BlockFormat::Csr(m) if self.simd => m.execute_simd(x_local, y_local),
                 BlockFormat::Csr(m) => m.execute(self.stream_variant, x_local, y_local),
+                // Covered BCSR shapes vectorize; BCOO/GCSR (and uncovered
+                // shapes, inside the dispatch) stay scalar on both the SpMV and
+                // SpMM paths, keeping the two paths' accumulation aligned.
+                BlockFormat::Bcsr(m) if self.simd => m.spmv_simd(x_local, y_local),
                 other => other.spmv_local(x_local, y_local),
             }
         }
@@ -310,7 +330,14 @@ impl PreparedBlock {
         for block in &self.blocks {
             let x_local = &x[block.cols.start..];
             let mut y_local = y.sub_rows(block.rows.start, block.rows.end - block.rows.start);
-            block.format.spmm_local(x_local, x_ld, &mut y_local);
+            match &block.format {
+                // Mirror `execute`'s SIMD routing exactly: the vector multivec
+                // kernels are per-column bit-identical to the vector SpMV
+                // kernels, preserving the spmm ≡ k × spmv invariant.
+                BlockFormat::Csr(m) if self.simd => m.spmm_simd(x_local, x_ld, &mut y_local),
+                BlockFormat::Bcsr(m) if self.simd => m.spmm_simd(x_local, x_ld, &mut y_local),
+                other => other.spmm_local(x_local, x_ld, &mut y_local),
+            }
         }
     }
 }

@@ -136,6 +136,14 @@ impl ServedMatrix {
         self.plan.read().unwrap().symmetric
     }
 
+    /// Whether any worker of the serving plan runs the vectorized (SIMD)
+    /// kernels. Plans loaded from a tune cache can only say yes on hosts
+    /// whose detected feature set matches the cache's platform key, so this
+    /// is also an operational probe for "did the SIMD plan survive the trip".
+    pub fn uses_simd(&self) -> bool {
+        self.plan.read().unwrap().threads.iter().any(|t| t.simd)
+    }
+
     /// How many engine hot-swaps this matrix has completed.
     pub fn retune_count(&self) -> u64 {
         self.retunes.load(Ordering::Relaxed)
@@ -538,6 +546,34 @@ mod tests {
         assert!(registry.is_empty());
         registry.insert("m", &csr).unwrap();
         assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn simd_plans_serve_and_report_their_kernel_class() {
+        // Dense-ish matrix under the full config: on a host with a detected
+        // SIMD level the heuristic plan enables the vectorized kernels, and
+        // the served handle reports it. Results stay within accumulation
+        // tolerance of the plain serial kernel (FMA reassociates).
+        let registry = MatrixRegistry::new(2, TuningConfig::full());
+        let csr = random_csr(96, 64, 96 * 40, 17);
+        let served = registry.insert("dense", &csr).unwrap();
+        assert_eq!(
+            served.uses_simd(),
+            spmv_core::kernels::simd::available(),
+            "full() plans vectorized kernels exactly when the host has them"
+        );
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y = served.spmv_now(&x).unwrap();
+        let mut expected = vec![0.0; 96];
+        csr.spmv(&x, &mut expected);
+        let scale = expected.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in y.iter().zip(&expected) {
+            assert!((a - b).abs() <= 1e-12 * scale, "{a} vs {b}");
+        }
+        // A registry that forbids SIMD must never plan it, host or not.
+        let scalar_registry = MatrixRegistry::new(2, TuningConfig::naive());
+        let scalar = scalar_registry.insert("dense", &csr).unwrap();
+        assert!(!scalar.uses_simd());
     }
 
     #[test]

@@ -352,8 +352,11 @@ pub fn plan_outputs(csr: &CsrMatrix, plan: &TunePlan) -> (Vec<f64>, MultiVec) {
 
 /// One plan decision flattened to global coordinates with the properties that
 /// determine floating-point accumulation order: block boundaries, format
-/// kind, and register block shape. Index width and prefetch annotations are
-/// deliberately excluded — they change bytes and scheduling, never arithmetic.
+/// kind, register block shape, and the owning thread's SIMD knob (the vector
+/// kernels use FMA and reassociate row sums, so SIMD and scalar executions of
+/// the same decisions are different accumulation classes). Index width and
+/// prefetch annotations are deliberately excluded — they change bytes and
+/// scheduling, never arithmetic.
 type DecisionSignature = (
     usize,
     usize,
@@ -362,6 +365,7 @@ type DecisionSignature = (
     spmv_core::tuning::FormatKind,
     usize,
     usize,
+    bool,
 );
 
 fn decision_signature(plan: &TunePlan) -> Vec<DecisionSignature> {
@@ -377,6 +381,7 @@ fn decision_signature(plan: &TunePlan) -> Vec<DecisionSignature> {
                     d.choice.kind,
                     d.choice.r,
                     d.choice.c,
+                    t.simd,
                 )
             })
         })
@@ -386,11 +391,13 @@ fn decision_signature(plan: &TunePlan) -> Vec<DecisionSignature> {
 /// Whether two plans are in the same *accumulation class*, i.e. their serial
 /// executions perform the identical element-wise additions in the identical
 /// order, making their outputs bit-identical: the flattened block decisions
-/// (boundaries, format kind, register shape) must match — different formats
-/// reassociate a row's partial sums (tile-local accumulators, block splits) —
-/// and symmetric plans must additionally share the row partition (the scratch
-/// tree reduction depends on slab count and boundaries). Index width and
-/// prefetch annotations never change the arithmetic, so they may differ.
+/// (boundaries, format kind, register shape, SIMD knob) must match —
+/// different formats reassociate a row's partial sums (tile-local
+/// accumulators, block splits), and the SIMD microkernels contract
+/// multiply-adds through FMA — and symmetric plans must additionally share
+/// the row partition (the scratch tree reduction depends on slab count and
+/// boundaries). Index width and prefetch annotations never change the
+/// arithmetic, so they may differ.
 pub fn same_accumulation_class(a: &TunePlan, b: &TunePlan) -> bool {
     if a.symmetric != b.symmetric {
         return false;

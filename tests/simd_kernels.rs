@@ -1,0 +1,308 @@
+//! The SIMD microkernel property/fuzz suite (paper Section 4.3 rung).
+//!
+//! Three pillars, per the vectorization acceptance bar:
+//!
+//! 1. **Kernel equivalence** — every vectorized kernel (BCSR r×4 for
+//!    r ∈ {1, 2, 4}, the gather-free CSR row kernel, and their multivec
+//!    variants) × every index width {u16, u32, usize} matches the dense
+//!    triplet reference on the seeded case generator, which is biased toward
+//!    the shapes that break vector code: rectangular matrices, empty rows,
+//!    single-row/column shapes, and remainder columns (ncols % 4 ≠ 0) that
+//!    exercise the zero-padded ragged edge. The explicit scalar dispatch arm
+//!    is swept alongside the host arm, so the fallback is tested everywhere.
+//! 2. **SpMM ≡ k × SpMV** — the vectorized multivec kernels perform, per
+//!    column, the identical operation sequence as the single-vector kernels,
+//!    so the products are bit-identical for every swept k (the invariant the
+//!    batching service relies on).
+//! 3. **Plans across threads** — SIMD plans materialize and run on the
+//!    parallel engine at 1, 2, and oversubscribed (n + 3) thread counts with
+//!    output bit-identical to the plan's own serial `PreparedMatrix` oracle,
+//!    and within accumulation tolerance of the dense reference.
+
+use spmv_multicore::prelude::*;
+use spmv_multicore::spmv_core::formats::bcsr::BcsrMatrix;
+use spmv_multicore::spmv_core::formats::CompressedCsr;
+use spmv_multicore::spmv_core::kernels::simd::{
+    self, bcsr_simd_shape, spmm_bcsr_simd, spmm_csr_simd, spmm_csr_simd_at, spmv_bcsr_simd,
+    spmv_csr_simd, spmv_csr_simd_at, SimdLevel,
+};
+use spmv_testutil::{
+    assert_bit_identical, cases, empty_row_csr, max_abs_diff, random_csr, single_col_csr,
+    single_row_csr, test_x, xblock, Case,
+};
+
+/// The case pool every kernel sweep runs over: the seeded generator (already
+/// biased toward rectangular/empty/boundary shapes) plus fixed cases that pin
+/// the SIMD-specific hazards — remainder columns for every covered lane
+/// count, and rows that end exactly on a vector boundary.
+fn simd_cases() -> Vec<Case> {
+    let mut pool = cases(40, 0x51D);
+    // Remainder columns: ncols % 4 ∈ {1, 2, 3} forces the zero-padded edge.
+    for (ncols, seed) in [(5usize, 1u64), (6, 2), (7, 3), (13, 4)] {
+        let csr = random_csr(12, ncols, 12 * ncols / 2, seed);
+        pool.push(Case {
+            nrows: 12,
+            ncols,
+            entries: csr.iter().collect(),
+        });
+    }
+    // Exact multiples: every row a whole number of 4-lane groups.
+    let csr = random_csr(16, 16, 120, 5);
+    pool.push(Case {
+        nrows: 16,
+        ncols: 16,
+        entries: csr.iter().collect(),
+    });
+    pool
+}
+
+fn dense_reference(case: &Case, x: &[f64]) -> Vec<f64> {
+    case.dense_reference(x)
+}
+
+/// Pillar 1, CSR: the gather-free vector row kernel × width × dispatch arm.
+#[test]
+fn csr_simd_matches_dense_reference_across_widths() {
+    for (i, case) in simd_cases().iter().enumerate() {
+        let csr = case.csr();
+        let x = test_x(case.ncols);
+        let expected = dense_reference(case, &x);
+        let levels = [simd::detect(), SimdLevel::Scalar];
+
+        let c16 = csr.reindex::<u16>();
+        let c32 = csr.reindex::<u32>().expect("u32 always fits the cases");
+        let cus = csr.reindex::<usize>().expect("usize always fits");
+        for level in levels {
+            if let Ok(m) = &c16 {
+                let mut y = vec![0.0; case.nrows];
+                spmv_csr_simd_at(level, m, &x, &mut y);
+                assert!(
+                    max_abs_diff(&y, &expected) < 1e-9,
+                    "csr<u16> {level:?} case {i}"
+                );
+            }
+            let mut y = vec![0.0; case.nrows];
+            spmv_csr_simd_at(level, &c32, &x, &mut y);
+            assert!(
+                max_abs_diff(&y, &expected) < 1e-9,
+                "csr<u32> {level:?} case {i}"
+            );
+            let mut y = vec![0.0; case.nrows];
+            spmv_csr_simd_at(level, &cus, &x, &mut y);
+            assert!(
+                max_abs_diff(&y, &expected) < 1e-9,
+                "csr<usize> {level:?} case {i}"
+            );
+        }
+        // The width-auto wrapper dispatches the same kernels.
+        let compressed = CompressedCsr::from_csr(&csr);
+        let mut y = vec![0.0; case.nrows];
+        compressed.execute_simd(&x, &mut y);
+        assert!(max_abs_diff(&y, &expected) < 1e-9, "compressed case {i}");
+    }
+}
+
+/// Pillar 1, BCSR: covered vector shapes and scalar-fallback shapes alike
+/// match the reference at every width; uncovered shapes are *bitwise* the
+/// scalar kernel (the dispatch must not silently reroute them).
+#[test]
+fn bcsr_simd_matches_dense_reference_across_widths_and_shapes() {
+    for (i, case) in simd_cases().iter().enumerate() {
+        let csr = case.csr();
+        let x = test_x(case.ncols);
+        let expected = dense_reference(case, &x);
+        for (r, c) in [(1, 4), (2, 4), (4, 4), (3, 4), (2, 2), (4, 2)] {
+            macro_rules! check_width {
+                ($I:ty, $tag:literal) => {
+                    if let Ok(b) = BcsrMatrix::<$I>::from_csr(&csr, r, c) {
+                        let mut y = vec![0.0; case.nrows];
+                        spmv_bcsr_simd(&b, &x, &mut y);
+                        assert!(
+                            max_abs_diff(&y, &expected) < 1e-9,
+                            "bcsr<{}> {r}x{c} case {i}",
+                            $tag
+                        );
+                        if !bcsr_simd_shape(r, c) {
+                            // Uncovered shape: the dispatcher must hand the
+                            // exact scalar result through, bit for bit.
+                            let mut ys = vec![0.0; case.nrows];
+                            b.spmv(&x, &mut ys);
+                            assert_bit_identical(
+                                &y,
+                                &ys,
+                                &format!("bcsr<{}> {r}x{c} fallback case {i}", $tag),
+                            );
+                        }
+                    }
+                };
+            }
+            check_width!(u16, "u16");
+            check_width!(u32, "u32");
+            check_width!(usize, "usize");
+        }
+    }
+}
+
+/// Pillar 2: vectorized SpMM is bit-identical to k single-vector SIMD calls,
+/// per width, per k (including k past the kernels' internal chunk sizes).
+#[test]
+fn simd_spmm_is_bit_identical_to_k_spmv_across_widths() {
+    for (i, case) in simd_cases().iter().enumerate().step_by(3) {
+        let csr = case.csr();
+        for k in [1usize, 2, 3, 5, 8, 11] {
+            let xb = xblock(case.ncols, k);
+
+            // CSR at each width.
+            macro_rules! check_csr {
+                ($m:expr, $tag:literal) => {{
+                    let m = $m;
+                    let mut ym = MultiVec::zeros(case.nrows, k);
+                    spmm_csr_simd(m, xb.data(), xb.ld(), &mut ym.view_mut());
+                    for j in 0..k {
+                        let mut y = vec![0.0; case.nrows];
+                        spmv_csr_simd(m, xb.col(j), &mut y);
+                        assert_bit_identical(
+                            ym.col(j),
+                            &y,
+                            &format!("csr<{}> spmm k={k} col {j} case {i}", $tag),
+                        );
+                    }
+                }};
+            }
+            if let Ok(m) = csr.reindex::<u16>() {
+                check_csr!(&m, "u16");
+            }
+            check_csr!(&csr.reindex::<usize>().unwrap(), "usize");
+
+            // BCSR covered shapes (each has a different K-chunking scheme).
+            for (r, c) in [(1, 4), (2, 4), (4, 4)] {
+                if let Ok(b) = BcsrMatrix::<u32>::from_csr(&csr, r, c) {
+                    let mut ym = MultiVec::zeros(case.nrows, k);
+                    spmm_bcsr_simd(&b, xb.data(), xb.ld(), &mut ym.view_mut());
+                    for j in 0..k {
+                        let mut y = vec![0.0; case.nrows];
+                        spmv_bcsr_simd(&b, xb.col(j), &mut y);
+                        assert_bit_identical(
+                            ym.col(j),
+                            &y,
+                            &format!("bcsr {r}x{c} spmm k={k} col {j} case {i}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The explicit scalar arm of the multivec dispatch agrees with the scalar
+/// single-vector arm bitwise — so the fallback path upholds the same SpMM
+/// contract as the vector path, on every host.
+#[test]
+fn scalar_fallback_spmm_upholds_the_same_contract() {
+    let csr = random_csr(30, 23, 260, 0xFA);
+    let m = csr.reindex::<u32>().unwrap();
+    for k in [1usize, 3, 6] {
+        let xb = xblock(23, k);
+        let mut ym = MultiVec::zeros(30, k);
+        spmm_csr_simd_at(
+            SimdLevel::Scalar,
+            &m,
+            xb.data(),
+            xb.ld(),
+            &mut ym.view_mut(),
+        );
+        for j in 0..k {
+            let mut y = vec![0.0; 30];
+            spmv_csr_simd_at(SimdLevel::Scalar, &m, xb.col(j), &mut y);
+            assert_bit_identical(ym.col(j), &y, &format!("scalar spmm k={k} col {j}"));
+        }
+    }
+}
+
+/// Pillar 1, boundary structures: the shapes the generator can only hit by
+/// luck, pinned explicitly.
+#[test]
+fn simd_kernels_handle_degenerate_structures() {
+    for (tag, csr) in [
+        ("empty-rows", empty_row_csr(10, 8)),
+        ("single-row", single_row_csr(9, 7)),
+        ("single-col", single_col_csr(9, 8)),
+        ("empty", empty_row_csr(1, 1)),
+    ] {
+        let x = test_x(csr.ncols());
+        let expected = spmv_testutil::dense_spmv(&csr, &x);
+        let mut y = vec![0.0; csr.nrows()];
+        spmv_csr_simd(&csr.reindex::<u32>().unwrap(), &x, &mut y);
+        assert!(max_abs_diff(&y, &expected) < 1e-12, "{tag}: csr");
+        for (r, c) in [(1, 4), (4, 4)] {
+            if let Ok(b) = BcsrMatrix::<u32>::from_csr(&csr, r, c) {
+                let mut y = vec![0.0; csr.nrows()];
+                spmv_bcsr_simd(&b, &x, &mut y);
+                assert!(max_abs_diff(&y, &expected) < 1e-12, "{tag}: bcsr {r}x{c}");
+            }
+        }
+        // SIMD kernels accumulate: a pre-filled destination is added into.
+        let mut y = vec![1.5; csr.nrows()];
+        spmv_csr_simd(&csr.reindex::<u32>().unwrap(), &x, &mut y);
+        for (i, (&got, &e)) in y.iter().zip(&expected).enumerate() {
+            assert!((got - (e + 1.5)).abs() < 1e-12, "{tag}: accumulate row {i}");
+        }
+    }
+}
+
+/// Pillar 3: SIMD plans across thread counts {1, 2, n + 3}. The parallel
+/// engine must stay bit-identical to the plan's serial `PreparedMatrix`
+/// oracle (partition boundaries, not thread interleaving, fix the arithmetic)
+/// and within accumulation tolerance of the dense reference.
+#[test]
+fn simd_plans_run_bit_identical_across_thread_counts() {
+    let oversubscribed = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        + 3;
+    let suite = [
+        ("dense-u16", random_csr(64, 48, 64 * 30, 21)),
+        ("sparse-u16", random_csr(150, 90, 900, 22)),
+        ("wide-u32", random_csr(30, 70_000, 900, 23)),
+        ("remainder", random_csr(61, 43, 1100, 24)),
+    ];
+    for (tag, csr) in &suite {
+        let x = test_x(csr.ncols());
+        let expected = spmv_testutil::dense_spmv(csr, &x);
+        let scale = expected.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for threads in [1usize, 2, oversubscribed] {
+            let plan = TunePlan::new(csr, threads, &TuningConfig::full());
+            assert_eq!(
+                plan.threads.iter().any(|t| t.simd),
+                simd::available(),
+                "{tag}: the full config plans SIMD exactly when the host has it"
+            );
+            let prepared =
+                PreparedMatrix::materialize(csr, &plan).expect("plan matches its matrix");
+            let mut y_serial = vec![0.0; csr.nrows()];
+            prepared.spmv(&x, &mut y_serial);
+            assert!(
+                max_abs_diff(&y_serial, &expected) <= 1e-12 * scale,
+                "{tag}@{threads}: serial SIMD drifted from the dense reference"
+            );
+
+            let mut engine = SpmvEngine::from_plan(csr, &plan).expect("plan matches its matrix");
+            let mut y_par = vec![0.0; csr.nrows()];
+            engine.spmv(&x, &mut y_par);
+            assert_bit_identical(&y_par, &y_serial, &format!("{tag}@{threads}: spmv"));
+
+            let xb = xblock(csr.ncols(), 3);
+            let mut ys = MultiVec::zeros(csr.nrows(), 3);
+            prepared.spmm(&xb, &mut ys);
+            let mut yp = MultiVec::zeros(csr.nrows(), 3);
+            engine.spmm(&xb, &mut yp);
+            assert_bit_identical(yp.data(), ys.data(), &format!("{tag}@{threads}: spmm"));
+            // And the multivec path agrees with per-column SpMV bitwise.
+            for j in 0..3 {
+                let mut y = vec![0.0; csr.nrows()];
+                prepared.spmv(xb.col(j), &mut y);
+                assert_bit_identical(ys.col(j), &y, &format!("{tag}@{threads}: spmm col {j}"));
+            }
+        }
+    }
+}
