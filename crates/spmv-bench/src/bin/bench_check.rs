@@ -10,7 +10,9 @@
 //! dense-ish slice they must also not trail the scalar `bcsr-4x4` row beyond
 //! tolerance), the `batched-k{1,2,4,8}` multi-vector rows for every
 //! Table-3 suite matrix (serial, plus the engine rows at the swept thread
-//! count), and one `serve-*` row per request-stream scenario.
+//! count), one `serve-*` row per request-stream scenario, and the
+//! `solver-{fused-cg,unfused-cg,power}` rows for every symmetric suite matrix
+//! (fused CG must hold its iterations/s bar against the unfused baseline).
 //!
 //! ```text
 //! cargo run --release -p spmv-bench --bin bench_check [BENCH_spmv.json]
@@ -24,6 +26,10 @@ use spmv_bench::perf::{
     TUNED_SERIAL_VARIANT,
 };
 use spmv_bench::serve::{batched_variant, serve_variant, BATCH_WIDTHS, SERVE_SCENARIOS};
+use spmv_bench::solver::{
+    solver_threads, FUSED_CG_VARIANT, FUSED_SPEEDUP_BAR, POWER_VARIANT, SOLVER_GATE_QUORUM,
+    SOLVER_TOLERANCE, UNFUSED_CG_VARIANT,
+};
 
 fn fail(msg: &str) -> ! {
     eprintln!("[bench_check] FAIL: {msg}");
@@ -221,6 +227,56 @@ fn main() {
         }
     }
 
+    // Iterative-solver rows: fused CG, the unfused serve-path CG baseline,
+    // and power iteration for every symmetric suite matrix, at the solver
+    // thread count (max threads clamped to hardware parallelism — computed
+    // here exactly as the harness computed it, same-host like the SIMD probe).
+    // Gates: fused CG must never trail the unfused loop beyond
+    // SOLVER_TOLERANCE, and when the rows ran with real parallelism the
+    // FUSED_SPEEDUP_BAR quorum must hold — the barrier-fusion headline.
+    let sthreads = solver_threads(max_threads);
+    let mut cleared = 0usize;
+    let mut solver_total = 0usize;
+    for matrix in symmetric_harness_matrices() {
+        let id = sym_id(matrix.id());
+        let iters_per_sec = |variant: &str| -> f64 {
+            results
+                .iter()
+                .find(|r| row_matches(r, &id, variant, sthreads))
+                .and_then(|r| r.get("iters_per_sec").and_then(Json::as_f64))
+                .filter(|v| *v > 0.0)
+                .unwrap_or_else(|| {
+                    fail(&format!(
+                        "{id}: missing {variant} row at {sthreads} threads \
+                         (or empty iters_per_sec)"
+                    ))
+                })
+        };
+        let fused = iters_per_sec(FUSED_CG_VARIANT);
+        let unfused = iters_per_sec(UNFUSED_CG_VARIANT);
+        iters_per_sec(POWER_VARIANT);
+        checked += 3;
+        if fused < unfused * (1.0 - SOLVER_TOLERANCE) {
+            fail(&format!(
+                "{id}: {FUSED_CG_VARIANT} at {fused:.0} iters/s trails \
+                 {UNFUSED_CG_VARIANT} at {unfused:.0} beyond {SOLVER_TOLERANCE} tolerance"
+            ));
+        }
+        solver_total += 1;
+        if fused >= unfused * FUSED_SPEEDUP_BAR {
+            cleared += 1;
+        }
+    }
+    if sthreads >= 2 && cleared < SOLVER_GATE_QUORUM.min(solver_total) {
+        fail(&format!(
+            "fused CG clears the {FUSED_SPEEDUP_BAR}x iterations/s bar on only \
+             {cleared}/{solver_total} symmetric matrices at {sthreads} threads \
+             (need {})",
+            SOLVER_GATE_QUORUM.min(solver_total)
+        ));
+    }
+    checked += 1;
+
     // Serve-scenario rows: one per replayed request stream, with traffic served.
     for scenario in SERVE_SCENARIOS {
         let variant = serve_variant(scenario);
@@ -237,8 +293,9 @@ fn main() {
 
     println!(
         "[bench_check] OK: {path} has all {checked} expected tuned/searched/simd/batched/sym/\
-         serve rows (simd level: {doc_simd}) and the searched rows hold the heuristic bar \
-         ({} results total)",
+         serve/solver rows (simd level: {doc_simd}), the searched rows hold the heuristic bar, \
+         and fused CG holds its bar against the unfused loop ({cleared}/{solver_total} clear \
+         {FUSED_SPEEDUP_BAR}x at {sthreads} threads; {} results total)",
         results.len()
     );
 }

@@ -16,6 +16,7 @@ use spmv_bench::perf::{
     run_symmetric_harness,
 };
 use spmv_bench::serve::{run_serve_scenarios, ReplayLoad};
+use spmv_bench::solver::{build_solver_suite, run_solver_harness};
 use spmv_matrices::suite::Scale;
 
 fn main() {
@@ -60,8 +61,15 @@ fn main() {
         max_threads,
         budget_ms,
     ));
-    let serve_rows = run_serve_scenarios(&matrices, max_threads, ReplayLoad::smoke());
-    let doc = harness_json_with_rows(scale, max_threads, &results, serve_rows);
+    let mut extra_rows = run_serve_scenarios(&matrices, max_threads, ReplayLoad::smoke());
+    // The iterative-solver rows: fused in-engine CG vs the unfused serve-path
+    // loop (plus power iteration) on the SPD-shifted symmetric suite.
+    extra_rows.extend(run_solver_harness(
+        &build_solver_suite(scale),
+        max_threads,
+        budget_ms,
+    ));
+    let doc = harness_json_with_rows(scale, max_threads, &results, extra_rows);
     std::fs::write(&output, doc.pretty()).expect("write benchmark artifact");
 
     // Human-readable recap: the best configuration per matrix.

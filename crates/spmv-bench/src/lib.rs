@@ -27,7 +27,9 @@ pub mod format;
 pub mod json;
 pub mod perf;
 pub mod serve;
+pub mod solver;
 
 pub use experiments::{ladder_for, run_ladder, run_rung, ExperimentResult, Rung, RungKind};
 pub use perf::{run_harness, PerfResult};
 pub use serve::{run_serve_scenarios, ReplayLoad};
+pub use solver::{build_solver_suite, run_solver_harness};

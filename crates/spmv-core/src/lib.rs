@@ -47,6 +47,7 @@ pub mod formats;
 pub mod kernels;
 pub mod multivec;
 pub mod partition;
+pub mod solver;
 pub mod stats;
 pub mod tuning;
 
@@ -57,6 +58,7 @@ pub use formats::{
     BcooMatrix, BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, GcsrMatrix, SymBcsr, SymCsr,
 };
 pub use multivec::{MultiVec, MultiVecMut};
+pub use solver::{SerialCg, SerialPower};
 pub use tuning::{
     MatrixFingerprint, PreparedBlock, PreparedMatrix, SearchBudget, TuneCache, TunePlan,
     TunedMatrix, TuningConfig,

@@ -136,33 +136,21 @@ impl TunePlan {
         config: &TuningConfig,
     ) -> TunePlan {
         let partition = partition_rows_balanced(csr, nthreads);
-        let threads = partition
-            .ranges
-            .iter()
-            .map(|range| {
-                let local = csr.row_slice(range.start, range.end);
-                let decision =
-                    crate::tuning::heuristic::plan_symmetric_thread(&local, range.start, config);
-                ThreadPlan {
-                    rows: range.clone(),
-                    // The prefetch annotation binds a CSR *code variant*, which
-                    // symmetric slabs do not execute; leave it off. The SIMD
-                    // microkernels cover the general formats only, so symmetric
-                    // slabs stay scalar too.
-                    prefetch_distance: 0,
-                    nta_hint: false,
-                    simd: false,
-                    decisions: vec![decision],
-                }
-            })
-            .collect();
-        TunePlan {
-            nrows: csr.nrows(),
-            ncols: csr.ncols(),
-            nnz: csr.nnz(),
-            symmetric: true,
-            threads,
-        }
+        Self::plan_over_partition(csr, &partition.ranges, true, |local, range| {
+            let decision =
+                crate::tuning::heuristic::plan_symmetric_thread(local, range.start, config);
+            ThreadPlan {
+                rows: range.clone(),
+                // The prefetch annotation binds a CSR *code variant*, which
+                // symmetric slabs do not execute; leave it off. The SIMD
+                // microkernels cover the general formats only, so symmetric
+                // slabs stay scalar too.
+                prefetch_distance: 0,
+                nta_hint: false,
+                simd: false,
+                decisions: vec![decision],
+            }
+        })
     }
 
     /// Plan `csr` over an explicit row partition (the NUMA decomposition passes
@@ -172,33 +160,48 @@ impl TunePlan {
         ranges: &[Range<usize>],
         config: &TuningConfig,
     ) -> TunePlan {
+        Self::plan_over_partition(csr, ranges, false, |local, range| {
+            let decisions = plan_block_decisions(local, config);
+            let planned_bytes: usize = decisions.iter().map(|d| d.choice.bytes).sum();
+            let prefetch = config.software_prefetch && planned_bytes > PREFETCH_FOOTPRINT_BYTES;
+            ThreadPlan {
+                rows: range.clone(),
+                prefetch_distance: if prefetch {
+                    PLANNED_PREFETCH_DISTANCE
+                } else {
+                    0
+                },
+                nta_hint: prefetch,
+                // The knob is only planned on when the host can execute it,
+                // so a freshly tuned plan always round-trips exactly.
+                simd: config.simd && crate::kernels::simd::available(),
+                decisions,
+            }
+        })
+    }
+
+    /// The planning sequence the general and symmetric pipelines share: slice
+    /// the matrix along the row partition, run `plan_thread` on every local
+    /// block (the paper tunes each thread's share in isolation), and assemble
+    /// the per-thread plans with the matrix's shape metadata.
+    fn plan_over_partition(
+        csr: &CsrMatrix,
+        ranges: &[Range<usize>],
+        symmetric: bool,
+        mut plan_thread: impl FnMut(&CsrMatrix, &Range<usize>) -> ThreadPlan,
+    ) -> TunePlan {
         let threads = ranges
             .iter()
             .map(|range| {
                 let local = csr.row_slice(range.start, range.end);
-                let decisions = plan_block_decisions(&local, config);
-                let planned_bytes: usize = decisions.iter().map(|d| d.choice.bytes).sum();
-                let prefetch = config.software_prefetch && planned_bytes > PREFETCH_FOOTPRINT_BYTES;
-                ThreadPlan {
-                    rows: range.clone(),
-                    prefetch_distance: if prefetch {
-                        PLANNED_PREFETCH_DISTANCE
-                    } else {
-                        0
-                    },
-                    nta_hint: prefetch,
-                    // The knob is only planned on when the host can execute it,
-                    // so a freshly tuned plan always round-trips exactly.
-                    simd: config.simd && crate::kernels::simd::available(),
-                    decisions,
-                }
+                plan_thread(&local, range)
             })
             .collect();
         TunePlan {
             nrows: csr.nrows(),
             ncols: csr.ncols(),
             nnz: csr.nnz(),
-            symmetric: false,
+            symmetric,
             threads,
         }
     }

@@ -105,7 +105,41 @@ enum Command {
     /// Batched apply: run the multi-vector kernels over the same disjoint
     /// y-slices, each worker writing its row range of every column.
     Spmm,
+    /// Fused CG start: `x ← 0`, `r ← b`, `p ← b`, `w ← 0` over the resident
+    /// slabs (`b` arrives as `operands.x`), per-worker `r·r` partials in the
+    /// scalar slots. The first writes double as first-touch placement.
+    CgInit,
+    /// `steps` whole fused CG iterations (SpMV + both dots + both vector
+    /// updates each) under this single epoch; `rr` is the `r·r` entering the
+    /// first one. Every worker carries the recurrence scalar locally across
+    /// the in-epoch iterations, so batching costs no extra communication —
+    /// just one ordering barrier between consecutive iterations.
+    CgStep {
+        steps: u64,
+        rr: f64,
+    },
+    /// Re-seed the resident CG state after a hot swap: `operands.x` is the
+    /// concatenated `[x; r; p]` (3·n), each worker copies its row slices.
+    CgLoad,
+    /// Fused power-iteration start: `q ← v0/‖v0‖` (`v0` as `operands.x`).
+    PowerInit,
+    /// One fused power-iteration step: `w ← A·q`, Rayleigh + norm partials,
+    /// `q ← w/‖w‖`, all under this single epoch.
+    PowerStep,
     Shutdown,
+}
+
+impl Command {
+    fn is_solver(&self) -> bool {
+        matches!(
+            self,
+            Command::CgInit
+                | Command::CgStep { .. }
+                | Command::CgLoad
+                | Command::PowerInit
+                | Command::PowerStep
+        )
+    }
 }
 
 /// Launch state: bumped epoch + the command and operands for that epoch. The
@@ -115,6 +149,55 @@ struct Launch {
     epoch: u64,
     command: Command,
     operands: Operands,
+    /// Base pointers of the resident solver slabs for solver epochs (the slabs
+    /// themselves are owned by the [`SpmvEngine`]; see [`SolverVectors`]).
+    solver: SolverOps,
+}
+
+/// Published views of the engine-resident solver vectors for one solver epoch.
+/// Same synchronization contract as [`Operands`]: written by the caller under
+/// the launch lock before the epoch bump, read by workers only between the
+/// launch and completion barriers.
+#[derive(Clone, Copy)]
+struct SolverOps {
+    x: *mut f64,
+    r: *mut f64,
+    p: *mut f64,
+    w: *mut f64,
+    n: usize,
+}
+
+impl SolverOps {
+    const EMPTY: SolverOps = SolverOps {
+        x: std::ptr::null_mut(),
+        r: std::ptr::null_mut(),
+        p: std::ptr::null_mut(),
+        w: std::ptr::null_mut(),
+        n: 0,
+    };
+}
+
+// SAFETY: plain pointers into the engine-owned slabs; the epoch protocol (launch
+// mutex release happens-before worker reads, completion barrier happens-after
+// worker writes) synchronizes all access, and workers write only disjoint row
+// slices (or barrier-ordered full-slab phases).
+unsafe impl Send for SolverOps {}
+unsafe impl Sync for SolverOps {}
+
+/// The engine-resident iterative-solver vectors: the iterate `x`, residual `r`,
+/// search direction `p` (doubling as the power iterate `q`), and the SpMV
+/// destination `w = A·p`.
+///
+/// Allocated zeroed by the caller (one lazy `calloc` per vector), but **written
+/// first by the workers** — `CgInit`/`PowerInit` zero or fill every row slice on
+/// its owning worker, so first-touch places each slab's pages like the matrix
+/// blocks. In steady state the vectors never leave the engine and nothing is
+/// allocated.
+struct SolverVectors {
+    x: Vec<f64>,
+    r: Vec<f64>,
+    p: Vec<f64>,
+    w: Vec<f64>,
 }
 
 /// A reusable generation-counting barrier for the symmetric reduction rounds.
@@ -167,6 +250,55 @@ struct ScratchSlot(std::cell::UnsafeCell<Vec<f64>>);
 // one partner per round, with a RoundBarrier::wait separating every round.
 unsafe impl Sync for ScratchSlot {}
 
+/// One worker's partial-dot slot, padded to a cache line so the per-phase
+/// scalar writes of neighbouring workers never false-share.
+#[repr(align(64))]
+struct ScalarSlot(std::cell::UnsafeCell<f64>);
+
+// SAFETY: slot `i` is written only by worker `i` before a phase barrier and
+// read by the others only after it; the barrier orders every access.
+unsafe impl Sync for ScalarSlot {}
+
+/// Shared state of the fused solver epochs: per-worker partial-dot slots and
+/// the phase barrier separating compute from the scalar reductions. Always
+/// present (a few cache lines); the resident vector slabs live on the engine
+/// side ([`SolverVectors`]) and are published per epoch via [`SolverOps`].
+struct SolverShared {
+    /// First partial per worker: `pᵀw` (CG) or the Rayleigh `qᵀw` (power).
+    slots_a: Vec<ScalarSlot>,
+    /// Second partial per worker: `rᵀr` (CG) or `wᵀw` (power).
+    slots_b: Vec<ScalarSlot>,
+    /// Orders the fused phases within one solver epoch.
+    barrier: RoundBarrier,
+}
+
+/// Fold the per-worker scalar slots in the deterministic pairwise tree order of
+/// [`spmv_core::solver::kernels::tree_sum`] (itself the scalar twin of
+/// [`spmv_core::tuning::reduce_tree`]'s schedule), without materializing a
+/// slice — every worker and the caller evaluate this locally after a barrier
+/// and arrive at the same `f64`.
+///
+/// SAFETY: callers must order this after the barrier (or completion) that
+/// publishes the slot writes.
+unsafe fn tree_sum_slots(slots: &[ScalarSlot]) -> f64 {
+    unsafe fn rec(slots: &[ScalarSlot], i: usize, span: usize) -> f64 {
+        if span == 1 {
+            return *slots[i].0.get();
+        }
+        let half = span / 2;
+        let left = rec(slots, i, half);
+        if i + half < slots.len() {
+            left + rec(slots, i + half, half)
+        } else {
+            left
+        }
+    }
+    match slots.len() {
+        0 => 0.0,
+        n => rec(slots, 0, n.next_power_of_two()),
+    }
+}
+
 /// Shared state of the symmetric scratch reduction.
 struct SymShared {
     slots: Vec<ScratchSlot>,
@@ -204,6 +336,8 @@ struct Shared {
     done_cv: Condvar,
     /// Scratch slots + reduction barrier; `Some` only for symmetric engines.
     sym: Option<SymShared>,
+    /// Partial-dot slots + phase barrier for the fused solver epochs.
+    solver: SolverShared,
 }
 
 /// What a worker materializes during construction (on its own thread, for
@@ -269,6 +403,8 @@ pub struct SpmvEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     epoch: u64,
+    /// Resident solver slabs, allocated on first solver use (`None` until then).
+    solver: Option<Box<SolverVectors>>,
 }
 
 impl SpmvEngine {
@@ -385,6 +521,7 @@ impl SpmvEngine {
                 epoch: 0,
                 command: Command::Spmv,
                 operands: Operands::EMPTY,
+                solver: SolverOps::EMPTY,
             }),
             launch_cv: Condvar::new(),
             done: Mutex::new(Done {
@@ -400,6 +537,15 @@ impl SpmvEngine {
                     .collect(),
                 barrier: RoundBarrier::new(nworkers),
             }),
+            solver: SolverShared {
+                slots_a: (0..nworkers)
+                    .map(|_| ScalarSlot(std::cell::UnsafeCell::new(0.0)))
+                    .collect(),
+                slots_b: (0..nworkers)
+                    .map(|_| ScalarSlot(std::cell::UnsafeCell::new(0.0)))
+                    .collect(),
+                barrier: RoundBarrier::new(nworkers),
+            },
         });
 
         let mut workers = Vec::with_capacity(nworkers);
@@ -437,6 +583,7 @@ impl SpmvEngine {
             shared,
             workers,
             epoch: 0,
+            solver: None,
         };
         if failed > 0 {
             // Dropping joins the surviving workers; the failed ones already exited.
@@ -507,31 +654,50 @@ impl SpmvEngine {
         }
     }
 
-    /// `y ← y + A·x`, steady state: publish operands, bump the epoch, wait for the
-    /// completion barrier. No allocation, no locks in the compute loop.
-    pub fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
-        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+    /// Publish one epoch (operands + current solver slab views), bump, and wait
+    /// for the completion barrier. The single launch/wait round-trip every
+    /// steady-state entry point shares.
+    fn launch_and_wait(&mut self, command: Command, operands: Operands) {
+        let solver = match self.solver.as_mut() {
+            Some(s) => SolverOps {
+                x: s.x.as_mut_ptr(),
+                r: s.r.as_mut_ptr(),
+                p: s.p.as_mut_ptr(),
+                w: s.w.as_mut_ptr(),
+                n: s.x.len(),
+            },
+            None => SolverOps::EMPTY,
+        };
         self.epoch += 1;
         {
             let mut launch = self.shared.launch.lock().unwrap();
             launch.epoch = self.epoch;
-            launch.command = Command::Spmv;
-            launch.operands = Operands {
-                x_ptr: x.as_ptr(),
-                x_len: x.len(),
-                y_ptr: y.as_mut_ptr(),
-                y_len: y.len(),
-                k: 1,
-                x_ld: self.ncols,
-                y_ld: self.nrows,
-            };
+            launch.command = command;
+            launch.operands = operands;
+            launch.solver = solver;
             self.shared.launch_cv.notify_all();
         }
         let mut done = self.shared.done.lock().unwrap();
         while !(done.epoch == self.epoch && done.count == self.workers.len()) {
             done = self.shared.done_cv.wait(done).unwrap();
         }
+    }
+
+    /// `y ← y + A·x`, steady state: publish operands, bump the epoch, wait for the
+    /// completion barrier. No allocation, no locks in the compute loop.
+    pub fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "source vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "destination vector length mismatch");
+        let operands = Operands {
+            x_ptr: x.as_ptr(),
+            x_len: x.len(),
+            y_ptr: y.as_mut_ptr(),
+            y_len: y.len(),
+            k: 1,
+            x_ld: self.ncols,
+            y_ld: self.nrows,
+        };
+        self.launch_and_wait(Command::Spmv, operands);
     }
 
     /// Batched steady state: `Y ← Y + A·X` for a column-major block of `x.k()`
@@ -548,26 +714,136 @@ impl SpmvEngine {
         if x.k() == 0 {
             return;
         }
-        self.epoch += 1;
-        {
-            let mut launch = self.shared.launch.lock().unwrap();
-            launch.epoch = self.epoch;
-            launch.command = Command::Spmm;
-            launch.operands = Operands {
-                x_ptr: x.data().as_ptr(),
-                x_len: x.data().len(),
-                y_ptr: y.data_mut().as_mut_ptr(),
-                y_len: y.data().len(),
-                k: x.k(),
-                x_ld: self.ncols,
-                y_ld: self.nrows,
-            };
-            self.shared.launch_cv.notify_all();
+        let operands = Operands {
+            x_ptr: x.data().as_ptr(),
+            x_len: x.data().len(),
+            y_ptr: y.data_mut().as_mut_ptr(),
+            y_len: y.data().len(),
+            k: x.k(),
+            x_ld: self.ncols,
+            y_ld: self.nrows,
+        };
+        self.launch_and_wait(Command::Spmm, operands);
+    }
+
+    /// Allocate the resident solver slabs if absent. The `vec![0.0; n]`
+    /// allocations are lazy zero pages; the workers' first writes (in the init
+    /// epochs) are what actually touch — and therefore place — them.
+    fn ensure_solver(&mut self) {
+        assert_eq!(
+            self.nrows, self.ncols,
+            "in-engine iterative solvers require a square matrix"
+        );
+        if self.solver.is_none() {
+            let n = self.nrows;
+            self.solver = Some(Box::new(SolverVectors {
+                x: vec![0.0; n],
+                r: vec![0.0; n],
+                p: vec![0.0; n],
+                w: vec![0.0; n],
+            }));
         }
-        let mut done = self.shared.done.lock().unwrap();
-        while !(done.epoch == self.epoch && done.count == self.workers.len()) {
-            done = self.shared.done_cv.wait(done).unwrap();
+    }
+
+    /// Whether the resident solver slabs are allocated (some solver epoch ran).
+    pub fn solver_resident(&self) -> bool {
+        self.solver.is_some()
+    }
+
+    /// Start fused conjugate gradient on the resident slabs: `x ← 0`,
+    /// `r ← p ← b`. Returns the initial squared residual `r·r` to thread into
+    /// [`SpmvEngine::cg_step`]. One epoch.
+    pub fn cg_init(&mut self, b: &[f64]) -> f64 {
+        assert_eq!(b.len(), self.ncols, "right-hand side length mismatch");
+        self.ensure_solver();
+        let operands = Operands {
+            x_ptr: b.as_ptr(),
+            x_len: b.len(),
+            ..Operands::EMPTY
+        };
+        self.launch_and_wait(Command::CgInit, operands);
+        // SAFETY: the completion wait above ordered every slot write before us.
+        unsafe { tree_sum_slots(&self.shared.solver.slots_b) }
+    }
+
+    /// `steps` whole fused CG iterations — SpMV, both dot products, both
+    /// vector updates each — under a **single** launch/completion epoch. `rr`
+    /// is the squared residual from the previous step (or
+    /// [`SpmvEngine::cg_init`]); returns the one after the last iteration.
+    /// Bit-identical to `steps` calls of
+    /// [`spmv_core::solver::SerialCg::step`] on the same plan: every worker
+    /// folds the same scalar tree after each phase barrier and carries the
+    /// recurrence locally, so batching changes no arithmetic — it only
+    /// amortizes the launch/completion round-trip.
+    pub fn cg_step(&mut self, steps: u64, rr: f64) -> f64 {
+        assert!(
+            self.solver.is_some(),
+            "cg_step requires cg_init (or cg_load) first"
+        );
+        if steps == 0 {
+            return rr;
         }
+        self.launch_and_wait(Command::CgStep { steps, rr }, Operands::EMPTY);
+        // SAFETY: as in cg_init.
+        unsafe { tree_sum_slots(&self.shared.solver.slots_b) }
+    }
+
+    /// Re-seed the resident CG state (after a [`SpmvEngine::swap_with`] hot
+    /// swap): workers copy their row slices of `x`, `r`, `p` so the pages stay
+    /// first-touch placed. The caller carries `r·r` across the swap itself.
+    pub fn cg_load(&mut self, x: &[f64], r: &[f64], p: &[f64]) {
+        let n = self.nrows;
+        assert!(
+            x.len() == n && r.len() == n && p.len() == n,
+            "solver state length mismatch"
+        );
+        self.ensure_solver();
+        let mut buf = Vec::with_capacity(3 * n);
+        buf.extend_from_slice(x);
+        buf.extend_from_slice(r);
+        buf.extend_from_slice(p);
+        let operands = Operands {
+            x_ptr: buf.as_ptr(),
+            x_len: buf.len(),
+            ..Operands::EMPTY
+        };
+        self.launch_and_wait(Command::CgLoad, operands);
+    }
+
+    /// Start fused power iteration: `q ← v0/‖v0‖` on the resident slabs
+    /// (`q` lives in the `p` slab). One epoch.
+    pub fn power_init(&mut self, v0: &[f64]) {
+        assert_eq!(v0.len(), self.ncols, "start vector length mismatch");
+        self.ensure_solver();
+        let operands = Operands {
+            x_ptr: v0.as_ptr(),
+            x_len: v0.len(),
+            ..Operands::EMPTY
+        };
+        self.launch_and_wait(Command::PowerInit, operands);
+    }
+
+    /// One fused power-iteration step (`w ← A·q`, Rayleigh + norm partials,
+    /// `q ← w/‖w‖`) under a single epoch; returns the Rayleigh estimate
+    /// `λ = qᵀAq`. Bit-identical to [`spmv_core::solver::SerialPower::step`]
+    /// on the same plan.
+    pub fn power_step(&mut self) -> f64 {
+        assert!(
+            self.solver.is_some(),
+            "power_step requires power_init first"
+        );
+        self.launch_and_wait(Command::PowerStep, Operands::EMPTY);
+        // SAFETY: as in cg_init.
+        unsafe { tree_sum_slots(&self.shared.solver.slots_a) }
+    }
+
+    /// Read the resident solver state `(x, r, p)` — the extraction point of a
+    /// stateful session (and the donor side of a hot swap). The last epoch's
+    /// completion wait ordered all worker writes before this read.
+    pub fn solver_state(&self) -> Option<(&[f64], &[f64], &[f64])> {
+        self.solver
+            .as_ref()
+            .map(|s| (s.x.as_slice(), s.r.as_slice(), s.p.as_slice()))
     }
 
     /// Swap `replacement` into this engine slot and return the engine that was
@@ -640,16 +916,27 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, spec: BlockSpec) {
     loop {
         // Wait for the next epoch. The mutex is held only across the epoch check,
         // never across the compute.
-        let (command, operands) = {
+        let (command, operands, solver_ops) = {
             let mut launch = shared.launch.lock().unwrap();
             while launch.epoch == seen_epoch {
                 launch = shared.launch_cv.wait(launch).unwrap();
             }
             seen_epoch = launch.epoch;
-            (launch.command, launch.operands)
+            (launch.command, launch.operands, launch.solver)
         };
         match command {
             Command::Shutdown => return,
+            cmd if cmd.is_solver() => {
+                solver_epoch(
+                    &shared,
+                    sym_shared,
+                    tid,
+                    &block,
+                    cmd,
+                    &solver_ops,
+                    &operands,
+                );
+            }
             Command::Spmv if sym_shared.is_some() => {
                 let sym = sym_shared.expect("checked by the guard");
                 // SAFETY: this worker owns its slot outside the reduction
@@ -720,6 +1007,8 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, spec: BlockSpec) {
                 };
                 block.spmm(x, operands.x_ld, &mut y_cols);
             }
+            // Solver commands are consumed by the `is_solver` guard arm above.
+            _ => unreachable!("solver command escaped the is_solver guard"),
         }
 
         // Completion barrier: last worker of the epoch wakes the caller.
@@ -765,6 +1054,210 @@ fn sym_reduce(sym: &SymShared, tid: usize, len: usize, operands: &Operands) {
         let root = unsafe { &*sym.slots[0].0.get() };
         let y = unsafe { std::slice::from_raw_parts_mut(operands.y_ptr, len) };
         spmv_core::tuning::reduce_into(y, &root[..len]);
+    }
+}
+
+/// Phase A of a fused solver step: `w ← A·p` over the resident slabs (`p`
+/// doubles as the power iterate `q`).
+///
+/// General engines write disjoint row slices of `w` exactly like an SpMV epoch.
+/// Symmetric engines compute into their scratch slots, run the same
+/// deterministic pairwise tree rounds as [`sym_reduce`], have worker 0 rebuild
+/// the full `w` from the root scratch, and pay **one extra barrier** so every
+/// worker's subsequent dot reads the finished `w`. Both paths mirror
+/// [`spmv_core::solver::SerialCg`]'s apply op-for-op, so the fused step stays
+/// bit-identical to the serial reference.
+fn solver_apply(
+    solver: &SolverShared,
+    sym_shared: Option<&SymShared>,
+    tid: usize,
+    block: &PreparedBlock,
+    ops: &SolverOps,
+) {
+    let n = ops.n;
+    let rows = block.rows();
+    // SAFETY (for all raw derefs here): the caller published valid slab views
+    // for exactly this epoch and blocks on the completion barrier before
+    // reclaiming them; `p` is only read during this phase (its writers run
+    // strictly later, after the phase barriers), and `w` writes are either
+    // disjoint row slices or the barrier-ordered worker-0 rebuild.
+    let p = unsafe { std::slice::from_raw_parts(ops.p as *const f64, n) };
+    match sym_shared {
+        None => {
+            let w_s = unsafe {
+                std::slice::from_raw_parts_mut(ops.w.add(rows.start), rows.end - rows.start)
+            };
+            w_s.fill(0.0);
+            block.execute(p, w_s);
+        }
+        Some(sym) => {
+            let count = sym.slots.len();
+            {
+                // SAFETY: this worker owns its slot outside the reduction rounds.
+                let scratch = unsafe { &mut *sym.slots[tid].0.get() };
+                if scratch.len() < n {
+                    scratch.resize(n, 0.0);
+                }
+                scratch[..n].fill(0.0);
+                block.execute_full(p, &mut scratch[..n]);
+            }
+            let mut stride = 1usize;
+            for _ in 0..SymShared::rounds(count) {
+                solver.barrier.wait();
+                if tid.is_multiple_of(2 * stride) && tid + stride < count {
+                    // SAFETY: as in sym_reduce — the partner finished its slot
+                    // before this round's barrier and won't touch it again.
+                    let src = unsafe { &*sym.slots[tid + stride].0.get() };
+                    let dst = unsafe { &mut *sym.slots[tid].0.get() };
+                    spmv_core::tuning::reduce_into(&mut dst[..n], &src[..n]);
+                }
+                stride *= 2;
+            }
+            if tid == 0 {
+                // SAFETY: the last round's barrier ordered every write to slot 0;
+                // no other worker touches `w` until the barrier below.
+                let root = unsafe { &*sym.slots[0].0.get() };
+                let w = unsafe { std::slice::from_raw_parts_mut(ops.w, n) };
+                w.fill(0.0);
+                spmv_core::tuning::reduce_into(w, &root[..n]);
+            }
+            // The extra sync the symmetric path pays: the dots that follow read
+            // the full `w` worker 0 just rebuilt.
+            solver.barrier.wait();
+        }
+    }
+}
+
+/// One fused solver epoch on this worker: the entire CG (or power-iteration)
+/// step — SpMV, both dot products, both vector updates — between a single
+/// launch and a single completion barrier. Scalar partials travel through the
+/// cache-line-padded [`ScalarSlot`]s; after each phase barrier **every** worker
+/// folds them with the same deterministic [`tree_sum_slots`] order and derives
+/// α/β (or the normalizer) locally, so no scalar broadcast is needed and the
+/// arithmetic matches [`spmv_core::solver::SerialCg`] /
+/// [`spmv_core::solver::SerialPower`] op-for-op.
+fn solver_epoch(
+    shared: &Shared,
+    sym_shared: Option<&SymShared>,
+    tid: usize,
+    block: &PreparedBlock,
+    command: Command,
+    ops: &SolverOps,
+    operands: &Operands,
+) {
+    use spmv_core::solver::kernels;
+    let solver = &shared.solver;
+    let n = ops.n;
+    let rows = block.rows();
+    debug_assert!(rows.end <= n);
+    let len = rows.end - rows.start;
+    // Worker-owned row slices of the resident slabs, re-derived per use so no
+    // two live references overlap. SAFETY: the caller's slab views are valid
+    // for this epoch; row ranges are disjoint across workers, and full-slab
+    // reads (`p` in solver_apply, `w` after its barrier) are phase-ordered.
+    macro_rules! own_mut {
+        ($ptr:expr) => {
+            unsafe { std::slice::from_raw_parts_mut($ptr.add(rows.start), len) }
+        };
+    }
+    macro_rules! own_ref {
+        ($ptr:expr) => {
+            unsafe { std::slice::from_raw_parts($ptr.add(rows.start) as *const f64, len) }
+        };
+    }
+    match command {
+        Command::CgInit => {
+            // x ← 0, r ← p ← b, w ← 0; partial r·r into slot b. These writes
+            // are the slabs' first touch, placing each page on its row owner.
+            let b = unsafe { std::slice::from_raw_parts(operands.x_ptr, operands.x_len) };
+            let b_s = &b[rows.start..rows.end];
+            own_mut!(ops.x).fill(0.0);
+            own_mut!(ops.w).fill(0.0);
+            own_mut!(ops.r).copy_from_slice(b_s);
+            own_mut!(ops.p).copy_from_slice(b_s);
+            // SAFETY: slot `tid` is ours; read only after the completion barrier.
+            unsafe { *solver.slots_b[tid].0.get() = kernels::dot(b_s, b_s) };
+        }
+        Command::CgLoad => {
+            // Re-seed from the concatenated [x; r; p] (3·n) in operands.x,
+            // copying on the owning worker so pages stay first-touch placed.
+            let src = unsafe { std::slice::from_raw_parts(operands.x_ptr, operands.x_len) };
+            debug_assert_eq!(src.len(), 3 * n);
+            own_mut!(ops.x).copy_from_slice(&src[rows.start..rows.end]);
+            own_mut!(ops.r).copy_from_slice(&src[n + rows.start..n + rows.end]);
+            own_mut!(ops.p).copy_from_slice(&src[2 * n + rows.start..2 * n + rows.end]);
+            own_mut!(ops.w).fill(0.0);
+        }
+        Command::CgStep { steps, rr } => {
+            let mut rr = rr;
+            for it in 0..steps {
+                if it > 0 {
+                    // Orders every worker's p update (the xpby below) before
+                    // this iteration's full-slab read of p in solver_apply.
+                    // Within one epoch this replaces the completion+launch
+                    // round-trip that separated single-step epochs.
+                    solver.barrier.wait();
+                }
+                // Phase A: w ← A·p, partial p·w.
+                solver_apply(solver, sym_shared, tid, block, ops);
+                let pw_partial = kernels::dot(own_ref!(ops.p), own_ref!(ops.w));
+                // SAFETY: slot `tid` is ours; partners read it only after the
+                // barrier (and overwrite it only after two more barriers).
+                unsafe { *solver.slots_a[tid].0.get() = pw_partial };
+                solver.barrier.wait();
+                // Phase B: every worker folds the same tree, derives the same
+                // α, then fuses x += α·p, r -= α·w with the partial r·r.
+                // SAFETY: the barrier ordered all slot-a writes before these reads.
+                let pw = unsafe { tree_sum_slots(&solver.slots_a) };
+                let alpha = rr / pw;
+                let rr_partial = kernels::cg_update(
+                    alpha,
+                    own_ref!(ops.p),
+                    own_ref!(ops.w),
+                    own_mut!(ops.x),
+                    own_mut!(ops.r),
+                );
+                unsafe { *solver.slots_b[tid].0.get() = rr_partial };
+                solver.barrier.wait();
+                // Phase C: same folded rr′ everywhere, p ← r + β·p on own
+                // rows; the scalar recurrence carries to the next iteration
+                // locally (the caller reads the final slots after completion).
+                let rr_new = unsafe { tree_sum_slots(&solver.slots_b) };
+                let beta = rr_new / rr;
+                kernels::xpby(own_ref!(ops.r), beta, own_mut!(ops.p));
+                rr = rr_new;
+            }
+        }
+        Command::PowerInit => {
+            // q ← v0/‖v0‖ (q lives in the p slab); zero the other slabs for
+            // first-touch placement.
+            let v0 = unsafe { std::slice::from_raw_parts(operands.x_ptr, operands.x_len) };
+            let v0_s = &v0[rows.start..rows.end];
+            own_mut!(ops.x).fill(0.0);
+            own_mut!(ops.r).fill(0.0);
+            own_mut!(ops.w).fill(0.0);
+            // SAFETY: slot writes before / tree reads after the barrier.
+            unsafe { *solver.slots_b[tid].0.get() = kernels::dot(v0_s, v0_s) };
+            solver.barrier.wait();
+            let inv = 1.0 / unsafe { tree_sum_slots(&solver.slots_b) }.sqrt();
+            kernels::scale_from(v0_s, inv, own_mut!(ops.p));
+        }
+        Command::PowerStep => {
+            // w ← A·q, Rayleigh partial q·w and norm partial w·w, then every
+            // worker derives the same normalizer and writes q ← w/‖w‖.
+            solver_apply(solver, sym_shared, tid, block, ops);
+            let (q_s, w_s) = (own_ref!(ops.p), own_ref!(ops.w));
+            // SAFETY: slot writes before / tree reads after the barrier; the
+            // caller reads slot a (λ) only after the completion barrier.
+            unsafe {
+                *solver.slots_a[tid].0.get() = kernels::dot(q_s, w_s);
+                *solver.slots_b[tid].0.get() = kernels::dot(w_s, w_s);
+            }
+            solver.barrier.wait();
+            let inv = 1.0 / unsafe { tree_sum_slots(&solver.slots_b) }.sqrt();
+            kernels::scale_from(own_ref!(ops.w), inv, own_mut!(ops.p));
+        }
+        _ => unreachable!("solver_epoch dispatched on a non-solver command"),
     }
 }
 

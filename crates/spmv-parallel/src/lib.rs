@@ -18,6 +18,11 @@
 //!   decisions, bound at construction), precomputed disjoint `y` slices, and no
 //!   per-call allocation. Build it with `SpmvEngine::tuned`, or from a saved
 //!   `TunePlan` profile with `SpmvEngine::from_plan`.
+//! * [`solver`] — fused in-engine iterative solvers ([`FusedCg`],
+//!   [`FusedPower`]): the whole CG / power-iteration step — SpMV, both dots,
+//!   the vector updates — under a **single** epoch over engine-resident,
+//!   first-touch-placed vector slabs, bit-identical to the serial
+//!   `spmv_core::solver` references.
 //! * [`executor`] — row-partitioned parallel SpMV drivers (scoped-thread and
 //!   pooled) over the same plan/prepared pipeline, plus the serial bit-identical
 //!   reference.
@@ -33,9 +38,11 @@ pub mod engine;
 pub mod executor;
 pub mod numa;
 pub mod pool;
+pub mod solver;
 
 pub use affinity::{AffinityPolicy, MemoryAffinity, ProcessAffinity};
 pub use engine::{EngineFootprint, SpmvEngine};
 pub use executor::{ParallelCsr, ParallelTuned};
 pub use numa::{NumaAwareMatrix, NumaTopology};
 pub use pool::ThreadPool;
+pub use solver::{FusedCg, FusedPower};

@@ -19,6 +19,9 @@
 //!   policy, then answers every request from the batched result. Because the
 //!   SpMM kernels are bit-identical per vector to the tuned SpMV path, clients
 //!   cannot observe whether their request was batched.
+//! * [`solver::SolverSession`] — stateful fused-CG solves bound to a served
+//!   matrix: resident vectors between `iterate(n)` batches, single-barrier
+//!   iteration epochs, and automatic hot-swap onto retuned plans mid-solve.
 //! * [`stats::ServeStats`] — per-request latency and aggregate GFLOP/s
 //!   accounting for the serve loop.
 //!
@@ -44,10 +47,12 @@
 
 pub mod batcher;
 pub mod registry;
+pub mod solver;
 pub mod stats;
 
 pub use batcher::{BatchPolicy, Batcher, Ticket};
 pub use registry::{MatrixRegistry, ServedMatrix};
+pub use solver::SolverSession;
 pub use spmv_core::tuning::autotune::{MatrixFingerprint, SearchBudget, TuneCache};
 pub use stats::{ServeReport, ServeStats};
 
@@ -70,6 +75,13 @@ pub enum ServeError {
     AlreadyRegistered(String),
     /// No matrix with this name is registered.
     UnknownMatrix(String),
+    /// A solver session was requested on a non-square matrix.
+    NotSquare {
+        /// Row count of the offending matrix.
+        nrows: usize,
+        /// Column count of the offending matrix.
+        ncols: usize,
+    },
     /// Building the tuned engine (or validating a plan) failed.
     Build(spmv_core::error::Error),
     /// Reading or writing a tune-plan profile failed.
@@ -90,6 +102,12 @@ impl fmt::Display for ServeError {
                 write!(f, "matrix '{name}' is already registered")
             }
             ServeError::UnknownMatrix(name) => write!(f, "no matrix named '{name}'"),
+            ServeError::NotSquare { nrows, ncols } => {
+                write!(
+                    f,
+                    "solver sessions need a square matrix, got {nrows}x{ncols}"
+                )
+            }
             ServeError::Build(e) => write!(f, "engine build failed: {e}"),
             ServeError::Profile(e) => write!(f, "tune-plan profile error: {e}"),
         }

@@ -149,6 +149,16 @@ impl ServedMatrix {
         self.retunes.load(Ordering::Relaxed)
     }
 
+    /// The shared matrix storage (for building session-private engines).
+    pub(crate) fn csr_arc(&self) -> &Arc<CsrMatrix> {
+        &self.csr
+    }
+
+    /// The affinity policy session-private engines must honour.
+    pub(crate) fn affinity_policy(&self) -> AffinityPolicy {
+        self.affinity
+    }
+
     /// The engine's footprint report (per-worker bytes + affinity policy).
     pub fn footprint(&self) -> EngineFootprint {
         self.engine.lock().unwrap().footprint()

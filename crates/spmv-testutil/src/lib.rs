@@ -514,6 +514,103 @@ pub fn assert_plan_snapshot(plan: &TunePlan, golden: &str, context: &str) {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Solver helpers (BLAS-1 references + SPD convergence checks)
+// ---------------------------------------------------------------------------
+
+/// Naive sequential dot product — the order-obvious reference the fused solver
+/// kernels (which use a fixed 4-lane schedule) are checked against within
+/// tolerance.
+pub fn reference_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of unequal-length vectors");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Naive `y += alpha * x` reference.
+pub fn reference_axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy of unequal-length vectors");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Naive Euclidean norm reference.
+pub fn reference_norm(x: &[f64]) -> f64 {
+    reference_dot(x, x).sqrt()
+}
+
+/// A symmetric positive-definite system with a *known* solution: random
+/// exactly-symmetric pattern shifted to strict diagonal dominance (hence SPD),
+/// paired with `x* = 1, 2, …, n` scaled to O(1) and `b = A·x*`. Deterministic
+/// in the seed.
+pub struct SpdSystem {
+    /// The SPD matrix `A`.
+    pub matrix: CsrMatrix,
+    /// The known solution `x*`.
+    pub solution: Vec<f64>,
+    /// The right-hand side `b = A·x*`.
+    pub rhs: Vec<f64>,
+}
+
+/// Build a deterministic SPD test system of order `n` (see [`SpdSystem`]).
+pub fn spd_system(n: usize, seed: u64) -> SpdSystem {
+    use spmv_core::SpMv;
+    assert!(n > 0, "SPD system needs at least one row");
+    let base = random_symmetric_csr(n, 3 * n, seed);
+    // Shift the diagonal beyond the largest absolute row sum: strict diagonal
+    // dominance with positive diagonal ⇒ symmetric positive definite.
+    let mut row_abs = vec![0.0f64; n];
+    for (r, _, v) in base.iter() {
+        row_abs[r] += v.abs();
+    }
+    let shift = row_abs.iter().fold(1.0f64, |m, s| m.max(*s)) + 1.0;
+    let mut coo = CooMatrix::new(n, n);
+    for (r, c, v) in base.iter() {
+        coo.push(r, c, v);
+    }
+    for i in 0..n {
+        coo.push(i, i, shift);
+    }
+    let matrix = CsrMatrix::from_coo(&coo);
+    let solution: Vec<f64> = (1..=n).map(|i| i as f64 / n as f64).collect();
+    let rhs = matrix.spmv_alloc(&solution);
+    SpdSystem {
+        matrix,
+        solution,
+        rhs,
+    }
+}
+
+impl SpdSystem {
+    /// The true residual norm `‖b − A·x‖₂` of a candidate iterate, recomputed
+    /// from scratch (no recurrence) so solver drift cannot hide.
+    pub fn residual_norm(&self, x: &[f64]) -> f64 {
+        use spmv_core::SpMv;
+        let ax = self.matrix.spmv_alloc(x);
+        let mut r = self.rhs.clone();
+        reference_axpy(-1.0, &ax, &mut r);
+        reference_norm(&r)
+    }
+
+    /// Max-abs error of a candidate iterate against the known solution.
+    pub fn solution_error(&self, x: &[f64]) -> f64 {
+        max_abs_diff(x, &self.solution)
+    }
+}
+
+/// Assert a solver's iterate actually solves the system: the recomputed true
+/// residual and the known-solution error must both be under `tol`.
+///
+/// # Panics
+///
+/// Panics (test failure) when either check is violated.
+pub fn assert_solved(system: &SpdSystem, x: &[f64], tol: f64, context: &str) {
+    let res = system.residual_norm(x);
+    assert!(res <= tol, "{context}: true residual {res:e} > {tol:e}");
+    let err = system.solution_error(x);
+    assert!(err <= tol, "{context}: solution error {err:e} > {tol:e}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,6 +714,48 @@ mod tests {
         );
         assert!(!same_accumulation_class(&sa, &general));
         assert_plans_equivalent(&sym, &sa, &general, "symmetric vs general");
+    }
+
+    #[test]
+    fn spd_system_is_spd_with_consistent_rhs() {
+        for seed in 0..4 {
+            let sys = spd_system(32, seed);
+            assert!(is_symmetric(&sys.matrix));
+            // Strict diagonal dominance with positive diagonal.
+            let mut diag = vec![0.0f64; 32];
+            let mut off = vec![0.0f64; 32];
+            for (r, c, v) in sys.matrix.iter() {
+                if r == c {
+                    diag[r] += v;
+                } else {
+                    off[r] += v.abs();
+                }
+            }
+            for i in 0..32 {
+                assert!(diag[i] > off[i], "row {i} not dominant (seed {seed})");
+            }
+            // The known solution really is a solution.
+            assert!(sys.residual_norm(&sys.solution) < 1e-12);
+            assert_eq!(sys.solution_error(&sys.solution), 0.0);
+            assert_solved(&sys, &sys.solution, 1e-12, "known solution");
+        }
+    }
+
+    #[test]
+    fn blas1_references_behave() {
+        let a = vec![1.0, -2.0, 3.0];
+        let b = vec![0.5, 4.0, -1.0];
+        assert_eq!(reference_dot(&a, &b), 1.0 * 0.5 - 2.0 * 4.0 - 3.0);
+        let mut y = b.clone();
+        reference_axpy(2.0, &a, &mut y);
+        assert_eq!(y, vec![2.5, 0.0, 5.0]);
+        assert_eq!(reference_norm(&[3.0, 4.0]), 5.0);
+        // The fused solver kernels must agree with the naive order within
+        // reassociation tolerance.
+        let x = test_x(257);
+        let z: Vec<f64> = x.iter().map(|v| v * 0.25 + 1.0).collect();
+        let fused = spmv_core::solver::kernels::dot(&x, &z);
+        assert!((fused - reference_dot(&x, &z)).abs() < 1e-9);
     }
 
     #[test]

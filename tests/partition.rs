@@ -1,0 +1,196 @@
+//! Property tests for the paper Section 4.3 partition descriptors the engine
+//! never exercises: column partitioning ([`ColumnPartition`]) and
+//! segmented-scan nonzero partitioning ([`SegmentedPartition`]).
+//!
+//! Properties checked over the fuzz corpus (rectangular, empty-row,
+//! single-row/column, and fully empty matrices) at part counts spanning
+//! 1 to well past the matrix dimensions:
+//!
+//! * **Disjoint cover** — the ranges/chunks tile the column space or nonzero
+//!   stream exactly, in order, with no gaps or overlaps.
+//! * **Balance bounds** — column parts carry at most `nnz/parts + heaviest
+//!   column + 1` nonzeros (splits are column-granular); nonzero chunks are
+//!   perfectly balanced to within one element by construction.
+//! * **Executor agreement** — the partitioned reference executors reproduce
+//!   the dense triplet product on every case.
+
+use spmv_core::formats::CscMatrix;
+use spmv_core::partition::column::{
+    column_partitioned_spmv, partition_columns_balanced, ColumnPartition,
+};
+use spmv_core::partition::segmented::{partition_nonzeros, segmented_spmv};
+use spmv_core::MatrixShape;
+use spmv_testutil::{cases, max_abs_diff, test_x};
+
+const PART_COUNTS: [usize; 6] = [1, 2, 3, 5, 16, 67];
+
+#[test]
+fn column_partition_disjoint_cover_and_nnz_conservation() {
+    for case in cases(30, 0xC01) {
+        let csc = CscMatrix::from_coo(&case.coo());
+        for parts in PART_COUNTS {
+            let p = partition_columns_balanced(&csc, parts);
+            assert_eq!(p.num_parts(), parts, "{}x{}", case.nrows, case.ncols);
+            assert!(
+                p.covers(case.ncols),
+                "cover failed: {}x{} parts={parts}",
+                case.nrows,
+                case.ncols
+            );
+            // Ranges are in order and within bounds (covers checks contiguity;
+            // this checks each range is well-formed).
+            for r in &p.ranges {
+                assert!(r.start <= r.end && r.end <= case.ncols);
+            }
+            let total: usize = p.nnz_per_part(&csc).iter().sum();
+            assert_eq!(total, csc.nnz(), "nnz not conserved");
+        }
+    }
+}
+
+#[test]
+fn column_partition_balance_bound() {
+    for case in cases(30, 0xC02) {
+        let csc = CscMatrix::from_coo(&case.coo());
+        let col_ptr = csc.col_ptr();
+        let heaviest = (0..case.ncols)
+            .map(|j| col_ptr[j + 1] - col_ptr[j])
+            .max()
+            .unwrap_or(0);
+        for parts in PART_COUNTS {
+            let p = partition_columns_balanced(&csc, parts);
+            let bound = csc.nnz() / parts + heaviest + 1;
+            for (i, load) in p.nnz_per_part(&csc).iter().enumerate() {
+                assert!(
+                    *load <= bound,
+                    "part {i} carries {load} nnz > bound {bound} \
+                     ({}x{} nnz={} parts={parts})",
+                    case.nrows,
+                    case.ncols,
+                    csc.nnz()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn column_partitioned_spmv_agrees_with_dense_reference() {
+    for case in cases(30, 0xC03) {
+        let csr = case.csr();
+        let csc = CscMatrix::from_coo(&case.coo());
+        let x = test_x(case.ncols);
+        let reference = case.dense_reference(&x);
+        for parts in PART_COUNTS {
+            let p = partition_columns_balanced(&csc, parts);
+            let y = column_partitioned_spmv(&csr, &csc, &p, &x);
+            assert!(
+                max_abs_diff(&reference, &y) < 1e-9,
+                "column-partitioned SpMV diverged ({}x{} parts={parts})",
+                case.nrows,
+                case.ncols
+            );
+        }
+    }
+}
+
+#[test]
+fn column_partition_degenerate_shapes() {
+    // Empty matrix: every range must be empty yet still tile 0..0 or 0..ncols.
+    let empty = ColumnPartition {
+        ranges: vec![0..0, 0..0],
+    };
+    assert!(empty.covers(0));
+    assert!(!empty.covers(1));
+    // Gap and overlap detection.
+    assert!(!ColumnPartition {
+        ranges: vec![0..2, 3..4]
+    }
+    .covers(4));
+    assert!(!ColumnPartition {
+        ranges: vec![0..3, 2..4]
+    }
+    .covers(4));
+    // Imbalance of an empty partition is the neutral 1.0.
+    let csc = CscMatrix::from_coo(&spmv_testutil::random_coo(3, 3, 0, 0));
+    let p = partition_columns_balanced(&csc, 4);
+    assert!(p.covers(3));
+    assert_eq!(p.imbalance(&csc), 1.0);
+}
+
+#[test]
+fn segmented_partition_tiles_and_balances_nonzeros() {
+    for case in cases(30, 0x5E1) {
+        let csr = case.csr();
+        let nnz = csr.nnz();
+        for parts in PART_COUNTS {
+            let p = partition_nonzeros(&csr, parts);
+            assert_eq!(p.num_parts(), parts);
+            assert!(
+                p.covers(nnz),
+                "chunks do not tile nnz ({}x{} nnz={nnz} parts={parts})",
+                case.nrows,
+                case.ncols
+            );
+            // Perfect balance by construction: sizes within one of nnz/parts.
+            for c in &p.chunks {
+                let lo = nnz / parts;
+                assert!(
+                    c.len() >= lo.saturating_sub(1) && c.len() <= lo + 1,
+                    "chunk {}..{} unbalanced (nnz={nnz} parts={parts})",
+                    c.nnz_start,
+                    c.nnz_end
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn segmented_partition_row_bookkeeping_is_exact() {
+    for case in cases(30, 0x5E2) {
+        let csr = case.csr();
+        let row_ptr = csr.row_ptr();
+        for parts in PART_COUNTS {
+            let p = partition_nonzeros(&csr, parts);
+            for c in &p.chunks {
+                if c.is_empty() {
+                    continue;
+                }
+                // first_row owns nnz_start, last_row owns nnz_end - 1.
+                assert!(
+                    row_ptr[c.first_row] <= c.nnz_start && c.nnz_start < row_ptr[c.first_row + 1],
+                    "first_row {} does not own nnz {}",
+                    c.first_row,
+                    c.nnz_start
+                );
+                assert!(
+                    row_ptr[c.last_row] < c.nnz_end && c.nnz_end - 1 < row_ptr[c.last_row + 1],
+                    "last_row {} does not own nnz {}",
+                    c.last_row,
+                    c.nnz_end - 1
+                );
+                assert!(c.first_row <= c.last_row);
+            }
+        }
+    }
+}
+
+#[test]
+fn segmented_spmv_agrees_with_dense_reference() {
+    for case in cases(30, 0x5E3) {
+        let csr = case.csr();
+        let x = test_x(case.ncols);
+        let reference = case.dense_reference(&x);
+        for parts in PART_COUNTS {
+            let p = partition_nonzeros(&csr, parts);
+            let y = segmented_spmv(&csr, &p, &x);
+            assert!(
+                max_abs_diff(&reference, &y) < 1e-9,
+                "segmented SpMV diverged ({}x{} parts={parts})",
+                case.nrows,
+                case.ncols
+            );
+        }
+    }
+}
