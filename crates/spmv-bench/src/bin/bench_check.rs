@@ -10,15 +10,19 @@
 //! dense-ish slice they must also not trail the scalar `bcsr-4x4` row beyond
 //! tolerance), the `batched-k{1,2,4,8}` multi-vector rows for every
 //! Table-3 suite matrix (serial, plus the engine rows at the swept thread
-//! count), one `serve-*` row per request-stream scenario, and the
+//! count), one `serve-*` row per request-stream scenario, the
 //! `solver-{fused-cg,unfused-cg,power}` rows for every symmetric suite matrix
-//! (fused CG must hold its iterations/s bar against the unfused baseline).
+//! (fused CG must hold its iterations/s bar against the unfused baseline),
+//! the `obs-parallel` paired instrumentation-overhead rows (profiled rate
+//! within tolerance of its own unprofiled baseline, bit-identical output),
+//! and a live `telemetry` metrics-snapshot header.
 //!
 //! ```text
 //! cargo run --release -p spmv-bench --bin bench_check [BENCH_spmv.json]
 //! ```
 
 use spmv_bench::json::Json;
+use spmv_bench::obs::{OBS_OVERHEAD_TOLERANCE, OBS_PARALLEL_VARIANT};
 use spmv_bench::perf::{
     harness_matrices, simd_gate_matrices, swept_thread_counts, sym_id, symmetric_harness_matrices,
     SEARCHED_PARALLEL_VARIANT, SEARCHED_SERIAL_VARIANT, SEARCH_TOLERANCE, SIMD_PARALLEL_VARIANT,
@@ -277,6 +281,71 @@ fn main() {
     }
     checked += 1;
 
+    // Observability-overhead rows: for every suite matrix and swept thread
+    // count, a paired profiling-on/off measurement whose instrumented rate
+    // holds within OBS_OVERHEAD_TOLERANCE of its own unprofiled baseline and
+    // whose outputs matched bit for bit — the "telemetry is free" gate.
+    for matrix in harness_matrices() {
+        let id = matrix.id();
+        for &threads in &thread_counts {
+            let row = results
+                .iter()
+                .find(|r| row_matches(r, id, OBS_PARALLEL_VARIANT, threads))
+                .unwrap_or_else(|| {
+                    fail(&format!(
+                        "{id}: missing {OBS_PARALLEL_VARIANT} row at {threads} threads"
+                    ))
+                });
+            let on = row.get("gflops").and_then(Json::as_f64).unwrap_or(0.0);
+            let off = row
+                .get("baseline_gflops")
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| {
+                    fail(&format!(
+                        "{id}: {OBS_PARALLEL_VARIANT} row lacks baseline_gflops"
+                    ))
+                });
+            if on < off * (1.0 - OBS_OVERHEAD_TOLERANCE) {
+                fail(&format!(
+                    "{id}: profiled engine at {on} GFLOP/s trails its unprofiled baseline at \
+                     {off} beyond {OBS_OVERHEAD_TOLERANCE} tolerance at {threads} threads"
+                ));
+            }
+            if row.get("bit_identical") != Some(&Json::Bool(true)) {
+                fail(&format!(
+                    "{id}: {OBS_PARALLEL_VARIANT} at {threads} threads is not bit-identical \
+                     to the unprofiled engine"
+                ));
+            }
+            checked += 1;
+        }
+    }
+
+    // The telemetry header: the artifact must embed the run's metrics
+    // snapshot, with live engine counters for at least one matrix.
+    let telemetry = doc
+        .get("telemetry")
+        .unwrap_or_else(|| fail("missing telemetry header"));
+    let counters = telemetry
+        .get("counters")
+        .unwrap_or_else(|| fail("telemetry header lacks counters"));
+    match counters {
+        Json::Obj(pairs) => {
+            if !pairs.iter().any(|(name, v)| {
+                name.starts_with("spmv_engine_epochs_total") && v.as_f64().unwrap_or(0.0) > 0.0
+            }) {
+                fail("telemetry header has no live spmv_engine_epochs_total counter");
+            }
+            for family in ["spmv_serve_requests_total", "spmv_solver_iterations_total"] {
+                if !pairs.iter().any(|(name, _)| name.starts_with(family)) {
+                    fail(&format!("telemetry header lacks the {family} family"));
+                }
+            }
+        }
+        _ => fail("telemetry counters is not an object"),
+    }
+    checked += 1;
+
     // Serve-scenario rows: one per replayed request stream, with traffic served.
     for scenario in SERVE_SCENARIOS {
         let variant = serve_variant(scenario);
@@ -293,9 +362,11 @@ fn main() {
 
     println!(
         "[bench_check] OK: {path} has all {checked} expected tuned/searched/simd/batched/sym/\
-         serve/solver rows (simd level: {doc_simd}), the searched rows hold the heuristic bar, \
-         and fused CG holds its bar against the unfused loop ({cleared}/{solver_total} clear \
-         {FUSED_SPEEDUP_BAR}x at {sthreads} threads; {} results total)",
+         serve/solver/obs rows (simd level: {doc_simd}), the searched rows hold the heuristic \
+         bar, fused CG holds its bar against the unfused loop ({cleared}/{solver_total} clear \
+         {FUSED_SPEEDUP_BAR}x at {sthreads} threads), the profiled engine holds the \
+         {OBS_OVERHEAD_TOLERANCE:.0e} overhead bar bit-identically, and the telemetry header \
+         is live ({} results total)",
         results.len()
     );
 }

@@ -11,8 +11,9 @@
 //!
 //! Thread count defaults to the host parallelism; override with `SPMV_BENCH_THREADS`.
 
+use spmv_bench::obs::{collect_telemetry, run_obs_ablation};
 use spmv_bench::perf::{
-    build_suite, build_symmetric_suite, harness_json_with_rows, run_harness_on,
+    build_suite, build_symmetric_suite, harness_json_with_telemetry, run_harness_on,
     run_symmetric_harness,
 };
 use spmv_bench::serve::{run_serve_scenarios, ReplayLoad};
@@ -69,7 +70,13 @@ fn main() {
         max_threads,
         budget_ms,
     ));
-    let doc = harness_json_with_rows(scale, max_threads, &results, extra_rows);
+    // The observability ablation: paired profiling-on/off rows proving the
+    // engine telemetry stays within tolerance and bit-identical.
+    extra_rows.extend(run_obs_ablation(&matrices, max_threads, budget_ms));
+    // The run's own metrics snapshot, embedded as the artifact's telemetry
+    // header (also the snapshot JSON round-trip, exercised on every run).
+    let telemetry = collect_telemetry(&matrices, max_threads);
+    let doc = harness_json_with_telemetry(scale, max_threads, &results, extra_rows, telemetry);
     std::fs::write(&output, doc.pretty()).expect("write benchmark artifact");
 
     // Human-readable recap: the best configuration per matrix.

@@ -19,12 +19,14 @@
 //! construction), [`format`] (plain-text table rendering), [`perf`] (the native
 //! perf harness behind the `spmv_bench` binary and `BENCH_spmv.json`),
 //! [`serve`] (batched-apply rows and the request-stream replay behind the
-//! `serve_bench` binary) and [`json`] (the dependency-free JSON writer for
-//! benchmark artifacts).
+//! `serve_bench` binary), [`obs`] (the instrumentation-overhead ablation and
+//! the artifact's telemetry header) and [`json`] (the dependency-free JSON
+//! writer for benchmark artifacts).
 
 pub mod experiments;
 pub mod format;
 pub mod json;
+pub mod obs;
 pub mod perf;
 pub mod serve;
 pub mod solver;

@@ -17,7 +17,6 @@ use spmv_core::tuning::TuningConfig;
 use spmv_core::{MatrixShape, SpMv, FLOPS_PER_NNZ};
 use spmv_matrices::suite::{Scale, SuiteMatrix};
 use spmv_parallel::SpmvEngine;
-use std::time::Instant;
 
 /// Variant label of the fully tuned persistent engine rows (two-phase
 /// `TunePlan` → `PreparedBlock` pipeline, every scalar optimization on; the
@@ -140,20 +139,10 @@ fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
 }
 
-/// Time `f` adaptively: calibrate the iteration count so the timed region lasts at
-/// least `budget_ms`, then return (seconds, iterations).
-pub fn time_adaptive(budget_ms: u64, mut f: impl FnMut()) -> (f64, usize) {
-    // Calibration: run once, then scale.
-    let t0 = Instant::now();
-    f();
-    let once = t0.elapsed().as_secs_f64().max(1e-9);
-    let iters = ((budget_ms as f64 / 1e3) / once).ceil().max(1.0) as usize;
-    let t1 = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    (t1.elapsed().as_secs_f64().max(1e-12), iters)
-}
+/// The budgeted rate estimator every throughput row uses — re-homed to
+/// [`spmv_obs::timing`] so the tuner, the solver rows, and this harness share
+/// one measurement primitive.
+pub use spmv_obs::timing::time_adaptive;
 
 fn gflops(nnz: usize, secs: f64, iters: usize) -> f64 {
     (FLOPS_PER_NNZ * nnz * iters) as f64 / secs / 1e9
@@ -776,6 +765,29 @@ pub fn harness_json_with_rows(
         ),
         ("results", Json::Arr(rows)),
     ])
+}
+
+/// [`harness_json_with_rows`] with the run's metrics snapshot embedded as the
+/// document's `telemetry` header field, just before `results` (see
+/// [`crate::obs::collect_telemetry`]).
+pub fn harness_json_with_telemetry(
+    scale: Scale,
+    max_threads: usize,
+    results: &[PerfResult],
+    extra_rows: Vec<Json>,
+    telemetry: Json,
+) -> Json {
+    match harness_json_with_rows(scale, max_threads, results, extra_rows) {
+        Json::Obj(mut pairs) => {
+            let at = pairs
+                .iter()
+                .position(|(k, _)| k == "results")
+                .unwrap_or(pairs.len());
+            pairs.insert(at, ("telemetry".to_string(), telemetry));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
 }
 
 #[cfg(test)]

@@ -156,9 +156,15 @@ fn replay_scenario(
         max_batch: 8,
         max_wait: Duration::from_micros(500),
     };
+    // Isolated stats: the registry's shared per-matrix ServeStats accumulate
+    // across scenarios, but each row must report exactly one replay window.
     let batchers: Vec<Arc<Batcher>> = matrices
         .iter()
-        .map(|(_, served)| Arc::new(Batcher::spawn(Arc::clone(served), policy)))
+        .map(|(_, served)| {
+            let mut batcher = Batcher::isolated(Arc::clone(served), policy);
+            batcher.start_service();
+            Arc::new(batcher)
+        })
         .collect();
 
     let t0 = Instant::now();

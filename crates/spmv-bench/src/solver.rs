@@ -30,7 +30,7 @@
 //! [`ServedMatrix::spmv_now`]: spmv_serve::ServedMatrix::spmv_now
 
 use crate::json::Json;
-use crate::perf::{sym_id, time_adaptive};
+use crate::perf::sym_id;
 use spmv_core::dense::{axpy, dot};
 use spmv_core::formats::{CooMatrix, CsrMatrix};
 use spmv_core::tuning::plan::TunePlan;
@@ -120,20 +120,8 @@ pub fn build_solver_suite(scale: Scale) -> Vec<(String, CsrMatrix)> {
 /// CI hard, and a single scheduling blip inside one short timing window is
 /// enough to flip a ratio — best-of-N with a floor budget is the standard
 /// cure (the floor also keeps tiny CI budgets meaningful).
-fn best_rate(budget_ms: u64, mut f: impl FnMut()) -> (f64, usize) {
-    let budget = budget_ms.max(30);
-    let mut best: Option<(f64, usize)> = None;
-    for _ in 0..5 {
-        let (secs, iters) = time_adaptive(budget, &mut f);
-        let better = match best {
-            Some((bs, bi)) => (iters as f64 / secs) > (bi as f64 / bs),
-            None => true,
-        };
-        if better {
-            best = Some((secs, iters));
-        }
-    }
-    best.expect("at least one repetition ran")
+fn best_rate(budget_ms: u64, f: impl FnMut()) -> (f64, usize) {
+    spmv_obs::timing::best_of(5, budget_ms.max(30), f)
 }
 
 /// Deterministic solver right-hand side / start vector.

@@ -616,6 +616,7 @@ pub struct TuneCache {
     hits: AtomicU64,
     misses: AtomicU64,
     searches: AtomicU64,
+    search_ns: AtomicU64,
 }
 
 impl TuneCache {
@@ -636,6 +637,7 @@ impl TuneCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             searches: AtomicU64::new(0),
+            search_ns: AtomicU64::new(0),
         })
     }
 
@@ -697,6 +699,14 @@ impl TuneCache {
     /// cache-hit tests assert on: a warm hit must not increment it).
     pub fn search_count(&self) -> u64 {
         self.searches.load(Ordering::Relaxed)
+    }
+
+    /// Total wall nanoseconds spent inside measured searches (the
+    /// search-duration half of the cache's telemetry: together with
+    /// [`TuneCache::search_count`] it yields mean search cost, and a warm
+    /// cache proves itself by this number staying flat).
+    pub fn search_nanos(&self) -> u64 {
+        self.search_ns.load(Ordering::Relaxed)
     }
 
     /// Persist `plan` as the winner for `(fp, nthreads, config)` on this
@@ -794,10 +804,12 @@ impl TuneCache {
         match self.load_entry(fp, nthreads, config) {
             Ok(Some(plan)) if plan.validate_for(csr).is_ok() => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                spmv_obs::trace::trace(spmv_obs::TraceKind::TuneHit, fp.hash, 0);
                 Some(plan)
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                spmv_obs::trace::trace(spmv_obs::TraceKind::TuneMiss, fp.hash, 0);
                 None
             }
         }
@@ -834,7 +846,11 @@ impl TuneCache {
             });
         }
         self.searches.fetch_add(1, Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
         let outcome = autotune_timed(csr, nthreads, config, budget, eval_ms);
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        self.search_ns.fetch_add(elapsed, Ordering::Relaxed);
+        spmv_obs::trace::trace(spmv_obs::TraceKind::TuneSearch, elapsed, 0);
         self.store(&fp, nthreads, config, &outcome.plan)?;
         Ok(outcome)
     }

@@ -116,15 +116,12 @@ impl DenseProfile {
     }
 }
 
-/// Run `time_once` `runs` times and return the median elapsed seconds — the
-/// reps-stable estimator every measured search in this crate uses (the OSKI
-/// dense profile, the timed shape search, and the whole-plan autotuner) so a
-/// single preempted run cannot flip a decision.
-pub fn median_timing(runs: usize, mut time_once: impl FnMut() -> f64) -> f64 {
-    let mut samples: Vec<f64> = (0..runs.max(1)).map(|_| time_once()).collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
-    samples[samples.len() / 2]
-}
+/// The reps-stable estimator every measured search in this crate uses (the
+/// OSKI dense profile, the timed shape search, and the whole-plan autotuner)
+/// so a single preempted run cannot flip a decision. Re-exported from the
+/// shared measurement primitive in `spmv-obs`, which the bench harness and
+/// solver gates use too.
+pub use spmv_obs::timing::median_timing;
 
 /// OSKI's heuristic: pick the shape minimizing `fill_ratio / dense_throughput`,
 /// i.e. the predicted time per logical nonzero.

@@ -1,0 +1,377 @@
+//! Lock-free metric primitives: counters, gauges and log-bucketed histograms.
+//!
+//! All types here are built on relaxed atomics. Recording never allocates and
+//! never takes a lock, so the engine's per-epoch hot path and the batcher's
+//! submit path can record without perturbing what they measure. Aggregation
+//! (quantiles, means) happens only at snapshot time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depth, resident bytes, ...).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (e.g. bytes registered).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for exact zero plus one per power of two.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Bucket 0 counts exact zeros; bucket `b >= 1` counts values in
+/// `[2^(b-1), 2^b)`; the last bucket saturates and also absorbs everything
+/// from `2^62` up to `u64::MAX`. Recording is a `leading_zeros`, two relaxed
+/// `fetch_add`s and two relaxed min/max updates — no locks, no allocation.
+/// Quantiles are estimated at snapshot time as the upper bound of the bucket
+/// containing the requested rank, clamped to the observed max, which is the
+/// usual fixed-bucket trade: cheap and bounded error (at most 2x per bucket).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a sample.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket, used as the quantile estimate.
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating sum, optimistically: one fetch_add, repaired to the
+        // ceiling on the (pathological) overflow instead of a CAS loop on
+        // every sample — this sits on the engine's per-epoch hot path.
+        let prev = self.sum.fetch_add(v, Ordering::Relaxed);
+        if prev.checked_add(v).is_none() {
+            self.sum.store(u64::MAX, Ordering::Relaxed);
+        }
+        // min/max RMWs are CAS loops on x86; once the extremes settle these
+        // are plain loads.
+        if v < self.min.load(Ordering::Relaxed) {
+            self.min.fetch_min(v, Ordering::Relaxed);
+        }
+        if v > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of all buckets and aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest recorded sample (0 when empty).
+    pub min: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+    /// Per-bucket sample counts (see [`Histogram`] for the bucket layout).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th sample, clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The non-empty buckets as `(inclusive upper bound, count)` pairs —
+    /// the compact form both exporters render.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (bucket_upper(b), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "gauge subtraction saturates at zero");
+    }
+
+    #[test]
+    fn histogram_zero_goes_to_bucket_zero() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+    }
+
+    #[test]
+    fn histogram_saturates_at_max() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[HIST_BUCKETS - 1], 2);
+        assert_eq!(s.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let h = Histogram::new();
+        // 1 lands in bucket 1 ([1,1]), 2 and 3 in bucket 2 ([2,3]), 4 in bucket 3.
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_max() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1000);
+        let s = h.snapshot();
+        assert!(
+            s.p50() >= 100 && s.p50() <= 127,
+            "p50 {} in bucket of 100",
+            s.p50()
+        );
+        assert_eq!(
+            s.quantile(1.0),
+            1000,
+            "top quantile clamps to the observed max, not the bucket bound"
+        );
+    }
+
+    #[test]
+    fn concurrent_counter_and_histogram_updates() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let c = Arc::new(Counter::new());
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.record(t as u64 * PER_THREAD + i);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+        let s = h.snapshot();
+        assert_eq!(s.count, THREADS as u64 * PER_THREAD);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+}

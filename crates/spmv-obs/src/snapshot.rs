@@ -1,0 +1,203 @@
+//! A serialization-neutral export model for metric snapshots.
+//!
+//! Layers that own live metrics fold them into a [`MetricsSnapshot`] — plain
+//! name/value lists — which then renders either as Prometheus-style text
+//! (`MetricsSnapshot::to_prometheus`) or as a minimal JSON object
+//! (`MetricsSnapshot::to_json`). Metric names carry their labels inline
+//! (e.g. `spmv_engine_epochs_total{matrix="web"}`), so this model needs no
+//! label schema of its own and round-trips losslessly.
+
+use crate::metrics::HistogramSnapshot;
+
+/// A point-in-time set of named metrics, ready for export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Instantaneous gauges, `(name, value)`.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, `(name, snapshot)`.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a counter.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Append a gauge.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.gauges.push((name.into(), value));
+    }
+
+    /// Append a histogram.
+    pub fn histogram(&mut self, name: impl Into<String>, snap: HistogramSnapshot) {
+        self.histograms.push((name.into(), snap));
+    }
+
+    /// Merge another snapshot's metrics into this one.
+    pub fn extend(&mut self, other: MetricsSnapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+    }
+
+    /// Prometheus-style text rendering: one `name value` line per counter and
+    /// gauge, and summary-style `_count`/`_sum`/`{quantile=...}` lines per
+    /// histogram. Labels already embedded in a name are spliced so quantile
+    /// labels land inside the existing brace set.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("{} {}\n", suffixed(name, "_count"), h.count));
+            out.push_str(&format!("{} {}\n", suffixed(name, "_sum"), h.sum));
+            for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+                out.push_str(&format!(
+                    "{} {v}\n",
+                    labeled(name, &format!("quantile=\"{q}\""))
+                ));
+            }
+        }
+        out
+    }
+
+    /// Minimal JSON rendering (object with `counters`, `gauges` and
+    /// `histograms` sub-objects). Histograms serialize their aggregates,
+    /// estimated quantiles and the non-empty `(upper_bound, count)` buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_pairs(
+            &mut out,
+            self.counters.iter().map(|(n, v)| (n, v.to_string())),
+        );
+        out.push_str("},\"gauges\":{");
+        push_pairs(&mut out, self.gauges.iter().map(|(n, v)| (n, fmt_f64(*v))));
+        out.push_str("},\"histograms\":{");
+        push_pairs(
+            &mut out,
+            self.histograms.iter().map(|(n, h)| (n, hist_json(h))),
+        );
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Insert `suffix` before any `{...}` label set in `name`.
+fn suffixed(name: &str, suffix: &str) -> String {
+    match name.find('{') {
+        Some(i) => format!("{}{}{}", &name[..i], suffix, &name[i..]),
+        None => format!("{name}{suffix}"),
+    }
+}
+
+/// Add `label` to `name`'s label set, creating one if absent.
+fn labeled(name: &str, label: &str) -> String {
+    match name.rfind('}') {
+        Some(i) => format!("{},{}{}", &name[..i], label, &name[i..]),
+        None => format!("{name}{{{label}}}"),
+    }
+}
+
+fn hist_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .iter()
+        .map(|(ub, n)| format!("[{ub},{n}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        buckets.join(",")
+    )
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Trim to a stable short form; integers print without a fraction.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+fn push_pairs<'a>(out: &mut String, pairs: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (name, value) in pairs {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        for c in name.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\":");
+        out.push_str(&value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn prometheus_rendering_shapes() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(1000);
+        let mut snap = MetricsSnapshot::new();
+        snap.counter("spmv_epochs_total{matrix=\"a\"}", 7);
+        snap.gauge("spmv_resident_bytes", 1024.0);
+        snap.histogram("spmv_latency_ns{matrix=\"a\"}", h.snapshot());
+        let text = snap.to_prometheus();
+        assert!(text.contains("spmv_epochs_total{matrix=\"a\"} 7"));
+        assert!(text.contains("spmv_resident_bytes 1024"));
+        assert!(text.contains("spmv_latency_ns_count{matrix=\"a\"} 2"));
+        assert!(text.contains("spmv_latency_ns_sum{matrix=\"a\"} 1010"));
+        assert!(text.contains("spmv_latency_ns{matrix=\"a\",quantile=\"0.5\"}"));
+        // Unlabeled histograms get a fresh label set for quantiles.
+        let mut plain = MetricsSnapshot::new();
+        plain.histogram("h", Histogram::new().snapshot());
+        assert!(plain.to_prometheus().contains("h{quantile=\"0.5\"} 0"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let mut snap = MetricsSnapshot::new();
+        snap.counter("a{l=\"x\"}", 1);
+        snap.gauge("g", 1.5);
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a{l=\\\"x\\\"}\":1"));
+        assert!(json.contains("\"g\":1.5"));
+        assert!(json.contains("\"histograms\":{}"));
+    }
+}

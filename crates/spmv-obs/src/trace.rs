@@ -1,0 +1,254 @@
+//! An env-gated, lock-free ring-buffer event trace.
+//!
+//! Set `SPMV_TRACE=1` (or `SPMV_TRACE=<capacity>`) to arm the global ring;
+//! unset (the default) every [`trace`] call is a single relaxed load and a
+//! branch. Events are fixed-size — a timestamp, a [`TraceKind`] and two
+//! payload words — so emission never allocates and never blocks: writers
+//! claim a slot with one `fetch_add` and publish it with a release store of
+//! the slot's sequence number. The ring keeps the most recent `capacity`
+//! events; readers detect and drop slots that were overwritten mid-read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// What happened. Kinds are defined centrally so events stay fixed-size;
+/// the two payload words are kind-specific (documented per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// An engine epoch completed: `a` = command discriminant, `b` = wall ns.
+    EngineEpoch = 0,
+    /// A tuned engine was hot-swapped: `a` = nnz, `b` = threads.
+    EngineSwap = 1,
+    /// Tune-cache hit: `a` = fingerprint low bits.
+    TuneHit = 2,
+    /// Tune-cache miss: `a` = fingerprint low bits.
+    TuneMiss = 3,
+    /// A plan search ran: `a` = search ns.
+    TuneSearch = 4,
+    /// A batch executed: `a` = batch width k, `b` = exec ns.
+    BatchExec = 5,
+    /// A served matrix was retuned: `a` = retune count.
+    Retune = 6,
+    /// A solver session ran an iterate batch: `a` = iterations, `b` = rr bits.
+    SolverIterate = 7,
+    /// A solver session resynced onto a swapped engine: `a` = resync count.
+    SolverResync = 8,
+}
+
+impl TraceKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::EngineEpoch => "engine.epoch",
+            TraceKind::EngineSwap => "engine.swap",
+            TraceKind::TuneHit => "tune.hit",
+            TraceKind::TuneMiss => "tune.miss",
+            TraceKind::TuneSearch => "tune.search",
+            TraceKind::BatchExec => "batch.exec",
+            TraceKind::Retune => "serve.retune",
+            TraceKind::SolverIterate => "solver.iterate",
+            TraceKind::SolverResync => "solver.resync",
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<TraceKind> {
+        Some(match v {
+            0 => TraceKind::EngineEpoch,
+            1 => TraceKind::EngineSwap,
+            2 => TraceKind::TuneHit,
+            3 => TraceKind::TuneMiss,
+            4 => TraceKind::TuneSearch,
+            5 => TraceKind::BatchExec,
+            6 => TraceKind::Retune,
+            7 => TraceKind::SolverIterate,
+            8 => TraceKind::SolverResync,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the ring was created.
+    pub t_ns: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// First payload word (kind-specific).
+    pub a: u64,
+    /// Second payload word (kind-specific).
+    pub b: u64,
+}
+
+struct Slot {
+    // Sequence protocol: 0 = never written; otherwise `index + 1` of the
+    // event the slot currently holds. Written last with Release so a reader
+    // that observes it sees the fields of exactly that event (re-checked
+    // after reading to reject mid-overwrite tears).
+    seq: AtomicU64,
+    t_ns: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// A fixed-capacity, lock-free, most-recent-wins event ring.
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    origin: Instant,
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `capacity` events (min 16).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(16);
+        TraceRing {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    t_ns: AtomicU64::new(0),
+                    kind: AtomicU64::new(0),
+                    a: AtomicU64::new(0),
+                    b: AtomicU64::new(0),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            origin: Instant::now(),
+        }
+    }
+
+    /// Record one event. Lock-free and allocation-free.
+    pub fn push(&self, kind: TraceKind, a: u64, b: u64) {
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(idx % self.slots.len() as u64) as usize];
+        let t_ns = self.origin.elapsed().as_nanos() as u64;
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(idx + 1, Ordering::Release);
+    }
+
+    /// Total events ever pushed (may exceed capacity).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first. Slots overwritten while being read
+    /// are skipped rather than returned torn.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::new();
+        for idx in start..head {
+            let slot = &self.slots[(idx % cap) as usize];
+            if slot.seq.load(Ordering::Acquire) != idx + 1 {
+                continue;
+            }
+            let ev = TraceEvent {
+                t_ns: slot.t_ns.load(Ordering::Relaxed),
+                kind: match TraceKind::from_u64(slot.kind.load(Ordering::Relaxed)) {
+                    Some(k) => k,
+                    None => continue,
+                },
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+            };
+            // Reject events overwritten between the two seq reads.
+            if slot.seq.load(Ordering::Acquire) == idx + 1 {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+static GLOBAL: OnceLock<Option<TraceRing>> = OnceLock::new();
+
+fn global() -> &'static Option<TraceRing> {
+    GLOBAL.get_or_init(|| {
+        let raw = std::env::var("SPMV_TRACE").unwrap_or_default();
+        let val = raw.trim();
+        if val.is_empty() || val == "0" || val.eq_ignore_ascii_case("off") {
+            None
+        } else {
+            let capacity = val.parse::<usize>().ok().filter(|&n| n > 1).unwrap_or(8192);
+            Some(TraceRing::with_capacity(capacity))
+        }
+    })
+}
+
+/// Whether the global trace ring is armed (`SPMV_TRACE` set and non-zero).
+#[inline]
+pub fn enabled() -> bool {
+    global().is_some()
+}
+
+/// Record an event in the global ring; no-op when tracing is disabled.
+#[inline]
+pub fn trace(kind: TraceKind, a: u64, b: u64) {
+    if let Some(ring) = global() {
+        ring.push(kind, a, b);
+    }
+}
+
+/// The retained global events (empty when tracing is disabled).
+pub fn snapshot() -> Vec<TraceEvent> {
+    global()
+        .as_ref()
+        .map(TraceRing::snapshot)
+        .unwrap_or_default()
+}
+
+/// Total events pushed to the global ring (0 when disabled).
+pub fn pushed() -> u64 {
+    global().as_ref().map(TraceRing::pushed).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_retains_most_recent_events() {
+        let ring = TraceRing::with_capacity(16);
+        for i in 0..40u64 {
+            ring.push(TraceKind::EngineEpoch, i, 0);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 16);
+        assert_eq!(events.first().unwrap().a, 24, "oldest retained event");
+        assert_eq!(events.last().unwrap().a, 39, "newest event");
+        assert_eq!(ring.pushed(), 40);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear() {
+        let ring = Arc::new(TraceRing::with_capacity(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        ring.push(TraceKind::BatchExec, t, i);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 40_000);
+        let events = ring.snapshot();
+        assert!(events.len() <= 64);
+        for ev in events {
+            assert_eq!(ev.kind, TraceKind::BatchExec);
+            assert!(ev.a < 4 && ev.b < 10_000);
+        }
+    }
+}

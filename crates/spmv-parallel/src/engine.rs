@@ -58,9 +58,12 @@ use spmv_core::tuning::plan::{ThreadPlan, TunePlan};
 use spmv_core::tuning::prepared::PreparedBlock;
 use spmv_core::tuning::TuningConfig;
 use spmv_core::MatrixShape;
+use spmv_obs::{Histogram, HistogramSnapshot, TraceKind};
 use std::ops::Range;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// The per-iteration operand block: raw views of `x` and `y` published by the
 /// caller before the epoch bump. Workers read it only between the launch barrier
@@ -338,7 +341,19 @@ struct Shared {
     sym: Option<SymShared>,
     /// Partial-dot slots + phase barrier for the fused solver epochs.
     solver: SolverShared,
+    /// Per-worker kernel nanoseconds of the most recent epoch, cache-line
+    /// padded so a worker's store never bounces another worker's line. Written
+    /// by each worker before its completion check-in (the done mutex orders the
+    /// relaxed stores before the caller's read), read and folded caller-side.
+    prof: Vec<ProfSlot>,
+    /// Whether workers take per-epoch timestamps; off, an epoch pays a single
+    /// relaxed load.
+    profiling: AtomicBool,
 }
+
+/// One worker's last-epoch kernel time, padded to a cache line.
+#[repr(align(64))]
+struct ProfSlot(AtomicU64);
 
 /// What a worker materializes during construction (on its own thread, for
 /// first-touch placement).
@@ -386,6 +401,120 @@ pub struct EngineFootprint {
     pub fully_local: bool,
 }
 
+/// One worker's share of the profiled work: its nonzeros and its cumulative
+/// kernel and barrier-wait time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerProfile {
+    /// Logical nonzeros of the worker's thread block.
+    pub nnz: usize,
+    /// Cumulative nanoseconds this worker spent computing epochs (for solver
+    /// and symmetric epochs this includes the in-epoch reduction rounds).
+    pub kernel_ns: u64,
+    /// Cumulative nanoseconds this worker spent finished-but-waiting for the
+    /// slowest worker of each epoch — the per-epoch load imbalance, measured
+    /// as `max_over_workers(kernel) - own kernel` and summed across epochs.
+    pub barrier_ns: u64,
+}
+
+/// The engine's runtime telemetry report, the companion of
+/// [`EngineFootprint`]: where the epochs' cycles went, per worker.
+///
+/// Per-epoch worker kernel times are taken by the workers themselves
+/// (two monotonic-clock reads per worker per epoch, ~50ns, off unless
+/// profiling is enabled — see [`SpmvEngine::set_profiling`]); the caller folds
+/// them after each completion barrier, so reading the profile never touches
+/// the workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineProfile {
+    /// Total completed epochs (all commands).
+    pub epochs: u64,
+    /// Epochs that ran [`SpmvEngine::spmv`].
+    pub spmv_epochs: u64,
+    /// Epochs that ran [`SpmvEngine::spmm`].
+    pub spmm_epochs: u64,
+    /// Fused-solver epochs (CG/power init, step batches and state loads).
+    pub solver_epochs: u64,
+    /// Per-worker nonzeros and cumulative kernel/barrier-wait time.
+    pub workers: Vec<WorkerProfile>,
+    /// Histogram of whole-epoch wall nanoseconds (launch to completion), as
+    /// observed by the calling thread.
+    pub epoch_ns: HistogramSnapshot,
+}
+
+impl EngineProfile {
+    /// Sum of all workers' kernel nanoseconds.
+    pub fn kernel_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.kernel_ns).sum()
+    }
+
+    /// Sum of all workers' barrier-wait nanoseconds.
+    pub fn barrier_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.barrier_ns).sum()
+    }
+
+    /// Time imbalance: the slowest worker's cumulative kernel time over the
+    /// mean (1.0 = perfectly balanced, 0.0 before any profiled epoch).
+    pub fn time_imbalance(&self) -> f64 {
+        let total: u64 = self.kernel_ns();
+        if total == 0 || self.workers.is_empty() {
+            return 0.0;
+        }
+        let max = self.workers.iter().map(|w| w.kernel_ns).max().unwrap_or(0);
+        max as f64 * self.workers.len() as f64 / total as f64
+    }
+
+    /// Structural imbalance: the largest thread block's nonzeros over the mean
+    /// (what the balanced row partitioner minimized at construction).
+    pub fn nnz_imbalance(&self) -> f64 {
+        let total: usize = self.workers.iter().map(|w| w.nnz).sum();
+        if total == 0 || self.workers.is_empty() {
+            return 0.0;
+        }
+        let max = self.workers.iter().map(|w| w.nnz).max().unwrap_or(0);
+        max as f64 * self.workers.len() as f64 / total as f64
+    }
+}
+
+/// Caller-side epoch telemetry accumulators (plain fields: every entry point
+/// takes `&mut self`, and the completion barrier already ordered the workers'
+/// slot writes before the fold).
+struct EngineTelemetry {
+    enabled: bool,
+    epochs: u64,
+    spmv_epochs: u64,
+    spmm_epochs: u64,
+    solver_epochs: u64,
+    worker_kernel_ns: Vec<u64>,
+    worker_barrier_ns: Vec<u64>,
+    epoch_hist: Histogram,
+}
+
+impl EngineTelemetry {
+    fn new(nworkers: usize, enabled: bool) -> Self {
+        EngineTelemetry {
+            enabled,
+            epochs: 0,
+            spmv_epochs: 0,
+            spmm_epochs: 0,
+            solver_epochs: 0,
+            worker_kernel_ns: vec![0; nworkers],
+            worker_barrier_ns: vec![0; nworkers],
+            epoch_hist: Histogram::new(),
+        }
+    }
+}
+
+/// Whether engines profile by default: yes, unless `SPMV_PROF=off` (or `0`).
+/// The overhead ablation in `spmv-bench` measures exactly this toggle.
+fn profiling_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let raw = std::env::var("SPMV_PROF").unwrap_or_default();
+        let val = raw.trim();
+        !(val == "0" || val.eq_ignore_ascii_case("off"))
+    })
+}
+
 /// A persistent, NUMA-placed, fully-tuned parallel SpMV engine for one matrix.
 pub struct SpmvEngine {
     nrows: usize,
@@ -405,6 +534,10 @@ pub struct SpmvEngine {
     epoch: u64,
     /// Resident solver slabs, allocated on first solver use (`None` until then).
     solver: Option<Box<SolverVectors>>,
+    /// Per-worker nonzeros (the balanced partition's actual split).
+    per_worker_nnz: Vec<usize>,
+    /// Caller-side epoch telemetry (see [`SpmvEngine::profile`]).
+    telemetry: EngineTelemetry,
 }
 
 impl SpmvEngine {
@@ -516,6 +649,13 @@ impl SpmvEngine {
         symmetric: bool,
     ) -> Result<Self> {
         let nworkers = specs.len();
+        let per_worker_nnz: Vec<usize> = specs
+            .iter()
+            .map(|spec| match spec {
+                BlockSpec::Plain { slice, .. } => slice.nnz(),
+                BlockSpec::Planned { slice, .. } => slice.nnz(),
+            })
+            .collect();
         let shared = Arc::new(Shared {
             launch: Mutex::new(Launch {
                 epoch: 0,
@@ -546,6 +686,8 @@ impl SpmvEngine {
                     .collect(),
                 barrier: RoundBarrier::new(nworkers),
             },
+            prof: (0..nworkers).map(|_| ProfSlot(AtomicU64::new(0))).collect(),
+            profiling: AtomicBool::new(profiling_default()),
         });
 
         let mut workers = Vec::with_capacity(nworkers);
@@ -584,6 +726,8 @@ impl SpmvEngine {
             workers,
             epoch: 0,
             solver: None,
+            per_worker_nnz,
+            telemetry: EngineTelemetry::new(nworkers, profiling_default()),
         };
         if failed > 0 {
             // Dropping joins the surviving workers; the failed ones already exited.
@@ -669,6 +813,7 @@ impl SpmvEngine {
             None => SolverOps::EMPTY,
         };
         self.epoch += 1;
+        let t0 = self.telemetry.enabled.then(Instant::now);
         {
             let mut launch = self.shared.launch.lock().unwrap();
             launch.epoch = self.epoch;
@@ -677,9 +822,83 @@ impl SpmvEngine {
             launch.solver = solver;
             self.shared.launch_cv.notify_all();
         }
-        let mut done = self.shared.done.lock().unwrap();
-        while !(done.epoch == self.epoch && done.count == self.workers.len()) {
-            done = self.shared.done_cv.wait(done).unwrap();
+        {
+            let mut done = self.shared.done.lock().unwrap();
+            while !(done.epoch == self.epoch && done.count == self.workers.len()) {
+                done = self.shared.done_cv.wait(done).unwrap();
+            }
+        }
+        if let Some(t0) = t0 {
+            self.observe_epoch(command, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Fold the finished epoch into the telemetry accumulators: per-worker
+    /// kernel time from the profiling slots, barrier wait as the gap to the
+    /// epoch's slowest worker, and the whole-epoch wall time histogram.
+    fn observe_epoch(&mut self, command: Command, wall_ns: u64) {
+        let t = &mut self.telemetry;
+        t.epochs += 1;
+        let cmd_code: u64 = match command {
+            Command::Spmv => {
+                t.spmv_epochs += 1;
+                0
+            }
+            Command::Spmm => {
+                t.spmm_epochs += 1;
+                1
+            }
+            _ => {
+                t.solver_epochs += 1;
+                2
+            }
+        };
+        // The completion barrier ordered every worker's slot store before this
+        // read, and no epoch runs concurrently with the fold (`&mut self`).
+        let mut max = 0u64;
+        for (i, slot) in self.shared.prof.iter().enumerate() {
+            let ns = slot.0.load(Ordering::Relaxed);
+            t.worker_kernel_ns[i] += ns;
+            max = max.max(ns);
+        }
+        for (i, slot) in self.shared.prof.iter().enumerate() {
+            let ns = slot.0.load(Ordering::Relaxed);
+            t.worker_barrier_ns[i] += max - ns;
+        }
+        t.epoch_hist.record(wall_ns);
+        spmv_obs::trace::trace(TraceKind::EngineEpoch, cmd_code, wall_ns);
+    }
+
+    /// Enable or disable per-epoch profiling. Off, workers skip their two
+    /// monotonic-clock reads per epoch and the caller skips the fold — the
+    /// "uninstrumented" side of the bench overhead ablation. The default is
+    /// on (overridable process-wide with `SPMV_PROF=off`).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.telemetry.enabled = on;
+        self.shared.profiling.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether per-epoch profiling is currently enabled.
+    pub fn profiling(&self) -> bool {
+        self.telemetry.enabled
+    }
+
+    /// The runtime telemetry report accumulated so far (see [`EngineProfile`]).
+    pub fn profile(&self) -> EngineProfile {
+        let t = &self.telemetry;
+        EngineProfile {
+            epochs: t.epochs,
+            spmv_epochs: t.spmv_epochs,
+            spmm_epochs: t.spmm_epochs,
+            solver_epochs: t.solver_epochs,
+            workers: (0..self.workers.len())
+                .map(|i| WorkerProfile {
+                    nnz: self.per_worker_nnz[i],
+                    kernel_ns: t.worker_kernel_ns[i],
+                    barrier_ns: t.worker_barrier_ns[i],
+                })
+                .collect(),
+            epoch_ns: t.epoch_hist.snapshot(),
         }
     }
 
@@ -854,6 +1073,11 @@ impl SpmvEngine {
     /// drop the returned engine *after* releasing so joining the old workers
     /// never stalls a request.
     pub fn swap_with(&mut self, replacement: SpmvEngine) -> SpmvEngine {
+        spmv_obs::trace::trace(
+            TraceKind::EngineSwap,
+            replacement.nnz as u64,
+            replacement.num_threads() as u64,
+        );
         std::mem::replace(self, replacement)
     }
 }
@@ -924,6 +1148,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, spec: BlockSpec) {
             seen_epoch = launch.epoch;
             (launch.command, launch.operands, launch.solver)
         };
+        let prof_t0 = shared.profiling.load(Ordering::Relaxed).then(Instant::now);
         match command {
             Command::Shutdown => return,
             cmd if cmd.is_solver() => {
@@ -1009,6 +1234,16 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, spec: BlockSpec) {
             }
             // Solver commands are consumed by the `is_solver` guard arm above.
             _ => unreachable!("solver command escaped the is_solver guard"),
+        }
+
+        // Kernel time for this epoch (includes in-epoch reduction rounds on
+        // the symmetric and solver paths — the time the worker was busy, which
+        // is what the imbalance report wants). The relaxed store is ordered
+        // before the caller's read by the done mutex below.
+        if let Some(t0) = prof_t0 {
+            shared.prof[tid]
+                .0
+                .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
 
         // Completion barrier: last worker of the epoch wakes the caller.

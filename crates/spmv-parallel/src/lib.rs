@@ -41,7 +41,7 @@ pub mod pool;
 pub mod solver;
 
 pub use affinity::{AffinityPolicy, MemoryAffinity, ProcessAffinity};
-pub use engine::{EngineFootprint, SpmvEngine};
+pub use engine::{EngineFootprint, EngineProfile, SpmvEngine, WorkerProfile};
 pub use executor::{ParallelCsr, ParallelTuned};
 pub use numa::{NumaAwareMatrix, NumaTopology};
 pub use pool::ThreadPool;

@@ -39,7 +39,14 @@ pub struct FusedCg {
     engine: SpmvEngine,
     rr: f64,
     iterations: u64,
+    /// Residual-curve checkpoints `(iterations, rr)`, one per iterate batch,
+    /// thinned to [`CHECKPOINT_CAP`] by dropping every other point — a
+    /// bounded-memory sketch of the whole convergence trajectory.
+    checkpoints: Vec<(u64, f64)>,
 }
+
+/// Maximum retained residual checkpoints per solve.
+pub const CHECKPOINT_CAP: usize = 64;
 
 impl FusedCg {
     /// Start CG on `engine` with right-hand side `b` (initial guess `x = 0`).
@@ -53,6 +60,7 @@ impl FusedCg {
             engine,
             rr,
             iterations: 0,
+            checkpoints: vec![(0, rr)],
         }
     }
 
@@ -69,7 +77,22 @@ impl FusedCg {
     pub fn iterate(&mut self, steps: u64) -> f64 {
         self.rr = self.engine.cg_step(steps, self.rr);
         self.iterations += steps;
+        self.checkpoint();
+        spmv_obs::trace::trace(spmv_obs::TraceKind::SolverIterate, steps, self.rr.to_bits());
         self.rr
+    }
+
+    /// Record `(iterations, rr)`; at capacity, thin by keeping every other
+    /// point so the retained curve still spans the whole solve.
+    fn checkpoint(&mut self) {
+        if self.checkpoints.len() >= CHECKPOINT_CAP {
+            let mut keep = 0;
+            self.checkpoints.retain(|_| {
+                keep += 1;
+                keep % 2 == 1
+            });
+        }
+        self.checkpoints.push((self.iterations, self.rr));
     }
 
     /// Iterate until `‖r‖ ≤ tol` or `max_iters` steps, whichever first.
@@ -93,6 +116,14 @@ impl FusedCg {
     pub fn reinit(&mut self, b: &[f64]) {
         self.rr = self.engine.cg_init(b);
         self.iterations = 0;
+        self.checkpoints.clear();
+        self.checkpoints.push((0, self.rr));
+    }
+
+    /// The retained residual-curve checkpoints `(iterations, rr)`, oldest
+    /// first (thinned once the solve exceeds [`CHECKPOINT_CAP`] batches).
+    pub fn residual_checkpoints(&self) -> &[(u64, f64)] {
+        &self.checkpoints
     }
 
     /// The squared residual `r·r` after the last step.

@@ -97,21 +97,36 @@ impl Batcher {
     /// Start a batcher with a background service thread.
     pub fn spawn(matrix: Arc<ServedMatrix>, policy: BatchPolicy) -> Batcher {
         let mut batcher = Self::manual(matrix, policy);
-        let queue = Arc::clone(&batcher.queue);
-        let matrix = Arc::clone(&batcher.matrix);
-        let stats = Arc::clone(&batcher.stats);
-        batcher.worker = Some(
-            std::thread::Builder::new()
-                .name(format!("spmv-serve-{}", matrix.name()))
-                .spawn(move || service_loop(queue, matrix, policy, stats))
-                .expect("spawn batcher service thread"),
-        );
+        batcher.start_service();
         batcher
     }
 
     /// A batcher with no service thread: the caller drives it with
     /// [`Batcher::run_once`]. Deterministic batch composition for tests.
+    ///
+    /// Statistics are shared with the served matrix (see
+    /// [`ServedMatrix::serve_stats`]), so a registry-wide metrics scrape sees
+    /// the batcher's occupancy and latency histograms without holding a
+    /// reference to the batcher itself.
     pub fn manual(matrix: Arc<ServedMatrix>, policy: BatchPolicy) -> Batcher {
+        let stats = Arc::clone(matrix.serve_stats());
+        Self::with_stats(matrix, policy, stats)
+    }
+
+    /// A batcher recording into a **private** [`ServeStats`] instead of the
+    /// served matrix's shared instance, so [`Batcher::stats`] reports exactly
+    /// this batcher's window — for measurement harnesses that replay several
+    /// workloads over one registry and need per-replay reports. No service
+    /// thread; call [`Batcher::start_service`] for the production shape.
+    pub fn isolated(matrix: Arc<ServedMatrix>, policy: BatchPolicy) -> Batcher {
+        Self::with_stats(matrix, policy, Arc::new(ServeStats::new()))
+    }
+
+    fn with_stats(
+        matrix: Arc<ServedMatrix>,
+        policy: BatchPolicy,
+        stats: Arc<ServeStats>,
+    ) -> Batcher {
         assert!(policy.max_batch > 0, "batch policy needs max_batch >= 1");
         Batcher {
             matrix,
@@ -123,9 +138,27 @@ impl Batcher {
                 }),
                 cv: Condvar::new(),
             }),
-            stats: Arc::new(ServeStats::new()),
+            stats,
             worker: None,
         }
+    }
+
+    /// Attach the background service thread to a manually-constructed batcher
+    /// (idempotent — a running service is left in place).
+    pub fn start_service(&mut self) {
+        if self.worker.is_some() {
+            return;
+        }
+        let queue = Arc::clone(&self.queue);
+        let matrix = Arc::clone(&self.matrix);
+        let stats = Arc::clone(&self.stats);
+        let policy = self.policy;
+        self.worker = Some(
+            std::thread::Builder::new()
+                .name(format!("spmv-serve-{}", matrix.name()))
+                .spawn(move || service_loop(queue, matrix, policy, stats))
+                .expect("spawn batcher service thread"),
+        );
     }
 
     /// The served matrix this batcher fronts.
@@ -220,6 +253,10 @@ fn execute_batch(matrix: &ServedMatrix, batch: Vec<Request>, stats: &ServeStats)
     let k = batch.len();
     if k == 0 {
         return 0;
+    }
+    let drained = Instant::now();
+    for request in &batch {
+        stats.record_queue_wait(drained.saturating_duration_since(request.submitted));
     }
     let columns: Vec<&[f64]> = batch.iter().map(|r| r.x.as_slice()).collect();
     let x = MultiVec::from_columns(&columns);

@@ -24,6 +24,7 @@
 //! engine in with one O(1) [`SpmvEngine::swap_with`] under the lock. In-flight
 //! requests finish on the old engine; the next request runs on the new one.
 
+use crate::stats::ServeStats;
 use crate::{Result, ServeError};
 use spmv_core::formats::CsrMatrix;
 use spmv_core::multivec::MultiVec;
@@ -31,8 +32,9 @@ use spmv_core::tuning::autotune::{autotune, MatrixFingerprint, SearchBudget, Tun
 use spmv_core::tuning::plan::TunePlan;
 use spmv_core::tuning::TuningConfig;
 use spmv_core::MatrixShape;
+use spmv_obs::{Counter, MetricsSnapshot, TraceKind};
 use spmv_parallel::affinity::AffinityPolicy;
-use spmv_parallel::engine::EngineFootprint;
+use spmv_parallel::engine::{EngineFootprint, EngineProfile};
 use spmv_parallel::SpmvEngine;
 use std::collections::HashMap;
 use std::path::Path;
@@ -61,6 +63,15 @@ pub struct ServedMatrix {
     plan: RwLock<TunePlan>,
     engine: Mutex<SpmvEngine>,
     retunes: AtomicU64,
+    /// Serve-loop statistics, shared with every batcher over this matrix so
+    /// the registry can scrape latency/occupancy without batcher handles.
+    stats: Arc<ServeStats>,
+    /// Solver sessions opened over this matrix.
+    solver_sessions: Counter,
+    /// Solver iterations (CG steps / power iterations) executed.
+    solver_iterations: Counter,
+    /// Solver resyncs after an engine hot-swap mid-session.
+    solver_resyncs: Counter,
 }
 
 impl ServedMatrix {
@@ -84,6 +95,10 @@ impl ServedMatrix {
             plan: RwLock::new(plan),
             engine: Mutex::new(engine),
             retunes: AtomicU64::new(0),
+            stats: Arc::new(ServeStats::new()),
+            solver_sessions: Counter::new(),
+            solver_iterations: Counter::new(),
+            solver_resyncs: Counter::new(),
         })
     }
 
@@ -147,6 +162,49 @@ impl ServedMatrix {
     /// How many engine hot-swaps this matrix has completed.
     pub fn retune_count(&self) -> u64 {
         self.retunes.load(Ordering::Relaxed)
+    }
+
+    /// The serve statistics shared by every batcher over this matrix.
+    /// Batchers record into this instance, so a registry-level metrics scrape
+    /// sees latency/queue-wait/occupancy without holding batcher handles.
+    pub fn serve_stats(&self) -> &Arc<ServeStats> {
+        &self.stats
+    }
+
+    /// Solver sessions opened over this matrix.
+    pub fn solver_sessions(&self) -> u64 {
+        self.solver_sessions.get()
+    }
+
+    /// Solver iterations executed across all sessions over this matrix.
+    pub fn solver_iterations(&self) -> u64 {
+        self.solver_iterations.get()
+    }
+
+    /// Solver resyncs (sessions rebuilt after an engine hot-swap).
+    pub fn solver_resyncs(&self) -> u64 {
+        self.solver_resyncs.get()
+    }
+
+    /// Count one opened solver session.
+    pub(crate) fn note_solver_session(&self) {
+        self.solver_sessions.inc();
+    }
+
+    /// Count `n` solver iterations.
+    pub(crate) fn note_solver_iterations(&self, n: u64) {
+        self.solver_iterations.add(n);
+    }
+
+    /// Count one solver resync.
+    pub(crate) fn note_solver_resync(&self) {
+        self.solver_resyncs.inc();
+    }
+
+    /// The serving engine's telemetry profile: epochs by kind, per-worker
+    /// kernel/barrier time and nnz, and the epoch wall-time distribution.
+    pub fn engine_profile(&self) -> EngineProfile {
+        self.engine.lock().unwrap().profile()
     }
 
     /// The shared matrix storage (for building session-private engines).
@@ -217,7 +275,8 @@ impl ServedMatrix {
             old
         };
         drop(old);
-        self.retunes.fetch_add(1, Ordering::Relaxed);
+        let swaps = self.retunes.fetch_add(1, Ordering::Relaxed) + 1;
+        spmv_obs::trace::trace(TraceKind::Retune, self.fingerprint.hash, swaps);
         Ok(())
     }
 
@@ -479,6 +538,98 @@ impl MatrixRegistry {
     /// holding them) stay valid; the name becomes free for re-registration.
     pub fn remove(&self, name: &str) -> Option<Arc<ServedMatrix>> {
         self.matrices.write().unwrap().remove(name)
+    }
+
+    /// Served handles sorted by name — a stable iteration order for scrapes,
+    /// snapshotted so the registry lock is not held while engines are probed.
+    fn served_sorted(&self) -> Vec<Arc<ServedMatrix>> {
+        let mut served: Vec<Arc<ServedMatrix>> =
+            self.matrices.read().unwrap().values().cloned().collect();
+        served.sort_by(|a, b| a.name().cmp(b.name()));
+        served
+    }
+
+    /// Aggregate resident bytes across every served engine: the fleet-wide
+    /// sum of per-matrix [`EngineFootprint::total_bytes`]. Each engine is
+    /// probed outside the registry lock, so a scrape never blocks inserts.
+    pub fn fleet_resident_bytes(&self) -> usize {
+        self.served_sorted()
+            .iter()
+            .map(|m| m.footprint().total_bytes)
+            .sum()
+    }
+
+    /// One point-in-time [`MetricsSnapshot`] covering every layer the registry
+    /// can see: per-matrix engine telemetry (epochs, kernel/barrier time,
+    /// imbalance, resident bytes, retunes), serve-loop statistics (requests,
+    /// batches, latency / queue-wait / occupancy distributions), solver
+    /// counters, and — registry-wide — tune-cache hit/miss/search counters
+    /// plus the fleet resident-byte aggregate.
+    ///
+    /// Metric names carry the matrix as a Prometheus-style label
+    /// (`spmv_engine_epochs_total{matrix="name"}`); both exporters
+    /// ([`MetricsSnapshot::to_prometheus`] / [`MetricsSnapshot::to_json`])
+    /// preserve it.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let mut fleet_bytes = 0u64;
+        for m in self.served_sorted() {
+            let tag = |metric: &str| format!("{metric}{{matrix=\"{}\"}}", m.name());
+            let profile = m.engine_profile();
+            let footprint = m.footprint();
+            fleet_bytes += footprint.total_bytes as u64;
+
+            snap.counter(tag("spmv_engine_epochs_total"), profile.epochs);
+            snap.counter(tag("spmv_engine_spmv_epochs_total"), profile.spmv_epochs);
+            snap.counter(tag("spmv_engine_spmm_epochs_total"), profile.spmm_epochs);
+            snap.counter(
+                tag("spmv_engine_solver_epochs_total"),
+                profile.solver_epochs,
+            );
+            snap.counter(tag("spmv_engine_kernel_ns_total"), profile.kernel_ns());
+            snap.counter(tag("spmv_engine_barrier_ns_total"), profile.barrier_ns());
+            snap.gauge(tag("spmv_engine_time_imbalance"), profile.time_imbalance());
+            snap.gauge(tag("spmv_engine_nnz_imbalance"), profile.nnz_imbalance());
+            snap.gauge(tag("spmv_engine_workers"), profile.workers.len() as f64);
+            snap.gauge(
+                tag("spmv_engine_resident_bytes"),
+                footprint.total_bytes as f64,
+            );
+            snap.histogram(tag("spmv_engine_epoch_ns"), profile.epoch_ns);
+            snap.counter(tag("spmv_retunes_total"), m.retune_count());
+
+            let stats = m.serve_stats();
+            snap.counter(tag("spmv_serve_requests_total"), stats.requests());
+            snap.counter(tag("spmv_serve_batches_total"), stats.batches());
+            snap.histogram(tag("spmv_serve_latency_ns"), stats.latency_histogram());
+            snap.histogram(
+                tag("spmv_serve_queue_wait_ns"),
+                stats.queue_wait_histogram(),
+            );
+            snap.histogram(
+                tag("spmv_serve_batch_occupancy"),
+                stats.occupancy_histogram(),
+            );
+
+            snap.counter(tag("spmv_solver_sessions_total"), m.solver_sessions());
+            snap.counter(tag("spmv_solver_iterations_total"), m.solver_iterations());
+            snap.counter(tag("spmv_solver_resyncs_total"), m.solver_resyncs());
+        }
+        if let Some(cache) = &self.cache {
+            snap.counter("spmv_tune_cache_hits_total", cache.hit_count());
+            snap.counter("spmv_tune_cache_misses_total", cache.miss_count());
+            snap.counter("spmv_tune_cache_searches_total", cache.search_count());
+            snap.counter("spmv_tune_search_ns_total", cache.search_nanos());
+        }
+        snap.gauge("spmv_fleet_matrices", self.len() as f64);
+        snap.gauge("spmv_fleet_resident_bytes", fleet_bytes as f64);
+        snap
+    }
+
+    /// The metrics snapshot rendered as Prometheus-style exposition text —
+    /// the scrape endpoint body for this registry.
+    pub fn metrics(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
     }
 }
 

@@ -58,6 +58,7 @@ impl SolverSession {
         }
         let engine = served.build_solver_engine()?;
         let engine_retunes = served.retune_count();
+        served.note_solver_session();
         Ok(SolverSession {
             served,
             cg: FusedCg::new(engine, b),
@@ -87,6 +88,12 @@ impl SolverSession {
         drop(self.cg.swap_engine(replacement));
         self.engine_retunes = current;
         self.resyncs += 1;
+        self.served.note_solver_resync();
+        spmv_obs::trace::trace(
+            spmv_obs::TraceKind::SolverResync,
+            self.served.fingerprint().hash,
+            self.resyncs,
+        );
         Ok(true)
     }
 
@@ -97,6 +104,7 @@ impl SolverSession {
     /// zero (further steps would divide by it).
     pub fn iterate(&mut self, steps: u64) -> Result<f64> {
         self.resync()?;
+        let before = self.cg.iterations();
         let mut left = steps;
         while left > 0 {
             if self.cg.rr() == 0.0 || !self.cg.rr().is_finite() {
@@ -106,6 +114,8 @@ impl SolverSession {
             self.cg.iterate(batch);
             left -= batch;
         }
+        self.served
+            .note_solver_iterations(self.cg.iterations().saturating_sub(before));
         Ok(self.cg.residual_norm())
     }
 
@@ -113,7 +123,9 @@ impl SolverSession {
     /// return how many iterations this call ran.
     pub fn solve(&mut self, tol: f64, max_iters: u64) -> Result<u64> {
         self.resync()?;
-        Ok(self.cg.run(tol, max_iters))
+        let ran = self.cg.run(tol, max_iters);
+        self.served.note_solver_iterations(ran);
+        Ok(ran)
     }
 
     /// Restart the session on a new right-hand side (`x ← 0`), keeping the
@@ -148,6 +160,13 @@ impl SolverSession {
     /// How many times the session hot-swapped onto a retuned plan.
     pub fn resyncs(&self) -> u64 {
         self.resyncs
+    }
+
+    /// The residual-curve checkpoints `(iteration, rᵀr)` recorded so far —
+    /// thinned to a bounded set ([`spmv_parallel::solver::CHECKPOINT_CAP`]),
+    /// always ending at the current iterate.
+    pub fn residual_checkpoints(&self) -> &[(u64, f64)] {
+        self.cg.residual_checkpoints()
     }
 
     /// Borrow the current iterate `x` (resident; no copy).

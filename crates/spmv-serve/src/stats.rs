@@ -3,36 +3,46 @@
 //! One [`ServeStats`] instance is shared between a [`crate::batcher::Batcher`]'s
 //! submit path and its service loop; [`ServeStats::snapshot`] folds the counters
 //! into a [`ServeReport`] at any time without stopping the service.
+//!
+//! Rebuilt on the lock-free `spmv-obs` primitives: every record path is a
+//! handful of relaxed atomic updates (no mutex, no allocation), so a hot
+//! submit path never serializes against the service loop or a metrics
+//! scrape. Latency, queue-wait and batch-occupancy distributions are
+//! log-bucketed [`Histogram`]s with p50/p90/p99 estimates; the exact
+//! per-width batch histogram the report always carried is kept as a fixed
+//! array of counters.
 
-use std::sync::Mutex;
+use spmv_obs::{Counter, Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Histogram bucket ceiling for batch widths (batches wider than this are
 /// counted in the last bucket; the engine handles arbitrary `k`).
 const K_BUCKETS: usize = 64;
 
-#[derive(Debug)]
-struct Inner {
-    requests: usize,
-    batches: usize,
-    /// Useful flops executed (2 per logical nonzero per vector).
-    flops: f64,
-    /// Time the engine spent inside batched applies.
-    busy: Duration,
-    latency_sum: Duration,
-    latency_max: Duration,
-    /// `k_counts[k-1]` = number of batches of width `k` (capped at `K_BUCKETS`).
-    k_counts: [usize; K_BUCKETS],
-    /// First submission seen (the wall-clock window opens here).
-    window_start: Option<Instant>,
-    /// Latest batch completion (the window closes here).
-    window_end: Option<Instant>,
-}
-
-/// Thread-safe serve statistics.
+/// Thread-safe, lock-free serve statistics.
 #[derive(Debug)]
 pub struct ServeStats {
-    inner: Mutex<Inner>,
+    /// Instants fold to nanosecond offsets from this construction-time origin.
+    origin: Instant,
+    batches: Counter,
+    /// Useful flops executed (2 per logical nonzero per vector), f64 bits.
+    flops: AtomicU64,
+    /// Nanoseconds the engine spent inside batched applies.
+    busy_ns: Counter,
+    /// Submit-to-reply latency (ns); count doubles as the request counter.
+    latency: Histogram,
+    /// Submit-to-drain wait (ns): how long requests sat in the queue before a
+    /// batch picked them up.
+    queue_wait: Histogram,
+    /// Log-bucketed batch width, for quantile estimates.
+    occupancy: Histogram,
+    /// `k_counts[k-1]` = batches of width `k` (capped at `K_BUCKETS`), exact.
+    k_counts: [Counter; K_BUCKETS],
+    /// First submission offset (ns from origin; `u64::MAX` = window unopened).
+    window_start: AtomicU64,
+    /// Latest batch completion offset (ns from origin; 0 = none yet).
+    window_end: AtomicU64,
 }
 
 impl Default for ServeStats {
@@ -45,87 +55,142 @@ impl ServeStats {
     /// Fresh, empty counters.
     pub fn new() -> ServeStats {
         ServeStats {
-            inner: Mutex::new(Inner {
-                requests: 0,
-                batches: 0,
-                flops: 0.0,
-                busy: Duration::ZERO,
-                latency_sum: Duration::ZERO,
-                latency_max: Duration::ZERO,
-                k_counts: [0; K_BUCKETS],
-                window_start: None,
-                window_end: None,
-            }),
+            origin: Instant::now(),
+            batches: Counter::new(),
+            flops: AtomicU64::new(0f64.to_bits()),
+            busy_ns: Counter::new(),
+            latency: Histogram::new(),
+            queue_wait: Histogram::new(),
+            occupancy: Histogram::new(),
+            k_counts: std::array::from_fn(|_| Counter::new()),
+            window_start: AtomicU64::new(u64::MAX),
+            window_end: AtomicU64::new(0),
         }
+    }
+
+    fn offset_ns(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.origin).as_nanos() as u64
     }
 
     /// Note a request submission (opens the wall-clock window on first call).
     pub fn record_submit(&self, at: Instant) {
-        let mut inner = self.inner.lock().unwrap();
-        if inner.window_start.is_none() {
-            inner.window_start = Some(at);
-        }
+        self.window_start
+            .fetch_min(self.offset_ns(at), Ordering::Relaxed);
     }
 
     /// Record one executed batch: its width, the useful flops it performed
     /// (`2 · nnz · k`), and the engine execution time.
     pub fn record_batch(&self, k: usize, flops: f64, exec: Duration) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.batches += 1;
-        inner.flops += flops;
-        inner.busy += exec;
-        inner.k_counts[k.clamp(1, K_BUCKETS) - 1] += 1;
-        inner.window_end = Some(Instant::now());
+        self.batches.inc();
+        self.flops
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + flops).to_bits())
+            })
+            .ok();
+        self.busy_ns.add(exec.as_nanos() as u64);
+        self.occupancy.record(k as u64);
+        self.k_counts[k.clamp(1, K_BUCKETS) - 1].inc();
+        self.window_end
+            .fetch_max(self.offset_ns(Instant::now()), Ordering::Relaxed);
+        spmv_obs::trace::trace(
+            spmv_obs::TraceKind::BatchExec,
+            k as u64,
+            exec.as_nanos() as u64,
+        );
     }
 
     /// Record one completed request and its submit-to-reply latency.
     pub fn record_request(&self, latency: Duration) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.requests += 1;
-        inner.latency_sum += latency;
-        inner.latency_max = inner.latency_max.max(latency);
+        self.latency.record(latency.as_nanos() as u64);
+    }
+
+    /// Record how long one request waited in the queue before its batch
+    /// started executing.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait.as_nanos() as u64);
+    }
+
+    /// The submit-to-reply latency distribution (nanoseconds).
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
+    }
+
+    /// The submit-to-drain queue-wait distribution (nanoseconds).
+    pub fn queue_wait_histogram(&self) -> HistogramSnapshot {
+        self.queue_wait.snapshot()
+    }
+
+    /// The batch-occupancy (width) distribution.
+    pub fn occupancy_histogram(&self) -> HistogramSnapshot {
+        self.occupancy.snapshot()
+    }
+
+    /// Requests completed so far.
+    pub fn requests(&self) -> u64 {
+        self.latency.count()
+    }
+
+    /// Batches executed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.get()
     }
 
     /// Fold the counters into a report.
     pub fn snapshot(&self) -> ServeReport {
-        let inner = self.inner.lock().unwrap();
-        let busy_s = inner.busy.as_secs_f64();
-        let wall_s = match (inner.window_start, inner.window_end) {
-            (Some(a), Some(b)) => (b - a).as_secs_f64(),
-            _ => 0.0,
+        let latency = self.latency.snapshot();
+        let queue_wait = self.queue_wait.snapshot();
+        let requests = latency.count as usize;
+        let batches = self.batches.get() as usize;
+        let flops = f64::from_bits(self.flops.load(Ordering::Relaxed));
+        let busy_s = self.busy_ns.get() as f64 / 1e9;
+        let start = self.window_start.load(Ordering::Relaxed);
+        let end = self.window_end.load(Ordering::Relaxed);
+        let wall_s = if start != u64::MAX && end > start {
+            (end - start) as f64 / 1e9
+        } else {
+            0.0
         };
         ServeReport {
-            requests: inner.requests,
-            batches: inner.batches,
-            avg_batch: if inner.batches == 0 {
+            requests,
+            batches,
+            avg_batch: if batches == 0 {
                 0.0
             } else {
-                inner.requests as f64 / inner.batches as f64
+                requests as f64 / batches as f64
             },
             busy_gflops: if busy_s > 0.0 {
-                inner.flops / busy_s / 1e9
+                flops / busy_s / 1e9
             } else {
                 0.0
             },
             wall_gflops: if wall_s > 0.0 {
-                inner.flops / wall_s / 1e9
+                flops / wall_s / 1e9
             } else {
                 0.0
             },
             busy_seconds: busy_s,
             wall_seconds: wall_s,
-            mean_latency: if inner.requests == 0 {
+            mean_latency: if requests == 0 {
                 Duration::ZERO
             } else {
-                inner.latency_sum / inner.requests as u32
+                Duration::from_nanos(latency.sum / requests as u64)
             },
-            max_latency: inner.latency_max,
-            batch_k_histogram: inner
+            max_latency: Duration::from_nanos(latency.max),
+            latency_p50: Duration::from_nanos(latency.p50()),
+            latency_p90: Duration::from_nanos(latency.p90()),
+            latency_p99: Duration::from_nanos(latency.p99()),
+            mean_queue_wait: queue_wait
+                .sum
+                .checked_div(queue_wait.count)
+                .map(Duration::from_nanos)
+                .unwrap_or(Duration::ZERO),
+            queue_wait_p99: Duration::from_nanos(queue_wait.p99()),
+            batch_k_histogram: self
                 .k_counts
                 .iter()
                 .enumerate()
-                .filter(|(_, &c)| c > 0)
-                .map(|(i, &c)| (i + 1, c))
+                .filter(|(_, c)| c.get() > 0)
+                .map(|(i, c)| (i + 1, c.get() as usize))
                 .collect(),
         }
     }
@@ -153,6 +218,16 @@ pub struct ServeReport {
     pub mean_latency: Duration,
     /// Worst submit-to-reply latency.
     pub max_latency: Duration,
+    /// Median submit-to-reply latency (log-bucket estimate).
+    pub latency_p50: Duration,
+    /// 90th-percentile submit-to-reply latency (log-bucket estimate).
+    pub latency_p90: Duration,
+    /// 99th-percentile submit-to-reply latency (log-bucket estimate).
+    pub latency_p99: Duration,
+    /// Mean submit-to-drain queue wait.
+    pub mean_queue_wait: Duration,
+    /// 99th-percentile submit-to-drain queue wait (log-bucket estimate).
+    pub queue_wait_p99: Duration,
     /// `(k, batches)` pairs for every batch width observed.
     pub batch_k_histogram: Vec<(usize, usize)>,
 }
@@ -169,6 +244,7 @@ mod tests {
         assert_eq!(report.avg_batch, 0.0);
         assert_eq!(report.busy_gflops, 0.0);
         assert_eq!(report.wall_gflops, 0.0);
+        assert_eq!(report.latency_p99, Duration::ZERO);
         assert!(report.batch_k_histogram.is_empty());
     }
 
@@ -192,6 +268,9 @@ mod tests {
         assert_eq!(report.max_latency, Duration::from_millis(40));
         assert_eq!(report.mean_latency, Duration::from_millis(100) / 7);
         assert_eq!(report.batch_k_histogram, vec![(2, 1), (4, 1)]);
+        // Quantiles come from log buckets: estimates, never below the sample.
+        assert!(report.latency_p50 >= Duration::from_millis(10));
+        assert!(report.latency_p99 >= Duration::from_millis(40));
     }
 
     #[test]
@@ -200,5 +279,41 @@ mod tests {
         stats.record_batch(1000, 1.0, Duration::from_micros(1));
         let report = stats.snapshot();
         assert_eq!(report.batch_k_histogram, vec![(K_BUCKETS, 1)]);
+    }
+
+    #[test]
+    fn queue_wait_folds_into_report() {
+        let stats = ServeStats::new();
+        stats.record_queue_wait(Duration::from_micros(100));
+        stats.record_queue_wait(Duration::from_micros(300));
+        let report = stats.snapshot();
+        assert_eq!(report.mean_queue_wait, Duration::from_micros(200));
+        assert!(report.queue_wait_p99 >= Duration::from_micros(300));
+        let hist = stats.queue_wait_histogram();
+        assert_eq!(hist.count, 2);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let stats = Arc::new(ServeStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        stats.record_request(Duration::from_micros(5));
+                        stats.record_batch(2, 4.0, Duration::from_nanos(50));
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let report = stats.snapshot();
+        assert_eq!(report.requests, 4000);
+        assert_eq!(report.batches, 4000);
+        assert_eq!(report.batch_k_histogram, vec![(2, 4000)]);
     }
 }

@@ -13,6 +13,9 @@
 //! * [`spmv_archsim`] — machine models of the five evaluated platforms and the
 //!   analytic performance model behind the table/figure reproductions.
 //! * [`spmv_baseline`] — the OSKI and OSKI-PETSc baselines.
+//! * [`spmv_obs`] — the engine-wide observability layer: counters, gauges,
+//!   log-bucketed latency histograms, shared timing helpers, and the
+//!   `SPMV_TRACE`-gated event ring.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-versus-measured comparison of every table and
@@ -22,6 +25,7 @@ pub use spmv_archsim;
 pub use spmv_baseline;
 pub use spmv_core;
 pub use spmv_matrices;
+pub use spmv_obs;
 pub use spmv_parallel;
 pub use spmv_serve;
 
