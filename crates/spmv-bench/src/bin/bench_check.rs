@@ -10,7 +10,9 @@
 //! dense-ish slice they must also not trail the scalar `bcsr-4x4` row beyond
 //! tolerance), the `batched-k{1,2,4,8}` multi-vector rows for every
 //! Table-3 suite matrix (serial, plus the engine rows at the swept thread
-//! count), one `serve-*` row per request-stream scenario, the
+//! count), one `serve-*` row per request-stream scenario (plus one
+//! `serve-net-*` row per scenario replayed over loopback TCP, with
+//! client-observed latency percentiles and shed/eviction counters), the
 //! `solver-{fused-cg,unfused-cg,power}` rows for every symmetric suite matrix
 //! (fused CG must hold its iterations/s bar against the unfused baseline),
 //! the `obs-parallel` paired instrumentation-overhead rows (profiled rate
@@ -22,6 +24,7 @@
 //! ```
 
 use spmv_bench::json::Json;
+use spmv_bench::net::serve_net_variant;
 use spmv_bench::obs::{OBS_OVERHEAD_TOLERANCE, OBS_PARALLEL_VARIANT};
 use spmv_bench::perf::{
     harness_matrices, simd_gate_matrices, swept_thread_counts, sym_id, symmetric_harness_matrices,
@@ -356,6 +359,41 @@ fn main() {
         });
         if !ok {
             fail(&format!("missing or empty {variant} row"));
+        }
+        checked += 1;
+    }
+
+    // Networked serve rows: the same scenarios over loopback TCP, with
+    // client-observed latency percentiles and the admission-control/LRU
+    // counters the network layer must surface.
+    for scenario in SERVE_SCENARIOS {
+        let variant = serve_net_variant(scenario);
+        let row = results
+            .iter()
+            .find(|r| r.get("variant").and_then(Json::as_str) == Some(variant.as_str()))
+            .unwrap_or_else(|| fail(&format!("missing {variant} row")));
+        if row.get("gflops").and_then(Json::as_f64).unwrap_or(0.0) <= 0.0
+            || row.get("requests").and_then(Json::as_f64).unwrap_or(0.0) <= 0.0
+        {
+            fail(&format!("{variant} row served no traffic"));
+        }
+        let p50 = row
+            .get("latency_p50_ns")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let p99 = row
+            .get("latency_p99_ns")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if p50 <= 0.0 || p99 < p50 {
+            fail(&format!(
+                "{variant} row has implausible latency percentiles (p50={p50}, p99={p99})"
+            ));
+        }
+        for field in ["sheds", "evictions", "cold_rebuilds"] {
+            if row.get(field).and_then(Json::as_f64).is_none() {
+                fail(&format!("{variant} row lacks the {field} counter"));
+            }
         }
         checked += 1;
     }

@@ -1,8 +1,9 @@
 //! `serve_bench` — the serve-layer perf driver.
 //!
 //! Replays synthetic request streams (uniform, bursty, hot-matrix-skewed)
-//! through the full `spmv-serve` stack and re-measures the batched (SpMM)
-//! rows, then **merges** both row families into an existing `BENCH_spmv.json`
+//! through the full `spmv-serve` stack — in-process and again over loopback
+//! TCP through `spmv-net` — and re-measures the batched (SpMM)
+//! rows, then **merges** the row families into an existing `BENCH_spmv.json`
 //! (replacing stale `batched-k*` / `serve-*` rows, leaving every other row
 //! untouched). Run `spmv_bench` first to produce the base artifact; this
 //! driver exists so the serve layer can be re-benchmarked without re-running
@@ -16,6 +17,7 @@
 //! Thread count defaults to the host parallelism; override with `SPMV_BENCH_THREADS`.
 
 use spmv_bench::json::Json;
+use spmv_bench::net::{run_serve_net_scenarios, NetReplayLoad};
 use spmv_bench::perf::{build_suite, harness_json_with_rows, swept_thread_counts};
 use spmv_bench::serve::{
     measure_batched_engine, measure_batched_serial, run_serve_scenarios, ReplayLoad, BATCH_WIDTHS,
@@ -120,6 +122,11 @@ fn main() {
         &matrices,
         max_threads,
         ReplayLoad::smoke(),
+    ));
+    rows.extend(run_serve_net_scenarios(
+        &matrices,
+        max_threads,
+        NetReplayLoad::smoke(),
     ));
 
     // Merge into the existing artifact when there is one: keep its header and

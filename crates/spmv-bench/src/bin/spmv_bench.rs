@@ -11,6 +11,7 @@
 //!
 //! Thread count defaults to the host parallelism; override with `SPMV_BENCH_THREADS`.
 
+use spmv_bench::net::{run_serve_net_scenarios, NetReplayLoad};
 use spmv_bench::obs::{collect_telemetry, run_obs_ablation};
 use spmv_bench::perf::{
     build_suite, build_symmetric_suite, harness_json_with_telemetry, run_harness_on,
@@ -63,6 +64,13 @@ fn main() {
         budget_ms,
     ));
     let mut extra_rows = run_serve_scenarios(&matrices, max_threads, ReplayLoad::smoke());
+    // The networked replay: the same scenarios driven over loopback TCP
+    // through the spmv-net poll-loop server.
+    extra_rows.extend(run_serve_net_scenarios(
+        &matrices,
+        max_threads,
+        NetReplayLoad::smoke(),
+    ));
     // The iterative-solver rows: fused in-engine CG vs the unfused serve-path
     // loop (plus power iteration) on the SPD-shifted symmetric suite.
     extra_rows.extend(run_solver_harness(

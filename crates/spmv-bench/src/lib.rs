@@ -19,19 +19,22 @@
 //! construction), [`format`] (plain-text table rendering), [`perf`] (the native
 //! perf harness behind the `spmv_bench` binary and `BENCH_spmv.json`),
 //! [`serve`] (batched-apply rows and the request-stream replay behind the
-//! `serve_bench` binary), [`obs`] (the instrumentation-overhead ablation and
-//! the artifact's telemetry header) and [`json`] (the dependency-free JSON
-//! writer for benchmark artifacts).
+//! `serve_bench` binary), [`net`] (the same replay driven over loopback TCP
+//! through `spmv-net`, behind the `serve-net-*` rows), [`obs`] (the
+//! instrumentation-overhead ablation and the artifact's telemetry header) and
+//! [`json`] (the dependency-free JSON writer for benchmark artifacts).
 
 pub mod experiments;
 pub mod format;
 pub mod json;
+pub mod net;
 pub mod obs;
 pub mod perf;
 pub mod serve;
 pub mod solver;
 
 pub use experiments::{ladder_for, run_ladder, run_rung, ExperimentResult, Rung, RungKind};
+pub use net::{run_serve_net_scenarios, NetReplayLoad};
 pub use perf::{run_harness, PerfResult};
 pub use serve::{run_serve_scenarios, ReplayLoad};
 pub use solver::{build_solver_suite, run_solver_harness};

@@ -848,7 +848,7 @@ impl TuneCache {
         self.searches.fetch_add(1, Ordering::Relaxed);
         let t0 = std::time::Instant::now();
         let outcome = autotune_timed(csr, nthreads, config, budget, eval_ms);
-        let elapsed = t0.elapsed().as_nanos() as u64;
+        let elapsed = spmv_obs::saturating_nanos(t0.elapsed());
         self.search_ns.fetch_add(elapsed, Ordering::Relaxed);
         spmv_obs::trace::trace(spmv_obs::TraceKind::TuneSearch, elapsed, 0);
         self.store(&fp, nthreads, config, &outcome.plan)?;

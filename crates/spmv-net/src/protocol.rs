@@ -1,0 +1,583 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — is one **frame**: a little-endian
+//! `u32` byte length followed by exactly that many body bytes. Frames are
+//! self-delimiting, so both sides can accumulate bytes from a non-blocking
+//! socket and peel off complete messages without any other framing state;
+//! a length above the negotiated cap ([`MAX_FRAME`] by default) is a protocol
+//! error and the connection is dropped rather than buffered into.
+//!
+//! ## Request body
+//!
+//! ```text
+//! u8  opcode        1 = spmv, 2 = spmm, 3 = solver-iterate
+//! u64 request id    echoed verbatim in the response; client-chosen
+//! u16 name length   followed by that many UTF-8 bytes of matrix name
+//! ... payload       opcode-specific, see [`Op`]
+//! ```
+//!
+//! Vectors are little-endian `f64`s prefixed by a `u32` length; the spmm
+//! payload is a column count followed by its columns back to back
+//! (column-major, every column the same length).
+//!
+//! ## Response body
+//!
+//! ```text
+//! u8  status        0 = ok, else an error code (see the ERR_* constants)
+//! u64 request id    copied from the request
+//! ... payload       ok: opcode echo + result; error: retry-after + message
+//! ```
+//!
+//! An error payload is `u32 retry_after_ms` (nonzero only for
+//! [`ERR_OVERLOADED`] — the server's backoff hint) then a `u16`-prefixed
+//! UTF-8 message. Load-shed is therefore a *typed, bounded* response: an
+//! overloaded server answers in O(1) instead of queueing without bound.
+
+use crate::{NetError, Result};
+
+/// Default maximum frame body size (16 MiB). A frame this large carries a
+/// ~2M-element f64 vector; anything bigger is assumed to be a corrupt or
+/// hostile length prefix.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Opcode: apply the matrix to one vector.
+pub const OP_SPMV: u8 = 1;
+/// Opcode: apply the matrix to a block of vectors (one fused SpMM).
+pub const OP_SPMM: u8 = 2;
+/// Opcode: drive the connection's solver session on this matrix.
+pub const OP_SOLVER: u8 = 3;
+
+/// Status: success.
+pub const ST_OK: u8 = 0;
+/// Error: no matrix registered under the requested name.
+pub const ERR_UNKNOWN_MATRIX: u8 = 1;
+/// Error: request vector length does not match the matrix.
+pub const ERR_DIMENSION: u8 = 2;
+/// Error: admission control refused the request (queue full). The response
+/// carries a `retry_after_ms` backoff hint.
+pub const ERR_OVERLOADED: u8 = 3;
+/// Error: the batch serving this request panicked; safe to retry.
+pub const ERR_BATCH_PANICKED: u8 = 4;
+/// Error: the serving queue shut down before the request completed.
+pub const ERR_CLOSED: u8 = 5;
+/// Error: the request body did not parse (or referenced no open session).
+pub const ERR_MALFORMED: u8 = 6;
+/// Error: a solver op targeted a non-square matrix.
+pub const ERR_NOT_SQUARE: u8 = 7;
+/// Error: any other server-side failure.
+pub const ERR_INTERNAL: u8 = 8;
+
+/// A decoded request operation (the opcode-specific payload).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `y = A·x` for one vector.
+    Spmv {
+        /// The request vector (length must equal the matrix's `ncols`).
+        x: Vec<f64>,
+    },
+    /// `Y = A·X` for a block of columns, served as one coalesced batch.
+    Spmm {
+        /// The request columns (all the same length).
+        cols: Vec<Vec<f64>>,
+    },
+    /// Run `steps` CG iterations on the connection's session for this matrix.
+    /// `b = Some(..)` opens (or restarts) the session on that right-hand
+    /// side first; `b = None` continues the existing session.
+    SolverIterate {
+        /// Iterations to run in this call.
+        steps: u32,
+        /// Right-hand side to (re)start with, when present.
+        b: Option<Vec<f64>>,
+    },
+}
+
+impl Op {
+    /// The opcode this operation encodes as.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Op::Spmv { .. } => OP_SPMV,
+            Op::Spmm { .. } => OP_SPMM,
+            Op::SolverIterate { .. } => OP_SOLVER,
+        }
+    }
+}
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Registered name of the target matrix.
+    pub matrix: String,
+    /// The operation to perform.
+    pub op: Op,
+}
+
+/// One decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Result of an [`OP_SPMV`] request.
+    Spmv {
+        /// Echoed request id.
+        id: u64,
+        /// The product vector.
+        y: Vec<f64>,
+    },
+    /// Result of an [`OP_SPMM`] request.
+    Spmm {
+        /// Echoed request id.
+        id: u64,
+        /// The product columns, in request order.
+        cols: Vec<Vec<f64>>,
+    },
+    /// Result of an [`OP_SOLVER`] request.
+    Solver {
+        /// Echoed request id.
+        id: u64,
+        /// The current iterate `x`.
+        x: Vec<f64>,
+        /// Recurrence residual norm `‖r‖` after the iterations.
+        residual: f64,
+    },
+    /// A typed failure.
+    Error {
+        /// Echoed request id.
+        id: u64,
+        /// One of the `ERR_*` codes.
+        code: u8,
+        /// Backoff hint in milliseconds (nonzero only for overload sheds).
+        retry_after_ms: u32,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id, whatever the outcome.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Spmv { id, .. }
+            | Response::Spmm { id, .. }
+            | Response::Solver { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// primitive writers/readers
+// ---------------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_vec(buf: &mut Vec<u8>, v: &[f64]) {
+    put_u32(buf, v.len() as u32);
+    for &x in v {
+        put_f64(buf, x);
+    }
+}
+
+/// A cursor over a frame body; every read is bounds-checked so a truncated
+/// or lying frame decodes to a typed error, never a panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| NetError::Malformed(format!("frame truncated at byte {}", self.at)))?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn vec(&mut self) -> Result<Vec<f64>> {
+        let n = self.u32()? as usize;
+        // The length claim must be covered by the remaining bytes before any
+        // allocation happens — a lying prefix must not reserve gigabytes.
+        if self.buf.len() - self.at < n * 8 {
+            return Err(NetError::Malformed(format!(
+                "vector claims {n} elements, only {} bytes remain",
+                self.buf.len() - self.at
+            )));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.at != self.buf.len() {
+            return Err(NetError::Malformed(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// framing
+// ---------------------------------------------------------------------------
+
+/// Append `body` to `out` as one frame (length prefix + body).
+pub fn write_frame(out: &mut Vec<u8>, body: &[u8]) {
+    put_u32(out, body.len() as u32);
+    out.extend_from_slice(body);
+}
+
+/// Try to peel one complete frame off the front of `buf`: returns the body
+/// and the total bytes consumed (prefix + body), or `None` when more bytes
+/// are needed. A length prefix above `max_frame` is a protocol error.
+pub fn take_frame(buf: &[u8], max_frame: u32) -> Result<Option<(&[u8], usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if len > max_frame {
+        return Err(NetError::FrameTooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((&buf[4..total], total)))
+}
+
+// ---------------------------------------------------------------------------
+// request codec
+// ---------------------------------------------------------------------------
+
+/// Encode one request as a frame body (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.push(req.op.opcode());
+    put_u64(&mut body, req.id);
+    put_u16(&mut body, req.matrix.len() as u16);
+    body.extend_from_slice(req.matrix.as_bytes());
+    match &req.op {
+        Op::Spmv { x } => put_vec(&mut body, x),
+        Op::Spmm { cols } => {
+            put_u32(&mut body, cols.len() as u32);
+            let n = cols.first().map_or(0, |c| c.len());
+            put_u32(&mut body, n as u32);
+            for col in cols {
+                for &v in col {
+                    put_f64(&mut body, v);
+                }
+            }
+        }
+        Op::SolverIterate { steps, b } => {
+            put_u32(&mut body, *steps);
+            match b {
+                Some(b) => put_vec(&mut body, b),
+                None => put_u32(&mut body, 0),
+            }
+        }
+    }
+    body
+}
+
+/// Decode one request frame body.
+pub fn decode_request(body: &[u8]) -> Result<Request> {
+    let mut r = Reader::new(body);
+    let opcode = r.u8()?;
+    let id = r.u64()?;
+    let name_len = r.u16()? as usize;
+    let matrix = String::from_utf8(r.take(name_len)?.to_vec())
+        .map_err(|_| NetError::Malformed("matrix name is not UTF-8".into()))?;
+    let op = match opcode {
+        OP_SPMV => Op::Spmv { x: r.vec()? },
+        OP_SPMM => {
+            let k = r.u32()? as usize;
+            let n = r.u32()? as usize;
+            if body.len() - (19 + name_len) < k.saturating_mul(n).saturating_mul(8) {
+                return Err(NetError::Malformed(format!(
+                    "spmm block claims {k}x{n}, frame too short"
+                )));
+            }
+            let cols = (0..k)
+                .map(|_| (0..n).map(|_| r.f64()).collect())
+                .collect::<Result<Vec<Vec<f64>>>>()?;
+            Op::Spmm { cols }
+        }
+        OP_SOLVER => {
+            let steps = r.u32()?;
+            let b = r.vec()?;
+            Op::SolverIterate {
+                steps,
+                b: if b.is_empty() { None } else { Some(b) },
+            }
+        }
+        other => return Err(NetError::Malformed(format!("unknown opcode {other}"))),
+    };
+    r.finish()?;
+    Ok(Request { id, matrix, op })
+}
+
+// ---------------------------------------------------------------------------
+// response codec
+// ---------------------------------------------------------------------------
+
+/// Encode one response as a frame body (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut body = Vec::new();
+    match resp {
+        Response::Spmv { id, y } => {
+            body.push(ST_OK);
+            put_u64(&mut body, *id);
+            body.push(OP_SPMV);
+            put_vec(&mut body, y);
+        }
+        Response::Spmm { id, cols } => {
+            body.push(ST_OK);
+            put_u64(&mut body, *id);
+            body.push(OP_SPMM);
+            put_u32(&mut body, cols.len() as u32);
+            let n = cols.first().map_or(0, |c| c.len());
+            put_u32(&mut body, n as u32);
+            for col in cols {
+                for &v in col {
+                    put_f64(&mut body, v);
+                }
+            }
+        }
+        Response::Solver { id, x, residual } => {
+            body.push(ST_OK);
+            put_u64(&mut body, *id);
+            body.push(OP_SOLVER);
+            put_vec(&mut body, x);
+            put_f64(&mut body, *residual);
+        }
+        Response::Error {
+            id,
+            code,
+            retry_after_ms,
+            message,
+        } => {
+            body.push(*code);
+            put_u64(&mut body, *id);
+            put_u32(&mut body, *retry_after_ms);
+            put_u16(&mut body, message.len().min(u16::MAX as usize) as u16);
+            body.extend_from_slice(&message.as_bytes()[..message.len().min(u16::MAX as usize)]);
+        }
+    }
+    body
+}
+
+/// Decode one response frame body.
+pub fn decode_response(body: &[u8]) -> Result<Response> {
+    let mut r = Reader::new(body);
+    let status = r.u8()?;
+    let id = r.u64()?;
+    if status != ST_OK {
+        let retry_after_ms = r.u32()?;
+        let msg_len = r.u16()? as usize;
+        let message = String::from_utf8_lossy(r.take(msg_len)?).into_owned();
+        r.finish()?;
+        return Ok(Response::Error {
+            id,
+            code: status,
+            retry_after_ms,
+            message,
+        });
+    }
+    let resp = match r.u8()? {
+        OP_SPMV => Response::Spmv { id, y: r.vec()? },
+        OP_SPMM => {
+            let k = r.u32()? as usize;
+            let n = r.u32()? as usize;
+            if body.len() - 18 < k.saturating_mul(n).saturating_mul(8) {
+                return Err(NetError::Malformed(format!(
+                    "spmm result claims {k}x{n}, frame too short"
+                )));
+            }
+            let cols = (0..k)
+                .map(|_| (0..n).map(|_| r.f64()).collect())
+                .collect::<Result<Vec<Vec<f64>>>>()?;
+            Response::Spmm { id, cols }
+        }
+        OP_SOLVER => {
+            let x = r.vec()?;
+            let residual = r.f64()?;
+            Response::Solver { id, x, residual }
+        }
+        other => {
+            return Err(NetError::Malformed(format!(
+                "unknown result opcode {other}"
+            )))
+        }
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let body = encode_request(&req);
+        assert_eq!(decode_request(&body).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let body = encode_response(&resp);
+        assert_eq!(decode_response(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request {
+            id: 7,
+            matrix: "ads-ctr".into(),
+            op: Op::Spmv {
+                x: vec![1.0, -2.5, 3.25],
+            },
+        });
+        round_trip_request(Request {
+            id: u64::MAX,
+            matrix: "m".into(),
+            op: Op::Spmm {
+                cols: vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            },
+        });
+        round_trip_request(Request {
+            id: 0,
+            matrix: "spd".into(),
+            op: Op::SolverIterate {
+                steps: 25,
+                b: Some(vec![1.0; 4]),
+            },
+        });
+        round_trip_request(Request {
+            id: 1,
+            matrix: "spd".into(),
+            op: Op::SolverIterate { steps: 10, b: None },
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Spmv {
+            id: 7,
+            y: vec![0.5, 0.25],
+        });
+        round_trip_response(Response::Spmm {
+            id: 8,
+            cols: vec![vec![1.0], vec![2.0]],
+        });
+        round_trip_response(Response::Solver {
+            id: 9,
+            x: vec![1.0, 2.0, 3.0],
+            residual: 1e-9,
+        });
+        round_trip_response(Response::Error {
+            id: 10,
+            code: ERR_OVERLOADED,
+            retry_after_ms: 2,
+            message: "queue full (64 requests pending), retry later".into(),
+        });
+    }
+
+    #[test]
+    fn framing_peels_complete_frames_only() {
+        let mut wire = Vec::new();
+        let body_a = encode_request(&Request {
+            id: 1,
+            matrix: "a".into(),
+            op: Op::Spmv { x: vec![1.0] },
+        });
+        let body_b = encode_request(&Request {
+            id: 2,
+            matrix: "b".into(),
+            op: Op::Spmv { x: vec![2.0] },
+        });
+        write_frame(&mut wire, &body_a);
+        write_frame(&mut wire, &body_b);
+
+        // A partial prefix yields nothing.
+        assert!(take_frame(&wire[..3], MAX_FRAME).unwrap().is_none());
+        // A partial body yields nothing.
+        assert!(take_frame(&wire[..body_a.len() + 2], MAX_FRAME)
+            .unwrap()
+            .is_none());
+        // Two complete frames peel in order.
+        let (first, used) = take_frame(&wire, MAX_FRAME).unwrap().unwrap();
+        assert_eq!(first, &body_a[..]);
+        let (second, used2) = take_frame(&wire[used..], MAX_FRAME).unwrap().unwrap();
+        assert_eq!(second, &body_b[..]);
+        assert_eq!(used + used2, wire.len());
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_typed_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0u8; 32]);
+        assert!(matches!(
+            take_frame(&wire, 16),
+            Err(NetError::FrameTooLarge { len: 32, max: 16 })
+        ));
+
+        // A vector length prefix that exceeds the actual bytes must error
+        // before allocating.
+        let mut body = Vec::new();
+        body.push(OP_SPMV);
+        put_u64(&mut body, 1);
+        put_u16(&mut body, 1);
+        body.push(b'm');
+        put_u32(&mut body, u32::MAX); // claims 4G elements
+        assert!(matches!(decode_request(&body), Err(NetError::Malformed(_))));
+
+        assert!(matches!(
+            decode_request(&[9, 0, 0]),
+            Err(NetError::Malformed(_))
+        ));
+        assert!(matches!(decode_response(&[]), Err(NetError::Malformed(_))));
+    }
+}

@@ -1,0 +1,670 @@
+//! The poll-loop server: one thread, many connections, bounded queues.
+//!
+//! [`NetServer`] multiplexes a non-blocking [`TcpListener`] and every accepted
+//! connection from a single thread — there is no per-connection thread and no
+//! per-request thread. Each iteration of the loop:
+//!
+//! 1. **accepts** any waiting connections (non-blocking),
+//! 2. **reads** whatever bytes each connection has, peeling complete frames
+//!    off its receive buffer and dispatching the requests,
+//! 3. **polls** the in-flight batcher tickets ([`Ticket::try_wait`]) and
+//!    encodes finished results into the connection's write buffer,
+//! 4. **writes** as much buffered output as each socket accepts,
+//!
+//! and sleeps briefly only when a full pass made no progress. The actual
+//! matrix work never runs on the poll thread: spmv/spmm requests are
+//! submitted to per-matrix [`Batcher`]s (each with its background service
+//! thread), which coalesce concurrent requests — possibly from *different
+//! connections* — into fused SpMM batches exactly as in-process callers do.
+//!
+//! **Admission control.** Submits go through
+//! [`Batcher::submit_bounded`] with the configured
+//! [`ServerConfig::queue_depth`]: when a matrix's queue is full the request
+//! is refused *under the queue lock* (the bound is exact, not
+//! check-then-act) and the client gets a typed
+//! [`ERR_OVERLOADED`](crate::protocol::ERR_OVERLOADED) response carrying a
+//! retry-after hint — the server's costs stay O(connections + queue_depth)
+//! no matter the offered load.
+//!
+//! **Registry LRU.** Every request resolves its matrix through
+//! [`MatrixRegistry::get`], which counts as an LRU touch and rematerializes
+//! cold entries. The server's batcher cache detects a rematerialized handle
+//! (pointer inequality) and rotates the batcher onto it, dropping its pin on
+//! the evicted engine.
+
+use crate::protocol::{self, Op, Request, Response};
+use spmv_obs::{Counter, MetricsSnapshot};
+use spmv_serve::batcher::Ticket;
+use spmv_serve::{BatchPolicy, Batcher, MatrixRegistry, ServeError, SolverSession};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-matrix bound on queued requests; submits beyond it are shed with
+    /// [`crate::protocol::ERR_OVERLOADED`].
+    pub queue_depth: usize,
+    /// Batching policy for the per-matrix coalescing queues.
+    pub batch: BatchPolicy,
+    /// Backoff hint (milliseconds) carried by load-shed responses.
+    pub retry_after_ms: u32,
+    /// Maximum accepted frame body size.
+    pub max_frame: u32,
+    /// Sleep between poll passes that made no progress.
+    pub idle_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_depth: 256,
+            batch: BatchPolicy::default(),
+            retry_after_ms: 1,
+            max_frame: protocol::MAX_FRAME,
+            idle_poll: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Lock-free counters of the network layer, shared with a running server.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    accepted: Counter,
+    closed: Counter,
+    requests: Counter,
+    responses: Counter,
+    sheds: Counter,
+    errors: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+}
+
+impl NetStats {
+    /// Connections accepted since the server started.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.get()
+    }
+
+    /// Connections closed (by either side) since the server started.
+    pub fn closed(&self) -> u64 {
+        self.closed.get()
+    }
+
+    /// Connections currently open.
+    pub fn active(&self) -> u64 {
+        self.accepted.get().saturating_sub(self.closed.get())
+    }
+
+    /// Requests decoded off the wire.
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Responses queued for sending (results and errors).
+    pub fn responses(&self) -> u64 {
+        self.responses.get()
+    }
+
+    /// Requests refused by admission control (load-shed responses sent).
+    pub fn sheds(&self) -> u64 {
+        self.sheds.get()
+    }
+
+    /// Error responses sent (sheds included).
+    pub fn errors(&self) -> u64 {
+        self.errors.get()
+    }
+
+    /// Payload bytes read off sockets.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.get()
+    }
+
+    /// Payload bytes written to sockets.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.get()
+    }
+
+    /// Fold the connection/shed counters into a [`MetricsSnapshot`] under
+    /// `spmv_net_*` families — scraped alongside
+    /// [`MatrixRegistry::metrics_snapshot`].
+    pub fn fold_into(&self, snap: &mut MetricsSnapshot) {
+        snap.counter("spmv_net_connections_accepted_total", self.accepted());
+        snap.counter("spmv_net_connections_closed_total", self.closed());
+        snap.gauge("spmv_net_connections_active", self.active() as f64);
+        snap.counter("spmv_net_requests_total", self.requests());
+        snap.counter("spmv_net_responses_total", self.responses());
+        snap.counter("spmv_net_sheds_total", self.sheds());
+        snap.counter("spmv_net_errors_total", self.errors());
+        snap.counter("spmv_net_bytes_in_total", self.bytes_in());
+        snap.counter("spmv_net_bytes_out_total", self.bytes_out());
+    }
+}
+
+/// One in-flight (submitted, unanswered) request of a connection.
+enum Pending {
+    Spmv {
+        id: u64,
+        ticket: Ticket,
+    },
+    Spmm {
+        id: u64,
+        tickets: Vec<Ticket>,
+        /// Resolved columns, in request order; `None` = still in flight.
+        done: Vec<Option<Vec<f64>>>,
+    },
+}
+
+/// Per-connection state: socket, codec buffers, in-flight tickets, and the
+/// connection's solver sessions (one per matrix — sessions are stateful,
+/// single-client objects, so they live with the connection).
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    inflight: Vec<Pending>,
+    solvers: HashMap<String, SolverSession>,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            inflight: Vec::new(),
+            solvers: HashMap::new(),
+            dead: false,
+        }
+    }
+}
+
+/// A bound, not-yet-running server. [`NetServer::run`] blocks the calling
+/// thread in the poll loop; [`NetServer::spawn`] moves it to a background
+/// thread and returns a [`NetServerHandle`].
+pub struct NetServer {
+    listener: TcpListener,
+    registry: Arc<MatrixRegistry>,
+    config: ServerConfig,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle to a spawned server: address, shared stats, and shutdown.
+pub struct NetServerHandle {
+    addr: SocketAddr,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl NetServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's live counters.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Stop the poll loop: in-flight batches are flushed (every accepted
+    /// request gets its response or a typed error — no stranded tickets),
+    /// buffered output is written, then connections close. Blocks until the
+    /// server thread exits. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for NetServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl NetServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) over `registry`.
+    pub fn bind(
+        registry: Arc<MatrixRegistry>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(NetServer {
+            listener,
+            registry,
+            config,
+            stats: Arc::new(NetStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the ephemeral port when bound to port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's live counters.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Run the poll loop on a background thread.
+    pub fn spawn(self) -> std::io::Result<NetServerHandle> {
+        let addr = self.local_addr()?;
+        let stats = Arc::clone(&self.stats);
+        let shutdown = Arc::clone(&self.shutdown);
+        let join = std::thread::Builder::new()
+            .name("spmv-net-server".into())
+            .spawn(move || self.run())?;
+        Ok(NetServerHandle {
+            addr,
+            stats,
+            shutdown,
+            join: Some(join),
+        })
+    }
+
+    /// Run the poll loop on the calling thread until shutdown is requested.
+    pub fn run(self) {
+        let NetServer {
+            listener,
+            registry,
+            config,
+            stats,
+            shutdown,
+        } = self;
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut batchers: HashMap<String, Batcher> = HashMap::new();
+
+        while !shutdown.load(Ordering::Acquire) {
+            let mut progress = false;
+
+            // 1. Accept everything waiting.
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        conns.push(Conn::new(stream));
+                        stats.accepted.inc();
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+
+            // 2–4. Pump every connection.
+            for conn in &mut conns {
+                progress |= pump(conn, &registry, &mut batchers, &config, &stats);
+            }
+            let before = conns.len();
+            conns.retain(|c| !c.dead);
+            stats.closed.add((before - conns.len()) as u64);
+
+            if !progress {
+                std::thread::sleep(config.idle_poll);
+            }
+        }
+
+        // Graceful drain: stop reading, flush the batchers (dropping a
+        // Batcher closes its queue, serves everything already admitted, and
+        // joins its service thread — so every in-flight ticket resolves),
+        // then deliver the buffered responses. Bounded: a peer that stopped
+        // reading cannot wedge shutdown.
+        drop(batchers);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            let mut outstanding = false;
+            for conn in &mut conns {
+                if conn.dead {
+                    continue;
+                }
+                poll_inflight(conn, &stats);
+                flush_writes(conn, &stats);
+                outstanding |= !conn.inflight.is_empty() || !conn.wbuf.is_empty();
+            }
+            if !outstanding {
+                break;
+            }
+            std::thread::sleep(config.idle_poll);
+        }
+        stats
+            .closed
+            .add(conns.iter().filter(|c| !c.dead).count() as u64);
+    }
+}
+
+/// One full pass over a connection: read + dispatch, poll tickets, write.
+/// Returns whether any progress was made.
+fn pump(
+    conn: &mut Conn,
+    registry: &Arc<MatrixRegistry>,
+    batchers: &mut HashMap<String, Batcher>,
+    config: &ServerConfig,
+    stats: &NetStats,
+) -> bool {
+    let mut progress = false;
+
+    // Read whatever the socket has.
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                stats.bytes_in.add(n as u64);
+                progress = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+
+    // Peel and dispatch complete frames.
+    let mut consumed = 0usize;
+    loop {
+        match protocol::take_frame(&conn.rbuf[consumed..], config.max_frame) {
+            Ok(Some((body, used))) => {
+                match protocol::decode_request(body) {
+                    Ok(req) => {
+                        stats.requests.inc();
+                        handle_request(req, conn, registry, batchers, config, stats);
+                    }
+                    Err(e) => {
+                        // The stream still frames correctly; answer the bad
+                        // request and keep the connection.
+                        respond(
+                            conn,
+                            Response::Error {
+                                id: 0,
+                                code: protocol::ERR_MALFORMED,
+                                retry_after_ms: 0,
+                                message: e.to_string(),
+                            },
+                            stats,
+                        );
+                    }
+                }
+                consumed += used;
+                progress = true;
+            }
+            Ok(None) => break,
+            Err(_) => {
+                // A lying length prefix: framing itself is broken, nothing
+                // after this point can be trusted. Drop the connection.
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if consumed > 0 {
+        conn.rbuf.drain(..consumed);
+    }
+
+    progress |= poll_inflight(conn, stats);
+    progress |= flush_writes(conn, stats);
+    progress
+}
+
+/// Dispatch one decoded request.
+fn handle_request(
+    req: Request,
+    conn: &mut Conn,
+    registry: &Arc<MatrixRegistry>,
+    batchers: &mut HashMap<String, Batcher>,
+    config: &ServerConfig,
+    stats: &NetStats,
+) {
+    let Request { id, matrix, op } = req;
+    let Some(served) = registry.get(&matrix) else {
+        respond(
+            conn,
+            error_response(id, &ServeError::UnknownMatrix(matrix), config),
+            stats,
+        );
+        return;
+    };
+
+    match op {
+        Op::Spmv { x } => {
+            let batcher = batcher_for(batchers, &matrix, &served, config);
+            match batcher.submit_bounded(x, config.queue_depth) {
+                Ok(ticket) => conn.inflight.push(Pending::Spmv { id, ticket }),
+                Err(e) => {
+                    if matches!(e, ServeError::Overloaded { .. }) {
+                        stats.sheds.inc();
+                    }
+                    respond(conn, error_response(id, &e, config), stats);
+                }
+            }
+        }
+        Op::Spmm { cols } => {
+            if cols.is_empty() {
+                respond(conn, Response::Spmm { id, cols: vec![] }, stats);
+                return;
+            }
+            let batcher = batcher_for(batchers, &matrix, &served, config);
+            let k = cols.len();
+            let mut tickets = Vec::with_capacity(k);
+            for col in cols {
+                match batcher.submit_bounded(col, config.queue_depth) {
+                    Ok(ticket) => tickets.push(ticket),
+                    Err(e) => {
+                        // Fail the whole block with one typed error; columns
+                        // already admitted will complete and be discarded.
+                        if matches!(e, ServeError::Overloaded { .. }) {
+                            stats.sheds.inc();
+                        }
+                        respond(conn, error_response(id, &e, config), stats);
+                        return;
+                    }
+                }
+            }
+            conn.inflight.push(Pending::Spmm {
+                id,
+                tickets,
+                done: (0..k).map(|_| None).collect(),
+            });
+        }
+        Op::SolverIterate { steps, b } => {
+            // Solver sessions are stateful single-client objects; their
+            // iterations run inline on the poll thread (each call is bounded
+            // by `steps`), keeping the session exactly as consistent as the
+            // in-process API.
+            let outcome = (|| -> spmv_serve::Result<Response> {
+                if let Some(b) = &b {
+                    match conn.solvers.get_mut(&matrix) {
+                        Some(session) => session.reset(b)?,
+                        None => {
+                            let session = served.solver_session(b)?;
+                            conn.solvers.insert(matrix.clone(), session);
+                        }
+                    }
+                }
+                let Some(session) = conn.solvers.get_mut(&matrix) else {
+                    return Ok(Response::Error {
+                        id,
+                        code: protocol::ERR_MALFORMED,
+                        retry_after_ms: 0,
+                        message: format!("no open solver session on '{matrix}' (send b first)"),
+                    });
+                };
+                let residual = session.iterate(steps as u64)?;
+                Ok(Response::Solver {
+                    id,
+                    x: session.extract(),
+                    residual,
+                })
+            })();
+            match outcome {
+                Ok(resp) => respond(conn, resp, stats),
+                Err(e) => respond(conn, error_response(id, &e, config), stats),
+            }
+        }
+    }
+}
+
+/// The batcher serving `name`, rotated onto `served` if the registry handed
+/// out a new handle (an LRU eviction rematerialized the matrix, or it was
+/// re-registered). Replacing the batcher drops the old one, which flushes
+/// whatever it had admitted and unpins the evicted engine.
+fn batcher_for<'a>(
+    batchers: &'a mut HashMap<String, Batcher>,
+    name: &str,
+    served: &Arc<spmv_serve::ServedMatrix>,
+    config: &ServerConfig,
+) -> &'a Batcher {
+    let stale = batchers
+        .get(name)
+        .is_some_and(|b| !Arc::ptr_eq(b.matrix(), served));
+    if stale {
+        batchers.remove(name);
+    }
+    batchers
+        .entry(name.to_string())
+        .or_insert_with(|| Batcher::spawn(Arc::clone(served), config.batch))
+}
+
+/// Poll every in-flight ticket; encode finished requests. Returns whether
+/// anything resolved.
+fn poll_inflight(conn: &mut Conn, stats: &NetStats) -> bool {
+    let mut finished: Vec<Response> = Vec::new();
+    conn.inflight.retain_mut(|pending| match pending {
+        Pending::Spmv { id, ticket } => match ticket.try_wait() {
+            None => true,
+            Some(Ok(y)) => {
+                finished.push(Response::Spmv { id: *id, y });
+                false
+            }
+            Some(Err(e)) => {
+                finished.push(serve_error_to_response(*id, &e, 0));
+                false
+            }
+        },
+        Pending::Spmm { id, tickets, done } => {
+            let mut failed: Option<ServeError> = None;
+            for (slot, ticket) in done.iter_mut().zip(tickets.iter()) {
+                if slot.is_some() {
+                    continue;
+                }
+                match ticket.try_wait() {
+                    None => {}
+                    Some(Ok(y)) => *slot = Some(y),
+                    Some(Err(e)) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failed {
+                finished.push(serve_error_to_response(*id, &e, 0));
+                return false;
+            }
+            if done.iter().all(Option::is_some) {
+                finished.push(Response::Spmm {
+                    id: *id,
+                    cols: done.iter_mut().map(|slot| slot.take().unwrap()).collect(),
+                });
+                return false;
+            }
+            true
+        }
+    });
+    let resolved = !finished.is_empty();
+    for resp in finished {
+        respond(conn, resp, stats);
+    }
+    resolved
+}
+
+/// Write as much buffered output as the socket accepts. Returns whether any
+/// bytes moved.
+fn flush_writes(conn: &mut Conn, stats: &NetStats) -> bool {
+    let mut written = 0usize;
+    while written < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[written..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if written > 0 {
+        conn.wbuf.drain(..written);
+        stats.bytes_out.add(written as u64);
+        return true;
+    }
+    false
+}
+
+/// Encode one response into the connection's write buffer.
+fn respond(conn: &mut Conn, resp: Response, stats: &NetStats) {
+    if matches!(resp, Response::Error { .. }) {
+        stats.errors.inc();
+    }
+    stats.responses.inc();
+    let body = protocol::encode_response(&resp);
+    protocol::write_frame(&mut conn.wbuf, &body);
+}
+
+/// Map a service-layer error to a typed wire response, attaching the
+/// configured retry-after hint to overload sheds.
+fn error_response(id: u64, e: &ServeError, config: &ServerConfig) -> Response {
+    serve_error_to_response(id, e, config.retry_after_ms)
+}
+
+fn serve_error_to_response(id: u64, e: &ServeError, retry_after_ms: u32) -> Response {
+    let (code, retry) = match e {
+        ServeError::UnknownMatrix(_) => (protocol::ERR_UNKNOWN_MATRIX, 0),
+        ServeError::DimensionMismatch { .. } => (protocol::ERR_DIMENSION, 0),
+        ServeError::Overloaded { .. } => (protocol::ERR_OVERLOADED, retry_after_ms.max(1)),
+        ServeError::BatchPanicked => (protocol::ERR_BATCH_PANICKED, 0),
+        ServeError::Closed => (protocol::ERR_CLOSED, 0),
+        ServeError::NotSquare { .. } => (protocol::ERR_NOT_SQUARE, 0),
+        _ => (protocol::ERR_INTERNAL, 0),
+    };
+    Response::Error {
+        id,
+        code,
+        retry_after_ms: retry,
+        message: e.to_string(),
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("queue_depth", &self.config.queue_depth)
+            .finish()
+    }
+}

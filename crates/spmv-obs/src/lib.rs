@@ -31,4 +31,5 @@ pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use snapshot::MetricsSnapshot;
+pub use timing::saturating_nanos;
 pub use trace::{TraceEvent, TraceKind, TraceRing};

@@ -12,7 +12,16 @@
 //!   gates compare ratios of short windows, and keeping the fastest
 //!   repetition is the standard cure for one-off scheduling blips.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Fold a [`Duration`] to whole nanoseconds as `u64`, saturating at
+/// `u64::MAX` (≈584 years) instead of silently truncating the high bits the
+/// way `as_nanos() as u64` would. Every timing counter and histogram in the
+/// workspace stores nanoseconds in `u64` slots; this is the one conversion
+/// they share.
+pub fn saturating_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Run `time_once` `runs` times and return the median elapsed seconds.
 pub fn median_timing(runs: usize, mut time_once: impl FnMut() -> f64) -> f64 {
@@ -56,6 +65,17 @@ pub fn best_of(reps: usize, budget_ms: u64, mut f: impl FnMut()) -> (f64, usize)
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn saturating_nanos_clamps_instead_of_truncating() {
+        assert_eq!(saturating_nanos(Duration::ZERO), 0);
+        assert_eq!(saturating_nanos(Duration::from_nanos(123)), 123);
+        // u64::MAX ns is ~584 years; Duration::MAX overflows u64 and must
+        // clamp, not wrap to a small value.
+        assert_eq!(saturating_nanos(Duration::MAX), u64::MAX);
+        let over = Duration::from_secs(u64::MAX / 1_000_000_000 + 1);
+        assert_eq!(saturating_nanos(over), u64::MAX);
+    }
 
     #[test]
     fn median_is_order_insensitive() {

@@ -35,6 +35,11 @@ pub enum TraceKind {
     SolverIterate = 7,
     /// A solver session resynced onto a swapped engine: `a` = resync count.
     SolverResync = 8,
+    /// A registry hot-set eviction: `a` = fingerprint low bits, `b` = evictions.
+    Evict = 9,
+    /// A cold registry entry was rematerialized: `a` = fingerprint low bits,
+    /// `b` = rebuilds.
+    ColdRebuild = 10,
 }
 
 impl TraceKind {
@@ -50,6 +55,8 @@ impl TraceKind {
             TraceKind::Retune => "serve.retune",
             TraceKind::SolverIterate => "solver.iterate",
             TraceKind::SolverResync => "solver.resync",
+            TraceKind::Evict => "registry.evict",
+            TraceKind::ColdRebuild => "registry.cold_rebuild",
         }
     }
 
@@ -64,6 +71,8 @@ impl TraceKind {
             6 => TraceKind::Retune,
             7 => TraceKind::SolverIterate,
             8 => TraceKind::SolverResync,
+            9 => TraceKind::Evict,
+            10 => TraceKind::ColdRebuild,
             _ => return None,
         })
     }
@@ -124,7 +133,7 @@ impl TraceRing {
     pub fn push(&self, kind: TraceKind, a: u64, b: u64) {
         let idx = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(idx % self.slots.len() as u64) as usize];
-        let t_ns = self.origin.elapsed().as_nanos() as u64;
+        let t_ns = crate::timing::saturating_nanos(self.origin.elapsed());
         slot.t_ns.store(t_ns, Ordering::Relaxed);
         slot.kind.store(kind as u64, Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);

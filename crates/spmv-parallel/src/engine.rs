@@ -829,7 +829,7 @@ impl SpmvEngine {
             }
         }
         if let Some(t0) = t0 {
-            self.observe_epoch(command, t0.elapsed().as_nanos() as u64);
+            self.observe_epoch(command, spmv_obs::saturating_nanos(t0.elapsed()));
         }
     }
 
@@ -1243,7 +1243,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, spec: BlockSpec) {
         if let Some(t0) = prof_t0 {
             shared.prof[tid]
                 .0
-                .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .store(spmv_obs::saturating_nanos(t0.elapsed()), Ordering::Relaxed);
         }
 
         // Completion barrier: last worker of the epoch wakes the caller.

@@ -71,6 +71,15 @@ pub enum ServeError {
     /// The batcher (or the reply channel) was shut down before the request
     /// completed.
     Closed,
+    /// The batch this request was served in panicked during execution; the
+    /// queue stays usable and the request may be retried.
+    BatchPanicked,
+    /// Admission control refused the request: the bounded queue in front of
+    /// the matrix is full. Retry after backing off.
+    Overloaded {
+        /// Requests already waiting when the submit was refused.
+        pending: usize,
+    },
     /// A matrix with this name is already registered.
     AlreadyRegistered(String),
     /// No matrix with this name is registered.
@@ -98,6 +107,15 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Closed => write!(f, "the batcher is shut down"),
+            ServeError::BatchPanicked => {
+                write!(
+                    f,
+                    "the batch serving this request panicked during execution"
+                )
+            }
+            ServeError::Overloaded { pending } => {
+                write!(f, "queue full ({pending} requests pending), retry later")
+            }
             ServeError::AlreadyRegistered(name) => {
                 write!(f, "matrix '{name}' is already registered")
             }

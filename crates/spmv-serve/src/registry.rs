@@ -39,7 +39,7 @@ use spmv_parallel::SpmvEngine;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 
 /// One registered matrix: its identity, its (hot-swappable) tune plan, and the
@@ -72,6 +72,9 @@ pub struct ServedMatrix {
     solver_iterations: Counter,
     /// Solver resyncs after an engine hot-swap mid-session.
     solver_resyncs: Counter,
+    /// LRU stamp: the registry clock value of the most recent access. Only
+    /// meaningful for matrices currently resident in a registry's hot set.
+    touch: AtomicU64,
 }
 
 impl ServedMatrix {
@@ -81,6 +84,7 @@ impl ServedMatrix {
         plan: TunePlan,
         config: TuningConfig,
         affinity: AffinityPolicy,
+        stats: Arc<ServeStats>,
     ) -> Result<ServedMatrix> {
         let engine = SpmvEngine::from_plan_with_affinity(&csr, &plan, affinity)?;
         Ok(ServedMatrix {
@@ -95,11 +99,25 @@ impl ServedMatrix {
             plan: RwLock::new(plan),
             engine: Mutex::new(engine),
             retunes: AtomicU64::new(0),
-            stats: Arc::new(ServeStats::new()),
+            stats,
             solver_sessions: Counter::new(),
             solver_iterations: Counter::new(),
             solver_resyncs: Counter::new(),
+            touch: AtomicU64::new(0),
         })
+    }
+
+    /// Lock the serving engine, recovering from poisoning: a panic inside a
+    /// kernel call happens before or after an epoch (the engine launches and
+    /// joins workers per call), so the resident state a later caller sees is
+    /// consistent — and a serving fleet must not let one panicked request
+    /// wedge every future `spmv_now` on the matrix.
+    fn engine(&self) -> MutexGuard<'_, SpmvEngine> {
+        self.engine.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn plan_read(&self) -> RwLockReadGuard<'_, TunePlan> {
+        self.plan.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The matrix's structural fingerprint (computed once at registration).
@@ -141,14 +159,14 @@ impl ServedMatrix {
     /// The tune plan currently serving (a snapshot — a concurrent retune may
     /// swap in a new one right after this returns).
     pub fn plan(&self) -> TunePlan {
-        self.plan.read().unwrap().clone()
+        self.plan_read().clone()
     }
 
     /// Whether the matrix is currently served from symmetric (lower-triangle)
     /// storage — chosen automatically when the tuning config exploits symmetry
     /// and the inserted matrix is detected symmetric.
     pub fn is_symmetric(&self) -> bool {
-        self.plan.read().unwrap().symmetric
+        self.plan_read().symmetric
     }
 
     /// Whether any worker of the serving plan runs the vectorized (SIMD)
@@ -156,7 +174,7 @@ impl ServedMatrix {
     /// whose detected feature set matches the cache's platform key, so this
     /// is also an operational probe for "did the SIMD plan survive the trip".
     pub fn uses_simd(&self) -> bool {
-        self.plan.read().unwrap().threads.iter().any(|t| t.simd)
+        self.plan_read().threads.iter().any(|t| t.simd)
     }
 
     /// How many engine hot-swaps this matrix has completed.
@@ -204,7 +222,7 @@ impl ServedMatrix {
     /// The serving engine's telemetry profile: epochs by kind, per-worker
     /// kernel/barrier time and nnz, and the epoch wall-time distribution.
     pub fn engine_profile(&self) -> EngineProfile {
-        self.engine.lock().unwrap().profile()
+        self.engine().profile()
     }
 
     /// The shared matrix storage (for building session-private engines).
@@ -219,7 +237,7 @@ impl ServedMatrix {
 
     /// The engine's footprint report (per-worker bytes + affinity policy).
     pub fn footprint(&self) -> EngineFootprint {
-        self.engine.lock().unwrap().footprint()
+        self.engine().footprint()
     }
 
     /// Apply the matrix to one vector immediately, bypassing any batching.
@@ -231,7 +249,7 @@ impl ServedMatrix {
             });
         }
         let mut y = vec![0.0; self.nrows];
-        self.engine.lock().unwrap().spmv(x, &mut y);
+        self.engine().spmv(x, &mut y);
         Ok(y)
     }
 
@@ -244,14 +262,14 @@ impl ServedMatrix {
             });
         }
         let mut y = MultiVec::zeros(self.nrows, x.k());
-        self.engine.lock().unwrap().spmm(x, &mut y);
+        self.engine().spmm(x, &mut y);
         Ok(y)
     }
 
     /// Apply a prebuilt block into a caller-owned destination (the batcher's
     /// zero-copy path), timing only the engine execution.
     pub(crate) fn spmm_into(&self, x: &MultiVec, y: &mut MultiVec) -> std::time::Duration {
-        let mut engine = self.engine.lock().unwrap();
+        let mut engine = self.engine();
         let t0 = std::time::Instant::now();
         engine.spmm(x, y);
         t0.elapsed()
@@ -267,11 +285,11 @@ impl ServedMatrix {
     pub fn swap_plan(&self, plan: TunePlan) -> Result<()> {
         let replacement = SpmvEngine::from_plan_with_affinity(&self.csr, &plan, self.affinity)?;
         let old = {
-            let mut engine = self.engine.lock().unwrap();
+            let mut engine = self.engine();
             let old = engine.swap_with(replacement);
             // Plan updated under the engine lock: a reader holding a fresh
             // plan() snapshot is looking at the engine that serves it.
-            *self.plan.write().unwrap() = plan;
+            *self.plan.write().unwrap_or_else(|e| e.into_inner()) = plan;
             old
         };
         drop(old);
@@ -285,9 +303,9 @@ impl ServedMatrix {
     /// Returns whether a swap happened. Serving continues uninterrupted
     /// throughout.
     pub fn retune(&self, budget: SearchBudget) -> Result<bool> {
-        let nthreads = self.plan.read().unwrap().num_threads();
+        let nthreads = self.plan_read().num_threads();
         let outcome = autotune(&self.csr, nthreads, &self.config, budget);
-        if outcome.plan == *self.plan.read().unwrap() {
+        if outcome.plan == *self.plan_read() {
             return Ok(false);
         }
         self.swap_plan(outcome.plan)?;
@@ -307,14 +325,56 @@ impl std::fmt::Debug for ServedMatrix {
     }
 }
 
-/// Named matrices → tuned, running engines.
+/// One registry entry: resident (engine running, workers live) or demoted to
+/// the cold tier (engine torn down; see [`ColdEntry`] for what survives).
+enum Slot {
+    Hot(Arc<ServedMatrix>),
+    Cold(ColdEntry),
+}
+
+/// What an eviction retains: enough to rematerialize the served handle with
+/// no tuning search (the matrix and the plan it was serving), plus the serve
+/// statistics and lifetime counters so every exported counter family stays
+/// monotonic across demote/rematerialize cycles — a Prometheus counter that
+/// jumps backwards reads as a process restart.
+struct ColdEntry {
+    csr: Arc<CsrMatrix>,
+    plan: TunePlan,
+    stats: Arc<ServeStats>,
+    retunes: u64,
+    solver_sessions: u64,
+    solver_iterations: u64,
+    solver_resyncs: u64,
+}
+
+/// Named matrices → tuned, running engines, with an optional LRU hot set.
+///
+/// By default every registered matrix keeps its engine resident. A serving
+/// fleet whose catalogue exceeds memory caps residency instead:
+/// [`MatrixRegistry::with_hot_capacity`] bounds the number of **hot** (engine
+/// running) matrices; registering or touching a matrix beyond the cap demotes
+/// the least-recently-used hot entry to a cold tier that retains the matrix,
+/// its tune plan, and its statistics but tears the engine (and its worker
+/// threads) down. A [`MatrixRegistry::get`] on a cold entry rematerializes
+/// the engine from the retained plan — no tuning search — and re-enters it in
+/// the hot set, demoting someone else if needed. Outstanding
+/// `Arc<ServedMatrix>` handles (a batcher mid-flight on an evicted matrix)
+/// keep their engine alive until dropped, so eviction never interrupts
+/// in-flight work; the handle a later `get` returns is simply a fresh one.
 pub struct MatrixRegistry {
-    matrices: RwLock<HashMap<String, Arc<ServedMatrix>>>,
+    matrices: RwLock<HashMap<String, Slot>>,
     nthreads: usize,
     config: TuningConfig,
     affinity: AffinityPolicy,
     budget: SearchBudget,
     cache: Option<Arc<TuneCache>>,
+    /// Max hot (engine-resident) matrices; `None` = unbounded (every entry hot).
+    hot_capacity: Option<usize>,
+    /// LRU clock: bumped on every insert/touch; hot entries carry the stamp
+    /// of their most recent access in [`ServedMatrix::touch`].
+    clock: AtomicU64,
+    evictions: Counter,
+    cold_rebuilds: Counter,
 }
 
 impl MatrixRegistry {
@@ -341,7 +401,21 @@ impl MatrixRegistry {
             affinity,
             budget: SearchBudget::Heuristic,
             cache: None,
+            hot_capacity: None,
+            clock: AtomicU64::new(0),
+            evictions: Counter::new(),
+            cold_rebuilds: Counter::new(),
         }
+    }
+
+    /// Cap the hot set at `capacity` engine-resident matrices. Registering or
+    /// touching a matrix beyond the cap demotes the least-recently-used hot
+    /// entry (engine torn down, matrix + plan + stats retained); a later
+    /// [`MatrixRegistry::get`] rematerializes it from the retained plan.
+    pub fn with_hot_capacity(mut self, capacity: usize) -> MatrixRegistry {
+        assert!(capacity > 0, "hot set needs room for at least one matrix");
+        self.hot_capacity = Some(capacity);
+        self
     }
 
     /// Tune inserts with the measured whole-plan search at `budget` instead of
@@ -425,7 +499,7 @@ impl MatrixRegistry {
     ) -> Result<Arc<ServedMatrix>> {
         // Cheap duplicate check first: building the engine materializes the
         // whole matrix and spawns workers, which a taken name must not cost.
-        if self.matrices.read().unwrap().contains_key(name) {
+        if self.read_map().contains_key(name) {
             return Err(ServeError::AlreadyRegistered(name.to_string()));
         }
         let served = Arc::new(ServedMatrix::build(
@@ -434,14 +508,17 @@ impl MatrixRegistry {
             plan,
             self.config,
             self.affinity,
+            Arc::new(ServeStats::new()),
         )?);
-        let mut map = self.matrices.write().unwrap();
+        served.touch.store(self.next_stamp(), Ordering::Relaxed);
+        let mut map = self.write_map();
         // Re-check under the write lock: a racing insert may have won the name
         // while this one was building.
         if map.contains_key(name) {
             return Err(ServeError::AlreadyRegistered(name.to_string()));
         }
-        map.insert(name.to_string(), Arc::clone(&served));
+        map.insert(name.to_string(), Slot::Hot(Arc::clone(&served)));
+        self.enforce_capacity(&mut map);
         Ok(served)
     }
 
@@ -512,39 +589,221 @@ impl MatrixRegistry {
         Ok(handle)
     }
 
-    /// Look up a served matrix by name.
-    pub fn get(&self, name: &str) -> Option<Arc<ServedMatrix>> {
-        self.matrices.read().unwrap().get(name).cloned()
+    /// Lock the registry map for reading, recovering from poisoning: the map
+    /// is consistent at every panic point (slot replacement is a single
+    /// `insert`), and a serving fleet must keep resolving names after one
+    /// panicked peer.
+    fn read_map(&self) -> RwLockReadGuard<'_, HashMap<String, Slot>> {
+        self.matrices.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Registered names, sorted.
+    fn write_map(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Slot>> {
+        self.matrices.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The next LRU clock value (monotonic, never 0 after first use).
+    fn next_stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Look up a served matrix by name, rematerializing it from the cold tier
+    /// if a bounded hot set evicted it (see [`MatrixRegistry::with_hot_capacity`]).
+    /// Every hit — hot or rebuilt — counts as an LRU touch.
+    pub fn get(&self, name: &str) -> Option<Arc<ServedMatrix>> {
+        {
+            let map = self.read_map();
+            match map.get(name) {
+                Some(Slot::Hot(served)) => {
+                    served.touch.store(self.next_stamp(), Ordering::Relaxed);
+                    return Some(Arc::clone(served));
+                }
+                Some(Slot::Cold(_)) => {}
+                None => return None,
+            }
+        }
+        self.rematerialize(name)
+    }
+
+    /// Rebuild a cold entry's engine from its retained plan (no tuning
+    /// search) and promote it back into the hot set. The engine build — the
+    /// expensive part — runs off the registry lock; concurrent `get`s on the
+    /// same cold name may race the build, and the first to take the write
+    /// lock wins (the losers adopt the winner's handle, their spare engine
+    /// drops).
+    fn rematerialize(&self, name: &str) -> Option<Arc<ServedMatrix>> {
+        let cold = {
+            let map = self.read_map();
+            match map.get(name) {
+                Some(Slot::Cold(c)) => ColdEntry {
+                    csr: Arc::clone(&c.csr),
+                    plan: c.plan.clone(),
+                    stats: Arc::clone(&c.stats),
+                    retunes: c.retunes,
+                    solver_sessions: c.solver_sessions,
+                    solver_iterations: c.solver_iterations,
+                    solver_resyncs: c.solver_resyncs,
+                },
+                // Raced: someone else already rebuilt (or the name vanished).
+                Some(Slot::Hot(served)) => {
+                    served.touch.store(self.next_stamp(), Ordering::Relaxed);
+                    return Some(Arc::clone(served));
+                }
+                None => return None,
+            }
+        };
+        // The retained plan validated against this matrix when it first
+        // served, so the rebuild is infallible in practice; a genuine failure
+        // (resource exhaustion) reads as "not found" rather than a panic.
+        let served = ServedMatrix::build(
+            name,
+            cold.csr,
+            cold.plan,
+            self.config,
+            self.affinity,
+            cold.stats,
+        )
+        .ok()
+        .map(Arc::new)?;
+        served.retunes.store(cold.retunes, Ordering::Relaxed);
+        served.solver_sessions.add(cold.solver_sessions);
+        served.solver_iterations.add(cold.solver_iterations);
+        served.solver_resyncs.add(cold.solver_resyncs);
+        served.touch.store(self.next_stamp(), Ordering::Relaxed);
+        let mut map = self.write_map();
+        match map.get(name) {
+            Some(Slot::Cold(_)) => {}
+            Some(Slot::Hot(winner)) => {
+                winner.touch.store(self.next_stamp(), Ordering::Relaxed);
+                return Some(Arc::clone(winner));
+            }
+            None => return None,
+        }
+        map.insert(name.to_string(), Slot::Hot(Arc::clone(&served)));
+        self.cold_rebuilds.inc();
+        spmv_obs::trace::trace(
+            TraceKind::ColdRebuild,
+            served.fingerprint.hash,
+            self.cold_rebuilds.get(),
+        );
+        self.enforce_capacity(&mut map);
+        Some(served)
+    }
+
+    /// Demote least-recently-used hot entries until the hot set fits the cap.
+    /// Called with the write lock held, right after a promotion/insert.
+    fn enforce_capacity(&self, map: &mut HashMap<String, Slot>) {
+        let Some(capacity) = self.hot_capacity else {
+            return;
+        };
+        loop {
+            let mut hot = 0usize;
+            let mut victim: Option<(String, u64)> = None;
+            for (name, slot) in map.iter() {
+                if let Slot::Hot(served) = slot {
+                    hot += 1;
+                    let stamp = served.touch.load(Ordering::Relaxed);
+                    if victim.as_ref().is_none_or(|(_, s)| stamp < *s) {
+                        victim = Some((name.clone(), stamp));
+                    }
+                }
+            }
+            if hot <= capacity {
+                return;
+            }
+            let (name, _) = victim.expect("hot > capacity >= 1 implies a victim");
+            self.demote(map, &name);
+        }
+    }
+
+    /// Demote one hot entry to the cold tier: snapshot what must survive
+    /// (matrix, serving plan, stats, lifetime counters), then replace the
+    /// slot. Dropping the map's `Arc` tears the engine down unless an
+    /// outstanding handle (a batcher mid-flight) still holds it — in-flight
+    /// work always completes on the engine it started on.
+    fn demote(&self, map: &mut HashMap<String, Slot>, name: &str) {
+        let Some(Slot::Hot(served)) = map.get(name) else {
+            return;
+        };
+        let cold = ColdEntry {
+            csr: Arc::clone(&served.csr),
+            plan: served.plan(),
+            stats: Arc::clone(&served.stats),
+            retunes: served.retune_count(),
+            solver_sessions: served.solver_sessions(),
+            solver_iterations: served.solver_iterations(),
+            solver_resyncs: served.solver_resyncs(),
+        };
+        let fingerprint = served.fingerprint.hash;
+        map.insert(name.to_string(), Slot::Cold(cold));
+        self.evictions.inc();
+        spmv_obs::trace::trace(TraceKind::Evict, fingerprint, self.evictions.get());
+    }
+
+    /// Registered names (hot and cold), sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.matrices.read().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = self.read_map().keys().cloned().collect();
         names.sort();
         names
     }
 
-    /// Number of registered matrices.
+    /// Number of registered matrices, hot and cold.
     pub fn len(&self) -> usize {
-        self.matrices.read().unwrap().len()
+        self.read_map().len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.matrices.read().unwrap().is_empty()
+        self.read_map().is_empty()
+    }
+
+    /// Matrices currently hot (engine resident). Equals [`MatrixRegistry::len`]
+    /// unless a hot-capacity cap demoted someone.
+    pub fn hot_len(&self) -> usize {
+        self.read_map()
+            .values()
+            .filter(|slot| matches!(slot, Slot::Hot(_)))
+            .count()
+    }
+
+    /// Whether `name` is currently hot (false when cold or absent).
+    pub fn is_hot(&self, name: &str) -> bool {
+        matches!(self.read_map().get(name), Some(Slot::Hot(_)))
+    }
+
+    /// Hot-set evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Cold entries rematerialized (engine rebuilt from the retained plan).
+    pub fn cold_rebuilds(&self) -> u64 {
+        self.cold_rebuilds.get()
     }
 
     /// Remove a matrix. Existing `Arc<ServedMatrix>` handles (and batchers
     /// holding them) stay valid; the name becomes free for re-registration.
+    /// Returns the served handle when the entry was hot; removing a cold
+    /// entry frees the name but has no engine to return.
     pub fn remove(&self, name: &str) -> Option<Arc<ServedMatrix>> {
-        self.matrices.write().unwrap().remove(name)
+        match self.write_map().remove(name) {
+            Some(Slot::Hot(served)) => Some(served),
+            Some(Slot::Cold(_)) | None => None,
+        }
     }
 
-    /// Served handles sorted by name — a stable iteration order for scrapes,
-    /// snapshotted so the registry lock is not held while engines are probed.
+    /// Hot served handles sorted by name — a stable iteration order for
+    /// scrapes, snapshotted so the registry lock is not held while engines
+    /// are probed. Cold entries have no engine; their serve statistics are
+    /// folded into [`MatrixRegistry::metrics_snapshot`] separately.
     fn served_sorted(&self) -> Vec<Arc<ServedMatrix>> {
-        let mut served: Vec<Arc<ServedMatrix>> =
-            self.matrices.read().unwrap().values().cloned().collect();
+        let mut served: Vec<Arc<ServedMatrix>> = self
+            .read_map()
+            .values()
+            .filter_map(|slot| match slot {
+                Slot::Hot(served) => Some(Arc::clone(served)),
+                Slot::Cold(_) => None,
+            })
+            .collect();
         served.sort_by(|a, b| a.name().cmp(b.name()));
         served
     }
@@ -573,34 +832,104 @@ impl MatrixRegistry {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::new();
         let mut fleet_bytes = 0u64;
-        for m in self.served_sorted() {
-            let tag = |metric: &str| format!("{metric}{{matrix=\"{}\"}}", m.name());
-            let profile = m.engine_profile();
-            let footprint = m.footprint();
-            fleet_bytes += footprint.total_bytes as u64;
 
-            snap.counter(tag("spmv_engine_epochs_total"), profile.epochs);
-            snap.counter(tag("spmv_engine_spmv_epochs_total"), profile.spmv_epochs);
-            snap.counter(tag("spmv_engine_spmm_epochs_total"), profile.spmm_epochs);
-            snap.counter(
-                tag("spmv_engine_solver_epochs_total"),
-                profile.solver_epochs,
-            );
-            snap.counter(tag("spmv_engine_kernel_ns_total"), profile.kernel_ns());
-            snap.counter(tag("spmv_engine_barrier_ns_total"), profile.barrier_ns());
-            snap.gauge(tag("spmv_engine_time_imbalance"), profile.time_imbalance());
-            snap.gauge(tag("spmv_engine_nnz_imbalance"), profile.nnz_imbalance());
-            snap.gauge(tag("spmv_engine_workers"), profile.workers.len() as f64);
-            snap.gauge(
-                tag("spmv_engine_resident_bytes"),
-                footprint.total_bytes as f64,
-            );
-            snap.histogram(tag("spmv_engine_epoch_ns"), profile.epoch_ns);
-            snap.counter(tag("spmv_retunes_total"), m.retune_count());
+        // Serve-loop stats per matrix, hot or cold: a cold entry's engine is
+        // gone but its counters live on (the stats Arc rides the ColdEntry),
+        // so requests/sheds stay monotonic across demote/rematerialize.
+        enum Scrape {
+            Hot(Arc<ServedMatrix>),
+            Cold {
+                stats: Arc<ServeStats>,
+                retunes: u64,
+                solver_sessions: u64,
+                solver_iterations: u64,
+                solver_resyncs: u64,
+            },
+        }
+        let mut entries: Vec<(String, Scrape)> = {
+            let map = self.read_map();
+            map.iter()
+                .map(|(name, slot)| {
+                    let scrape = match slot {
+                        Slot::Hot(served) => Scrape::Hot(Arc::clone(served)),
+                        Slot::Cold(c) => Scrape::Cold {
+                            stats: Arc::clone(&c.stats),
+                            retunes: c.retunes,
+                            solver_sessions: c.solver_sessions,
+                            solver_iterations: c.solver_iterations,
+                            solver_resyncs: c.solver_resyncs,
+                        },
+                    };
+                    (name.clone(), scrape)
+                })
+                .collect()
+        };
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
 
-            let stats = m.serve_stats();
+        let mut hot = 0u64;
+        for (name, entry) in &entries {
+            let tag = |metric: &str| format!("{metric}{{matrix=\"{name}\"}}");
+            let (stats, retunes, sessions, iterations, resyncs) = match entry {
+                Scrape::Hot(m) => {
+                    hot += 1;
+                    // Engines are probed outside the registry lock (the map
+                    // guard dropped when `entries` was built), so a scrape
+                    // never blocks inserts.
+                    let profile = m.engine_profile();
+                    let footprint = m.footprint();
+                    fleet_bytes += footprint.total_bytes as u64;
+
+                    snap.counter(tag("spmv_engine_epochs_total"), profile.epochs);
+                    snap.counter(tag("spmv_engine_spmv_epochs_total"), profile.spmv_epochs);
+                    snap.counter(tag("spmv_engine_spmm_epochs_total"), profile.spmm_epochs);
+                    snap.counter(
+                        tag("spmv_engine_solver_epochs_total"),
+                        profile.solver_epochs,
+                    );
+                    snap.counter(tag("spmv_engine_kernel_ns_total"), profile.kernel_ns());
+                    snap.counter(tag("spmv_engine_barrier_ns_total"), profile.barrier_ns());
+                    snap.gauge(tag("spmv_engine_time_imbalance"), profile.time_imbalance());
+                    snap.gauge(tag("spmv_engine_nnz_imbalance"), profile.nnz_imbalance());
+                    snap.gauge(tag("spmv_engine_workers"), profile.workers.len() as f64);
+                    snap.gauge(
+                        tag("spmv_engine_resident_bytes"),
+                        footprint.total_bytes as f64,
+                    );
+                    snap.histogram(tag("spmv_engine_epoch_ns"), profile.epoch_ns);
+                    snap.gauge(tag("spmv_registry_hot"), 1.0);
+                    (
+                        Arc::clone(m.serve_stats()),
+                        m.retune_count(),
+                        m.solver_sessions(),
+                        m.solver_iterations(),
+                        m.solver_resyncs(),
+                    )
+                }
+                Scrape::Cold {
+                    stats,
+                    retunes,
+                    solver_sessions,
+                    solver_iterations,
+                    solver_resyncs,
+                } => {
+                    snap.gauge(tag("spmv_registry_hot"), 0.0);
+                    (
+                        Arc::clone(stats),
+                        *retunes,
+                        *solver_sessions,
+                        *solver_iterations,
+                        *solver_resyncs,
+                    )
+                }
+            };
+            snap.counter(tag("spmv_retunes_total"), retunes);
             snap.counter(tag("spmv_serve_requests_total"), stats.requests());
             snap.counter(tag("spmv_serve_batches_total"), stats.batches());
+            snap.counter(tag("spmv_serve_sheds_total"), stats.sheds());
+            snap.counter(
+                tag("spmv_serve_failed_batches_total"),
+                stats.failed_batches(),
+            );
             snap.histogram(tag("spmv_serve_latency_ns"), stats.latency_histogram());
             snap.histogram(
                 tag("spmv_serve_queue_wait_ns"),
@@ -611,9 +940,9 @@ impl MatrixRegistry {
                 stats.occupancy_histogram(),
             );
 
-            snap.counter(tag("spmv_solver_sessions_total"), m.solver_sessions());
-            snap.counter(tag("spmv_solver_iterations_total"), m.solver_iterations());
-            snap.counter(tag("spmv_solver_resyncs_total"), m.solver_resyncs());
+            snap.counter(tag("spmv_solver_sessions_total"), sessions);
+            snap.counter(tag("spmv_solver_iterations_total"), iterations);
+            snap.counter(tag("spmv_solver_resyncs_total"), resyncs);
         }
         if let Some(cache) = &self.cache {
             snap.counter("spmv_tune_cache_hits_total", cache.hit_count());
@@ -621,7 +950,14 @@ impl MatrixRegistry {
             snap.counter("spmv_tune_cache_searches_total", cache.search_count());
             snap.counter("spmv_tune_search_ns_total", cache.search_nanos());
         }
-        snap.gauge("spmv_fleet_matrices", self.len() as f64);
+        snap.counter("spmv_registry_evictions_total", self.evictions());
+        snap.counter("spmv_registry_cold_rebuilds_total", self.cold_rebuilds());
+        snap.gauge("spmv_registry_hot_matrices", hot as f64);
+        snap.gauge(
+            "spmv_registry_cold_matrices",
+            (entries.len() as u64 - hot) as f64,
+        );
+        snap.gauge("spmv_fleet_matrices", entries.len() as f64);
         snap.gauge("spmv_fleet_resident_bytes", fleet_bytes as f64);
         snap
     }
@@ -881,5 +1217,108 @@ mod tests {
             .retune_background("absent", SearchBudget::Pruned)
             .is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_eviction_demotes_and_rematerializes() {
+        let registry = MatrixRegistry::new(1, TuningConfig::naive()).with_hot_capacity(2);
+        let a = random_csr(30, 20, 200, 20);
+        let b = random_csr(30, 20, 220, 21);
+        let c = random_csr(30, 20, 240, 22);
+        let served_a = registry.insert("a", &a).unwrap();
+        let plan_a = served_a.plan();
+        registry.insert("b", &b).unwrap();
+        assert_eq!(registry.hot_len(), 2);
+        assert_eq!(registry.evictions(), 0);
+
+        // Touch "a" so "b" becomes the LRU victim when "c" arrives.
+        registry.get("a").unwrap();
+        registry.insert("c", &c).unwrap();
+        assert_eq!(registry.len(), 3, "cold entries stay registered");
+        assert_eq!(registry.hot_len(), 2);
+        assert_eq!(registry.evictions(), 1);
+        assert!(registry.is_hot("a") && registry.is_hot("c"));
+        assert!(!registry.is_hot("b"));
+        assert!(registry.names().contains(&"b".to_string()));
+
+        // A get on the cold name rebuilds the engine from the retained plan
+        // (no search) and demotes the new LRU ("a" is older than "c").
+        let revived = registry.get("b").unwrap();
+        assert_eq!(registry.cold_rebuilds(), 1);
+        assert!(registry.is_hot("b") && !registry.is_hot("a"));
+        let x: Vec<f64> = (0..20).map(|i| (i % 4) as f64).collect();
+        let mut expected = vec![0.0; 30];
+        b.spmv(&x, &mut expected);
+        let y = revived.spmv_now(&x).unwrap();
+        assert!(y.iter().zip(&expected).all(|(p, q)| (p - q).abs() < 1e-9));
+
+        // "a" survives its own demote/revive round-trip with plan intact.
+        let revived_a = registry.get("a").unwrap();
+        assert_eq!(revived_a.plan(), plan_a);
+        assert_eq!(registry.cold_rebuilds(), 2);
+        assert_eq!(registry.hot_len(), 2);
+
+        // Removing a cold entry frees the name (no engine to return).
+        assert!(!registry.is_hot("c") || !registry.is_hot("b"));
+        let cold_name = if registry.is_hot("b") { "c" } else { "b" };
+        assert!(registry.remove(cold_name).is_none());
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn eviction_with_inflight_batcher_completes_and_keeps_stats() {
+        use crate::batcher::{BatchPolicy, Batcher};
+
+        let registry = MatrixRegistry::new(1, TuningConfig::naive()).with_hot_capacity(1);
+        let a = random_csr(24, 16, 150, 30);
+        let served_a = registry.insert("a", &a).unwrap();
+        let batcher = Batcher::manual(Arc::clone(&served_a), BatchPolicy::default());
+        let x: Vec<f64> = (0..16).map(|i| (i % 5) as f64 * 0.25).collect();
+        let ticket = batcher.submit(x.clone()).unwrap();
+
+        // Registering "b" evicts "a" while its batch is still queued. The
+        // batcher's Arc keeps the evicted engine alive; the batch completes
+        // on it bit-identically.
+        let b = random_csr(24, 16, 150, 31);
+        registry.insert("b", &b).unwrap();
+        assert!(!registry.is_hot("a"));
+        assert_eq!(registry.evictions(), 1);
+        assert_eq!(batcher.run_once(), 1);
+        let y = ticket.wait().unwrap();
+        let mut expected = vec![0.0; 24];
+        a.spmv(&x, &mut expected);
+        assert!(y.iter().zip(&expected).all(|(p, q)| (p - q).abs() < 1e-9));
+        drop(batcher);
+
+        // The request recorded after the eviction is visible through the
+        // rematerialized handle: the stats instance rode the cold entry.
+        let revived = registry.get("a").unwrap();
+        assert_eq!(registry.cold_rebuilds(), 1);
+        assert_eq!(revived.serve_stats().requests(), 1);
+        assert!(
+            !Arc::ptr_eq(&served_a, &revived),
+            "fresh handle, same stats"
+        );
+    }
+
+    #[test]
+    fn metrics_expose_lru_and_failure_counters() {
+        let registry = MatrixRegistry::new(1, TuningConfig::naive()).with_hot_capacity(1);
+        let a = random_csr(20, 20, 100, 40);
+        let b = random_csr(20, 20, 100, 41);
+        registry.insert("a", &a).unwrap();
+        registry.insert("b", &b).unwrap();
+        let text = registry.metrics();
+        assert!(text.contains("spmv_registry_evictions_total 1"));
+        assert!(text.contains("spmv_registry_cold_rebuilds_total 0"));
+        assert!(text.contains("spmv_registry_hot_matrices 1"));
+        assert!(text.contains("spmv_registry_cold_matrices 1"));
+        // Cold entries still export their serve counters, and the load-shed /
+        // failed-batch families are present per matrix.
+        assert!(text.contains("spmv_serve_requests_total{matrix=\"a\"} 0"));
+        assert!(text.contains("spmv_serve_sheds_total{matrix=\"a\"} 0"));
+        assert!(text.contains("spmv_serve_failed_batches_total{matrix=\"b\"} 0"));
+        assert!(text.contains("spmv_registry_hot{matrix=\"a\"} 0"));
+        assert!(text.contains("spmv_registry_hot{matrix=\"b\"} 1"));
     }
 }

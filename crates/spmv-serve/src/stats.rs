@@ -12,7 +12,7 @@
 //! per-width batch histogram the report always carried is kept as a fixed
 //! array of counters.
 
-use spmv_obs::{Counter, Histogram, HistogramSnapshot};
+use spmv_obs::{saturating_nanos, Counter, Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -39,6 +39,10 @@ pub struct ServeStats {
     occupancy: Histogram,
     /// `k_counts[k-1]` = batches of width `k` (capped at `K_BUCKETS`), exact.
     k_counts: [Counter; K_BUCKETS],
+    /// Requests refused by admission control (bounded queue full, load-shed).
+    sheds: Counter,
+    /// Batches whose execution panicked; their requests got typed errors.
+    failed_batches: Counter,
     /// First submission offset (ns from origin; `u64::MAX` = window unopened).
     window_start: AtomicU64,
     /// Latest batch completion offset (ns from origin; 0 = none yet).
@@ -63,13 +67,17 @@ impl ServeStats {
             queue_wait: Histogram::new(),
             occupancy: Histogram::new(),
             k_counts: std::array::from_fn(|_| Counter::new()),
+            sheds: Counter::new(),
+            failed_batches: Counter::new(),
             window_start: AtomicU64::new(u64::MAX),
             window_end: AtomicU64::new(0),
         }
     }
 
     fn offset_ns(&self, at: Instant) -> u64 {
-        at.saturating_duration_since(self.origin).as_nanos() as u64
+        // Saturating, not truncating: a >584-year offset clamps to u64::MAX
+        // instead of wrapping into a small (window-reopening) value.
+        saturating_nanos(at.saturating_duration_since(self.origin))
     }
 
     /// Note a request submission (opens the wall-clock window on first call).
@@ -87,7 +95,7 @@ impl ServeStats {
                 Some((f64::from_bits(bits) + flops).to_bits())
             })
             .ok();
-        self.busy_ns.add(exec.as_nanos() as u64);
+        self.busy_ns.add(saturating_nanos(exec));
         self.occupancy.record(k as u64);
         self.k_counts[k.clamp(1, K_BUCKETS) - 1].inc();
         self.window_end
@@ -95,19 +103,31 @@ impl ServeStats {
         spmv_obs::trace::trace(
             spmv_obs::TraceKind::BatchExec,
             k as u64,
-            exec.as_nanos() as u64,
+            saturating_nanos(exec),
         );
     }
 
     /// Record one completed request and its submit-to-reply latency.
     pub fn record_request(&self, latency: Duration) {
-        self.latency.record(latency.as_nanos() as u64);
+        self.latency.record(saturating_nanos(latency));
     }
 
     /// Record how long one request waited in the queue before its batch
     /// started executing.
     pub fn record_queue_wait(&self, wait: Duration) {
-        self.queue_wait.record(wait.as_nanos() as u64);
+        self.queue_wait.record(saturating_nanos(wait));
+    }
+
+    /// Record one load-shed: a request refused because the bounded queue in
+    /// front of this matrix was full.
+    pub fn record_shed(&self) {
+        self.sheds.inc();
+    }
+
+    /// Record one batch whose execution panicked (its requests were failed
+    /// with typed errors instead of results).
+    pub fn record_batch_failure(&self) {
+        self.failed_batches.inc();
     }
 
     /// The submit-to-reply latency distribution (nanoseconds).
@@ -135,6 +155,16 @@ impl ServeStats {
         self.batches.get()
     }
 
+    /// Requests refused by admission control so far.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.get()
+    }
+
+    /// Batches that panicked during execution so far.
+    pub fn failed_batches(&self) -> u64 {
+        self.failed_batches.get()
+    }
+
     /// Fold the counters into a report.
     pub fn snapshot(&self) -> ServeReport {
         let latency = self.latency.snapshot();
@@ -153,6 +183,8 @@ impl ServeStats {
         ServeReport {
             requests,
             batches,
+            sheds: self.sheds.get() as usize,
+            failed_batches: self.failed_batches.get() as usize,
             avg_batch: if batches == 0 {
                 0.0
             } else {
@@ -203,6 +235,10 @@ pub struct ServeReport {
     pub requests: usize,
     /// SpMM batches executed.
     pub batches: usize,
+    /// Requests refused by admission control (bounded queue full).
+    pub sheds: usize,
+    /// Batches whose execution panicked (requests failed with typed errors).
+    pub failed_batches: usize,
     /// Mean batch width (requests / batches).
     pub avg_batch: f64,
     /// Aggregate GFLOP/s over engine busy time (the kernel-side rate).
