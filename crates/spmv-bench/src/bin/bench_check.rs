@@ -24,7 +24,7 @@
 //! ```
 
 use spmv_bench::json::Json;
-use spmv_bench::net::serve_net_variant;
+use spmv_bench::net::{serve_net_variant, SHARDED_PARITY_TOLERANCE};
 use spmv_bench::obs::{OBS_OVERHEAD_TOLERANCE, OBS_PARALLEL_VARIANT};
 use spmv_bench::perf::{
     harness_matrices, simd_gate_matrices, swept_thread_counts, sym_id, symmetric_harness_matrices,
@@ -398,13 +398,84 @@ fn main() {
         checked += 1;
     }
 
+    // The sharded A/B row: the paired measurement must exist at the
+    // acceptance point (≥2 shards, ≥4 clients), carry its own single-shard
+    // baseline, and — when the measuring host actually had cores to spread
+    // over — the sharded leg must at least hold the single-shard aggregate
+    // throughput. The speedup gate conditions on `host_threads` recorded at
+    // measurement time (same discipline as the solver gate): on one core the
+    // shards time-slice a single CPU and no speedup can physically exist.
+    {
+        let row = results
+            .iter()
+            .find(|r| r.get("variant").and_then(Json::as_str) == Some("serve-net-sharded-uniform"))
+            .unwrap_or_else(|| fail("missing serve-net-sharded-uniform row"));
+        let shards = row.get("shards").and_then(Json::as_f64).unwrap_or(0.0);
+        let clients = row.get("clients").and_then(Json::as_f64).unwrap_or(0.0);
+        if shards < 2.0 || clients < 4.0 {
+            fail(&format!(
+                "sharded A/B measured below the acceptance point ({shards} shards, {clients} clients)"
+            ));
+        }
+        let gflops = row.get("gflops").and_then(Json::as_f64).unwrap_or(0.0);
+        let baseline = row
+            .get("baseline_gflops")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if gflops <= 0.0 || baseline <= 0.0 {
+            fail("sharded A/B row served no traffic on one of its legs");
+        }
+        let host_threads = row
+            .get("host_threads")
+            .and_then(Json::as_f64)
+            .unwrap_or(1.0);
+        if host_threads >= 2.0 && gflops < baseline * SHARDED_PARITY_TOLERANCE {
+            fail(&format!(
+                "sharded aggregate throughput regressed below its single-shard baseline: \
+                 {gflops:.3} vs {baseline:.3} GFLOP/s ({host_threads} host threads)"
+            ));
+        }
+        checked += 1;
+    }
+
+    // The cold-start SLO row: the capped hot set must actually have forced
+    // rebuilds, and the rebuild-inclusive p99 must be a real, finite number.
+    {
+        let row = results
+            .iter()
+            .find(|r| r.get("variant").and_then(Json::as_str) == Some("serve-net-coldstart"))
+            .unwrap_or_else(|| fail("missing serve-net-coldstart row"));
+        let rebuilds = row
+            .get("cold_rebuilds")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if rebuilds < 1.0 {
+            fail("cold-start row forced no rebuilds — the hot-set cap did not bite");
+        }
+        let p50 = row
+            .get("latency_p50_ns")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let p99 = row
+            .get("latency_p99_ns")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        if !(p99.is_finite() && p99 >= p50 && p50 > 0.0) {
+            fail(&format!(
+                "cold-start row has implausible rebuild-inclusive latency (p50={p50}, p99={p99})"
+            ));
+        }
+        checked += 1;
+    }
+
     println!(
         "[bench_check] OK: {path} has all {checked} expected tuned/searched/simd/batched/sym/\
          serve/solver/obs rows (simd level: {doc_simd}), the searched rows hold the heuristic \
          bar, fused CG holds its bar against the unfused loop ({cleared}/{solver_total} clear \
          {FUSED_SPEEDUP_BAR}x at {sthreads} threads), the profiled engine holds the \
-         {OBS_OVERHEAD_TOLERANCE:.0e} overhead bar bit-identically, and the telemetry header \
-         is live ({} results total)",
+         {OBS_OVERHEAD_TOLERANCE:.0e} overhead bar bit-identically, the sharded A/B holds \
+         {SHARDED_PARITY_TOLERANCE}x of its single-shard baseline, the cold-start SLO row is \
+         live, and the telemetry header is live ({} results total)",
         results.len()
     );
 }

@@ -17,7 +17,9 @@
 //! Thread count defaults to the host parallelism; override with `SPMV_BENCH_THREADS`.
 
 use spmv_bench::json::Json;
-use spmv_bench::net::{run_serve_net_scenarios, NetReplayLoad};
+use spmv_bench::net::{
+    run_serve_net_coldstart, run_serve_net_scenarios, run_serve_net_sharded, NetReplayLoad,
+};
 use spmv_bench::perf::{build_suite, harness_json_with_rows, swept_thread_counts};
 use spmv_bench::serve::{
     measure_batched_engine, measure_batched_serial, run_serve_scenarios, ReplayLoad, BATCH_WIDTHS,
@@ -128,6 +130,14 @@ fn main() {
         max_threads,
         NetReplayLoad::smoke(),
     ));
+    // The sharded A/B and the cold-start SLO rows; both variants start with
+    // "serve-" so the merge below replaces them in place like the rest.
+    rows.push(run_serve_net_sharded(
+        &matrices,
+        max_threads,
+        NetReplayLoad::smoke(),
+    ));
+    rows.push(run_serve_net_coldstart(&matrices, max_threads));
 
     // Merge into the existing artifact when there is one: keep its header and
     // every non-serve row, replace the two serve-owned row families.

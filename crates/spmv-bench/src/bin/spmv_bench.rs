@@ -11,7 +11,9 @@
 //!
 //! Thread count defaults to the host parallelism; override with `SPMV_BENCH_THREADS`.
 
-use spmv_bench::net::{run_serve_net_scenarios, NetReplayLoad};
+use spmv_bench::net::{
+    run_serve_net_coldstart, run_serve_net_scenarios, run_serve_net_sharded, NetReplayLoad,
+};
 use spmv_bench::obs::{collect_telemetry, run_obs_ablation};
 use spmv_bench::perf::{
     build_suite, build_symmetric_suite, harness_json_with_telemetry, run_harness_on,
@@ -71,6 +73,14 @@ fn main() {
         max_threads,
         NetReplayLoad::smoke(),
     ));
+    // The multi-shard A/B (2 poll shards vs 1, paired keep-best) and the
+    // cold-start SLO replay (rebuild-inclusive p99 over a capped hot set).
+    extra_rows.push(run_serve_net_sharded(
+        &matrices,
+        max_threads,
+        NetReplayLoad::smoke(),
+    ));
+    extra_rows.push(run_serve_net_coldstart(&matrices, max_threads));
     // The iterative-solver rows: fused in-engine CG vs the unfused serve-path
     // loop (plus power iteration) on the SPD-shifted symmetric suite.
     extra_rows.extend(run_solver_harness(

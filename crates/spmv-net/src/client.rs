@@ -14,6 +14,22 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Map an io error from an established connection to the typed layer: the
+/// disconnect kinds — the server closed (or reset) the socket under us, which
+/// a pipelining client must treat as "resubmit on a fresh connection", not as
+/// an opaque io failure — become [`NetError::ConnectionClosed`].
+fn io_to_net(e: std::io::Error) -> NetError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::NotConnected
+        | ErrorKind::UnexpectedEof => NetError::ConnectionClosed,
+        _ => NetError::Io(e),
+    }
+}
+
 /// A blocking client over one TCP connection.
 #[derive(Debug)]
 pub struct NetClient {
@@ -21,6 +37,7 @@ pub struct NetClient {
     rbuf: Vec<u8>,
     next_id: u64,
     max_frame: u32,
+    token: Option<Vec<u8>>,
 }
 
 impl NetClient {
@@ -33,7 +50,20 @@ impl NetClient {
             rbuf: Vec::new(),
             next_id: 0,
             max_frame: protocol::MAX_FRAME,
+            token: None,
         })
+    }
+
+    /// Attach an auth token, stamped onto the header of every request this
+    /// client sends from now on (builder form).
+    pub fn with_token(mut self, token: impl Into<Vec<u8>>) -> NetClient {
+        self.token = Some(token.into());
+        self
+    }
+
+    /// Set or clear the auth token on a connected client.
+    pub fn set_token(&mut self, token: Option<Vec<u8>>) {
+        self.token = token;
     }
 
     /// Bound every receive with a socket read timeout (an unresponsive server
@@ -46,18 +76,20 @@ impl NetClient {
     fn send(&mut self, matrix: &str, op: Op) -> Result<u64> {
         self.next_id += 1;
         let id = self.next_id;
-        let body = protocol::encode_request(&Request {
-            id,
-            matrix: matrix.to_string(),
-            op,
-        });
+        let mut req = Request::new(id, matrix, op);
+        if let Some(token) = &self.token {
+            req = req.with_token(token.clone());
+        }
+        let body = protocol::encode_request(&req);
         let mut frame = Vec::with_capacity(4 + body.len());
         protocol::write_frame(&mut frame, &body);
-        self.stream.write_all(&frame)?;
+        self.stream.write_all(&frame).map_err(io_to_net)?;
         Ok(id)
     }
 
-    /// Read one complete response frame (blocking).
+    /// Read one complete response frame (blocking). A connection the server
+    /// closed (or reset) mid-pipeline surfaces as the typed, retryable
+    /// [`NetError::ConnectionClosed`] — resubmit on a fresh connection.
     pub fn recv(&mut self) -> Result<Response> {
         loop {
             if let Some((body, used)) = protocol::take_frame(&self.rbuf, self.max_frame)? {
@@ -70,7 +102,7 @@ impl NetClient {
                 Ok(0) => return Err(NetError::ConnectionClosed),
                 Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(NetError::Io(e)),
+                Err(e) => return Err(io_to_net(e)),
             }
         }
     }

@@ -26,10 +26,14 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod shard;
+pub mod shardmap;
 
 pub use client::NetClient;
 pub use protocol::{Op, Request, Response};
 pub use server::{NetServer, NetServerHandle, NetStats, ServerConfig};
+pub use shard::{NetTotals, ShardedNetServer, ShardedNetServerHandle};
+pub use shardmap::{RoutedClient, ShardMap};
 
 use std::fmt;
 
@@ -56,8 +60,11 @@ pub enum NetError {
         /// Server-provided detail.
         message: String,
     },
-    /// The connection closed before a complete response arrived.
+    /// The connection closed (or was reset) before a complete response
+    /// arrived — retryable on a fresh connection.
     ConnectionClosed,
+    /// The shard map routed a matrix nowhere (no endpoints configured).
+    NoRoute(String),
 }
 
 impl NetError {
@@ -84,6 +91,21 @@ impl NetError {
             _ => None,
         }
     }
+
+    /// Whether the request that hit this error is safe and sensible to retry:
+    /// the server closed or reset the connection mid-pipeline (reconnect and
+    /// resubmit), shed the request under load (back off per
+    /// [`NetError::retry_after`]), or failed the serving batch (transient).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, NetError::ConnectionClosed)
+            || matches!(
+                self,
+                NetError::Remote {
+                    code: protocol::ERR_OVERLOADED | protocol::ERR_BATCH_PANICKED,
+                    ..
+                }
+            )
+    }
 }
 
 impl fmt::Display for NetError {
@@ -106,6 +128,9 @@ impl fmt::Display for NetError {
                 Ok(())
             }
             NetError::ConnectionClosed => write!(f, "connection closed mid-response"),
+            NetError::NoRoute(name) => {
+                write!(f, "no endpoint in the shard map routes matrix '{name}'")
+            }
         }
     }
 }

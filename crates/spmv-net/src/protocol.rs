@@ -10,11 +10,20 @@
 //! ## Request body
 //!
 //! ```text
-//! u8  opcode        1 = spmv, 2 = spmm, 3 = solver-iterate
+//! u8  opcode        1 = spmv, 2 = spmm, 3 = solver-iterate;
+//!                   the high bit ([`FLAG_TOKEN`]) marks an auth token
+//! u16 token length  (only when the token flag is set) followed by that many
+//!                   opaque token bytes — the frame-header auth credential
 //! u64 request id    echoed verbatim in the response; client-chosen
 //! u16 name length   followed by that many UTF-8 bytes of matrix name
 //! ... payload       opcode-specific, see [`Op`]
 //! ```
+//!
+//! Tokenless frames are the flag-clear encoding, so every pre-auth frame
+//! decodes unchanged. A server configured with a token compares in constant
+//! time and answers [`ERR_UNAUTHORIZED`] on mismatch or absence; the token is
+//! an authentication credential only — the wire carries no checksum, so
+//! payload integrity is still the transport's problem.
 //!
 //! Vectors are little-endian `f64`s prefixed by a `u32` length; the spmm
 //! payload is a column count followed by its columns back to back
@@ -46,6 +55,9 @@ pub const OP_SPMV: u8 = 1;
 pub const OP_SPMM: u8 = 2;
 /// Opcode: drive the connection's solver session on this matrix.
 pub const OP_SOLVER: u8 = 3;
+/// High bit of the opcode byte: the request carries an auth token
+/// (`u16` length + bytes) between the opcode and the request id.
+pub const FLAG_TOKEN: u8 = 0x80;
 
 /// Status: success.
 pub const ST_OK: u8 = 0;
@@ -66,6 +78,9 @@ pub const ERR_MALFORMED: u8 = 6;
 pub const ERR_NOT_SQUARE: u8 = 7;
 /// Error: any other server-side failure.
 pub const ERR_INTERNAL: u8 = 8;
+/// Error: the server requires an auth token and the request's was missing or
+/// wrong (compared in constant time). The connection stays open.
+pub const ERR_UNAUTHORIZED: u8 = 9;
 
 /// A decoded request operation (the opcode-specific payload).
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +126,27 @@ pub struct Request {
     pub matrix: String,
     /// The operation to perform.
     pub op: Op,
+    /// Frame-header auth token, when the client sent one.
+    pub token: Option<Vec<u8>>,
+}
+
+impl Request {
+    /// A tokenless request (the common case; attach a token with
+    /// [`Request::with_token`] or let [`crate::NetClient`] stamp one on).
+    pub fn new(id: u64, matrix: impl Into<String>, op: Op) -> Request {
+        Request {
+            id,
+            matrix: matrix.into(),
+            op,
+            token: None,
+        }
+    }
+
+    /// The same request carrying an auth token.
+    pub fn with_token(mut self, token: impl Into<Vec<u8>>) -> Request {
+        self.token = Some(token.into());
+        self
+    }
 }
 
 /// One decoded response frame.
@@ -296,7 +332,14 @@ pub fn take_frame(buf: &[u8], max_frame: u32) -> Result<Option<(&[u8], usize)>> 
 /// Encode one request as a frame body (no length prefix).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut body = Vec::new();
-    body.push(req.op.opcode());
+    match &req.token {
+        Some(token) => {
+            body.push(req.op.opcode() | FLAG_TOKEN);
+            put_u16(&mut body, token.len().min(u16::MAX as usize) as u16);
+            body.extend_from_slice(&token[..token.len().min(u16::MAX as usize)]);
+        }
+        None => body.push(req.op.opcode()),
+    }
     put_u64(&mut body, req.id);
     put_u16(&mut body, req.matrix.len() as u16);
     body.extend_from_slice(req.matrix.as_bytes());
@@ -326,7 +369,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 /// Decode one request frame body.
 pub fn decode_request(body: &[u8]) -> Result<Request> {
     let mut r = Reader::new(body);
-    let opcode = r.u8()?;
+    let tagged = r.u8()?;
+    let opcode = tagged & !FLAG_TOKEN;
+    let token = if tagged & FLAG_TOKEN != 0 {
+        let token_len = r.u16()? as usize;
+        Some(r.take(token_len)?.to_vec())
+    } else {
+        None
+    };
     let id = r.u64()?;
     let name_len = r.u16()? as usize;
     let matrix = String::from_utf8(r.take(name_len)?.to_vec())
@@ -336,7 +386,9 @@ pub fn decode_request(body: &[u8]) -> Result<Request> {
         OP_SPMM => {
             let k = r.u32()? as usize;
             let n = r.u32()? as usize;
-            if body.len() - (19 + name_len) < k.saturating_mul(n).saturating_mul(8) {
+            // Remaining-byte cover check before any allocation (the fixed
+            // header length varies with the token, so measure the cursor).
+            if r.buf.len() - r.at < k.saturating_mul(n).saturating_mul(8) {
                 return Err(NetError::Malformed(format!(
                     "spmm block claims {k}x{n}, frame too short"
                 )));
@@ -357,7 +409,25 @@ pub fn decode_request(body: &[u8]) -> Result<Request> {
         other => return Err(NetError::Malformed(format!("unknown opcode {other}"))),
     };
     r.finish()?;
-    Ok(Request { id, matrix, op })
+    Ok(Request {
+        id,
+        matrix,
+        op,
+        token,
+    })
+}
+
+/// Constant-time byte-slice equality: the scan length depends only on the
+/// operand lengths, never on where the first mismatch sits, so a token guess
+/// cannot be refined byte by byte from response timing.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= (x ^ y) as usize;
+    }
+    diff == 0
 }
 
 // ---------------------------------------------------------------------------
@@ -473,33 +543,61 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        round_trip_request(Request {
-            id: 7,
-            matrix: "ads-ctr".into(),
-            op: Op::Spmv {
+        round_trip_request(Request::new(
+            7,
+            "ads-ctr",
+            Op::Spmv {
                 x: vec![1.0, -2.5, 3.25],
             },
-        });
-        round_trip_request(Request {
-            id: u64::MAX,
-            matrix: "m".into(),
-            op: Op::Spmm {
+        ));
+        round_trip_request(Request::new(
+            u64::MAX,
+            "m",
+            Op::Spmm {
                 cols: vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
             },
-        });
-        round_trip_request(Request {
-            id: 0,
-            matrix: "spd".into(),
-            op: Op::SolverIterate {
+        ));
+        round_trip_request(Request::new(
+            0,
+            "spd",
+            Op::SolverIterate {
                 steps: 25,
                 b: Some(vec![1.0; 4]),
             },
-        });
-        round_trip_request(Request {
-            id: 1,
-            matrix: "spd".into(),
-            op: Op::SolverIterate { steps: 10, b: None },
-        });
+        ));
+        round_trip_request(Request::new(
+            1,
+            "spd",
+            Op::SolverIterate { steps: 10, b: None },
+        ));
+    }
+
+    #[test]
+    fn tokened_requests_round_trip_and_set_the_flag() {
+        let req = Request::new(42, "m", Op::Spmv { x: vec![1.0, 2.0] }).with_token(*b"s3cret");
+        let body = encode_request(&req);
+        assert_eq!(body[0], OP_SPMV | FLAG_TOKEN);
+        assert_eq!(decode_request(&body).unwrap(), req);
+        // The empty token is still "a token": flag set, zero bytes.
+        let req = Request::new(1, "m", Op::Spmv { x: vec![] }).with_token(Vec::new());
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        // A token length claim beyond the body is malformed, not a panic.
+        let mut lying = vec![OP_SPMV | FLAG_TOKEN];
+        lying.extend_from_slice(&u16::MAX.to_le_bytes());
+        lying.push(7);
+        assert!(matches!(
+            decode_request(&lying),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn constant_time_eq_matches_slice_equality() {
+        assert!(constant_time_eq(b"", b""));
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+        assert!(!constant_time_eq(b"", b"x"));
     }
 
     #[test]
@@ -528,16 +626,8 @@ mod tests {
     #[test]
     fn framing_peels_complete_frames_only() {
         let mut wire = Vec::new();
-        let body_a = encode_request(&Request {
-            id: 1,
-            matrix: "a".into(),
-            op: Op::Spmv { x: vec![1.0] },
-        });
-        let body_b = encode_request(&Request {
-            id: 2,
-            matrix: "b".into(),
-            op: Op::Spmv { x: vec![2.0] },
-        });
+        let body_a = encode_request(&Request::new(1, "a", Op::Spmv { x: vec![1.0] }));
+        let body_b = encode_request(&Request::new(2, "b", Op::Spmv { x: vec![2.0] }));
         write_frame(&mut wire, &body_a);
         write_frame(&mut wire, &body_b);
 

@@ -58,6 +58,10 @@ pub struct ServerConfig {
     pub max_frame: u32,
     /// Sleep between poll passes that made no progress.
     pub idle_poll: Duration,
+    /// When set, every request must carry this token on its frame header
+    /// (compared in constant time); requests without it are answered with the
+    /// typed [`crate::protocol::ERR_UNAUTHORIZED`] and never reach a batcher.
+    pub auth_token: Option<Vec<u8>>,
 }
 
 impl Default for ServerConfig {
@@ -68,7 +72,16 @@ impl Default for ServerConfig {
             retry_after_ms: 1,
             max_frame: protocol::MAX_FRAME,
             idle_poll: Duration::from_micros(100),
+            auth_token: None,
         }
+    }
+}
+
+impl ServerConfig {
+    /// The same config requiring `token` on every request (builder form).
+    pub fn with_auth_token(mut self, token: impl Into<Vec<u8>>) -> ServerConfig {
+        self.auth_token = Some(token.into());
+        self
     }
 }
 
@@ -81,6 +94,7 @@ pub struct NetStats {
     responses: Counter,
     sheds: Counter,
     errors: Counter,
+    unauthorized: Counter,
     bytes_in: Counter,
     bytes_out: Counter,
 }
@@ -121,6 +135,11 @@ impl NetStats {
         self.errors.get()
     }
 
+    /// Requests refused for a missing or wrong auth token.
+    pub fn unauthorized(&self) -> u64 {
+        self.unauthorized.get()
+    }
+
     /// Payload bytes read off sockets.
     pub fn bytes_in(&self) -> u64 {
         self.bytes_in.get()
@@ -142,8 +161,48 @@ impl NetStats {
         snap.counter("spmv_net_responses_total", self.responses());
         snap.counter("spmv_net_sheds_total", self.sheds());
         snap.counter("spmv_net_errors_total", self.errors());
+        snap.counter("spmv_net_unauthorized_total", self.unauthorized());
         snap.counter("spmv_net_bytes_in_total", self.bytes_in());
         snap.counter("spmv_net_bytes_out_total", self.bytes_out());
+    }
+
+    /// Fold this shard's counters into a [`MetricsSnapshot`] under the
+    /// per-shard `spmv_net_shard_*` families, labeled with the shard index —
+    /// the sharded server scrapes one of these per poll shard next to the
+    /// aggregated `spmv_net_*` families.
+    pub fn fold_into_shard(&self, snap: &mut MetricsSnapshot, shard: usize) {
+        snap.counter(
+            format!("spmv_net_shard_connections_accepted_total{{shard=\"{shard}\"}}"),
+            self.accepted(),
+        );
+        snap.gauge(
+            format!("spmv_net_shard_connections_active{{shard=\"{shard}\"}}"),
+            self.active() as f64,
+        );
+        snap.counter(
+            format!("spmv_net_shard_requests_total{{shard=\"{shard}\"}}"),
+            self.requests(),
+        );
+        snap.counter(
+            format!("spmv_net_shard_responses_total{{shard=\"{shard}\"}}"),
+            self.responses(),
+        );
+        snap.counter(
+            format!("spmv_net_shard_sheds_total{{shard=\"{shard}\"}}"),
+            self.sheds(),
+        );
+        snap.counter(
+            format!("spmv_net_shard_errors_total{{shard=\"{shard}\"}}"),
+            self.errors(),
+        );
+        snap.counter(
+            format!("spmv_net_shard_bytes_in_total{{shard=\"{shard}\"}}"),
+            self.bytes_in(),
+        );
+        snap.counter(
+            format!("spmv_net_shard_bytes_out_total{{shard=\"{shard}\"}}"),
+            self.bytes_out(),
+        );
     }
 }
 
@@ -183,6 +242,89 @@ impl Conn {
             solvers: HashMap::new(),
             dead: false,
         }
+    }
+}
+
+/// The single-threaded heart of one poll loop: a connection set, the
+/// per-matrix batcher cache, and the shared registry. [`NetServer`] runs one
+/// of these behind its own listener; [`crate::shard::ShardedNetServer`] runs
+/// one per shard thread, feeding each from a listener-thread handoff queue.
+pub(crate) struct ShardCore {
+    registry: Arc<MatrixRegistry>,
+    config: ServerConfig,
+    stats: Arc<NetStats>,
+    conns: Vec<Conn>,
+    batchers: HashMap<String, Batcher>,
+}
+
+impl ShardCore {
+    pub(crate) fn new(
+        registry: Arc<MatrixRegistry>,
+        config: ServerConfig,
+        stats: Arc<NetStats>,
+    ) -> ShardCore {
+        ShardCore {
+            registry,
+            config,
+            stats,
+            conns: Vec::new(),
+            batchers: HashMap::new(),
+        }
+    }
+
+    /// Take ownership of an accepted connection.
+    pub(crate) fn adopt(&mut self, stream: TcpStream) {
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        self.conns.push(Conn::new(stream));
+        self.stats.accepted.inc();
+    }
+
+    /// One full pass over every connection (read + dispatch, poll tickets,
+    /// write, reap the dead). Returns whether any progress was made.
+    pub(crate) fn pump_all(&mut self) -> bool {
+        let mut progress = false;
+        for conn in &mut self.conns {
+            progress |= pump(
+                conn,
+                &self.registry,
+                &mut self.batchers,
+                &self.config,
+                &self.stats,
+            );
+        }
+        let before = self.conns.len();
+        self.conns.retain(|c| !c.dead);
+        self.stats.closed.add((before - self.conns.len()) as u64);
+        progress
+    }
+
+    /// Graceful drain: stop reading, flush the batchers (dropping a Batcher
+    /// closes its queue, serves everything already admitted, and joins its
+    /// service thread — so every in-flight ticket resolves), then deliver the
+    /// buffered responses. Bounded by `deadline`: a peer that stopped reading
+    /// cannot wedge shutdown. Every connection counts as closed afterwards.
+    pub(crate) fn drain(&mut self, deadline: Instant) {
+        self.batchers.clear();
+        while Instant::now() < deadline {
+            let mut outstanding = false;
+            for conn in &mut self.conns {
+                if conn.dead {
+                    continue;
+                }
+                poll_inflight(conn, &self.stats);
+                flush_writes(conn, &self.stats);
+                outstanding |= !conn.inflight.is_empty() || !conn.wbuf.is_empty();
+            }
+            if !outstanding {
+                break;
+            }
+            std::thread::sleep(self.config.idle_poll);
+        }
+        self.stats
+            .closed
+            .add(self.conns.iter().filter(|c| !c.dead).count() as u64);
+        self.conns.clear();
     }
 }
 
@@ -287,8 +429,8 @@ impl NetServer {
             stats,
             shutdown,
         } = self;
-        let mut conns: Vec<Conn> = Vec::new();
-        let mut batchers: HashMap<String, Batcher> = HashMap::new();
+        let idle_poll = config.idle_poll;
+        let mut core = ShardCore::new(registry, config, stats);
 
         while !shutdown.load(Ordering::Acquire) {
             let mut progress = false;
@@ -297,10 +439,7 @@ impl NetServer {
             loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let _ = stream.set_nonblocking(true);
-                        let _ = stream.set_nodelay(true);
-                        conns.push(Conn::new(stream));
-                        stats.accepted.inc();
+                        core.adopt(stream);
                         progress = true;
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -309,45 +448,21 @@ impl NetServer {
             }
 
             // 2–4. Pump every connection.
-            for conn in &mut conns {
-                progress |= pump(conn, &registry, &mut batchers, &config, &stats);
-            }
-            let before = conns.len();
-            conns.retain(|c| !c.dead);
-            stats.closed.add((before - conns.len()) as u64);
+            progress |= core.pump_all();
 
             if !progress {
-                std::thread::sleep(config.idle_poll);
+                std::thread::sleep(idle_poll);
             }
         }
 
-        // Graceful drain: stop reading, flush the batchers (dropping a
-        // Batcher closes its queue, serves everything already admitted, and
-        // joins its service thread — so every in-flight ticket resolves),
-        // then deliver the buffered responses. Bounded: a peer that stopped
-        // reading cannot wedge shutdown.
-        drop(batchers);
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while Instant::now() < deadline {
-            let mut outstanding = false;
-            for conn in &mut conns {
-                if conn.dead {
-                    continue;
-                }
-                poll_inflight(conn, &stats);
-                flush_writes(conn, &stats);
-                outstanding |= !conn.inflight.is_empty() || !conn.wbuf.is_empty();
-            }
-            if !outstanding {
-                break;
-            }
-            std::thread::sleep(config.idle_poll);
-        }
-        stats
-            .closed
-            .add(conns.iter().filter(|c| !c.dead).count() as u64);
+        core.drain(Instant::now() + DRAIN_BOUND);
     }
 }
+
+/// Upper bound on the graceful-drain phase of a shutdown: every admitted
+/// request is normally answered well within this; a peer that stopped reading
+/// its socket forfeits its buffered responses when the bound expires.
+pub(crate) const DRAIN_BOUND: Duration = Duration::from_secs(5);
 
 /// One full pass over a connection: read + dispatch, poll tickets, write.
 /// Returns whether any progress was made.
@@ -437,7 +552,31 @@ fn handle_request(
     config: &ServerConfig,
     stats: &NetStats,
 ) {
-    let Request { id, matrix, op } = req;
+    let Request {
+        id,
+        matrix,
+        op,
+        token,
+    } = req;
+    // Auth gate: before the registry is touched or anything is admitted, the
+    // frame-header token must match the configured one in constant time.
+    if let Some(required) = &config.auth_token {
+        let presented = token.as_deref().unwrap_or(&[]);
+        if !protocol::constant_time_eq(presented, required) {
+            stats.unauthorized.inc();
+            respond(
+                conn,
+                Response::Error {
+                    id,
+                    code: protocol::ERR_UNAUTHORIZED,
+                    retry_after_ms: 0,
+                    message: "missing or invalid auth token".into(),
+                },
+                stats,
+            );
+            return;
+        }
+    }
     let Some(served) = registry.get(&matrix) else {
         respond(
             conn,

@@ -1,0 +1,311 @@
+//! Client-side routing: a consistent-hash map from matrix names to server
+//! endpoints, and a client that follows it.
+//!
+//! A [`ShardMap`] places every endpoint at many points (virtual nodes) on a
+//! 64-bit hash ring; a matrix routes to the first endpoint clockwise of its
+//! own hash. The two properties the serving stack needs fall out:
+//!
+//! * **Spread** — with enough virtual nodes per endpoint (default 64), the
+//!   keyspace splits near-uniformly, so matrices (and their engine residency)
+//!   spread across server processes instead of piling onto one.
+//! * **Bounded disruption** — adding or removing an endpoint remaps only the
+//!   keys whose ring arcs it owns (≈ `K/n` of `K` keys over `n` endpoints);
+//!   every other matrix keeps its endpoint, keeping its remote engine and hot
+//!   set warm. Remapping is **explicit**: routing changes only when the
+//!   caller edits the map, never behind its back.
+//!
+//! The ring is a pure function of the endpoint strings — FNV-1a of the
+//! endpoint, offset per replica, through a splitmix64 finalizer — so two
+//! processes holding the same endpoint set route identically, regardless of
+//! insertion order or process restarts.
+//!
+//! [`RoutedClient`] pairs a map with a lazy cache of [`NetClient`]
+//! connections (one per endpoint, opened on first use) and retries once on a
+//! fresh connection when an endpoint drops mid-pipeline
+//! ([`NetError::ConnectionClosed`]).
+
+use crate::client::NetClient;
+use crate::{NetError, Result};
+use std::collections::HashMap;
+
+/// Default virtual nodes per endpoint: enough that the largest arc of the
+/// ring stays within a few percent of the mean for typical endpoint counts.
+pub const DEFAULT_REPLICAS: usize = 64;
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms and
+/// processes — which is the property the ring actually needs (std's
+/// `DefaultHasher` is explicitly not stable across releases).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer. FNV-1a alone clusters on near-identical inputs
+/// (endpoint strings differ in one digit; replica suffixes differ in the last
+/// bytes), which shows up directly as lumpy arc lengths on the ring; one
+/// round of strong bit mixing disperses them.
+fn mix(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Where `key` lands on the ring.
+fn key_point(key: &str) -> u64 {
+    mix(fnv1a(key.as_bytes()))
+}
+
+/// Where replica `r` of `endpoint` sits on the ring.
+fn ring_point(endpoint: &str, r: usize) -> u64 {
+    mix(fnv1a(endpoint.as_bytes()).wrapping_add((r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// A consistent-hash map from matrix names to server endpoints.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    endpoints: Vec<String>,
+    replicas: usize,
+    /// `(point, index into endpoints)`, sorted by point.
+    ring: Vec<(u64, usize)>,
+}
+
+impl ShardMap {
+    /// Build a map over `endpoints` with [`DEFAULT_REPLICAS`] virtual nodes
+    /// each. Duplicate endpoints are kept once.
+    pub fn new<S: Into<String>>(endpoints: impl IntoIterator<Item = S>) -> ShardMap {
+        ShardMap::with_replicas(endpoints, DEFAULT_REPLICAS)
+    }
+
+    /// Build a map with an explicit virtual-node count (min 1).
+    pub fn with_replicas<S: Into<String>>(
+        endpoints: impl IntoIterator<Item = S>,
+        replicas: usize,
+    ) -> ShardMap {
+        let mut map = ShardMap {
+            endpoints: Vec::new(),
+            replicas: replicas.max(1),
+            ring: Vec::new(),
+        };
+        for e in endpoints {
+            let e = e.into();
+            if !map.endpoints.contains(&e) {
+                map.endpoints.push(e);
+            }
+        }
+        map.rebuild();
+        map
+    }
+
+    /// The endpoints currently in the map, in insertion order.
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    /// Whether the map routes anywhere at all.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Add an endpoint (no-op if present). Only ≈ `1/n` of the keyspace
+    /// remaps onto the newcomer.
+    pub fn add_endpoint(&mut self, endpoint: impl Into<String>) {
+        let endpoint = endpoint.into();
+        if !self.endpoints.contains(&endpoint) {
+            self.endpoints.push(endpoint);
+            self.rebuild();
+        }
+    }
+
+    /// Remove an endpoint (no-op if absent). Only the keys it owned remap,
+    /// each to the next endpoint on the ring.
+    pub fn remove_endpoint(&mut self, endpoint: &str) {
+        if let Some(at) = self.endpoints.iter().position(|e| e == endpoint) {
+            self.endpoints.remove(at);
+            self.rebuild();
+        }
+    }
+
+    /// The endpoint serving `matrix`, or `None` on an empty map.
+    pub fn endpoint_for(&self, matrix: &str) -> Option<&str> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let h = key_point(matrix);
+        // First ring point at or after h, wrapping past the top.
+        let at = self.ring.partition_point(|&(p, _)| p < h);
+        let (_, idx) = self.ring[if at == self.ring.len() { 0 } else { at }];
+        Some(&self.endpoints[idx])
+    }
+
+    fn rebuild(&mut self) {
+        self.ring.clear();
+        self.ring.reserve(self.endpoints.len() * self.replicas);
+        for (idx, e) in self.endpoints.iter().enumerate() {
+            for r in 0..self.replicas {
+                self.ring.push((ring_point(e, r), idx));
+            }
+        }
+        // Sort by point; on a (vanishingly unlikely) point collision the
+        // lexically smaller endpoint wins deterministically.
+        self.ring
+            .sort_by(|a, b| (a.0, &self.endpoints[a.1]).cmp(&(b.0, &self.endpoints[b.1])));
+    }
+}
+
+/// A client that routes each request through a [`ShardMap`] and keeps one
+/// lazily-opened [`NetClient`] per endpoint.
+#[derive(Debug)]
+pub struct RoutedClient {
+    map: ShardMap,
+    conns: HashMap<String, NetClient>,
+    token: Option<Vec<u8>>,
+}
+
+impl RoutedClient {
+    /// A routed client over `map`; no connections are opened until first use.
+    pub fn new(map: ShardMap) -> RoutedClient {
+        RoutedClient {
+            map,
+            conns: HashMap::new(),
+            token: None,
+        }
+    }
+
+    /// Attach an auth token stamped onto every request to every endpoint
+    /// (builder form).
+    pub fn with_token(mut self, token: impl Into<Vec<u8>>) -> RoutedClient {
+        self.token = Some(token.into());
+        self
+    }
+
+    /// The current map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Replace the map (explicit topology change). Connections to endpoints
+    /// no longer in the map are dropped; surviving endpoints keep their
+    /// connections and their server-side sessions.
+    pub fn set_map(&mut self, map: ShardMap) {
+        self.conns
+            .retain(|endpoint, _| map.endpoints().iter().any(|e| e == endpoint));
+        self.map = map;
+    }
+
+    /// The endpoint `matrix` currently routes to.
+    pub fn endpoint_for(&self, matrix: &str) -> Option<&str> {
+        self.map.endpoint_for(matrix)
+    }
+
+    /// `y = A·x` against the named matrix on whichever endpoint owns it.
+    /// Retries once on a fresh connection if the endpoint closed this one.
+    pub fn spmv(&mut self, matrix: &str, x: &[f64]) -> Result<Vec<f64>> {
+        self.with_conn_retry(matrix, |conn, matrix| conn.spmv(matrix, x))
+    }
+
+    /// `Y = A·X` on whichever endpoint owns the matrix, with one retry on a
+    /// closed connection.
+    pub fn spmm(&mut self, matrix: &str, cols: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        self.with_conn_retry(matrix, |conn, matrix| conn.spmm(matrix, cols))
+    }
+
+    /// Run solver iterations on the owning endpoint. **Not** retried on a
+    /// closed connection: the solver session (and its Krylov state) lived on
+    /// the dead connection, so the caller must restart with a fresh `b`.
+    pub fn solver_iterate(
+        &mut self,
+        matrix: &str,
+        steps: u32,
+        b: Option<&[f64]>,
+    ) -> Result<(Vec<f64>, f64)> {
+        let endpoint = self.route(matrix)?;
+        let conn = self.conn(&endpoint)?;
+        let out = conn.solver_iterate(matrix, steps, b);
+        if matches!(out, Err(NetError::ConnectionClosed)) {
+            self.conns.remove(&endpoint);
+        }
+        out
+    }
+
+    fn route(&self, matrix: &str) -> Result<String> {
+        self.map
+            .endpoint_for(matrix)
+            .map(str::to_owned)
+            .ok_or_else(|| NetError::NoRoute(matrix.to_owned()))
+    }
+
+    fn conn(&mut self, endpoint: &str) -> Result<&mut NetClient> {
+        if !self.conns.contains_key(endpoint) {
+            let mut client = NetClient::connect(endpoint)?;
+            if let Some(token) = &self.token {
+                client.set_token(Some(token.clone()));
+            }
+            self.conns.insert(endpoint.to_owned(), client);
+        }
+        Ok(self.conns.get_mut(endpoint).unwrap())
+    }
+
+    fn with_conn_retry<T>(
+        &mut self,
+        matrix: &str,
+        mut op: impl FnMut(&mut NetClient, &str) -> Result<T>,
+    ) -> Result<T> {
+        let endpoint = self.route(matrix)?;
+        for attempt in 0..2 {
+            let conn = self.conn(&endpoint)?;
+            match op(conn, matrix) {
+                Err(NetError::ConnectionClosed) => {
+                    // Stale or server-closed connection: drop it and retry
+                    // exactly once on a fresh one.
+                    self.conns.remove(&endpoint);
+                    if attempt == 1 {
+                        return Err(NetError::ConnectionClosed);
+                    }
+                }
+                out => return out,
+            }
+        }
+        unreachable!("retry loop returns on the second attempt")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_across_insertion_order_and_rebuilds() {
+        let a = ShardMap::new(["h1:1", "h2:2", "h3:3"]);
+        let b = ShardMap::new(["h3:3", "h1:1", "h2:2"]);
+        for i in 0..200 {
+            let key = format!("matrix-{i}");
+            assert_eq!(a.endpoint_for(&key), b.endpoint_for(&key));
+        }
+    }
+
+    #[test]
+    fn empty_map_routes_nowhere() {
+        let m = ShardMap::new(Vec::<String>::new());
+        assert!(m.is_empty());
+        assert_eq!(m.endpoint_for("anything"), None);
+    }
+
+    #[test]
+    fn single_endpoint_takes_everything() {
+        let m = ShardMap::new(["only:1"]);
+        for i in 0..50 {
+            assert_eq!(m.endpoint_for(&format!("m{i}")), Some("only:1"));
+        }
+    }
+
+    #[test]
+    fn duplicate_endpoints_collapse() {
+        let m = ShardMap::new(["h:1", "h:1", "h:1"]);
+        assert_eq!(m.endpoints().len(), 1);
+    }
+}

@@ -315,3 +315,63 @@ fn malformed_frames_answer_typed_errors_and_liars_get_dropped() {
     assert!(closed, "liar connection is dropped");
     handle.shutdown();
 }
+
+#[test]
+fn auth_token_gates_requests_and_refusals_keep_the_connection() {
+    let registry = Arc::new(MatrixRegistry::new(1, TuningConfig::naive()));
+    registry.insert("m", &random_csr(12, 12, 60, 9)).unwrap();
+    let mut handle = serve(
+        Arc::clone(&registry),
+        ServerConfig::default().with_auth_token(b"open-sesame".to_vec()),
+    );
+
+    // No token → typed refusal; the request never reaches a batcher.
+    let mut bare = NetClient::connect(handle.addr()).unwrap();
+    bare.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    match bare.spmv("m", &[1.0; 12]) {
+        Err(NetError::Remote {
+            code,
+            retry_after_ms,
+            ..
+        }) => {
+            assert_eq!(code, protocol::ERR_UNAUTHORIZED);
+            assert_eq!(retry_after_ms, 0, "unauthorized is not a backoff hint");
+        }
+        other => panic!("expected unauthorized, got {other:?}"),
+    }
+
+    // Wrong token (same length, one byte off) → same refusal; the connection
+    // survives, and upgrading the token in place then succeeds.
+    bare.set_token(Some(b"open-sesamE".to_vec()));
+    match bare.spmv("m", &[1.0; 12]) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, protocol::ERR_UNAUTHORIZED),
+        other => panic!("expected unauthorized, got {other:?}"),
+    }
+    bare.set_token(Some(b"open-sesame".to_vec()));
+    assert_eq!(bare.spmv("m", &[1.0; 12]).unwrap().len(), 12);
+
+    assert_eq!(handle.stats().unauthorized(), 2);
+    assert_eq!(
+        handle.stats().requests(),
+        3,
+        "refusals still count as requests"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn tokened_client_against_tokenless_server_is_transparent() {
+    // A client stamping tokens onto a server that requires none must work
+    // unchanged — the flag bit is backward- and forward-compatible.
+    let registry = Arc::new(MatrixRegistry::new(1, TuningConfig::naive()));
+    registry.insert("m", &random_csr(10, 10, 50, 10)).unwrap();
+    let mut handle = serve(Arc::clone(&registry), ServerConfig::default());
+    let mut client = NetClient::connect(handle.addr())
+        .unwrap()
+        .with_token(b"ignored".to_vec());
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let y = client.spmv("m", &[2.0; 10]).unwrap();
+    assert_eq!(y, registry.get("m").unwrap().spmv_now(&[2.0; 10]).unwrap());
+    assert_eq!(handle.stats().unauthorized(), 0);
+    handle.shutdown();
+}

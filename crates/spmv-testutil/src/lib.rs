@@ -17,6 +17,11 @@
 //!
 //! Everything is deterministic in the seed, so failures reproduce.
 
+//! The [`netfault`] module adds a deterministic fault-injecting TCP proxy
+//! for the networked serving tests.
+
+pub mod netfault;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spmv_core::formats::{CooMatrix, CsrMatrix};

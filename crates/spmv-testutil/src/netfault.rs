@@ -1,0 +1,397 @@
+//! A deterministic fault-injecting TCP proxy for the net/serve stack.
+//!
+//! [`FaultProxy`] sits between a client and a server on loopback, relaying
+//! bytes in both directions while executing a **script** of faults per
+//! accepted connection: cut the stream after exactly N bytes, stall it for a
+//! fixed duration at a byte offset, truncate one direction while the other
+//! keeps flowing, or flip bytes at seeded offsets. Every fault triggers at an
+//! exact byte offset of the relayed stream — not at a wall-clock time — so a
+//! test that says "drop the server's response after 7 bytes of the frame
+//! header" does exactly that, every run, on every machine.
+//!
+//! The proxy is std-only: one accept thread plus two relay threads per
+//! connection (client→server and server→client), each counting bytes and
+//! consulting its direction's [`ConnScript`]. Connection scripts apply in
+//! accept order; connections beyond the scripted list relay cleanly.
+//!
+//! This is test infrastructure: correctness of the *system under test* is
+//! asserted by the integration tests in `spmv-net`; the proxy only promises
+//! byte-exact fault placement and full shutdown (no leaked threads holding
+//! ports).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One direction's fault for one proxied connection. Offsets count bytes of
+/// that direction's relayed stream, starting at 0 for the first byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Relay everything unchanged.
+    Clean,
+    /// Relay exactly `n` bytes, then sever the whole connection (both
+    /// directions shut down) — models a crash / connection reset mid-frame.
+    DropAfter(usize),
+    /// Relay `at` bytes, sleep `pause`, then keep relaying — models a network
+    /// stall in the middle of a frame.
+    StallAfter {
+        /// Bytes relayed before the stall.
+        at: usize,
+        /// How long the stream stays silent.
+        pause: Duration,
+    },
+    /// Relay exactly `n` bytes of this direction, then discard the rest while
+    /// the opposite direction keeps flowing — models a half-broken path
+    /// (e.g. responses flow, further requests vanish).
+    TruncateAfter(usize),
+    /// XOR the byte at each listed offset with the paired mask (masks must be
+    /// nonzero to actually corrupt). Everything else relays unchanged.
+    CorruptAt(Vec<(usize, u8)>),
+}
+
+/// The per-direction scripts of one proxied connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnScript {
+    /// Fault on the client→server byte stream.
+    pub upstream: Fault,
+    /// Fault on the server→client byte stream.
+    pub downstream: Fault,
+}
+
+impl ConnScript {
+    /// A connection relayed untouched in both directions.
+    pub fn clean() -> ConnScript {
+        ConnScript {
+            upstream: Fault::Clean,
+            downstream: Fault::Clean,
+        }
+    }
+
+    /// A script faulting only client→server bytes.
+    pub fn up(fault: Fault) -> ConnScript {
+        ConnScript {
+            upstream: fault,
+            downstream: Fault::Clean,
+        }
+    }
+
+    /// A script faulting only server→client bytes.
+    pub fn down(fault: Fault) -> ConnScript {
+        ConnScript {
+            upstream: Fault::Clean,
+            downstream: fault,
+        }
+    }
+}
+
+/// A running fault proxy; connect clients to [`FaultProxy::addr`] instead of
+/// the real server. Dropping it (or calling [`FaultProxy::shutdown`]) severs
+/// every proxied connection and joins all threads.
+#[derive(Debug)]
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicUsize>,
+    accept_join: Option<JoinHandle<()>>,
+    conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl FaultProxy {
+    /// Listen on an ephemeral loopback port, forwarding every accepted
+    /// connection to `target`. The i-th accepted connection runs
+    /// `scripts[i]`; connections past the end of `scripts` relay cleanly.
+    pub fn spawn(
+        target: impl ToSocketAddrs,
+        scripts: Vec<ConnScript>,
+    ) -> std::io::Result<FaultProxy> {
+        let target: SocketAddr = target.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no target addr")
+        })?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let t_stop = Arc::clone(&stop);
+        let t_accepted = Arc::clone(&accepted);
+        let t_joins = Arc::clone(&conn_joins);
+        let accept_join = std::thread::Builder::new()
+            .name("netfault-accept".into())
+            .spawn(move || {
+                while !t_stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let i = t_accepted.fetch_add(1, Ordering::AcqRel);
+                            let script = scripts.get(i).cloned().unwrap_or_else(ConnScript::clean);
+                            match TcpStream::connect(target) {
+                                Ok(server) => {
+                                    let joins = relay_pair(client, server, script, &t_stop);
+                                    t_joins.lock().unwrap().extend(joins);
+                                }
+                                Err(_) => drop(client), // target gone: refuse by closing
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+
+        Ok(FaultProxy {
+            addr,
+            stop,
+            accepted,
+            accept_join: Some(accept_join),
+            conn_joins,
+        })
+    }
+
+    /// The loopback address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> usize {
+        self.accepted.load(Ordering::Acquire)
+    }
+
+    /// Sever every proxied connection and join all proxy threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+        let joins: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_joins.lock().unwrap());
+        for join in joins {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawn the two relay threads of one proxied connection.
+fn relay_pair(
+    client: TcpStream,
+    server: TcpStream,
+    script: ConnScript,
+    stop: &Arc<AtomicBool>,
+) -> Vec<JoinHandle<()>> {
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    // Short read timeouts keep relay threads responsive to shutdown without
+    // perturbing byte-offset fault placement.
+    let _ = client.set_read_timeout(Some(Duration::from_millis(20)));
+    let _ = server.set_read_timeout(Some(Duration::from_millis(20)));
+
+    let up_src = client.try_clone().expect("clone client stream");
+    let up_dst = server.try_clone().expect("clone server stream");
+    let down_src = server;
+    let down_dst = client;
+
+    let up_stop = Arc::clone(stop);
+    let down_stop = Arc::clone(stop);
+    let up_fault = script.upstream;
+    let down_fault = script.downstream;
+
+    let up = std::thread::Builder::new()
+        .name("netfault-up".into())
+        .spawn(move || relay(up_src, up_dst, up_fault, &up_stop))
+        .expect("spawn upstream relay");
+    let down = std::thread::Builder::new()
+        .name("netfault-down".into())
+        .spawn(move || relay(down_src, down_dst, down_fault, &down_stop))
+        .expect("spawn downstream relay");
+    vec![up, down]
+}
+
+/// Relay `src` → `dst` under `fault` until EOF, a severing fault, or global
+/// shutdown. Byte offsets are counted over the bytes *read from src*.
+fn relay(mut src: TcpStream, mut dst: TcpStream, fault: Fault, stop: &AtomicBool) {
+    let mut offset: usize = 0; // bytes relayed (or discarded) so far
+    let mut stalled = false;
+    let mut truncated = false;
+    let mut buf = [0u8; 4096];
+
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => break, // peer half-closed: forward the EOF
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        let mut chunk = buf[..n].to_vec();
+
+        match &fault {
+            Fault::Clean => {}
+            Fault::DropAfter(cut) => {
+                if offset + chunk.len() >= *cut {
+                    let keep = cut.saturating_sub(offset);
+                    let _ = dst.write_all(&chunk[..keep]);
+                    // Sever the whole proxied connection, both directions —
+                    // the peer sees a close/reset mid-stream.
+                    let _ = dst.shutdown(Shutdown::Both);
+                    let _ = src.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Fault::StallAfter { at, pause } => {
+                if !stalled && offset + chunk.len() > *at {
+                    let pre = at.saturating_sub(offset);
+                    let _ = dst.write_all(&chunk[..pre]);
+                    std::thread::sleep(*pause);
+                    stalled = true;
+                    offset += pre;
+                    chunk.drain(..pre);
+                }
+            }
+            Fault::TruncateAfter(cut) => {
+                if truncated {
+                    offset += chunk.len();
+                    continue; // discard silently; opposite direction lives on
+                }
+                if offset + chunk.len() >= *cut {
+                    let keep = cut.saturating_sub(offset);
+                    let _ = dst.write_all(&chunk[..keep]);
+                    truncated = true;
+                    offset += chunk.len();
+                    continue;
+                }
+            }
+            Fault::CorruptAt(flips) => {
+                for &(at, mask) in flips {
+                    if at >= offset && at < offset + chunk.len() {
+                        chunk[at - offset] ^= mask;
+                    }
+                }
+            }
+        }
+
+        if dst.write_all(&chunk).is_err() {
+            break;
+        }
+        offset += chunk.len();
+    }
+    // Forward the EOF (or our exit) as a half-close so the peer's read side
+    // sees a clean end-of-stream rather than hanging.
+    let _ = dst.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    /// An echo server good for one connection, returning what it received.
+    fn echo_once() -> (SocketAddr, JoinHandle<Vec<u8>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut seen = Vec::new();
+            let mut buf = [0u8; 1024];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        seen.extend_from_slice(&buf[..n]);
+                        if s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            seen
+        });
+        (addr, join)
+    }
+
+    #[test]
+    fn clean_script_relays_bytes_exactly() {
+        let (addr, server) = echo_once();
+        let mut proxy = FaultProxy::spawn(addr, vec![ConnScript::clean()]).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"hello through the proxy").unwrap();
+        let mut back = [0u8; 23];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello through the proxy");
+        drop(c);
+        assert_eq!(server.join().unwrap(), b"hello through the proxy");
+        proxy.shutdown();
+        assert_eq!(proxy.accepted(), 1);
+    }
+
+    #[test]
+    fn drop_after_cuts_at_the_exact_byte() {
+        let (addr, server) = echo_once();
+        let mut proxy = FaultProxy::spawn(addr, vec![ConnScript::up(Fault::DropAfter(5))]).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        let _ = c.write_all(b"0123456789");
+        // Read to EOF: the connection was severed after 5 upstream bytes, so
+        // the echo can return at most "01234".
+        let mut got = Vec::new();
+        let _ = c.read_to_end(&mut got);
+        assert!(got.len() <= 5, "echoed {got:?} past the cut");
+        assert_eq!(server.join().unwrap(), b"01234");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn corrupt_at_flips_only_the_scripted_byte() {
+        let (addr, server) = echo_once();
+        let mut proxy = FaultProxy::spawn(
+            addr,
+            vec![ConnScript::up(Fault::CorruptAt(vec![(2, 0xFF)]))],
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"abcdef").unwrap();
+        drop(c);
+        let seen = server.join().unwrap();
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[2], b'c' ^ 0xFF);
+        let mut intact = seen.clone();
+        intact[2] = b'c';
+        assert_eq!(intact, b"abcdef");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn truncate_keeps_the_other_direction_flowing() {
+        let (addr, server) = echo_once();
+        let mut proxy =
+            FaultProxy::spawn(addr, vec![ConnScript::up(Fault::TruncateAfter(4))]).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"abcdXXXX").unwrap();
+        // Only 4 bytes reach the server; its echo of those 4 still flows back.
+        let mut back = [0u8; 4];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"abcd");
+        drop(c);
+        assert_eq!(server.join().unwrap(), b"abcd");
+        proxy.shutdown();
+    }
+}

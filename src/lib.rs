@@ -25,6 +25,7 @@ pub use spmv_archsim;
 pub use spmv_baseline;
 pub use spmv_core;
 pub use spmv_matrices;
+pub use spmv_net;
 pub use spmv_obs;
 pub use spmv_parallel;
 pub use spmv_serve;
